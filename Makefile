@@ -1,0 +1,43 @@
+# Developer entry points.  `make help` lists targets.
+
+PYTHON ?= python
+
+.PHONY: help install test test-fast bench bench-small examples report clean
+
+help:
+	@echo "install      editable install (falls back to setup.py develop offline)"
+	@echo "test         run the full test suite"
+	@echo "test-fast    run the test suite without slow-marked tests"
+	@echo "bench        run every table/figure benchmark (tiny scale)"
+	@echo "bench-small  benchmarks at the EXPERIMENTS.md fidelity scale"
+	@echo "examples     run every example script"
+	@echo "report       write the full Markdown reproduction report"
+	@echo "clean        remove caches and build artifacts"
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-small:
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+report:
+	$(PYTHON) -m repro.experiments report --scale small --out report.md
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

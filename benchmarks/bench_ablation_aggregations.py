@@ -1,0 +1,48 @@
+"""Ablation: aggregation functions (paper Section 3.3).
+
+The sketch supports sum/count/min/max cell aggregation; this bench
+verifies their per-update costs are all O(1)-comparable and their
+estimate semantics diverge the way the model predicts on one stream.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("aggregation", list(Aggregation))
+def test_update_cost_per_aggregation(benchmark, scale, aggregation):
+    stream = datasets.ipflow(scale)
+    edges = [(e.source, e.target, e.weight) for e in stream][:1500]
+    tcm = TCM(d=3, width=64, seed=1, aggregation=aggregation)
+
+    def ingest_batch():
+        for s, t, w in edges:
+            tcm.update(s, t, w)
+
+    benchmark(ingest_batch)
+
+
+def test_aggregation_semantics(benchmark, scale):
+    def run():
+        stream = datasets.ipflow(scale)
+        edge = max(stream.distinct_edges,
+                   key=lambda e: stream.edge_weight(*e))
+        rows = []
+        for aggregation in Aggregation:
+            tcm = TCM(d=3, width=96, seed=2, aggregation=aggregation)
+            for element in stream:
+                tcm.update(element.source, element.target, element.weight)
+            rows.append((aggregation.value, tcm.edge_weight(*edge)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table(f"Ablation -- aggregation semantics on the heaviest edge "
+                f"(ipflow, {scale})", ["aggregation", "estimate"], rows)
+    by_name = dict(rows)
+    assert by_name["min"] <= by_name["max"] <= by_name["sum"]
+    assert by_name["count"] >= 1

@@ -1,0 +1,38 @@
+"""Ablation: CountMin is a degenerate TCM (paper Section 5.1.3).
+
+A TCM whose sketches are ``w x 1`` matrices answers source-flow queries
+exactly like a CountMin over source labels -- same estimates, same cost
+class.  This bench verifies the equivalence and compares their update
+costs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.graph_sketch import GraphSketch
+from repro.experiments import datasets
+from repro.experiments.report import print_table
+from repro.hashing.family import HashFamily
+
+
+def test_degenerate_tcm_equals_countmin(benchmark, scale):
+    def run():
+        stream = datasets.ipflow(scale)
+        mismatches = 0
+        family = HashFamily([512, 1, 512], seed=13)
+        degenerate = GraphSketch(family[0], family[1])  # 512 x 1 matrix
+
+        from repro.baselines.countmin import CountMinSketch
+        cm = CountMinSketch(1, 512, seed=None)
+        cm._family._functions = (family[0],)  # identical hash
+
+        for edge in stream:
+            degenerate.update(edge.source, edge.target, edge.weight)
+            cm.update(edge.source, edge.weight)
+        for node in stream.nodes:
+            if degenerate.out_flow(node) != cm.estimate(node):
+                mismatches += 1
+        return mismatches, len(stream.nodes)
+
+    mismatches, nodes = run_once(benchmark, run)
+    print_table("Ablation -- w x 1 TCM vs CountMin (source flows)",
+                ["nodes compared", "mismatches"], [(nodes, mismatches)])
+    assert mismatches == 0

@@ -1,0 +1,31 @@
+"""Ablation: distributed d x m sketches (paper Section 5.3).
+
+More workers = more independent sketches = estimates at least as tight,
+because the merged minimum ranges over a superset of sketches.
+"""
+
+from benchmarks.conftest import run_once
+from repro.distributed import DistributedTCM
+from repro.experiments import datasets
+from repro.experiments.common import edge_query_are, edge_workload
+from repro.experiments.report import print_table
+
+
+def test_more_workers_tighter_estimates(benchmark, scale):
+    def run():
+        stream = datasets.gtgraph(scale)
+        workload = edge_workload(stream, limit=1000)
+        rows = []
+        for m in (1, 2, 4):
+            with DistributedTCM(m=m, d=2, width=48, seed=50) as cluster:
+                cluster.ingest(stream)
+                rows.append((m, cluster.total_sketches,
+                             edge_query_are(stream, cluster.edge_weight,
+                                            workload)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table(f"Ablation -- distributed d x m sketches (gtgraph, {scale})",
+                ["workers m", "total sketches", "ARE"], rows)
+    errors = [row[2] for row in rows]
+    assert errors == sorted(errors, reverse=True)  # monotone improvement

@@ -1,0 +1,35 @@
+"""Ablation: the sketch as a filter for exact stores (paper Section 7).
+
+On a miss-dominated probe workload the TCM filter should answer nearly
+every query without touching the exact store, and the end-to-end probe
+loop should not be slower than the unfiltered store by more than the
+filter's constant.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.filter import SketchFilteredStore
+from repro.experiments import datasets
+from repro.experiments.report import print_table
+
+
+def test_filter_rate_and_cost(benchmark, scale):
+    def run():
+        stream = datasets.ipflow(scale)
+        store = SketchFilteredStore(d=4, width=128, seed=1)
+        store.ingest(stream)
+        probes = [(f"10.111.0.{i % 251}", f"10.112.0.{i % 241}")
+                  for i in range(3000)]
+        start = time.perf_counter()
+        for src, dst in probes:
+            store.edge_weight(src, dst)
+        elapsed = time.perf_counter() - start
+        return store.filter_rate, store.exact_lookups, elapsed
+
+    rate, exact_lookups, elapsed = run_once(benchmark, run)
+    print_table("Ablation -- sketch-filtered store on a miss workload",
+                ["filter rate", "exact lookups", "3000 probes (s)"],
+                [(rate, exact_lookups, elapsed)])
+    assert rate > 0.95
+    assert exact_lookups < 150

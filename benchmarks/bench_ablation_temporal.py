@@ -1,0 +1,56 @@
+"""Ablation: temporal summaries (paper Section 7 roadmap).
+
+Compares the three ways this library scopes a summary in time on a
+burst-detection task: hard sliding window, snapshot ring range queries,
+and exponential decay.  All three must localize/forget the burst; their
+costs differ (the window buffers live elements, the ring duplicates
+sketches, decay keeps exactly one sketch).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.decay import TimeDecayedTCM
+from repro.core.snapshots import SnapshotRing
+from repro.core.tcm import TCM
+from repro.experiments.report import print_table
+from repro.streams.model import StreamEdge
+from repro.streams.window import SlidingWindow
+
+
+def _trace(n: int = 4000, burst_at: int = 1000, burst_len: int = 200):
+    edges = [StreamEdge(f"u{i % 37}", f"v{i % 29}", 10.0, float(i))
+             for i in range(n)]
+    for t in range(burst_at, burst_at + burst_len):
+        edges[t] = StreamEdge("attacker", "victim", 1000.0, float(t))
+    return edges
+
+
+def test_temporal_summaries_forget_the_burst(benchmark):
+    def run():
+        trace = _trace()
+        window = SlidingWindow(TCM(d=3, width=48, seed=1), horizon=500.0)
+        ring = SnapshotRing(500.0, 16, d=3, width=48, seed=1)
+        decayed = TimeDecayedTCM(0.99, d=3, width=48, seed=1)
+        for edge in trace:
+            window.observe(edge)
+            ring.observe(edge)
+            decayed.observe(edge.source, edge.target, edge.weight,
+                            edge.timestamp)
+        return {
+            "sliding window": window.summary.edge_weight("attacker", "victim"),
+            "snapshot ring (last bucket)": dict(
+                ring.edge_weight_series("attacker", "victim"))[7],
+            "snapshot ring (burst bucket)": dict(
+                ring.edge_weight_series("attacker", "victim"))[2],
+            "decayed": decayed.edge_weight("attacker", "victim"),
+        }
+
+    estimates = run_once(benchmark, run)
+    print_table("Ablation -- temporal summaries vs an old burst",
+                ["mechanism", "attacker->victim estimate"],
+                list(estimates.items()))
+    # The burst (t in [1000,1200)) is ancient by t=4000:
+    assert estimates["sliding window"] == 0.0
+    assert estimates["snapshot ring (last bucket)"] == 0.0
+    assert estimates["decayed"] < 1.0
+    # ...but the ring still holds it where it happened:
+    assert estimates["snapshot ring (burst bucket)"] >= 200 * 1000.0

@@ -1,0 +1,19 @@
+"""Extension: empirical calibration of Theorem 1's guarantee.
+
+The measured violation rate of ``estimate <= exact + eps*n`` must stay
+below the promised delta at every (eps, delta) grid point.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.calibration import calibration_table
+from repro.experiments.report import print_table
+
+
+def test_theorem1_calibration(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: calibration_table("gtgraph", scale, trials=3))
+    print_table(f"Extension -- Theorem 1 calibration (gtgraph, {scale})",
+                ["eps", "delta", "d", "w", "measured violation rate"],
+                rows)
+    for epsilon, delta, d, w, rate in rows:
+        assert rate <= delta  # the guarantee itself (usually far below)

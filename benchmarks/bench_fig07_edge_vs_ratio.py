@@ -1,0 +1,22 @@
+"""Fig. 7: edge-query ARE vs compression ratio (TCM vs CountMin).
+
+Expected shape (paper Figs. 7(a-c)): error falls as the ratio loosens and
+the TCM and CountMin curves track each other at equal space.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig7_edge_vs_ratio
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph"])
+def test_fig7(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig7_edge_vs_ratio(dataset, scale, d=5))
+    print_table(f"Fig. 7 -- edge-query ARE vs ratio ({dataset}, {scale})",
+                ["ratio", "TCM", "CountMin"], rows)
+    # Tighter compression (later rows) must not have lower error.
+    assert rows[-1][1] >= rows[0][1]
+    assert rows[-1][2] >= rows[0][2]

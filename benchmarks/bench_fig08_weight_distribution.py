@@ -1,0 +1,24 @@
+"""Fig. 8: edge-weight distributions of the three datasets.
+
+Expected shape (paper Figs. 8(a-c)): Zipfian -- the lightest buckets hold
+orders of magnitude more edges than the heaviest.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig8_weight_distribution
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph"])
+def test_fig8(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig8_weight_distribution(dataset, scale,
+                                                     buckets=10))
+    print_table(f"Fig. 8 -- edge-weight distribution ({dataset}, {scale})",
+                ["bucket", "min w", "max w", "edges"], rows)
+    minima = [row[1] for row in rows]
+    assert minima == sorted(minima)
+    # Heavy tail: the top bucket's max dwarfs the bottom bucket's min.
+    assert rows[-1][2] >= 10 * rows[0][1]

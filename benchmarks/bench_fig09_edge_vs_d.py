@@ -1,0 +1,22 @@
+"""Fig. 9: edge-query ARE vs number of hash functions (fixed width).
+
+Expected shape (paper Figs. 9(a-c)): both TCM and CountMin errors fall
+monotonically with d, with the two curves close at equal space.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig9_edge_vs_d
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph"])
+def test_fig9(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig9_edge_vs_d(dataset, scale,
+                                           d_values=(1, 3, 5, 7, 9)))
+    print_table(f"Fig. 9 -- edge-query ARE vs d ({dataset}, {scale})",
+                ["d", "TCM", "CountMin"], rows)
+    assert rows[-1][1] <= rows[0][1]
+    assert rows[-1][2] <= rows[0][2]

@@ -1,0 +1,22 @@
+"""Fig. 10: ARE per edge-weight segment (lightest decile first).
+
+Expected shape (paper Figs. 10(a-c)): the lightest segment dominates the
+error; error collapses toward the heavy segments, for both sketches.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig10_weight_segments
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph"])
+def test_fig10(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig10_weight_segments(dataset, scale, d=5,
+                                                  segments=10))
+    print_table(f"Fig. 10 -- ARE per weight segment ({dataset}, {scale})",
+                ["segment", "TCM", "CountMin"], rows)
+    assert rows[0][1] >= rows[-1][1]
+    assert rows[0][2] >= rows[-1][2]

@@ -1,0 +1,27 @@
+"""Fig. 11: heavy-edge and heavy-node top-k intersection accuracy.
+
+Expected shape (paper Figs. 11(a,b)): TCM ~ CountMin, both at or above
+the same-space reservoir sample; near-perfect on the wide-range IP-flow
+weights.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp2_heavy import fig11_heavy_hitters
+from repro.experiments.report import print_table
+
+
+def test_fig11(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: fig11_heavy_hitters(scale=scale, d=5,
+                                                edge_k=50, node_k=25))
+    print_table(f"Fig. 11 -- heavy hitters ({scale})",
+                ["dataset", "kind", "TCM", "CountMin", "sample"], rows)
+    for dataset, kind, acc_tcm, acc_cm, acc_sample in rows:
+        assert 0.0 <= acc_tcm <= 1.0
+        if kind == "heavy edges":
+            assert acc_tcm >= acc_sample - 0.1
+    ip_edges = [r for r in rows if r[0] == "ipflow" and r[1] == "heavy edges"]
+    # Near-perfect for big-range weights; ~1.0 at the 'small' scale used
+    # for EXPERIMENTS.md, a little lower on the tiny CI workload.
+    threshold = 0.85 if scale != "tiny" else 0.7
+    assert ip_edges[0][2] >= threshold

@@ -1,0 +1,23 @@
+"""Fig. 12: one summary serving a *set* of problems at equal total space.
+
+Expected shape (paper Figs. 12(a-c)): TCM (one structure for edge + node
+queries) clearly beats CountMin, which must split the space into an edge
+sketch and a node sketch.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig12_same_space_set
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph"])
+def test_fig12(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig12_same_space_set(dataset, scale,
+                                                 d_values=(1, 3, 5, 7, 9)))
+    print_table(f"Fig. 12 -- same space, set of problems ({dataset}, {scale})",
+                ["d", "TCM", "CountMin (half space)"], rows)
+    wins = sum(1 for _, tcm, cm_half in rows if tcm <= cm_half)
+    assert wins >= len(rows) - 1  # TCM wins (essentially) everywhere

@@ -1,0 +1,37 @@
+"""Fig. 14: reachability queries on the sketch.
+
+Expected shapes: (a) good inter-accuracy on all datasets (paper: 96%,
+84.5%, 100% at d=9); (b) true-negative accuracy rises with d and falls
+with graph density, with *no* false "unreachable" answers ever.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp3_path import (
+    fig14a_reachability_vs_d,
+    fig14b_true_negatives,
+)
+from repro.experiments.report import print_table
+
+
+def test_fig14a(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: fig14a_reachability_vs_d(scale=scale,
+                                                     d_values=(1, 3, 5, 7, 9),
+                                                     pairs_count=50))
+    print_table(f"Fig. 14(a) -- reachability accuracy vs d ({scale})",
+                ["d", "dblp", "ipflow", "gtgraph"], rows)
+    final = rows[-1]
+    assert all(acc >= 0.6 for acc in final[1:])
+
+
+def test_fig14b(benchmark):
+    rows = run_once(benchmark,
+                    lambda: fig14b_true_negatives(n_nodes=512,
+                                                  pairs_count=60))
+    print_table("Fig. 14(b) -- true-negative accuracy vs d (R-MAT)",
+                ["d", "|E|/|V|=1", "|E|/|V|=3", "|E|/|V|=5", "|E|/|V|=7"],
+                rows)
+    # Accuracy improves with d for the sparse graph...
+    assert rows[-1][1] > rows[0][1]
+    # ...and sparser graphs are never worse than denser ones at d=9.
+    assert rows[-1][1] >= rows[-1][-1]

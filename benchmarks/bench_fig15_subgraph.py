@@ -1,0 +1,33 @@
+"""Fig. 15: aggregate subgraph query ARE vs d.
+
+Expected shape (paper Figs. 15(a,b)): error falls with d and sits below
+the corresponding edge-query ARE (heavy edges dominate each query total).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import fig9_edge_vs_d
+from repro.experiments.exp4_graph import fig15_subgraph_vs_d
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow"])
+def test_fig15(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: fig15_subgraph_vs_d(dataset, scale,
+                                                d_values=(1, 3, 5, 7, 9)))
+    print_table(f"Fig. 15 -- subgraph-query ARE vs d ({dataset}, {scale})",
+                ["d", "TCM", "CountMin"], rows)
+    assert rows[-1][1] <= rows[0][1]
+
+
+def test_fig15_below_edge_queries(benchmark, scale):
+    """The subgraph ARE at d=9 is below the edge-query ARE at d=9."""
+    def both():
+        subgraph = fig15_subgraph_vs_d("ipflow", scale, d_values=(9,))
+        edge = fig9_edge_vs_d("ipflow", scale, d_values=(9,))
+        return subgraph[0][1], edge[0][1]
+
+    are_subgraph, are_edge = run_once(benchmark, both)
+    assert are_subgraph <= are_edge

@@ -1,0 +1,69 @@
+"""Fig. 17: construction-time breakdown, CountMin-edge vs TCM.
+
+Expected shape (paper Figs. 17(a-d)): the edge CountMin pays a
+per-element string-concatenation cost that TCM avoids entirely; both
+hash/update costs grow linearly with d.  Plus per-element update
+micro-benchmarks for the two summaries.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines.countmin import EdgeCountMin
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.exp5_efficiency import build_time_breakdown
+from repro.experiments.report import print_table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "ipflow", "gtgraph", "twitter"])
+def test_fig17_breakdown(benchmark, scale, dataset):
+    rows = run_once(benchmark,
+                    lambda: build_time_breakdown(dataset, scale,
+                                                 d_values=(1, 3, 5, 7, 9)))
+    print_table(f"Fig. 17 -- build time breakdown ({dataset}, {scale})",
+                ["d", "CM-string", "CM-hash", "TCM-string", "TCM-hash"],
+                rows)
+    for d, cm_string, cm_hash, tcm_string, tcm_hash in rows:
+        assert cm_string > 0.0
+        assert tcm_string == 0.0
+    assert rows[-1][2] > rows[0][2]  # hash cost grows with d
+    assert rows[-1][4] > rows[0][4]
+
+
+def test_tcm_update_throughput(benchmark, scale):
+    """Per-element TCM update cost (the paper's constant-time claim)."""
+    stream = datasets.ipflow(scale)
+    tcm = TCM(d=5, width=64, seed=1)
+    edges = [(e.source, e.target, e.weight) for e in stream][:2000]
+
+    def ingest_batch():
+        for s, t, w in edges:
+            tcm.update(s, t, w)
+
+    benchmark(ingest_batch)
+
+
+def test_countmin_update_throughput(benchmark, scale):
+    """Per-element edge-CountMin update cost, including concatenation."""
+    stream = datasets.ipflow(scale)
+    cm = EdgeCountMin(5, 4096, seed=1)
+    edges = [(e.source, e.target, e.weight) for e in stream][:2000]
+
+    def ingest_batch():
+        for s, t, w in edges:
+            cm.update(s, t, w)
+
+    benchmark(ingest_batch)
+
+
+def test_vectorized_ingest_throughput(benchmark, scale):
+    """The numpy bulk path that makes Python viable at stream scale."""
+    stream = datasets.ipflow(scale)
+
+    def build():
+        tcm = TCM(d=5, width=64, seed=1)
+        tcm.ingest(stream)
+        return tcm
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

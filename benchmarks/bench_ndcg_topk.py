@@ -1,0 +1,20 @@
+"""Appendix C.3: NDCG of top-k heavy edges and nodes.
+
+Expected shape (paper's C.3 table): ~0.99 across k for both heavy edges
+and heavy nodes on the IP-flow stream.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp2_heavy import ndcg_table
+from repro.experiments.report import print_table
+
+
+def test_ndcg(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: ndcg_table("ipflow", scale, ratio=1 / 3, d=5,
+                                       k_values=(10, 25, 50)))
+    print_table(f"Appendix C.3 -- NDCG of top-k results (ipflow, {scale})",
+                ["k", "heavy edges", "heavy nodes"], rows)
+    for k, ndcg_edges, ndcg_nodes in rows:
+        assert ndcg_edges >= 0.9
+        assert ndcg_nodes >= 0.7

@@ -1,0 +1,43 @@
+"""Extension: the full (ratio x d) accuracy grid and sizing search.
+
+Beyond the paper's one-axis figures -- the grid both axes sweep, plus the
+deployment question it answers: the cheapest configuration meeting an
+error budget.  Sanity: ARE must be monotone along both axes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sweeps import accuracy_grid, cheapest_configuration
+from repro.experiments.report import print_table
+
+D_VALUES = (1, 3, 5)
+
+
+def test_accuracy_grid(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: accuracy_grid("gtgraph", scale,
+                                          d_values=D_VALUES))
+    print_table(f"Extension -- edge-query ARE grid, TCM (gtgraph, {scale})",
+                ["ratio"] + [f"d={d}" for d in D_VALUES], rows)
+    # Monotone in d within every ratio row...
+    for row in rows:
+        errors = list(row[1:])
+        assert errors == sorted(errors, reverse=True)
+    # ...and monotone in compression within every d column.
+    for column in range(1, len(D_VALUES) + 1):
+        errors = [row[column] for row in rows]
+        assert errors == sorted(errors)
+
+
+def test_cheapest_configuration(benchmark, scale):
+    result = run_once(benchmark,
+                      lambda: cheapest_configuration("gtgraph", 1.0, scale,
+                                                     d_values=D_VALUES))
+    headers = ["ratio", "d", "achieved ARE", "total cells"]
+    if result is None:
+        print_table("Extension -- cheapest config for ARE <= 1.0",
+                    headers, [("none", "-", "-", "-")])
+    else:
+        ratio, d, are, cells = result
+        print_table("Extension -- cheapest config for ARE <= 1.0 (gtgraph)",
+                    headers, [(f"1/{round(1 / ratio)}", d, are, cells)])
+        assert are <= 1.0

@@ -1,0 +1,29 @@
+"""Table 2: ARE on IP flow -- CountMin / TCM / gSketch / TCM(edge sample).
+
+Expected shape (paper Table 2): plain CountMin ~ plain TCM; gSketch ~
+TCM(edge sample); sample-partitioning helps most at low d where light
+edges still collide with heavy ones.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import gsketch_comparison
+from repro.experiments.report import print_table
+
+D_VALUES = (1, 3, 5, 7, 9)
+
+
+def test_table2(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: gsketch_comparison("ipflow", scale,
+                                               d_values=D_VALUES))
+    print_table(f"Table 2 -- edge-query ARE, IP flow ({scale})",
+                ["method"] + [f"d={d}" for d in D_VALUES], rows)
+    by_method = {row[0]: row[1:] for row in rows}
+    # Plain TCM tracks plain CountMin at every d.
+    for tcm, cm in zip(by_method["TCM"], by_method["CountMin"]):
+        assert tcm <= 2.5 * cm + 0.5
+    # Partitioning helps at d=1.
+    assert by_method["gSketch"][0] < by_method["CountMin"][0]
+    # TCM (edge sample) tracks gSketch.
+    for pt, gs in zip(by_method["TCM (edge sample)"], by_method["gSketch"]):
+        assert pt <= 2.5 * gs + 0.5

@@ -1,0 +1,22 @@
+"""Table 3 (Appendix C.1): the analytics-support matrix, probed live.
+
+Expected shape: exactly the paper's matrix -- TCM supports everything;
+one-dimensional sketches support only their own key type.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.capability import QUERY_CLASSES, table3_capabilities
+from repro.experiments.report import print_table
+
+
+def test_table3(benchmark):
+    rows = run_once(benchmark, table3_capabilities)
+    print_table("Table 3 -- analytics supported by different sketches",
+                ["summary", *QUERY_CLASSES], rows)
+    matrix = {row[0]: dict(zip(QUERY_CLASSES, row[1:])) for row in rows}
+    assert all(matrix["TCM"].values())
+    assert matrix["CountMin (edge) / gSketch"]["edge"]
+    assert not matrix["CountMin (edge) / gSketch"]["reachability"]
+    assert matrix["CountMin (node)"]["node"]
+    assert not matrix["sample (edge)"]["node"]
+    assert not matrix["sample (node)"]["edge"]

@@ -1,0 +1,25 @@
+"""Table 4 (Appendix C.2): the gSketch comparison on DBLP.
+
+Expected shape (paper Table 4): the same four-method ordering as Table 2,
+with a *smaller* partitioning benefit -- DBLP's weight range is narrow, so
+separating heavy from light buys less (the paper makes exactly this
+point).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import gsketch_comparison
+from repro.experiments.report import print_table
+
+D_VALUES = (1, 3, 5, 7, 9)
+
+
+def test_table4(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: gsketch_comparison("dblp", scale,
+                                               d_values=D_VALUES))
+    print_table(f"Table 4 -- edge-query ARE, DBLP ({scale})",
+                ["method"] + [f"d={d}" for d in D_VALUES], rows)
+    by_method = {row[0]: row[1:] for row in rows}
+    assert by_method["gSketch"][0] <= by_method["CountMin"][0] * 1.2
+    for pt, gs in zip(by_method["TCM (edge sample)"], by_method["gSketch"]):
+        assert pt <= 3.0 * gs + 0.5

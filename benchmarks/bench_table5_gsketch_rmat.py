@@ -1,0 +1,24 @@
+"""Table 5 (Appendix C.2): the gSketch comparison on GTGraph (R-MAT).
+
+Expected shape (paper Table 5): same ordering as Table 2; the benefit of
+partitioning is significant because the Zipfian multiplicities give a
+wide weight range.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.exp1_edge import gsketch_comparison
+from repro.experiments.report import print_table
+
+D_VALUES = (1, 3, 5, 7, 9)
+
+
+def test_table5(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: gsketch_comparison("gtgraph", scale,
+                                               d_values=D_VALUES))
+    print_table(f"Table 5 -- edge-query ARE, GTGraph ({scale})",
+                ["method"] + [f"d={d}" for d in D_VALUES], rows)
+    by_method = {row[0]: row[1:] for row in rows}
+    assert by_method["gSketch"][0] < by_method["CountMin"][0]
+    for tcm, cm in zip(by_method["TCM"], by_method["CountMin"]):
+        assert tcm <= 2.5 * cm + 0.5

@@ -1,0 +1,32 @@
+"""Extension: workload fingerprints of the evaluation datasets.
+
+Sanity constraints tying the generators to the paper's dataset
+descriptions: IP-flow weights span orders of magnitude (Fig. 8(b)),
+all weight distributions are skewed, the bottom-k distinct estimate
+tracks the truth, and the co-authorship graph closes triads far more
+than the traffic graph.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.profiles import PROFILE_HEADERS, profile_table
+from repro.experiments.report import print_table
+
+
+def test_dataset_profiles(benchmark, scale):
+    rows = run_once(benchmark, lambda: profile_table(scale=scale))
+    print_table(f"Extension -- dataset fingerprints ({scale})",
+                list(PROFILE_HEADERS), rows)
+    by_name = {row[0]: row for row in rows}
+
+    # IP-flow weights span orders of magnitude; dblp's stay narrow.
+    assert by_name["ipflow"][5] > 2.0
+    assert by_name["dblp"][5] < 2.5
+
+    # bottom-k distinct-edge estimates within 25% of the truth.
+    for row in rows:
+        exact, estimate = row[3], row[4]
+        assert abs(estimate - exact) / exact < 0.25
+
+    # Co-authorship (papers = small cliques) closes triads far more than
+    # the traffic graph.
+    assert by_name["dblp"][9] > by_name["ipflow"][9]

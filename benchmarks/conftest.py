@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md) and measures the dominant operation
+with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced tables.  Scale defaults to ``tiny`` so the
+whole suite finishes in minutes; set ``REPRO_BENCH_SCALE=small`` for the
+higher-fidelity numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Benchmark a whole experiment driver with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

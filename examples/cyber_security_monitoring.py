@@ -1,0 +1,71 @@
+"""Cyber-security monitoring over an IP-flow stream.
+
+The paper's lead application (Sections 1, 4.2, B.1): watch a backbone
+packet trace in real time and surface
+
+- heavy edges (suspicious host pairs exchanging the most bytes),
+- heavy nodes (DoS targets: hosts receiving the most traffic),
+- conditional heavy hitters (for each DoS target, *who* floods it), and
+- a sliding window so old traffic ages out of the summary.
+
+Everything runs on sublinear-space TCM sketches -- the trace itself is
+never stored.
+
+Run:  python examples/cyber_security_monitoring.py
+"""
+
+from repro import (
+    TCM,
+    ConditionalHeavyHitterMonitor,
+    HeavyEdgeMonitor,
+    SlidingWindow,
+)
+from repro.streams.generators import ipflow_like
+
+
+def main() -> None:
+    trace = ipflow_like(n_hosts=400, n_packets=8000, seed=2016)
+    print(f"trace: {len(trace)} packets between {len(trace.nodes)} hosts, "
+          f"{trace.total_weight() / 1e6:.1f} MB total")
+
+    # -- heavy host pairs, tracked online ----------------------------------
+    edge_monitor = HeavyEdgeMonitor(TCM(d=5, width=72, seed=1), k=5)
+    edge_monitor.consume(trace)
+    print("\ntop-5 suspicious host pairs (bytes, estimated):")
+    for (src, dst), estimate in edge_monitor.top():
+        exact = trace.edge_weight(src, dst)
+        print(f"  {src} -> {dst}: ~{estimate / 1e3:.0f} KB "
+              f"(exact {exact / 1e3:.0f} KB)")
+
+    # -- conditional heavy hitters: DoS targets and their flooders ---------
+    chh = ConditionalHeavyHitterMonitor(TCM(d=5, width=72, seed=2),
+                                        k=3, l=3, direction="in")
+    chh.consume(trace)
+    print("\ntop-3 flooded hosts and their top-3 flooders:")
+    for victim, in_bytes, flooders in chh.top():
+        print(f"  {victim} (~{in_bytes / 1e3:.0f} KB in)")
+        for flooder, volume in flooders:
+            print(f"      <- {flooder} (~{volume / 1e3:.0f} KB)")
+
+    # -- reachability: is there a forwarding path between two hosts? -------
+    tcm = TCM.from_stream(trace, d=5, width=128, seed=3)
+    hosts = sorted(trace.nodes)
+    a, b = hosts[0], hosts[-1]
+    print(f"\nreachability monitoring: {a} -> {b}: {tcm.reachable(a, b)} "
+          f"(exact: {trace.reachable(a, b)})")
+
+    # -- sliding window: the summary tracks only the last 2000 time units --
+    window = SlidingWindow(TCM(d=4, width=72, seed=4), horizon=2000.0)
+    for packet in trace:
+        window.observe(packet)
+    first, last = trace[0], trace[len(trace) - 1]
+    print("\nafter the sliding window pass:")
+    print(f"  earliest flow {first.source}->{first.target} in window? "
+          f"{window.summary.edge_weight(first.source, first.target) > 0}")
+    print(f"  latest flow   {last.source}->{last.target} in window? "
+          f"{window.summary.edge_weight(last.source, last.target) > 0}")
+    print(f"  live elements: {len(window)} / {len(trace)}")
+
+
+if __name__ == "__main__":
+    main()

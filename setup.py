@@ -1,0 +1,8 @@
+"""Legacy setup shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has setuptools but no `wheel`, which PEP 660 editables need).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro: TCM graph-stream summarization (SIGMOD 2016 reproduction).
+
+Quickstart::
+
+    from repro import TCM, GraphStream
+
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 1.0)
+    stream.add("b", "d", 1.0)
+
+    tcm = TCM.from_stream(stream, d=4, width=64, seed=7)
+    tcm.edge_weight("a", "b")     # ~1.0
+    tcm.out_flow("a")             # ~1.0
+    tcm.reachable("a", "d")       # True
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    TCM,
+    Aggregation,
+    BoundWildcard,
+    ConditionalHeavyHitterMonitor,
+    GraphSketch,
+    HeavyEdgeMonitor,
+    HeavyNodeMonitor,
+    SubgraphQuery,
+    WILDCARD,
+    SketchFilteredStore,
+    SnapshotRing,
+    TensorSketch,
+    TimeDecayedTCM,
+    Wildcard,
+    heavy_triangle_connections,
+    load_tcm,
+    save_tcm,
+    sketch_distance,
+    top_changed_cells,
+    top_changed_edges,
+)
+from repro.streams import GraphStream, SlidingWindow, StreamEdge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TCM",
+    "GraphSketch",
+    "Aggregation",
+    "GraphStream",
+    "StreamEdge",
+    "SlidingWindow",
+    "SubgraphQuery",
+    "Wildcard",
+    "BoundWildcard",
+    "WILDCARD",
+    "HeavyEdgeMonitor",
+    "HeavyNodeMonitor",
+    "ConditionalHeavyHitterMonitor",
+    "heavy_triangle_connections",
+    "save_tcm",
+    "load_tcm",
+    "TensorSketch",
+    "SnapshotRing",
+    "SketchFilteredStore",
+    "TimeDecayedTCM",
+    "sketch_distance",
+    "top_changed_cells",
+    "top_changed_edges",
+    "__version__",
+]

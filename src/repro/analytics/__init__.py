@@ -1,0 +1,49 @@
+"""Black-box graph algorithms runnable on sketches or exact graphs.
+
+The paper's central claim (Section 4, "Wrap-Up") is that off-the-shelf
+graph algorithms run unmodified on a TCM sketch because the sketch *is* a
+graph: ``M(G) ~ merge(M(S1), ..., M(Sd))``.  We realize that by defining a
+tiny :class:`~repro.analytics.views.GraphView` interface and implementing
+every algorithm against it; adapters expose both the exact
+:class:`~repro.streams.model.GraphStream` and each graphical
+:class:`~repro.core.graph_sketch.GraphSketch` as views.
+"""
+
+from repro.analytics.views import GraphView, SketchView, StreamView
+from repro.analytics.communities import label_propagation, modularity
+from repro.analytics.components import (
+    count_components,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.analytics.neighborhood import (
+    common_neighbours,
+    jaccard_similarity,
+    k_hop_neighbourhood,
+)
+from repro.analytics.reachability import reach
+from repro.analytics.paths import shortest_path, shortest_path_weight
+from repro.analytics.subgraph import match_subgraph, subgraph_weight
+from repro.analytics.pagerank import pagerank
+from repro.analytics.triangles import count_triangles
+
+__all__ = [
+    "GraphView",
+    "SketchView",
+    "StreamView",
+    "reach",
+    "shortest_path",
+    "shortest_path_weight",
+    "match_subgraph",
+    "subgraph_weight",
+    "pagerank",
+    "count_triangles",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "count_components",
+    "k_hop_neighbourhood",
+    "common_neighbours",
+    "jaccard_similarity",
+    "label_propagation",
+    "modularity",
+]

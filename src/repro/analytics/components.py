@@ -1,0 +1,112 @@
+"""Connected-component algorithms on graph views.
+
+Connectivity over streams is a founding problem of the graph-stream
+literature (the paper cites Feigenbaum et al.'s semi-streaming work); on
+a TCM it becomes plain graph computation over the sketch.  Component
+structure over-approximates under hashing the same way reachability does:
+nodes connected in the stream are connected in every sketch, so sketch
+components are unions of true components (never splits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.analytics.views import GraphView, Node
+
+
+def weakly_connected_components(view: GraphView) -> List[Set[Node]]:
+    """Components of the undirected closure, largest first.
+
+    Isolated vertices (no incident positive-weight edge) form singleton
+    components.
+    """
+    neighbours: Dict[Node, Set[Node]] = {node: set() for node in view.nodes()}
+    for node in list(neighbours):
+        for succ in view.successors(node):
+            neighbours[node].add(succ)
+            neighbours.setdefault(succ, set()).add(node)
+
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in neighbours:
+        if start in seen:
+            continue
+        component: Set[Node] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node in component:
+                continue
+            component.add(node)
+            frontier.extend(neighbours[node] - component)
+        seen |= component
+        components.append(component)
+    components.sort(key=lambda c: (-len(c), repr(sorted(c, key=repr)[:1])))
+    return components
+
+
+def strongly_connected_components(view: GraphView) -> List[Set[Node]]:
+    """Tarjan's SCCs (iterative), largest first."""
+    index_of: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[Set[Node]] = []
+    counter = 0
+
+    for root in list(view.nodes()):
+        if root in index_of:
+            continue
+        # Iterative Tarjan: work items are (node, iterator over succs).
+        work = [(root, iter(list(view.successors(root))))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(view.successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    components.sort(key=lambda c: (-len(c), repr(sorted(c, key=repr)[:1])))
+    return components
+
+
+def count_components(view: GraphView, strongly: bool = False) -> int:
+    """Number of (weakly or strongly) connected components."""
+    finder = (strongly_connected_components if strongly
+              else weakly_connected_components)
+    return len(finder(view))
+
+
+def same_component(view: GraphView, a: Node, b: Node) -> bool:
+    """Whether two vertices share a weakly connected component."""
+    for component in weakly_connected_components(view):
+        if a in component:
+            return b in component
+    return False

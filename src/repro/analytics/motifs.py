@@ -1,0 +1,99 @@
+"""Small-motif census on graph views.
+
+Triangles are one corner of the triad census; network analysis also leans
+on wedges (length-2 paths), feed-forward versus cyclic triads, and
+reciprocated pairs.  These run on exact streams and on sketches like all
+view algorithms; on sketches the counts are collision-distorted in both
+directions (see :mod:`repro.analytics.triangles`), but relative motif
+profiles remain a useful fingerprint of the summarized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.analytics.views import GraphView, Node
+
+
+@dataclass(frozen=True)
+class TriadCensus:
+    """Counts of the directed 3-node motifs this module distinguishes."""
+
+    wedges_out: int        # a -> b, a -> c   (common source)
+    wedges_in: int         # b -> a, c -> a   (common target)
+    paths: int             # a -> b -> c      (chain, no closing edge)
+    feed_forward: int      # a -> b -> c with a -> c
+    cycles: int            # a -> b -> c -> a
+
+    @property
+    def closure_ratio(self) -> float:
+        """Fraction of chains that close into any triangle motif."""
+        open_chains = self.paths + self.feed_forward + self.cycles
+        if open_chains == 0:
+            return 0.0
+        return (self.feed_forward + self.cycles) / open_chains
+
+
+def count_reciprocated_pairs(view: GraphView) -> int:
+    """Unordered pairs with edges in both directions."""
+    count = 0
+    for node in view.nodes():
+        for succ in view.successors(node):
+            if succ == node:
+                continue
+            if repr(succ) > repr(node) and view.has_edge(succ, node):
+                count += 1
+    return count
+
+
+def count_wedges(view: GraphView, kind: str = "out") -> int:
+    """Length-2 stars: ``out`` = common source, ``in`` = common target."""
+    if kind not in ("out", "in"):
+        raise ValueError(f"kind must be 'out' or 'in', got {kind!r}")
+    if kind == "out":
+        degrees = [len([s for s in view.successors(node) if s != node])
+                   for node in view.nodes()]
+    else:
+        incoming: Dict[Node, int] = {}
+        for node in view.nodes():
+            for succ in view.successors(node):
+                if succ != node:
+                    incoming[succ] = incoming.get(succ, 0) + 1
+        degrees = list(incoming.values())
+    return sum(d * (d - 1) // 2 for d in degrees)
+
+
+def triad_census(view: GraphView) -> TriadCensus:
+    """Count the directed 3-node motifs of the view.
+
+    Chains ``a -> b -> c`` (a, b, c distinct) are classified by their
+    closing edge: none (`paths`), ``a -> c`` (`feed_forward`) or
+    ``c -> a`` (`cycles`, counted once per cyclic triangle).  A chain
+    whose closure has *both* edges counts toward both closed motifs.
+    """
+    paths = feed_forward = cycle_chains = 0
+    successors: Dict[Node, Set[Node]] = {
+        node: {s for s in view.successors(node) if s != node}
+        for node in view.nodes()
+    }
+    for a in successors:
+        for b in successors[a]:
+            for c in successors.get(b, ()):
+                if c == a or c == b:
+                    continue
+                closing_forward = c in successors[a]
+                closing_back = a in successors.get(c, ())
+                if closing_forward:
+                    feed_forward += 1
+                if closing_back:
+                    cycle_chains += 1
+                if not closing_forward and not closing_back:
+                    paths += 1
+    return TriadCensus(
+        wedges_out=count_wedges(view, "out"),
+        wedges_in=count_wedges(view, "in"),
+        paths=paths,
+        feed_forward=feed_forward,
+        cycles=cycle_chains // 3,  # each cyclic triangle has 3 chains
+    )

@@ -1,0 +1,98 @@
+"""Neighbourhood analytics on graph views.
+
+k-hop neighbourhood sizes and common-neighbour queries -- the building
+blocks of ego-network analysis and of the paper's triangle-flavoured
+queries (a common neighbour of ``(x, y)`` is exactly a triangle
+candidate).  Like everything in this package they run on exact streams
+and on graphical sketches alike; on sketches the answers are in
+super-node units and over-approximate connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.analytics.views import GraphView, Node
+
+
+def k_hop_neighbourhood(view: GraphView, start: Node, k: int,
+                        directed: bool = True) -> Set[Node]:
+    """Vertices within ``k`` forward hops of ``start`` (excluding it).
+
+    :param directed: when False, traverse edges in both directions
+        (requires only ``successors``; sketch views for undirected
+        streams already expose symmetric successors).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    reached: Set[Node] = set()
+    frontier = deque([(start, 0)])
+    visited = {start}
+    predecessors: Dict[Node, List[Node]] = {}
+    if not directed:
+        # Build a reverse index once; views only expose successors.
+        for node in view.nodes():
+            for succ in view.successors(node):
+                predecessors.setdefault(succ, []).append(node)
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == k:
+            continue
+        neighbours = list(view.successors(node))
+        if not directed:
+            neighbours.extend(predecessors.get(node, ()))
+        for succ in neighbours:
+            if succ not in visited:
+                visited.add(succ)
+                reached.add(succ)
+                frontier.append((succ, depth + 1))
+    return reached
+
+
+def neighbourhood_sizes(view: GraphView, start: Node,
+                        max_k: int) -> List[int]:
+    """``[|N_1|, |N_2|, ..., |N_max_k|]`` cumulative k-hop sizes."""
+    return [len(k_hop_neighbourhood(view, start, k))
+            for k in range(1, max_k + 1)]
+
+
+def common_neighbours(view: GraphView, a: Node, b: Node,
+                      direction: str = "out") -> Set[Node]:
+    """Vertices adjacent to both ``a`` and ``b``.
+
+    :param direction: ``"out"`` (successors of both), ``"in"``
+        (predecessors of both -- computed by scanning, views have no
+        predecessor index) or ``"any"``.
+    """
+    if direction not in ("out", "in", "any"):
+        raise ValueError(f"direction must be 'out'/'in'/'any', got {direction!r}")
+    if direction == "out":
+        shared = set(view.successors(a)) & set(view.successors(b))
+    elif direction == "in":
+        shared = {node for node in view.nodes()
+                  if view.has_edge(node, a) and view.has_edge(node, b)}
+    else:
+        out_a = set(view.successors(a))
+        out_b = set(view.successors(b))
+        in_a = {n for n in view.nodes() if view.has_edge(n, a)}
+        in_b = {n for n in view.nodes() if view.has_edge(n, b)}
+        shared = (out_a | in_a) & (out_b | in_b)
+    shared.discard(a)
+    shared.discard(b)
+    return shared
+
+
+def jaccard_similarity(view: GraphView, a: Node, b: Node) -> float:
+    """Neighbourhood Jaccard similarity of two vertices (out-edges).
+
+    A standard link-prediction feature; on a sketch it compares
+    super-node neighbourhoods, which over-merge but preserve strong
+    similarity signals.
+    """
+    neighbours_a = set(view.successors(a))
+    neighbours_b = set(view.successors(b))
+    union = neighbours_a | neighbours_b
+    if not union:
+        return 0.0
+    return len(neighbours_a & neighbours_b) / len(union)

@@ -1,0 +1,75 @@
+"""Weighted shortest paths on graph views.
+
+Motivated by the paper's IP-routing application (Section 4.3): determining
+the path of data flows needs edge weights, not just connectivity.  Like
+``reach()``, this is an off-the-shelf algorithm the TCM layer runs per
+sketch and merges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.views import GraphView, Node
+
+
+def shortest_path_weight(view: GraphView, source: Node, target: Node) -> float:
+    """Dijkstra shortest-path weight from ``source`` to ``target``.
+
+    Returns ``math.inf`` when ``target`` is unreachable.  All edge weights
+    in the stream model are non-negative, so Dijkstra applies directly.
+    """
+    if source == target:
+        return 0.0
+    distances: Dict[Node, float] = {source: 0.0}
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 1  # tie-breaker so heterogeneous nodes never get compared
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node == target:
+            return dist
+        if dist > distances.get(node, math.inf):
+            continue
+        for succ in view.successors(node):
+            weight = view.edge_weight(node, succ)
+            if weight <= 0:
+                continue
+            candidate = dist + weight
+            if candidate < distances.get(succ, math.inf):
+                distances[succ] = candidate
+                heapq.heappush(heap, (candidate, counter, succ))
+                counter += 1
+    return math.inf
+
+
+def shortest_path(view: GraphView, source: Node, target: Node) -> Optional[List[Node]]:
+    """The actual node sequence of a shortest path, or ``None``."""
+    if source == target:
+        return [source]
+    distances: Dict[Node, float] = {source: 0.0}
+    parents: Dict[Node, Node] = {}
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node == target:
+            path = [node]
+            while node in parents:
+                node = parents[node]
+                path.append(node)
+            return list(reversed(path))
+        if dist > distances.get(node, math.inf):
+            continue
+        for succ in view.successors(node):
+            weight = view.edge_weight(node, succ)
+            if weight <= 0:
+                continue
+            candidate = dist + weight
+            if candidate < distances.get(succ, math.inf):
+                distances[succ] = candidate
+                parents[succ] = node
+                heapq.heappush(heap, (candidate, counter, succ))
+                counter += 1
+    return None

@@ -1,0 +1,36 @@
+"""Reachability as a black-box algorithm (paper Section 4.3, step P1).
+
+``reach(view, a, b)`` is the off-the-shelf primitive the paper invokes per
+sketch; the TCM layer conjoins the per-sketch answers (step P2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Set
+
+from repro.analytics.views import GraphView, Node
+
+
+def reach(view: GraphView, source: Node, target: Node,
+          max_hops: Optional[int] = None) -> bool:
+    """BFS reachability from ``source`` to ``target`` on any graph view.
+
+    :param max_hops: optional hop bound, turning the query into
+        "reachable within k hops" (useful for bounded monitoring).
+    """
+    if source == target:
+        return True
+    frontier = deque([(source, 0)])
+    visited: Set[Node] = {source}
+    while frontier:
+        node, depth = frontier.popleft()
+        if max_hops is not None and depth >= max_hops:
+            continue
+        for succ in view.successors(node):
+            if succ == target:
+                return True
+            if succ not in visited:
+                visited.add(succ)
+                frontier.append((succ, depth + 1))
+    return False

@@ -1,0 +1,165 @@
+"""Subgraph matching on graph views (the ``subgraph()`` black box, §4.4).
+
+Evaluates a :class:`~repro.core.queries.SubgraphQuery` against any
+:class:`~repro.analytics.views.GraphView` by backtracking over variable
+assignments:
+
+- constant terms are pinned to the view node they map to;
+- each *free* wildcard occurrence is an independent variable;
+- bound wildcards with equal tags share one variable (paper query Q6).
+
+A match is an assignment under which every query edge exists with positive
+weight; its weight is the sum of its constituent edge weights, and
+``subgraph_weight`` totals that over all distinct matches.  For a query
+with no wildcards this collapses to the paper's base semantics: the sum of
+the explicit edges' weights, or 0 if any edge is missing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analytics.views import GraphView, Node
+from repro.core.queries import (
+    BoundWildcard,
+    QueryEdge,
+    SubgraphQuery,
+    Term,
+    Wildcard,
+    is_wildcard,
+)
+
+# A resolved query edge: each endpoint is either ("const", node) or
+# ("var", variable-id).
+_Endpoint = Tuple[str, object]
+
+
+def _resolve_terms(query: SubgraphQuery,
+                   node_of: Callable[[object], Node]) -> Tuple[List[Tuple[_Endpoint, _Endpoint]], int]:
+    """Rewrite query terms into constants / variable ids.
+
+    Returns the rewritten edges and the number of variables.
+    """
+    var_ids: Dict[str, int] = {}
+    free_counter = itertools.count()
+    edges: List[Tuple[_Endpoint, _Endpoint]] = []
+
+    def endpoint(term: Term) -> _Endpoint:
+        if isinstance(term, BoundWildcard):
+            if term.tag not in var_ids:
+                var_ids[term.tag] = len(var_ids)
+            return ("var", var_ids[term.tag])
+        if isinstance(term, Wildcard):
+            # A fresh variable per free-wildcard occurrence.
+            var_ids[f"__free_{next(free_counter)}"] = len(var_ids)
+            return ("var", len(var_ids) - 1)
+        return ("const", node_of(term))
+
+    for a, b in query:
+        edges.append((endpoint(a), endpoint(b)))
+    return edges, len(var_ids)
+
+
+def match_subgraph(view: GraphView, query: SubgraphQuery,
+                   node_of: Optional[Callable[[object], Node]] = None,
+                   max_matches: Optional[int] = None) -> Iterator[Dict[int, Node]]:
+    """Yield variable assignments (var-id -> view node) for every match.
+
+    Queries without wildcards yield at most one (empty) assignment.
+
+    :param node_of: maps query constants to view nodes; identity for exact
+        stream views, ``SketchView.node_of`` for sketches.
+    :param max_matches: stop after this many matches (guards against
+        explosion on dense compressed sketches).
+    """
+    node_of = node_of if node_of is not None else (lambda label: label)
+    edges, n_vars = _resolve_terms(query, node_of)
+
+    # Order edges so that each new edge shares as many already-bound
+    # variables as possible (cheap greedy join ordering).
+    ordered: List[Tuple[_Endpoint, _Endpoint]] = []
+    remaining = list(edges)
+    bound_vars: set = set()
+    while remaining:
+        def bound_count(edge: Tuple[_Endpoint, _Endpoint]) -> int:
+            score = 0
+            for kind, value in edge:
+                if kind == "const" or value in bound_vars:
+                    score += 1
+            return score
+        best = max(remaining, key=bound_count)
+        remaining.remove(best)
+        ordered.append(best)
+        for kind, value in best:
+            if kind == "var":
+                bound_vars.add(value)
+
+    yielded = 0
+
+    def backtrack(index: int, assignment: Dict[int, Node]) -> Iterator[Dict[int, Node]]:
+        nonlocal yielded
+        if max_matches is not None and yielded >= max_matches:
+            return
+        if index == len(ordered):
+            yielded += 1
+            yield dict(assignment)
+            return
+        (src_kind, src_val), (dst_kind, dst_val) = ordered[index]
+
+        def src_candidates() -> Sequence[Node]:
+            if src_kind == "const":
+                return [src_val]
+            if src_val in assignment:
+                return [assignment[src_val]]
+            return list(view.nodes())
+
+        for src in src_candidates():
+            src_was_new = src_kind == "var" and src_val not in assignment
+            if src_was_new:
+                assignment[src_val] = src
+
+            if dst_kind == "const":
+                dst_options: Sequence[Node] = [dst_val]
+            elif dst_val in assignment:
+                dst_options = [assignment[dst_val]]
+            else:
+                dst_options = list(view.successors(src))
+
+            for dst in dst_options:
+                if view.edge_weight(src, dst) <= 0:
+                    continue
+                dst_was_new = dst_kind == "var" and dst_val not in assignment
+                if dst_was_new:
+                    assignment[dst_val] = dst
+                yield from backtrack(index + 1, assignment)
+                if dst_was_new:
+                    del assignment[dst_val]
+                if max_matches is not None and yielded >= max_matches:
+                    break
+            if src_was_new:
+                del assignment[src_val]
+            if max_matches is not None and yielded >= max_matches:
+                break
+
+    yield from backtrack(0, {})
+
+
+def subgraph_weight(view: GraphView, query: SubgraphQuery,
+                    node_of: Optional[Callable[[object], Node]] = None,
+                    max_matches: Optional[int] = None) -> float:
+    """Aggregate subgraph weight ``f_g(Q)`` on one view (step S1, §4.4).
+
+    Sum, over every match, of the match's constituent edge weights.  For
+    wildcard-free queries this is the paper's base semantics (0 when the
+    query graph has no exact match).
+    """
+    node_of = node_of if node_of is not None else (lambda label: label)
+    edges, _ = _resolve_terms(query, node_of)
+    total = 0.0
+    for assignment in match_subgraph(view, query, node_of, max_matches):
+        for (src_kind, src_val), (dst_kind, dst_val) in edges:
+            src = src_val if src_kind == "const" else assignment[src_val]
+            dst = dst_val if dst_kind == "const" else assignment[dst_val]
+            total += view.edge_weight(src, dst)
+    return total

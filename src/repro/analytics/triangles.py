@@ -1,0 +1,47 @@
+"""Triangle counting on graph views.
+
+Triangle counting over streams is a classic hard problem (paper Related
+Work cites Braverman et al. and DOULION); on a TCM it becomes a plain
+graph computation over the sketch.  Note that node merging distorts the
+count in both directions -- collisions manufacture triangles out of
+unrelated edges and destroy triangles whose corners collapse into one
+bucket -- so the per-sketch counts are estimates, not bounds.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.views import GraphView
+
+
+def count_triangles(view: GraphView, directed: bool = True) -> int:
+    """Count triangles in the view.
+
+    Directed: cyclic triangles ``u -> v -> w -> u`` (each counted once).
+    Undirected: unordered triples with all three symmetric edges (the view
+    is expected to be symmetric, as undirected sketches/streams are).
+    """
+    nodes = list(view.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    count = 0
+    if directed:
+        for u in nodes:
+            for v in view.successors(u):
+                if v == u:
+                    continue
+                for w in view.successors(v):
+                    if w == u or w == v:
+                        continue
+                    if view.has_edge(w, u):
+                        count += 1
+        # Every cyclic triangle is discovered from each of its 3 rotations.
+        return count // 3
+    for u in nodes:
+        for v in view.successors(u):
+            if index.get(v, -1) <= index[u]:
+                continue
+            for w in view.successors(v):
+                if index.get(w, -1) <= index[v]:
+                    continue
+                if view.has_edge(w, u):
+                    count += 1
+    return count

@@ -1,0 +1,98 @@
+"""Uniform read-only graph interface over sketches and exact streams.
+
+Every analytics algorithm in this package is written once against
+:class:`GraphView` and therefore runs both on the ground truth
+(:class:`StreamView`) and on each constituent sketch of a TCM
+(:class:`SketchView`) -- exactly the black-box reuse the paper advertises.
+
+A view's *nodes* are whatever identifies a vertex in that representation:
+original labels for streams, bucket indices for sketches.  Callers that
+need to run a query phrased in labels against a sketch first map labels to
+buckets with :meth:`SketchView.node_of`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.graph_sketch import GraphSketch
+from repro.streams.model import GraphStream
+
+Node = Hashable
+
+
+class GraphView(abc.ABC):
+    """Minimal weighted-digraph read interface for analytics algorithms."""
+
+    @abc.abstractmethod
+    def nodes(self) -> Iterator[Node]:
+        """All vertices of the view."""
+
+    @abc.abstractmethod
+    def successors(self, node: Node) -> Iterable[Node]:
+        """Vertices with a positive-weight edge out of ``node``."""
+
+    @abc.abstractmethod
+    def edge_weight(self, source: Node, target: Node) -> float:
+        """Aggregated weight of the edge, 0 when absent."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of vertices (for algorithm sizing, e.g. PageRank)."""
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return self.edge_weight(source, target) > 0
+
+
+class SketchView(GraphView):
+    """A graphical :class:`GraphSketch` seen as a weighted digraph.
+
+    Vertices are bucket indices ``0..w-1``.  Only buckets are exposed;
+    translating a query's labels into buckets is the caller's job via
+    :meth:`node_of` (this is precisely the ``h_i[a]`` mapping in the
+    paper's P1/S1 steps).
+    """
+
+    def __init__(self, sketch: GraphSketch):
+        if not sketch.is_graphical:
+            raise ValueError("SketchView requires a graphical (square) sketch")
+        self._sketch = sketch
+
+    @property
+    def sketch(self) -> GraphSketch:
+        return self._sketch
+
+    def node_of(self, label) -> int:
+        return self._sketch.node_of(label)
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self._sketch.rows))
+
+    def successors(self, node: int) -> Iterable[int]:
+        return (int(b) for b in self._sketch.successors(node))
+
+    def edge_weight(self, source: int, target: int) -> float:
+        return self._sketch.bucket_edge_weight(source, target)
+
+    def node_count(self) -> int:
+        return self._sketch.rows
+
+
+class StreamView(GraphView):
+    """The exact aggregated multigraph of a :class:`GraphStream`."""
+
+    def __init__(self, stream: GraphStream):
+        self._stream = stream
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._stream.nodes)
+
+    def successors(self, node: Node) -> Iterable[Node]:
+        return self._stream.successors(node)
+
+    def edge_weight(self, source: Node, target: Node) -> float:
+        return self._stream.edge_weight(source, target)
+
+    def node_count(self) -> int:
+        return len(self._stream.nodes)

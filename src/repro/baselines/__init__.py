@@ -1,0 +1,54 @@
+"""Baseline sketches and stores the paper compares against.
+
+- :class:`~repro.baselines.countmin.CountMinSketch` plus its node/edge
+  specializations (the paper's primary comparator).
+- :class:`~repro.baselines.gsketch.GSketch` -- sample-partitioned CountMin
+  (Zhao et al., PVLDB 2011), and the same partitioning idea applied to TCM
+  (:class:`~repro.baselines.gsketch.PartitionedTCM`, paper Exp-1(e)).
+- :mod:`~repro.baselines.sampling` -- uniform sample-based summaries.
+- :mod:`~repro.baselines.lossy_counting` -- Manku-Motwani approximate
+  frequency counts, the ancestor technique of Example 1.
+- :mod:`~repro.baselines.adjacency` -- exact adjacency-list stores used by
+  the query-time experiment (Appendix C.4).
+"""
+
+from repro.baselines.ams import AmsSketch, EdgeF2Sketch
+from repro.baselines.bottomk import BottomKSketch, DistinctEdgeCounter
+from repro.baselines.countmin import CountMinSketch, EdgeCountMin, NodeCountMin
+from repro.baselines.countsketch import CountSketch, EdgeCountSketch
+from repro.baselines.gsketch import GSketch, PartitionedTCM
+from repro.baselines.spacesaving import (
+    SpaceSaving,
+    SpaceSavingEdges,
+    SpaceSavingNodes,
+)
+from repro.baselines.sampling import (
+    ReservoirEdgeSample,
+    SampledEdgeStore,
+    SampledNodeStore,
+)
+from repro.baselines.lossy_counting import LossyCounter
+from repro.baselines.adjacency import AdjacencyListGraph, HashedAdjacencyGraph
+
+__all__ = [
+    "CountMinSketch",
+    "NodeCountMin",
+    "EdgeCountMin",
+    "GSketch",
+    "PartitionedTCM",
+    "SampledEdgeStore",
+    "SampledNodeStore",
+    "ReservoirEdgeSample",
+    "LossyCounter",
+    "AdjacencyListGraph",
+    "HashedAdjacencyGraph",
+    "AmsSketch",
+    "EdgeF2Sketch",
+    "CountSketch",
+    "EdgeCountSketch",
+    "BottomKSketch",
+    "DistinctEdgeCounter",
+    "SpaceSaving",
+    "SpaceSavingEdges",
+    "SpaceSavingNodes",
+]

@@ -1,0 +1,115 @@
+"""CountSketch (Charikar, Chen & Farach-Colton, ICALP 2002).
+
+The sign-hashed sibling of CountMin: each update adds ``s(key) * weight``
+to one bucket per row (``s`` a 4-wise independent sign), and the estimate
+is the *median* of the signed bucket reads.  Unlike CountMin/TCM, the
+estimator is **unbiased** -- errors are two-sided instead of one-sided
+over-counts -- which makes it the natural baseline for the bias/variance
+trade-off discussion around Theorem 1, and it tolerates negative updates
+natively (turnstile streams).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.ams import _FourWiseHash
+from repro.hashing.family import HashFamily
+from repro.hashing.labels import Label, label_to_int
+
+
+class CountSketch:
+    """Median-of-signed-buckets frequency estimator.
+
+    :param d: number of rows (use odd values so the median is a cell).
+    :param width: buckets per row.
+    """
+
+    def __init__(self, d: int = 5, width: int = 256,
+                 seed: Optional[int] = 0):
+        if d < 1 or width < 1:
+            raise ValueError(f"d and width must be >= 1, got d={d}, "
+                             f"width={width}")
+        self._buckets = HashFamily.uniform(d, width, seed=seed)
+        rng = random.Random(None if seed is None else seed + 7)
+        self._signs = [_FourWiseHash(rng) for _ in range(d)]
+        self._table = np.zeros((d, width))
+
+    @property
+    def d(self) -> int:
+        return self._table.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self._table.shape[1]
+
+    @property
+    def size_in_cells(self) -> int:
+        return self._table.size
+
+    def update(self, key: Label, weight: float = 1.0) -> None:
+        """Add ``weight`` (may be negative: turnstile model)."""
+        intkey = label_to_int(key)
+        for row, (bucket_hash, sign_hash) in enumerate(
+                zip(self._buckets, self._signs)):
+            column = bucket_hash.hash_int(intkey)
+            self._table[row, column] += weight * sign_hash.sign(intkey)
+
+    def remove(self, key: Label, weight: float = 1.0) -> None:
+        self.update(key, -weight)
+
+    def estimate(self, key: Label) -> float:
+        """Median of the signed bucket reads; unbiased, two-sided error."""
+        intkey = label_to_int(key)
+        reads = []
+        for row, (bucket_hash, sign_hash) in enumerate(
+                zip(self._buckets, self._signs)):
+            column = bucket_hash.hash_int(intkey)
+            reads.append(self._table[row, column] * sign_hash.sign(intkey))
+        return float(statistics.median(reads))
+
+    def clear(self) -> None:
+        self._table.fill(0)
+
+
+class EdgeCountSketch:
+    """CountSketch keyed on concatenated edge labels.
+
+    The unbiased counterpart of
+    :class:`~repro.baselines.countmin.EdgeCountMin`; same query surface
+    (edge weights only), opposite error profile.
+    """
+
+    def __init__(self, d: int = 5, width: int = 256,
+                 seed: Optional[int] = 0, directed: bool = True):
+        self.directed = directed
+        self._cs = CountSketch(d, width, seed=seed)
+
+    @property
+    def size_in_cells(self) -> int:
+        return self._cs.size_in_cells
+
+    def _key(self, source: Label, target: Label) -> str:
+        if not self.directed and repr(source) > repr(target):
+            source, target = target, source
+        return f"{source}\x1f{target}"
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        self._cs.update(self._key(source, target), weight)
+
+    def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        self._cs.remove(self._key(source, target), weight)
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        return self._cs.estimate(self._key(source, target))
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count

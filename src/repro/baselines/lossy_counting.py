@@ -1,0 +1,82 @@
+"""Lossy counting (Manku & Motwani, VLDB 2002).
+
+"Approximate frequency counts" is the ancestor technique the paper's
+Example 1 builds on and CountMin improves.  Included so the baseline
+lineage in Table 3 is complete: a one-dimensional frequency summary with
+deterministic error ``true f <= estimate <= true f + eps*N`` for counts.
+
+We implement the classic bucketed algorithm over item *counts* (the
+weighted generalization adds each item's weight instead of 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+
+class LossyCounter:
+    """Frequency counter with at most ``O(1/epsilon * log(eps*N))`` entries.
+
+    :param epsilon: the frequency error budget as a fraction of the stream
+        length; items with true frequency below ``epsilon * N`` may be
+        dropped entirely.
+    """
+
+    def __init__(self, epsilon: float):
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._bucket_width = math.ceil(1.0 / epsilon)
+        self._current_bucket = 1
+        self._count = 0
+        # item -> (frequency, max undercount delta)
+        self._entries: Dict[Hashable, Tuple[float, int]] = {}
+
+    @property
+    def stream_length(self) -> int:
+        return self._count
+
+    def update(self, item: Hashable, weight: float = 1.0) -> None:
+        """Observe one occurrence of ``item`` (optionally weighted)."""
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        self._count += 1
+        if item in self._entries:
+            frequency, delta = self._entries[item]
+            self._entries[item] = (frequency + weight, delta)
+        else:
+            self._entries[item] = (weight, self._current_bucket - 1)
+        if self._count % self._bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+
+    def _prune(self) -> None:
+        """End-of-bucket cleanup: drop entries that cannot be frequent."""
+        doomed = [item for item, (frequency, delta) in self._entries.items()
+                  if frequency + delta <= self._current_bucket]
+        for item in doomed:
+            del self._entries[item]
+
+    def estimate(self, item: Hashable) -> float:
+        """Estimated frequency; an *under*count by at most ``eps * N``."""
+        entry = self._entries.get(item)
+        return entry[0] if entry is not None else 0.0
+
+    def frequent_items(self, support: float) -> List[Tuple[Hashable, float]]:
+        """Items with estimated frequency at least ``(support - eps) * N``.
+
+        Guaranteed to contain every item whose true frequency exceeds
+        ``support * N`` (no false negatives among the truly frequent).
+        """
+        if not 0 < support < 1:
+            raise ValueError(f"support must be in (0, 1), got {support}")
+        threshold = (support - self.epsilon) * self._count
+        found = [(item, frequency)
+                 for item, (frequency, _) in self._entries.items()
+                 if frequency >= threshold]
+        return sorted(found, key=lambda kv: (-kv[1], repr(kv[0])))
+
+    def __len__(self) -> int:
+        """Number of tracked entries (the space actually used)."""
+        return len(self._entries)

@@ -1,0 +1,184 @@
+"""Sample-based stream summaries.
+
+The second family of baselines in the paper's Section 6.1.2: keep a
+uniform Bernoulli sample of stream elements and scale aggregates by the
+inverse sampling rate.  Sample-based estimates *undercount* (a light edge
+may never be sampled), the opposite bias of CountMin/TCM; the paper uses a
+50% rate and shows samples lose to sketches on heavy-hitter accuracy
+(Fig. 11).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.hashing.labels import Label
+
+
+class SampledEdgeStore:
+    """Uniform edge-sampled summary answering edge and heavy-edge queries.
+
+    :param rate: Bernoulli inclusion probability per stream element.
+    """
+
+    def __init__(self, rate: float, seed: Optional[int] = 0,
+                 directed: bool = True):
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = rate
+        self.directed = directed
+        self._rng = random.Random(seed)
+        self._weights: Dict[Tuple[Label, Label], float] = {}
+
+    def _key(self, source: Label, target: Label) -> Tuple[Label, Label]:
+        if not self.directed and repr(source) > repr(target):
+            return (target, source)
+        return (source, target)
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        if self._rng.random() >= self.rate:
+            return
+        key = self._key(source, target)
+        self._weights[key] = self._weights.get(key, 0.0) + weight
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        """Horvitz-Thompson style estimate: sampled weight / rate."""
+        return self._weights.get(self._key(source, target), 0.0) / self.rate
+
+    def top_edges(self, k: int) -> List[Tuple[Tuple[Label, Label], float]]:
+        ranked = sorted(self._weights.items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        return [(edge, weight / self.rate) for edge, weight in ranked[:k]]
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        """Number of distinct sampled edges currently stored."""
+        return len(self._weights)
+
+
+class ReservoirEdgeSample:
+    """Space-bounded uniform sample: a classic reservoir of stream elements.
+
+    Where :class:`SampledEdgeStore` keeps a *fraction* of the stream (its
+    footprint grows with the stream), the reservoir keeps a fixed number
+    of elements -- the honest same-space comparison against a sketch with
+    the same cell budget.  Estimates are Horvitz-Thompson scaled by
+    ``seen / capacity``.
+    """
+
+    def __init__(self, capacity: int, seed: Optional[int] = 0,
+                 directed: bool = True):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directed = directed
+        self._rng = random.Random(seed)
+        self._seen = 0
+        self._reservoir: List[Tuple[Label, Label, float]] = []
+
+    def _key(self, source: Label, target: Label) -> Tuple[Label, Label]:
+        if not self.directed and repr(source) > repr(target):
+            return (target, source)
+        return (source, target)
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        """Algorithm R: keep each of the first n elements w.p. capacity/n."""
+        self._seen += 1
+        element = (source, target, weight)
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(element)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._reservoir[slot] = element
+
+    @property
+    def scale(self) -> float:
+        """Inverse inclusion probability for Horvitz-Thompson estimates."""
+        kept = min(self._seen, self.capacity)
+        return self._seen / kept if kept else 1.0
+
+    def _aggregates(self) -> Dict[Tuple[Label, Label], float]:
+        weights: Dict[Tuple[Label, Label], float] = {}
+        for source, target, weight in self._reservoir:
+            key = self._key(source, target)
+            weights[key] = weights.get(key, 0.0) + weight
+        return weights
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        return self._aggregates().get(self._key(source, target), 0.0) * self.scale
+
+    def top_edges(self, k: int) -> List[Tuple[Tuple[Label, Label], float]]:
+        ranked = sorted(self._aggregates().items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        return [(edge, weight * self.scale) for edge, weight in ranked[:k]]
+
+    def node_flows(self, direction: str = "in") -> Dict[Label, float]:
+        """Scaled node-flow aggregates from the sampled elements."""
+        flows: Dict[Label, float] = {}
+        for source, target, weight in self._reservoir:
+            if direction in ("in", "both"):
+                flows[target] = flows.get(target, 0.0) + weight
+            if direction in ("out", "both"):
+                flows[source] = flows.get(source, 0.0) + weight
+        return {node: w * self.scale for node, w in flows.items()}
+
+    def top_nodes(self, k: int, direction: str = "in") -> List[Tuple[Label, float]]:
+        ranked = sorted(self.node_flows(direction).items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+
+class SampledNodeStore:
+    """Uniform node-flow sample answering flow and heavy-node queries."""
+
+    def __init__(self, rate: float, seed: Optional[int] = 0,
+                 direction: str = "in"):
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        if direction not in ("in", "out", "both"):
+            raise ValueError(f"direction must be 'in'/'out'/'both', got {direction!r}")
+        self.rate = rate
+        self.direction = direction
+        self._rng = random.Random(seed)
+        self._flows: Dict[Label, float] = {}
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        if self._rng.random() >= self.rate:
+            return
+        if self.direction in ("in", "both"):
+            self._flows[target] = self._flows.get(target, 0.0) + weight
+        if self.direction in ("out", "both"):
+            self._flows[source] = self._flows.get(source, 0.0) + weight
+
+    def flow(self, node: Label) -> float:
+        return self._flows.get(node, 0.0) / self.rate
+
+    def top_nodes(self, k: int) -> List[Tuple[Label, float]]:
+        ranked = sorted(self._flows.items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        return [(node, weight / self.rate) for node, weight in ranked[:k]]
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count

@@ -1,0 +1,133 @@
+"""Space-Saving (Metwally, Agrawal & El Abbadi, ICDT 2005).
+
+The standard counter-based top-k algorithm, and the natural point of
+comparison for the heavy-hitter experiments: where CountMin/TCM hash
+*all* items and rank afterwards, Space-Saving maintains exactly ``k``
+counters and evicts the minimum, guaranteeing
+
+    estimate - error <= true frequency <= estimate
+
+per tracked item and that every item with true frequency above ``N/k``
+is tracked.  Deterministic, no hashing; weighted updates supported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+
+class SpaceSaving:
+    """Exactly-k counters with minimum eviction.
+
+    :param k: number of counters (space budget).
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counts: Dict[Hashable, float] = {}
+        self._errors: Dict[Hashable, float] = {}
+        self._total = 0.0
+
+    @property
+    def total_weight(self) -> float:
+        """Total stream weight observed."""
+        return self._total
+
+    def update(self, item: Hashable, weight: float = 1.0) -> None:
+        """Observe one (weighted) occurrence."""
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        self._total += weight
+        if item in self._counts:
+            self._counts[item] += weight
+            return
+        if len(self._counts) < self.k:
+            self._counts[item] = weight
+            self._errors[item] = 0.0
+            return
+        victim = min(self._counts, key=lambda i: (self._counts[i], repr(i)))
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        # The newcomer inherits the evicted count as its maximum error.
+        self._counts[item] = floor + weight
+        self._errors[item] = floor
+
+    def estimate(self, item: Hashable) -> float:
+        """Estimated frequency (an over-count by at most ``error_of``)."""
+        return self._counts.get(item, 0.0)
+
+    def error_of(self, item: Hashable) -> float:
+        """Upper bound on the over-count of a tracked item's estimate."""
+        return self._errors.get(item, 0.0)
+
+    def guaranteed(self, item: Hashable) -> float:
+        """Guaranteed lower bound on the true frequency."""
+        return self._counts.get(item, 0.0) - self._errors.get(item, 0.0)
+
+    def top(self, n: int) -> List[Tuple[Hashable, float]]:
+        """Top-``n`` tracked items by estimate, heaviest first."""
+        ranked = sorted(self._counts.items(),
+                        key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:n]
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class SpaceSavingEdges:
+    """Space-Saving over graph-stream edges (top-k heavy edges)."""
+
+    def __init__(self, k: int, directed: bool = True):
+        self.directed = directed
+        self._inner = SpaceSaving(k)
+
+    def update(self, source, target, weight: float = 1.0) -> None:
+        if not self.directed and repr(source) > repr(target):
+            source, target = target, source
+        self._inner.update((source, target), weight)
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count
+
+    def top_edges(self, n: int) -> List[Tuple[Tuple, float]]:
+        return self._inner.top(n)
+
+    def edge_weight(self, source, target) -> float:
+        if not self.directed and repr(source) > repr(target):
+            source, target = target, source
+        return self._inner.estimate((source, target))
+
+
+class SpaceSavingNodes:
+    """Space-Saving over node flows (top-k heavy nodes)."""
+
+    def __init__(self, k: int, direction: str = "in"):
+        if direction not in ("in", "out", "both"):
+            raise ValueError(f"direction must be 'in'/'out'/'both', got {direction!r}")
+        self.direction = direction
+        self._inner = SpaceSaving(k)
+
+    def update(self, source, target, weight: float = 1.0) -> None:
+        if self.direction in ("in", "both"):
+            self._inner.update(target, weight)
+        if self.direction in ("out", "both"):
+            self._inner.update(source, weight)
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight)
+            count += 1
+        return count
+
+    def top_nodes(self, n: int) -> List[Tuple[Hashable, float]]:
+        return self._inner.top(n)
+
+    def flow(self, node) -> float:
+        return self._inner.estimate(node)

@@ -1,0 +1,205 @@
+"""The ``tcm`` command-line tool.
+
+An operator-facing front end over the library::
+
+    tcm generate ipflow trace.txt --scale small     # synthetic workload
+    tcm stats trace.txt                             # stream shape report
+    tcm summarize trace.txt sketch.npz --d 5 --width 96
+    tcm info sketch.npz
+    tcm query sketch.npz edge 10.0.0.1 10.0.0.9
+    tcm query sketch.npz reach 10.0.0.1 10.0.0.9
+    tcm query sketch.npz inflow 10.0.0.9
+
+Also available as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.serialization import load_tcm, save_tcm
+from repro.core.tcm import TCM
+from repro.streams.io import read_stream, write_stream
+from repro.streams.stats import summarize, weight_histogram
+
+
+def _cmd_generate(args) -> int:
+    from repro.experiments import datasets
+
+    stream = datasets.by_name(args.dataset, args.scale)
+    count = write_stream(stream, args.output)
+    print(f"wrote {count} elements "
+          f"({'directed' if stream.directed else 'undirected'}) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stream = read_stream(args.stream, directed=not args.undirected)
+    report = summarize(stream)
+    print(f"elements        {report.elements}")
+    print(f"distinct edges  {report.distinct_edges}")
+    print(f"nodes           {report.nodes}")
+    print(f"total weight    {report.total_weight:g}")
+    print(f"edge weights    [{report.min_edge_weight:g}, "
+          f"{report.max_edge_weight:g}] "
+          f"(mean {report.mean_edge_weight:g}, "
+          f"gini {report.weight_gini:.3f})")
+    print(f"degree gini     {report.degree_gini:.3f}")
+    print("\nweight histogram (equal-count buckets):")
+    for low, high, count in weight_histogram(stream, buckets=10):
+        print(f"  [{low:g}, {high:g}]: {count}")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    stream = read_stream(args.stream, directed=not args.undirected)
+    tcm = TCM(d=args.d, width=args.width, seed=args.seed,
+              directed=stream.directed, keep_labels=args.keep_labels)
+    count = tcm.ingest(stream)
+    save_tcm(tcm, args.sketch)
+    ratio = tcm.size_in_cells / max(1, count)
+    print(f"summarized {count} elements into {args.sketch} "
+          f"({tcm.d} x {args.width}x{args.width} cells, "
+          f"{ratio:.2f} cells/element)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    tcm = load_tcm(args.sketch)
+    print(f"sketches     {tcm.d}")
+    for i, sketch in enumerate(tcm.sketches):
+        extended = " extended" if sketch.keeps_labels else ""
+        print(f"  [{i}] {sketch.rows}x{sketch.cols}"
+              f"{' graphical' if sketch.is_graphical else ' non-square'}"
+              f"{extended}")
+    print(f"directed     {tcm.directed}")
+    print(f"aggregation  {tcm.aggregation.value}")
+    print(f"total cells  {tcm.size_in_cells}")
+    print(f"total weight {tcm.total_weight_estimate():g}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    tcm = load_tcm(args.sketch)
+    kind = args.kind
+    if kind == "subgraph":
+        from repro.core.query_parser import parse_subgraph_query
+        query = parse_subgraph_query(args.node1)
+        print(f"{tcm.subgraph_weight(query):g}")
+    elif kind == "edge":
+        if args.node2 is None:
+            raise SystemExit("edge queries need two node labels")
+        print(f"{tcm.edge_weight(args.node1, args.node2):g}")
+    elif kind == "reach":
+        if args.node2 is None:
+            raise SystemExit("reach queries need two node labels")
+        print("reachable" if tcm.reachable(args.node1, args.node2)
+              else "unreachable")
+    elif kind == "outflow":
+        print(f"{tcm.out_flow(args.node1):g}")
+    elif kind == "inflow":
+        print(f"{tcm.in_flow(args.node1):g}")
+    elif kind == "flow":
+        print(f"{tcm.flow(args.node1):g}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown query kind {kind!r}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.core.compare import (
+        sketch_distance,
+        top_changed_cells,
+        top_changed_edges,
+    )
+
+    before = load_tcm(args.before)
+    after = load_tcm(args.after)
+    print(f"L1 distance   {sketch_distance(before, after, 'l1'):g}")
+    print(f"Linf distance {sketch_distance(before, after, 'linf'):g}")
+    if after.sketches[0].keeps_labels and before.sketches[0].keeps_labels:
+        changes = top_changed_edges(before, after, k=args.top)
+        if changes:
+            print("\nbiggest edge changes:")
+            for (x, y), delta in changes:
+                sign = "+" if delta >= 0 else ""
+                print(f"  {x} -> {y}: {sign}{delta:g}")
+    else:
+        cells = top_changed_cells(before, after, k=args.top)
+        if cells:
+            print("\nbiggest cell changes (build with --keep-labels for "
+                  "label decoding):")
+            for (row, col), delta in cells:
+                sign = "+" if delta >= 0 else ""
+                print(f"  cell ({row}, {col}): {sign}{delta:g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tcm",
+        description="TCM graph-stream summarization (SIGMOD'16 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset to a stream file")
+    generate.add_argument("dataset",
+                          choices=("dblp", "ipflow", "gtgraph", "twitter"))
+    generate.add_argument("output")
+    generate.add_argument("--scale", choices=("tiny", "small", "medium"),
+                          default="small")
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="describe a stream file")
+    stats.add_argument("stream")
+    stats.add_argument("--undirected", action="store_true")
+    stats.set_defaults(handler=_cmd_stats)
+
+    summarize_cmd = commands.add_parser(
+        "summarize", help="build a TCM from a stream file")
+    summarize_cmd.add_argument("stream")
+    summarize_cmd.add_argument("sketch")
+    summarize_cmd.add_argument("--d", type=int, default=4)
+    summarize_cmd.add_argument("--width", type=int, default=256)
+    summarize_cmd.add_argument("--seed", type=int, default=0)
+    summarize_cmd.add_argument("--undirected", action="store_true")
+    summarize_cmd.add_argument("--keep-labels", action="store_true",
+                               help="build the extended sketch (§5.1.4)")
+    summarize_cmd.set_defaults(handler=_cmd_summarize)
+
+    info = commands.add_parser("info", help="describe a sketch file")
+    info.add_argument("sketch")
+    info.set_defaults(handler=_cmd_info)
+
+    query = commands.add_parser("query", help="query a sketch file")
+    query.add_argument("sketch")
+    query.add_argument("kind",
+                       choices=("edge", "reach", "outflow", "inflow",
+                                "flow", "subgraph"))
+    query.add_argument("node1",
+                       help="node label; for 'subgraph', the query text, "
+                            "e.g. '*->b, b->c, c->*'")
+    query.add_argument("node2", nargs="?", default=None)
+    query.set_defaults(handler=_cmd_query)
+
+    diff = commands.add_parser(
+        "diff", help="compare two sketch files (graph evolution)")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.add_argument("--top", type=int, default=10,
+                      help="how many changed edges/cells to list")
+    diff.set_defaults(handler=_cmd_diff)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: the TCM graphical sketch.
+
+- :class:`~repro.core.graph_sketch.GraphSketch` -- one hashed adjacency
+  matrix (square or non-square), optionally *extended* with materialized
+  node labels (paper Section 5.1.4).
+- :class:`~repro.core.tcm.TCM` -- the full summary: ``d`` graph sketches
+  under pairwise-independent hash functions, with min/conjunction merging.
+- :mod:`~repro.core.queries` -- subgraph query terms, including wildcards
+  ``*`` and bound wildcards ``*_j`` (paper Section 4.4 extensions).
+- :mod:`~repro.core.heavy_hitters` -- Algorithm 1, conditional heavy
+  hitters.
+- :mod:`~repro.core.triangles` -- Algorithm 2, heavy triangle connections.
+"""
+
+from repro.core.aggregation import Aggregation
+from repro.core.graph_sketch import GraphSketch
+from repro.core.tcm import TCM
+from repro.core.queries import BoundWildcard, SubgraphQuery, Wildcard, WILDCARD
+from repro.core.heavy_hitters import (
+    ConditionalHeavyHitterMonitor,
+    HeavyEdgeMonitor,
+    HeavyNodeMonitor,
+)
+from repro.core.compare import (
+    sketch_distance,
+    top_changed_cells,
+    top_changed_edges,
+)
+from repro.core.decay import TimeDecayedTCM
+from repro.core.filter import SketchFilteredStore
+from repro.core.serialization import load_tcm, save_tcm
+from repro.core.snapshots import SnapshotRing
+from repro.core.tensor import TensorSketch
+from repro.core.triangles import heavy_triangle_connections
+
+__all__ = [
+    "Aggregation",
+    "GraphSketch",
+    "TCM",
+    "Wildcard",
+    "BoundWildcard",
+    "WILDCARD",
+    "SubgraphQuery",
+    "HeavyEdgeMonitor",
+    "HeavyNodeMonitor",
+    "ConditionalHeavyHitterMonitor",
+    "heavy_triangle_connections",
+    "save_tcm",
+    "load_tcm",
+    "TensorSketch",
+    "SnapshotRing",
+    "SketchFilteredStore",
+    "TimeDecayedTCM",
+    "sketch_distance",
+    "top_changed_cells",
+    "top_changed_edges",
+]

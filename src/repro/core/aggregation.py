@@ -1,0 +1,49 @@
+"""Edge-weight aggregation strategies.
+
+Paper Section 3.3: the weight of a sketch edge is an aggregation of all
+stream-edge weights hashed onto it -- ``sum`` by default, but ``min``,
+``max``, ``count`` (and others) are equally valid; which one to use is
+application-determined.
+
+The choice of aggregation dictates two other behaviours that the rest of
+the library needs to know about:
+
+- *merge direction*: how estimates from ``d`` independent sketches combine.
+  ``sum``/``count``/``max`` over-approximate under collisions, so the best
+  combined estimate is the **minimum** across sketches; ``min``
+  under-approximates, so the combined estimate is the **maximum**.
+- *invertibility*: only ``sum`` and ``count`` support deletions (sliding
+  windows); ``min``/``max`` are not invertible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Aggregation(enum.Enum):
+    """How stream-edge weights collapse into one sketch-cell value."""
+
+    SUM = "sum"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def invertible(self) -> bool:
+        """Whether deletions (weight decrements) are supported."""
+        return self in (Aggregation.SUM, Aggregation.COUNT)
+
+    @property
+    def overestimates(self) -> bool:
+        """Whether hash collisions can only inflate a cell value.
+
+        True for sum/count/max; false for min (collisions deflate).
+        The TCM merge uses ``min`` across sketches when this is true and
+        ``max`` when it is false.
+        """
+        return self is not Aggregation.MIN
+
+    def merge(self, estimates) -> float:
+        """Combine per-sketch estimates into the final answer."""
+        return min(estimates) if self.overestimates else max(estimates)

@@ -1,0 +1,106 @@
+"""Comparing sketches: the evolution of graphs (paper Section 7).
+
+Two same-configuration TCMs -- e.g. consecutive buckets of a
+:class:`~repro.core.snapshots.SnapshotRing`, or yesterday's and today's
+summaries -- are cell-for-cell comparable because they share hash
+functions.  That turns "how did the graph change?" into sketch
+arithmetic:
+
+- :func:`sketch_distance` -- L1/L∞ distance between the summarized
+  multigraphs (an over-approximation-safe change magnitude);
+- :func:`top_changed_cells` -- the matrix cells whose aggregated weight
+  moved the most, i.e. *where* the change happened;
+- :func:`top_changed_edges` -- with extended sketches, the changed cells
+  decoded back to candidate label pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tcm import TCM
+
+
+def _check_comparable(before: TCM, after: TCM) -> None:
+    if before.d != after.d:
+        raise ValueError(f"cannot compare TCMs with d={before.d} and "
+                         f"d={after.d}")
+    for mine, theirs in zip(before.sketches, after.sketches):
+        if not mine.compatible_with(theirs):
+            raise ValueError("cannot compare sketches built with different "
+                             "hashes, direction or aggregation")
+
+
+def sketch_distance(before: TCM, after: TCM, order: str = "l1") -> float:
+    """Distance between two same-configuration summaries.
+
+    Per sketch, the matrix difference is taken cell-wise and reduced by
+    ``order`` (``"l1"``: total absolute change; ``"linf"``: largest
+    single-cell change); across the ensemble, the *minimum* is returned,
+    since every sketch over-approximates change the same way it
+    over-approximates weight (colliding changes can only add up).
+    """
+    if order not in ("l1", "linf"):
+        raise ValueError(f"order must be 'l1' or 'linf', got {order!r}")
+    _check_comparable(before, after)
+    distances = []
+    for mine, theirs in zip(before.sketches, after.sketches):
+        difference = np.abs(theirs.matrix - mine.matrix)
+        distances.append(float(difference.sum() if order == "l1"
+                               else difference.max()))
+    return min(distances)
+
+
+def top_changed_cells(before: TCM, after: TCM, k: int = 10,
+                      sketch_index: int = 0
+                      ) -> List[Tuple[Tuple[int, int], float]]:
+    """The k cells of one sketch with the largest absolute weight change.
+
+    Returns ``[((row, col), signed_delta), ...]``, biggest |delta| first.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    _check_comparable(before, after)
+    delta = (after.sketches[sketch_index].matrix
+             - before.sketches[sketch_index].matrix)
+    flat = np.abs(delta).ravel()
+    k = min(k, int((flat > 0).sum()))
+    if k == 0:
+        return []
+    order = np.argsort(-flat, kind="stable")[:k]
+    cols = delta.shape[1]
+    return [((int(i // cols), int(i % cols)),
+             float(delta[i // cols, i % cols])) for i in order]
+
+
+def top_changed_edges(before: TCM, after: TCM, k: int = 10
+                      ) -> List[Tuple[Tuple[object, object], float]]:
+    """Changed cells decoded to candidate label pairs (extended sketches).
+
+    For each of the top changed cells of sketch 0, the materialized
+    labels of its row and column buckets give the candidate endpoints;
+    each candidate pair is re-estimated in *both* summaries with the full
+    ensemble and ranked by the change of its merged estimate.  Requires
+    both TCMs to be extended (``keep_labels=True``).
+    """
+    _check_comparable(before, after)
+    sketch_after = after.sketches[0]
+    if not sketch_after.keeps_labels:
+        raise ValueError("top_changed_edges needs extended sketches; "
+                         "build both TCMs with keep_labels=True")
+    changed: dict = {}
+    for (row, col), _ in top_changed_cells(before, after, k=k):
+        for x in sketch_after.ext(row):
+            for y in sketch_after.ext(col):
+                pair = (x, y)
+                if pair in changed:
+                    continue
+                delta = (after.edge_weight(x, y)
+                         - before.edge_weight(x, y))
+                if delta != 0.0:
+                    changed[pair] = delta
+    ranked = sorted(changed.items(),
+                    key=lambda kv: (-abs(kv[1]), repr(kv[0])))
+    return ranked[:k]

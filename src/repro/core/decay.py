@@ -1,0 +1,126 @@
+"""Exponentially time-decayed TCM (paper Section 7, future work).
+
+"We plan to use it for revisiting a set of graph mining problems, e.g.,
+finding the evolution of graphs."  A time-decayed summary weights each
+element by ``decay ** (now - t)``, so recent structure dominates and old
+structure fades smoothly -- the continuous alternative to the hard cutoff
+of :class:`~repro.streams.window.SlidingWindow`.
+
+Because sum aggregation is linear, decay never needs to touch the
+matrices: the sketch keeps a running scale factor and divides incoming
+weights by it, so advancing time is O(1) and a query is one multiply.
+The scale is renormalized into the matrices whenever it risks floating
+underflow, keeping the structure numerically stable over unbounded time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.hashing.labels import Label
+
+# Renormalize when the running scale leaves this band.
+_RENORM_LOW = 1e-120
+_RENORM_HIGH = 1e120
+
+
+class TimeDecayedTCM:
+    """A TCM whose weights decay exponentially with stream time.
+
+    :param decay: per-time-unit retention factor in (0, 1); e.g. 0.99
+        with seconds as time units halves an edge's weight every ~69 s.
+    :param kwargs: forwarded to :class:`TCM` (d, width, seed, directed).
+        Sum aggregation is required (decay relies on linearity).
+    """
+
+    def __init__(self, decay: float, *, d: int = 4, width: int = 64,
+                 seed: Optional[int] = 0, directed: bool = True):
+        if not 0 < decay < 1:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        self._tcm = TCM(d=d, width=width, seed=seed, directed=directed,
+                        aggregation=Aggregation.SUM)
+        self._now = 0.0
+        # Matrices hold values in "epoch" units; real value = cell * scale.
+        self._scale = 1.0
+
+    @property
+    def now(self) -> float:
+        """The current stream time."""
+        return self._now
+
+    @property
+    def tcm(self) -> TCM:
+        """The underlying summary (cells are in internal scaled units)."""
+        return self._tcm
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move stream time forward; all stored weights decay -- O(1)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move time backwards to {timestamp} "
+                f"(currently {self._now})")
+        self._scale *= self.decay ** (timestamp - self._now)
+        self._now = timestamp
+        if not _RENORM_LOW < self._scale < _RENORM_HIGH:
+            self._renormalize()
+
+    def _renormalize(self) -> None:
+        """Fold the running scale into the matrices (rare, O(cells))."""
+        for sketch in self._tcm.sketches:
+            sketch._matrix *= self._scale
+        self._scale = 1.0
+
+    def observe(self, source: Label, target: Label, weight: float = 1.0,
+                timestamp: Optional[float] = None) -> None:
+        """Ingest one element at ``timestamp`` (default: current time).
+
+        Elements may not arrive out of time order.
+        """
+        if timestamp is not None:
+            self.advance_to(timestamp)
+        # Stored value is weight / scale, so that value * scale == weight
+        # now and decays together with everything else afterwards.
+        self._tcm.update(source, target, weight / self._scale)
+
+    def consume(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.observe(edge.source, edge.target, edge.weight,
+                         edge.timestamp)
+            count += 1
+        return count
+
+    # -- queries (all in decayed units as of `now`) ---------------------------
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        """Decayed aggregated edge weight as of the current time."""
+        return self._tcm.edge_weight(source, target) * self._scale
+
+    def out_flow(self, node: Label) -> float:
+        return self._tcm.out_flow(node) * self._scale
+
+    def in_flow(self, node: Label) -> float:
+        return self._tcm.in_flow(node) * self._scale
+
+    def flow(self, node: Label) -> float:
+        return self._tcm.flow(node) * self._scale
+
+    def total_weight_estimate(self) -> float:
+        return self._tcm.total_weight_estimate() * self._scale
+
+    def reachable(self, source: Label, target: Label) -> bool:
+        """Reachability over edges with any surviving (positive) weight.
+
+        Decay scales all cells uniformly, so topology is unaffected until
+        weights underflow entirely -- reachability equals the undecayed
+        sketch's answer.
+        """
+        return self._tcm.reachable(source, target)
+
+    def half_life(self) -> float:
+        """Time for any weight to halve: ``ln 2 / -ln(decay)``."""
+        return math.log(2.0) / -math.log(self.decay)

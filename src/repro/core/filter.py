@@ -1,0 +1,96 @@
+"""The sketch as a filter for exact query evaluation (paper Section 7).
+
+"Another topic is, instead of treating it as a sketch, we plan to store
+extra information, use it as a filter for general (exact) query
+evaluation."  :class:`SketchFilteredStore` is that design: an exact
+edge store sits behind a TCM, and every point query consults the sketch
+first.  Sum-aggregated estimates never under-count, so
+
+- a zero sketch estimate **proves** the edge is absent -- the exact store
+  is never touched for misses, and
+- the sketch estimate upper-bounds the exact answer, which enables
+  threshold queries ("is this edge heavier than T?") to short-circuit
+  without any exact lookup when the bound is already below T.
+
+On workloads dominated by misses (e.g. probing a firewall's flow table
+for never-seen host pairs) the filter eliminates almost all exact-store
+accesses; the hit/miss accounting is exposed so the benefit is
+measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.hashing.labels import Label
+from repro.streams.model import GraphStream
+
+
+class SketchFilteredStore:
+    """An exact edge store guarded by a TCM filter.
+
+    :param d, width, seed: the filter's TCM configuration.  Sum
+        aggregation is required (the no-undercount guarantee is what
+        makes the filter sound).
+    """
+
+    def __init__(self, d: int = 4, width: int = 256, *,
+                 seed: Optional[int] = 0, directed: bool = True):
+        self._filter = TCM(d=d, width=width, seed=seed, directed=directed,
+                           aggregation=Aggregation.SUM)
+        self._exact = GraphStream(directed=directed)
+        self.exact_lookups = 0
+        self.filtered_misses = 0
+        self.filtered_threshold = 0
+
+    @property
+    def directed(self) -> bool:
+        return self._exact.directed
+
+    @property
+    def sketch(self) -> TCM:
+        return self._filter
+
+    def update(self, source: Label, target: Label, weight: float = 1.0,
+               timestamp: float = 0.0) -> None:
+        """Insert into both the exact store and the filter -- O(d)."""
+        self._exact.add(source, target, weight, timestamp)
+        self._filter.update(source, target, weight)
+
+    def ingest(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.update(edge.source, edge.target, edge.weight,
+                        edge.timestamp)
+            count += 1
+        return count
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        """Exact edge weight, short-circuiting proven misses."""
+        if self._filter.edge_weight(source, target) == 0.0:
+            self.filtered_misses += 1
+            return 0.0
+        self.exact_lookups += 1
+        return self._exact.edge_weight(source, target)
+
+    def edge_heavier_than(self, source: Label, target: Label,
+                          threshold: float) -> bool:
+        """Exact threshold test with sketch short-circuiting.
+
+        The sketch estimate upper-bounds the truth, so an estimate below
+        the threshold answers ``False`` without an exact lookup.
+        """
+        if self._filter.edge_weight(source, target) < threshold:
+            self.filtered_threshold += 1
+            return False
+        self.exact_lookups += 1
+        return self._exact.edge_weight(source, target) >= threshold
+
+    @property
+    def filter_rate(self) -> float:
+        """Fraction of point queries answered without the exact store."""
+        filtered = self.filtered_misses + self.filtered_threshold
+        total = filtered + self.exact_lookups
+        return filtered / total if total else 0.0

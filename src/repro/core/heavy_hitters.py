@@ -1,0 +1,223 @@
+"""Streaming heavy-hitter monitors, including Algorithm 1 of the paper.
+
+All three monitors share a pattern from the paper's experiments
+(Section 6.2 Exp-1(d), Exp-2): while the stream is summarized, a small
+bounded candidate structure tracks the current estimated top-k, so heavy
+items are available at any moment without a scan.
+
+- :class:`HeavyEdgeMonitor` -- top-k edges by estimated aggregated weight.
+- :class:`HeavyNodeMonitor` -- top-k nodes by estimated flow.
+- :class:`ConditionalHeavyHitterMonitor` -- Algorithm 1 (Appendix B.1):
+  top-k heavy nodes, each with its top-l heaviest neighbours.  This is
+  the query class the paper shows CountMin *cannot* answer, because it
+  requires edge-to-node relationships that only a graphical sketch keeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.tcm import TCM
+from repro.hashing.labels import Label
+
+
+def _evict_min(candidates: Dict[Label, float]) -> None:
+    """Drop the minimum-valued entry (ties broken deterministically)."""
+    victim = min(candidates, key=lambda key: (candidates[key], repr(key)))
+    del candidates[victim]
+
+
+def _ranked(candidates: Dict[Label, float]) -> List[Tuple[Label, float]]:
+    return sorted(candidates.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+
+
+class HeavyEdgeMonitor:
+    """Track the estimated top-k heaviest edges while summarizing a stream.
+
+    :param tcm: the summary being built; the monitor feeds it and queries
+        it back for the estimate of each arriving edge (the paper's
+        "priority queue per sketch" protocol, collapsed onto the merged
+        ensemble estimate).
+    :param k: how many edges to track.
+    """
+
+    def __init__(self, tcm: TCM, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.tcm = tcm
+        self.k = k
+        self._candidates: Dict[Tuple[Label, Label], float] = {}
+
+    def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        """Ingest one stream element and refresh the top-k candidates."""
+        self.tcm.update(source, target, weight)
+        if not self.tcm.directed and repr(source) > repr(target):
+            source, target = target, source  # canonical undirected key
+        estimate = self.tcm.edge_weight(source, target)
+        key = (source, target)
+        if key in self._candidates or len(self._candidates) < self.k:
+            self._candidates[key] = estimate
+            return
+        minimum = min(self._candidates.values())
+        if estimate > minimum:
+            _evict_min(self._candidates)
+            self._candidates[key] = estimate
+
+    def consume(self, stream) -> None:
+        """Observe every element of a stream."""
+        for edge in stream:
+            self.observe(edge.source, edge.target, edge.weight)
+
+    def top(self) -> List[Tuple[Tuple[Label, Label], float]]:
+        """Current estimated top-k edges, heaviest first."""
+        return _ranked(self._candidates)[:self.k]
+
+
+class HeavyNodeMonitor:
+    """Track the estimated top-k heaviest nodes by flow.
+
+    :param direction: ``"in"`` / ``"out"`` for directed streams,
+        ``"both"`` for undirected flow.
+    """
+
+    def __init__(self, tcm: TCM, k: int, direction: str = "in"):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if direction not in ("in", "out", "both"):
+            raise ValueError(f"direction must be 'in'/'out'/'both', got {direction!r}")
+        if direction == "both" and tcm.directed:
+            raise ValueError("direction='both' requires an undirected TCM")
+        if direction != "both" and not tcm.directed:
+            raise ValueError(
+                "undirected TCMs track flow with direction='both'")
+        self.tcm = tcm
+        self.k = k
+        self.direction = direction
+        self._candidates: Dict[Label, float] = {}
+
+    def _flow(self, node: Label) -> float:
+        if self.direction == "in":
+            return self.tcm.in_flow(node)
+        if self.direction == "out":
+            return self.tcm.out_flow(node)
+        return self.tcm.flow(node)
+
+    def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        self.tcm.update(source, target, weight)
+        touched = (source, target) if self.direction != "in" else (target, source)
+        # Both endpoints change flow for undirected; for directed streams
+        # only the relevant endpoint's flow changed, but re-estimating the
+        # other is harmless (estimates only grow).
+        for node in (touched if self.direction == "both" else touched[:1]):
+            estimate = self._flow(node)
+            if node in self._candidates or len(self._candidates) < self.k:
+                self._candidates[node] = estimate
+                continue
+            if estimate > min(self._candidates.values()):
+                _evict_min(self._candidates)
+                self._candidates[node] = estimate
+
+    def consume(self, stream) -> None:
+        for edge in stream:
+            self.observe(edge.source, edge.target, edge.weight)
+
+    def top(self) -> List[Tuple[Label, float]]:
+        return _ranked(self._candidates)[:self.k]
+
+
+class ConditionalHeavyHitterMonitor:
+    """Algorithm 1: monitor conditional heavy hitters.
+
+    Finds the top-k nodes with the highest aggregated in-flow, and for
+    each such node ``y`` the top-l nodes sending the most weight *to*
+    ``y``.  (The out-flow and undirected variants are symmetric; select
+    with ``direction``.)
+
+    Matches Algorithm 1 line by line, with one strict improvement noted in
+    DESIGN.md: when a tracked heavy hitter receives more flow we refresh
+    its stored in-weight (the paper's pseudo-code only sets it on
+    insertion; refreshing is O(1) and only improves the final ranking).
+    """
+
+    def __init__(self, tcm: TCM, k: int, l: int, direction: str = "in"):
+        if k < 1 or l < 1:
+            raise ValueError(f"k and l must be >= 1, got k={k}, l={l}")
+        if direction not in ("in", "out", "both"):
+            raise ValueError(f"direction must be 'in'/'out'/'both', got {direction!r}")
+        if direction == "both" and tcm.directed:
+            raise ValueError("direction='both' requires an undirected TCM")
+        if direction != "both" and not tcm.directed:
+            raise ValueError(
+                "undirected TCMs track flow with direction='both'")
+        self.tcm = tcm
+        self.k = k
+        self.l = l
+        self.direction = direction
+        # hh: heavy node -> flow estimate; hn: heavy node -> neighbour -> weight
+        self._hh: Dict[Label, float] = {}
+        self._hn: Dict[Label, Dict[Label, float]] = {}
+
+    def _flow(self, node: Label) -> float:
+        if self.direction == "in":
+            return self.tcm.in_flow(node)
+        if self.direction == "out":
+            return self.tcm.out_flow(node)
+        return self.tcm.flow(node)
+
+    def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        """Process one element ``(source, target; .)`` -- Algorithm 1 lines 3-20."""
+        self.tcm.update(source, target, weight)                 # line 4
+        if self.direction == "in":
+            hot, neighbour = target, source
+        else:
+            # out-flow: the sender is the heavy hitter, receiver the neighbour.
+            # Undirected: treat the pair symmetrically by processing both.
+            hot, neighbour = source, target
+        self._track(hot, neighbour)
+        if self.direction == "both":
+            self._track(target, source)
+
+    def _track(self, hot: Label, neighbour: Label) -> None:
+        flow_estimate = self._flow(hot)                         # line 5
+        if self.direction == "in":
+            edge_estimate = self.tcm.edge_weight(neighbour, hot)  # line 6
+        else:
+            edge_estimate = self.tcm.edge_weight(hot, neighbour)
+
+        if hot in self._hh:                                     # line 7
+            self._hh[hot] = flow_estimate  # refresh (see class docstring)
+            neighbours = self._hn[hot]
+            if neighbour in neighbours:                         # line 8
+                neighbours[neighbour] = edge_estimate           # line 9
+            elif (len(neighbours) < self.l
+                  or edge_estimate > min(neighbours.values())):  # line 10
+                if len(neighbours) == self.l:                   # line 11
+                    _evict_min(neighbours)                      # line 12
+                neighbours[neighbour] = edge_estimate           # line 13
+            return
+
+        # hot is not currently tracked (line 14).
+        if (len(self._hh) == self.k
+                and flow_estimate > min(self._hh.values())):    # line 15
+            victim = min(self._hh, key=lambda n: (self._hh[n], repr(n)))
+            del self._hh[victim]                                # line 16
+            del self._hn[victim]
+        if len(self._hh) < self.k:                              # line 17
+            self._hn[hot] = {neighbour: edge_estimate}          # lines 18-19
+            self._hh[hot] = flow_estimate                       # line 20
+
+    def consume(self, stream) -> None:
+        for edge in stream:
+            self.observe(edge.source, edge.target, edge.weight)
+
+    def top(self) -> List[Tuple[Label, float, List[Tuple[Label, float]]]]:
+        """Top-k heavy nodes, each with its top-l heavy neighbours.
+
+        Returns ``[(node, flow_estimate, [(neighbour, edge_estimate), ...]), ...]``
+        sorted heaviest-first (line 21's ``hh``).
+        """
+        result = []
+        for node, flow in _ranked(self._hh)[:self.k]:
+            neighbours = _ranked(self._hn[node])[:self.l]
+            result.append((node, flow, neighbours))
+        return result

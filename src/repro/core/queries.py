@@ -1,0 +1,121 @@
+"""Subgraph query terms: constants, wildcards and bound wildcards.
+
+Paper Section 4.4 defines aggregate subgraph queries
+``Q = {(x1, y1), ..., (xk, yk)}`` and two extensions:
+
+- each term may be a *wildcard* ``*`` matching any node
+  (query Q5 in the paper), and
+- wildcards may carry subscripts ``*_j``; equal subscripts force the same
+  node (query Q6 -- e.g. common-neighbour / triangle counting).
+
+We model a term as either a plain node label, :data:`WILDCARD`, or a
+:class:`BoundWildcard` with a tag.  A :class:`SubgraphQuery` validates and
+normalizes the edge list and reports its structural features, which
+evaluation strategies use (the decomposed-optimization of Section 4.4 is
+sound for constants and free wildcards but not for bound wildcards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple, Union
+
+from repro.hashing.labels import Label
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """The free wildcard ``*``: matches any node, each occurrence freely."""
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class BoundWildcard:
+    """A subscripted wildcard ``*_tag``; equal tags bind to the same node."""
+
+    tag: str
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ValueError("BoundWildcard needs a non-empty tag")
+
+    def __repr__(self) -> str:
+        return f"*_{self.tag}"
+
+
+WILDCARD = Wildcard()
+
+Term = Union[Label, Wildcard, BoundWildcard]
+QueryEdge = Tuple[Term, Term]
+
+
+def is_wildcard(term: Term) -> bool:
+    """True for both free and bound wildcards."""
+    return isinstance(term, (Wildcard, BoundWildcard))
+
+
+class SubgraphQuery:
+    """A validated aggregate-subgraph query.
+
+    >>> q = SubgraphQuery([("a", "b"), ("b", "c"), ("c", "a")])   # Q4
+    >>> q.has_wildcards
+    False
+    >>> q5 = SubgraphQuery([(WILDCARD, "b"), ("b", "c"), ("c", WILDCARD)])
+    >>> q6 = SubgraphQuery([(BoundWildcard("1"), "b"), ("b", "c"),
+    ...                     ("c", BoundWildcard("1"))])
+    >>> q6.has_bound_wildcards
+    True
+    """
+
+    def __init__(self, edges: Sequence[QueryEdge]):
+        if not edges:
+            raise ValueError("a subgraph query needs at least one edge")
+        normalized: List[QueryEdge] = []
+        for edge in edges:
+            if len(edge) != 2:
+                raise ValueError(f"query edge must be a pair, got {edge!r}")
+            normalized.append((edge[0], edge[1]))
+        self._edges: Tuple[QueryEdge, ...] = tuple(normalized)
+
+    @property
+    def edges(self) -> Tuple[QueryEdge, ...]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self):
+        return iter(self._edges)
+
+    @property
+    def has_wildcards(self) -> bool:
+        return any(is_wildcard(t) for e in self._edges for t in e)
+
+    @property
+    def has_bound_wildcards(self) -> bool:
+        return any(isinstance(t, BoundWildcard) for e in self._edges for t in e)
+
+    @property
+    def constants(self) -> FrozenSet[Label]:
+        """The constant labels mentioned by the query."""
+        return frozenset(t for e in self._edges for t in e if not is_wildcard(t))
+
+    @property
+    def bound_tags(self) -> FrozenSet[str]:
+        return frozenset(t.tag for e in self._edges for t in e
+                         if isinstance(t, BoundWildcard))
+
+    def supports_decomposed_estimate(self) -> bool:
+        """Whether the per-edge optimization of Section 4.4 applies.
+
+        The paper: the optimization (sum of independent per-edge estimates)
+        works for constants and free wildcards, but *cannot* be applied
+        when bound wildcards tie edges together.
+        """
+        return not self.has_bound_wildcards
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({a!r}, {b!r})" for a, b in self._edges)
+        return f"SubgraphQuery([{inner}])"

@@ -1,0 +1,94 @@
+"""Textual syntax for subgraph queries.
+
+Lets operators phrase Section 4.4 queries on the command line::
+
+    a->b                  one directed edge
+    a->b, b->c, c->a      the triangle Q4
+    *->b, b->c, c->*      free wildcards (Q5)
+    *1->b, b->c, c->*1    bound wildcards (Q6: both *1 are one node)
+    a--b                  undirected edge (equivalent to a->b here;
+                          orientation is ignored by undirected sketches)
+
+Grammar: a query is a comma-separated list of edges; an edge is
+``<term> -> <term>`` or ``<term> -- <term>`` (whitespace around the arrow
+is free); a term is ``*`` (free wildcard), ``*<tag>`` (bound wildcard) or
+anything else (a node label, taken verbatim -- labels may not contain
+commas or the arrow tokens).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.queries import (
+    WILDCARD,
+    BoundWildcard,
+    QueryEdge,
+    SubgraphQuery,
+    Term,
+)
+
+_EDGE_SPLIT = re.compile(r"\s*(->|--)\s*")
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed query text, with the offending fragment."""
+
+
+def _parse_term(text: str) -> Term:
+    if not text:
+        raise QuerySyntaxError("empty node term")
+    if text == "*":
+        return WILDCARD
+    if text.startswith("*"):
+        return BoundWildcard(text[1:])
+    return text
+
+
+def parse_edge(text: str) -> QueryEdge:
+    """Parse one ``a->b`` / ``a--b`` fragment."""
+    parts = _EDGE_SPLIT.split(text.strip())
+    # re.split with a capturing group yields [lhs, arrow, rhs].
+    if len(parts) != 3:
+        raise QuerySyntaxError(
+            f"expected '<node> -> <node>' or '<node> -- <node>', "
+            f"got {text.strip()!r}")
+    lhs, _, rhs = parts
+    return (_parse_term(lhs), _parse_term(rhs))
+
+
+def parse_subgraph_query(text: str) -> SubgraphQuery:
+    """Parse a full query string into a :class:`SubgraphQuery`.
+
+    >>> q = parse_subgraph_query("*1->b, b->c, c->*1")
+    >>> q.has_bound_wildcards
+    True
+    >>> len(q)
+    3
+    """
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty query")
+    fragments: List[str] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            raise QuerySyntaxError("empty edge between commas")
+        fragments.append(chunk)
+    return SubgraphQuery([parse_edge(fragment) for fragment in fragments])
+
+
+def format_subgraph_query(query: SubgraphQuery,
+                          directed: bool = True) -> str:
+    """Render a query back into the textual syntax (inverse of parsing)."""
+    arrow = "->" if directed else "--"
+
+    def term_text(term: Term) -> str:
+        if isinstance(term, BoundWildcard):
+            return f"*{term.tag}"
+        if term is WILDCARD or repr(term) == "*":
+            return "*"
+        return str(term)
+
+    return ", ".join(f"{term_text(a)}{arrow}{term_text(b)}"
+                     for a, b in query)

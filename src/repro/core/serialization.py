@@ -1,0 +1,123 @@
+"""Persisting TCM summaries to disk.
+
+A summary is often built on one machine (e.g. next to a packet tap) and
+queried on another; this module round-trips a :class:`~repro.core.tcm.TCM`
+through a single ``.npz`` file.  Matrices are stored as numpy arrays,
+hash-function parameters and flags as scalars, and extended-sketch label
+sets as JSON (string and integer labels only -- the two label types the
+stream model produces).
+
+No pickle is involved, so loading a sketch file is safe regardless of its
+origin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.core.graph_sketch import GraphSketch
+from repro.core.tcm import TCM
+from repro.hashing.family import PairwiseHash
+
+_FORMAT_VERSION = 1
+
+
+def _encode_label(label: Union[str, int]) -> List:
+    if isinstance(label, str):
+        return ["s", label]
+    if isinstance(label, int) and not isinstance(label, bool):
+        return ["i", label]
+    raise TypeError(
+        f"only str/int labels can be serialized, got {type(label).__name__}")
+
+
+def _decode_label(encoded: List) -> Union[str, int]:
+    kind, value = encoded
+    if kind == "s":
+        return str(value)
+    if kind == "i":
+        return int(value)
+    raise ValueError(f"corrupt label encoding: {encoded!r}")
+
+
+def save_tcm(tcm: TCM, path) -> None:
+    """Write a TCM (plain or extended) to ``path`` as a ``.npz`` archive."""
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "d": np.int64(tcm.d),
+        "directed": np.bool_(tcm.directed),
+        "aggregation": np.str_(tcm.aggregation.value),
+    }
+    for i, sketch in enumerate(tcm.sketches):
+        payload[f"matrix_{i}"] = sketch.matrix
+        payload[f"row_hash_{i}"] = np.array(
+            [sketch._row_hash.a, sketch._row_hash.b, sketch._row_hash.width],
+            dtype=np.uint64)
+        payload[f"col_hash_{i}"] = np.array(
+            [sketch._col_hash.a, sketch._col_hash.b, sketch._col_hash.width],
+            dtype=np.uint64)
+        payload[f"graphical_{i}"] = np.bool_(sketch.is_graphical)
+        # Sparse sketches have no occupancy mask (sum/count only) and
+        # serialize through their densified matrix.
+        touched = getattr(sketch, "_touched", None)
+        if touched is not None:
+            payload[f"touched_{i}"] = touched
+        if sketch.keeps_labels:
+            rows = {str(bucket): [_encode_label(x) for x in labels]
+                    for bucket, labels in sketch._row_labels.items()}
+            payload[f"row_labels_{i}"] = np.str_(json.dumps(rows))
+            if sketch._col_labels is not sketch._row_labels:
+                cols = {str(bucket): [_encode_label(x) for x in labels]
+                        for bucket, labels in sketch._col_labels.items()}
+                payload[f"col_labels_{i}"] = np.str_(json.dumps(cols))
+    np.savez_compressed(path, **payload)
+
+
+def load_tcm(path) -> TCM:
+    """Reconstruct a TCM previously written by :func:`save_tcm`."""
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported sketch file version {version}")
+        d = int(archive["d"])
+        directed = bool(archive["directed"])
+        aggregation = Aggregation(str(archive["aggregation"]))
+
+        sketches: List[GraphSketch] = []
+        for i in range(d):
+            row_a, row_b, row_w = (int(v) for v in archive[f"row_hash_{i}"])
+            row_hash = PairwiseHash(a=row_a, b=row_b, width=row_w)
+            if bool(archive[f"graphical_{i}"]):
+                col_hash = None
+            else:
+                col_a, col_b, col_w = (int(v)
+                                       for v in archive[f"col_hash_{i}"])
+                col_hash = PairwiseHash(a=col_a, b=col_b, width=col_w)
+            keep_labels = f"row_labels_{i}" in archive
+            sketch = GraphSketch(row_hash, col_hash, directed=directed,
+                                 aggregation=aggregation,
+                                 keep_labels=keep_labels)
+            sketch._matrix[...] = archive[f"matrix_{i}"]
+            if f"touched_{i}" in archive:
+                sketch._touched[...] = archive[f"touched_{i}"]
+            if keep_labels:
+                rows = json.loads(str(archive[f"row_labels_{i}"]))
+                for bucket, labels in rows.items():
+                    sketch._row_labels[int(bucket)] = {
+                        _decode_label(x) for x in labels}
+                if f"col_labels_{i}" in archive:
+                    cols = json.loads(str(archive[f"col_labels_{i}"]))
+                    for bucket, labels in cols.items():
+                        sketch._col_labels[int(bucket)] = {
+                            _decode_label(x) for x in labels}
+            sketches.append(sketch)
+
+    tcm = TCM.__new__(TCM)
+    tcm.directed = directed
+    tcm.aggregation = aggregation
+    tcm._sketches = sketches
+    return tcm

@@ -1,0 +1,132 @@
+"""Temporal sketch snapshots (paper Section 7, future work).
+
+"We plan to use it for ... monitoring networks using temporal snapshots
+of our sketches."  :class:`SnapshotRing` realizes that: the stream is cut
+into fixed-length time buckets, each bucket summarized by its own TCM
+built with the *same* hash configuration, and a bounded ring of recent
+buckets is retained.  Because same-configuration sketches are mergeable
+(cell-wise addition), any contiguous range of buckets collapses into one
+summary, so "what happened between t1 and t2" is answerable at bucket
+granularity long after the raw stream is gone.
+
+This complements :class:`~repro.streams.window.SlidingWindow`: the window
+maintains one exact trailing horizon (and must buffer live elements for
+deletion); the ring keeps no elements at all and supports arbitrary
+historical ranges, at bucket granularity.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+from repro.core.tcm import TCM
+from repro.hashing.labels import Label
+from repro.streams.model import StreamEdge
+
+
+class SnapshotRing:
+    """A bounded ring of per-time-bucket TCM snapshots.
+
+    :param bucket_length: stream-time span of one snapshot.
+    :param capacity: how many most-recent buckets to retain.
+    :param d, width, seed, directed: the shared TCM configuration; every
+        snapshot uses identical hash functions so ranges merge exactly.
+    """
+
+    def __init__(self, bucket_length: float, capacity: int, *,
+                 d: int = 4, width: int = 64, seed: Optional[int] = 0,
+                 directed: bool = True):
+        if bucket_length <= 0:
+            raise ValueError(
+                f"bucket_length must be positive, got {bucket_length}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.bucket_length = bucket_length
+        self.capacity = capacity
+        self._config = dict(d=d, width=width, seed=seed, directed=directed)
+        # bucket index -> TCM, oldest first.
+        self._buckets: "OrderedDict[int, TCM]" = OrderedDict()
+        self._watermark = float("-inf")
+
+    # -- ingest ----------------------------------------------------------------
+
+    def bucket_of(self, timestamp: float) -> int:
+        """The bucket index a timestamp falls into."""
+        return math.floor(timestamp / self.bucket_length)
+
+    def observe(self, edge: StreamEdge) -> None:
+        """Route one element into its time bucket's snapshot."""
+        if edge.timestamp < self._watermark:
+            raise ValueError(
+                f"out-of-order element at t={edge.timestamp} "
+                f"(watermark is {self._watermark})")
+        self._watermark = edge.timestamp
+        bucket = self.bucket_of(edge.timestamp)
+        if bucket not in self._buckets:
+            self._buckets[bucket] = TCM(**self._config)
+            while len(self._buckets) > self.capacity:
+                self._buckets.popitem(last=False)  # evict the oldest
+        self._buckets[bucket].update(edge.source, edge.target, edge.weight)
+
+    def consume(self, stream) -> int:
+        count = 0
+        for edge in stream:
+            self.observe(edge)
+            count += 1
+        return count
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of retained snapshots."""
+        return len(self._buckets)
+
+    def buckets(self) -> Iterator[Tuple[int, TCM]]:
+        """(bucket index, snapshot) pairs, oldest first."""
+        return iter(self._buckets.items())
+
+    @property
+    def span(self) -> Optional[Tuple[float, float]]:
+        """Stream-time interval covered by the retained snapshots."""
+        if not self._buckets:
+            return None
+        indexes = list(self._buckets)
+        return (indexes[0] * self.bucket_length,
+                (indexes[-1] + 1) * self.bucket_length)
+
+    # -- range queries ---------------------------------------------------------------
+
+    def range_summary(self, start_time: float, end_time: float) -> TCM:
+        """One merged TCM covering every retained bucket overlapping
+        ``[start_time, end_time)``.
+
+        :raises KeyError: when the range touches no retained bucket (it
+            was never observed or already evicted).
+        """
+        if end_time <= start_time:
+            raise ValueError("end_time must be after start_time")
+        first = self.bucket_of(start_time)
+        last = self.bucket_of(end_time - 1e-12)
+        # Iterate the retained buckets, not the (possibly astronomically
+        # wide) index range.
+        members = [tcm for bucket, tcm in self._buckets.items()
+                   if first <= bucket <= last]
+        if not members:
+            raise KeyError(
+                f"no retained snapshots overlap [{start_time}, {end_time})")
+        merged = copy.deepcopy(members[0])
+        for tcm in members[1:]:
+            merged.merge_from(tcm)
+        return merged
+
+    def edge_weight_series(self, source: Label, target: Label):
+        """Per-bucket estimated edge weight, oldest first.
+
+        The time series a network monitor plots: ``[(bucket_index,
+        estimate), ...]`` for every retained snapshot.
+        """
+        return [(bucket, tcm.edge_weight(source, target))
+                for bucket, tcm in self._buckets.items()]

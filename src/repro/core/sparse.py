@@ -1,0 +1,284 @@
+"""Sparse storage backend for graph sketches.
+
+The paper (Section 5.1.1) weighs adjacency matrices against adjacency
+hash-lists and picks the dense matrix because compressed sketches are
+"relatively dense".  That holds at tight compression ratios -- but at
+loose ratios (or on short streams) most of the ``w x w`` cells stay
+empty, and a dense array wastes ``O(w^2)`` memory for ``O(distinct
+edges)`` of information.  :class:`SparseGraphSketch` is the hash-list
+variant the paper describes: a dict of occupied cells with incrementally
+maintained row/column sums, so every operation keeps the same O(1)
+per-update / per-point-query costs while memory tracks occupancy.
+
+It implements the same interface as
+:class:`~repro.core.graph_sketch.GraphSketch` (sum/count aggregation
+only -- the dense class remains the home of min/max) and is selected via
+``TCM(..., sparse=True)``.  Dense and sparse sketches with the same hash
+configuration are estimate-for-estimate identical; tests enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.hashing.family import PairwiseHash
+from repro.hashing.labels import Label, label_to_int
+
+
+class SparseGraphSketch:
+    """Dict-of-cells graph sketch with the dense class's interface."""
+
+    def __init__(self, row_hash: PairwiseHash,
+                 col_hash: Optional[PairwiseHash] = None,
+                 directed: bool = True,
+                 aggregation: Aggregation = Aggregation.SUM,
+                 keep_labels: bool = False):
+        if aggregation not in (Aggregation.SUM, Aggregation.COUNT):
+            raise ValueError(
+                "the sparse backend supports sum/count aggregation only")
+        self._row_hash = row_hash
+        self._col_hash = col_hash if col_hash is not None else row_hash
+        self._graphical = col_hash is None
+        if not directed and not self._graphical:
+            raise ValueError(
+                "undirected sketches need a single hash function "
+                "(symmetric square matrix); do not pass col_hash")
+        self.directed = directed
+        self.aggregation = aggregation
+        self._cells: Dict[Tuple[int, int], float] = {}
+        self._row_sums: Dict[int, float] = {}
+        self._col_sums: Dict[int, float] = {}
+        self._row_adjacency: Dict[int, Set[int]] = {}
+        self._col_adjacency: Dict[int, Set[int]] = {}
+        self._row_labels: Optional[Dict[int, Set[Label]]] = {} if keep_labels else None
+        self._col_labels: Optional[Dict[int, Set[Label]]] = (
+            self._row_labels if (keep_labels and self._graphical)
+            else ({} if keep_labels else None))
+
+    # -- shape and introspection ------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self._row_hash.width
+
+    @property
+    def cols(self) -> int:
+        return self._col_hash.width
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def size_in_cells(self) -> int:
+        """The *logical* cell budget (comparable with the dense class)."""
+        return self.rows * self.cols
+
+    @property
+    def occupied_cells(self) -> int:
+        """Cells actually stored -- the real memory footprint driver."""
+        return len(self._cells)
+
+    @property
+    def is_graphical(self) -> bool:
+        return self._graphical
+
+    @property
+    def keeps_labels(self) -> bool:
+        return self._row_labels is not None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Materialized dense matrix (O(w^2); for interop/serialization)."""
+        dense = np.zeros(self.shape)
+        for (r, c), value in self._cells.items():
+            dense[r, c] = value
+        dense.flags.writeable = False
+        return dense
+
+    def node_of(self, label: Label) -> int:
+        self._require_graphical("node_of")
+        return self._row_hash(label)
+
+    def row_of(self, label: Label) -> int:
+        return self._row_hash(label)
+
+    def col_of(self, label: Label) -> int:
+        return self._col_hash(label)
+
+    def ext(self, bucket: int) -> Set[Label]:
+        if self._row_labels is None:
+            raise ValueError("sketch was built without keep_labels=True")
+        return set(self._row_labels.get(bucket, ()))
+
+    def _require_graphical(self, operation: str) -> None:
+        if not self._graphical:
+            raise ValueError(
+                f"{operation}() needs a graphical (square, single-hash) "
+                "sketch; this sketch is non-square")
+
+    # -- updates ---------------------------------------------------------------
+
+    def _buckets(self, source: Label, target: Label) -> Tuple[int, int]:
+        kx = label_to_int(source)
+        ky = label_to_int(target)
+        if not self.directed and kx > ky:
+            kx, ky = ky, kx
+        return self._row_hash.hash_int(kx), self._col_hash.hash_int(ky)
+
+    def _apply(self, r: int, c: int, delta: float) -> None:
+        self._cells[(r, c)] = self._cells.get((r, c), 0.0) + delta
+        self._row_sums[r] = self._row_sums.get(r, 0.0) + delta
+        self._col_sums[c] = self._col_sums.get(c, 0.0) + delta
+        self._row_adjacency.setdefault(r, set()).add(c)
+        self._col_adjacency.setdefault(c, set()).add(r)
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"stream weights must be non-negative, got {weight}")
+        r, c = self._buckets(source, target)
+        self._apply(r, c, weight if self.aggregation is Aggregation.SUM else 1.0)
+        if self._row_labels is not None:
+            self._row_labels.setdefault(self._row_hash(source), set()).add(source)
+            self._col_labels.setdefault(self._col_hash(target), set()).add(target)
+
+    def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        r, c = self._buckets(source, target)
+        self._apply(r, c, -(weight if self.aggregation is Aggregation.SUM
+                            else 1.0))
+
+    def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
+                    weights: np.ndarray) -> None:
+        """Bulk ingest: vectorized hashing, dict accumulation."""
+        if self._row_labels is not None:
+            raise ValueError("update_many is unavailable with keep_labels=True")
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        values = (np.asarray(weights, dtype=float)
+                  if self.aggregation is Aggregation.SUM
+                  else np.ones(len(rows)))
+        for r, c, v in zip(rows.tolist(), cols.tolist(), values.tolist()):
+            self._apply(r, c, v)
+
+    def raise_cell_to(self, source: Label, target: Label,
+                      floor: float) -> None:
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("conservative update requires sum aggregation")
+        r, c = self._buckets(source, target)
+        current = self._cells.get((r, c), 0.0)
+        if current < floor:
+            self._apply(r, c, floor - current)
+
+    # -- point estimates ---------------------------------------------------------
+
+    def edge_estimate(self, source: Label, target: Label) -> float:
+        return self._cells.get(self._buckets(source, target), 0.0)
+
+    def edge_estimates(self, source_keys: np.ndarray,
+                       target_keys: np.ndarray) -> np.ndarray:
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        return np.array([self._cells.get((r, c), 0.0)
+                         for r, c in zip(rows.tolist(), cols.tolist())])
+
+    def out_flow(self, source: Label) -> float:
+        if not self.directed:
+            raise ValueError("out_flow() is directed-only; use flow()")
+        return self._row_sums.get(self._row_hash(source), 0.0)
+
+    def in_flow(self, target: Label) -> float:
+        if not self.directed:
+            raise ValueError("in_flow() is directed-only; use flow()")
+        return self._col_sums.get(self._col_hash(target), 0.0)
+
+    def flow(self, node: Label) -> float:
+        if self.directed:
+            raise ValueError("flow() is for undirected sketches; "
+                             "use in_flow/out_flow")
+        b = self._row_hash(node)
+        return (self._row_sums.get(b, 0.0) + self._col_sums.get(b, 0.0)
+                - self._cells.get((b, b), 0.0))
+
+    def total_mass(self) -> float:
+        return sum(self._row_sums.values())
+
+    # -- graph topology -------------------------------------------------------------
+
+    def successors(self, bucket: int) -> np.ndarray:
+        self._require_graphical("successors")
+        forward = {c for c in self._row_adjacency.get(bucket, ())
+                   if self._cells.get((bucket, c), 0.0) > 0}
+        if not self.directed:
+            forward |= {r for r in self._col_adjacency.get(bucket, ())
+                        if self._cells.get((r, bucket), 0.0) > 0}
+        return np.array(sorted(forward), dtype=np.int64)
+
+    def predecessors(self, bucket: int) -> np.ndarray:
+        self._require_graphical("predecessors")
+        backward = {r for r in self._col_adjacency.get(bucket, ())
+                    if self._cells.get((r, bucket), 0.0) > 0}
+        if not self.directed:
+            backward |= {c for c in self._row_adjacency.get(bucket, ())
+                         if self._cells.get((bucket, c), 0.0) > 0}
+        return np.array(sorted(backward), dtype=np.int64)
+
+    def bucket_edge_weight(self, r: int, c: int) -> float:
+        if self.directed or r == c:
+            return self._cells.get((r, c), 0.0)
+        return (self._cells.get((r, c), 0.0)
+                + self._cells.get((c, r), 0.0))
+
+    # -- mergeability / maintenance ----------------------------------------------------
+
+    def compatible_with(self, other) -> bool:
+        return (self._row_hash == other._row_hash
+                and self._col_hash == other._col_hash
+                and self.directed == other.directed
+                and self.aggregation == other.aggregation)
+
+    def merge_from(self, other: "SparseGraphSketch") -> None:
+        if not self.compatible_with(other):
+            raise ValueError("cannot merge sketches built with different "
+                             "hashes, direction or aggregation")
+        for (r, c), value in other._cells.items():
+            self._apply(r, c, value)
+        if self._row_labels is not None:
+            if other._row_labels is None:
+                raise ValueError("cannot merge a plain sketch into an "
+                                 "extended one (labels would be lost)")
+            for bucket, labels in other._row_labels.items():
+                self._row_labels.setdefault(bucket, set()).update(labels)
+            if self._col_labels is not self._row_labels:
+                for bucket, labels in other._col_labels.items():
+                    self._col_labels.setdefault(bucket, set()).update(labels)
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._row_sums.clear()
+        self._col_sums.clear()
+        self._row_adjacency.clear()
+        self._col_adjacency.clear()
+        if self._row_labels is not None:
+            self._row_labels.clear()
+            if self._col_labels is not self._row_labels:
+                self._col_labels.clear()
+
+    def __repr__(self) -> str:
+        kind = "graphical" if self._graphical else "non-square"
+        return (f"SparseGraphSketch({self.rows}x{self.cols}, {kind}, "
+                f"{'directed' if self.directed else 'undirected'}, "
+                f"agg={self.aggregation.value}, "
+                f"occupied={self.occupied_cells})")

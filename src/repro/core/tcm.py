@@ -1,0 +1,550 @@
+"""TCM: an ensemble of d graphical sketches with merged estimates.
+
+Paper Section 3.3: a TCM is ``{S1(V1, E1), ..., Sd(Vd, Ed)}`` built with
+``d`` pairwise-independent hash functions.  Any analytics method ``M``
+runs per sketch and the results merge:
+
+    M(G) ~ phi( M(S1), ..., M(Sd) )
+
+where ``phi`` is ``min`` for weight estimates (sum aggregation
+over-approximates) and boolean conjunction for reachability-style
+predicates.  This module implements the summary itself plus every query
+from Section 4; the streaming monitors (Algorithms 1 and 2) live in
+:mod:`repro.core.heavy_hitters` and :mod:`repro.core.triangles`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.pagerank import pagerank as _pagerank
+from repro.analytics.reachability import reach as _reach
+from repro.analytics.subgraph import subgraph_weight as _subgraph_weight
+from repro.analytics.paths import shortest_path_weight as _shortest_path_weight
+from repro.analytics.triangles import count_triangles as _count_triangles
+from repro.analytics.views import SketchView
+from repro.core.aggregation import Aggregation
+from repro.core.graph_sketch import GraphSketch
+from repro.core.queries import SubgraphQuery, is_wildcard
+from repro.hashing.family import HashFamily
+from repro.hashing.labels import Label, label_to_int
+
+
+class TCM:
+    """The TCM graph-stream summary.
+
+    :param d: number of constituent sketches (hash functions).
+    :param width: bucket count per side for square sketches.  Ignored when
+        ``shapes`` is given.
+    :param shapes: explicit per-sketch matrix shapes ``(rows, cols)``;
+        square entries become graphical single-hash sketches, non-square
+        entries use two hash functions (Section 5.1.2).
+    :param seed: seeds the hash family; equal seeds give identical sketches.
+    :param directed: whether the summarized stream is directed.
+    :param aggregation: cell aggregation (default sum, Section 3.3).
+    :param keep_labels: build *extended* sketches that materialize node
+        labels per bucket (Section 5.1.4; needed by Algorithm 2).
+
+    >>> tcm = TCM(d=4, width=64, seed=7)
+    >>> tcm.update("a", "b", 3.0)
+    >>> tcm.edge_weight("a", "b")
+    3.0
+    """
+
+    def __init__(self, d: int = 4, width: int = 256, *,
+                 shapes: Optional[Sequence[Tuple[int, int]]] = None,
+                 seed: Optional[int] = 0,
+                 directed: bool = True,
+                 aggregation: Aggregation = Aggregation.SUM,
+                 keep_labels: bool = False,
+                 sparse: bool = False):
+        if shapes is None:
+            if d < 1:
+                raise ValueError(f"d must be >= 1, got {d}")
+            if width < 1:
+                raise ValueError(f"width must be >= 1, got {width}")
+            shapes = [(width, width)] * d
+        if not shapes:
+            raise ValueError("shapes must be non-empty")
+        self.directed = directed
+        self.aggregation = aggregation
+
+        # One hash per square sketch, two per non-square sketch.
+        widths: List[int] = []
+        for rows, cols in shapes:
+            if rows < 1 or cols < 1:
+                raise ValueError(f"invalid sketch shape ({rows}, {cols})")
+            if rows == cols:
+                widths.append(rows)
+            else:
+                widths.extend((rows, cols))
+        family = HashFamily(widths, seed=seed)
+
+        if sparse:
+            # The dict-backed backend (paper §5.1.1's adjacency hash-list
+            # alternative); memory tracks occupancy instead of w^2.
+            from repro.core.sparse import SparseGraphSketch
+            sketch_class = SparseGraphSketch
+        else:
+            sketch_class = GraphSketch
+
+        self._sketches: List[GraphSketch] = []
+        cursor = 0
+        for rows, cols in shapes:
+            if rows == cols:
+                sketch = sketch_class(family[cursor], directed=directed,
+                                      aggregation=aggregation,
+                                      keep_labels=keep_labels)
+                cursor += 1
+            else:
+                if not directed:
+                    raise ValueError(
+                        "non-square shapes are only valid for directed "
+                        "streams (undirected matrices must be symmetric)")
+                sketch = sketch_class(family[cursor], family[cursor + 1],
+                                      directed=directed,
+                                      aggregation=aggregation,
+                                      keep_labels=keep_labels)
+                cursor += 2
+            self._sketches.append(sketch)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_space(cls, total_cells: int, d: int, **kwargs) -> "TCM":
+        """Square TCM where *each* sketch gets ``total_cells`` cells.
+
+        This mirrors the paper's experimental setup (Section 6.2 Exp-1(a)):
+        a compression ratio of ``c`` on a stream of ``|E|`` elements gives
+        each matrix ``|E| * c`` cells, i.e. width ``sqrt(|E| * c)``.
+        """
+        width = max(1, int(math.isqrt(total_cells)))
+        return cls(d=d, width=width, **kwargs)
+
+    @classmethod
+    def with_varied_shapes(cls, total_cells: int, d: int, **kwargs) -> "TCM":
+        """Non-square ensemble: ``n x n, 2n x n/2, n/2 x 2n, 4n x n/4, ...``
+
+        The heuristic of Section 5.1.2: vary aspect ratios across sketches
+        so skewed degree distributions collide differently in each.
+        """
+        n = max(2, int(math.isqrt(total_cells)))
+        # Cap the aspect ratio so no dimension collapses below n/8: a
+        # handful of rows would put most stream mass in the same row and
+        # defeat the point of varying shapes on small sketches.
+        max_factor = max(1, min(8, n // 8))
+        shapes: List[Tuple[int, int]] = []
+        for i in range(d):
+            if i == 0:
+                shapes.append((n, n))
+            else:
+                factor = min(2 ** ((i + 1) // 2), max_factor)
+                if factor <= 1:
+                    shapes.append((n, n))
+                elif i % 2 == 1:
+                    shapes.append((n * factor, max(1, n // factor)))
+                else:
+                    shapes.append((max(1, n // factor), n * factor))
+        return cls(shapes=shapes, **kwargs)
+
+    @classmethod
+    def from_stream(cls, stream: Iterable, d: int = 4, width: int = 256,
+                    **kwargs) -> "TCM":
+        """Build a TCM and ingest an entire stream in one pass."""
+        directed = getattr(stream, "directed", kwargs.pop("directed", True))
+        tcm = cls(d=d, width=width, directed=directed, **kwargs)
+        tcm.ingest(stream)
+        return tcm
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        """Number of constituent sketches."""
+        return len(self._sketches)
+
+    @property
+    def sketches(self) -> Tuple[GraphSketch, ...]:
+        return tuple(self._sketches)
+
+    @property
+    def size_in_cells(self) -> int:
+        """Total storage in matrix cells across all sketches."""
+        return sum(s.size_in_cells for s in self._sketches)
+
+    @property
+    def is_graphical(self) -> bool:
+        """True when every sketch is a graph (square, single hash)."""
+        return all(s.is_graphical for s in self._sketches)
+
+    def views(self) -> List[SketchView]:
+        """Per-sketch graph views for running black-box algorithms."""
+        self._require_graphical("views")
+        return [SketchView(s) for s in self._sketches]
+
+    def _require_graphical(self, operation: str) -> None:
+        if not self.is_graphical:
+            raise ValueError(
+                f"{operation} needs graphical sketches; this TCM contains "
+                "non-square matrices (edge/flow estimates only)")
+
+    # -- maintenance ------------------------------------------------------------
+
+    def update(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        """Absorb one stream element into every sketch -- O(d)."""
+        for sketch in self._sketches:
+            sketch.update(source, target, weight)
+
+    def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        """Delete one previously inserted element from every sketch."""
+        for sketch in self._sketches:
+            sketch.remove(source, target, weight)
+
+    def update_conservative(self, source: Label, target: Label,
+                            weight: float = 1.0) -> None:
+        """Conservative update (Estan & Varghese): raise, don't add.
+
+        The current merged estimate plus the new weight is the smallest
+        value any cell must reach to keep the no-undercount guarantee, so
+        every sketch's cell is only lifted to that floor instead of
+        incremented.  Estimates remain over-approximations but grow far
+        slower under collisions (see the ablation bench).
+
+        Trade-offs: requires sum aggregation; the resulting summary is
+        **not** linear -- deletions, merging and sliding windows no longer
+        apply.  Use for insert-only workloads where accuracy matters most.
+        """
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("conservative update requires sum aggregation")
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        floor = self.edge_weight(source, target) + weight
+        for sketch in self._sketches:
+            sketch.raise_cell_to(source, target, floor)
+
+    def ingest_conservative(self, stream) -> int:
+        """One-pass bulk construction using conservative updates."""
+        count = 0
+        for edge in stream:
+            self.update_conservative(edge.source, edge.target, edge.weight)
+            count += 1
+        return count
+
+    def ingest(self, stream: Iterable) -> int:
+        """One-pass bulk construction from a stream of elements.
+
+        Uses the vectorized matrix path when possible (sum/count without
+        label materialization); otherwise falls back to per-element
+        updates.  Returns the number of elements ingested.
+        """
+        edges = list(stream)
+        if not edges:
+            return 0
+        vectorizable = (
+            self.aggregation in (Aggregation.SUM, Aggregation.COUNT)
+            and not any(s.keeps_labels for s in self._sketches))
+        if vectorizable:
+            keys_src = np.array([label_to_int(e.source) for e in edges],
+                                dtype=np.uint64)
+            keys_dst = np.array([label_to_int(e.target) for e in edges],
+                                dtype=np.uint64)
+            weights = np.array([e.weight for e in edges])
+            for sketch in self._sketches:
+                sketch.update_many(keys_src, keys_dst, weights)
+        else:
+            for edge in edges:
+                self.update(edge.source, edge.target, edge.weight)
+        return len(edges)
+
+    def clear(self) -> None:
+        for sketch in self._sketches:
+            sketch.clear()
+
+    def merge_from(self, other: "TCM") -> None:
+        """Fold another TCM built with the same configuration into this one.
+
+        Mergeability (per constituent sketch) lets shards of a stream be
+        summarized independently -- on different machines or over different
+        time windows -- and combined into the summary of the whole stream.
+        Both TCMs must come from the same ``seed``/shape configuration.
+        """
+        if self.d != other.d:
+            raise ValueError(f"cannot merge TCMs with d={self.d} and "
+                             f"d={other.d}")
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge_from(theirs)
+
+    # -- edge and node queries (Sections 4.1, 4.2) ------------------------------
+
+    def edge_weight(self, source: Label, target: Label) -> float:
+        """Estimated aggregated edge weight ``f_e(source, target)``."""
+        return self.aggregation.merge(
+            s.edge_estimate(source, target) for s in self._sketches)
+
+    def edge_weights(self, pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
+        """Vectorized edge-weight estimates for a batch of queries.
+
+        Converts labels once, probes every sketch with numpy gathers and
+        merges with the aggregation's direction.  Orders of magnitude
+        faster than per-pair :meth:`edge_weight` for large workloads
+        (Appendix C.4's query-time experiment uses this path).
+        """
+        if len(pairs) == 0:
+            return np.zeros(0)
+        source_keys = np.array([label_to_int(x) for x, _ in pairs],
+                               dtype=np.uint64)
+        target_keys = np.array([label_to_int(y) for _, y in pairs],
+                               dtype=np.uint64)
+        estimates = np.stack([s.edge_estimates(source_keys, target_keys)
+                              for s in self._sketches])
+        if self.aggregation.overestimates:
+            return estimates.min(axis=0)
+        return estimates.max(axis=0)
+
+    def out_flow(self, node: Label) -> float:
+        """Estimated node out-flow ``f_v(node, ->)``."""
+        return self.aggregation.merge(s.out_flow(node) for s in self._sketches)
+
+    def in_flow(self, node: Label) -> float:
+        """Estimated node in-flow ``f_v(node, <-)``."""
+        return self.aggregation.merge(s.in_flow(node) for s in self._sketches)
+
+    def flow(self, node: Label) -> float:
+        """Estimated undirected node flow ``f_v(node, -)``."""
+        return self.aggregation.merge(s.flow(node) for s in self._sketches)
+
+    def out_flows(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Vectorized out-flow estimates for a batch of nodes.
+
+        The batch counterpart of :meth:`out_flow`: per sketch, all row
+        sums are precomputed once and gathered, then min-merged.
+        """
+        return self._batch_flows(nodes, axis=1)
+
+    def in_flows(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Vectorized in-flow estimates for a batch of nodes."""
+        return self._batch_flows(nodes, axis=0)
+
+    def _batch_flows(self, nodes: Sequence[Label], axis: int) -> np.ndarray:
+        if not self.directed:
+            raise ValueError("out_flows/in_flows are directed-only")
+        if len(nodes) == 0:
+            return np.zeros(0)
+        keys = np.array([label_to_int(n) for n in nodes], dtype=np.uint64)
+        estimates = []
+        for sketch in self._sketches:
+            sums = np.asarray(sketch.matrix).sum(axis=axis)
+            hash_fn = sketch._row_hash if axis == 1 else sketch._col_hash
+            estimates.append(sums[hash_fn.hash_many(keys)])
+        stacked = np.stack(estimates)
+        if self.aggregation.overestimates:
+            return stacked.min(axis=0)
+        return stacked.max(axis=0)
+
+    def degree_estimate(self, node: Label, direction: str = "out") -> int:
+        """Heuristic distinct-neighbour count: the node's occupied cells.
+
+        Per sketch, the node's row (column) occupancy counts the distinct
+        neighbour *buckets* of every label sharing the node's bucket --
+        bucket-mates inflate it, neighbour merging deflates it, so unlike
+        the weight estimates this has two-sided error.  The minimum
+        across sketches discards the most inflated rows and tracks the
+        true degree well when buckets are sparse (compare
+        :func:`repro.metrics.bounds.expected_flow_error` for the matching
+        regime discussion).
+        """
+        if direction not in ("out", "in"):
+            raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+        self._require_graphical("degree_estimate")
+        counts = []
+        for sketch in self._sketches:
+            bucket = sketch.node_of(node)
+            occupied = (sketch.successors(bucket) if direction == "out"
+                        else sketch.predecessors(bucket))
+            counts.append(len(occupied))
+        return min(counts)
+
+    def heaviest_neighbours(self, node: Label, k: int = 5,
+                            direction: str = "in") -> List[Tuple[Label, float]]:
+        """Conditional node query (paper Example 2): the heaviest
+        neighbours of a given node, by estimated edge weight.
+
+        One-dimensional sketches cannot answer "who sends the most to
+        ``a``" at all; the graphical sketch can, and with the *extended*
+        sketch (``keep_labels=True``) the answer comes back as labels.
+        Candidates are the materialized labels of buckets adjacent to
+        ``node``'s bucket, intersected across sketches; each candidate is
+        ranked by the full ensemble estimate.
+
+        :param direction: ``"in"`` (senders to node), ``"out"``
+            (receivers from node) or ``"both"`` (undirected streams).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if direction not in ("in", "out", "both"):
+            raise ValueError(
+                f"direction must be 'in'/'out'/'both', got {direction!r}")
+        self._require_graphical("heaviest_neighbours")
+        candidates: Optional[set] = None
+        for sketch in self._sketches:
+            if not sketch.keeps_labels:
+                raise ValueError(
+                    "heaviest_neighbours needs an extended sketch; build "
+                    "the TCM with keep_labels=True")
+            bucket = sketch.node_of(node)
+            if direction == "in":
+                adjacent = sketch.predecessors(bucket)
+            elif direction == "out":
+                adjacent = sketch.successors(bucket)
+            else:
+                adjacent = set(sketch.successors(bucket)) | \
+                    set(sketch.predecessors(bucket))
+            local: set = set()
+            for neighbour_bucket in adjacent:
+                local |= sketch.ext(int(neighbour_bucket))
+            candidates = local if candidates is None else candidates & local
+        candidates = candidates or set()
+        candidates.discard(node)
+
+        def weight_of(candidate: Label) -> float:
+            if direction == "in":
+                return self.edge_weight(candidate, node)
+            if direction == "out":
+                return self.edge_weight(node, candidate)
+            return self.edge_weight(node, candidate)
+
+        scored = [(candidate, weight_of(candidate))
+                  for candidate in candidates]
+        scored = [(candidate, weight) for candidate, weight in scored
+                  if weight > 0]
+        scored.sort(key=lambda kv: (-kv[1], repr(kv[0])))
+        return scored[:k]
+
+    # -- path queries (Section 4.3) ----------------------------------------------
+
+    def reachable(self, source: Label, target: Label,
+                  max_hops: Optional[int] = None) -> bool:
+        """Estimated reachability ``r(source, target)``.
+
+        P1: run the black-box ``reach()`` on every sketch; P2: conjoin.
+        True only if the hashed endpoints are connected in *all* sketches.
+        Never returns False for a truly reachable pair (no false
+        "unreachable" answers); may return True for unreachable pairs when
+        collisions manufacture paths.
+        """
+        self._require_graphical("reachable")
+        for sketch in self._sketches:
+            view = SketchView(sketch)
+            if not _reach(view, view.node_of(source), view.node_of(target),
+                          max_hops=max_hops):
+                return False
+        return True
+
+    def shortest_path_weight(self, source: Label, target: Label) -> float:
+        """Estimated shortest-path weight between two labels.
+
+        Collisions both inflate edge weights (over-estimate) and add
+        spurious shortcut edges (under-estimate), so no one-sided bound
+        exists; we return the max across sketches, which empirically
+        tracks the truth best (spurious shortcuts are what extra sketches
+        rule out).  ``math.inf`` when some sketch finds no path.
+        """
+        self._require_graphical("shortest_path_weight")
+        best = 0.0
+        for sketch in self._sketches:
+            view = SketchView(sketch)
+            weight = _shortest_path_weight(
+                view, view.node_of(source), view.node_of(target))
+            best = max(best, weight)
+        return best
+
+    # -- subgraph queries (Section 4.4) --------------------------------------------
+
+    def subgraph_weight(self, query, max_matches: Optional[int] = None) -> float:
+        """Aggregate subgraph weight ``f_g(Q)`` via per-sketch matching.
+
+        S1: run the black-box ``subgraph()`` on each sketch; S2: merge by
+        minimum.  Accepts a :class:`SubgraphQuery` or a raw edge list.
+        Supports wildcards and bound wildcards.
+        """
+        query = query if isinstance(query, SubgraphQuery) else SubgraphQuery(query)
+        self._require_graphical("subgraph_weight")
+        estimates = []
+        for sketch in self._sketches:
+            view = SketchView(sketch)
+            weight = _subgraph_weight(view, query, node_of=view.node_of,
+                                      max_matches=max_matches)
+            if weight == 0.0:
+                # Some sketch proves no exact match exists; terminate early
+                # (the optimization noted under S2 in the paper).
+                return 0.0
+            estimates.append(weight)
+        return self.aggregation.merge(estimates)
+
+    def subgraph_weight_decomposed(self, query) -> float:
+        """The per-edge optimization ``f'_g(Q)`` of Section 4.4.
+
+        Decomposes the query into constituent edges, estimates each with
+        the full ensemble (wildcard endpoints become flow queries), and
+        sums -- hence ``f'_g(Q) <= f_g(Q)``.  Returns 0 if any edge
+        estimate is 0.  Not applicable to bound wildcards (raises).
+        """
+        query = query if isinstance(query, SubgraphQuery) else SubgraphQuery(query)
+        if not query.supports_decomposed_estimate():
+            raise ValueError(
+                "the decomposed estimate cannot bind wildcards to the same "
+                "node; use subgraph_weight() for bound-wildcard queries")
+        total = 0.0
+        for x, y in query:
+            x_wild, y_wild = is_wildcard(x), is_wildcard(y)
+            if x_wild and y_wild:
+                estimate = self.total_weight_estimate()
+            elif x_wild:
+                estimate = self.in_flow(y)
+            elif y_wild:
+                estimate = self.out_flow(x)
+            else:
+                estimate = self.edge_weight(x, y)
+            if estimate == 0.0:
+                return 0.0
+            total += estimate
+        return total
+
+    def total_weight_estimate(self) -> float:
+        """Estimated total stream weight (the ``f_e(*, *)`` query)."""
+        return self.aggregation.merge(
+            s.total_mass() for s in self._sketches)
+
+    # -- whole-graph analytics -------------------------------------------------------
+
+    def triangle_count(self) -> int:
+        """Estimated triangle count: black-box count per sketch, merged min.
+
+        Unlike weight estimates this is not a one-sided bound: hash
+        collisions both *create* triangles (unrelated edges meeting in a
+        bucket) and *destroy* them (two corners collapsing into one
+        bucket turns a triangle into a 2-cycle).  The min-merge is a
+        heuristic that discards the most collision-inflated sketches.
+        """
+        self._require_graphical("triangle_count")
+        return min(_count_triangles(SketchView(s), directed=self.directed)
+                   for s in self._sketches)
+
+    def pagerank(self, damping: float = 0.85):
+        """Per-sketch PageRank over super-nodes.
+
+        Returns one rank dict per sketch (bucket -> rank); use the extended
+        sketch's ``ext()`` to interpret buckets as label groups.
+        """
+        self._require_graphical("pagerank")
+        return [_pagerank(SketchView(s), damping=damping)
+                for s in self._sketches]
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{s.rows}x{s.cols}" for s in self._sketches)
+        return (f"TCM(d={self.d}, shapes=[{shapes}], "
+                f"{'directed' if self.directed else 'undirected'}, "
+                f"agg={self.aggregation.value})")

@@ -1,0 +1,204 @@
+"""High-dimensional stream sketches (paper Section 5.1.3, "See further").
+
+The paper's generalization: for stream elements ``(v1, ..., vx)`` with
+``x`` intra-connected values, use ``x`` independent per-dimension methods
+``m1..mx`` -- each either a hash function or a *predefined* mapping (e.g.
+protocol tags TCP/UDP, or years as a time dimension) -- and store the
+aggregated weights in an ``x``-dimensional array.  A TCM matrix is the
+``x = 2`` case; a CountMin row is ``x = 1``.
+
+:class:`TensorSketch` implements the full ensemble: ``d`` independent
+``x``-dimensional arrays, each dimension hashed by its own pairwise-
+independent function or routed by a user-supplied categorical mapping.
+Estimates merge with the minimum (sum aggregation over-approximates, as
+in 2-D), and any subset of coordinates may be the free wildcard ``*`` to
+obtain marginals -- the ``x``-dimensional analogue of node-flow queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.queries import WILDCARD, Wildcard
+from repro.hashing.family import HashFamily
+from repro.hashing.labels import Label
+
+# A dimension spec: a bucket count (hashed dimension) or an explicit
+# category -> index mapping (predefined dimension, e.g. protocols).
+DimensionSpec = Union[int, Mapping[Label, int]]
+
+
+class _Dimension:
+    """Resolution of one coordinate to an array index."""
+
+    def __init__(self, spec: DimensionSpec, hash_fn):
+        if isinstance(spec, int):
+            if spec < 1:
+                raise ValueError(f"dimension width must be >= 1, got {spec}")
+            self.width = spec
+            self._mapping: Optional[Dict[Label, int]] = None
+            self._hash = hash_fn
+        else:
+            mapping = dict(spec)
+            if not mapping:
+                raise ValueError("a predefined dimension mapping is empty")
+            indexes = sorted(set(mapping.values()))
+            if indexes != list(range(len(indexes))):
+                raise ValueError(
+                    "predefined dimension indexes must be 0..k-1 without "
+                    f"gaps, got {indexes}")
+            self.width = len(indexes)
+            self._mapping = mapping
+            self._hash = None
+
+    @property
+    def predefined(self) -> bool:
+        return self._mapping is not None
+
+    def index_of(self, value: Label) -> int:
+        if self._mapping is not None:
+            try:
+                return self._mapping[value]
+            except KeyError:
+                raise KeyError(
+                    f"value {value!r} is not in this predefined dimension"
+                ) from None
+        return self._hash(value)
+
+
+class TensorSketch:
+    """A ``d``-ensemble of ``x``-dimensional hashed count arrays.
+
+    :param dimensions: one spec per coordinate of a stream element --
+        an int (bucket count for a hashed dimension) or a mapping
+        (predefined categories).
+    :param d: ensemble size; predefined dimensions are shared across the
+        ensemble (there is nothing random about them), hashed dimensions
+        get ``d`` independent hash functions each.
+    :param seed: seeds all hash functions.
+
+    >>> sketch = TensorSketch([64, 64, {"tcp": 0, "udp": 1}], d=3, seed=1)
+    >>> sketch.update(("10.0.0.1", "10.0.0.9", "tcp"), 120.0)
+    >>> sketch.estimate(("10.0.0.1", "10.0.0.9", "tcp"))
+    120.0
+    """
+
+    def __init__(self, dimensions: Sequence[DimensionSpec], d: int = 4,
+                 seed: Optional[int] = 0):
+        if not dimensions:
+            raise ValueError("TensorSketch needs at least one dimension")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        hashed_widths = [spec for spec in dimensions if isinstance(spec, int)]
+        family = HashFamily(hashed_widths * d, seed=seed) if hashed_widths \
+            else None
+
+        self._replicas: List[Tuple[_Dimension, ...]] = []
+        cursor = 0
+        for _ in range(d):
+            dims = []
+            for spec in dimensions:
+                if isinstance(spec, int):
+                    dims.append(_Dimension(spec, family[cursor]))
+                    cursor += 1
+                else:
+                    dims.append(_Dimension(spec, None))
+            self._replicas.append(tuple(dims))
+        self._arrays = [
+            np.zeros(tuple(dim.width for dim in dims))
+            for dims in self._replicas
+        ]
+
+    @property
+    def d(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def ndim(self) -> int:
+        return self._arrays[0].ndim
+
+    @property
+    def size_in_cells(self) -> int:
+        return sum(array.size for array in self._arrays)
+
+    def _cell(self, dims: Tuple[_Dimension, ...],
+              coordinates: Sequence[Label]) -> Tuple[int, ...]:
+        if len(coordinates) != len(dims):
+            raise ValueError(
+                f"expected {len(dims)} coordinates, got {len(coordinates)}")
+        return tuple(dim.index_of(value)
+                     for dim, value in zip(dims, coordinates))
+
+    def update(self, coordinates: Sequence[Label], weight: float = 1.0) -> None:
+        """Absorb one ``x``-dimensional element -- O(d * x)."""
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        for dims, array in zip(self._replicas, self._arrays):
+            array[self._cell(dims, coordinates)] += weight
+
+    def remove(self, coordinates: Sequence[Label], weight: float = 1.0) -> None:
+        """Delete one previously inserted element (sliding windows)."""
+        for dims, array in zip(self._replicas, self._arrays):
+            array[self._cell(dims, coordinates)] -= weight
+
+    def estimate(self, coordinates: Sequence[Label]) -> float:
+        """Estimated aggregated weight; wildcards produce marginals.
+
+        Each coordinate is a concrete value or :data:`WILDCARD`; wildcard
+        axes are summed out (e.g. ``(src, *, "tcp")`` estimates all TCP
+        bytes sent by ``src``).  Like all sum-aggregated estimates this
+        over-approximates, and the ensemble merges with the minimum.
+        """
+        estimates = []
+        for dims, array in zip(self._replicas, self._arrays):
+            if len(coordinates) != len(dims):
+                raise ValueError(
+                    f"expected {len(dims)} coordinates, "
+                    f"got {len(coordinates)}")
+            index: List[Union[int, slice]] = []
+            wildcard_axes = []
+            for axis, (dim, value) in enumerate(zip(dims, coordinates)):
+                if isinstance(value, Wildcard):
+                    index.append(slice(None))
+                    wildcard_axes.append(axis)
+                else:
+                    index.append(dim.index_of(value))
+            cell = array[tuple(index)]
+            estimates.append(float(cell.sum()) if wildcard_axes
+                             else float(cell))
+        return min(estimates)
+
+    def total_weight_estimate(self) -> float:
+        """Estimate of the total stream weight (all-wildcard marginal)."""
+        return self.estimate([WILDCARD] * self.ndim)
+
+    def merge_from(self, other: "TensorSketch") -> None:
+        """Fold another same-configuration TensorSketch into this one.
+
+        Like 2-D sketches, sum-aggregated tensors are linear: adding the
+        arrays of two same-seed sketches yields the sketch of the
+        concatenated streams (sharding/windowing for high-dimensional
+        streams).
+        """
+        if self.d != other.d or self.ndim != other.ndim:
+            raise ValueError("cannot merge TensorSketches with different "
+                             "shapes")
+        for mine, theirs in zip(self._arrays, other._arrays):
+            if mine.shape != theirs.shape:
+                raise ValueError("cannot merge TensorSketches with different "
+                                 "shapes")
+        for dims_a, dims_b in zip(self._replicas, other._replicas):
+            for dim_a, dim_b in zip(dims_a, dims_b):
+                if dim_a.predefined != dim_b.predefined or \
+                        (not dim_a.predefined and dim_a._hash != dim_b._hash) or \
+                        (dim_a.predefined and dim_a._mapping != dim_b._mapping):
+                    raise ValueError("cannot merge TensorSketches built "
+                                     "with different dimension methods")
+        for mine, theirs in zip(self._arrays, other._arrays):
+            mine += theirs
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(dim.width) for dim in self._replicas[0])
+        return f"TensorSketch(d={self.d}, shape={shape})"

@@ -1,0 +1,17 @@
+"""Simulated distributed TCM deployment (paper Section 5.3).
+
+Two deployment modes:
+
+- :class:`DistributedTCM` -- *broadcast*: every worker sees the whole
+  stream with its own independent hash functions (d x m sketches, lower
+  error).
+- :class:`ShardedTCM` -- *shard-and-merge*: each worker summarizes a
+  slice of the stream with a shared configuration; mergeability yields a
+  summary bit-identical to a single-machine build (higher ingest
+  bandwidth, unchanged error).
+"""
+
+from repro.distributed.cluster import DistributedTCM, SketchWorker
+from repro.distributed.sharded import ShardedTCM
+
+__all__ = ["DistributedTCM", "SketchWorker", "ShardedTCM"]

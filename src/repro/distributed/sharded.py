@@ -1,0 +1,70 @@
+"""Shard-and-merge distribution: the second deployment mode of §5.3.
+
+:class:`~repro.distributed.cluster.DistributedTCM` broadcasts every
+element to every worker (more independent sketches, lower error, full
+ingest cost per worker).  :class:`ShardedTCM` is the throughput-oriented
+alternative: each worker summarizes only its *shard* of the stream into a
+same-configuration TCM, and mergeability (cell-wise addition) collapses
+the shard summaries into exactly the summary of the whole stream.
+
+Broadcast buys accuracy; sharding buys ingest bandwidth -- the summaries
+it produces are bit-identical to a single-machine build, so there is no
+accuracy cost at all, only no gain.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.streams.model import StreamEdge
+
+
+class ShardedTCM:
+    """Summarize stream shards on ``m`` workers and merge to one TCM.
+
+    All workers share one TCM configuration (same ``seed``), which is
+    what makes the shard summaries mergeable.
+    """
+
+    def __init__(self, m: int, d: int, width: int, *,
+                 seed: Optional[int] = 0, directed: bool = True,
+                 aggregation: Aggregation = Aggregation.SUM,
+                 parallel: bool = True):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self._config = dict(d=d, width=width, seed=seed, directed=directed,
+                            aggregation=aggregation)
+        self._parallel = parallel
+
+    def _build_shard(self, shard: Sequence[StreamEdge]) -> TCM:
+        tcm = TCM(**self._config)
+        tcm.ingest(shard)
+        return tcm
+
+    def summarize(self, shards: Sequence[Sequence[StreamEdge]]) -> TCM:
+        """Build one TCM per shard (in parallel) and merge them.
+
+        :param shards: e.g. the output of
+            :func:`repro.streams.transforms.shard`.  Fewer shards than
+            workers is fine; more raises, so misconfigured partitioners
+            fail loudly.
+        """
+        if len(shards) > self.m:
+            raise ValueError(
+                f"{len(shards)} shards exceed the {self.m} workers")
+        if not shards:
+            return TCM(**self._config)
+        if self._parallel and len(shards) > 1:
+            with ThreadPoolExecutor(max_workers=self.m) as pool:
+                partials: List[TCM] = list(pool.map(self._build_shard, shards))
+        else:
+            partials = [self._build_shard(shard) for shard in shards]
+        merged = copy.deepcopy(partials[0])
+        for partial in partials[1:]:
+            merged.merge_from(partial)
+        return merged

@@ -1,0 +1,16 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Every driver is a pure function: it takes streams and parameters and
+returns rows (lists of tuples).  Printing is separated into
+:mod:`repro.experiments.report`, and ``python -m repro.experiments``
+provides a CLI that regenerates any artifact by id (``fig7`` ...
+``table5``, ``ndcg``, ``qtime``).
+
+The per-experiment index mapping each id to its paper artifact lives in
+DESIGN.md; measured-versus-paper results are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import datasets
+from repro.experiments.report import format_table
+
+__all__ = ["datasets", "format_table"]

@@ -1,0 +1,234 @@
+"""CLI entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments fig7 --dataset dblp --scale small
+    python -m repro.experiments all --scale tiny
+
+Experiment ids match DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import datasets
+from repro.experiments.capability import QUERY_CLASSES, table3_capabilities
+from repro.experiments.exp1_edge import (
+    fig7_edge_vs_ratio,
+    fig8_weight_distribution,
+    fig9_edge_vs_d,
+    fig10_weight_segments,
+    fig12_same_space_set,
+    gsketch_comparison,
+)
+from repro.experiments.exp2_heavy import (
+    fig11_heavy_hitters,
+    fig13_conditional_heavy_hitters,
+    ndcg_table,
+)
+from repro.experiments.exp3_path import (
+    fig14a_reachability_vs_d,
+    fig14b_true_negatives,
+)
+from repro.experiments.exp4_graph import fig15_subgraph_vs_d, fig16_heavy_triangles
+from repro.experiments.exp5_efficiency import (
+    build_time_breakdown,
+    query_time_table,
+)
+from repro.experiments.report import print_table
+
+_D_HEADERS = ["d", "TCM", "CountMin"]
+
+
+def _run_fig7(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph")):
+        rows = fig7_edge_vs_ratio(name, args.scale)
+        print_table(f"Fig. 7 -- edge-query ARE vs compression ratio ({name})",
+                    ["ratio", "TCM", "CountMin"], rows)
+
+
+def _run_fig8(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph")):
+        rows = fig8_weight_distribution(name, args.scale)
+        print_table(f"Fig. 8 -- edge-weight distribution ({name})",
+                    ["bucket", "min w", "max w", "edges"], rows)
+
+
+def _run_fig9(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph")):
+        rows = fig9_edge_vs_d(name, args.scale)
+        print_table(f"Fig. 9 -- edge-query ARE vs d ({name})", _D_HEADERS, rows)
+
+
+def _run_fig10(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph")):
+        rows = fig10_weight_segments(name, args.scale)
+        print_table(f"Fig. 10 -- ARE per weight segment ({name})",
+                    ["segment", "TCM", "CountMin"], rows)
+
+
+def _run_fig11(args) -> None:
+    rows = fig11_heavy_hitters(scale=args.scale)
+    print_table("Fig. 11 -- heavy hitters (top-100 intersection accuracy)",
+                ["dataset", "kind", "TCM", "CountMin", "sample"], rows)
+
+
+def _run_table2(args) -> None:
+    rows = gsketch_comparison("ipflow", args.scale)
+    print_table("Table 2 -- edge-query ARE, IP flow",
+                ["method", "d=1", "d=3", "d=5", "d=7", "d=9"], rows)
+
+
+def _run_table4(args) -> None:
+    rows = gsketch_comparison("dblp", args.scale)
+    print_table("Table 4 -- edge-query ARE, DBLP",
+                ["method", "d=1", "d=3", "d=5", "d=7", "d=9"], rows)
+
+
+def _run_table5(args) -> None:
+    rows = gsketch_comparison("gtgraph", args.scale)
+    print_table("Table 5 -- edge-query ARE, GTGraph",
+                ["method", "d=1", "d=3", "d=5", "d=7", "d=9"], rows)
+
+
+def _run_fig12(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph")):
+        rows = fig12_same_space_set(name, args.scale)
+        print_table(f"Fig. 12 -- same space for a set of problems ({name})",
+                    ["d", "TCM", "CountMin (half space)"], rows)
+
+
+def _run_fig13(args) -> None:
+    rows = fig13_conditional_heavy_hitters(args.scale)
+    print_table("Fig. 13 -- conditional heavy hitters (DBLP-like)",
+                ["author", "est. flow", "true top-k?", "collab hits",
+                 "top-5 collaborators"], rows)
+
+
+def _run_fig14(args) -> None:
+    rows = fig14a_reachability_vs_d(scale=args.scale)
+    print_table("Fig. 14(a) -- reachability inter-accuracy vs d",
+                ["d", "dblp", "ipflow", "gtgraph"], rows)
+    rows = fig14b_true_negatives()
+    print_table("Fig. 14(b) -- true-negative accuracy vs d (R-MAT)",
+                ["d", "|E|/|V|=1", "|E|/|V|=3", "|E|/|V|=5", "|E|/|V|=7"],
+                rows)
+
+
+def _run_fig15(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow")):
+        rows = fig15_subgraph_vs_d(name, args.scale)
+        print_table(f"Fig. 15 -- subgraph-query ARE vs d ({name})",
+                    _D_HEADERS, rows)
+
+
+def _run_fig16(args) -> None:
+    rows = fig16_heavy_triangles(args.scale)
+    print_table("Fig. 16 -- heavy triangle connections (DBLP-like)",
+                ["heavy edge", "hits", "top-5 connections"], rows)
+
+
+def _run_fig17(args) -> None:
+    for name in _datasets(args, ("dblp", "ipflow", "gtgraph", "twitter")):
+        rows = build_time_breakdown(name, args.scale)
+        print_table(f"Fig. 17 -- build time breakdown ({name})",
+                    ["d", "CM-string", "CM-hash", "TCM-string", "TCM-hash"],
+                    rows)
+
+
+def _run_table3(args) -> None:
+    rows = table3_capabilities()
+    print_table("Table 3 -- analytics supported by different sketches",
+                ["summary", *QUERY_CLASSES], rows)
+
+
+def _run_ndcg(args) -> None:
+    rows = ndcg_table(scale=args.scale)
+    print_table("Appendix C.3 -- NDCG of top-k heavy edges/nodes (IP flow)",
+                ["k", "heavy edges", "heavy nodes"], rows)
+
+
+def _run_qtime(args) -> None:
+    rows = query_time_table(scale=args.scale)
+    print_table("Appendix C.4 -- edge-query time (seconds)",
+                ["#queries", "TCM", "adjacency list", "hashed list"], rows)
+
+
+def _run_profiles(args) -> None:
+    from repro.experiments.profiles import PROFILE_HEADERS, profile_table
+    rows = profile_table(scale=args.scale)
+    print_table("Extension -- dataset fingerprints",
+                list(PROFILE_HEADERS), rows)
+
+
+def _run_sweep(args) -> None:
+    from repro.experiments.sweeps import accuracy_grid
+    d_values = (1, 3, 5, 7, 9)
+    for name in _datasets(args, ("gtgraph",)):
+        rows = accuracy_grid(name, args.scale, d_values=d_values)
+        print_table(f"Extension -- edge-query ARE grid, TCM ({name})",
+                    ["ratio"] + [f"d={d}" for d in d_values], rows)
+
+
+def _run_calibration(args) -> None:
+    from repro.experiments.calibration import calibration_table
+    rows = calibration_table("gtgraph", args.scale)
+    print_table("Extension -- Theorem 1 calibration (gtgraph)",
+                ["eps", "delta", "d", "w", "violation rate"], rows)
+
+
+_EXPERIMENTS = {
+    "fig7": _run_fig7, "fig8": _run_fig8, "fig9": _run_fig9,
+    "fig10": _run_fig10, "fig11": _run_fig11, "fig12": _run_fig12,
+    "fig13": _run_fig13, "fig14": _run_fig14, "fig15": _run_fig15,
+    "fig16": _run_fig16, "fig17": _run_fig17,
+    "table2": _run_table2, "table3": _run_table3, "table4": _run_table4,
+    "table5": _run_table5, "ndcg": _run_ndcg, "qtime": _run_qtime,
+    "profiles": _run_profiles, "sweep": _run_sweep,
+    "calibration": _run_calibration,
+}
+
+
+def _datasets(args, default: Sequence[str]) -> Sequence[str]:
+    return (args.dataset,) if args.dataset else default
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all", "report"],
+                        help="experiment id from DESIGN.md, 'all', or "
+                             "'report' (write a Markdown report)")
+    parser.add_argument("--dataset", choices=datasets.DATASET_NAMES,
+                        default=None,
+                        help="restrict multi-dataset experiments to one")
+    parser.add_argument("--scale", choices=("tiny", "small", "medium"),
+                        default="small", help="dataset scale")
+    parser.add_argument("--out", default=None,
+                        help="output path for 'report' (default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments.report_markdown import generate_report
+        document = generate_report(args.scale)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"wrote {args.out}")
+        else:
+            print(document)
+    elif args.experiment == "all":
+        for key in sorted(_EXPERIMENTS):
+            _EXPERIMENTS[key](args)
+    else:
+        _EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Calibration: measured error quantiles against Theorem 1's guarantee.
+
+For a grid of (epsilon, delta) targets, size the TCM with
+:func:`repro.metrics.bounds.parameters_for_guarantee`, measure the actual
+edge-query over-counts on a workload, and report the fraction of queries
+violating ``estimate <= exact + eps * n``.  Theorem 1 promises the
+violation rate stays below delta; measured rates are usually far below
+(the bound is loose by the usual Markov-argument factor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.common import DEFAULT_SEED, edge_workload
+from repro.metrics.bounds import parameters_for_guarantee
+
+
+def calibration_table(name: str = "gtgraph", scale: str = "tiny",
+                      targets: Sequence[Tuple[float, float]] = (
+                          (0.05, 0.2), (0.02, 0.1), (0.01, 0.05)),
+                      trials: int = 5,
+                      seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Rows ``(eps, delta, d, w, measured_violation_rate)``.
+
+    Violation rates are averaged over ``trials`` independently-seeded
+    summaries so a single unlucky hash draw cannot dominate.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    stream = datasets.by_name(name, scale)
+    n = stream.total_weight()
+    workload = edge_workload(stream, limit=500)
+    rows: List[Tuple] = []
+    for epsilon, delta in targets:
+        d, w = parameters_for_guarantee(epsilon, delta)
+        violations = 0
+        checked = 0
+        for trial in range(trials):
+            tcm = TCM(d=d, width=w, seed=seed + 101 * trial,
+                      directed=stream.directed)
+            tcm.ingest(stream)
+            for x, y in workload:
+                if tcm.edge_weight(x, y) > stream.edge_weight(x, y) + epsilon * n:
+                    violations += 1
+                checked += 1
+        rows.append((epsilon, delta, d, w, violations / checked))
+    return rows

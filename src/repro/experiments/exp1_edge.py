@@ -1,0 +1,239 @@
+"""Exp-1: effectiveness of edge queries (paper Section 6.2, Figs 7-10, 12,
+Tables 2/4/5).
+
+Every driver returns rows ready for :func:`repro.experiments.report
+.format_table`; benchmarks and the CLI print them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments import datasets
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    build_edge_cm,
+    build_gsketch,
+    build_partitioned_tcm,
+    build_tcm,
+    cells_for_ratio,
+    edge_query_are,
+    edge_workload,
+)
+from repro.metrics.error import errors_by_segment
+from repro.streams.model import GraphStream
+
+QUERY_LIMIT = 4000  # max distinct edges per ARE evaluation (see common.py)
+
+
+def fig7_edge_vs_ratio(name: str, scale: str = "small",
+                       ratios: Optional[Sequence[float]] = None,
+                       d: int = 9,
+                       seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 7: ARE of edge queries vs compression ratio, TCM vs CountMin.
+
+    Returns rows ``(ratio, are_tcm, are_countmin)``.  Expected shape:
+    both errors fall as the ratio loosens, and the two curves are close
+    (same space, same collision bounds -- Theorem 1).
+    """
+    stream = datasets.by_name(name, scale)
+    workload = edge_workload(stream, limit=QUERY_LIMIT)
+    ratios = ratios if ratios is not None else datasets.DEFAULT_RATIOS[name]
+    rows = []
+    for ratio in ratios:
+        tcm = build_tcm(stream, ratio, d, seed=seed)
+        cm = build_edge_cm(stream, ratio, d, seed=seed)
+        rows.append((
+            f"1/{round(1 / ratio)}",
+            edge_query_are(stream, tcm.edge_weight, workload),
+            edge_query_are(stream, cm.edge_weight, workload),
+        ))
+    return rows
+
+
+def fig8_weight_distribution(name: str, scale: str = "small",
+                             buckets: int = 20) -> List[Tuple]:
+    """Fig. 8: the edge-weight distribution of a dataset.
+
+    Rows ``(bucket, min_weight, max_weight, edge_count)`` over
+    equal-count weight buckets, ascending.  Expected shape: Zipfian --
+    low-weight edges dominate by orders of magnitude.
+    """
+    stream = datasets.by_name(name, scale)
+    weights = sorted(stream.edge_weight(*e) for e in stream.distinct_edges)
+    if not weights:
+        return []
+    bounds = [round(i * len(weights) / buckets) for i in range(buckets + 1)]
+    rows = []
+    for b in range(buckets):
+        chunk = weights[bounds[b]:bounds[b + 1]]
+        if not chunk:
+            continue
+        rows.append((b + 1, min(chunk), max(chunk), len(chunk)))
+    return rows
+
+
+def fig9_edge_vs_d(name: str, scale: str = "small",
+                   ratio: Optional[float] = None,
+                   d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                   seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 9: ARE of edge queries vs number of hash functions (fixed w).
+
+    Rows ``(d, are_tcm, are_countmin)``.  Expected shape: both fall
+    monotonically with d; curves close to each other.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    workload = edge_workload(stream, limit=QUERY_LIMIT)
+    rows = []
+    for d in d_values:
+        tcm = build_tcm(stream, ratio, d, seed=seed)
+        cm = build_edge_cm(stream, ratio, d, seed=seed)
+        rows.append((
+            d,
+            edge_query_are(stream, tcm.edge_weight, workload),
+            edge_query_are(stream, cm.edge_weight, workload),
+        ))
+    return rows
+
+
+def fig10_weight_segments(name: str, scale: str = "small",
+                          ratio: Optional[float] = None, d: int = 9,
+                          segments: int = 10,
+                          seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 10: ARE per weight segment (lightest decile first).
+
+    Rows ``(segment, are_tcm, are_countmin)``.  Expected shape: segment 1
+    (lowest weights) has by far the highest error; error collapses toward
+    the heavy segments.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    tcm = build_tcm(stream, ratio, d, seed=seed)
+    cm = build_edge_cm(stream, ratio, d, seed=seed)
+    ranked = sorted(stream.distinct_edges,
+                    key=lambda e: (stream.edge_weight(*e), repr(e)))
+    exact = lambda e: stream.edge_weight(*e)
+    tcm_errors = errors_by_segment(ranked, segments, exact,
+                                   lambda e: tcm.edge_weight(*e))
+    cm_errors = errors_by_segment(ranked, segments, exact,
+                                  lambda e: cm.edge_weight(*e))
+    return [(s + 1, tcm_errors[s], cm_errors[s]) for s in range(segments)]
+
+
+def gsketch_comparison(name: str, scale: str = "small",
+                       ratio: Optional[float] = None,
+                       d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                       partitions: int = 10,
+                       seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Tables 2/4/5: ARE of CountMin / TCM / gSketch / TCM(edge sample).
+
+    Rows ``(method, are@d1, are@d3, ...)``.  Expected shape: plain
+    CountMin ~ plain TCM; gSketch ~ TCM(edge sample), both several times
+    lower thanks to sample partitioning.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    workload = edge_workload(stream, limit=QUERY_LIMIT)
+    results = {"CountMin": [], "TCM": [], "gSketch": [], "TCM (edge sample)": []}
+    for d in d_values:
+        cm = build_edge_cm(stream, ratio, d, seed=seed)
+        tcm = build_tcm(stream, ratio, d, seed=seed)
+        gs = build_gsketch(stream, ratio, d, partitions=partitions, seed=seed)
+        pt = build_partitioned_tcm(stream, ratio, d, partitions=partitions,
+                                   seed=seed)
+        results["CountMin"].append(edge_query_are(stream, cm.edge_weight, workload))
+        results["TCM"].append(edge_query_are(stream, tcm.edge_weight, workload))
+        results["gSketch"].append(edge_query_are(stream, gs.edge_weight, workload))
+        results["TCM (edge sample)"].append(
+            edge_query_are(stream, pt.edge_weight, workload))
+    return [(method, *are_values) for method, are_values in results.items()]
+
+
+def fig12_same_space_set(name: str, scale: str = "small",
+                         ratio: Optional[float] = None,
+                         d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                         seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 12: one summary for a *set* of problems, same total space.
+
+    TCM answers edge and node queries from one structure; CountMin needs
+    an edge sketch *and* a node sketch, so at equal total space each CM
+    sketch gets half the cells.  Rows ``(d, are_tcm, are_countmin_half)``
+    for the edge-query half of the comparison (the node half is similar,
+    as the paper notes).  Expected shape: TCM clearly lower.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    workload = edge_workload(stream, limit=QUERY_LIMIT)
+    rows = []
+    for d in d_values:
+        tcm = build_tcm(stream, ratio, d, seed=seed)
+        cm = build_edge_cm(stream, ratio / 2, d, seed=seed)  # half the space
+        rows.append((
+            d,
+            edge_query_are(stream, tcm.edge_weight, workload),
+            edge_query_are(stream, cm.edge_weight, workload),
+        ))
+    return rows
+
+
+def heavy_edges_accuracy(name: str, scale: str = "small",
+                         ratio: Optional[float] = None, d: int = 9,
+                         k: int = 100,
+                         nonsquare: bool = True,
+                         seed: int = DEFAULT_SEED) -> Tuple:
+    """Exp-1(d) / Fig. 11(a): top-k heavy-edge intersection accuracy.
+
+    All three summaries get the same cell budget; the sample baseline is
+    a same-space element reservoir.  Returns ``(accuracy_tcm,
+    accuracy_countmin, accuracy_sample)``.  Expected shape: TCM ~
+    CountMin >= sample; near 1.0 for the big-range IP-flow weights.
+    """
+    from repro.baselines.sampling import ReservoirEdgeSample
+    from repro.core.heavy_hitters import HeavyEdgeMonitor
+    from repro.core.tcm import TCM
+    from repro.metrics.topk import intersection_accuracy, topk_items
+
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    truth = topk_items(stream.top_edges(k), k)
+
+    cells = cells_for_ratio(stream, ratio)
+    if nonsquare and stream.directed:
+        tcm = TCM.with_varied_shapes(cells, d, seed=seed,
+                                     directed=stream.directed)
+    else:
+        tcm = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+    monitor = HeavyEdgeMonitor(tcm, k)
+    monitor.consume(stream)
+    tcm_top = topk_items(monitor.top(), k)
+
+    # CountMin heavy edges via the same online candidate-tracking protocol.
+    from repro.baselines.countmin import EdgeCountMin
+    cm = EdgeCountMin(d, cells, seed=seed, directed=stream.directed)
+    cm_candidates = {}
+    for edge in stream:
+        cm.update(edge.source, edge.target, edge.weight)
+        s, t = edge.source, edge.target
+        if not stream.directed and repr(s) > repr(t):
+            s, t = t, s
+        est = cm.edge_weight(s, t)
+        key = (s, t)
+        if key in cm_candidates or len(cm_candidates) < k:
+            cm_candidates[key] = est
+        elif est > min(cm_candidates.values()):
+            victim = min(cm_candidates, key=lambda e: (cm_candidates[e], repr(e)))
+            del cm_candidates[victim]
+            cm_candidates[key] = est
+    cm_top = [e for e, _ in sorted(cm_candidates.items(),
+                                   key=lambda kv: (-kv[1], repr(kv[0])))[:k]]
+
+    sample = ReservoirEdgeSample(cells, seed=seed, directed=stream.directed)
+    sample.ingest(stream)
+    sample_top = topk_items(sample.top_edges(k), k)
+
+    return (intersection_accuracy(tcm_top, truth, k),
+            intersection_accuracy(cm_top, truth, k),
+            intersection_accuracy(sample_top, truth, k))

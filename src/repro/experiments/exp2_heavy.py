@@ -1,0 +1,172 @@
+"""Exp-2: node queries -- heavy nodes, conditional heavy hitters, NDCG
+(paper Fig. 11(b), Fig. 13, Appendix C.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.heavy_hitters import (
+    ConditionalHeavyHitterMonitor,
+    HeavyEdgeMonitor,
+    HeavyNodeMonitor,
+)
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.common import DEFAULT_SEED, cells_for_ratio
+from repro.metrics.topk import intersection_accuracy, ndcg, topk_items
+
+
+def _node_direction(stream) -> str:
+    return "both" if not stream.directed else "in"
+
+
+def heavy_nodes_accuracy(name: str, scale: str = "small",
+                         ratio: Optional[float] = None, d: int = 9,
+                         k: int = 100,
+                         seed: int = DEFAULT_SEED) -> Tuple:
+    """Fig. 11(b): top-k heavy-node intersection accuracy.
+
+    All three summaries get the same cell budget; the sample baseline is
+    a same-space element reservoir.  Returns ``(accuracy_tcm,
+    accuracy_countmin, accuracy_sample)``.  Expected shape: TCM ~
+    CountMin > sample.  Note the space asymmetry the paper points out:
+    TCM reuses the sketches already built for edge queries, while
+    CountMin and sampling must build *node-keyed* structures separately.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    direction = _node_direction(stream)
+    truth_direction = "both" if direction == "both" else "in"
+    truth = topk_items(stream.top_nodes(k, direction=truth_direction), k)
+
+    cells = cells_for_ratio(stream, ratio)
+    tcm = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+    monitor = HeavyNodeMonitor(tcm, k, direction=direction)
+    monitor.consume(stream)
+    tcm_top = topk_items(monitor.top(), k)
+
+    # Online CountMin node-sketch tracking, same protocol.
+    from repro.baselines.countmin import NodeCountMin
+    cm = NodeCountMin(d, cells, seed=seed, direction=direction)
+    cm_candidates = {}
+    for edge in stream:
+        cm.update(edge.source, edge.target, edge.weight)
+        nodes = ((edge.target,) if direction == "in"
+                 else (edge.source,) if direction == "out"
+                 else (edge.source, edge.target))
+        for node in nodes:
+            est = cm.flow(node)
+            if node in cm_candidates or len(cm_candidates) < k:
+                cm_candidates[node] = est
+            elif est > min(cm_candidates.values()):
+                victim = min(cm_candidates,
+                             key=lambda n: (cm_candidates[n], repr(n)))
+                del cm_candidates[victim]
+                cm_candidates[node] = est
+    cm_top = [n for n, _ in sorted(cm_candidates.items(),
+                                   key=lambda kv: (-kv[1], repr(kv[0])))[:k]]
+
+    from repro.baselines.sampling import ReservoirEdgeSample
+    sample = ReservoirEdgeSample(cells, seed=seed, directed=stream.directed)
+    sample.ingest(stream)
+    sample_top = topk_items(sample.top_nodes(k, direction=direction), k)
+
+    return (intersection_accuracy(tcm_top, truth, k),
+            intersection_accuracy(cm_top, truth, k),
+            intersection_accuracy(sample_top, truth, k))
+
+
+def fig11_heavy_hitters(names: Sequence[str] = ("dblp", "ipflow"),
+                        scale: str = "small", d: int = 9,
+                        edge_k: int = 100, node_k: int = 50,
+                        node_ratio: float = 1 / 3,
+                        seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 11: heavy edges and heavy nodes, per dataset and method.
+
+    Rows ``(dataset, kind, acc_tcm, acc_countmin, acc_sample)``.
+
+    The node half uses k=50 and a slightly looser ratio: node-flow
+    estimates sum a whole matrix row, whose noise floor is ``W/w`` -- at
+    laptop scale only the top ~50 node flows sit above it (the paper's
+    281K-IP streams put the top 100 of them above the floor at their w).
+    EXPERIMENTS.md discusses this scaling in detail.
+    """
+    from repro.experiments.exp1_edge import heavy_edges_accuracy
+
+    rows = []
+    for name in names:
+        edge_acc = heavy_edges_accuracy(name, scale, d=d, k=edge_k, seed=seed)
+        rows.append((name, "heavy edges", *edge_acc))
+        node_acc = heavy_nodes_accuracy(name, scale, ratio=node_ratio,
+                                        d=d, k=node_k, seed=seed)
+        rows.append((name, "heavy nodes", *node_acc))
+    return rows
+
+
+def fig13_conditional_heavy_hitters(scale: str = "small",
+                                    ratio: Optional[float] = None,
+                                    d: int = 9, k: int = 5, l: int = 5,
+                                    seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 13: conditional heavy hitters on the DBLP-like stream.
+
+    Rows ``(author, est_flow, exact_rank_hit, [top-l collaborators])``:
+    for each detected heavy author, whether it is a true top-k author and
+    how many of its detected top-l collaborators are among its true top-l
+    collaborators (the paper's manual check: 3-5 of 5).
+    """
+    stream = datasets.dblp(scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO["dblp"]
+    cells = cells_for_ratio(stream, ratio)
+    tcm = TCM.from_space(cells, d, seed=seed, directed=False)
+    monitor = ConditionalHeavyHitterMonitor(tcm, k=k, l=l, direction="both")
+    monitor.consume(stream)
+
+    true_top = set(topk_items(stream.top_nodes(k, direction="both"), k))
+    rows = []
+    for author, flow, collaborators in monitor.top():
+        # Ground-truth top-l collaborators of this author.
+        neighbours = stream.successors(author)
+        ranked = sorted(neighbours,
+                        key=lambda z: (-stream.edge_weight(author, z), repr(z)))
+        true_collab = set(ranked[:l])
+        found = [z for z, _ in collaborators]
+        overlap = len(true_collab & set(found))
+        rows.append((author, flow, author in true_top,
+                     f"{overlap}/{min(l, len(true_collab))}",
+                     ", ".join(str(z) for z in found)))
+    return rows
+
+
+def ndcg_table(name: str = "ipflow", scale: str = "small",
+               ratio: Optional[float] = None, d: int = 9,
+               k_values: Sequence[int] = (10, 50, 100),
+               seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Appendix C.3: NDCG of top-k heavy edges and nodes.
+
+    Rows ``(k, ndcg_heavy_edges, ndcg_heavy_nodes)``; the paper reports
+    ~0.99 everywhere.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    cells = cells_for_ratio(stream, ratio)
+    direction = _node_direction(stream)
+
+    max_k = max(k_values)
+    tcm_e = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+    edge_monitor = HeavyEdgeMonitor(tcm_e, max_k)
+    edge_monitor.consume(stream)
+    edge_ranking = topk_items(edge_monitor.top(), max_k)
+    edge_scores = {e: w for e, w in stream.top_edges(max_k)}
+
+    tcm_n = TCM.from_space(cells, d, seed=seed + 1, directed=stream.directed)
+    node_monitor = HeavyNodeMonitor(tcm_n, max_k, direction=direction)
+    node_monitor.consume(stream)
+    node_ranking = topk_items(node_monitor.top(), max_k)
+    truth_direction = "both" if direction == "both" else "in"
+    node_scores = {n: w for n, w in stream.top_nodes(max_k, truth_direction)}
+
+    return [(k,
+             ndcg(edge_ranking, edge_scores, k),
+             ndcg(node_ranking, node_scores, k))
+            for k in k_values]

@@ -1,0 +1,116 @@
+"""Exp-3: path (reachability) queries (paper Fig. 14).
+
+CountMin and sample-based sketches cannot answer reachability at all;
+this experiment only has TCM curves, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    cells_for_ratio,
+    random_node_pairs,
+)
+from repro.streams.generators import rmat
+
+
+def reachability_accuracy(stream, width: int, d: int, pairs_count: int = 100,
+                          seed: int = DEFAULT_SEED) -> float:
+    """Fraction of random node pairs whose reachability TCM gets right.
+
+    Correct = true positive or true negative (paper's inter-accuracy for
+    Exp-3).  TCM never yields false negatives (reachable pairs are always
+    detected), so all mistakes are collision-made false positives.
+    """
+    tcm = TCM(d=d, width=width, seed=seed, directed=stream.directed)
+    tcm.ingest(stream)
+    pairs = random_node_pairs(stream, pairs_count, seed=seed)
+    correct = sum(1 for a, b in pairs
+                  if tcm.reachable(a, b) == stream.reachable(a, b))
+    return correct / len(pairs)
+
+
+def fig14a_reachability_vs_d(names: Sequence[str] = ("dblp", "ipflow", "gtgraph"),
+                             scale: str = "small",
+                             d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                             node_compression: int = 8,
+                             pairs_count: int = 100,
+                             seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 14(a): reachability inter-accuracy vs d, per dataset.
+
+    Rows ``(d, acc_dataset1, acc_dataset2, ...)``.  Expected shape:
+    accuracy rises with d toward ~0.85-1.0.
+
+    Sizing: like Fig. 14(b), connectivity experiments fix the node
+    compression (``w = |V| / node_compression``) instead of a cell ratio;
+    below the sparsity threshold the sketch graph saturates to a clique
+    and every pair trivially reads as reachable at any d.
+    """
+    streams = {name: datasets.by_name(name, scale) for name in names}
+    rows = []
+    for d in d_values:
+        row = [d]
+        for name in names:
+            stream = streams[name]
+            width = max(2, len(stream.nodes) // node_compression)
+            row.append(reachability_accuracy(stream, width, d,
+                                             pairs_count, seed=seed))
+        rows.append(tuple(row))
+    return rows
+
+
+def fig14b_true_negatives(density_values: Sequence[int] = (1, 3, 5, 7),
+                          n_nodes: int = 1024,
+                          d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                          node_compression: int = 2,
+                          pairs_count: int = 100,
+                          seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 14(b): true-negative accuracy vs d on R-MAT graphs of varying
+    density ``|E|/|V|``.
+
+    Rows ``(d, acc@density1, acc@density3, ...)``.  Only *unreachable*
+    ground-truth pairs are scored: the fraction TCM correctly reports as
+    unreachable.  Expected shape: low at d=1, rising steeply with d;
+    denser graphs have fewer negatives to get wrong.
+
+    Sizing note: connectivity queries are only informative while the
+    sketch graph stays sparser than complete, so this experiment fixes the
+    *node* compression (``w = |V| / node_compression``) rather than a cell
+    ratio -- with ``w`` below the saturation point every sketch would
+    report everything reachable regardless of d and the figure would be a
+    flat zero.
+    """
+    streams = {}
+    for density in density_values:
+        streams[density] = rmat(n_nodes, n_nodes * density,
+                                seed=seed + density)
+    width = max(2, n_nodes // node_compression)
+    rows = []
+    for d in d_values:
+        row = [d]
+        for density in density_values:
+            stream = streams[density]
+            tcm = TCM(d=d, width=width, seed=seed, directed=True)
+            tcm.ingest(stream)
+            # Collect unreachable ground-truth pairs.
+            negatives = []
+            attempt_seed = seed
+            while len(negatives) < pairs_count and attempt_seed < seed + 50:
+                for a, b in random_node_pairs(stream, pairs_count,
+                                              seed=attempt_seed):
+                    if len(negatives) >= pairs_count:
+                        break
+                    if not stream.reachable(a, b):
+                        negatives.append((a, b))
+                attempt_seed += 1
+            if not negatives:
+                row.append(float("nan"))  # graph too dense: no negatives
+                continue
+            correct = sum(1 for a, b in negatives if not tcm.reachable(a, b))
+            row.append(correct / len(negatives))
+        rows.append(tuple(row))
+    return rows

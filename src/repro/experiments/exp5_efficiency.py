@@ -1,0 +1,146 @@
+"""Exp-5: efficiency -- construction throughput and query time
+(paper Fig. 17 and Appendix C.4).
+
+Absolute times are not comparable to the paper's C++ testbed; the
+reproduced *shapes* are:
+
+- Fig. 17: edge-CountMin pays a per-element string-concatenation cost
+  that TCM avoids (TCM hashes the two labels separately); total build
+  time grows linearly with d for both.
+- Appendix C.4: query time on the sketch is orders of magnitude below a
+  scan of the raw adjacency list and still far below a hash-indexed
+  adjacency list.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.adjacency import AdjacencyListGraph, HashedAdjacencyGraph
+from repro.baselines.countmin import EdgeCountMin, concat_edge_key
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    build_tcm,
+    cells_for_ratio,
+    edge_workload,
+)
+
+
+def build_time_breakdown(name: str, scale: str = "small",
+                         ratio: Optional[float] = None,
+                         d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                         seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Fig. 17: construction time, split into string-op and hash/update.
+
+    Rows ``(d, cm_string, cm_hash, tcm_string, tcm_hash)`` in seconds.
+    ``cm_string`` is the concatenation cost edge-CountMin pays on every
+    element (measured by a dedicated pre-pass building the concatenated
+    keys); ``tcm_string`` is identically zero since TCM never
+    concatenates.  Expected shape: cm_string > 0 and flat in d, both hash
+    costs growing linearly with d.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    cells = cells_for_ratio(stream, ratio)
+    elements = [(e.source, e.target, e.weight) for e in stream]
+
+    rows = []
+    for d in d_values:
+        # CountMin: string concatenation phase (per element) ...
+        start = time.perf_counter()
+        keys = [concat_edge_key(s, t) for s, t, _ in elements]
+        cm_string = time.perf_counter() - start
+        # ... then hashing + update phase on the concatenated keys.
+        cm = EdgeCountMin(d, cells, seed=seed, directed=stream.directed)
+        start = time.perf_counter()
+        for key, (_, _, w) in zip(keys, elements):
+            cm._cm.update(key, w)
+        cm_hash = time.perf_counter() - start
+
+        # TCM: no string phase; hash both labels and update the matrices.
+        tcm = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+        start = time.perf_counter()
+        for s, t, w in elements:
+            tcm.update(s, t, w)
+        tcm_hash = time.perf_counter() - start
+
+        rows.append((d, cm_string, cm_hash, 0.0, tcm_hash))
+    return rows
+
+
+def ingest_throughput(name: str = "twitter", scale: str = "small",
+                      ratio: Optional[float] = None, d: int = 4,
+                      seed: int = DEFAULT_SEED) -> Tuple[float, float]:
+    """Elements/second for scalar vs vectorized TCM ingest.
+
+    Not a paper figure, but documents the numpy bulk path that makes the
+    Python reproduction usable at the paper's stream sizes.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    cells = cells_for_ratio(stream, ratio)
+
+    tcm = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+    start = time.perf_counter()
+    for edge in stream:
+        tcm.update(edge.source, edge.target, edge.weight)
+    scalar_rate = len(stream) / (time.perf_counter() - start)
+
+    tcm2 = TCM.from_space(cells, d, seed=seed, directed=stream.directed)
+    start = time.perf_counter()
+    tcm2.ingest(stream)
+    vector_rate = len(stream) / (time.perf_counter() - start)
+    return scalar_rate, vector_rate
+
+
+def query_time_table(name: str = "gtgraph", scale: str = "small",
+                     ratio: Optional[float] = None, d: int = 4,
+                     query_counts: Sequence[int] = (100, 1000, 10000),
+                     seed: int = DEFAULT_SEED) -> List[Tuple]:
+    """Appendix C.4: edge-query time on sketch vs adjacency stores.
+
+    Rows ``(n_queries, t_tcm, t_adjacency_list, t_hashed_list)`` in
+    seconds.  The workload mirrors the paper: edges stratified by weight
+    decile.  The plain adjacency list's linear node lookup is capped to
+    the smallest query count (it is three orders of magnitude slower,
+    exactly the paper's point) and extrapolated linearly for the rest.
+    """
+    stream = datasets.by_name(name, scale)
+    ratio = ratio if ratio is not None else datasets.FIXED_RATIO[name]
+    tcm = build_tcm(stream, ratio, d, seed=seed)
+    hashed = HashedAdjacencyGraph(directed=stream.directed)
+    hashed.ingest(stream)
+    scan = AdjacencyListGraph(directed=stream.directed)
+    scan.ingest(stream)
+
+    # Weight-stratified workload (paper: 1/10 of edges from each decile).
+    ranked = sorted(stream.distinct_edges,
+                    key=lambda e: (stream.edge_weight(*e), repr(e)))
+    max_queries = max(query_counts)
+    step = max(1, len(ranked) // max_queries)
+    pool = (ranked[::step] * (max_queries // max(1, len(ranked[::step])) + 1))
+    workload = pool[:max_queries]
+
+    scan_budget = min(query_counts)
+    rows = []
+    for count in query_counts:
+        queries = workload[:count]
+        start = time.perf_counter()
+        tcm.edge_weights(queries)
+        t_tcm = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for x, y in queries[:scan_budget]:
+            scan.edge_weight(x, y)
+        t_scan = (time.perf_counter() - start) * (count / scan_budget)
+
+        start = time.perf_counter()
+        for x, y in queries:
+            hashed.edge_weight(x, y)
+        t_hashed = time.perf_counter() - start
+
+        rows.append((count, t_tcm, t_scan, t_hashed))
+    return rows

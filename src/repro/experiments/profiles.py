@@ -1,0 +1,62 @@
+"""Workload characterization: one fingerprint table per dataset.
+
+The paper characterizes its datasets by size and weight distribution
+(Section 6.1.1 and Fig. 8); this driver produces the complete fingerprint
+used throughout EXPERIMENTS.md -- sizes, weight range and skew, degree
+skew, distinct-edge estimate (bottom-k), self-join size (AMS) and the
+triad closure ratio -- so every accuracy discussion can point at measured
+workload properties rather than assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analytics.motifs import triad_census
+from repro.analytics.views import StreamView
+from repro.baselines.ams import EdgeF2Sketch
+from repro.baselines.bottomk import DistinctEdgeCounter
+from repro.experiments import datasets
+from repro.streams.stats import summarize
+
+
+def dataset_profile(name: str, scale: str = "tiny",
+                    seed: int = 7) -> Tuple:
+    """One fingerprint row for a dataset.
+
+    Returns ``(name, elements, nodes, distinct_edges, bottomk_estimate,
+    weight_orders, weight_gini, degree_gini, f2_ratio, closure)`` where
+    ``f2_ratio`` is the AMS self-join size divided by the uniform
+    baseline (1 = no repeat skew) and ``closure`` the triad closure
+    ratio.
+    """
+    stream = datasets.by_name(name, scale)
+    report = summarize(stream)
+
+    distinct_counter = DistinctEdgeCounter(k=256, seed=seed,
+                                           directed=stream.directed)
+    distinct_counter.ingest(stream)
+
+    f2 = EdgeF2Sketch(5, 32, seed=seed, directed=stream.directed)
+    f2.ingest(stream)
+    # Uniform baseline: every distinct edge with the mean weight.
+    uniform_f2 = report.distinct_edges * report.mean_edge_weight ** 2
+    f2_ratio = f2.self_join_size() / uniform_f2 if uniform_f2 else 0.0
+
+    census = triad_census(StreamView(stream))
+
+    return (name, report.elements, report.nodes, report.distinct_edges,
+            round(distinct_counter.distinct_edges()),
+            report.weight_range_orders, report.weight_gini,
+            report.degree_gini, f2_ratio, census.closure_ratio)
+
+
+def profile_table(names: Sequence[str] = ("dblp", "ipflow", "gtgraph"),
+                  scale: str = "tiny", seed: int = 7) -> List[Tuple]:
+    """Fingerprint rows for several datasets."""
+    return [dataset_profile(name, scale, seed) for name in names]
+
+
+PROFILE_HEADERS = ("dataset", "elements", "nodes", "distinct edges",
+                   "bottom-k est.", "weight orders", "weight gini",
+                   "degree gini", "F2 ratio", "triad closure")

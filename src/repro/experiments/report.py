@@ -1,0 +1,51 @@
+"""Plain-text table formatting for experiment output.
+
+Keeps the drivers pure: they return rows, and the CLI / benchmarks render
+them with :func:`format_table` in the same rows-and-series style the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    rendered: List[List[str]] = [[_render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header.rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    """Print a titled table (used by the CLI and benchmarks)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,81 @@
+"""Parameter sweeps: the (d x ratio) accuracy grid.
+
+Figs. 7 and 9 each fix one axis of the (space, ensemble size) trade-off;
+this driver sweeps both at once and reports the full grid, which is how a
+deployment actually gets sized (pick the cheapest cell meeting the error
+budget).  Beyond the paper's figures, but built entirely from their
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments import datasets
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    build_edge_cm,
+    build_tcm,
+    edge_query_are,
+    edge_workload,
+)
+
+GridRow = Tuple  # (ratio_label, are@d1, are@d2, ...)
+
+
+def accuracy_grid(name: str, scale: str = "small",
+                  ratios: Optional[Sequence[float]] = None,
+                  d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                  summary: str = "tcm",
+                  seed: int = DEFAULT_SEED) -> List[GridRow]:
+    """Edge-query ARE over the (ratio x d) grid.
+
+    :param summary: ``"tcm"`` or ``"countmin"``.
+    :returns: one row per ratio: ``(label, are@d..., )`` with d ascending.
+    """
+    if summary not in ("tcm", "countmin"):
+        raise ValueError(f"summary must be 'tcm' or 'countmin', got {summary!r}")
+    stream = datasets.by_name(name, scale)
+    ratios = ratios if ratios is not None else datasets.DEFAULT_RATIOS[name]
+    workload = edge_workload(stream, limit=3000)
+    rows: List[GridRow] = []
+    for ratio in ratios:
+        row: List = [f"1/{round(1 / ratio)}"]
+        for d in d_values:
+            if summary == "tcm":
+                sketch = build_tcm(stream, ratio, d, seed=seed)
+            else:
+                sketch = build_edge_cm(stream, ratio, d, seed=seed)
+            row.append(edge_query_are(stream, sketch.edge_weight, workload))
+        rows.append(tuple(row))
+    return rows
+
+
+def cheapest_configuration(name: str, target_are: float,
+                           scale: str = "small",
+                           ratios: Optional[Sequence[float]] = None,
+                           d_values: Sequence[int] = (1, 3, 5, 7, 9),
+                           seed: int = DEFAULT_SEED
+                           ) -> Optional[Tuple[float, int, float, int]]:
+    """The smallest-space (ratio, d) meeting an ARE budget, or None.
+
+    Returns ``(ratio, d, achieved_are, total_cells)`` with the minimum
+    ``d * cells_per_sketch`` among grid points whose ARE <= target.
+    """
+    from repro.experiments.common import cells_for_ratio
+
+    stream = datasets.by_name(name, scale)
+    ratios = ratios if ratios is not None else datasets.DEFAULT_RATIOS[name]
+    workload = edge_workload(stream, limit=3000)
+    best: Optional[Tuple[float, int, float, int]] = None
+    for ratio in ratios:
+        cells = cells_for_ratio(stream, ratio)
+        for d in d_values:
+            sketch = build_tcm(stream, ratio, d, seed=seed)
+            are = edge_query_are(stream, sketch.edge_weight, workload)
+            if are > target_are:
+                continue
+            total = d * cells
+            if best is None or total < best[3]:
+                best = (ratio, d, are, total)
+    return best

@@ -1,0 +1,149 @@
+"""Carter-Wegman pairwise-independent hash functions.
+
+A family ``H = {h : U -> [0, w)}`` is pairwise independent when for distinct
+keys ``x != y`` and any buckets ``k, l``::
+
+    Pr[h(x) = k and h(y) = l] = 1 / w**2
+
+The classic construction ``h(x) = ((a*x + b) mod p) mod w`` with ``p`` prime,
+``a`` drawn uniformly from ``[1, p)`` and ``b`` from ``[0, p)`` achieves this
+(up to the small bias of the final ``mod w``).  We use the Mersenne prime
+``p = 2**61 - 1``, which covers 64-bit label keys after one reduction, keeps
+scalar arithmetic in native Python ints, and admits an overflow-free
+vectorized implementation in uint64 numpy arrays via limb splitting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.hashing.labels import Label, label_to_int
+
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_P = np.uint64(MERSENNE_PRIME_61)
+_LIMB_BITS = np.uint64(31)
+_LIMB_MASK = np.uint64((1 << 31) - 1)
+
+
+def _mod_mersenne(x: "np.ndarray") -> "np.ndarray":
+    """Reduce uint64 values (< 2^64) modulo ``2^61 - 1`` without overflow."""
+    y = (x & _P) + (x >> np.uint64(61))
+    return np.where(y >= _P, y - _P, y)
+
+
+def _mulmod_mersenne(a_hi: int, a_lo: int, k: "np.ndarray") -> "np.ndarray":
+    """Compute ``a * k mod (2^61-1)`` with ``a = a_hi*2^31 + a_lo`` and
+    ``k`` an array of values in ``[0, 2^61)``.
+
+    All four partial products fit in uint64:
+    ``a_hi < 2^30``, ``a_lo < 2^31``, ``k_hi < 2^30``, ``k_lo < 2^31``.
+    Uses ``2^61 === 1`` and ``2^62 === 2 (mod p)`` to fold the high limbs.
+    """
+    k_hi = k >> _LIMB_BITS            # < 2^30
+    k_lo = k & _LIMB_MASK             # < 2^31
+    hi = np.uint64(a_hi)
+    lo = np.uint64(a_lo)
+
+    # a*k = a_hi*k_hi*2^62 + (a_hi*k_lo + a_lo*k_hi)*2^31 + a_lo*k_lo
+    top = _mod_mersenne(hi * k_hi)                       # (a_hi*k_hi) mod p
+    top = _mod_mersenne(top + top)                       # * 2^62 === * 2
+    mid = _mod_mersenne(hi * k_lo + lo * k_hi)           # < 2^62, fits
+    mid = _shl31_mod_mersenne(mid)                       # * 2^31
+    bot = _mod_mersenne(lo * k_lo)                       # < 2^62, fits
+    return _mod_mersenne(top + mid + bot)
+
+
+def _shl31_mod_mersenne(y: "np.ndarray") -> "np.ndarray":
+    """Compute ``(y << 31) mod (2^61-1)`` for ``y`` in ``[0, 2^61)``.
+
+    ``y*2^31 = y_hi*2^61 + y_lo*2^31 === y_hi + y_lo*2^31 (mod p)`` where
+    ``y = y_hi*2^30 + y_lo`` and ``y_lo*2^31 < 2^61`` fits exactly.
+    """
+    y_hi = y >> np.uint64(30)
+    y_lo = y & np.uint64((1 << 30) - 1)
+    return _mod_mersenne((y_lo << _LIMB_BITS) + y_hi)
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """One hash ``h(x) = ((a*x + b) mod p) mod width`` with ``p = 2^61-1``.
+
+    Instances are immutable and hashable so sketches can be compared and
+    serialized; two sketches built from equal :class:`PairwiseHash` objects
+    are bucket-for-bucket identical.
+    """
+
+    a: int
+    b: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.a < MERSENNE_PRIME_61:
+            raise ValueError(f"a must be in [1, p), got {self.a}")
+        if not 0 <= self.b < MERSENNE_PRIME_61:
+            raise ValueError(f"b must be in [0, p), got {self.b}")
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+    def __call__(self, label: Label) -> int:
+        """Return the bucket of ``label`` in ``[0, width)``."""
+        return self.hash_int(label_to_int(label))
+
+    def hash_int(self, key: int) -> int:
+        """Bucket an already-converted integer key (scalar fast path)."""
+        return ((self.a * (key % MERSENNE_PRIME_61) + self.b) % MERSENNE_PRIME_61) % self.width
+
+    def hash_many(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized bucketing of an array of non-negative integer keys.
+
+        Equivalent to ``np.array([self.hash_int(k) for k in keys])`` but
+        runs entirely in uint64 numpy arithmetic.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        k = _mod_mersenne(keys)
+        prod = _mulmod_mersenne(self.a >> 31, self.a & ((1 << 31) - 1), k)
+        total = _mod_mersenne(prod + np.uint64(self.b))
+        return (total % np.uint64(self.width)).astype(np.int64)
+
+
+class HashFamily:
+    """``d`` independent pairwise hash functions over a common key space.
+
+    This is the object handed to a :class:`~repro.core.tcm.TCM`: one
+    :class:`PairwiseHash` per constituent graph sketch.  Functions may have
+    different widths (used by non-square matrices, paper Section 5.1.2).
+    """
+
+    def __init__(self, widths: Sequence[int], seed: Optional[int] = None):
+        if not widths:
+            raise ValueError("HashFamily needs at least one width")
+        rng = random.Random(seed)
+        self._functions = tuple(
+            PairwiseHash(
+                a=rng.randrange(1, MERSENNE_PRIME_61),
+                b=rng.randrange(0, MERSENNE_PRIME_61),
+                width=w,
+            )
+            for w in widths
+        )
+
+    @classmethod
+    def uniform(cls, d: int, width: int, seed: Optional[int] = None) -> "HashFamily":
+        """Family of ``d`` functions that all map into ``[0, width)``."""
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        return cls([width] * d, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self) -> Iterator[PairwiseHash]:
+        return iter(self._functions)
+
+    def __getitem__(self, i: int) -> PairwiseHash:
+        return self._functions[i]

@@ -1,0 +1,53 @@
+"""Stable mapping from node labels to 64-bit integers.
+
+Node labels in a graph stream are opaque identifiers -- IP addresses, user
+ids, author names (paper Section 3.1).  Before a pairwise-independent hash
+can be applied, a label must be turned into an integer key.  We use FNV-1a,
+a small, fast, well-distributed non-cryptographic hash that is identical
+across processes and platforms (unlike Python's salted ``hash``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Label = Union[str, bytes, int]
+
+_FNV_OFFSET_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+_MASK_64 = (1 << 64) - 1
+
+
+def fnv1a_64(data: bytes) -> int:
+    """Return the 64-bit FNV-1a hash of ``data``.
+
+    >>> fnv1a_64(b"")
+    14695981039346656037
+    """
+    value = _FNV_OFFSET_64
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME_64) & _MASK_64
+    return value
+
+
+def label_to_int(label: Label) -> int:
+    """Map a node label to a stable non-negative 64-bit integer key.
+
+    Integers are passed through (mod 2^64) so that integer-labelled streams
+    pay no hashing cost on ingest; strings and bytes go through FNV-1a.
+
+    :raises TypeError: for unsupported label types, so that silently bad
+        keys (e.g. floats, which would collide after truncation) are
+        rejected at the boundary.
+    """
+    if isinstance(label, bool):
+        # bool is a subclass of int but almost certainly a caller bug.
+        raise TypeError("bool is not a valid node label")
+    if isinstance(label, int):
+        return label & _MASK_64
+    if isinstance(label, str):
+        return fnv1a_64(label.encode("utf-8"))
+    if isinstance(label, bytes):
+        return fnv1a_64(label)
+    raise TypeError(f"unsupported node label type: {type(label).__name__}")

@@ -1,0 +1,17 @@
+"""Effectiveness metrics from the paper's Section 6.1.3 and Appendix C.3."""
+
+from repro.metrics.error import (
+    average_relative_error,
+    errors_by_segment,
+    relative_error,
+)
+from repro.metrics.topk import intersection_accuracy, ndcg, topk_items
+
+__all__ = [
+    "relative_error",
+    "average_relative_error",
+    "errors_by_segment",
+    "intersection_accuracy",
+    "ndcg",
+    "topk_items",
+]

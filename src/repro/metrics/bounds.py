@@ -1,0 +1,79 @@
+"""Analytic error-bound calculators (paper Appendix A).
+
+Theorem 1 gives the CountMin-style guarantee for TCM edge queries: with
+``d = ceil(ln(1/delta))`` hash functions and width ``w = ceil(e/eps)``,
+
+    fe_hat <= fe + eps * n    with probability >= 1 - delta
+
+(where ``n`` is total stream weight).  These helpers convert between the
+(eps, delta) accuracy target and the (d, w) sketch configuration, and
+predict expected errors for a given configuration -- the sizing arithmetic
+an operator runs before deploying a summary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def parameters_for_guarantee(epsilon: float, delta: float) -> Tuple[int, int]:
+    """The ``(d, w)`` achieving the (eps, delta) edge-query guarantee.
+
+    >>> parameters_for_guarantee(0.01, 0.05)
+    (3, 272)
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    d = max(1, math.ceil(math.log(1.0 / delta)))
+    w = max(1, math.ceil(math.e / epsilon))
+    return d, w
+
+
+def guarantee_for_parameters(d: int, w: int) -> Tuple[float, float]:
+    """The ``(epsilon, delta)`` a given ``(d, w)`` configuration achieves.
+
+    Inverse of :func:`parameters_for_guarantee`.
+    """
+    if d < 1 or w < 1:
+        raise ValueError(f"d and w must be >= 1, got d={d}, w={w}")
+    epsilon = math.e / w
+    delta = math.exp(-d)
+    return epsilon, delta
+
+
+def expected_edge_error(total_weight: float, w: int) -> float:
+    """Expected single-sketch edge over-count: ``n / w^2``.
+
+    Each colliding edge pair meets with probability ``1/w^2`` under
+    pairwise independence, so the expected foreign mass in a cell is the
+    total remaining stream weight divided by the cell count.
+    """
+    if w < 1:
+        raise ValueError(f"w must be >= 1, got {w}")
+    if total_weight < 0:
+        raise ValueError("total_weight must be non-negative")
+    return total_weight / (w * w)
+
+
+def expected_flow_error(total_weight: float, w: int) -> float:
+    """Expected single-sketch node-flow over-count: ``n / w``.
+
+    A flow estimate sums one whole row/column of ``w`` cells, so its
+    noise floor is ``w`` times the per-cell expectation -- the reason
+    heavy-node detection needs node flows above ``n/w`` (discussed in
+    EXPERIMENTS.md).
+    """
+    if w < 1:
+        raise ValueError(f"w must be >= 1, got {w}")
+    if total_weight < 0:
+        raise ValueError("total_weight must be non-negative")
+    return total_weight / w
+
+
+def space_in_cells(epsilon: float, delta: float) -> int:
+    """Total cells a TCM needs for the (eps, delta) guarantee: d * w^2."""
+    d, w = parameters_for_guarantee(epsilon, delta)
+    return d * w * w

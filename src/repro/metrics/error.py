@@ -1,0 +1,75 @@
+"""Relative-error metrics (paper Section 6.1.3, after gSketch).
+
+For a query ``Q`` with exact answer ``f(Q)`` and estimate ``f'(Q)``::
+
+    er(Q) = (f'(Q) - f(Q)) / f(Q) = f'(Q)/f(Q) - 1
+
+and the average relative error of a workload is the mean of ``er`` over
+its queries.  Over-counting sketches (TCM, CountMin) give ``er >= 0``;
+sample-based summaries can give ``er`` as low as -1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+Query = TypeVar("Query")
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """``er(Q)`` for one query.
+
+    :raises ZeroDivisionError: when ``exact`` is 0 -- the measure is
+        undefined there; workloads must query existing edges (the paper
+        evaluates over the distinct edges actually in the stream).
+    """
+    if exact == 0:
+        raise ZeroDivisionError(
+            "relative error is undefined for a zero exact answer")
+    return estimate / exact - 1.0
+
+
+def average_relative_error(queries: Iterable[Query],
+                           exact: Callable[[Query], float],
+                           estimate: Callable[[Query], float]) -> float:
+    """Mean relative error over a workload of queries.
+
+    Queries whose exact answer is 0 are skipped (they have no defined
+    relative error); an all-zero workload raises ``ValueError`` rather
+    than silently reporting a perfect score.
+    """
+    total = 0.0
+    counted = 0
+    for query in queries:
+        truth = exact(query)
+        if truth == 0:
+            continue
+        total += relative_error(estimate(query), truth)
+        counted += 1
+    if counted == 0:
+        raise ValueError("no queries with a non-zero exact answer")
+    return total / counted
+
+
+def errors_by_segment(ranked_queries: Sequence[Query], segments: int,
+                      exact: Callable[[Query], float],
+                      estimate: Callable[[Query], float]) -> list:
+    """ARE per equal-size segment of a pre-ranked workload (Fig. 10).
+
+    ``ranked_queries`` must be sorted ascending by exact weight; segment 0
+    is the lightest decile when ``segments=10``.
+    """
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    n = len(ranked_queries)
+    if n == 0:
+        raise ValueError("no queries supplied")
+    bounds = [round(i * n / segments) for i in range(segments + 1)]
+    result = []
+    for i in range(segments):
+        chunk = ranked_queries[bounds[i]:bounds[i + 1]]
+        if not chunk:
+            result.append(float("nan"))
+            continue
+        result.append(average_relative_error(chunk, exact, estimate))
+    return result

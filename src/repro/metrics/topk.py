@@ -1,0 +1,53 @@
+"""Top-k ranking quality metrics (Section 6.1.3 and Appendix C.3).
+
+- :func:`intersection_accuracy`: ``|X ∩ Y| / k`` between an algorithm's
+  top-k set ``X`` and the ground-truth top-k ``Y`` (Fagin et al.).
+- :func:`ndcg`: normalized discounted cumulative gain of the estimated
+  ranking against true relevance scores (Järvelin & Kekäläinen).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+
+def intersection_accuracy(estimated: Iterable[Hashable],
+                          truth: Iterable[Hashable],
+                          k: int) -> float:
+    """``|top-k(estimated) ∩ top-k(truth)| / k`` in [0, 1]."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    est_set = set(list(estimated)[:k])
+    true_set = set(list(truth)[:k])
+    return len(est_set & true_set) / k
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain with log2 position discounting."""
+    return sum(gain / math.log2(position + 2)
+               for position, gain in enumerate(gains))
+
+
+def ndcg(estimated_ranking: Sequence[Hashable],
+         true_scores: Mapping[Hashable, float],
+         k: int) -> float:
+    """NDCG@k of a ranking against true relevance scores.
+
+    Items absent from ``true_scores`` contribute zero gain.  The ideal
+    ranking is the true scores sorted descending.  Returns 1.0 for a
+    perfect ranking; 0 when nothing relevant was retrieved.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    gains = [true_scores.get(item, 0.0) for item in estimated_ranking[:k]]
+    ideal = sorted(true_scores.values(), reverse=True)[:k]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0:
+        return 0.0
+    return dcg(gains) / ideal_dcg
+
+
+def topk_items(ranked_with_scores: Iterable, k: int) -> list:
+    """Project ``[(item, score), ...]`` rankings onto their items."""
+    return [item for item, _ in list(ranked_with_scores)[:k]]

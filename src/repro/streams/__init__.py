@@ -1,0 +1,48 @@
+"""Graph-stream substrate.
+
+A *graph stream* (paper Section 3.1) is a sequence of elements
+``(x, y; t)`` -- edge ``(x, y)`` with an optional weight observed at time
+``t``.  The stream defines a multigraph: the same edge may occur many times
+and its weights aggregate.
+
+This package provides the stream model (:class:`StreamEdge`,
+:class:`GraphStream`), synthetic workload generators standing in for the
+paper's DBLP / CAIDA IP-flow / GTGraph / Twitter datasets
+(:mod:`repro.streams.generators`), plain-text stream I/O
+(:mod:`repro.streams.io`) and sliding time-windows with deletions
+(:mod:`repro.streams.window`).
+"""
+
+from repro.streams.model import GraphStream, StreamEdge
+from repro.streams.generators import (
+    barabasi_albert,
+    clique_stream,
+    dblp_like,
+    erdos_renyi,
+    ipflow_like,
+    path_stream,
+    rmat,
+    star_stream,
+    twitter_like,
+    zipf_weights,
+)
+from repro.streams.io import read_stream, write_stream
+from repro.streams.window import SlidingWindow
+
+__all__ = [
+    "StreamEdge",
+    "GraphStream",
+    "rmat",
+    "zipf_weights",
+    "dblp_like",
+    "ipflow_like",
+    "twitter_like",
+    "erdos_renyi",
+    "barabasi_albert",
+    "path_stream",
+    "star_stream",
+    "clique_stream",
+    "read_stream",
+    "write_stream",
+    "SlidingWindow",
+]

@@ -1,0 +1,375 @@
+"""Synthetic graph-stream workload generators.
+
+These stand in for the paper's four datasets (Section 6.1.1), none of which
+can be redistributed here:
+
+- :func:`dblp_like` -- undirected co-authorship stream (DBLP substitute):
+  Zipf author productivity, papers with 2-4 authors, weight-1 elements.
+  Matches the paper's small weight range ([1, 146] there).
+- :func:`ipflow_like` -- directed packet trace (CAIDA substitute): Zipf
+  endpoint popularity, heavy-tailed (log-normal) packet sizes as weights.
+  Matches the paper's huge weight range ([46, 1.1e8] there).
+- :func:`rmat` -- R-MAT power-law graphs (GTGraph substitute) with Zipfian
+  multiplicities, exactly the generative recipe the paper describes.
+- :func:`twitter_like` -- large power-law link structure used only for
+  throughput experiments, as in the paper.
+
+Plus small deterministic shapes (:func:`path_stream`, :func:`star_stream`,
+:func:`clique_stream`, :func:`erdos_renyi`) used by subgraph-query
+workloads and tests.  All generators are seeded and fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.model import GraphStream, StreamEdge
+
+
+def zipf_weights(count: int, alpha: float = 1.5, max_weight: int = 200,
+                 seed: Optional[int] = None) -> np.ndarray:
+    """Zipfian integer weights in ``[1, max_weight]``.
+
+    The paper adds Zipf-distributed multiplicities to GTGraph edges; we use
+    a truncated Zipf so the weight range is controlled (GTGraph's observed
+    range in Fig. 8(c) is [1, 199]).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if alpha <= 1.0:
+        raise ValueError(f"zipf exponent must be > 1, got {alpha}")
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(alpha, size=count)
+    return np.minimum(raw, max_weight).astype(np.int64)
+
+
+def _shifted_zipf_choice(rng: np.random.Generator, n: int, size: int,
+                         exponent: float, shift: float) -> np.ndarray:
+    """Draw ``size`` ranks in [0, n) with P(r) ~ (r + shift)^-exponent.
+
+    Unlike ``rng.zipf(a) % n`` (whose rank-1 mass is 1/zeta(a), i.e. 30-50%
+    for typical a -- wildly more skewed than real co-authorship or traffic
+    data), the shift bounds the head: the most popular item gets a few
+    percent of the draws, matching the skew regimes of DBLP and CAIDA.
+    """
+    probabilities = (np.arange(n, dtype=float) + shift) ** (-exponent)
+    probabilities /= probabilities.sum()
+    return rng.choice(n, size=size, p=probabilities)
+
+
+def rmat(n_nodes: int, n_edges: int,
+         partition: Tuple[float, float, float, float] = (0.45, 0.15, 0.15, 0.25),
+         weights: Optional[Sequence[float]] = None,
+         seed: Optional[int] = None,
+         directed: bool = True) -> GraphStream:
+    """Generate an R-MAT graph stream (Chakrabarti et al., SDM 2004).
+
+    ``n_nodes`` is rounded up to the next power of two internally; emitted
+    node ids are integers in ``[0, n_nodes)`` (ids beyond the requested
+    range are folded back with a modulo, preserving the skew).
+
+    :param partition: the (a, b, c, d) quadrant probabilities; the default
+        is the canonical skewed setting producing power-law degrees.
+    :param weights: per-edge weights; defaults to all-ones.  Pass
+        :func:`zipf_weights` output to reproduce the paper's GTGraph setup.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+    if n_edges < 0:
+        raise ValueError(f"n_edges must be >= 0, got {n_edges}")
+    a, b, c, d = partition
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"partition probabilities must sum to 1, got {total}")
+
+    scale = int(np.ceil(np.log2(n_nodes)))
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    # Vectorized bit-recursive quadrant choice: one uniform draw per bit
+    # level for all edges at once.
+    thresholds = np.array([a, a + b, a + b + c])
+    for _ in range(scale):
+        u = rng.random(n_edges)
+        quadrant = np.searchsorted(thresholds, u)  # 0..3
+        src = (src << 1) | (quadrant >> 1)
+        dst = (dst << 1) | (quadrant & 1)
+    src %= n_nodes
+    dst %= n_nodes
+
+    if weights is None:
+        weight_arr = np.ones(n_edges)
+    else:
+        weight_arr = np.asarray(weights, dtype=float)
+        if len(weight_arr) != n_edges:
+            raise ValueError(
+                f"got {len(weight_arr)} weights for {n_edges} edges")
+
+    stream = GraphStream(directed=directed)
+    for t in range(n_edges):
+        stream.add(int(src[t]), int(dst[t]), float(weight_arr[t]), float(t))
+    return stream
+
+
+def dblp_like(n_authors: int = 2000, n_papers: int = 4000,
+              productivity_alpha: float = 1.8,
+              communities: int = 1,
+              crossover: float = 0.05,
+              seed: Optional[int] = None) -> GraphStream:
+    """Undirected co-authorship stream mimicking DBLP.
+
+    Authors are drawn per paper with Zipf-skewed productivity; every pair of
+    co-authors on a paper contributes a weight-1 element.  Repeated
+    collaborations accumulate multiplicity exactly as in DBLP, producing a
+    Zipf edge-weight distribution with a modest range (paper Fig. 8(a)).
+    Labels are strings (``"author_17"``) so the string-hashing path of the
+    sketches is exercised, as it would be with real author names.
+
+    :param communities: research communities.  With more than one, each
+        paper draws its authors from a single community (except a
+        ``crossover`` fraction of cross-community papers), producing the
+        block structure community-detection experiments need.
+    :param crossover: fraction of papers ignoring community boundaries.
+    """
+    if n_authors < 4:
+        raise ValueError(f"n_authors must be >= 4, got {n_authors}")
+    if communities < 1:
+        raise ValueError(f"communities must be >= 1, got {communities}")
+    if n_authors < 4 * communities:
+        raise ValueError(
+            f"{communities} communities need >= {4 * communities} authors")
+    if not 0 <= crossover <= 1:
+        raise ValueError(f"crossover must be in [0, 1], got {crossover}")
+    rng = np.random.default_rng(seed)
+    # Shifted-Zipf productivity ranks; within each community rank 0 is the
+    # most productive member, holding a few percent of author slots, like
+    # real DBLP.
+    per_community = n_authors // communities
+    ranks = _shifted_zipf_choice(rng, per_community, n_papers * 4,
+                                 exponent=productivity_alpha,
+                                 shift=max(4.0, per_community / 50))
+
+    stream = GraphStream(directed=False)
+    cursor = 0
+    for paper in range(n_papers):
+        n_coauthors = int(rng.integers(2, 5))  # 2..4 authors per paper
+        local_ranks = np.unique(ranks[cursor:cursor + n_coauthors])
+        cursor += n_coauthors
+        if communities == 1:
+            authors = [int(r) for r in local_ranks]
+        elif rng.random() < crossover:
+            # Cross-community paper: each author lands anywhere.
+            authors = sorted({
+                int(r) * communities + int(rng.integers(0, communities))
+                for r in local_ranks})
+        else:
+            community = int(rng.integers(0, communities))
+            authors = [int(r) * communities + community for r in local_ranks]
+        names = [f"author_{a}" for a in authors]
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                stream.add(names[i], names[j], 1.0, float(paper))
+    return stream
+
+
+def ipflow_like(n_hosts: int = 1000, n_packets: int = 20000,
+                flows_per_packet: float = 1 / 25,
+                flow_size_alpha: float = 1.1,
+                popularity_alpha: float = 1.2,
+                background_fraction: float = 0.3,
+                seed: Optional[int] = None) -> GraphStream:
+    """Directed packet-trace stream mimicking CAIDA IP flows.
+
+    Traffic has two components, as on a real backbone link:
+
+    - *flows*: a bounded set of (src, dst) host pairs with Zipf-skewed
+      packet counts, whose endpoints are themselves Zipf-popular hosts.
+      Heavy flows aggregate to per-edge byte counts orders of magnitude
+      above the median -- the paper's observed weight range (Fig. 8(b):
+      [46, 1.1e8]) and the regime in which heavy-hitter detection is
+      near-perfect (Fig. 11).
+    - *background*: scans and one-off connections between uniformly random
+      host pairs, producing the long tail of light distinct edges that
+      dominates edge-query relative error (Fig. 10).
+
+    Each packet carries a log-normal size in [40, 1500] bytes as its edge
+    weight.  Labels are dotted-quad strings so the string-label path of
+    the sketches is exercised.
+    """
+    if n_hosts < 2:
+        raise ValueError(f"n_hosts must be >= 2, got {n_hosts}")
+    if n_packets < 1:
+        raise ValueError(f"n_packets must be >= 1, got {n_packets}")
+    if not 0 <= background_fraction < 1:
+        raise ValueError(
+            f"background_fraction must be in [0, 1), got {background_fraction}")
+    rng = np.random.default_rng(seed)
+    n_flows = max(8, int(n_packets * flows_per_packet))
+    src = _shifted_zipf_choice(rng, n_hosts, n_flows,
+                               exponent=popularity_alpha,
+                               shift=max(2.0, n_hosts / 200))
+    dst = _shifted_zipf_choice(rng, n_hosts, n_flows,
+                               exponent=popularity_alpha,
+                               shift=max(2.0, n_hosts / 200))
+    # Avoid self-loops the way real traces do: re-draw collided targets.
+    collisions = src == dst
+    dst[collisions] = (dst[collisions] + 1) % n_hosts
+    # Packets are distributed over flows with a heavy-tailed flow-size
+    # law; the busiest flow carries several percent of all packets.
+    flow_of_packet = _shifted_zipf_choice(rng, n_flows, n_packets,
+                                          exponent=flow_size_alpha,
+                                          shift=2.0)
+    is_background = rng.random(n_packets) < background_fraction
+    bg_src = rng.integers(0, n_hosts, size=n_packets)
+    bg_dst = rng.integers(0, n_hosts, size=n_packets)
+    bg_dst = np.where(bg_src == bg_dst, (bg_dst + 1) % n_hosts, bg_dst)
+    sizes = np.clip(np.exp(rng.normal(5.5, 1.2, size=n_packets)), 40, 1500)
+
+    def ip(host: int) -> str:
+        return f"10.{(host >> 16) & 255}.{(host >> 8) & 255}.{host & 255}"
+
+    stream = GraphStream(directed=True)
+    for t in range(n_packets):
+        if is_background[t]:
+            source, target = int(bg_src[t]), int(bg_dst[t])
+        else:
+            flow = int(flow_of_packet[t])
+            source, target = int(src[flow]), int(dst[flow])
+        stream.add(ip(source), ip(target), float(sizes[t]), float(t))
+    return stream
+
+
+def twitter_like(n_users: int = 5000, n_links: int = 50000,
+                 seed: Optional[int] = None) -> GraphStream:
+    """Large power-law undirected link structure for throughput tests.
+
+    The paper used the anonymised Twitter link graph purely for efficiency
+    experiments; this generator provides the same role at laptop scale.
+    """
+    return rmat(n_users, n_links, seed=seed, directed=False)
+
+
+def barabasi_albert(n_nodes: int, attachments: int = 2,
+                    seed: Optional[int] = None) -> GraphStream:
+    """Preferential-attachment (Barabási–Albert) undirected stream.
+
+    Nodes arrive one at a time and attach ``attachments`` edges to
+    existing nodes chosen proportionally to their current degree -- the
+    classic growth model for power-law degree graphs, and a natural
+    *stream* (edges appear in attachment order).  Complements
+    :func:`rmat`, whose skew comes from recursive quadrants rather than
+    growth.
+    """
+    if attachments < 1:
+        raise ValueError(f"attachments must be >= 1, got {attachments}")
+    if n_nodes <= attachments:
+        raise ValueError(
+            f"n_nodes must exceed attachments, got {n_nodes} <= {attachments}")
+    rng = np.random.default_rng(seed)
+    stream = GraphStream(directed=False)
+    # Seed clique over the first (attachments + 1) nodes.
+    degree_pool: List[int] = []
+    t = 0
+    for i in range(attachments + 1):
+        for j in range(i + 1, attachments + 1):
+            stream.add(i, j, 1.0, float(t))
+            degree_pool.extend((i, j))
+            t += 1
+    for new_node in range(attachments + 1, n_nodes):
+        targets: set = set()
+        while len(targets) < attachments:
+            targets.add(degree_pool[int(rng.integers(0, len(degree_pool)))])
+        for target in sorted(targets):
+            stream.add(new_node, target, 1.0, float(t))
+            degree_pool.extend((new_node, target))
+            t += 1
+    return stream
+
+
+def erdos_renyi(n_nodes: int, n_edges: int, seed: Optional[int] = None,
+                directed: bool = True) -> GraphStream:
+    """Uniform random multigraph stream (no skew); a simple null model."""
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = rng.integers(0, n_nodes, size=n_edges)
+    stream = GraphStream(directed=directed)
+    for t in range(n_edges):
+        stream.add(int(src[t]), int(dst[t]), 1.0, float(t))
+    return stream
+
+
+def path_stream(labels: Sequence[object], weight: float = 1.0,
+                directed: bool = True) -> GraphStream:
+    """A simple path ``labels[0] -> labels[1] -> ...`` as a stream."""
+    stream = GraphStream(directed=directed)
+    for t in range(len(labels) - 1):
+        stream.add(labels[t], labels[t + 1], weight, float(t))
+    return stream
+
+
+def star_stream(center: object, leaves: Sequence[object], weight: float = 1.0,
+                directed: bool = True) -> GraphStream:
+    """A star with edges ``center -> leaf`` for every leaf."""
+    stream = GraphStream(directed=directed)
+    for t, leaf in enumerate(leaves):
+        stream.add(center, leaf, weight, float(t))
+    return stream
+
+
+def clique_stream(labels: Sequence[object], weight: float = 1.0,
+                  directed: bool = False) -> GraphStream:
+    """A clique over ``labels``; directed cliques get both orientations."""
+    stream = GraphStream(directed=directed)
+    t = 0
+    for i in range(len(labels)):
+        for j in range(i + 1, len(labels)):
+            stream.add(labels[i], labels[j], weight, float(t))
+            t += 1
+            if directed:
+                stream.add(labels[j], labels[i], weight, float(t))
+                t += 1
+    return stream
+
+
+def query_graphs_from_stream(stream: GraphStream, count: int = 20,
+                             min_edges: int = 2, max_edges: int = 8,
+                             seed: Optional[int] = None) -> List[List[Tuple[object, object]]]:
+    """Sample connected query graphs from an existing stream (Exp-4(a)).
+
+    Random-walks the aggregated graph to collect connected edge sets of
+    2-8 edges, mixing path, star and general shapes as the paper did.
+    """
+    rng = np.random.default_rng(seed)
+    adjacency = {node: sorted(stream.successors(node), key=repr)
+                 for node in stream.nodes}
+    nodes = sorted((n for n in adjacency if adjacency[n]), key=repr)
+    if not nodes:
+        return []
+    queries: List[List[Tuple[object, object]]] = []
+    attempts = 0
+    while len(queries) < count and attempts < count * 50:
+        attempts += 1
+        size = int(rng.integers(min_edges, max_edges + 1))
+        start = nodes[int(rng.integers(0, len(nodes)))]
+        edges: List[Tuple[object, object]] = []
+        seen = set()
+        frontier = [start]
+        while frontier and len(edges) < size:
+            node = frontier.pop(int(rng.integers(0, len(frontier))))
+            succs = adjacency.get(node, [])
+            if not succs:
+                continue
+            nxt = succs[int(rng.integers(0, len(succs)))]
+            if (node, nxt) in seen:
+                continue
+            seen.add((node, nxt))
+            edges.append((node, nxt))
+            frontier.extend([node, nxt])
+        if len(edges) >= min_edges:
+            queries.append(edges)
+    return queries

@@ -1,0 +1,224 @@
+"""Graph-stream data model.
+
+The model mirrors the paper's formulation exactly: a stream
+``G = <e1, e2, ..., em>`` of elements ``e = (x, y; t)`` with non-negative
+weights, defining a directed or undirected multigraph.  ``|G|`` is the
+number of stream elements, not the number of distinct edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.hashing.labels import Label
+
+
+@dataclass(frozen=True)
+class StreamEdge:
+    """One stream element ``(source, target; timestamp)`` with a weight.
+
+    The default weight is 1 (paper Fig. 1); IP-flow-style streams carry the
+    packet size in bytes as the weight.  Weights must be non-negative
+    (paper Section 3.1 assumes ``w(e) >= 0``).
+    """
+
+    source: Label
+    target: Label
+    weight: float = 1.0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"edge weight must be non-negative, got {self.weight}")
+
+    def reversed(self) -> "StreamEdge":
+        """The same element with endpoints swapped (used for undirected ingest)."""
+        return StreamEdge(self.target, self.source, self.weight, self.timestamp)
+
+
+class GraphStream:
+    """An in-memory graph stream: an ordered multiset of :class:`StreamEdge`.
+
+    Experiments need the *exact* underlying aggregated graph as ground
+    truth, so this class doubles as the exact reference store: it maintains
+    aggregated edge weights, node flows and adjacency alongside the raw
+    element sequence.  Real deployments would only ever see the elements
+    once; the sketches under test consume :meth:`__iter__` in one pass.
+
+    :param directed: whether elements are ordered pairs.  For undirected
+        streams, aggregation treats ``(x, y)`` and ``(y, x)`` as the same
+        edge (canonicalised by sorting the pair's stable integer keys).
+    """
+
+    def __init__(self, directed: bool = True, edges: Optional[Iterable[StreamEdge]] = None):
+        self.directed = directed
+        # True when weights encode edge *multiplicities* (how many times
+        # the edge appeared), as in the paper's GTGraph setup.  Space
+        # accounting then measures the stream by total weight, not element
+        # count -- see repro.experiments.common.cells_for_ratio.
+        self.multiplicity_weights = False
+        self._elements: List[StreamEdge] = []
+        self._edge_weight: Dict[Tuple[Label, Label], float] = {}
+        self._out_flow: Dict[Label, float] = {}
+        self._in_flow: Dict[Label, float] = {}
+        self._successors: Dict[Label, Set[Label]] = {}
+        self._predecessors: Dict[Label, Set[Label]] = {}
+        if edges is not None:
+            self.extend(edges)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def append(self, edge: StreamEdge) -> None:
+        """Append one element to the stream and update the exact aggregates."""
+        self._elements.append(edge)
+        key = self._canonical(edge.source, edge.target)
+        self._edge_weight[key] = self._edge_weight.get(key, 0.0) + edge.weight
+        self._out_flow[edge.source] = self._out_flow.get(edge.source, 0.0) + edge.weight
+        self._in_flow[edge.target] = self._in_flow.get(edge.target, 0.0) + edge.weight
+        if edge.weight > 0:
+            # Topology (adjacency, reachability) is defined by edges with
+            # positive aggregated weight -- the same notion a sum-aggregated
+            # sketch can represent.
+            self._successors.setdefault(edge.source, set()).add(edge.target)
+            self._predecessors.setdefault(edge.target, set()).add(edge.source)
+        if not self.directed and edge.source != edge.target:
+            # Mirror flows and adjacency; self-loops count once (their
+            # incident weight is the element's weight, not double it).
+            self._out_flow[edge.target] = self._out_flow.get(edge.target, 0.0) + edge.weight
+            self._in_flow[edge.source] = self._in_flow.get(edge.source, 0.0) + edge.weight
+            if edge.weight > 0:
+                self._successors.setdefault(edge.target, set()).add(edge.source)
+                self._predecessors.setdefault(edge.source, set()).add(edge.target)
+
+    def add(self, source: Label, target: Label, weight: float = 1.0, timestamp: float = 0.0) -> None:
+        """Convenience wrapper building the :class:`StreamEdge` in place."""
+        self.append(StreamEdge(source, target, weight, timestamp))
+
+    def extend(self, edges: Iterable[StreamEdge]) -> None:
+        for edge in edges:
+            self.append(edge)
+
+    def _canonical(self, x: Label, y: Label) -> Tuple[Label, Label]:
+        if self.directed:
+            return (x, y)
+        # Canonical order must be stable across label types; repr-sort is
+        # adequate and deterministic for the str/int labels we support.
+        return (x, y) if repr(x) <= repr(y) else (y, x)
+
+    # -- stream protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        """``|G|``: the number of stream elements."""
+        return len(self._elements)
+
+    def __getitem__(self, i: int) -> StreamEdge:
+        return self._elements[i]
+
+    # -- exact (ground-truth) queries ---------------------------------------
+
+    @property
+    def nodes(self) -> Set[Label]:
+        """All node labels observed so far."""
+        seen: Set[Label] = set()
+        seen.update(self._out_flow)
+        seen.update(self._in_flow)
+        return seen
+
+    @property
+    def distinct_edges(self) -> Set[Tuple[Label, Label]]:
+        """Distinct (canonicalised) edges of the underlying graph."""
+        return set(self._edge_weight)
+
+    def edge_weight(self, x: Label, y: Label) -> float:
+        """Exact aggregated weight ``f_e(x, y)``; 0 for unseen edges."""
+        return self._edge_weight.get(self._canonical(x, y), 0.0)
+
+    def out_flow(self, x: Label) -> float:
+        """Exact aggregated out-flow ``f_v(x, ->)`` (directed)."""
+        return self._out_flow.get(x, 0.0)
+
+    def in_flow(self, x: Label) -> float:
+        """Exact aggregated in-flow ``f_v(x, <-)`` (directed)."""
+        return self._in_flow.get(x, 0.0)
+
+    def flow(self, x: Label) -> float:
+        """Exact node flow ``f_v(x, -)`` for undirected streams."""
+        if self.directed:
+            raise ValueError("flow() is for undirected streams; use in_flow/out_flow")
+        # For undirected streams in/out flows are maintained symmetrically.
+        return self._out_flow.get(x, 0.0)
+
+    def successors(self, x: Label) -> Set[Label]:
+        """Nodes reachable from ``x`` by one edge."""
+        return self._successors.get(x, set())
+
+    def predecessors(self, x: Label) -> Set[Label]:
+        """Nodes with an edge into ``x``."""
+        return self._predecessors.get(x, set())
+
+    def reachable(self, source: Label, target: Label) -> bool:
+        """Exact reachability ``r(source, target)`` by BFS over adjacency."""
+        if source == target:
+            return True
+        if source not in self._successors:
+            return False
+        frontier = [source]
+        visited = {source}
+        while frontier:
+            next_frontier: List[Label] = []
+            for node in frontier:
+                for succ in self._successors.get(node, ()):
+                    if succ == target:
+                        return True
+                    if succ not in visited:
+                        visited.add(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+        return False
+
+    def subgraph_weight(self, edges: Iterable[Tuple[Label, Label]]) -> float:
+        """Exact aggregate subgraph weight ``f_g(Q)`` for explicit edges.
+
+        Per the paper's semantics (Section 4.4): if any constituent edge is
+        absent the whole query graph has no exact match and the answer is 0.
+        """
+        total = 0.0
+        for x, y in edges:
+            w = self.edge_weight(x, y)
+            if w == 0.0:
+                return 0.0
+            total += w
+        return total
+
+    def top_edges(self, k: int) -> List[Tuple[Tuple[Label, Label], float]]:
+        """Exact top-``k`` heaviest edges (ground truth for Exp-1(d))."""
+        ranked = sorted(self._edge_weight.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def top_nodes(self, k: int, direction: str = "in") -> List[Tuple[Label, float]]:
+        """Exact top-``k`` heaviest nodes by flow (ground truth for Exp-2).
+
+        :param direction: ``"in"``, ``"out"`` or ``"both"`` (undirected).
+        """
+        if direction == "in":
+            flows = self._in_flow
+        elif direction == "out":
+            flows = self._out_flow
+        elif direction == "both":
+            if self.directed:
+                raise ValueError(
+                    "direction='both' is for undirected streams; use "
+                    "'in' or 'out'")
+            flows = self._out_flow  # symmetric for undirected streams
+        else:
+            raise ValueError(f"direction must be 'in', 'out' or 'both', got {direction!r}")
+        ranked = sorted(flows.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def total_weight(self) -> float:
+        """Sum of all element weights (the ``n`` scale in error bounds)."""
+        return sum(e.weight for e in self._elements)

@@ -1,0 +1,86 @@
+"""Stream replay: drive many consumers from one pass over the elements.
+
+Production monitoring rarely maintains a single summary: the same packet
+feeds a cumulative sketch, a sliding window, a snapshot ring, a decayed
+view and several heavy-hitter monitors.  :class:`MonitoringHub` wires any
+number of consumers to one stream and replays it element by element, so
+everything observes identical data in identical order -- the composition
+layer the examples and integration tests use.
+
+A consumer is anything with an ``observe(edge)`` method *or* an
+``update(source, target, weight)`` method (both conventions exist in this
+library; the hub adapts automatically).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple
+
+from repro.streams.model import StreamEdge
+
+Consumer = Callable[[StreamEdge], None]
+
+
+def _adapt(consumer: object) -> Consumer:
+    """Wrap a consumer object into a uniform per-element callable."""
+    observe = getattr(consumer, "observe", None)
+    if callable(observe):
+        try:
+            # Monitors take (source, target, weight); windows/rings take
+            # the StreamEdge itself.  Distinguish by arity at wrap time.
+            import inspect
+            parameters = inspect.signature(observe).parameters
+        except (TypeError, ValueError):
+            parameters = {}
+        if len(parameters) >= 2:
+            if "timestamp" in parameters:
+                return lambda edge: observe(edge.source, edge.target,
+                                            edge.weight,
+                                            timestamp=edge.timestamp)
+            return lambda edge: observe(edge.source, edge.target, edge.weight)
+        return lambda edge: observe(edge)
+    update = getattr(consumer, "update", None)
+    if callable(update):
+        return lambda edge: update(edge.source, edge.target, edge.weight)
+    raise TypeError(
+        f"{type(consumer).__name__} has neither observe() nor update()")
+
+
+class MonitoringHub:
+    """Replay one stream into many summaries/monitors in lock-step."""
+
+    def __init__(self):
+        self._consumers: List[Tuple[str, object, Consumer]] = []
+
+    def attach(self, name: str, consumer: object) -> object:
+        """Register a consumer under a name; returns the consumer."""
+        if any(existing == name for existing, _, _ in self._consumers):
+            raise ValueError(f"a consumer named {name!r} is already attached")
+        self._consumers.append((name, consumer, _adapt(consumer)))
+        return consumer
+
+    def __getitem__(self, name: str) -> object:
+        for existing, consumer, _ in self._consumers:
+            if existing == name:
+                return consumer
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self._consumers)
+
+    @property
+    def names(self) -> List[str]:
+        return [name for name, _, _ in self._consumers]
+
+    def observe(self, edge: StreamEdge) -> None:
+        """Deliver one element to every consumer, in attach order."""
+        for _, _, deliver in self._consumers:
+            deliver(edge)
+
+    def replay(self, stream: Iterable[StreamEdge]) -> int:
+        """Deliver a whole stream; returns the element count."""
+        count = 0
+        for edge in stream:
+            self.observe(edge)
+            count += 1
+        return count

@@ -1,0 +1,124 @@
+"""Stream transformations.
+
+Composable, lazily-evaluated operations over element iterables, for
+preparing workloads and wiring pipelines: filtering, weight mapping,
+sampling, time manipulation, interleaved merging and fixed-size batching.
+Each returns a generator (or a new :class:`GraphStream` via
+:func:`materialize`) and leaves its input untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.streams.model import GraphStream, StreamEdge
+
+EdgePredicate = Callable[[StreamEdge], bool]
+
+
+def filter_edges(stream: Iterable[StreamEdge],
+                 predicate: EdgePredicate) -> Iterator[StreamEdge]:
+    """Keep only elements satisfying ``predicate``."""
+    return (edge for edge in stream if predicate(edge))
+
+
+def map_weights(stream: Iterable[StreamEdge],
+                fn: Callable[[float], float]) -> Iterator[StreamEdge]:
+    """Apply ``fn`` to every element's weight (e.g. bytes -> packets)."""
+    for edge in stream:
+        yield StreamEdge(edge.source, edge.target, fn(edge.weight),
+                         edge.timestamp)
+
+
+def relabel(stream: Iterable[StreamEdge],
+            fn: Callable[[object], object]) -> Iterator[StreamEdge]:
+    """Apply ``fn`` to every node label (e.g. IP -> /24 prefix)."""
+    for edge in stream:
+        yield StreamEdge(fn(edge.source), fn(edge.target), edge.weight,
+                         edge.timestamp)
+
+
+def sample_edges(stream: Iterable[StreamEdge], rate: float,
+                 seed: Optional[int] = 0) -> Iterator[StreamEdge]:
+    """Bernoulli-sample elements at ``rate``."""
+    if not 0 < rate <= 1:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    rng = random.Random(seed)
+    return (edge for edge in stream if rng.random() < rate)
+
+
+def time_slice(stream: Iterable[StreamEdge], start: float,
+               end: float) -> Iterator[StreamEdge]:
+    """Elements with ``start <= timestamp < end``."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    return (edge for edge in stream if start <= edge.timestamp < end)
+
+
+def shift_time(stream: Iterable[StreamEdge],
+               offset: float) -> Iterator[StreamEdge]:
+    """Add ``offset`` to every timestamp (aligning shards for merging)."""
+    for edge in stream:
+        yield StreamEdge(edge.source, edge.target, edge.weight,
+                         edge.timestamp + offset)
+
+
+def merge_streams(*streams: Iterable[StreamEdge]) -> Iterator[StreamEdge]:
+    """Merge timestamp-ordered streams into one timestamp-ordered stream.
+
+    Inputs must individually be in non-decreasing timestamp order (the
+    stream model's natural order); the output then is too.
+    """
+    return heapq.merge(*streams, key=lambda edge: edge.timestamp)
+
+
+def batches(stream: Iterable[StreamEdge],
+            size: int) -> Iterator[List[StreamEdge]]:
+    """Fixed-size element batches (the last one may be short)."""
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    batch: List[StreamEdge] = []
+    for edge in stream:
+        batch.append(edge)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def shard(stream: Sequence[StreamEdge], n_shards: int,
+          by: str = "round_robin") -> List[List[StreamEdge]]:
+    """Split a stream into ``n_shards`` for distributed ingest.
+
+    :param by: ``"round_robin"`` (element index), ``"source"`` (all
+        elements with the same source land on the same shard -- the
+        partitioning a per-source collector array produces) or
+        ``"time"`` (contiguous time ranges).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    shards: List[List[StreamEdge]] = [[] for _ in range(n_shards)]
+    if by == "round_robin":
+        for i, edge in enumerate(stream):
+            shards[i % n_shards].append(edge)
+    elif by == "source":
+        from repro.hashing.labels import label_to_int
+        for edge in stream:
+            shards[label_to_int(edge.source) % n_shards].append(edge)
+    elif by == "time":
+        n = len(stream)
+        bounds = [round(i * n / n_shards) for i in range(n_shards + 1)]
+        for i in range(n_shards):
+            shards[i] = list(stream[bounds[i]:bounds[i + 1]])
+    else:
+        raise ValueError(f"unknown sharding strategy {by!r}")
+    return shards
+
+
+def materialize(edges: Iterable[StreamEdge],
+                directed: bool = True) -> GraphStream:
+    """Collect a transformed element iterable into a GraphStream."""
+    return GraphStream(directed=directed, edges=edges)

@@ -1,0 +1,91 @@
+"""Sliding time-windows over graph streams.
+
+The paper notes (Section 5.1.1, "Deletions") that expiring an element out of
+a time window is a constant-time decrement of the corresponding matrix cell.
+:class:`SlidingWindow` packages that pattern: it forwards every arriving
+element to a summary as an insertion and, as the watermark advances, replays
+expired elements as deletions, so the summary always reflects exactly the
+last ``horizon`` time units of the stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Protocol, runtime_checkable
+
+from repro.streams.model import StreamEdge
+
+
+@runtime_checkable
+class SupportsUpdateRemove(Protocol):
+    """Anything that can absorb insertions and deletions of stream edges.
+
+    :class:`repro.core.tcm.TCM`, :class:`repro.core.graph_sketch.GraphSketch`
+    and :class:`repro.baselines.countmin.CountMinSketch` all satisfy this.
+    """
+
+    def update(self, source, target, weight: float = ...) -> None: ...
+
+    def remove(self, source, target, weight: float = ...) -> None: ...
+
+
+class SlidingWindow:
+    """Maintain a summary over the trailing ``horizon`` of stream time.
+
+    Elements must arrive in non-decreasing timestamp order (the stream
+    model's natural order); out-of-order arrivals raise ``ValueError``
+    rather than silently corrupting the window.
+
+    :param summary: the sketch (or any insert/delete-capable structure)
+        kept in sync with the window contents.
+    :param horizon: window length in stream time units.  An element with
+        timestamp ``t`` expires once an element with timestamp
+        ``> t + horizon`` arrives (or :meth:`advance_to` passes it).
+    """
+
+    def __init__(self, summary: SupportsUpdateRemove, horizon: float):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.summary = summary
+        self.horizon = horizon
+        self._buffer: Deque[StreamEdge] = deque()
+        self._watermark = float("-inf")
+
+    def __len__(self) -> int:
+        """Number of live (non-expired) elements in the window."""
+        return len(self._buffer)
+
+    @property
+    def watermark(self) -> float:
+        """The latest timestamp observed (or advanced to)."""
+        return self._watermark
+
+    def observe(self, edge: StreamEdge) -> None:
+        """Ingest one element: insert into the summary, expire the old."""
+        if edge.timestamp < self._watermark:
+            raise ValueError(
+                f"out-of-order element at t={edge.timestamp} "
+                f"(watermark is {self._watermark})")
+        self.summary.update(edge.source, edge.target, edge.weight)
+        self._buffer.append(edge)
+        self.advance_to(edge.timestamp)
+
+    def advance_to(self, timestamp: float) -> int:
+        """Move the watermark forward, expiring elements; returns how many.
+
+        Expiry is the constant-per-element decrement described in the
+        paper: each expired edge is removed from the summary with exactly
+        the weight it was inserted with.
+        """
+        if timestamp < self._watermark:
+            raise ValueError(
+                f"cannot move watermark backwards to {timestamp} "
+                f"(currently {self._watermark})")
+        self._watermark = timestamp
+        expired = 0
+        cutoff = timestamp - self.horizon
+        while self._buffer and self._buffer[0].timestamp < cutoff:
+            old = self._buffer.popleft()
+            self.summary.remove(old.source, old.target, old.weight)
+            expired += 1
+        return expired

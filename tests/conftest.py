@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tcm import TCM
+from repro.streams.generators import dblp_like, ipflow_like, rmat, zipf_weights
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def paper_stream() -> GraphStream:
+    """The 14-element directed stream of the paper's Fig. 1.
+
+    Edges (all weight 1): a->b, a->c, b->c, b->d, c->e, c->f, e->d, e->b,
+    e->f, f->a, g->b, d->g, b->f, b->a.
+    """
+    stream = GraphStream(directed=True)
+    edges = [("a", "b"), ("a", "c"), ("b", "c"), ("b", "d"), ("c", "e"),
+             ("c", "f"), ("e", "d"), ("e", "b"), ("e", "f"), ("f", "a"),
+             ("g", "b"), ("d", "g"), ("b", "f"), ("b", "a")]
+    for t, (x, y) in enumerate(edges):
+        stream.add(x, y, 1.0, float(t))
+    return stream
+
+
+@pytest.fixture
+def small_directed() -> GraphStream:
+    """A small weighted directed stream with repeats."""
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 2.0, 0.0)
+    stream.add("a", "b", 3.0, 1.0)
+    stream.add("b", "c", 1.0, 2.0)
+    stream.add("c", "a", 4.0, 3.0)
+    stream.add("a", "c", 5.0, 4.0)
+    return stream
+
+
+@pytest.fixture
+def small_undirected() -> GraphStream:
+    stream = GraphStream(directed=False)
+    stream.add("x", "y", 1.0, 0.0)
+    stream.add("y", "x", 2.0, 1.0)
+    stream.add("y", "z", 3.0, 2.0)
+    return stream
+
+
+@pytest.fixture
+def rmat_stream() -> GraphStream:
+    weights = zipf_weights(500, seed=5)
+    return rmat(64, 500, weights=weights, seed=5)
+
+
+@pytest.fixture
+def dblp_stream() -> GraphStream:
+    return dblp_like(n_authors=150, n_papers=300, seed=11)
+
+
+@pytest.fixture
+def ipflow_stream() -> GraphStream:
+    return ipflow_like(n_hosts=80, n_packets=1500, seed=13)
+
+
+@pytest.fixture
+def wide_tcm() -> TCM:
+    """A TCM wide enough that collisions are unlikely on toy streams."""
+    return TCM(d=4, width=128, seed=42)

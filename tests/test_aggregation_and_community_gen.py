@@ -1,0 +1,89 @@
+"""Tests for the Aggregation enum and community-structured generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import Aggregation
+from repro.core.decay import TimeDecayedTCM
+from repro.streams.generators import dblp_like
+
+
+class TestAggregationEnum:
+    def test_invertibility(self):
+        assert Aggregation.SUM.invertible
+        assert Aggregation.COUNT.invertible
+        assert not Aggregation.MIN.invertible
+        assert not Aggregation.MAX.invertible
+
+    def test_overestimation_direction(self):
+        assert Aggregation.SUM.overestimates
+        assert Aggregation.COUNT.overestimates
+        assert Aggregation.MAX.overestimates
+        assert not Aggregation.MIN.overestimates
+
+    def test_merge_directions(self):
+        assert Aggregation.SUM.merge([3.0, 1.0, 2.0]) == 1.0
+        assert Aggregation.MIN.merge([3.0, 1.0, 2.0]) == 3.0
+
+    def test_round_trip_by_value(self):
+        for aggregation in Aggregation:
+            assert Aggregation(aggregation.value) is aggregation
+
+
+class TestCommunityGeneration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dblp_like(100, 100, communities=0)
+        with pytest.raises(ValueError):
+            dblp_like(10, 100, communities=4)
+        with pytest.raises(ValueError):
+            dblp_like(100, 100, communities=2, crossover=1.5)
+
+    def test_default_single_community_unchanged(self):
+        """communities=1 must reproduce the historical default stream."""
+        a = dblp_like(100, 200, seed=5)
+        b = dblp_like(100, 200, communities=1, seed=5)
+        assert [(e.source, e.target) for e in a] == \
+            [(e.source, e.target) for e in b]
+
+    def test_zero_crossover_blocks_disconnected(self):
+        stream = dblp_like(120, 400, communities=3, crossover=0.0, seed=7)
+        # author ids are rank*communities + community: id % 3 = community.
+        for x, y in stream.distinct_edges:
+            cx = int(str(x).split("_")[1]) % 3
+            cy = int(str(y).split("_")[1]) % 3
+            assert cx == cy
+
+    def test_crossover_creates_bridges(self):
+        stream = dblp_like(120, 600, communities=3, crossover=0.3, seed=7)
+        crossing = sum(
+            1 for x, y in stream.distinct_edges
+            if int(str(x).split("_")[1]) % 3 != int(str(y).split("_")[1]) % 3)
+        assert crossing > 0
+
+    def test_block_structure_detectable(self):
+        from repro.analytics.communities import label_propagation
+        from repro.analytics.views import StreamView
+        stream = dblp_like(160, 800, communities=4, crossover=0.03, seed=9)
+        communities = label_propagation(StreamView(stream), seed=1)
+        big = [c for c in communities if len(c) > 5]
+        assert len(big) == 4
+
+
+class TestDecayProperty:
+    """The decayed estimate equals the analytic geometric aggregate."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=50.0,
+                              allow_nan=False), min_size=1, max_size=15),
+           st.floats(min_value=0.3, max_value=0.95))
+    def test_closed_form(self, weights, decay):
+        decayed = TimeDecayedTCM(decay, d=2, width=64, seed=1)
+        for t, weight in enumerate(weights):
+            decayed.observe("a", "b", weight, timestamp=float(t))
+        final_t = len(weights) - 1
+        expected = sum(w * decay ** (final_t - t)
+                       for t, w in enumerate(weights))
+        assert decayed.edge_weight("a", "b") == pytest.approx(expected,
+                                                              rel=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the black-box graph algorithms on views."""
+
+import math
+
+import pytest
+
+from repro.analytics.pagerank import pagerank
+from repro.analytics.paths import shortest_path, shortest_path_weight
+from repro.analytics.reachability import reach
+from repro.analytics.triangles import count_triangles
+from repro.analytics.views import StreamView
+from repro.streams.generators import clique_stream, path_stream, star_stream
+from repro.streams.model import GraphStream
+
+
+class TestReach:
+    def test_path(self):
+        view = StreamView(path_stream(["a", "b", "c", "d"]))
+        assert reach(view, "a", "d")
+        assert not reach(view, "d", "a")
+
+    def test_self(self):
+        view = StreamView(path_stream(["a", "b"]))
+        assert reach(view, "a", "a")
+
+    def test_max_hops(self):
+        view = StreamView(path_stream(["a", "b", "c", "d"]))
+        assert not reach(view, "a", "d", max_hops=2)
+        assert reach(view, "a", "d", max_hops=3)
+
+    def test_disconnected(self):
+        stream = GraphStream()
+        stream.add("a", "b", 1.0)
+        stream.add("c", "d", 1.0)
+        assert not reach(StreamView(stream), "a", "d")
+
+    def test_cycle(self, paper_stream):
+        view = StreamView(paper_stream)
+        assert reach(view, "b", "a")
+        assert reach(view, "a", "g")
+
+
+class TestShortestPath:
+    def test_weight_simple_path(self):
+        view = StreamView(path_stream(["a", "b", "c"], weight=2.0))
+        assert shortest_path_weight(view, "a", "c") == 4.0
+
+    def test_prefers_lighter_route(self):
+        stream = GraphStream()
+        stream.add("a", "b", 10.0)
+        stream.add("a", "m", 1.0)
+        stream.add("m", "b", 2.0)
+        assert shortest_path_weight(StreamView(stream), "a", "b") == 3.0
+
+    def test_unreachable_inf(self):
+        view = StreamView(path_stream(["a", "b"]))
+        assert math.isinf(shortest_path_weight(view, "b", "a"))
+
+    def test_same_node(self):
+        view = StreamView(path_stream(["a", "b"]))
+        assert shortest_path_weight(view, "a", "a") == 0.0
+
+    def test_path_nodes(self):
+        stream = GraphStream()
+        stream.add("a", "b", 10.0)
+        stream.add("a", "m", 1.0)
+        stream.add("m", "b", 2.0)
+        assert shortest_path(StreamView(stream), "a", "b") == ["a", "m", "b"]
+
+    def test_path_none_when_unreachable(self):
+        view = StreamView(path_stream(["a", "b"]))
+        assert shortest_path(view, "b", "a") is None
+
+    def test_path_same_node(self):
+        view = StreamView(path_stream(["a", "b"]))
+        assert shortest_path(view, "a", "a") == ["a"]
+
+
+class TestPagerank:
+    def test_sums_to_one(self, paper_stream):
+        ranks = pagerank(StreamView(paper_stream))
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert pagerank(StreamView(GraphStream())) == {}
+
+    def test_sink_heavy_node_ranks_high(self):
+        view = StreamView(star_stream("hub", [f"l{i}" for i in range(5)]))
+        ranks = pagerank(view)
+        # All leaves tie; each leaf outranks the hub (pure source).
+        assert all(ranks[f"l{i}"] > ranks["hub"] for i in range(5))
+
+    def test_damping_validation(self, paper_stream):
+        with pytest.raises(ValueError):
+            pagerank(StreamView(paper_stream), damping=1.0)
+
+    def test_weighted_transitions(self):
+        stream = GraphStream()
+        stream.add("src", "heavy", 9.0)
+        stream.add("src", "light", 1.0)
+        ranks = pagerank(StreamView(stream))
+        assert ranks["heavy"] > ranks["light"]
+
+
+class TestCountTriangles:
+    def test_undirected_triangle(self):
+        view = StreamView(clique_stream(["a", "b", "c"]))
+        assert count_triangles(view, directed=False) == 1
+
+    def test_undirected_k4_has_four(self):
+        view = StreamView(clique_stream(["a", "b", "c", "d"]))
+        assert count_triangles(view, directed=False) == 4
+
+    def test_directed_cycle_counts_once(self):
+        stream = GraphStream()
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("c", "a", 1.0)
+        assert count_triangles(StreamView(stream), directed=True) == 1
+
+    def test_directed_non_cycle_not_counted(self):
+        stream = GraphStream()
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("a", "c", 1.0)  # feed-forward, not a cycle
+        assert count_triangles(StreamView(stream), directed=True) == 0
+
+    def test_no_triangles_in_path(self):
+        view = StreamView(path_stream(["a", "b", "c", "d"]))
+        assert count_triangles(view, directed=True) == 0
+
+    def test_self_loops_ignored(self):
+        stream = GraphStream()
+        stream.add("a", "a", 1.0)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "a", 1.0)
+        assert count_triangles(StreamView(stream), directed=True) == 0

@@ -1,0 +1,113 @@
+"""Tests for connected-component analytics."""
+
+import pytest
+
+from repro.analytics.components import (
+    count_components,
+    same_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.analytics.views import SketchView, StreamView
+from repro.core.tcm import TCM
+from repro.streams.generators import path_stream, rmat
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def two_islands():
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 1.0)
+    stream.add("b", "c", 1.0)
+    stream.add("x", "y", 1.0)
+    return stream
+
+
+class TestWeakComponents:
+    def test_counts(self, two_islands):
+        components = weakly_connected_components(StreamView(two_islands))
+        assert len(components) == 2
+
+    def test_largest_first(self, two_islands):
+        components = weakly_connected_components(StreamView(two_islands))
+        assert components[0] == {"a", "b", "c"}
+        assert components[1] == {"x", "y"}
+
+    def test_direction_ignored(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("c", "b", 1.0)  # opposite orientation still connects
+        components = weakly_connected_components(StreamView(stream))
+        assert len(components) == 1
+
+    def test_same_component(self, two_islands):
+        view = StreamView(two_islands)
+        assert same_component(view, "a", "c")
+        assert not same_component(view, "a", "x")
+
+    def test_count_helper(self, two_islands):
+        assert count_components(StreamView(two_islands)) == 2
+
+
+class TestStrongComponents:
+    def test_cycle_is_one_scc(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("c", "a", 1.0)
+        sccs = strongly_connected_components(StreamView(stream))
+        assert sccs[0] == {"a", "b", "c"}
+
+    def test_path_is_singletons(self):
+        view = StreamView(path_stream(["a", "b", "c"]))
+        sccs = strongly_connected_components(view)
+        assert all(len(c) == 1 for c in sccs)
+        assert len(sccs) == 3
+
+    def test_two_cycles_with_bridge(self):
+        stream = GraphStream(directed=True)
+        for x, y in [("a", "b"), ("b", "a"), ("b", "c"),
+                     ("c", "d"), ("d", "c")]:
+            stream.add(x, y, 1.0)
+        sccs = strongly_connected_components(StreamView(stream))
+        assert {"a", "b"} in sccs
+        assert {"c", "d"} in sccs
+
+    def test_count_strong(self):
+        view = StreamView(path_stream(["a", "b", "c"]))
+        assert count_components(view, strongly=True) == 3
+
+    def test_paper_stream_big_scc(self, paper_stream):
+        """Fig. 1's graph has a large cycle through a,b,c,e,f."""
+        sccs = strongly_connected_components(StreamView(paper_stream))
+        assert {"a", "b", "c", "e", "f", "d", "g"} == sccs[0]
+
+
+class TestOnSketches:
+    def test_components_never_split_under_hashing(self):
+        """Nodes connected in the stream stay connected in every sketch."""
+        stream = rmat(64, 200, seed=5)
+        tcm = TCM.from_stream(stream, d=2, width=16, seed=1)
+        exact = weakly_connected_components(StreamView(stream))
+        for view in tcm.views():
+            sketch_components = weakly_connected_components(view)
+            bucket_component = {}
+            for i, component in enumerate(sketch_components):
+                for bucket in component:
+                    bucket_component[bucket] = i
+            for component in exact:
+                buckets = {view.node_of(node) for node in component}
+                assert len({bucket_component[b] for b in buckets}) == 1
+
+    def test_sketch_component_count_never_exceeds_exact(self):
+        stream = rmat(64, 100, seed=6)
+        tcm = TCM.from_stream(stream, d=1, width=16, seed=2)
+        view = tcm.views()[0]
+        # Exclude never-touched buckets (they are singleton components).
+        touched = {b for b in view.nodes()
+                   if list(view.successors(b))
+                   or any(view.edge_weight(p, b) > 0 for p in view.nodes())}
+        exact_count = count_components(StreamView(stream))
+        sketch_components = [c for c in weakly_connected_components(view)
+                             if c & touched]
+        assert len(sketch_components) <= exact_count

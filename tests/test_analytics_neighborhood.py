@@ -1,0 +1,111 @@
+"""Tests for neighbourhood analytics."""
+
+import pytest
+
+from repro.analytics.neighborhood import (
+    common_neighbours,
+    jaccard_similarity,
+    k_hop_neighbourhood,
+    neighbourhood_sizes,
+)
+from repro.analytics.views import StreamView
+from repro.streams.generators import path_stream, star_stream
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def diamond_view():
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 1.0)
+    stream.add("a", "c", 1.0)
+    stream.add("b", "d", 1.0)
+    stream.add("c", "d", 1.0)
+    return StreamView(stream)
+
+
+class TestKHop:
+    def test_one_hop(self, diamond_view):
+        assert k_hop_neighbourhood(diamond_view, "a", 1) == {"b", "c"}
+
+    def test_two_hops(self, diamond_view):
+        assert k_hop_neighbourhood(diamond_view, "a", 2) == {"b", "c", "d"}
+
+    def test_zero_hops(self, diamond_view):
+        assert k_hop_neighbourhood(diamond_view, "a", 0) == set()
+
+    def test_negative_k_rejected(self, diamond_view):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(diamond_view, "a", -1)
+
+    def test_excludes_start(self, diamond_view):
+        assert "a" not in k_hop_neighbourhood(diamond_view, "a", 5)
+
+    def test_undirected_traversal(self):
+        view = StreamView(path_stream(["a", "b", "c"]))
+        assert k_hop_neighbourhood(view, "c", 2, directed=True) == set()
+        assert k_hop_neighbourhood(view, "c", 2, directed=False) == {"a", "b"}
+
+    def test_sizes_monotone(self, diamond_view):
+        sizes = neighbourhood_sizes(diamond_view, "a", 3)
+        assert sizes == sorted(sizes)
+        assert sizes == [2, 3, 3]
+
+
+class TestCommonNeighbours:
+    def test_out_common(self, diamond_view):
+        assert common_neighbours(diamond_view, "b", "c") == {"d"}
+
+    def test_in_common(self, diamond_view):
+        assert common_neighbours(diamond_view, "b", "c",
+                                 direction="in") == {"a"}
+
+    def test_any_direction(self, diamond_view):
+        assert common_neighbours(diamond_view, "b", "c",
+                                 direction="any") == {"a", "d"}
+
+    def test_endpoints_excluded(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "a", 1.0)
+        stream.add("a", "z", 1.0)
+        stream.add("b", "z", 1.0)
+        view = StreamView(stream)
+        assert common_neighbours(view, "a", "b", direction="any") == {"z"}
+
+    def test_validation(self, diamond_view):
+        with pytest.raises(ValueError):
+            common_neighbours(diamond_view, "a", "b", direction="sideways")
+
+
+class TestJaccard:
+    def test_identical_neighbourhoods(self, diamond_view):
+        # b and c both point only at d.
+        assert jaccard_similarity(diamond_view, "b", "c") == 1.0
+
+    def test_disjoint(self):
+        view = StreamView(star_stream("hub", ["x", "y"]))
+        assert jaccard_similarity(view, "x", "y") == 0.0
+
+    def test_partial_overlap(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "x", 1.0)
+        stream.add("a", "y", 1.0)
+        stream.add("b", "y", 1.0)
+        stream.add("b", "z", 1.0)
+        assert jaccard_similarity(StreamView(stream), "a", "b") == \
+            pytest.approx(1 / 3)
+
+
+class TestOnSketch:
+    def test_khop_on_sketch_over_approximates(self):
+        from repro.core.tcm import TCM
+        stream = path_stream([f"n{i}" for i in range(12)])
+        tcm = TCM.from_stream(stream, d=1, width=6, seed=3)
+        view = tcm.views()[0]
+        exact_view = StreamView(stream)
+        # Bucket-space neighbourhood of n0's bucket is at least as large
+        # (in reachable-node terms) as the exact 1-hop image.
+        sketch_hop = k_hop_neighbourhood(view, view.node_of("n0"), 1)
+        exact_hop = k_hop_neighbourhood(exact_view, "n0", 1)
+        assert {view.node_of(n) for n in exact_hop} <= sketch_hop | \
+            {view.node_of("n0")}

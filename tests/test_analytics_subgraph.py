@@ -1,0 +1,89 @@
+"""Tests for the subgraph matcher on exact stream views."""
+
+import pytest
+
+from repro.analytics.subgraph import match_subgraph, subgraph_weight
+from repro.analytics.views import StreamView
+from repro.core.queries import WILDCARD, BoundWildcard, SubgraphQuery
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def diamond():
+    """a->b, a->c, b->d, c->d (two length-2 paths from a to d)."""
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 1.0)
+    stream.add("a", "c", 2.0)
+    stream.add("b", "d", 3.0)
+    stream.add("c", "d", 4.0)
+    return StreamView(stream)
+
+
+class TestExplicitMatching:
+    def test_present_query_matches_once(self, diamond):
+        q = SubgraphQuery([("a", "b"), ("b", "d")])
+        assert len(list(match_subgraph(diamond, q))) == 1
+
+    def test_absent_query_no_match(self, diamond):
+        q = SubgraphQuery([("a", "d")])
+        assert list(match_subgraph(diamond, q)) == []
+
+    def test_weight_sums_edges(self, diamond):
+        q = SubgraphQuery([("a", "b"), ("b", "d")])
+        assert subgraph_weight(diamond, q) == 4.0
+
+    def test_weight_zero_when_absent(self, diamond):
+        q = SubgraphQuery([("a", "b"), ("b", "c")])
+        assert subgraph_weight(diamond, q) == 0.0
+
+
+class TestWildcardMatching:
+    def test_free_wildcard_enumerates(self, diamond):
+        q = SubgraphQuery([("a", WILDCARD)])
+        assert len(list(match_subgraph(diamond, q))) == 2
+
+    def test_two_path_pattern(self, diamond):
+        q = SubgraphQuery([("a", WILDCARD), (WILDCARD, "d")])
+        # Free wildcards are independent: 2 choices x 2 choices = 4 matches.
+        assert len(list(match_subgraph(diamond, q))) == 4
+
+    def test_bound_wildcard_constrains(self, diamond):
+        mid = BoundWildcard("m")
+        q = SubgraphQuery([("a", mid), (mid, "d")])
+        matches = list(match_subgraph(diamond, q))
+        assert len(matches) == 2  # m = b or m = c
+
+    def test_bound_wildcard_weight(self, diamond):
+        mid = BoundWildcard("m")
+        q = SubgraphQuery([("a", mid), (mid, "d")])
+        # (1+3) via b, (2+4) via c.
+        assert subgraph_weight(diamond, q) == 10.0
+
+    def test_wildcard_assignments_are_nodes(self, diamond):
+        mid = BoundWildcard("m")
+        q = SubgraphQuery([("a", mid), (mid, "d")])
+        assigned = {tuple(m.values()) for m in match_subgraph(diamond, q)}
+        assert assigned == {("b",), ("c",)}
+
+    def test_triangle_with_bound_wildcards(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("c", "a", 1.0)
+        stream.add("c", "x", 1.0)
+        view = StreamView(stream)
+        u, v, w = BoundWildcard("u"), BoundWildcard("v"), BoundWildcard("w")
+        q = SubgraphQuery([(u, v), (v, w), (w, u)])
+        matches = list(match_subgraph(view, q))
+        # The cycle a->b->c->a found from each of its 3 rotations.
+        assert len(matches) == 3
+
+    def test_max_matches(self, diamond):
+        q = SubgraphQuery([(WILDCARD, WILDCARD)])
+        assert len(list(match_subgraph(diamond, q, max_matches=2))) == 2
+
+    def test_node_of_translation(self, diamond):
+        """Constants can be mapped through a custom node_of."""
+        q = SubgraphQuery([("A", "B")])
+        weight = subgraph_weight(diamond, q, node_of=lambda s: s.lower())
+        assert weight == 1.0

@@ -1,0 +1,68 @@
+"""Tests for the GraphView adapters."""
+
+import pytest
+
+from repro.analytics.views import SketchView, StreamView
+from repro.core.graph_sketch import GraphSketch
+from repro.core.tcm import TCM
+from repro.hashing.family import HashFamily
+
+
+class TestStreamView:
+    def test_nodes(self, small_directed):
+        view = StreamView(small_directed)
+        assert set(view.nodes()) == {"a", "b", "c"}
+        assert view.node_count() == 3
+
+    def test_successors(self, small_directed):
+        view = StreamView(small_directed)
+        assert set(view.successors("a")) == {"b", "c"}
+
+    def test_edge_weight(self, small_directed):
+        view = StreamView(small_directed)
+        assert view.edge_weight("a", "b") == 5.0
+        assert view.edge_weight("b", "a") == 0.0
+
+    def test_has_edge(self, small_directed):
+        view = StreamView(small_directed)
+        assert view.has_edge("a", "b")
+        assert not view.has_edge("c", "b")
+
+
+class TestSketchView:
+    def test_requires_graphical(self):
+        family = HashFamily([8, 4], seed=0)
+        sketch = GraphSketch(family[0], family[1])
+        with pytest.raises(ValueError):
+            SketchView(sketch)
+
+    def test_nodes_are_buckets(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=1, width=16, seed=0)
+        view = SketchView(tcm.sketches[0])
+        assert list(view.nodes()) == list(range(16))
+        assert view.node_count() == 16
+
+    def test_node_of_maps_labels(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=1, width=16, seed=0)
+        view = SketchView(tcm.sketches[0])
+        bucket = view.node_of("a")
+        assert 0 <= bucket < 16
+
+    def test_edge_weight_through_buckets(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=1, width=64, seed=0)
+        view = SketchView(tcm.sketches[0])
+        a, b = view.node_of("a"), view.node_of("b")
+        assert view.edge_weight(a, b) == 5.0
+
+    def test_successors_reflect_matrix(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=1, width=64, seed=0)
+        view = SketchView(tcm.sketches[0])
+        a = view.node_of("a")
+        succs = set(view.successors(a))
+        assert view.node_of("b") in succs
+        assert view.node_of("c") in succs
+
+    def test_sketch_accessor(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=1, width=8, seed=0)
+        view = SketchView(tcm.sketches[0])
+        assert view.sketch is tcm.sketches[0]

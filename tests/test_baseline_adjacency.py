@@ -1,0 +1,56 @@
+"""Tests for the exact adjacency-list stores (Appendix C.4 substrate)."""
+
+import pytest
+
+from repro.baselines.adjacency import AdjacencyListGraph, HashedAdjacencyGraph
+
+
+@pytest.mark.parametrize("cls", [AdjacencyListGraph, HashedAdjacencyGraph])
+class TestAdjacencyStores:
+    def test_single_edge(self, cls):
+        graph = cls()
+        graph.update("a", "b", 2.0)
+        assert graph.edge_weight("a", "b") == 2.0
+
+    def test_accumulation(self, cls):
+        graph = cls()
+        graph.update("a", "b", 2.0)
+        graph.update("a", "b", 3.0)
+        assert graph.edge_weight("a", "b") == 5.0
+
+    def test_missing_edge(self, cls):
+        graph = cls()
+        graph.update("a", "b", 1.0)
+        assert graph.edge_weight("a", "z") == 0.0
+        assert graph.edge_weight("z", "a") == 0.0
+
+    def test_directional(self, cls):
+        graph = cls(directed=True)
+        graph.update("a", "b", 1.0)
+        assert graph.edge_weight("b", "a") == 0.0
+
+    def test_undirected(self, cls):
+        graph = cls(directed=False)
+        graph.update("a", "b", 2.0)
+        assert graph.edge_weight("b", "a") == 2.0
+
+    def test_ingest_matches_stream(self, cls, small_directed):
+        graph = cls()
+        assert graph.ingest(small_directed) == 5
+        for x, y in small_directed.distinct_edges:
+            assert graph.edge_weight(x, y) == small_directed.edge_weight(x, y)
+
+    def test_len_counts_nodes(self, cls, small_directed):
+        graph = cls()
+        graph.ingest(small_directed)
+        assert len(graph) == 3  # a, b, c have outgoing edges
+
+
+class TestEquivalence:
+    def test_both_stores_agree(self, ipflow_stream):
+        scan = AdjacencyListGraph()
+        hashed = HashedAdjacencyGraph()
+        scan.ingest(ipflow_stream)
+        hashed.ingest(ipflow_stream)
+        for edge in list(ipflow_stream.distinct_edges)[:100]:
+            assert scan.edge_weight(*edge) == hashed.edge_weight(*edge)

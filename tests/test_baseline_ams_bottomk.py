@@ -1,0 +1,150 @@
+"""Tests for the AMS and bottom-k data-stream sketches."""
+
+import pytest
+
+from repro.baselines.ams import AmsSketch, EdgeF2Sketch
+from repro.baselines.bottomk import BottomKSketch, DistinctEdgeCounter
+from repro.streams.generators import ipflow_like
+
+
+class TestAmsSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmsSketch(0, 4)
+        with pytest.raises(ValueError):
+            AmsSketch(4, 0)
+
+    def test_shape(self):
+        assert AmsSketch(3, 8).shape == (3, 8)
+
+    def test_single_item_f2(self):
+        sketch = AmsSketch(5, 16, seed=1)
+        for _ in range(10):
+            sketch.update("x")
+        # Only one item: F2 = 100 exactly (signs cancel nothing).
+        assert sketch.second_moment() == pytest.approx(100.0)
+
+    def test_f2_estimate_close(self):
+        """F2 of a known frequency vector within ~35%."""
+        frequencies = {f"item{i}": (i + 1) for i in range(20)}
+        exact = sum(f * f for f in frequencies.values())
+        estimates = []
+        for seed in range(8):
+            sketch = AmsSketch(7, 32, seed=seed)
+            for item, freq in frequencies.items():
+                for _ in range(freq):
+                    sketch.update(item)
+            estimates.append(sketch.second_moment())
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - exact) / exact < 0.35
+
+    def test_weighted_updates(self):
+        sketch = AmsSketch(5, 16, seed=2)
+        sketch.update("x", 10.0)
+        assert sketch.second_moment() == pytest.approx(100.0)
+
+    def test_linear_deletion(self):
+        sketch = AmsSketch(5, 16, seed=3)
+        sketch.update("x", 5.0)
+        sketch.update("y", 3.0)
+        sketch.remove("y", 3.0)
+        assert sketch.second_moment() == pytest.approx(25.0)
+
+
+class TestEdgeF2:
+    def test_self_join_size(self):
+        sketch = EdgeF2Sketch(7, 32, seed=1)
+        for _ in range(10):
+            sketch.update("a", "b")
+        for _ in range(2):
+            sketch.update("c", "d")
+        estimate = sketch.self_join_size()
+        exact = 100 + 4
+        assert abs(estimate - exact) / exact < 0.5
+
+    def test_undirected_folds(self):
+        sketch = EdgeF2Sketch(5, 16, seed=2, directed=False)
+        sketch.update("a", "b")
+        sketch.update("b", "a")
+        assert sketch.self_join_size() == pytest.approx(4.0)
+
+    def test_ingest(self, ipflow_stream):
+        sketch = EdgeF2Sketch(3, 8, seed=1)
+        assert sketch.ingest(ipflow_stream) == len(ipflow_stream)
+
+
+class TestBottomK:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(0)
+
+    def test_exact_below_k(self):
+        sketch = BottomKSketch(k=100, seed=1)
+        for i in range(40):
+            sketch.update(f"item{i}")
+        assert sketch.distinct_count() == 40.0
+
+    def test_duplicates_ignored(self):
+        sketch = BottomKSketch(k=100, seed=1)
+        for _ in range(500):
+            sketch.update("same")
+        assert sketch.distinct_count() == 1.0
+        assert len(sketch) == 1
+
+    def test_estimate_above_k(self):
+        exact = 5000
+        estimates = []
+        for seed in range(5):
+            sketch = BottomKSketch(k=256, seed=seed)
+            for i in range(exact):
+                sketch.update(f"item{i}")
+            estimates.append(sketch.distinct_count())
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - exact) / exact < 0.15
+
+    def test_bounded_memory(self):
+        sketch = BottomKSketch(k=32, seed=1)
+        for i in range(10000):
+            sketch.update(f"item{i}")
+        assert len(sketch) == 32
+
+    def test_merge_equals_union(self):
+        a = BottomKSketch(k=64, seed=7)
+        b = BottomKSketch(k=64, seed=7)
+        union = BottomKSketch(k=64, seed=7)
+        for i in range(300):
+            a.update(f"left{i}")
+            union.update(f"left{i}")
+        for i in range(300):
+            b.update(f"right{i}")
+            union.update(f"right{i}")
+        a.merge_from(b)
+        assert a.distinct_count() == union.distinct_count()
+
+    def test_merge_mismatch_rejected(self):
+        a = BottomKSketch(k=64, seed=1)
+        b = BottomKSketch(k=64, seed=2)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+
+class TestDistinctEdgeCounter:
+    def test_exact_small(self):
+        counter = DistinctEdgeCounter(k=128, seed=1)
+        counter.update("a", "b")
+        counter.update("a", "b")
+        counter.update("b", "c")
+        assert counter.distinct_edges() == 2.0
+
+    def test_undirected(self):
+        counter = DistinctEdgeCounter(k=128, seed=1, directed=False)
+        counter.update("a", "b")
+        counter.update("b", "a")
+        assert counter.distinct_edges() == 1.0
+
+    def test_against_stream_truth(self):
+        stream = ipflow_like(n_hosts=100, n_packets=3000, seed=8)
+        counter = DistinctEdgeCounter(k=256, seed=3)
+        counter.ingest(stream)
+        exact = len(stream.distinct_edges)
+        assert abs(counter.distinct_edges() - exact) / exact < 0.2

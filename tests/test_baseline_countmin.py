@@ -1,0 +1,173 @@
+"""Tests for the CountMin baseline and its graph specializations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.countmin import (
+    CountMinSketch,
+    EdgeCountMin,
+    NodeCountMin,
+    concat_edge_key,
+)
+from repro.hashing.labels import label_to_int
+
+
+class TestCountMinSketch:
+    def test_basic_estimate(self):
+        cm = CountMinSketch(3, 64, seed=1)
+        cm.update("k", 5.0)
+        assert cm.estimate("k") == 5.0
+
+    def test_accumulation(self):
+        cm = CountMinSketch(3, 64, seed=1)
+        cm.update("k", 2.0)
+        cm.update("k", 3.0)
+        assert cm.estimate("k") == 5.0
+
+    def test_unseen_key_zero_when_wide(self):
+        cm = CountMinSketch(3, 1024, seed=1)
+        cm.update("k", 5.0)
+        assert cm.estimate("other") == 0.0
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(2, 8, seed=1)
+        truth = {}
+        for i in range(300):
+            key = f"k{i % 40}"
+            cm.update(key, 1.0)
+            truth[key] = truth.get(key, 0.0) + 1.0
+        for key, exact in truth.items():
+            assert cm.estimate(key) >= exact
+
+    def test_estimate_is_min_over_rows(self):
+        cm = CountMinSketch(4, 8, seed=2)
+        for i in range(100):
+            cm.update(f"k{i}", 1.0)
+        key = "k0"
+        intkey = label_to_int(key)
+        rows = [cm._table[r, h.hash_int(intkey)]
+                for r, h in enumerate(cm._family)]
+        assert cm.estimate(key) == min(rows)
+
+    def test_remove(self):
+        cm = CountMinSketch(3, 64, seed=1)
+        cm.update("k", 5.0)
+        cm.remove("k", 5.0)
+        assert cm.estimate("k") == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(1, 8).update("k", -1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 8)
+        with pytest.raises(ValueError):
+            CountMinSketch(1, 0)
+
+    def test_size_in_cells(self):
+        assert CountMinSketch(3, 100).size_in_cells == 300
+
+    def test_update_many_matches_scalar(self):
+        cm1 = CountMinSketch(3, 32, seed=5)
+        cm2 = CountMinSketch(3, 32, seed=5)
+        keys = [f"key{i % 11}" for i in range(100)]
+        weights = np.array([float(i % 3 + 1) for i in range(100)])
+        for k, w in zip(keys, weights):
+            cm1.update(k, w)
+        cm2.update_many(
+            np.array([label_to_int(k) for k in keys], dtype=np.uint64),
+            weights)
+        np.testing.assert_allclose(cm1._table, cm2._table)
+
+    def test_clear(self):
+        cm = CountMinSketch(2, 16, seed=1)
+        cm.update("k", 1.0)
+        cm.clear()
+        assert cm.estimate("k") == 0.0
+
+    def test_more_rows_tighter_estimates(self):
+        """d=5 estimates are never worse than d=1 (min over superset)."""
+        keys = [f"k{i % 50}" for i in range(500)]
+        small = CountMinSketch(1, 32, seed=7)
+        big = CountMinSketch(5, 32, seed=7)
+        for k in keys:
+            small.update(k, 1.0)
+            big.update(k, 1.0)
+        # Same seed: the first row of `big` equals `small`'s only row.
+        for key in set(keys):
+            assert big.estimate(key) <= small.estimate(key)
+
+
+class TestConcatKey:
+    def test_distinct_pairs_distinct_keys(self):
+        assert concat_edge_key("a", "bc") != concat_edge_key("ab", "c")
+
+    def test_order_matters(self):
+        assert concat_edge_key("a", "b") != concat_edge_key("b", "a")
+
+
+class TestEdgeCountMin:
+    def test_edge_weight(self):
+        cm = EdgeCountMin(3, 128, seed=1)
+        cm.update("a", "b", 4.0)
+        assert cm.edge_weight("a", "b") == 4.0
+
+    def test_directional(self):
+        cm = EdgeCountMin(3, 512, seed=1)
+        cm.update("a", "b", 4.0)
+        assert cm.edge_weight("b", "a") == 0.0
+
+    def test_undirected_folds_orientations(self):
+        cm = EdgeCountMin(3, 128, seed=1, directed=False)
+        cm.update("a", "b", 1.0)
+        cm.update("b", "a", 2.0)
+        assert cm.edge_weight("a", "b") == 3.0
+        assert cm.edge_weight("b", "a") == 3.0
+
+    def test_remove(self):
+        cm = EdgeCountMin(2, 64, seed=1)
+        cm.update("a", "b", 2.0)
+        cm.remove("a", "b", 2.0)
+        assert cm.edge_weight("a", "b") == 0.0
+
+    def test_subgraph_weight(self, small_directed):
+        cm = EdgeCountMin(3, 512, seed=1)
+        cm.ingest(small_directed)
+        assert cm.subgraph_weight([("a", "b"), ("b", "c")]) == 6.0
+
+    def test_subgraph_zero_on_missing(self, small_directed):
+        cm = EdgeCountMin(3, 512, seed=1)
+        cm.ingest(small_directed)
+        assert cm.subgraph_weight([("a", "b"), ("zz", "qq")]) == 0.0
+
+    def test_ingest_count(self, small_directed):
+        cm = EdgeCountMin(2, 64, seed=1)
+        assert cm.ingest(small_directed) == 5
+
+
+class TestNodeCountMin:
+    def test_in_flow(self, small_directed):
+        cm = NodeCountMin(3, 512, seed=1, direction="in")
+        cm.ingest(small_directed)
+        assert cm.flow("c") == small_directed.in_flow("c")
+
+    def test_out_flow(self, small_directed):
+        cm = NodeCountMin(3, 512, seed=1, direction="out")
+        cm.ingest(small_directed)
+        assert cm.flow("a") == small_directed.out_flow("a")
+
+    def test_both_direction(self, small_undirected):
+        cm = NodeCountMin(3, 512, seed=1, direction="both")
+        cm.ingest(small_undirected)
+        assert cm.flow("y") == small_undirected.flow("y")
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            NodeCountMin(1, 8, direction="diagonal")
+
+    def test_remove(self):
+        cm = NodeCountMin(2, 64, seed=1, direction="in")
+        cm.update("a", "b", 2.0)
+        cm.remove("a", "b", 2.0)
+        assert cm.flow("b") == 0.0

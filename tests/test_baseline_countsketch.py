@@ -1,0 +1,108 @@
+"""Tests for the CountSketch baseline."""
+
+import pytest
+
+from repro.baselines.countsketch import CountSketch, EdgeCountSketch
+from repro.streams.generators import ipflow_like
+
+
+class TestCountSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 8)
+        with pytest.raises(ValueError):
+            CountSketch(3, 0)
+
+    def test_exact_when_spacious(self):
+        sketch = CountSketch(5, 1024, seed=1)
+        sketch.update("key", 7.0)
+        assert sketch.estimate("key") == pytest.approx(7.0)
+
+    def test_accumulation(self):
+        sketch = CountSketch(5, 1024, seed=1)
+        sketch.update("key", 3.0)
+        sketch.update("key", 4.0)
+        assert sketch.estimate("key") == pytest.approx(7.0)
+
+    def test_negative_updates_supported(self):
+        """Turnstile model: weights may go down and even negative."""
+        sketch = CountSketch(5, 1024, seed=1)
+        sketch.update("key", 3.0)
+        sketch.update("key", -5.0)
+        assert sketch.estimate("key") == pytest.approx(-2.0)
+
+    def test_remove(self):
+        sketch = CountSketch(5, 1024, seed=1)
+        sketch.update("key", 3.0)
+        sketch.remove("key", 3.0)
+        assert sketch.estimate("key") == pytest.approx(0.0)
+
+    def test_unbiasedness(self):
+        """Across seeds, the mean error is ~0 (unlike CountMin's bias)."""
+        frequencies = {f"k{i}": float(i + 1) for i in range(60)}
+        errors = []
+        for seed in range(20):
+            sketch = CountSketch(5, 16, seed=seed)  # heavy collisions
+            for key, freq in frequencies.items():
+                sketch.update(key, freq)
+            errors.extend(sketch.estimate(k) - f
+                          for k, f in frequencies.items())
+        mean_error = sum(errors) / len(errors)
+        total = sum(frequencies.values())
+        assert abs(mean_error) < 0.02 * total
+
+    def test_two_sided_errors_exist(self):
+        """Under collisions some estimates fall below the truth --
+        impossible for CountMin/TCM."""
+        sketch = CountSketch(1, 4, seed=3)
+        for i in range(100):
+            sketch.update(f"k{i}", 1.0)
+        undercounts = sum(1 for i in range(100)
+                          if sketch.estimate(f"k{i}") < 1.0)
+        assert undercounts > 0
+
+    def test_clear(self):
+        sketch = CountSketch(3, 32, seed=1)
+        sketch.update("key", 1.0)
+        sketch.clear()
+        assert sketch.estimate("key") == 0.0
+
+    def test_size(self):
+        assert CountSketch(3, 100).size_in_cells == 300
+
+
+class TestEdgeCountSketch:
+    def test_edge_weight(self):
+        sketch = EdgeCountSketch(5, 512, seed=1)
+        sketch.update("a", "b", 4.0)
+        assert sketch.edge_weight("a", "b") == pytest.approx(4.0)
+
+    def test_directional(self):
+        sketch = EdgeCountSketch(5, 2048, seed=1)
+        sketch.update("a", "b", 4.0)
+        assert sketch.edge_weight("b", "a") == pytest.approx(0.0)
+
+    def test_undirected_folds(self):
+        sketch = EdgeCountSketch(5, 512, seed=1, directed=False)
+        sketch.update("a", "b", 1.0)
+        sketch.update("b", "a", 2.0)
+        assert sketch.edge_weight("a", "b") == pytest.approx(3.0)
+
+    def test_accuracy_comparable_to_countmin_in_rmse(self):
+        """On a congested workload, CountSketch RMSE is in CountMin's
+        ballpark (its advantage is the unbiasedness, not magnitude)."""
+        from repro.baselines.countmin import EdgeCountMin
+
+        stream = ipflow_like(n_hosts=80, n_packets=2500, seed=5)
+        cs = EdgeCountSketch(5, 400, seed=2)
+        cm = EdgeCountMin(5, 400, seed=2)
+        cs.ingest(stream)
+        cm.ingest(stream)
+        edges = sorted(stream.distinct_edges, key=repr)
+
+        def rmse(estimator):
+            squares = [(estimator(*e) - stream.edge_weight(*e)) ** 2
+                       for e in edges]
+            return (sum(squares) / len(squares)) ** 0.5
+
+        assert rmse(cs.edge_weight) < 5 * rmse(cm.edge_weight) + 1.0

@@ -1,0 +1,161 @@
+"""Tests for gSketch and the partitioned TCM."""
+
+import pytest
+
+from repro.baselines.gsketch import (
+    GSketch,
+    PartitionedTCM,
+    partition_edges_by_sample,
+    partition_space_allocation,
+)
+from repro.streams.generators import ipflow_like
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def sample_stream():
+    stream = GraphStream(directed=True)
+    weights = {"light1": 1, "light2": 1, "mid1": 5, "mid2": 6,
+               "heavy1": 50, "heavy2": 60}
+    for name, weight in weights.items():
+        stream.add(name, name + "_dst", float(weight))
+    return stream
+
+
+class TestPartitioning:
+    def test_heavy_and_light_separated(self, sample_stream):
+        table, default = partition_edges_by_sample(sample_stream, 3)
+        assert default == 0
+        assert table[("light1", "light1_dst")] == 0
+        assert table[("heavy2", "heavy2_dst")] == 2
+
+    def test_all_edges_routed(self, sample_stream):
+        table, _ = partition_edges_by_sample(sample_stream, 3)
+        assert len(table) == 6
+        assert set(table.values()) <= {0, 1, 2}
+
+    def test_single_partition(self, sample_stream):
+        table, _ = partition_edges_by_sample(sample_stream, 1)
+        assert set(table.values()) == {0}
+
+    def test_empty_sample(self):
+        table, default = partition_edges_by_sample(GraphStream(), 4)
+        assert table == {}
+        assert default == 0
+
+    def test_invalid_partition_count(self, sample_stream):
+        with pytest.raises(ValueError):
+            partition_edges_by_sample(sample_stream, 0)
+
+
+class TestSpaceAllocation:
+    def test_total_close_to_budget(self, sample_stream):
+        widths = partition_space_allocation(sample_stream, 4, 1000, 0.1)
+        assert sum(widths) <= 1000 + 4
+        assert all(w >= 1 for w in widths)
+
+    def test_default_partition_gets_most_space(self, sample_stream):
+        widths = partition_space_allocation(sample_stream, 4, 1000, 0.1)
+        assert widths[0] == max(widths)
+        assert widths[0] > sum(widths[1:])
+
+    def test_full_sample_even_allocation(self, sample_stream):
+        """With sample_fraction=1 nothing is unseen: near-even split."""
+        widths = partition_space_allocation(sample_stream, 3, 900, 1.0)
+        assert max(widths) - min(widths) <= 1
+
+    def test_invalid_fraction(self, sample_stream):
+        with pytest.raises(ValueError):
+            partition_space_allocation(sample_stream, 2, 100, 0.0)
+
+
+class TestGSketch:
+    def make(self, stream, partitions=4, d=3, cells=2000, fraction=0.2):
+        cutoff = max(1, int(len(stream) * fraction))
+        sample = GraphStream(directed=stream.directed,
+                             edges=[stream[i] for i in range(cutoff)])
+        sketch = GSketch(sample, partitions, d, cells, seed=1,
+                         directed=stream.directed, sample_fraction=fraction)
+        sketch.ingest(stream)
+        return sketch
+
+    def test_edge_estimates_never_underestimate(self):
+        stream = ipflow_like(n_hosts=60, n_packets=1200, seed=3)
+        sketch = self.make(stream)
+        for edge in list(stream.distinct_edges)[:200]:
+            assert sketch.edge_weight(*edge) >= stream.edge_weight(*edge) - 1e-9
+
+    def test_exact_when_spacious(self, sample_stream):
+        sketch = self.make(sample_stream, cells=5000, fraction=1.0)
+        assert sketch.edge_weight("heavy2", "heavy2_dst") == 60.0
+
+    def test_remove(self, sample_stream):
+        sketch = self.make(sample_stream, cells=5000, fraction=1.0)
+        sketch.remove("heavy2", "heavy2_dst", 60.0)
+        assert sketch.edge_weight("heavy2", "heavy2_dst") == 0.0
+
+    def test_subgraph_weight(self, sample_stream):
+        sketch = self.make(sample_stream, cells=5000, fraction=1.0)
+        total = sketch.subgraph_weight(
+            [("heavy1", "heavy1_dst"), ("mid1", "mid1_dst")])
+        assert total == 55.0
+
+    def test_space_budget_respected(self, sample_stream):
+        sketch = self.make(sample_stream, partitions=4, d=3, cells=2000)
+        assert sketch.size_in_cells <= (2000 + 4) * 3
+
+    def test_too_small_budget_rejected(self, sample_stream):
+        with pytest.raises(ValueError):
+            GSketch(sample_stream, partitions=10, d=1, total_cells=5)
+
+    def test_partitioning_reduces_light_edge_error(self):
+        """The point of gSketch: light edges stop colliding with heavy
+        ones, cutting their ARE versus a monolithic CountMin at d=1."""
+        from repro.baselines.countmin import EdgeCountMin
+
+        stream = ipflow_like(n_hosts=120, n_packets=6000, seed=9)
+        cells = 600
+        plain = EdgeCountMin(1, cells, seed=2)
+        plain.ingest(stream)
+        partitioned = self.make(stream, partitions=8, d=1, cells=cells,
+                                fraction=0.2)
+        edges = sorted(stream.distinct_edges, key=repr)
+
+        def are(estimator):
+            errors = [estimator(*e) / stream.edge_weight(*e) - 1
+                      for e in edges]
+            return sum(errors) / len(errors)
+
+        assert are(partitioned.edge_weight) < are(plain.edge_weight)
+
+
+class TestPartitionedTCM:
+    def make(self, stream, partitions=4, d=2, cells=4000, fraction=1.0):
+        sketch = PartitionedTCM(stream, partitions, d, cells, seed=1,
+                                directed=stream.directed,
+                                sample_fraction=fraction)
+        sketch.ingest(stream)
+        return sketch
+
+    def test_estimates(self, sample_stream):
+        sketch = self.make(sample_stream)
+        assert sketch.edge_weight("heavy1", "heavy1_dst") == 50.0
+
+    def test_never_underestimates(self):
+        stream = ipflow_like(n_hosts=60, n_packets=1200, seed=4)
+        sketch = self.make(stream, cells=1000, fraction=0.2)
+        for edge in list(stream.distinct_edges)[:200]:
+            assert sketch.edge_weight(*edge) >= stream.edge_weight(*edge) - 1e-9
+
+    def test_remove(self, sample_stream):
+        sketch = self.make(sample_stream)
+        sketch.remove("mid1", "mid1_dst", 5.0)
+        assert sketch.edge_weight("mid1", "mid1_dst") == 0.0
+
+    def test_partitions_exposed(self, sample_stream):
+        sketch = self.make(sample_stream, partitions=3)
+        assert len(sketch.partitions) == 3
+
+    def test_budget_validation(self, sample_stream):
+        with pytest.raises(ValueError):
+            PartitionedTCM(sample_stream, partitions=10, d=1, total_cells=5)

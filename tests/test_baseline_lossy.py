@@ -1,0 +1,81 @@
+"""Tests for Manku-Motwani lossy counting."""
+
+import pytest
+
+from repro.baselines.lossy_counting import LossyCounter
+
+
+class TestLossyCounter:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounter(0.0)
+        with pytest.raises(ValueError):
+            LossyCounter(1.0)
+
+    def test_counts_without_pruning(self):
+        counter = LossyCounter(0.5)
+        counter.update("a")
+        assert counter.estimate("a") == 1.0
+
+    def test_undercount_bound(self):
+        """estimate <= true and true - estimate <= eps * N."""
+        epsilon = 0.02
+        counter = LossyCounter(epsilon)
+        truth = {}
+        for i in range(5000):
+            item = f"i{i % 100}" if i % 3 else "hot"
+            counter.update(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, exact in truth.items():
+            estimate = counter.estimate(item)
+            assert estimate <= exact
+            assert exact - estimate <= epsilon * counter.stream_length
+
+    def test_space_bounded(self):
+        counter = LossyCounter(0.01)
+        for i in range(20000):
+            counter.update(f"unique_{i}")
+        # All items are singletons: the structure stays near 1/eps entries.
+        assert len(counter) <= 2 * int(1 / 0.01)
+
+    def test_frequent_items_no_false_negatives(self):
+        counter = LossyCounter(0.01)
+        for i in range(1000):
+            counter.update("dominant")
+            counter.update(f"noise_{i}")
+        support = 0.25
+        found = dict(counter.frequent_items(support))
+        assert "dominant" in found
+
+    def test_frequent_items_sorted(self):
+        counter = LossyCounter(0.1)
+        for _ in range(50):
+            counter.update("a")
+        for _ in range(30):
+            counter.update("b")
+        items = counter.frequent_items(0.2)
+        assert items[0][0] == "a"
+
+    def test_support_validation(self):
+        counter = LossyCounter(0.1)
+        counter.update("a")
+        with pytest.raises(ValueError):
+            counter.frequent_items(0.0)
+
+    def test_weighted_updates(self):
+        counter = LossyCounter(0.5)
+        counter.update("a", 5.0)
+        assert counter.estimate("a") == 5.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LossyCounter(0.1).update("a", -1.0)
+
+    def test_unseen_item_zero(self):
+        assert LossyCounter(0.1).estimate("nope") == 0.0
+
+    def test_stream_length(self):
+        counter = LossyCounter(0.1)
+        for _ in range(7):
+            counter.update("x")
+        assert counter.stream_length == 7

@@ -1,0 +1,143 @@
+"""Tests for the sample-based baselines."""
+
+import pytest
+
+from repro.baselines.sampling import (
+    ReservoirEdgeSample,
+    SampledEdgeStore,
+    SampledNodeStore,
+)
+from repro.streams.generators import ipflow_like
+from repro.streams.model import GraphStream
+
+
+class TestSampledEdgeStore:
+    def test_full_rate_is_exact(self, small_directed):
+        store = SampledEdgeStore(1.0, seed=1)
+        store.ingest(small_directed)
+        assert store.edge_weight("a", "b") == 5.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SampledEdgeStore(0.0)
+        with pytest.raises(ValueError):
+            SampledEdgeStore(1.5)
+
+    def test_undirected_folding(self):
+        store = SampledEdgeStore(1.0, seed=1, directed=False)
+        store.update("a", "b", 1.0)
+        store.update("b", "a", 1.0)
+        assert store.edge_weight("a", "b") == 2.0
+
+    def test_scaling(self):
+        """Estimates scale by 1/rate and are unbiased in expectation."""
+        totals = []
+        for seed in range(30):
+            store = SampledEdgeStore(0.5, seed=seed)
+            for _ in range(100):
+                store.update("x", "y", 1.0)
+            totals.append(store.edge_weight("x", "y"))
+        mean = sum(totals) / len(totals)
+        assert 85 < mean < 115
+
+    def test_undercount_possible(self):
+        store = SampledEdgeStore(0.01, seed=1)
+        store.update("x", "y", 1.0)
+        assert store.edge_weight("x", "y") in (0.0, 100.0)
+
+    def test_top_edges(self, small_directed):
+        store = SampledEdgeStore(1.0, seed=1)
+        store.ingest(small_directed)
+        top = store.top_edges(1)
+        assert top[0][0] in {("a", "b"), ("a", "c")}
+
+    def test_len_counts_distinct(self, small_directed):
+        store = SampledEdgeStore(1.0, seed=1)
+        store.ingest(small_directed)
+        assert len(store) == 4
+
+
+class TestSampledNodeStore:
+    def test_directions(self, small_directed):
+        in_store = SampledNodeStore(1.0, seed=1, direction="in")
+        in_store.ingest(small_directed)
+        assert in_store.flow("c") == small_directed.in_flow("c")
+        out_store = SampledNodeStore(1.0, seed=1, direction="out")
+        out_store.ingest(small_directed)
+        assert out_store.flow("a") == small_directed.out_flow("a")
+
+    def test_both(self, small_undirected):
+        store = SampledNodeStore(1.0, seed=1, direction="both")
+        store.ingest(small_undirected)
+        assert store.flow("y") == small_undirected.flow("y")
+
+    def test_top_nodes(self, small_directed):
+        store = SampledNodeStore(1.0, seed=1, direction="out")
+        store.ingest(small_directed)
+        assert store.top_nodes(1)[0][0] == "a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledNodeStore(0.5, direction="weird")
+
+
+class TestReservoirEdgeSample:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirEdgeSample(0)
+
+    def test_under_capacity_is_exact(self, small_directed):
+        reservoir = ReservoirEdgeSample(100, seed=1)
+        reservoir.ingest(small_directed)
+        assert reservoir.scale == 1.0
+        assert reservoir.edge_weight("a", "b") == 5.0
+
+    def test_bounded_memory(self):
+        reservoir = ReservoirEdgeSample(10, seed=1)
+        for i in range(1000):
+            reservoir.update(f"s{i}", f"t{i}", 1.0)
+        assert len(reservoir) == 10
+
+    def test_scale_reflects_seen(self):
+        reservoir = ReservoirEdgeSample(10, seed=1)
+        for i in range(100):
+            reservoir.update("a", "b", 1.0)
+        assert reservoir.scale == 10.0
+
+    def test_unbiased_total(self):
+        """Scaled totals should be close to the true total on average."""
+        estimates = []
+        for seed in range(30):
+            reservoir = ReservoirEdgeSample(50, seed=seed)
+            for _ in range(500):
+                reservoir.update("x", "y", 2.0)
+            estimates.append(reservoir.edge_weight("x", "y"))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(1000.0, rel=0.01)
+
+    def test_top_edges_finds_heavy(self):
+        stream = ipflow_like(n_hosts=50, n_packets=2000, seed=7)
+        reservoir = ReservoirEdgeSample(500, seed=1)
+        reservoir.ingest(stream)
+        truth = {e for e, _ in stream.top_edges(5)}
+        found = {e for e, _ in reservoir.top_edges(5)}
+        assert len(found & truth) >= 3
+
+    def test_node_flows(self):
+        reservoir = ReservoirEdgeSample(100, seed=1)
+        reservoir.update("a", "b", 2.0)
+        reservoir.update("c", "b", 3.0)
+        flows = reservoir.node_flows("in")
+        assert flows["b"] == 5.0
+
+    def test_undirected_keys(self):
+        reservoir = ReservoirEdgeSample(100, seed=1, directed=False)
+        reservoir.update("b", "a", 1.0)
+        reservoir.update("a", "b", 1.0)
+        assert reservoir.edge_weight("a", "b") == 2.0
+
+    def test_top_nodes_direction(self):
+        reservoir = ReservoirEdgeSample(100, seed=1)
+        reservoir.update("hub", "x", 5.0)
+        reservoir.update("hub", "y", 5.0)
+        assert reservoir.top_nodes(1, direction="out")[0][0] == "hub"

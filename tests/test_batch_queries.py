@@ -1,0 +1,65 @@
+"""Tests for the vectorized batch query path."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.graph_sketch import label_keys
+from repro.core.tcm import TCM
+
+
+class TestSketchEdgeEstimates:
+    def test_matches_scalar(self, ipflow_stream):
+        tcm = TCM.from_stream(ipflow_stream, d=1, width=32, seed=1)
+        sketch = tcm.sketches[0]
+        pairs = sorted(ipflow_stream.distinct_edges, key=repr)[:200]
+        sources = label_keys([x for x, _ in pairs])
+        targets = label_keys([y for _, y in pairs])
+        batch = sketch.edge_estimates(sources, targets)
+        scalar = np.array([sketch.edge_estimate(x, y) for x, y in pairs])
+        np.testing.assert_allclose(batch, scalar)
+
+    def test_matches_scalar_undirected(self, dblp_stream):
+        tcm = TCM.from_stream(dblp_stream, d=1, width=32, seed=1)
+        sketch = tcm.sketches[0]
+        pairs = sorted(dblp_stream.distinct_edges, key=repr)[:200]
+        # Query in the reversed orientation on purpose.
+        sources = label_keys([y for _, y in pairs])
+        targets = label_keys([x for x, _ in pairs])
+        batch = sketch.edge_estimates(sources, targets)
+        scalar = np.array([sketch.edge_estimate(x, y) for x, y in pairs])
+        np.testing.assert_allclose(batch, scalar)
+
+
+class TestTcmEdgeWeights:
+    def test_matches_scalar(self, ipflow_stream):
+        tcm = TCM.from_stream(ipflow_stream, d=4, width=32, seed=2)
+        pairs = sorted(ipflow_stream.distinct_edges, key=repr)[:300]
+        batch = tcm.edge_weights(pairs)
+        scalar = np.array([tcm.edge_weight(x, y) for x, y in pairs])
+        np.testing.assert_allclose(batch, scalar)
+
+    def test_empty_batch(self):
+        tcm = TCM(d=2, width=8, seed=1)
+        assert len(tcm.edge_weights([])) == 0
+
+    def test_min_aggregation_merges_with_max(self):
+        from repro.streams.model import GraphStream
+        stream = GraphStream()
+        stream.add("a", "b", 5.0)
+        stream.add("a", "b", 3.0)
+        tcm = TCM.from_stream(stream, d=3, width=16, seed=3,
+                              aggregation=Aggregation.MIN)
+        batch = tcm.edge_weights([("a", "b")])
+        assert batch[0] == tcm.edge_weight("a", "b")
+
+    def test_unseen_pairs_zero_when_wide(self, small_directed):
+        tcm = TCM.from_stream(small_directed, d=3, width=128, seed=4)
+        batch = tcm.edge_weights([("nope", "never"), ("a", "b")])
+        assert batch[0] == 0.0
+        assert batch[1] == 5.0
+
+    def test_nonsquare_batch(self):
+        tcm = TCM(shapes=[(32, 8), (8, 32)], seed=5)
+        tcm.update("a", "b", 4.0)
+        assert tcm.edge_weights([("a", "b")])[0] >= 4.0

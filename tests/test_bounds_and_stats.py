@@ -1,0 +1,143 @@
+"""Tests for the bound calculators and stream statistics."""
+
+import math
+
+import pytest
+
+from repro.metrics.bounds import (
+    expected_edge_error,
+    expected_flow_error,
+    guarantee_for_parameters,
+    parameters_for_guarantee,
+    space_in_cells,
+)
+from repro.streams.generators import ipflow_like
+from repro.streams.model import GraphStream
+from repro.streams.stats import (
+    degree_distribution,
+    gini,
+    summarize,
+    weight_histogram,
+)
+
+
+class TestBoundCalculators:
+    def test_round_trip(self):
+        d, w = parameters_for_guarantee(0.01, 0.05)
+        epsilon, delta = guarantee_for_parameters(d, w)
+        assert epsilon <= 0.01 + 1e-9
+        assert delta <= 0.05 + 1e-9
+
+    def test_known_values(self):
+        assert parameters_for_guarantee(0.01, 0.05) == (3, 272)
+        d, w = parameters_for_guarantee(0.5, 0.5)
+        assert d == 1
+        assert w == math.ceil(math.e / 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parameters_for_guarantee(0.0, 0.5)
+        with pytest.raises(ValueError):
+            parameters_for_guarantee(0.5, 1.0)
+        with pytest.raises(ValueError):
+            guarantee_for_parameters(0, 1)
+
+    def test_expected_errors(self):
+        assert expected_edge_error(10000, 100) == pytest.approx(1.0)
+        assert expected_flow_error(10000, 100) == pytest.approx(100.0)
+        assert expected_flow_error(10000, 100) == \
+            100 * expected_edge_error(10000, 100)
+
+    def test_expected_error_validation(self):
+        with pytest.raises(ValueError):
+            expected_edge_error(100, 0)
+        with pytest.raises(ValueError):
+            expected_flow_error(-1, 10)
+
+    def test_space(self):
+        d, w = parameters_for_guarantee(0.1, 0.1)
+        assert space_in_cells(0.1, 0.1) == d * w * w
+
+    def test_empirical_expected_error_matches(self):
+        """The n/w^2 prediction matches measured mean over-count."""
+        from repro.core.tcm import TCM
+
+        stream = ipflow_like(n_hosts=100, n_packets=4000, seed=4)
+        width = 40
+        tcm = TCM(d=1, width=width, seed=11)
+        tcm.ingest(stream)
+        edges = sorted(stream.distinct_edges, key=repr)
+        mean_overcount = sum(
+            tcm.edge_weight(x, y) - stream.edge_weight(x, y)
+            for x, y in edges) / len(edges)
+        predicted = expected_edge_error(stream.total_weight(), width)
+        assert 0.3 * predicted < mean_overcount < 3.0 * predicted
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        assert gini([0.0] * 99 + [100.0]) > 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([1.0, -1.0])
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self, ipflow_stream):
+        report = summarize(ipflow_stream)
+        assert report.elements == len(ipflow_stream)
+        assert report.distinct_edges == len(ipflow_stream.distinct_edges)
+        assert report.nodes == len(ipflow_stream.nodes)
+        assert report.min_edge_weight <= report.mean_edge_weight
+        assert report.mean_edge_weight <= report.max_edge_weight
+        assert 0 <= report.weight_gini < 1
+        assert 0 <= report.degree_gini < 1
+
+    def test_weight_range_orders(self, ipflow_stream):
+        report = summarize(ipflow_stream)
+        assert report.weight_range_orders > 1.0  # heavy-tailed by design
+
+    def test_undirected(self, dblp_stream):
+        report = summarize(dblp_stream)
+        assert report.nodes == len(dblp_stream.nodes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(GraphStream())
+
+
+class TestHistogramsAndDegrees:
+    def test_weight_histogram(self, ipflow_stream):
+        histogram = weight_histogram(ipflow_stream, buckets=5)
+        assert len(histogram) == 5
+        minima = [low for low, _, _ in histogram]
+        assert minima == sorted(minima)
+        assert sum(count for _, _, count in histogram) == \
+            len(ipflow_stream.distinct_edges)
+
+    def test_histogram_validation(self, ipflow_stream):
+        with pytest.raises(ValueError):
+            weight_histogram(ipflow_stream, buckets=0)
+
+    def test_histogram_empty_stream(self):
+        assert weight_histogram(GraphStream()) == []
+
+    def test_degree_distribution(self):
+        stream = GraphStream(directed=True)
+        stream.add("hub", "a", 1.0)
+        stream.add("hub", "b", 1.0)
+        stream.add("hub", "c", 1.0)
+        distribution = degree_distribution(stream)
+        assert distribution[3] == 1  # the hub
+        assert distribution[1] == 3  # the leaves

@@ -1,0 +1,33 @@
+"""Tests for the Theorem 1 calibration driver."""
+
+import pytest
+
+from repro.experiments.calibration import calibration_table
+
+
+class TestCalibrationTable:
+    def test_structure(self):
+        rows = calibration_table("gtgraph", "tiny",
+                                 targets=((0.05, 0.2),), trials=2)
+        assert len(rows) == 1
+        epsilon, delta, d, w, rate = rows[0]
+        assert (epsilon, delta) == (0.05, 0.2)
+        assert d >= 1 and w >= 1
+        assert 0.0 <= rate <= 1.0
+
+    def test_guarantee_holds(self):
+        rows = calibration_table("gtgraph", "tiny",
+                                 targets=((0.05, 0.2), (0.02, 0.1)),
+                                 trials=2)
+        for epsilon, delta, d, w, rate in rows:
+            assert rate <= delta
+
+    def test_tighter_eps_means_bigger_sketch(self):
+        rows = calibration_table("gtgraph", "tiny",
+                                 targets=((0.05, 0.1), (0.01, 0.1)),
+                                 trials=1)
+        assert rows[1][3] > rows[0][3]  # w grows as eps shrinks
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            calibration_table(trials=0)

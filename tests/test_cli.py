@@ -1,0 +1,103 @@
+"""Tests for the ``tcm`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.streams.io import write_stream
+
+
+@pytest.fixture
+def trace_file(tmp_path, ipflow_stream):
+    path = tmp_path / "trace.txt"
+    write_stream(ipflow_stream, path)
+    return path
+
+
+@pytest.fixture
+def sketch_file(tmp_path, trace_file):
+    path = tmp_path / "sketch.npz"
+    main(["summarize", str(trace_file), str(path), "--d", "3",
+          "--width", "48"])
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "dataset.txt"
+        assert main(["generate", "dblp", str(out), "--scale", "tiny"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_generate_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "facebook", str(tmp_path / "x.txt")])
+
+
+class TestStats:
+    def test_stats_report(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "elements" in out
+        assert "distinct edges" in out
+        assert "weight histogram" in out
+
+
+class TestSummarizeAndInfo:
+    def test_summarize_creates_sketch(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "s.npz"
+        assert main(["summarize", str(trace_file), str(out)]) == 0
+        assert out.exists()
+        assert "summarized" in capsys.readouterr().out
+
+    def test_info(self, sketch_file, capsys):
+        assert main(["info", str(sketch_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sketches     3" in out
+        assert "48x48" in out
+
+    def test_summarize_extended(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "ext.npz"
+        assert main(["summarize", str(trace_file), str(out),
+                     "--keep-labels", "--width", "32"]) == 0
+        assert main(["info", str(out)]) == 0
+        assert "extended" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_edge_query(self, sketch_file, ipflow_stream, capsys):
+        edge = next(iter(sorted(ipflow_stream.distinct_edges, key=repr)))
+        assert main(["query", str(sketch_file), "edge",
+                     edge[0], edge[1]]) == 0
+        estimate = float(capsys.readouterr().out)
+        # %g output keeps 6 significant digits.
+        assert estimate >= ipflow_stream.edge_weight(*edge) * (1 - 1e-5)
+
+    def test_reach_query(self, sketch_file, ipflow_stream, capsys):
+        edge = next(iter(sorted(ipflow_stream.distinct_edges, key=repr)))
+        assert main(["query", str(sketch_file), "reach",
+                     edge[0], edge[1]]) == 0
+        assert capsys.readouterr().out.strip() == "reachable"
+
+    def test_inflow_query(self, sketch_file, ipflow_stream, capsys):
+        node = sorted(ipflow_stream.nodes)[0]
+        assert main(["query", str(sketch_file), "inflow", node]) == 0
+        assert float(capsys.readouterr().out) >= 0
+
+    def test_edge_query_missing_second_node(self, sketch_file):
+        with pytest.raises(SystemExit):
+            main(["query", str(sketch_file), "edge", "a"])
+
+    def test_unknown_kind_rejected(self, sketch_file):
+        with pytest.raises(SystemExit):
+            main(["query", str(sketch_file), "teleport", "a", "b"])
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro(self, trace_file):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", str(trace_file)],
+            capture_output=True, text=True)
+        assert result.returncode == 0
+        assert "elements" in result.stdout

@@ -1,0 +1,84 @@
+"""Error-path tests for the CLI tools."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliErrorPaths:
+    def test_missing_stream_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["stats", str(tmp_path / "ghost.txt")])
+
+    def test_missing_sketch_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["info", str(tmp_path / "ghost.npz")])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_query_flow_on_directed_sketch_raises(self, tmp_path, capsys):
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        trace = tmp_path / "t.txt"
+        write_stream(stream, trace)
+        sketch = tmp_path / "s.npz"
+        main(["summarize", str(trace), str(sketch), "--width", "16"])
+        with pytest.raises(ValueError, match="directed"):
+            main(["query", str(sketch), "flow", "a"])
+
+    def test_reach_missing_second_node(self, tmp_path):
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        trace = tmp_path / "t.txt"
+        write_stream(stream, trace)
+        sketch = tmp_path / "s.npz"
+        main(["summarize", str(trace), str(sketch), "--width", "16"])
+        with pytest.raises(SystemExit, match="two node labels"):
+            main(["query", str(sketch), "reach", "a"])
+
+    def test_subgraph_bad_syntax(self, tmp_path):
+        from repro.core.query_parser import QuerySyntaxError
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        trace = tmp_path / "t.txt"
+        write_stream(stream, trace)
+        sketch = tmp_path / "s.npz"
+        main(["summarize", str(trace), str(sketch), "--width", "16"])
+        with pytest.raises(QuerySyntaxError):
+            main(["query", str(sketch), "subgraph", "a b c"])
+
+    def test_diff_incompatible_sketches(self, tmp_path):
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        trace = tmp_path / "t.txt"
+        write_stream(stream, trace)
+        main(["summarize", str(trace), str(tmp_path / "s1.npz"),
+              "--width", "16", "--seed", "1"])
+        main(["summarize", str(trace), str(tmp_path / "s2.npz"),
+              "--width", "16", "--seed", "2"])
+        with pytest.raises(ValueError, match="hashes"):
+            main(["diff", str(tmp_path / "s1.npz"),
+                  str(tmp_path / "s2.npz")])
+
+    def test_experiments_cli_requires_experiment(self):
+        from repro.experiments.__main__ import main as experiments_main
+        with pytest.raises(SystemExit):
+            experiments_main([])

@@ -1,0 +1,141 @@
+"""Tests for label propagation, modularity and degree estimation."""
+
+import pytest
+
+from repro.analytics.communities import label_propagation, modularity
+from repro.analytics.views import StreamView
+from repro.core.tcm import TCM
+from repro.streams.generators import clique_stream
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def two_cliques():
+    """Two dense 4-cliques joined by a single weak bridge."""
+    stream = GraphStream(directed=False)
+    t = 0
+    for group in (["a1", "a2", "a3", "a4"], ["b1", "b2", "b3", "b4"]):
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                for _ in range(3):  # weight 3 per internal pair
+                    stream.add(group[i], group[j], 1.0, float(t))
+                    t += 1
+    stream.add("a1", "b1", 1.0, float(t))
+    return stream
+
+
+class TestLabelPropagation:
+    def test_finds_the_two_cliques(self, two_cliques):
+        communities = label_propagation(StreamView(two_cliques), seed=1)
+        as_sets = [frozenset(c) for c in communities]
+        assert frozenset({"a1", "a2", "a3", "a4"}) in as_sets
+        assert frozenset({"b1", "b2", "b3", "b4"}) in as_sets
+
+    def test_single_clique_single_community(self):
+        stream = clique_stream(["x", "y", "z", "w"])
+        communities = label_propagation(StreamView(stream), seed=1)
+        assert len(communities) == 1
+
+    def test_deterministic(self, two_cliques):
+        view = StreamView(two_cliques)
+        assert label_propagation(view, seed=4) == \
+            label_propagation(view, seed=4)
+
+    def test_isolated_nodes_singletons(self):
+        stream = GraphStream(directed=False)
+        stream.add("a", "b", 1.0)
+        stream.add("c", "c", 1.0)  # self-loop only: effectively isolated
+        communities = label_propagation(StreamView(stream))
+        assert {"c"} in communities
+
+    def test_validation(self, two_cliques):
+        with pytest.raises(ValueError):
+            label_propagation(StreamView(two_cliques), max_iterations=0)
+
+    def test_runs_on_sketch(self, two_cliques):
+        tcm = TCM.from_stream(two_cliques, d=1, width=64, seed=2)
+        communities = label_propagation(tcm.views()[0], seed=1)
+        # Super-node communities must separate the two clique images.
+        sketch = tcm.sketches[0]
+        a_buckets = {sketch.node_of(f"a{i}") for i in range(1, 5)}
+        b_buckets = {sketch.node_of(f"b{i}") for i in range(1, 5)}
+        community_of = {}
+        for index, community in enumerate(communities):
+            for bucket in community:
+                community_of[bucket] = index
+        assert len({community_of[b] for b in a_buckets}) == 1
+        assert len({community_of[b] for b in b_buckets}) == 1
+
+
+class TestModularity:
+    def test_good_partition_positive(self, two_cliques):
+        view = StreamView(two_cliques)
+        good = [{"a1", "a2", "a3", "a4"}, {"b1", "b2", "b3", "b4"}]
+        assert modularity(view, good) > 0.3
+
+    def test_bad_partition_lower(self, two_cliques):
+        view = StreamView(two_cliques)
+        good = [{"a1", "a2", "a3", "a4"}, {"b1", "b2", "b3", "b4"}]
+        bad = [{"a1", "b2", "a3", "b4"}, {"b1", "a2", "b3", "a4"}]
+        assert modularity(view, bad) < modularity(view, good)
+
+    def test_empty_graph(self):
+        assert modularity(StreamView(GraphStream(directed=False)), []) == 0.0
+
+    def test_lp_partition_scores_well(self, two_cliques):
+        view = StreamView(two_cliques)
+        communities = label_propagation(view, seed=1)
+        assert modularity(view, communities) > 0.3
+
+
+class TestDegreeEstimate:
+    def test_exact_when_wide(self):
+        stream = GraphStream(directed=True)
+        for i in range(7):
+            stream.add("hub", f"leaf{i}", 1.0)
+        tcm = TCM.from_stream(stream, d=3, width=256, seed=1)
+        assert tcm.degree_estimate("hub", "out") == 7
+        assert tcm.degree_estimate("leaf0", "in") == 1
+
+    def test_capped_by_width(self):
+        stream = GraphStream(directed=True)
+        for i in range(100):
+            stream.add("hub", f"leaf{i}", 1.0)
+        tcm = TCM.from_stream(stream, d=2, width=8, seed=1)
+        assert tcm.degree_estimate("hub", "out") <= 8
+
+    def test_validation(self):
+        tcm = TCM(d=1, width=8, seed=1)
+        with pytest.raises(ValueError):
+            tcm.degree_estimate("a", "sideways")
+
+
+class TestBatchFlows:
+    def test_matches_scalar(self, ipflow_stream):
+        import numpy as np
+        tcm = TCM.from_stream(ipflow_stream, d=3, width=48, seed=2)
+        nodes = sorted(ipflow_stream.nodes)[:50]
+        np.testing.assert_allclose(
+            tcm.out_flows(nodes),
+            [tcm.out_flow(n) for n in nodes])
+        np.testing.assert_allclose(
+            tcm.in_flows(nodes),
+            [tcm.in_flow(n) for n in nodes])
+
+    def test_empty_batch(self):
+        tcm = TCM(d=1, width=8, seed=1)
+        assert len(tcm.out_flows([])) == 0
+
+    def test_undirected_rejected(self):
+        tcm = TCM(d=1, width=8, seed=1, directed=False)
+        with pytest.raises(ValueError):
+            tcm.out_flows(["a"])
+
+    def test_works_on_sparse(self, ipflow_stream):
+        import numpy as np
+        tcm = TCM(d=2, width=48, seed=2, sparse=True)
+        tcm.ingest(ipflow_stream)
+        nodes = sorted(ipflow_stream.nodes)[:30]
+        np.testing.assert_allclose(
+            tcm.out_flows(nodes),
+            [tcm.out_flow(n) for n in nodes])

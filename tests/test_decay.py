@@ -1,0 +1,118 @@
+"""Tests for the exponentially time-decayed TCM."""
+
+import math
+
+import pytest
+
+from repro.core.decay import TimeDecayedTCM
+from repro.streams.model import StreamEdge
+
+
+class TestConstruction:
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            TimeDecayedTCM(0.0)
+        with pytest.raises(ValueError):
+            TimeDecayedTCM(1.0)
+
+    def test_half_life(self):
+        decayed = TimeDecayedTCM(0.5)
+        assert decayed.half_life() == pytest.approx(1.0)
+        slow = TimeDecayedTCM(0.99)
+        assert slow.half_life() == pytest.approx(math.log(2) / -math.log(0.99))
+
+
+class TestDecaySemantics:
+    def test_no_time_no_decay(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        decayed.observe("a", "b", 8.0)
+        assert decayed.edge_weight("a", "b") == pytest.approx(8.0)
+
+    def test_weight_halves_per_half_life(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        decayed.observe("a", "b", 8.0, timestamp=0.0)
+        decayed.advance_to(1.0)
+        assert decayed.edge_weight("a", "b") == pytest.approx(4.0)
+        decayed.advance_to(3.0)
+        assert decayed.edge_weight("a", "b") == pytest.approx(1.0)
+
+    def test_new_elements_enter_undecayed(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        decayed.observe("a", "b", 8.0, timestamp=0.0)
+        decayed.observe("a", "b", 8.0, timestamp=1.0)
+        # old: 8*0.5 = 4, new: 8 -> total 12.
+        assert decayed.edge_weight("a", "b") == pytest.approx(12.0)
+
+    def test_time_cannot_regress(self):
+        decayed = TimeDecayedTCM(0.9)
+        decayed.advance_to(5.0)
+        with pytest.raises(ValueError):
+            decayed.advance_to(4.0)
+
+    def test_flows_decay_too(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        decayed.observe("a", "b", 4.0, timestamp=0.0)
+        decayed.advance_to(2.0)
+        assert decayed.out_flow("a") == pytest.approx(1.0)
+        assert decayed.in_flow("b") == pytest.approx(1.0)
+
+    def test_total_weight_decays(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        decayed.observe("a", "b", 4.0, timestamp=0.0)
+        decayed.observe("c", "d", 4.0, timestamp=0.0)
+        decayed.advance_to(1.0)
+        assert decayed.total_weight_estimate() == pytest.approx(4.0)
+
+    def test_reachability_survives_decay(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=64, seed=1)
+        decayed.observe("a", "b", 1.0, timestamp=0.0)
+        decayed.observe("b", "c", 1.0, timestamp=0.0)
+        decayed.advance_to(50.0)
+        assert decayed.reachable("a", "c")
+
+    def test_consume_stream(self):
+        decayed = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        edges = [StreamEdge("x", "y", 2.0, float(t)) for t in range(4)]
+        assert decayed.consume(edges) == 4
+        # 2*(0.5^3 + 0.5^2 + 0.5 + 1) = 3.75.
+        assert decayed.edge_weight("x", "y") == pytest.approx(3.75)
+
+
+class TestRenormalization:
+    def test_long_run_stays_finite(self):
+        """Advancing far past many half-lives must not under/overflow."""
+        decayed = TimeDecayedTCM(0.5, d=1, width=16, seed=1)
+        for t in range(0, 3000, 100):
+            decayed.observe("a", "b", 1.0, timestamp=float(t))
+        # After 3000 time units (=half-lives) the scale crossed the
+        # renormalization band many times over.
+        estimate = decayed.edge_weight("a", "b")
+        assert math.isfinite(estimate)
+        # Geometric series: latest element dominates; total < 2.
+        assert 1.0 <= estimate < 2.0
+
+    def test_renormalized_values_match_unrenormalized(self):
+        fast_forward = TimeDecayedTCM(0.5, d=1, width=16, seed=1)
+        fast_forward.observe("a", "b", 8.0, timestamp=0.0)
+        fast_forward.advance_to(500.0)  # forces renormalization
+        fast_forward.observe("a", "b", 8.0)
+        assert fast_forward.edge_weight("a", "b") == pytest.approx(8.0)
+
+    def test_scale_underflow_to_zero_is_survivable(self):
+        """A time jump past all float range wipes history cleanly and
+        keeps accepting new elements (no division by zero)."""
+        decayed = TimeDecayedTCM(0.5, d=1, width=8, seed=1)
+        decayed.observe("a", "b", 5.0, timestamp=0.0)
+        decayed.advance_to(1e9)  # decay**1e9 underflows to exactly 0.0
+        decayed.observe("a", "b", 7.0)
+        assert decayed.edge_weight("a", "b") == pytest.approx(7.0)
+
+    def test_recent_burst_outranks_old_heavyweight(self):
+        """The motivating query: what is hot *now*."""
+        decayed = TimeDecayedTCM(0.9, d=2, width=64, seed=2)
+        for t in range(50):
+            decayed.observe("old", "victim", 100.0, timestamp=float(t))
+        for t in range(50, 120):
+            decayed.observe("new", "victim", 10.0, timestamp=float(t))
+        assert decayed.edge_weight("new", "victim") > \
+            decayed.edge_weight("old", "victim")

@@ -1,0 +1,83 @@
+"""Tests for the simulated distributed TCM (paper Section 5.3)."""
+
+import pytest
+
+from repro.core.tcm import TCM
+from repro.distributed import DistributedTCM
+from repro.streams.generators import path_stream, rmat
+
+
+class TestConstruction:
+    def test_worker_count(self):
+        with DistributedTCM(m=3, d=2, width=16, seed=0) as cluster:
+            assert len(cluster.workers) == 3
+            assert cluster.total_sketches == 6
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            DistributedTCM(m=0, d=1, width=8)
+
+    def test_workers_have_independent_hashes(self):
+        with DistributedTCM(m=2, d=1, width=64, seed=0) as cluster:
+            cluster.update("a", "b", 1.0)
+            matrices = [w.tcm.sketches[0].matrix for w in cluster.workers]
+            # Same content mass, but placed by different hash functions.
+            assert matrices[0].sum() == matrices[1].sum() == 1.0
+
+
+class TestQueries:
+    def test_edge_weight(self, small_directed):
+        with DistributedTCM(m=2, d=2, width=64, seed=1) as cluster:
+            cluster.ingest(small_directed)
+            assert cluster.edge_weight("a", "b") == 5.0
+
+    def test_flows(self, small_directed):
+        with DistributedTCM(m=2, d=2, width=64, seed=1) as cluster:
+            cluster.ingest(small_directed)
+            assert cluster.out_flow("a") == small_directed.out_flow("a")
+            assert cluster.in_flow("c") == small_directed.in_flow("c")
+
+    def test_reachability_conjunction(self, paper_stream):
+        with DistributedTCM(m=2, d=2, width=128, seed=1) as cluster:
+            cluster.ingest(paper_stream)
+            assert cluster.reachable("a", "g")
+            assert not cluster.reachable("a", "marsupial")
+
+    def test_parallel_and_sequential_agree(self, small_directed):
+        parallel = DistributedTCM(m=3, d=1, width=32, seed=2, parallel=True)
+        serial = DistributedTCM(m=3, d=1, width=32, seed=2, parallel=False)
+        parallel.ingest(small_directed)
+        serial.ingest(small_directed)
+        for x, y in small_directed.distinct_edges:
+            assert parallel.edge_weight(x, y) == serial.edge_weight(x, y)
+        parallel.close()
+
+    def test_never_underestimates(self):
+        stream = rmat(32, 400, seed=3)
+        with DistributedTCM(m=2, d=2, width=8, seed=3) as cluster:
+            cluster.ingest(stream)
+            for x, y in list(stream.distinct_edges)[:50]:
+                assert cluster.edge_weight(x, y) >= stream.edge_weight(x, y)
+
+
+class TestScalingBenefit:
+    def test_m_workers_match_dm_sketch_tcm(self, small_directed):
+        """d x m distributed sketches estimate no worse than a single
+        d-sketch TCM (Section 5.3's point)."""
+        stream = rmat(32, 600, seed=4)
+        single = TCM(d=2, width=8, seed=100)
+        single.ingest(stream)
+        with DistributedTCM(m=4, d=2, width=8, seed=100) as cluster:
+            cluster.ingest(stream)
+            worse = 0
+            for x, y in list(stream.distinct_edges)[:100]:
+                if cluster.edge_weight(x, y) > single.edge_weight(x, y):
+                    worse += 1
+            # The first worker shares the single TCM's seed, so the
+            # cluster's min can never exceed the single sketch's estimate.
+            assert worse == 0
+
+    def test_double_close_is_safe(self):
+        cluster = DistributedTCM(m=2, d=1, width=8, seed=0)
+        cluster.close()
+        cluster.close()

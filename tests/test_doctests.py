@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.queries
+import repro.core.tcm
+import repro.core.tensor
+import repro.hashing.labels
+import repro.metrics.bounds
+
+MODULES = [
+    repro.hashing.labels,
+    repro.core.queries,
+    repro.core.tcm,
+    repro.core.tensor,
+    repro.metrics.bounds,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,104 @@
+"""Statistical validation of the paper's error bounds (Appendix A).
+
+Theorem 1: with ``d = ceil(ln(1/delta))`` hash functions and width
+``w = ceil(e / eps)``, the edge estimate satisfies
+
+    fe_hat(x, y) <= fe(x, y) + eps * n     with probability >= 1 - delta
+
+where ``n`` is the total stream weight.  Lemma 1.2 gives the same form
+for node flows.  These are one-sided (the lower bound
+``fe_hat >= fe`` is deterministic and property-tested elsewhere).
+
+We validate empirically: build many independently-seeded TCMs over a
+fixed random stream and check the violation frequency stays below
+``delta`` with slack for sampling noise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TCM
+from repro.streams.model import GraphStream
+
+
+def build_random_stream(n_elements=600, n_labels=80, seed=0) -> GraphStream:
+    rng = np.random.default_rng(seed)
+    stream = GraphStream(directed=True)
+    src = rng.integers(0, n_labels, size=n_elements)
+    dst = rng.integers(0, n_labels, size=n_elements)
+    for t in range(n_elements):
+        stream.add(int(src[t]), int(dst[t]), 1.0, float(t))
+    return stream
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("epsilon,delta", [(0.05, 0.05), (0.1, 0.2)])
+    def test_edge_bound_violation_rate(self, epsilon, delta):
+        stream = build_random_stream(seed=11)
+        n = stream.total_weight()
+        d = max(1, math.ceil(math.log(1.0 / delta)))
+        width = math.ceil(math.e / epsilon)
+        edges = sorted(stream.distinct_edges, key=repr)[:40]
+
+        trials = 60
+        violations = 0
+        for trial in range(trials):
+            tcm = TCM(d=d, width=width, seed=10_000 + trial)
+            tcm.ingest(stream)
+            for x, y in edges:
+                exact = stream.edge_weight(x, y)
+                if tcm.edge_weight(x, y) > exact + epsilon * n:
+                    violations += 1
+        rate = violations / (trials * len(edges))
+        # The bound guarantees rate <= delta; allow 50% slack for the
+        # finite sample (binomial noise).
+        assert rate <= 1.5 * delta
+
+    def test_lower_bound_is_deterministic(self):
+        stream = build_random_stream(seed=13)
+        tcm = TCM(d=2, width=8, seed=3)
+        tcm.ingest(stream)
+        for x, y in stream.distinct_edges:
+            assert tcm.edge_weight(x, y) >= stream.edge_weight(x, y)
+
+
+class TestLemma12:
+    def test_node_flow_bound_violation_rate(self):
+        epsilon, delta = 0.1, 0.1
+        stream = build_random_stream(seed=17)
+        n = stream.total_weight()
+        d = max(1, math.ceil(math.log(1.0 / delta)))
+        width = math.ceil(math.e / epsilon)
+        nodes = sorted(stream.nodes, key=repr)[:30]
+
+        trials = 50
+        violations = 0
+        for trial in range(trials):
+            tcm = TCM(d=d, width=width, seed=20_000 + trial)
+            tcm.ingest(stream)
+            for node in nodes:
+                exact = stream.out_flow(node)
+                if tcm.out_flow(node) > exact + epsilon * n * math.e:
+                    # Lemma 1.2's flow bound sums a whole row, so its eps
+                    # is per-row; the e factor accounts for w = e/eps.
+                    violations += 1
+        rate = violations / (trials * len(nodes))
+        assert rate <= 1.5 * delta
+
+    def test_more_space_shrinks_error(self):
+        """Halving eps (doubling w) at fixed d reduces mean edge error."""
+        stream = build_random_stream(seed=19)
+        edges = sorted(stream.distinct_edges, key=repr)[:50]
+
+        def mean_error(width: int) -> float:
+            errors = []
+            for trial in range(10):
+                tcm = TCM(d=3, width=width, seed=30_000 + trial)
+                tcm.ingest(stream)
+                errors.extend(tcm.edge_weight(x, y) - stream.edge_weight(x, y)
+                              for x, y in edges)
+            return float(np.mean(errors))
+
+        assert mean_error(32) < mean_error(16) < mean_error(8)

@@ -1,0 +1,273 @@
+"""Tests for the experiment harness: datasets, helpers and driver shapes.
+
+Drivers run at ``tiny`` scale here; the assertions check the *shape*
+properties the paper reports (monotone trends, orderings), not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.capability import QUERY_CLASSES, table3_capabilities
+from repro.experiments.common import (
+    cells_for_ratio,
+    edge_query_are,
+    edge_workload,
+    random_node_pairs,
+    stream_prefix,
+    width_for_ratio,
+)
+from repro.experiments.report import format_table, print_table
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert set(datasets.DATASET_NAMES) == {"dblp", "ipflow", "gtgraph",
+                                               "twitter"}
+
+    def test_by_name(self):
+        stream = datasets.by_name("dblp", "tiny")
+        assert not stream.directed
+        assert len(stream) > 100
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            datasets.by_name("imaginary")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            datasets.dblp("galactic")
+
+    def test_caching(self):
+        assert datasets.ipflow("tiny") is datasets.ipflow("tiny")
+
+    def test_gtgraph_multiplicity_flag(self):
+        assert datasets.gtgraph("tiny").multiplicity_weights
+
+    def test_scales_ordered(self):
+        assert len(datasets.dblp("tiny")) < len(datasets.dblp("small"))
+
+    def test_ratios_defined_for_all(self):
+        for name in datasets.DATASET_NAMES:
+            assert name in datasets.DEFAULT_RATIOS
+            assert name in datasets.FIXED_RATIO
+
+
+class TestCommonHelpers:
+    def test_cells_for_ratio(self):
+        stream = datasets.dblp("tiny")
+        assert cells_for_ratio(stream, 0.5) == len(stream) // 2
+
+    def test_cells_uses_total_weight_for_multiplicities(self):
+        stream = datasets.gtgraph("tiny")
+        assert cells_for_ratio(stream, 0.1) == int(stream.total_weight() * 0.1)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            cells_for_ratio(datasets.dblp("tiny"), 0.0)
+
+    def test_width_for_ratio(self):
+        stream = datasets.dblp("tiny")
+        width = width_for_ratio(stream, 0.5)
+        assert width * width <= cells_for_ratio(stream, 0.5)
+
+    def test_edge_workload_complete(self):
+        stream = datasets.dblp("tiny")
+        assert len(edge_workload(stream)) == len(stream.distinct_edges)
+
+    def test_edge_workload_limit(self):
+        stream = datasets.dblp("tiny")
+        assert len(edge_workload(stream, limit=10)) == 10
+
+    def test_stream_prefix(self):
+        stream = datasets.dblp("tiny")
+        prefix = stream_prefix(stream, 0.25)
+        assert len(prefix) == max(1, int(len(stream) * 0.25))
+        assert prefix[0].source == stream[0].source
+
+    def test_random_node_pairs(self):
+        pairs = random_node_pairs(datasets.dblp("tiny"), 20, seed=1)
+        assert len(pairs) == 20
+        assert all(a != b for a, b in pairs)
+
+    def test_edge_query_are_zero_for_exact(self):
+        stream = datasets.dblp("tiny")
+        assert edge_query_are(stream, stream.edge_weight) == 0.0
+
+
+class TestDriverShapes:
+    def test_fig7_error_monotone_in_compression(self):
+        from repro.experiments.exp1_edge import fig7_edge_vs_ratio
+        rows = fig7_edge_vs_ratio("gtgraph", "tiny",
+                                  ratios=(1 / 10, 1 / 40), d=4)
+        assert rows[0][1] <= rows[1][1]  # looser ratio, lower TCM error
+        assert rows[0][2] <= rows[1][2]
+
+    def test_fig8_distribution_ascending(self):
+        from repro.experiments.exp1_edge import fig8_weight_distribution
+        rows = fig8_weight_distribution("dblp", "tiny", buckets=5)
+        minima = [row[1] for row in rows]
+        assert minima == sorted(minima)
+
+    def test_fig9_error_monotone_in_d(self):
+        from repro.experiments.exp1_edge import fig9_edge_vs_d
+        rows = fig9_edge_vs_d("gtgraph", "tiny", d_values=(1, 5))
+        assert rows[1][1] <= rows[0][1]
+        assert rows[1][2] <= rows[0][2]
+
+    def test_fig10_light_edges_dominate_error(self):
+        from repro.experiments.exp1_edge import fig10_weight_segments
+        rows = fig10_weight_segments("ipflow", "tiny", d=4, segments=5)
+        assert rows[0][1] > rows[-1][1]  # lightest segment worst for TCM
+        assert rows[0][2] > rows[-1][2]
+
+    def test_fig12_tcm_beats_half_space_cm(self):
+        from repro.experiments.exp1_edge import fig12_same_space_set
+        rows = fig12_same_space_set("ipflow", "tiny", d_values=(5,))
+        _, are_tcm, are_cm_half = rows[0]
+        assert are_tcm < are_cm_half
+
+    def test_gsketch_comparison_rows(self):
+        from repro.experiments.exp1_edge import gsketch_comparison
+        rows = gsketch_comparison("ipflow", "tiny", d_values=(1, 3))
+        methods = [row[0] for row in rows]
+        assert methods == ["CountMin", "TCM", "gSketch", "TCM (edge sample)"]
+        by_method = {row[0]: row[1:] for row in rows}
+        # Partitioning helps at d=1 (the light/heavy separation regime).
+        assert by_method["gSketch"][0] < by_method["CountMin"][0]
+
+    def test_fig11_rows(self):
+        from repro.experiments.exp2_heavy import fig11_heavy_hitters
+        rows = fig11_heavy_hitters(names=("ipflow",), scale="tiny", d=4,
+                                   edge_k=20, node_k=10)
+        assert len(rows) == 2
+        for row in rows:
+            for accuracy in row[2:]:
+                assert 0.0 <= accuracy <= 1.0
+        # Heavy edges: sketches beat the same-space reservoir.
+        edges_row = rows[0]
+        assert edges_row[2] >= edges_row[4]
+
+    def test_fig13_structure(self):
+        from repro.experiments.exp2_heavy import fig13_conditional_heavy_hitters
+        rows = fig13_conditional_heavy_hitters("tiny", d=4, k=3, l=3)
+        assert 1 <= len(rows) <= 3
+        for author, flow, is_true_top, hits, collaborators in rows:
+            assert flow > 0
+            assert isinstance(is_true_top, bool)
+            assert "/" in hits
+
+    def test_ndcg_high(self):
+        from repro.experiments.exp2_heavy import ndcg_table
+        rows = ndcg_table("ipflow", "tiny", d=4, ratio=1 / 3,
+                          k_values=(5, 10))
+        for _, ndcg_edges, ndcg_nodes in rows:
+            assert ndcg_edges > 0.9
+            assert ndcg_nodes > 0.7
+
+    def test_fig14a_accuracy_range(self):
+        from repro.experiments.exp3_path import fig14a_reachability_vs_d
+        rows = fig14a_reachability_vs_d(names=("gtgraph",), scale="tiny",
+                                        d_values=(1, 5), pairs_count=30)
+        for row in rows:
+            assert 0.0 <= row[1] <= 1.0
+        assert rows[1][1] >= rows[0][1] - 0.15  # accuracy not collapsing in d
+
+    def test_fig14b_improves_with_d(self):
+        from repro.experiments.exp3_path import fig14b_true_negatives
+        rows = fig14b_true_negatives(density_values=(1,), n_nodes=256,
+                                     d_values=(1, 9), pairs_count=40)
+        assert rows[1][1] >= rows[0][1]
+
+    def test_fig15_shape(self):
+        from repro.experiments.exp4_graph import fig15_subgraph_vs_d
+        rows = fig15_subgraph_vs_d("ipflow", "tiny", d_values=(1, 5),
+                                   query_count=10)
+        assert rows[1][1] <= rows[0][1]
+
+    def test_fig16_structure(self):
+        from repro.experiments.exp4_graph import fig16_heavy_triangles
+        rows = fig16_heavy_triangles("tiny", d=4, k=3, l=3)
+        assert 1 <= len(rows) <= 3
+        for edge, hits, connections in rows:
+            assert " -- " in edge
+
+    def test_fig17_breakdown(self):
+        from repro.experiments.exp5_efficiency import build_time_breakdown
+        rows = build_time_breakdown("dblp", "tiny", d_values=(1, 3))
+        for d, cm_string, cm_hash, tcm_string, tcm_hash in rows:
+            assert cm_string > 0.0
+            assert tcm_string == 0.0
+            assert cm_hash > 0 and tcm_hash > 0
+        # Hash cost grows with d for both.
+        assert rows[1][2] > rows[0][2]
+        assert rows[1][4] > rows[0][4]
+
+    def test_query_time_ordering(self):
+        from repro.experiments.exp5_efficiency import query_time_table
+        # The list scan is O(|V|) per query, so the ordering needs a graph
+        # with a non-trivial node count (small scale) and enough queries
+        # for the timing to dominate scheduler noise.
+        rows = query_time_table("gtgraph", "small", d=2,
+                                query_counts=(1000,))
+        for count, t_tcm, t_scan, t_hashed in rows:
+            assert t_tcm < t_scan / 2  # sketch beats the list scan clearly
+
+
+class TestCapabilityTable:
+    def test_matches_paper_table3(self):
+        rows = {row[0]: dict(zip(QUERY_CLASSES, row[1:]))
+                for row in table3_capabilities()}
+        tcm = rows["TCM"]
+        assert all(tcm.values())
+        edge_cm = rows["CountMin (edge) / gSketch"]
+        assert edge_cm["edge"] and edge_cm["subgraph (explicit)"]
+        assert not edge_cm["node"] and not edge_cm["reachability"]
+        assert not edge_cm["conditional heavy hitters"]
+        assert not edge_cm["heavy triangle connections"]
+        node_cm = rows["CountMin (node)"]
+        assert node_cm["node"] and not node_cm["edge"]
+        assert rows["sample (edge)"]["edge"]
+        assert not rows["sample (edge)"]["node"]
+        assert rows["sample (node)"]["node"]
+        assert not rows["sample (node)"]["edge"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "value"], [("a", 1.0), ("bb", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["one"], [("a", "b")])
+
+    def test_render_bool_and_float(self):
+        text = format_table(["x"], [(True,), (0.000123,), (float("nan"),)])
+        assert "yes" in text
+        assert "nan" in text
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["a"], [(1,)])
+        out = capsys.readouterr().out
+        assert "Title" in out and "1" in out
+
+
+class TestCli:
+    def test_cli_runs_one_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig8", "--dataset", "dblp", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+
+    def test_cli_table3(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table3", "--scale", "tiny"]) == 0
+        assert "TCM" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,73 @@
+"""Tests for the sketch-filtered exact store (paper Section 7)."""
+
+import pytest
+
+from repro.core.filter import SketchFilteredStore
+from repro.streams.generators import ipflow_like
+
+
+class TestCorrectness:
+    def test_answers_are_exact(self, ipflow_stream):
+        store = SketchFilteredStore(d=3, width=64, seed=1)
+        store.ingest(ipflow_stream)
+        for x, y in list(ipflow_stream.distinct_edges)[:100]:
+            assert store.edge_weight(x, y) == ipflow_stream.edge_weight(x, y)
+
+    def test_misses_are_zero(self, ipflow_stream):
+        store = SketchFilteredStore(d=3, width=64, seed=1)
+        store.ingest(ipflow_stream)
+        assert store.edge_weight("10.9.9.9", "10.8.8.8") == 0.0
+
+    def test_threshold_queries_exact(self, ipflow_stream):
+        store = SketchFilteredStore(d=3, width=64, seed=1)
+        store.ingest(ipflow_stream)
+        for x, y in list(ipflow_stream.distinct_edges)[:50]:
+            exact = ipflow_stream.edge_weight(x, y)
+            assert store.edge_heavier_than(x, y, exact) is True
+            assert store.edge_heavier_than(x, y, exact + 1.0) is False
+
+
+class TestFiltering:
+    def test_misses_never_touch_exact_store(self):
+        store = SketchFilteredStore(d=3, width=256, seed=2)
+        store.update("a", "b", 1.0)
+        for i in range(50):
+            store.edge_weight(f"ghost{i}", f"phantom{i}")
+        assert store.exact_lookups == 0
+        assert store.filtered_misses == 50
+
+    def test_hits_recorded(self):
+        store = SketchFilteredStore(d=3, width=256, seed=2)
+        store.update("a", "b", 1.0)
+        store.edge_weight("a", "b")
+        assert store.exact_lookups == 1
+
+    def test_threshold_short_circuits(self):
+        store = SketchFilteredStore(d=3, width=256, seed=2)
+        store.update("a", "b", 5.0)
+        assert store.edge_heavier_than("a", "b", 100.0) is False
+        assert store.filtered_threshold == 1
+        assert store.exact_lookups == 0
+
+    def test_filter_rate(self):
+        store = SketchFilteredStore(d=3, width=256, seed=2)
+        store.update("a", "b", 1.0)
+        store.edge_weight("a", "b")          # exact lookup
+        store.edge_weight("x", "y")          # filtered miss
+        assert store.filter_rate == pytest.approx(0.5)
+
+    def test_filter_rate_no_queries(self):
+        assert SketchFilteredStore().filter_rate == 0.0
+
+    def test_high_miss_workload_mostly_filtered(self):
+        trace = ipflow_like(n_hosts=60, n_packets=800, seed=5)
+        store = SketchFilteredStore(d=4, width=128, seed=3)
+        store.ingest(trace)
+        for i in range(500):
+            store.edge_weight(f"10.250.0.{i % 200}", f"10.251.0.{i % 180}")
+        assert store.filter_rate > 0.9
+
+    def test_sketch_exposed(self):
+        store = SketchFilteredStore(d=2, width=32, seed=1)
+        store.update("a", "b", 2.0)
+        assert store.sketch.edge_weight("a", "b") >= 2.0

@@ -1,0 +1,106 @@
+"""Tests for the Barabási–Albert generator and the tcm diff command."""
+
+import pytest
+
+from repro.streams.generators import barabasi_albert
+
+
+class TestBarabasiAlbert:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, attachments=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(2, attachments=2)
+
+    def test_element_count(self):
+        m = 3
+        n = 100
+        stream = barabasi_albert(n, attachments=m, seed=1)
+        clique = (m + 1) * m // 2
+        assert len(stream) == clique + (n - m - 1) * m
+
+    def test_all_nodes_present(self):
+        stream = barabasi_albert(50, attachments=2, seed=2)
+        assert stream.nodes == set(range(50))
+
+    def test_undirected(self):
+        stream = barabasi_albert(20, attachments=2, seed=3)
+        assert not stream.directed
+
+    def test_connected(self):
+        stream = barabasi_albert(60, attachments=2, seed=4)
+        nodes = sorted(stream.nodes)
+        assert all(stream.reachable(nodes[0], n) for n in nodes[1:])
+
+    def test_no_duplicate_attachments_per_node(self):
+        """Each arriving node attaches to distinct targets."""
+        stream = barabasi_albert(40, attachments=3, seed=5)
+        assert all(stream.edge_weight(*e) == 1.0
+                   for e in stream.distinct_edges)
+
+    def test_power_law_head(self):
+        """Early nodes accumulate far more degree than the median node."""
+        stream = barabasi_albert(400, attachments=2, seed=6)
+        flows = sorted((stream.flow(n) for n in stream.nodes), reverse=True)
+        assert flows[0] > 8 * flows[len(flows) // 2]
+
+    def test_reproducible(self):
+        a = barabasi_albert(50, attachments=2, seed=7)
+        b = barabasi_albert(50, attachments=2, seed=7)
+        assert [(e.source, e.target) for e in a] == \
+            [(e.source, e.target) for e in b]
+
+
+class TestCliDiff:
+    @pytest.fixture
+    def sketch_pair(self, tmp_path):
+        from repro.cli import main
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        before_stream = GraphStream(directed=True)
+        before_stream.add("a", "b", 5.0, 0.0)
+        after_stream = GraphStream(directed=True)
+        after_stream.add("a", "b", 5.0, 0.0)
+        after_stream.add("x", "y", 9.0, 1.0)
+
+        paths = []
+        for name, stream in (("before", before_stream),
+                             ("after", after_stream)):
+            trace = tmp_path / f"{name}.txt"
+            write_stream(stream, trace)
+            sketch = tmp_path / f"{name}.npz"
+            main(["summarize", str(trace), str(sketch), "--width", "64",
+                  "--keep-labels"])
+            paths.append(sketch)
+        return paths
+
+    def test_diff_output(self, sketch_pair, capsys):
+        from repro.cli import main
+        capsys.readouterr()
+        assert main(["diff", str(sketch_pair[0]), str(sketch_pair[1])]) == 0
+        out = capsys.readouterr().out
+        assert "L1 distance   9" in out
+        assert "x -> y: +9" in out
+
+    def test_diff_without_labels_shows_cells(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0, 0.0)
+        trace = tmp_path / "t.txt"
+        write_stream(stream, trace)
+        main(["summarize", str(trace), str(tmp_path / "s1.npz"),
+              "--width", "32"])
+        stream.add("a", "b", 4.0, 1.0)
+        write_stream(stream, trace)
+        main(["summarize", str(trace), str(tmp_path / "s2.npz"),
+              "--width", "32"])
+        capsys.readouterr()
+        assert main(["diff", str(tmp_path / "s1.npz"),
+                     str(tmp_path / "s2.npz")]) == 0
+        out = capsys.readouterr().out
+        assert "cell (" in out
+        assert "+4" in out

@@ -1,0 +1,316 @@
+"""Tests for the single graphical sketch (square and extended variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.graph_sketch import GraphSketch, label_keys
+from repro.hashing.family import HashFamily
+
+
+def make_sketch(width=32, seed=0, **kwargs):
+    return GraphSketch(HashFamily.uniform(1, width, seed=seed)[0], **kwargs)
+
+
+class TestConstruction:
+    def test_square_is_graphical(self):
+        assert make_sketch().is_graphical
+
+    def test_shape(self):
+        sketch = make_sketch(width=16)
+        assert sketch.shape == (16, 16)
+        assert sketch.size_in_cells == 256
+
+    def test_matrix_read_only(self):
+        sketch = make_sketch()
+        with pytest.raises(ValueError):
+            sketch.matrix[0, 0] = 1
+
+    def test_repr_mentions_shape(self):
+        assert "32x32" in repr(make_sketch(width=32))
+
+
+class TestUpdateAndEstimate:
+    def test_single_edge(self):
+        sketch = make_sketch()
+        sketch.update("a", "b", 3.0)
+        assert sketch.edge_estimate("a", "b") == 3.0
+
+    def test_accumulation(self):
+        sketch = make_sketch()
+        sketch.update("a", "b", 2.0)
+        sketch.update("a", "b", 3.5)
+        assert sketch.edge_estimate("a", "b") == 5.5
+
+    def test_self_loop(self):
+        sketch = make_sketch()
+        sketch.update("a", "a", 2.0)
+        assert sketch.edge_estimate("a", "a") == 2.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            make_sketch().update("a", "b", -1.0)
+
+    def test_estimate_never_underestimates(self):
+        """Sum aggregation over-approximates (Theorem 1, direction 1)."""
+        sketch = make_sketch(width=4)  # force collisions
+        truth = {}
+        for i in range(200):
+            x, y, w = f"s{i % 13}", f"t{i % 7}", float(i % 5 + 1)
+            sketch.update(x, y, w)
+            truth[(x, y)] = truth.get((x, y), 0.0) + w
+        for (x, y), exact in truth.items():
+            assert sketch.edge_estimate(x, y) >= exact
+
+    def test_flows_directed(self):
+        sketch = make_sketch(width=64)
+        sketch.update("a", "b", 2.0)
+        sketch.update("a", "c", 3.0)
+        sketch.update("d", "a", 4.0)
+        assert sketch.out_flow("a") >= 5.0
+        assert sketch.in_flow("a") >= 4.0
+
+    def test_total_mass_equals_inserted(self):
+        sketch = make_sketch(width=8)
+        for i in range(50):
+            sketch.update(f"x{i}", f"y{i}", 2.0)
+        assert sketch.matrix.sum() == pytest.approx(100.0)
+
+
+class TestDeletion:
+    def test_remove_inverts_update(self):
+        sketch = make_sketch()
+        sketch.update("a", "b", 5.0)
+        sketch.remove("a", "b", 5.0)
+        assert sketch.edge_estimate("a", "b") == 0.0
+
+    def test_partial_remove(self):
+        sketch = make_sketch()
+        sketch.update("a", "b", 5.0)
+        sketch.remove("a", "b", 2.0)
+        assert sketch.edge_estimate("a", "b") == 3.0
+
+    def test_remove_rejected_for_min(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        sketch.update("a", "b", 1.0)
+        with pytest.raises(ValueError, match="min"):
+            sketch.remove("a", "b", 1.0)
+
+    def test_remove_rejected_for_max(self):
+        sketch = make_sketch(aggregation=Aggregation.MAX)
+        with pytest.raises(ValueError, match="max"):
+            sketch.remove("a", "b", 1.0)
+
+
+class TestAggregations:
+    def test_count(self):
+        sketch = make_sketch(aggregation=Aggregation.COUNT)
+        sketch.update("a", "b", 100.0)
+        sketch.update("a", "b", 200.0)
+        assert sketch.edge_estimate("a", "b") == 2.0
+
+    def test_count_remove(self):
+        sketch = make_sketch(aggregation=Aggregation.COUNT)
+        sketch.update("a", "b", 100.0)
+        sketch.remove("a", "b", 100.0)
+        assert sketch.edge_estimate("a", "b") == 0.0
+
+    def test_min(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        sketch.update("a", "b", 5.0)
+        sketch.update("a", "b", 2.0)
+        sketch.update("a", "b", 7.0)
+        assert sketch.edge_estimate("a", "b") == 2.0
+
+    def test_max(self):
+        sketch = make_sketch(aggregation=Aggregation.MAX)
+        sketch.update("a", "b", 5.0)
+        sketch.update("a", "b", 9.0)
+        sketch.update("a", "b", 2.0)
+        assert sketch.edge_estimate("a", "b") == 9.0
+
+    def test_min_empty_cell_reads_zero(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        assert sketch.edge_estimate("never", "seen") == 0.0
+
+    def test_min_distinguishes_empty_from_zero(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        sketch.update("a", "b", 0.0)
+        sketch.update("a", "b", 4.0)
+        assert sketch.edge_estimate("a", "b") == 0.0
+
+
+class TestUndirected:
+    def test_symmetric_estimate(self):
+        sketch = make_sketch(directed=False)
+        sketch.update("a", "b", 3.0)
+        assert sketch.edge_estimate("a", "b") == 3.0
+        assert sketch.edge_estimate("b", "a") == 3.0
+
+    def test_both_orientations_accumulate(self):
+        sketch = make_sketch(directed=False)
+        sketch.update("a", "b", 1.0)
+        sketch.update("b", "a", 2.0)
+        assert sketch.edge_estimate("a", "b") == 3.0
+
+    def test_single_cell_storage(self):
+        """An undirected element occupies exactly one matrix cell."""
+        sketch = make_sketch(directed=False)
+        sketch.update("a", "b", 1.0)
+        assert int((sketch.matrix > 0).sum()) == 1
+        assert sketch.matrix.sum() == pytest.approx(1.0)
+
+    def test_flow(self):
+        sketch = make_sketch(directed=False, width=64)
+        sketch.update("a", "b", 2.0)
+        sketch.update("c", "a", 3.0)
+        assert sketch.flow("a") >= 5.0
+        assert sketch.flow("b") >= 2.0
+
+    def test_flow_self_loop_counted_once(self):
+        sketch = make_sketch(directed=False, width=64)
+        sketch.update("a", "a", 2.0)
+        assert sketch.flow("a") == 2.0
+
+    def test_out_in_flow_raise(self):
+        sketch = make_sketch(directed=False)
+        with pytest.raises(ValueError):
+            sketch.out_flow("a")
+        with pytest.raises(ValueError):
+            sketch.in_flow("a")
+
+    def test_directed_flow_raises(self):
+        with pytest.raises(ValueError):
+            make_sketch().flow("a")
+
+    def test_remove_undirected(self):
+        sketch = make_sketch(directed=False)
+        sketch.update("a", "b", 3.0)
+        sketch.remove("b", "a", 3.0)  # reversed orientation still cancels
+        assert sketch.edge_estimate("a", "b") == 0.0
+
+    def test_successors_symmetric(self):
+        sketch = make_sketch(directed=False, width=16)
+        sketch.update("a", "b", 1.0)
+        ha, hb = sketch.node_of("a"), sketch.node_of("b")
+        assert hb in sketch.successors(ha)
+        assert ha in sketch.successors(hb)
+
+    def test_bucket_edge_weight_symmetric(self):
+        sketch = make_sketch(directed=False, width=16)
+        sketch.update("a", "b", 2.5)
+        ha, hb = sketch.node_of("a"), sketch.node_of("b")
+        assert sketch.bucket_edge_weight(ha, hb) == 2.5
+        assert sketch.bucket_edge_weight(hb, ha) == 2.5
+
+
+class TestTopology:
+    def test_successors_predecessors(self):
+        sketch = make_sketch(width=32)
+        sketch.update("a", "b", 1.0)
+        ha, hb = sketch.node_of("a"), sketch.node_of("b")
+        assert hb in sketch.successors(ha)
+        assert ha in sketch.predecessors(hb)
+
+    def test_no_phantom_edges(self):
+        sketch = make_sketch(width=32)
+        sketch.update("a", "b", 1.0)
+        total_successor_count = sum(len(sketch.successors(i))
+                                    for i in range(sketch.rows))
+        assert total_successor_count == 1
+
+
+class TestExtendedSketch:
+    def test_ext_records_labels(self):
+        sketch = make_sketch(keep_labels=True)
+        sketch.update("a", "b", 1.0)
+        assert "a" in sketch.ext(sketch.node_of("a"))
+        assert "b" in sketch.ext(sketch.node_of("b"))
+
+    def test_ext_requires_flag(self):
+        with pytest.raises(ValueError, match="keep_labels"):
+            make_sketch().ext(0)
+
+    def test_ext_partitions_label_universe(self):
+        sketch = make_sketch(width=4, keep_labels=True)
+        labels = [f"n{i}" for i in range(40)]
+        for i, x in enumerate(labels):
+            sketch.update(x, labels[(i + 1) % len(labels)], 1.0)
+        collected = []
+        for bucket in range(sketch.rows):
+            collected.extend(sketch.ext(bucket))
+        assert sorted(collected) == sorted(labels)  # no dup, no loss
+
+    def test_ext_returns_copy(self):
+        sketch = make_sketch(keep_labels=True)
+        sketch.update("a", "b", 1.0)
+        sketch.ext(sketch.node_of("a")).clear()
+        assert "a" in sketch.ext(sketch.node_of("a"))
+
+
+class TestUpdateMany:
+    def test_matches_scalar_updates(self):
+        h = HashFamily.uniform(1, 16, seed=4)[0]
+        scalar = GraphSketch(h)
+        bulk = GraphSketch(h)
+        sources = [f"s{i % 5}" for i in range(100)]
+        targets = [f"t{i % 7}" for i in range(100)]
+        weights = np.array([float(i % 3 + 1) for i in range(100)])
+        for s, t, w in zip(sources, targets, weights):
+            scalar.update(s, t, w)
+        bulk.update_many(label_keys(sources), label_keys(targets), weights)
+        np.testing.assert_allclose(bulk.matrix, scalar.matrix)
+
+    def test_matches_scalar_undirected(self):
+        h = HashFamily.uniform(1, 16, seed=5)[0]
+        scalar = GraphSketch(h, directed=False)
+        bulk = GraphSketch(h, directed=False)
+        sources = [f"s{i % 6}" for i in range(80)]
+        targets = [f"s{(i + 3) % 6}" for i in range(80)]
+        weights = np.ones(80)
+        for s, t in zip(sources, targets):
+            scalar.update(s, t, 1.0)
+        bulk.update_many(label_keys(sources), label_keys(targets), weights)
+        np.testing.assert_allclose(bulk.matrix, scalar.matrix)
+
+    def test_rejected_for_min_aggregation(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        with pytest.raises(ValueError):
+            sketch.update_many(np.array([1], dtype=np.uint64),
+                               np.array([2], dtype=np.uint64),
+                               np.array([1.0]))
+
+    def test_rejected_with_labels(self):
+        sketch = make_sketch(keep_labels=True)
+        with pytest.raises(ValueError):
+            sketch.update_many(np.array([1], dtype=np.uint64),
+                               np.array([2], dtype=np.uint64),
+                               np.array([1.0]))
+
+    def test_count_aggregation_ignores_weights(self):
+        h = HashFamily.uniform(1, 16, seed=6)[0]
+        sketch = GraphSketch(h, aggregation=Aggregation.COUNT)
+        sketch.update_many(label_keys(["a", "a"]), label_keys(["b", "b"]),
+                           np.array([100.0, 50.0]))
+        assert sketch.edge_estimate("a", "b") == 2.0
+
+
+class TestClear:
+    def test_clear_resets_matrix(self):
+        sketch = make_sketch()
+        sketch.update("a", "b", 1.0)
+        sketch.clear()
+        assert sketch.matrix.sum() == 0.0
+
+    def test_clear_resets_labels(self):
+        sketch = make_sketch(keep_labels=True)
+        sketch.update("a", "b", 1.0)
+        sketch.clear()
+        assert sketch.ext(sketch.node_of("a")) == set()
+
+    def test_clear_resets_min_occupancy(self):
+        sketch = make_sketch(aggregation=Aggregation.MIN)
+        sketch.update("a", "b", 0.0)
+        sketch.clear()
+        sketch.update("a", "b", 5.0)
+        assert sketch.edge_estimate("a", "b") == 5.0

@@ -1,0 +1,122 @@
+"""Tests for non-square sketches (paper Section 5.1.2) and the CountMin
+degeneracy (Section 5.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph_sketch import GraphSketch, label_keys
+from repro.hashing.family import HashFamily
+
+
+def make_nonsquare(rows=8, cols=4, seed=0, **kwargs):
+    family = HashFamily([rows, cols], seed=seed)
+    return GraphSketch(family[0], family[1], **kwargs)
+
+
+class TestNonSquare:
+    def test_not_graphical(self):
+        assert not make_nonsquare().is_graphical
+
+    def test_shape(self):
+        sketch = make_nonsquare(rows=7, cols=2)
+        assert sketch.shape == (7, 2)
+
+    def test_edge_estimate_works(self):
+        sketch = make_nonsquare()
+        sketch.update("a", "b", 4.0)
+        assert sketch.edge_estimate("a", "b") == 4.0
+
+    def test_flows_work(self):
+        sketch = make_nonsquare(rows=32, cols=32)
+        sketch.update("a", "b", 2.0)
+        assert sketch.out_flow("a") >= 2.0
+        assert sketch.in_flow("b") >= 2.0
+
+    def test_overestimation_invariant_holds(self):
+        sketch = make_nonsquare(rows=5, cols=3)
+        truth = {}
+        for i in range(100):
+            x, y = f"s{i % 11}", f"t{i % 9}"
+            sketch.update(x, y, 1.0)
+            truth[(x, y)] = truth.get((x, y), 0.0) + 1.0
+        for (x, y), exact in truth.items():
+            assert sketch.edge_estimate(x, y) >= exact
+
+    def test_topology_operations_rejected(self):
+        sketch = make_nonsquare()
+        with pytest.raises(ValueError, match="non-square"):
+            sketch.successors(0)
+        with pytest.raises(ValueError, match="non-square"):
+            sketch.predecessors(0)
+        with pytest.raises(ValueError, match="non-square"):
+            sketch.node_of("a")
+
+    def test_undirected_nonsquare_rejected(self):
+        family = HashFamily([8, 4], seed=1)
+        with pytest.raises(ValueError, match="undirected"):
+            GraphSketch(family[0], family[1], directed=False)
+
+    def test_deletion(self):
+        sketch = make_nonsquare()
+        sketch.update("a", "b", 3.0)
+        sketch.remove("a", "b", 3.0)
+        assert sketch.edge_estimate("a", "b") == 0.0
+
+    def test_update_many(self):
+        family = HashFamily([8, 4], seed=2)
+        scalar = GraphSketch(family[0], family[1])
+        bulk = GraphSketch(family[0], family[1])
+        src = [f"s{i}" for i in range(50)]
+        dst = [f"t{i % 3}" for i in range(50)]
+        for s, t in zip(src, dst):
+            scalar.update(s, t, 2.0)
+        bulk.update_many(label_keys(src), label_keys(dst), np.full(50, 2.0))
+        np.testing.assert_allclose(bulk.matrix, scalar.matrix)
+
+
+class TestCountMinDegeneracy:
+    """Section 5.1.3: a p x 1 TCM matrix IS a CountMin row on sources."""
+
+    def test_single_column_equals_source_countmin(self):
+        family = HashFamily([64, 1], seed=3)
+        sketch = GraphSketch(family[0], family[1])
+        elements = [(f"s{i % 10}", f"t{i}", float(i % 4 + 1))
+                    for i in range(200)]
+        source_totals = {}
+        for s, t, w in elements:
+            sketch.update(s, t, w)
+            source_totals[s] = source_totals.get(s, 0.0) + w
+        # out_flow of a source == CountMin point estimate of the source key
+        # under the same hash: all targets collapse into the single column.
+        for s, exact in source_totals.items():
+            assert sketch.edge_estimate(s, "anything") == sketch.out_flow(s)
+            assert sketch.out_flow(s) >= exact
+
+    def test_single_row_equals_target_countmin(self):
+        family = HashFamily([1, 64], seed=4)
+        sketch = GraphSketch(family[0], family[1])
+        target_totals = {}
+        for i in range(200):
+            t, w = f"t{i % 10}", float(i % 4 + 1)
+            sketch.update(f"s{i}", t, w)
+            target_totals[t] = target_totals.get(t, 0.0) + w
+        for t, exact in target_totals.items():
+            assert sketch.in_flow(t) >= exact
+
+    def test_exact_match_with_standalone_countmin(self):
+        """A 1-column sketch equals CountMinSketch with the same hash."""
+        from repro.baselines.countmin import CountMinSketch
+
+        family = HashFamily([64, 1], seed=5)
+        sketch = GraphSketch(family[0], family[1])
+        cm = CountMinSketch(1, 64, seed=None)
+        cm._family = HashFamily([64], seed=99)
+        cm._family._functions = (family[0],)  # share the exact hash
+
+        for i in range(300):
+            source, weight = f"key{i % 17}", float(i % 5 + 1)
+            sketch.update(source, f"t{i}", weight)
+            cm.update(source, weight)
+        for i in range(17):
+            key = f"key{i}"
+            assert sketch.out_flow(key) == cm.estimate(key)

@@ -1,0 +1,69 @@
+"""Tests for the stable label-to-integer mapping."""
+
+import pytest
+
+from repro.hashing.labels import fnv1a_64, label_to_int
+
+
+class TestFnv1a:
+    def test_empty_input_matches_offset_basis(self):
+        assert fnv1a_64(b"") == 14695981039346656037
+
+    def test_known_vector(self):
+        # FNV-1a 64-bit of "a" is a published test vector.
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"payload") == fnv1a_64(b"payload")
+
+    def test_different_inputs_differ(self):
+        assert fnv1a_64(b"abc") != fnv1a_64(b"abd")
+
+    def test_result_fits_64_bits(self):
+        for data in (b"", b"x", b"long input " * 100):
+            assert 0 <= fnv1a_64(data) < 2 ** 64
+
+    def test_order_sensitive(self):
+        assert fnv1a_64(b"ab") != fnv1a_64(b"ba")
+
+
+class TestLabelToInt:
+    def test_int_passthrough(self):
+        assert label_to_int(12345) == 12345
+
+    def test_zero(self):
+        assert label_to_int(0) == 0
+
+    def test_negative_int_wraps_to_unsigned(self):
+        assert label_to_int(-1) == 2 ** 64 - 1
+
+    def test_large_int_masked(self):
+        assert label_to_int(2 ** 64 + 7) == 7
+
+    def test_string_stable(self):
+        assert label_to_int("192.168.0.1") == label_to_int("192.168.0.1")
+
+    def test_string_uses_fnv(self):
+        assert label_to_int("abc") == fnv1a_64(b"abc")
+
+    def test_bytes_supported(self):
+        assert label_to_int(b"abc") == fnv1a_64(b"abc")
+
+    def test_str_and_bytes_agree_on_utf8(self):
+        assert label_to_int("nöde") == label_to_int("nöde".encode("utf-8"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            label_to_int(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="float"):
+            label_to_int(1.5)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            label_to_int(None)
+
+    def test_distinct_strings_rarely_collide(self):
+        keys = {label_to_int(f"node_{i}") for i in range(10000)}
+        assert len(keys) == 10000

@@ -1,0 +1,185 @@
+"""Tests for the streaming heavy-hitter monitors and Algorithm 1."""
+
+import pytest
+
+from repro.core.heavy_hitters import (
+    ConditionalHeavyHitterMonitor,
+    HeavyEdgeMonitor,
+    HeavyNodeMonitor,
+)
+from repro.core.tcm import TCM
+from repro.streams.model import GraphStream
+
+
+def wide_tcm(directed=True, seed=1):
+    return TCM(d=4, width=128, seed=seed, directed=directed)
+
+
+@pytest.fixture
+def skewed_stream():
+    """100 elements: one dominant edge, one dominant receiver."""
+    stream = GraphStream(directed=True)
+    t = 0
+    for _ in range(40):
+        stream.add("big_src", "big_dst", 10.0, float(t))
+        t += 1
+    for i in range(60):
+        stream.add(f"s{i}", f"r{i % 10}", 1.0, float(t))
+        t += 1
+    return stream
+
+
+class TestHeavyEdgeMonitor:
+    def test_finds_dominant_edge(self, skewed_stream):
+        monitor = HeavyEdgeMonitor(wide_tcm(), k=5)
+        monitor.consume(skewed_stream)
+        top = monitor.top()
+        assert top[0][0] == ("big_src", "big_dst")
+        assert top[0][1] == 400.0
+
+    def test_top_is_sorted(self, skewed_stream):
+        monitor = HeavyEdgeMonitor(wide_tcm(), k=10)
+        monitor.consume(skewed_stream)
+        weights = [w for _, w in monitor.top()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_bounded_size(self, skewed_stream):
+        monitor = HeavyEdgeMonitor(wide_tcm(), k=3)
+        monitor.consume(skewed_stream)
+        assert len(monitor.top()) == 3
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            HeavyEdgeMonitor(wide_tcm(), k=0)
+
+    def test_matches_ground_truth_on_wide_sketch(self, ipflow_stream):
+        monitor = HeavyEdgeMonitor(TCM(d=4, width=256, seed=3), k=10)
+        monitor.consume(ipflow_stream)
+        truth = {e for e, _ in ipflow_stream.top_edges(10)}
+        found = {e for e, _ in monitor.top()}
+        assert len(found & truth) >= 8
+
+    def test_undirected_canonical_keys(self):
+        stream = GraphStream(directed=False)
+        for _ in range(5):
+            stream.add("b", "a", 1.0)
+            stream.add("a", "b", 1.0)
+        monitor = HeavyEdgeMonitor(wide_tcm(directed=False), k=3)
+        monitor.consume(stream)
+        top = monitor.top()
+        assert len(top) == 1  # both orientations fold into one edge
+        assert top[0][1] == 10.0
+
+
+class TestHeavyNodeMonitor:
+    def test_finds_dominant_receiver(self, skewed_stream):
+        monitor = HeavyNodeMonitor(wide_tcm(), k=3, direction="in")
+        monitor.consume(skewed_stream)
+        assert monitor.top()[0][0] == "big_dst"
+
+    def test_out_direction(self, skewed_stream):
+        monitor = HeavyNodeMonitor(wide_tcm(), k=3, direction="out")
+        monitor.consume(skewed_stream)
+        assert monitor.top()[0][0] == "big_src"
+
+    def test_both_requires_undirected(self):
+        with pytest.raises(ValueError):
+            HeavyNodeMonitor(wide_tcm(directed=True), k=3, direction="both")
+
+    def test_directed_direction_requires_directed(self):
+        with pytest.raises(ValueError):
+            HeavyNodeMonitor(wide_tcm(directed=False), k=3, direction="in")
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            HeavyNodeMonitor(wide_tcm(), k=3, direction="up")
+
+    def test_undirected_both(self, dblp_stream):
+        monitor = HeavyNodeMonitor(wide_tcm(directed=False), k=10,
+                                   direction="both")
+        monitor.consume(dblp_stream)
+        truth = {n for n, _ in dblp_stream.top_nodes(10, direction="both")}
+        found = {n for n, _ in monitor.top()}
+        assert len(found & truth) >= 7
+
+
+class TestConditionalHeavyHitters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalHeavyHitterMonitor(wide_tcm(), k=0, l=1)
+        with pytest.raises(ValueError):
+            ConditionalHeavyHitterMonitor(wide_tcm(), k=1, l=0)
+        with pytest.raises(ValueError):
+            ConditionalHeavyHitterMonitor(wide_tcm(), k=1, l=1,
+                                          direction="both")
+
+    def test_structure_of_result(self, skewed_stream):
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=2, l=3)
+        monitor.consume(skewed_stream)
+        top = monitor.top()
+        assert len(top) <= 2
+        node, flow, neighbours = top[0]
+        assert isinstance(flow, float)
+        assert len(neighbours) <= 3
+
+    def test_finds_heavy_node_and_its_neighbour(self, skewed_stream):
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=2, l=2)
+        monitor.consume(skewed_stream)
+        top = monitor.top()
+        assert top[0][0] == "big_dst"
+        assert top[0][2][0][0] == "big_src"
+
+    def test_neighbour_lists_bounded(self):
+        stream = GraphStream(directed=True)
+        for i in range(50):
+            stream.add(f"sender{i}", "hub", float(i + 1), float(i))
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=1, l=5)
+        monitor.consume(stream)
+        node, _, neighbours = monitor.top()[0]
+        assert node == "hub"
+        assert len(neighbours) == 5
+        # The heaviest senders should be kept.
+        kept = {n for n, _ in neighbours}
+        assert "sender49" in kept and "sender48" in kept
+
+    def test_eviction_of_light_hitters(self):
+        stream = GraphStream(directed=True)
+        # ten early light receivers, then two massive ones
+        for i in range(10):
+            stream.add("s", f"light{i}", 1.0, float(i))
+        for i in range(20):
+            stream.add("s", "heavy_a", 5.0, float(10 + i))
+            stream.add("s", "heavy_b", 5.0, float(30 + i))
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=2, l=2)
+        monitor.consume(stream)
+        names = [node for node, _, _ in monitor.top()]
+        assert set(names) == {"heavy_a", "heavy_b"}
+
+    def test_out_direction(self, skewed_stream):
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=1, l=1,
+                                                direction="out")
+        monitor.consume(skewed_stream)
+        node, _, neighbours = monitor.top()[0]
+        assert node == "big_src"
+        assert neighbours[0][0] == "big_dst"
+
+    def test_undirected_both(self, dblp_stream):
+        monitor = ConditionalHeavyHitterMonitor(
+            wide_tcm(directed=False), k=5, l=5, direction="both")
+        monitor.consume(dblp_stream)
+        top = monitor.top()
+        assert 1 <= len(top) <= 5
+        # Verify the top hitter's neighbours are real collaborators.
+        node, _, neighbours = top[0]
+        for neighbour, _ in neighbours:
+            assert dblp_stream.edge_weight(node, neighbour) > 0
+
+    def test_refreshed_flow_estimates(self):
+        """Tracked hitters' flows refresh as more weight arrives."""
+        stream = GraphStream(directed=True)
+        monitor = ConditionalHeavyHitterMonitor(wide_tcm(), k=2, l=2)
+        monitor.observe("s", "hub", 1.0)
+        first = dict((n, f) for n, f, _ in monitor.top())["hub"]
+        monitor.observe("s", "hub", 9.0)
+        second = dict((n, f) for n, f, _ in monitor.top())["hub"]
+        assert second == first + 9.0

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro import (
+    TCM,
+    ConditionalHeavyHitterMonitor,
+    GraphStream,
+    HeavyEdgeMonitor,
+    SlidingWindow,
+    StreamEdge,
+    heavy_triangle_connections,
+)
+from repro.baselines.countmin import EdgeCountMin
+from repro.experiments.common import edge_query_are
+from repro.streams.generators import dblp_like, ipflow_like
+from repro.streams.io import read_stream, write_stream
+
+
+class TestPaperRunningExample:
+    """Walk the paper's Fig. 1 / Fig. 3 narrative end to end."""
+
+    def test_example_2_and_3_queries(self, paper_stream):
+        tcm = TCM.from_stream(paper_stream, d=4, width=128, seed=1)
+        # Node query: in-flow of a (from f and b) is 2.
+        assert tcm.in_flow("a") == 2.0
+        # Edge query: weight of (a, b) is 1.
+        assert tcm.edge_weight("a", "b") == 1.0
+        # Conditional node query: heaviest sender into a.
+        senders = {n: tcm.edge_weight(n, "a") for n in ("b", "f", "c")}
+        assert max(senders, key=senders.get) in ("b", "f")
+        # Node connectivity: a path from a to g exists.
+        assert tcm.reachable("a", "g")
+
+    def test_example_4_small_sketch(self, paper_stream):
+        """With w=4 (Fig. 3's compression) estimates are over-counts."""
+        tcm = TCM.from_stream(paper_stream, d=1, width=4, seed=0)
+        assert tcm.edge_weight("g", "b") >= 1.0
+        assert tcm.in_flow("a") >= 2.0
+
+    def test_example_5_multiple_sketches_help(self, paper_stream):
+        one = TCM.from_stream(paper_stream, d=1, width=4, seed=0)
+        many = TCM.from_stream(paper_stream, d=6, width=4, seed=0)
+        assert many.edge_weight("g", "b") <= one.edge_weight("g", "b")
+
+
+class TestCyberSecurityScenario:
+    """The paper's motivating application: DoS monitoring on IP flows."""
+
+    def test_detect_heavy_talkers_online(self):
+        trace = ipflow_like(n_hosts=100, n_packets=3000, seed=21)
+        tcm = TCM(d=4, width=96, seed=2)
+        monitor = ConditionalHeavyHitterMonitor(tcm, k=5, l=3, direction="in")
+        monitor.consume(trace)
+        top = monitor.top()
+        assert top
+        truth = {n for n, _ in trace.top_nodes(5, "in")}
+        assert {n for n, _, _ in top} & truth
+
+    def test_sliding_window_forgets_old_attack(self):
+        tcm = TCM(d=3, width=64, seed=3)
+        window = SlidingWindow(tcm, horizon=100.0)
+        # An early burst from an attacker, then quiet normal traffic.
+        for t in range(50):
+            window.observe(StreamEdge("attacker", "victim", 1000.0, float(t)))
+        for t in range(50, 400):
+            window.observe(StreamEdge(f"u{t % 7}", f"v{t % 5}", 10.0, float(t)))
+        assert tcm.edge_weight("attacker", "victim") == 0.0
+        assert tcm.edge_weight("u0", "v0") > 0.0
+
+
+class TestSocialNetworkScenario:
+    def test_collaboration_analytics(self):
+        stream = dblp_like(n_authors=120, n_papers=300, seed=31)
+        tcm = TCM.from_stream(stream, d=3, width=96, seed=4, keep_labels=True)
+
+        # Heaviest collaboration via a monitor over the same stream.
+        monitor = HeavyEdgeMonitor(
+            TCM(d=3, width=96, seed=4, directed=False), k=5)
+        monitor.consume(stream)
+        heavy = [edge for edge, _ in monitor.top()]
+        results = heavy_triangle_connections(tcm, heavy[:2], l=3)
+        assert len(results) == 2
+        for (x, y), connections in results:
+            for z, score in connections:
+                assert score > 0
+                assert tcm.edge_weight(z, x) > 0
+                assert tcm.edge_weight(z, y) > 0
+
+    def test_reachability_between_communities(self):
+        stream = dblp_like(n_authors=120, n_papers=300, seed=31)
+        tcm = TCM.from_stream(stream, d=3, width=96, seed=5)
+        authors = sorted(stream.nodes)[:10]
+        for a in authors:
+            for b in authors:
+                if stream.reachable(a, b):
+                    assert tcm.reachable(a, b)
+
+
+class TestPersistenceRoundTrip:
+    def test_stream_file_to_sketch(self, tmp_path, ipflow_stream):
+        path = tmp_path / "trace.txt"
+        write_stream(ipflow_stream, path)
+        loaded = read_stream(path, directed=True)
+        tcm_orig = TCM.from_stream(ipflow_stream, d=2, width=64, seed=6)
+        tcm_load = TCM.from_stream(loaded, d=2, width=64, seed=6)
+        for s1, s2 in zip(tcm_orig.sketches, tcm_load.sketches):
+            assert (abs(s1.matrix - s2.matrix) < 1e-6).all()
+
+
+class TestAccuracyRegression:
+    """Coarse accuracy bars that should never regress."""
+
+    def test_edge_are_reasonable(self):
+        stream = ipflow_like(n_hosts=150, n_packets=4000, seed=41)
+        tcm = TCM.from_stream(stream, d=5, width=64, seed=7)
+        cm = EdgeCountMin(5, 64 * 64, seed=7)
+        cm.ingest(stream)
+        are_tcm = edge_query_are(stream, tcm.edge_weight)
+        are_cm = edge_query_are(stream, cm.edge_weight)
+        assert are_tcm < 5.0
+        # Same space, comparable error (paper's headline comparison):
+        assert are_tcm < 3 * are_cm + 0.5
+
+    def test_wide_sketch_is_exact(self):
+        stream = dblp_like(n_authors=60, n_papers=120, seed=42)
+        tcm = TCM.from_stream(stream, d=4, width=512, seed=8)
+        assert edge_query_are(stream, tcm.edge_weight) == pytest.approx(0.0)

@@ -1,0 +1,93 @@
+"""Tests for CSV and gzip stream-file support."""
+
+import gzip
+
+import pytest
+
+from repro.streams.io import iter_stream_file, read_stream, write_stream
+from repro.streams.model import GraphStream
+
+
+class TestCsv:
+    def test_plain_csv(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a,b,2.5,1.0\nb,c,1\n")
+        edges = list(iter_stream_file(path))
+        assert len(edges) == 2
+        assert edges[0].weight == 2.5
+        assert edges[1].weight == 1.0
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("source,target,weight\na,b,2\n")
+        edges = list(iter_stream_file(path))
+        assert len(edges) == 1
+        assert edges[0].source == "a"
+
+    def test_src_header_variant(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst\na,b\n")
+        assert len(list(iter_stream_file(path))) == 1
+
+    def test_spaces_around_commas(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a , b , 3.0\n")
+        edge = list(iter_stream_file(path))[0]
+        assert (edge.source, edge.target, edge.weight) == ("a", "b", 3.0)
+
+    def test_malformed_csv(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a,b,1,2,3\n")
+        with pytest.raises(ValueError, match="expected 2-4"):
+            list(iter_stream_file(path))
+
+
+class TestGzip:
+    def test_read_gzipped_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("a b 2.0 0.0\nb c 3.0 1.0\n")
+        stream = read_stream(path)
+        assert len(stream) == 2
+        assert stream.edge_weight("b", "c") == 3.0
+
+    def test_write_gzipped(self, tmp_path, small_directed):
+        path = tmp_path / "out.txt.gz"
+        count = write_stream(small_directed, path)
+        assert count == 5
+        # Really gzip on disk:
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        loaded = read_stream(path)
+        assert loaded.edge_weight("a", "b") == 5.0
+
+    def test_gzipped_csv(self, tmp_path):
+        path = tmp_path / "edges.csv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("source,target,weight\na,b,7\n")
+        edges = list(iter_stream_file(path))
+        assert edges[0].weight == 7.0
+
+    def test_round_trip_preserves_summaries(self, tmp_path, ipflow_stream):
+        from repro.core.tcm import TCM
+        path = tmp_path / "trace.txt.gz"
+        write_stream(ipflow_stream, path)
+        loaded = read_stream(path, directed=True)
+        a = TCM.from_stream(ipflow_stream, d=2, width=32, seed=1)
+        b = TCM.from_stream(loaded, d=2, width=32, seed=1)
+        for s1, s2 in zip(a.sketches, b.sketches):
+            assert (abs(s1.matrix - s2.matrix) < 1e-9).all()
+
+
+class TestCliWithFormats:
+    def test_cli_summarize_csv(self, tmp_path, capsys):
+        from repro.cli import main
+        trace = tmp_path / "edges.csv"
+        trace.write_text("source,target,weight,timestamp\n"
+                         "a,b,2,0\nb,c,3,1\n")
+        sketch = tmp_path / "s.npz"
+        assert main(["summarize", str(trace), str(sketch),
+                     "--width", "32"]) == 0
+        capsys.readouterr()
+        assert main(["query", str(sketch), "edge", "b", "c"]) == 0
+        assert float(capsys.readouterr().out) == 3.0

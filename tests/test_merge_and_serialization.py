@@ -1,0 +1,187 @@
+"""Tests for sketch mergeability and disk round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.serialization import load_tcm, save_tcm
+from repro.core.tcm import TCM
+from repro.streams.generators import dblp_like, ipflow_like
+
+
+def split_stream(stream, fraction=0.5):
+    cut = int(len(stream) * fraction)
+    return ([stream[i] for i in range(cut)],
+            [stream[i] for i in range(cut, len(stream))])
+
+
+class TestMerge:
+    def test_merge_equals_whole_stream(self, ipflow_stream):
+        first, second = split_stream(ipflow_stream)
+        a = TCM(d=3, width=48, seed=5)
+        b = TCM(d=3, width=48, seed=5)
+        for e in first:
+            a.update(e.source, e.target, e.weight)
+        for e in second:
+            b.update(e.source, e.target, e.weight)
+        whole = TCM(d=3, width=48, seed=5)
+        for e in ipflow_stream:
+            whole.update(e.source, e.target, e.weight)
+        a.merge_from(b)
+        for s1, s2 in zip(a.sketches, whole.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+    def test_merge_different_seeds_rejected(self):
+        a = TCM(d=2, width=16, seed=1)
+        b = TCM(d=2, width=16, seed=2)
+        with pytest.raises(ValueError, match="hashes"):
+            a.merge_from(b)
+
+    def test_merge_different_d_rejected(self):
+        a = TCM(d=2, width=16, seed=1)
+        b = TCM(d=3, width=16, seed=1)
+        with pytest.raises(ValueError, match="d="):
+            a.merge_from(b)
+
+    def test_merge_min_aggregation(self):
+        a = TCM(d=2, width=32, seed=1, aggregation=Aggregation.MIN)
+        b = TCM(d=2, width=32, seed=1, aggregation=Aggregation.MIN)
+        a.update("x", "y", 5.0)
+        b.update("x", "y", 2.0)
+        a.merge_from(b)
+        assert a.edge_weight("x", "y") == 2.0
+
+    def test_merge_min_keeps_untouched_cells(self):
+        a = TCM(d=1, width=32, seed=1, aggregation=Aggregation.MIN)
+        b = TCM(d=1, width=32, seed=1, aggregation=Aggregation.MIN)
+        a.update("only_a", "t", 7.0)
+        b.update("only_b", "t", 3.0)
+        a.merge_from(b)
+        assert a.edge_weight("only_a", "t") == 7.0
+        assert a.edge_weight("only_b", "t") == 3.0
+
+    def test_merge_max_aggregation(self):
+        a = TCM(d=2, width=32, seed=1, aggregation=Aggregation.MAX)
+        b = TCM(d=2, width=32, seed=1, aggregation=Aggregation.MAX)
+        a.update("x", "y", 5.0)
+        b.update("x", "y", 9.0)
+        a.merge_from(b)
+        assert a.edge_weight("x", "y") == 9.0
+
+    def test_merge_extended_labels_union(self):
+        a = TCM(d=1, width=32, seed=1, keep_labels=True)
+        b = TCM(d=1, width=32, seed=1, keep_labels=True)
+        a.update("p", "q", 1.0)
+        b.update("r", "s", 1.0)
+        a.merge_from(b)
+        sketch = a.sketches[0]
+        assert "p" in sketch.ext(sketch.node_of("p"))
+        assert "r" in sketch.ext(sketch.node_of("r"))
+
+    def test_merge_plain_into_extended_rejected(self):
+        a = TCM(d=1, width=32, seed=1, keep_labels=True)
+        b = TCM(d=1, width=32, seed=1)
+        with pytest.raises(ValueError, match="extended"):
+            a.merge_from(b)
+
+    def test_merge_preserves_queries(self, dblp_stream):
+        first, second = split_stream(dblp_stream)
+        a = TCM(d=3, width=64, seed=9, directed=False)
+        b = TCM(d=3, width=64, seed=9, directed=False)
+        for e in first:
+            a.update(e.source, e.target, e.weight)
+        for e in second:
+            b.update(e.source, e.target, e.weight)
+        a.merge_from(b)
+        for x, y in list(dblp_stream.distinct_edges)[:50]:
+            assert a.edge_weight(x, y) >= dblp_stream.edge_weight(x, y)
+
+
+class TestSerialization:
+    def round_trip(self, tcm, tmp_path):
+        path = tmp_path / "sketch.npz"
+        save_tcm(tcm, path)
+        return load_tcm(path)
+
+    def test_round_trip_matrices(self, tmp_path, ipflow_stream):
+        tcm = TCM.from_stream(ipflow_stream, d=3, width=48, seed=2)
+        loaded = self.round_trip(tcm, tmp_path)
+        assert loaded.d == 3
+        for s1, s2 in zip(tcm.sketches, loaded.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+    def test_round_trip_queries_agree(self, tmp_path, ipflow_stream):
+        tcm = TCM.from_stream(ipflow_stream, d=3, width=48, seed=2)
+        loaded = self.round_trip(tcm, tmp_path)
+        for x, y in list(ipflow_stream.distinct_edges)[:50]:
+            assert loaded.edge_weight(x, y) == tcm.edge_weight(x, y)
+        nodes = sorted(ipflow_stream.nodes)[:10]
+        for n in nodes:
+            assert loaded.in_flow(n) == tcm.in_flow(n)
+        assert loaded.reachable(nodes[0], nodes[1]) == \
+            tcm.reachable(nodes[0], nodes[1])
+
+    def test_round_trip_undirected(self, tmp_path, dblp_stream):
+        tcm = TCM.from_stream(dblp_stream, d=2, width=32, seed=3)
+        loaded = self.round_trip(tcm, tmp_path)
+        assert not loaded.directed
+        for x, y in list(dblp_stream.distinct_edges)[:30]:
+            assert loaded.edge_weight(x, y) == tcm.edge_weight(x, y)
+
+    def test_round_trip_extended_labels(self, tmp_path):
+        tcm = TCM(d=2, width=16, seed=4, keep_labels=True)
+        tcm.update("alice", "bob", 2.0)
+        tcm.update(42, 43, 1.0)
+        loaded = self.round_trip(tcm, tmp_path)
+        sketch = loaded.sketches[0]
+        assert "alice" in sketch.ext(sketch.node_of("alice"))
+        assert 42 in sketch.ext(sketch.node_of(42))
+
+    def test_round_trip_nonsquare(self, tmp_path):
+        tcm = TCM(shapes=[(16, 4), (4, 16)], seed=5)
+        tcm.update("a", "b", 3.0)
+        loaded = self.round_trip(tcm, tmp_path)
+        assert not loaded.is_graphical
+        assert loaded.edge_weight("a", "b") == 3.0
+
+    def test_round_trip_min_aggregation(self, tmp_path):
+        tcm = TCM(d=2, width=16, seed=6, aggregation=Aggregation.MIN)
+        tcm.update("a", "b", 0.0)
+        tcm.update("a", "b", 9.0)
+        loaded = self.round_trip(tcm, tmp_path)
+        assert loaded.aggregation is Aggregation.MIN
+        assert loaded.edge_weight("a", "b") == 0.0
+
+    def test_loaded_sketch_continues_updating(self, tmp_path):
+        tcm = TCM(d=2, width=16, seed=7)
+        tcm.update("a", "b", 1.0)
+        loaded = self.round_trip(tcm, tmp_path)
+        loaded.update("a", "b", 2.0)
+        assert loaded.edge_weight("a", "b") == 3.0
+
+    def test_merge_after_load(self, tmp_path):
+        """Shard on two 'machines', serialize, load, merge."""
+        shard1 = TCM(d=2, width=32, seed=8)
+        shard2 = TCM(d=2, width=32, seed=8)
+        shard1.update("x", "y", 1.0)
+        shard2.update("x", "y", 2.0)
+        save_tcm(shard1, tmp_path / "s1.npz")
+        save_tcm(shard2, tmp_path / "s2.npz")
+        a = load_tcm(tmp_path / "s1.npz")
+        b = load_tcm(tmp_path / "s2.npz")
+        a.merge_from(b)
+        assert a.edge_weight("x", "y") == 3.0
+
+    def test_float_label_rejected_in_extended(self, tmp_path):
+        from repro.core.serialization import _encode_label
+        with pytest.raises(TypeError):
+            _encode_label(1.5)
+
+    def test_version_check(self, tmp_path, monkeypatch):
+        tcm = TCM(d=1, width=8, seed=9)
+        path = tmp_path / "sketch.npz"
+        save_tcm(tcm, path)
+        import repro.core.serialization as ser
+        monkeypatch.setattr(ser, "_FORMAT_VERSION", 99)
+        with pytest.raises(ValueError, match="version"):
+            load_tcm(path)

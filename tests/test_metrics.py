@@ -1,0 +1,104 @@
+"""Tests for the effectiveness metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.error import (
+    average_relative_error,
+    errors_by_segment,
+    relative_error,
+)
+from repro.metrics.topk import dcg, intersection_accuracy, ndcg, topk_items
+
+
+class TestRelativeError:
+    def test_exact_estimate(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_overcount(self):
+        assert relative_error(15.0, 10.0) == pytest.approx(0.5)
+
+    def test_undercount(self):
+        assert relative_error(5.0, 10.0) == pytest.approx(-0.5)
+
+    def test_zero_exact_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error(1.0, 0.0)
+
+
+class TestAverageRelativeError:
+    def test_mean(self):
+        exact = {"a": 10.0, "b": 20.0}
+        est = {"a": 20.0, "b": 20.0}
+        are = average_relative_error(["a", "b"], exact.get, est.get)
+        assert are == pytest.approx(0.5)
+
+    def test_zero_truth_skipped(self):
+        exact = {"a": 10.0, "b": 0.0}
+        est = {"a": 10.0, "b": 5.0}
+        are = average_relative_error(["a", "b"], exact.get, est.get)
+        assert are == 0.0
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            average_relative_error(["a"], lambda q: 0.0, lambda q: 1.0)
+
+
+class TestErrorsBySegment:
+    def test_segments(self):
+        queries = list(range(1, 11))  # exact value == query id
+        estimates = {q: q * (2.0 if q <= 5 else 1.0) for q in queries}
+        errors = errors_by_segment(queries, 2, float, estimates.get)
+        assert errors[0] == pytest.approx(1.0)
+        assert errors[1] == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            errors_by_segment([1], 0, float, float)
+        with pytest.raises(ValueError):
+            errors_by_segment([], 2, float, float)
+
+
+class TestIntersectionAccuracy:
+    def test_perfect(self):
+        assert intersection_accuracy(["a", "b"], ["b", "a"], 2) == 1.0
+
+    def test_half(self):
+        assert intersection_accuracy(["a", "x"], ["a", "b"], 2) == 0.5
+
+    def test_truncates_to_k(self):
+        assert intersection_accuracy(["a", "b", "c"], ["a", "z"], 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            intersection_accuracy([], [], 0)
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["a", "b", "c"], scores, 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["c", "b", "a"], scores, 3) < 1.0
+
+    def test_irrelevant_items_zero(self):
+        assert ndcg(["x", "y"], {"a": 1.0}, 2) == 0.0
+
+    def test_no_relevant_universe(self):
+        assert ndcg(["x"], {}, 1) == 0.0
+
+    def test_dcg_discounting(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ndcg(["a"], {"a": 1.0}, 0)
+
+
+class TestTopkItems:
+    def test_projection(self):
+        ranking = [("a", 5.0), ("b", 3.0), ("c", 1.0)]
+        assert topk_items(ranking, 2) == ["a", "b"]

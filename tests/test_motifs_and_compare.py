@@ -1,0 +1,195 @@
+"""Tests for motif censuses and sketch comparison (graph evolution)."""
+
+import pytest
+
+from repro.analytics.motifs import (
+    TriadCensus,
+    count_reciprocated_pairs,
+    count_wedges,
+    triad_census,
+)
+from repro.analytics.views import StreamView
+from repro.core.compare import (
+    sketch_distance,
+    top_changed_cells,
+    top_changed_edges,
+)
+from repro.core.tcm import TCM
+from repro.streams.generators import path_stream, star_stream
+from repro.streams.model import GraphStream
+
+
+class TestWedges:
+    def test_out_star(self):
+        view = StreamView(star_stream("hub", ["a", "b", "c"]))
+        assert count_wedges(view, "out") == 3  # C(3,2)
+        assert count_wedges(view, "in") == 0
+
+    def test_in_star(self):
+        stream = GraphStream(directed=True)
+        for leaf in ("a", "b", "c"):
+            stream.add(leaf, "sink", 1.0)
+        view = StreamView(stream)
+        assert count_wedges(view, "in") == 3
+        assert count_wedges(view, "out") == 0
+
+    def test_kind_validation(self):
+        view = StreamView(path_stream(["a", "b"]))
+        with pytest.raises(ValueError):
+            count_wedges(view, "diagonal")
+
+    def test_self_loops_ignored(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "a", 1.0)
+        stream.add("a", "b", 1.0)
+        assert count_wedges(StreamView(stream), "out") == 0
+
+
+class TestReciprocated:
+    def test_counts_pairs_once(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "a", 1.0)
+        stream.add("a", "c", 1.0)
+        assert count_reciprocated_pairs(StreamView(stream)) == 1
+
+
+class TestTriadCensus:
+    def test_pure_path(self):
+        census = triad_census(StreamView(path_stream(["a", "b", "c"])))
+        assert census.paths == 1
+        assert census.feed_forward == 0
+        assert census.cycles == 0
+        assert census.closure_ratio == 0.0
+
+    def test_feed_forward(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("a", "c", 1.0)
+        census = triad_census(StreamView(stream))
+        assert census.feed_forward == 1
+        assert census.cycles == 0
+
+    def test_cycle_counted_once(self):
+        stream = GraphStream(directed=True)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 1.0)
+        stream.add("c", "a", 1.0)
+        census = triad_census(StreamView(stream))
+        assert census.cycles == 1
+        assert census.paths == 0
+
+    def test_closure_ratio(self):
+        census = TriadCensus(wedges_out=0, wedges_in=0, paths=2,
+                             feed_forward=1, cycles=1)
+        assert census.closure_ratio == pytest.approx(0.5)
+
+    def test_runs_on_sketch_views(self, paper_stream):
+        tcm = TCM.from_stream(paper_stream, d=1, width=32, seed=1)
+        census = triad_census(tcm.views()[0])
+        assert census.cycles >= 0
+        assert census.wedges_out > 0
+
+
+def build_pair(edits, d=2, width=32, seed=3, keep_labels=False):
+    """Two same-seed TCMs: before, and after applying `edits` on top."""
+    before = TCM(d=d, width=width, seed=seed, keep_labels=keep_labels)
+    after = TCM(d=d, width=width, seed=seed, keep_labels=keep_labels)
+    base = [("a", "b", 5.0), ("b", "c", 2.0), ("c", "d", 1.0)]
+    for x, y, w in base:
+        before.update(x, y, w)
+        after.update(x, y, w)
+    for x, y, w in edits:
+        after.update(x, y, w)
+    return before, after
+
+
+class TestSketchDistance:
+    def test_identical_is_zero(self):
+        before, after = build_pair([])
+        assert sketch_distance(before, after) == 0.0
+
+    def test_l1_equals_total_change(self):
+        before, after = build_pair([("a", "b", 3.0), ("x", "y", 2.0)])
+        assert sketch_distance(before, after, "l1") == pytest.approx(5.0)
+
+    def test_linf_is_largest_single_change(self):
+        before, after = build_pair([("a", "b", 3.0), ("x", "y", 2.0)])
+        assert sketch_distance(before, after, "linf") == pytest.approx(3.0)
+
+    def test_order_validation(self):
+        before, after = build_pair([])
+        with pytest.raises(ValueError):
+            sketch_distance(before, after, "l7")
+
+    def test_incompatible_rejected(self):
+        a = TCM(d=2, width=16, seed=1)
+        b = TCM(d=2, width=16, seed=2)
+        with pytest.raises(ValueError):
+            sketch_distance(a, b)
+
+    def test_d_mismatch_rejected(self):
+        a = TCM(d=1, width=16, seed=1)
+        b = TCM(d=2, width=16, seed=1)
+        with pytest.raises(ValueError):
+            sketch_distance(a, b)
+
+
+class TestTopChangedCells:
+    def test_finds_the_change(self):
+        before, after = build_pair([("a", "b", 7.0)])
+        cells = top_changed_cells(before, after, k=3)
+        assert len(cells) == 1
+        (cell, delta), = cells
+        assert delta == pytest.approx(7.0)
+
+    def test_signed_deltas(self):
+        before, after = build_pair([])
+        after.remove("a", "b", 4.0)
+        cells = top_changed_cells(before, after, k=1)
+        assert cells[0][1] == pytest.approx(-4.0)
+
+    def test_no_change_empty(self):
+        before, after = build_pair([])
+        assert top_changed_cells(before, after) == []
+
+    def test_k_validation(self):
+        before, after = build_pair([])
+        with pytest.raises(ValueError):
+            top_changed_cells(before, after, k=0)
+
+
+class TestTopChangedEdges:
+    def test_requires_extended(self):
+        before, after = build_pair([("a", "b", 1.0)])
+        with pytest.raises(ValueError, match="extended"):
+            top_changed_edges(before, after)
+
+    def test_decodes_the_changed_edge(self):
+        before, after = build_pair([("a", "b", 7.0)], keep_labels=True,
+                                   width=64)
+        edges = top_changed_edges(before, after, k=5)
+        assert edges[0][0] == ("a", "b")
+        assert edges[0][1] == pytest.approx(7.0)
+
+    def test_ranks_by_magnitude(self):
+        before, after = build_pair([("a", "b", 7.0), ("c", "d", 2.0)],
+                                   keep_labels=True, width=64)
+        edges = top_changed_edges(before, after, k=5)
+        assert [pair for pair, _ in edges[:2]] == [("a", "b"), ("c", "d")]
+
+    def test_evolution_between_ring_snapshots(self):
+        """The §7 use-case: diff two temporal snapshots."""
+        from repro.core.snapshots import SnapshotRing
+        from repro.streams.model import StreamEdge
+
+        ring = SnapshotRing(10.0, 8, d=2, width=64, seed=5)
+        for t in range(10):
+            ring.observe(StreamEdge("steady", "flow", 1.0, float(t)))
+        for t in range(10, 20):
+            ring.observe(StreamEdge("steady", "flow", 1.0, float(t)))
+            ring.observe(StreamEdge("burst", "victim", 50.0, float(t)))
+        buckets = dict(ring.buckets())
+        delta = sketch_distance(buckets[0], buckets[1], "l1")
+        assert delta == pytest.approx(500.0)

@@ -1,0 +1,102 @@
+"""Tests for the profile driver and adversarial (worst-case) inputs."""
+
+import pytest
+
+from repro.core.tcm import TCM
+from repro.experiments.profiles import PROFILE_HEADERS, dataset_profile
+from repro.hashing.family import HashFamily
+from repro.streams.model import GraphStream
+
+
+class TestProfiles:
+    def test_row_shape(self):
+        row = dataset_profile("ipflow", "tiny")
+        assert len(row) == len(PROFILE_HEADERS)
+        assert row[0] == "ipflow"
+
+    def test_counts_exact(self):
+        from repro.experiments import datasets
+        stream = datasets.by_name("dblp", "tiny")
+        row = dataset_profile("dblp", "tiny")
+        assert row[1] == len(stream)
+        assert row[2] == len(stream.nodes)
+        assert row[3] == len(stream.distinct_edges)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            dataset_profile("nonsense", "tiny")
+
+
+class TestAdversarialCollisions:
+    """Invariants must survive deliberately colliding inputs."""
+
+    def find_colliding_labels(self, width=8, seed=1, count=20):
+        """Labels that all hash to one bucket under sketch 0's hash."""
+        h = HashFamily.uniform(1, width, seed=seed)[0]
+        bucket = h("victim")
+        colliding = []
+        i = 0
+        while len(colliding) < count:
+            label = f"probe{i}"
+            if h(label) == bucket:
+                colliding.append(label)
+            i += 1
+        return colliding
+
+    def test_overapproximation_under_forced_collisions(self):
+        labels = self.find_colliding_labels()
+        tcm = TCM(d=1, width=8, seed=1)
+        stream = GraphStream(directed=True)
+        for i, label in enumerate(labels):
+            stream.add(label, "victim", float(i + 1))
+        tcm.ingest(stream)
+        for label in labels:
+            assert tcm.edge_weight(label, "victim") >= \
+                stream.edge_weight(label, "victim")
+        # All collide: every estimate equals the total.
+        total = stream.total_weight()
+        assert tcm.edge_weight(labels[0], "victim") == total
+
+    def test_second_hash_rescues_collisions(self):
+        """Labels colliding under hash 0 rarely collide under hash 1."""
+        labels = self.find_colliding_labels(width=8, seed=1, count=20)
+        tcm = TCM(d=4, width=8, seed=1)
+        for i, label in enumerate(labels):
+            tcm.update(label, "victim", 1.0)
+        # With 4 independent hashes the merged estimates are far below
+        # the single-sketch worst case of 20.
+        estimates = [tcm.edge_weight(label, "victim") for label in labels]
+        assert sum(estimates) / len(estimates) < 15.0
+
+    def test_all_elements_identical(self):
+        tcm = TCM(d=3, width=16, seed=2)
+        for _ in range(1000):
+            tcm.update("same", "pair", 1.0)
+        assert tcm.edge_weight("same", "pair") == 1000.0
+        assert tcm.out_flow("same") == 1000.0
+
+    def test_pathological_star(self):
+        """A node with more distinct neighbours than buckets."""
+        tcm = TCM(d=2, width=4, seed=3)
+        stream = GraphStream(directed=True)
+        for i in range(100):
+            stream.add("hub", f"leaf{i}", 1.0)
+        tcm.ingest(stream)
+        assert tcm.out_flow("hub") >= 100.0
+        for i in range(100):
+            assert tcm.edge_weight("hub", f"leaf{i}") >= 1.0
+
+    def test_conservative_update_under_collisions(self):
+        labels = self.find_colliding_labels(width=8, seed=1, count=10)
+        standard = TCM(d=1, width=8, seed=1)
+        conservative = TCM(d=1, width=8, seed=1)
+        stream = GraphStream(directed=True)
+        for label in labels:
+            stream.add(label, "victim", 1.0)
+        standard.ingest(stream)
+        conservative.ingest_conservative(stream)
+        for label in labels:
+            exact = stream.edge_weight(label, "victim")
+            assert conservative.edge_weight(label, "victim") >= exact
+            assert conservative.edge_weight(label, "victim") <= \
+                standard.edge_weight(label, "victim")

@@ -1,0 +1,346 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN.md."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.hashing.family import HashFamily, PairwiseHash
+from repro.hashing.labels import label_to_int
+from repro.streams.model import GraphStream
+
+# Strategy: small streams of (src, dst, weight) triples over a tiny label
+# universe so collisions and repeats actually happen.
+labels = st.integers(min_value=0, max_value=30).map(lambda i: f"n{i}")
+weights = st.floats(min_value=0.0, max_value=100.0,
+                    allow_nan=False, allow_infinity=False)
+elements = st.lists(st.tuples(labels, labels, weights), min_size=1,
+                    max_size=60)
+widths = st.integers(min_value=2, max_value=32)
+d_values = st.integers(min_value=1, max_value=5)
+
+common = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_stream(triples, directed=True):
+    stream = GraphStream(directed=directed)
+    for t, (x, y, w) in enumerate(triples):
+        stream.add(x, y, w, float(t))
+    return stream
+
+
+class TestOverApproximation:
+    """Invariant 1: sum-aggregated estimates never fall below the truth."""
+
+    @common
+    @given(elements, widths, d_values)
+    def test_edge_estimates(self, triples, width, d):
+        stream = build_stream(triples)
+        tcm = TCM.from_stream(stream, d=d, width=width, seed=1)
+        for x, y in stream.distinct_edges:
+            assert tcm.edge_weight(x, y) >= stream.edge_weight(x, y) - 1e-6
+
+    @common
+    @given(elements, widths, d_values)
+    def test_node_flows(self, triples, width, d):
+        stream = build_stream(triples)
+        tcm = TCM.from_stream(stream, d=d, width=width, seed=1)
+        for node in stream.nodes:
+            assert tcm.out_flow(node) >= stream.out_flow(node) - 1e-6
+            assert tcm.in_flow(node) >= stream.in_flow(node) - 1e-6
+
+    @common
+    @given(elements, widths, d_values)
+    def test_undirected_edge_estimates(self, triples, width, d):
+        stream = build_stream(triples, directed=False)
+        tcm = TCM.from_stream(stream, d=d, width=width, seed=1)
+        for x, y in stream.distinct_edges:
+            assert tcm.edge_weight(x, y) >= stream.edge_weight(x, y) - 1e-6
+
+    @common
+    @given(elements, widths, d_values)
+    def test_undirected_flows(self, triples, width, d):
+        stream = build_stream(triples, directed=False)
+        tcm = TCM.from_stream(stream, d=d, width=width, seed=1)
+        for node in stream.nodes:
+            assert tcm.flow(node) >= stream.flow(node) - 1e-6
+
+
+class TestMonotonicityInD:
+    """Invariant 2: adding hash functions never increases an estimate."""
+
+    @common
+    @given(elements, widths)
+    def test_edge_estimates_shrink(self, triples, width):
+        stream = build_stream(triples)
+        small = TCM.from_stream(stream, d=2, width=width, seed=3)
+        # Same seed: the first two sketches of `big` equal `small`'s.
+        big = TCM.from_stream(stream, d=5, width=width, seed=3)
+        for x, y in stream.distinct_edges:
+            assert big.edge_weight(x, y) <= small.edge_weight(x, y) + 1e-9
+
+
+class TestReachabilityOverApproximation:
+    """Invariant 3: reachable in the stream => reachable in the TCM."""
+
+    @common
+    @given(elements, widths, d_values)
+    def test_no_false_unreachable(self, triples, width, d):
+        stream = build_stream(triples)
+        tcm = TCM.from_stream(stream, d=d, width=width, seed=5)
+        nodes = sorted(stream.nodes)[:8]
+        for a in nodes:
+            for b in nodes:
+                if stream.reachable(a, b):
+                    assert tcm.reachable(a, b)
+
+
+class TestDeletionInverse:
+    """Invariant 4: deletion exactly inverts insertion for sum/count."""
+
+    @common
+    @given(elements, widths, d_values)
+    def test_insert_then_delete_everything(self, triples, width, d):
+        tcm = TCM(d=d, width=width, seed=7)
+        for x, y, w in triples:
+            tcm.update(x, y, w)
+        for x, y, w in triples:
+            tcm.remove(x, y, w)
+        for sketch in tcm.sketches:
+            np.testing.assert_allclose(sketch.matrix, 0.0, atol=1e-6)
+
+    @common
+    @given(elements, widths)
+    def test_count_mode_delete(self, triples, width):
+        tcm = TCM(d=2, width=width, seed=7, aggregation=Aggregation.COUNT)
+        for x, y, w in triples:
+            tcm.update(x, y, w)
+        for x, y, w in triples:
+            tcm.remove(x, y, w)
+        for sketch in tcm.sketches:
+            np.testing.assert_allclose(sketch.matrix, 0.0, atol=1e-6)
+
+
+class TestOrderIndependence:
+    """Invariant 7: sum aggregation is order-independent."""
+
+    @common
+    @given(elements, widths, st.randoms(use_true_random=False))
+    def test_shuffled_stream_same_sketch(self, triples, width, rnd):
+        forward = TCM(d=2, width=width, seed=9)
+        for x, y, w in triples:
+            forward.update(x, y, w)
+        shuffled = list(triples)
+        rnd.shuffle(shuffled)
+        backward = TCM(d=2, width=width, seed=9)
+        for x, y, w in shuffled:
+            backward.update(x, y, w)
+        for s1, s2 in zip(forward.sketches, backward.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+
+class TestVectorizedConsistency:
+    """ingest() (vectorized) must equal element-wise update()."""
+
+    @common
+    @given(elements, widths, d_values)
+    def test_ingest_equals_updates(self, triples, width, d):
+        stream = build_stream(triples)
+        bulk = TCM(d=d, width=width, seed=11)
+        bulk.ingest(stream)
+        scalar = TCM(d=d, width=width, seed=11)
+        for x, y, w in triples:
+            scalar.update(x, y, w)
+        for s1, s2 in zip(bulk.sketches, scalar.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+    @common
+    @given(elements, widths)
+    def test_ingest_equals_updates_undirected(self, triples, width):
+        stream = build_stream(triples, directed=False)
+        bulk = TCM(d=2, width=width, seed=11, directed=False)
+        bulk.ingest(stream)
+        scalar = TCM(d=2, width=width, seed=11, directed=False)
+        for x, y, w in triples:
+            scalar.update(x, y, w)
+        for s1, s2 in zip(bulk.sketches, scalar.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+
+class TestHashProperties:
+    @common
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.integers(min_value=0, max_value=1000))
+    def test_hash_many_matches_scalar(self, key, seed):
+        h = HashFamily.uniform(1, 97, seed=seed)[0]
+        assert h.hash_many(np.array([key], dtype=np.uint64))[0] == \
+            h.hash_int(key)
+
+    @common
+    @given(st.text(max_size=40))
+    def test_label_round_trip_stable(self, text):
+        assert label_to_int(text) == label_to_int(text)
+        assert 0 <= label_to_int(text) < 2 ** 64
+
+    @common
+    @given(st.integers(min_value=1, max_value=2 ** 61 - 2),
+           st.integers(min_value=0, max_value=2 ** 61 - 2),
+           st.integers(min_value=1, max_value=1000))
+    def test_hash_in_range(self, a, b, width):
+        h = PairwiseHash(a=a, b=b, width=width)
+        for key in (0, 1, 2 ** 61 - 1, 2 ** 64 - 1):
+            assert 0 <= h.hash_int(key) < width
+
+
+class TestMergeability:
+    """merge(sketch(A), sketch(B)) == sketch(A ++ B), for any split."""
+
+    @common
+    @given(elements, widths, st.integers(min_value=0, max_value=60))
+    def test_merge_equals_concatenation(self, triples, width, cut):
+        cut = min(cut, len(triples))
+        first = TCM(d=2, width=width, seed=21)
+        second = TCM(d=2, width=width, seed=21)
+        whole = TCM(d=2, width=width, seed=21)
+        for x, y, w in triples[:cut]:
+            first.update(x, y, w)
+        for x, y, w in triples[cut:]:
+            second.update(x, y, w)
+        for x, y, w in triples:
+            whole.update(x, y, w)
+        first.merge_from(second)
+        for s1, s2 in zip(first.sketches, whole.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+
+class TestTensorSketchProperties:
+    coords = st.tuples(st.integers(0, 15), st.integers(0, 15),
+                       st.integers(0, 1))
+    tensor_elements = st.lists(st.tuples(coords, weights), min_size=1,
+                               max_size=40)
+
+    @common
+    @given(tensor_elements)
+    def test_point_estimates_over_approximate(self, items):
+        from repro.core.tensor import TensorSketch
+        sketch = TensorSketch([4, 4, 2], d=2, seed=23)
+        truth = {}
+        for coords, w in items:
+            sketch.update(coords, w)
+            truth[coords] = truth.get(coords, 0.0) + w
+        for coords, exact in truth.items():
+            assert sketch.estimate(coords) >= exact - 1e-6
+
+    @common
+    @given(tensor_elements)
+    def test_marginals_over_approximate(self, items):
+        from repro.core.queries import WILDCARD
+        from repro.core.tensor import TensorSketch
+        sketch = TensorSketch([4, 4, 2], d=2, seed=23)
+        by_source = {}
+        for coords, w in items:
+            sketch.update(coords, w)
+            by_source[coords[0]] = by_source.get(coords[0], 0.0) + w
+        for source, exact in by_source.items():
+            estimate = sketch.estimate((source, WILDCARD, WILDCARD))
+            assert estimate >= exact - 1e-6
+
+
+class TestSparseDenseAgreement:
+    """Invariant 9: the sparse backend matches the dense one exactly."""
+
+    @common
+    @given(elements, widths, d_values)
+    def test_directed_agreement(self, triples, width, d):
+        stream = build_stream(triples)
+        dense = TCM.from_stream(stream, d=d, width=width, seed=31)
+        sparse = TCM(d=d, width=width, seed=31, directed=True, sparse=True)
+        sparse.ingest(stream)
+        for x, y in stream.distinct_edges:
+            assert sparse.edge_weight(x, y) == \
+                pytest.approx(dense.edge_weight(x, y))
+        for node in stream.nodes:
+            assert sparse.out_flow(node) == \
+                pytest.approx(dense.out_flow(node))
+
+    @common
+    @given(elements, widths)
+    def test_undirected_agreement(self, triples, width):
+        stream = build_stream(triples, directed=False)
+        dense = TCM.from_stream(stream, d=2, width=width, seed=31)
+        sparse = TCM(d=2, width=width, seed=31, directed=False, sparse=True)
+        sparse.ingest(stream)
+        for x, y in stream.distinct_edges:
+            assert sparse.edge_weight(x, y) == \
+                pytest.approx(dense.edge_weight(x, y))
+        for node in stream.nodes:
+            assert sparse.flow(node) == pytest.approx(dense.flow(node))
+
+
+class TestTemporalProperties:
+    """Window and snapshot-ring invariants over arbitrary streams."""
+
+    timed_elements = st.lists(
+        st.tuples(labels, labels, st.floats(min_value=0.0, max_value=20.0,
+                                            allow_nan=False)),
+        min_size=1, max_size=50)
+
+    @common
+    @given(timed_elements, st.floats(min_value=1.0, max_value=30.0))
+    def test_window_equals_fresh_summary_of_live_elements(self, triples,
+                                                          horizon):
+        from repro.streams.model import StreamEdge
+        from repro.streams.window import SlidingWindow
+
+        window = SlidingWindow(TCM(d=2, width=16, seed=41), horizon)
+        edges = [StreamEdge(x, y, w, float(t))
+                 for t, (x, y, w) in enumerate(triples)]
+        for edge in edges:
+            window.observe(edge)
+        cutoff = window.watermark - horizon
+        live = [e for e in edges if e.timestamp >= cutoff]
+        fresh = TCM(d=2, width=16, seed=41)
+        for e in live:
+            fresh.update(e.source, e.target, e.weight)
+        for s1, s2 in zip(window.summary.sketches, fresh.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+    @common
+    @given(timed_elements, st.integers(min_value=2, max_value=10))
+    def test_ring_range_equals_whole_stream(self, triples, bucket_length):
+        """Merging the full retained range reproduces the whole summary
+        (when nothing was evicted)."""
+        from repro.core.snapshots import SnapshotRing
+        from repro.streams.model import StreamEdge
+
+        ring = SnapshotRing(float(bucket_length), capacity=100,
+                            d=2, width=16, seed=43)
+        for t, (x, y, w) in enumerate(triples):
+            ring.observe(StreamEdge(x, y, w, float(t)))
+        merged = ring.range_summary(0.0, float(len(triples)))
+        whole = TCM(d=2, width=16, seed=43)
+        for t, (x, y, w) in enumerate(triples):
+            whole.update(x, y, w)
+        for s1, s2 in zip(merged.sketches, whole.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix, atol=1e-6)
+
+
+class TestExtendedSketchPartition:
+    """Invariant 6: ext() buckets partition the observed label universe."""
+
+    @common
+    @given(elements, widths)
+    def test_partition(self, triples, width):
+        stream = build_stream(triples)
+        tcm = TCM.from_stream(stream, d=1, width=width, seed=13,
+                              keep_labels=True)
+        sketch = tcm.sketches[0]
+        seen = set()
+        for bucket in range(sketch.rows):
+            bucket_labels = sketch.ext(bucket)
+            assert not (seen & bucket_labels)  # disjoint
+            seen |= bucket_labels
+        assert seen == stream.nodes

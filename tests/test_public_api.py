@@ -1,0 +1,70 @@
+"""Public-API stability tests: every advertised name exists and imports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.streams",
+    "repro.analytics",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.distributed",
+    "repro.hashing",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_top_level_surface():
+    import repro
+    expected = {
+        "TCM", "GraphSketch", "Aggregation", "GraphStream", "StreamEdge",
+        "SlidingWindow", "SubgraphQuery", "Wildcard", "BoundWildcard",
+        "WILDCARD", "HeavyEdgeMonitor", "HeavyNodeMonitor",
+        "ConditionalHeavyHitterMonitor", "heavy_triangle_connections",
+        "save_tcm", "load_tcm", "TensorSketch", "SnapshotRing",
+        "SketchFilteredStore", "TimeDecayedTCM", "sketch_distance",
+        "top_changed_cells", "top_changed_edges",
+    }
+    assert expected <= set(repro.__all__)
+
+
+def test_version_is_pep440ish():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(part.isdigit() for part in parts)
+
+
+def test_every_public_callable_has_docstring():
+    import repro
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{name} has no docstring"
+
+
+def test_py_typed_marker_shipped():
+    import pathlib
+    import repro
+    package_dir = pathlib.Path(repro.__file__).parent
+    assert (package_dir / "py.typed").exists()
+
+
+def test_ingest_throughput_helper():
+    """exp5's scalar-vs-vectorized helper returns sane positive rates."""
+    from repro.experiments.exp5_efficiency import ingest_throughput
+    scalar_rate, vector_rate = ingest_throughput("ipflow", "tiny", d=2)
+    assert scalar_rate > 0
+    assert vector_rate > scalar_rate

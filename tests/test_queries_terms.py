@@ -1,0 +1,75 @@
+"""Tests for subgraph query terms and validation."""
+
+import pytest
+
+from repro.core.queries import (
+    WILDCARD,
+    BoundWildcard,
+    SubgraphQuery,
+    Wildcard,
+    is_wildcard,
+)
+
+
+class TestTerms:
+    def test_wildcard_repr(self):
+        assert repr(WILDCARD) == "*"
+
+    def test_bound_wildcard_repr(self):
+        assert repr(BoundWildcard("j")) == "*_j"
+
+    def test_bound_wildcard_needs_tag(self):
+        with pytest.raises(ValueError):
+            BoundWildcard("")
+
+    def test_equal_tags_are_equal(self):
+        assert BoundWildcard("1") == BoundWildcard("1")
+        assert BoundWildcard("1") != BoundWildcard("2")
+
+    def test_is_wildcard(self):
+        assert is_wildcard(WILDCARD)
+        assert is_wildcard(Wildcard())
+        assert is_wildcard(BoundWildcard("x"))
+        assert not is_wildcard("a")
+        assert not is_wildcard(3)
+
+
+class TestSubgraphQuery:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SubgraphQuery([])
+
+    def test_bad_edge_arity(self):
+        with pytest.raises(ValueError):
+            SubgraphQuery([("a", "b", "c")])
+
+    def test_len_and_iter(self):
+        q = SubgraphQuery([("a", "b"), ("b", "c")])
+        assert len(q) == 2
+        assert list(q) == [("a", "b"), ("b", "c")]
+
+    def test_constants(self):
+        q = SubgraphQuery([(WILDCARD, "b"), ("b", "c")])
+        assert q.constants == {"b", "c"}
+
+    def test_has_wildcards(self):
+        assert not SubgraphQuery([("a", "b")]).has_wildcards
+        assert SubgraphQuery([(WILDCARD, "b")]).has_wildcards
+
+    def test_has_bound_wildcards(self):
+        assert not SubgraphQuery([(WILDCARD, "b")]).has_bound_wildcards
+        assert SubgraphQuery([(BoundWildcard("1"), "b")]).has_bound_wildcards
+
+    def test_bound_tags(self):
+        q = SubgraphQuery([(BoundWildcard("1"), BoundWildcard("2")),
+                           (BoundWildcard("1"), "c")])
+        assert q.bound_tags == {"1", "2"}
+
+    def test_decomposed_support(self):
+        assert SubgraphQuery([("a", WILDCARD)]).supports_decomposed_estimate()
+        assert not SubgraphQuery(
+            [(BoundWildcard("1"), "b")]).supports_decomposed_estimate()
+
+    def test_repr_round_trip_readable(self):
+        q = SubgraphQuery([("a", "b")])
+        assert "a" in repr(q) and "b" in repr(q)

@@ -1,0 +1,111 @@
+"""Tests for the textual subgraph-query syntax."""
+
+import pytest
+
+from repro.core.queries import WILDCARD, BoundWildcard, SubgraphQuery
+from repro.core.query_parser import (
+    QuerySyntaxError,
+    format_subgraph_query,
+    parse_edge,
+    parse_subgraph_query,
+)
+
+
+class TestParseEdge:
+    def test_directed(self):
+        assert parse_edge("a->b") == ("a", "b")
+
+    def test_whitespace_tolerant(self):
+        assert parse_edge("  a  ->  b  ") == ("a", "b")
+
+    def test_undirected_token(self):
+        assert parse_edge("a--b") == ("a", "b")
+
+    def test_free_wildcard(self):
+        edge = parse_edge("*->b")
+        assert edge[0] is WILDCARD or repr(edge[0]) == "*"
+        assert edge[1] == "b"
+
+    def test_bound_wildcard(self):
+        edge = parse_edge("*1->b")
+        assert edge[0] == BoundWildcard("1")
+
+    def test_ip_labels(self):
+        assert parse_edge("10.0.0.1->10.0.0.9") == ("10.0.0.1", "10.0.0.9")
+
+    def test_missing_arrow(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_edge("a b")
+
+    def test_double_arrow(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_edge("a->b->c")
+
+    def test_empty_side(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_edge("->b")
+
+
+class TestParseQuery:
+    def test_single_edge(self):
+        query = parse_subgraph_query("a->b")
+        assert len(query) == 1
+
+    def test_comma_separated(self):
+        query = parse_subgraph_query("a->b, b->c, c->a")
+        assert len(query) == 3
+        assert not query.has_wildcards
+
+    def test_q5(self):
+        query = parse_subgraph_query("*->b, b->c, c->*")
+        assert query.has_wildcards
+        assert not query.has_bound_wildcards
+
+    def test_q6(self):
+        query = parse_subgraph_query("*1->b, b->c, c->*1")
+        assert query.bound_tags == {"1"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_subgraph_query("   ")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_subgraph_query("a->b,")
+
+    def test_evaluates_like_programmatic_query(self, paper_stream):
+        from repro.core.tcm import TCM
+        tcm = TCM.from_stream(paper_stream, d=3, width=128, seed=1)
+        parsed = parse_subgraph_query("a->b, a->c")
+        programmatic = SubgraphQuery([("a", "b"), ("a", "c")])
+        assert tcm.subgraph_weight(parsed) == \
+            tcm.subgraph_weight(programmatic) == 2.0
+
+
+class TestFormat:
+    def test_round_trip(self):
+        text = "*1->b, b->c, c->*1"
+        query = parse_subgraph_query(text)
+        assert format_subgraph_query(query) == text
+
+    def test_free_wildcard_round_trip(self):
+        text = "*->b, c->*"
+        assert format_subgraph_query(parse_subgraph_query(text)) == text
+
+    def test_undirected_arrow(self):
+        query = parse_subgraph_query("a->b")
+        assert format_subgraph_query(query, directed=False) == "a--b"
+
+
+class TestCliSubgraph:
+    def test_cli_subgraph_query(self, tmp_path, capsys, paper_stream):
+        from repro.cli import main
+        from repro.streams.io import write_stream
+
+        trace = tmp_path / "paper.txt"
+        write_stream(paper_stream, trace)
+        sketch = tmp_path / "paper.npz"
+        main(["summarize", str(trace), str(sketch), "--width", "128"])
+        capsys.readouterr()
+        assert main(["query", str(sketch), "subgraph", "a->b, a->c"]) == 0
+        assert float(capsys.readouterr().out) == 2.0

@@ -1,0 +1,92 @@
+"""Tests for the MonitoringHub replay layer."""
+
+import pytest
+
+from repro.core.decay import TimeDecayedTCM
+from repro.core.heavy_hitters import HeavyEdgeMonitor
+from repro.core.snapshots import SnapshotRing
+from repro.core.tcm import TCM
+from repro.streams.model import StreamEdge
+from repro.streams.replay import MonitoringHub
+from repro.streams.window import SlidingWindow
+
+
+@pytest.fixture
+def edges():
+    return [StreamEdge(f"s{i % 4}", f"t{i % 3}", float(i % 5 + 1), float(i))
+            for i in range(60)]
+
+
+class TestAttach:
+    def test_duplicate_name_rejected(self):
+        hub = MonitoringHub()
+        hub.attach("a", TCM(d=1, width=8, seed=1))
+        with pytest.raises(ValueError):
+            hub.attach("a", TCM(d=1, width=8, seed=1))
+
+    def test_unsupported_consumer_rejected(self):
+        hub = MonitoringHub()
+        with pytest.raises(TypeError):
+            hub.attach("bad", object())
+
+    def test_lookup(self):
+        hub = MonitoringHub()
+        tcm = hub.attach("summary", TCM(d=1, width=8, seed=1))
+        assert hub["summary"] is tcm
+        with pytest.raises(KeyError):
+            hub["missing"]
+
+    def test_names_and_len(self):
+        hub = MonitoringHub()
+        hub.attach("a", TCM(d=1, width=8, seed=1))
+        hub.attach("b", TCM(d=1, width=8, seed=2))
+        assert hub.names == ["a", "b"]
+        assert len(hub) == 2
+
+
+class TestReplay:
+    def test_all_consumer_kinds_fed(self, edges):
+        hub = MonitoringHub()
+        summary = hub.attach("summary", TCM(d=2, width=32, seed=1))
+        window = hub.attach("window",
+                            SlidingWindow(TCM(d=2, width=32, seed=2), 10.0))
+        ring = hub.attach("ring", SnapshotRing(20.0, 8, d=2, width=32, seed=3))
+        decayed = hub.attach("decayed",
+                             TimeDecayedTCM(0.9, d=2, width=32, seed=4))
+        monitor = hub.attach("monitor",
+                             HeavyEdgeMonitor(TCM(d=2, width=32, seed=5), 3))
+        assert hub.replay(edges) == 60
+
+        total = sum(e.weight for e in edges)
+        assert summary.total_weight_estimate() == pytest.approx(total)
+        # Horizon 10 at watermark 59: timestamps [49, 59] are live.
+        assert len(window) == 11
+        assert len(ring) == 3     # 60 time units / 20 per bucket
+        assert decayed.now == 59.0
+        assert len(monitor.top()) == 3
+
+    def test_replay_matches_direct_ingest(self, edges):
+        hub = MonitoringHub()
+        via_hub = hub.attach("summary", TCM(d=2, width=32, seed=7))
+        hub.replay(edges)
+        direct = TCM(d=2, width=32, seed=7)
+        for edge in edges:
+            direct.update(edge.source, edge.target, edge.weight)
+        for s1, s2 in zip(via_hub.sketches, direct.sketches):
+            assert (s1.matrix == s2.matrix).all()
+
+    def test_delivery_order_is_attach_order(self, edges):
+        order = []
+
+        class Probe:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def observe(self, edge):
+                order.append(self.tag)
+
+        hub = MonitoringHub()
+        hub.attach("first", Probe("first"))
+        hub.attach("second", Probe("second"))
+        hub.observe(edges[0])
+        assert order == ["first", "second"]

@@ -1,0 +1,69 @@
+"""Robustness tests for sketch files: corruption and interop."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_tcm, save_tcm
+from repro.core.tcm import TCM
+
+
+class TestCorruptFiles:
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a numpy archive")
+        with pytest.raises(Exception):
+            load_tcm(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, format_version=np.int64(1), d=np.int64(1),
+                 directed=np.bool_(True))
+        with pytest.raises(KeyError):
+            load_tcm(path)
+
+    def test_truncated_matrix_set(self, tmp_path):
+        """d says 2 but only one matrix present."""
+        tcm = TCM(d=1, width=8, seed=1)
+        path = tmp_path / "one.npz"
+        save_tcm(tcm, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["d"] = np.int64(2)
+        np.savez(tmp_path / "two.npz", **payload)
+        with pytest.raises(KeyError):
+            load_tcm(tmp_path / "two.npz")
+
+    def test_no_pickle_ever(self, tmp_path):
+        """Files must load with allow_pickle=False (security posture)."""
+        tcm = TCM(d=2, width=16, seed=1, keep_labels=True)
+        tcm.update("alice", "bob", 1.0)
+        path = tmp_path / "s.npz"
+        save_tcm(tcm, path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert len(archive.files) > 0  # loads cleanly without pickle
+
+
+class TestSparseInterop:
+    def test_sparse_tcm_serializes_via_dense_matrices(self, tmp_path):
+        """Sparse summaries persist through the same format (densified);
+        the loaded sketch answers identically."""
+        sparse = TCM(d=2, width=16, seed=3, sparse=True)
+        sparse.update("a", "b", 4.0)
+        sparse.update("c", "d", 1.0)
+        path = tmp_path / "sparse.npz"
+        save_tcm(sparse, path)
+        loaded = load_tcm(path)
+        assert loaded.edge_weight("a", "b") == 4.0
+        assert loaded.edge_weight("c", "d") == 1.0
+
+    def test_dense_and_sparse_files_identical(self, tmp_path):
+        dense = TCM(d=2, width=16, seed=3)
+        sparse = TCM(d=2, width=16, seed=3, sparse=True)
+        for tcm in (dense, sparse):
+            tcm.update("x", "y", 2.0)
+        save_tcm(dense, tmp_path / "dense.npz")
+        save_tcm(sparse, tmp_path / "sparse.npz")
+        a = load_tcm(tmp_path / "dense.npz")
+        b = load_tcm(tmp_path / "sparse.npz")
+        for s1, s2 in zip(a.sketches, b.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)

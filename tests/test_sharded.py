@@ -1,0 +1,63 @@
+"""Tests for shard-and-merge distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TCM
+from repro.distributed.sharded import ShardedTCM
+from repro.streams.transforms import shard
+
+
+class TestShardedTCM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedTCM(0, 2, 16)
+
+    def test_matches_single_machine_build(self, ipflow_stream):
+        elements = list(ipflow_stream)
+        shards = shard(elements, 4)
+        cluster = ShardedTCM(4, d=3, width=32, seed=9)
+        merged = cluster.summarize(shards)
+        single = TCM(d=3, width=32, seed=9)
+        single.ingest(elements)
+        for s1, s2 in zip(merged.sketches, single.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+    def test_sharding_strategy_irrelevant_to_result(self, ipflow_stream):
+        elements = list(ipflow_stream)
+        cluster = ShardedTCM(3, d=2, width=32, seed=9)
+        by_rr = cluster.summarize(shard(elements, 3, by="round_robin"))
+        by_src = cluster.summarize(shard(elements, 3, by="source"))
+        by_time = cluster.summarize(shard(elements, 3, by="time"))
+        for a, b, c in zip(by_rr.sketches, by_src.sketches, by_time.sketches):
+            np.testing.assert_allclose(a.matrix, b.matrix)
+            np.testing.assert_allclose(a.matrix, c.matrix)
+
+    def test_parallel_and_serial_agree(self, ipflow_stream):
+        elements = list(ipflow_stream)
+        shards = shard(elements, 3)
+        parallel = ShardedTCM(3, d=2, width=32, seed=9, parallel=True)
+        serial = ShardedTCM(3, d=2, width=32, seed=9, parallel=False)
+        p = parallel.summarize(shards)
+        s = serial.summarize(shards)
+        for s1, s2 in zip(p.sketches, s.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+    def test_too_many_shards_rejected(self, ipflow_stream):
+        cluster = ShardedTCM(2, d=1, width=16, seed=1)
+        with pytest.raises(ValueError, match="exceed"):
+            cluster.summarize(shard(list(ipflow_stream), 3))
+
+    def test_empty_shards(self):
+        cluster = ShardedTCM(2, d=1, width=16, seed=1)
+        merged = cluster.summarize([])
+        assert merged.total_weight_estimate() == 0.0
+
+    def test_queries_after_merge(self, ipflow_stream):
+        elements = list(ipflow_stream)
+        cluster = ShardedTCM(4, d=3, width=64, seed=2)
+        merged = cluster.summarize(shard(elements, 4))
+        for x, y in list(ipflow_stream.distinct_edges)[:50]:
+            # Tolerance: shard-wise summation reorders float additions.
+            assert merged.edge_weight(x, y) >= \
+                ipflow_stream.edge_weight(x, y) * (1 - 1e-12)

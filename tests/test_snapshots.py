@@ -1,0 +1,121 @@
+"""Tests for temporal sketch snapshots (SnapshotRing)."""
+
+import pytest
+
+from repro.core.snapshots import SnapshotRing
+from repro.streams.model import StreamEdge
+
+
+def make_ring(bucket_length=10.0, capacity=4, **kwargs):
+    defaults = dict(d=2, width=64, seed=1)
+    defaults.update(kwargs)
+    return SnapshotRing(bucket_length, capacity, **defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotRing(0.0, 4)
+        with pytest.raises(ValueError):
+            SnapshotRing(10.0, 0)
+
+    def test_bucket_of(self):
+        ring = make_ring(bucket_length=10.0)
+        assert ring.bucket_of(0.0) == 0
+        assert ring.bucket_of(9.99) == 0
+        assert ring.bucket_of(10.0) == 1
+        assert ring.bucket_of(25.0) == 2
+
+    def test_empty_span(self):
+        assert make_ring().span is None
+
+
+class TestIngest:
+    def test_routes_to_buckets(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        ring.observe(StreamEdge("a", "b", 2.0, 15.0))
+        series = ring.edge_weight_series("a", "b")
+        assert series == [(0, 1.0), (1, 2.0)]
+
+    def test_out_of_order_rejected(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 20.0))
+        with pytest.raises(ValueError, match="out-of-order"):
+            ring.observe(StreamEdge("a", "b", 1.0, 19.0))
+
+    def test_eviction_keeps_most_recent(self):
+        ring = make_ring(capacity=2)
+        for t in (5.0, 15.0, 25.0, 35.0):
+            ring.observe(StreamEdge("a", "b", 1.0, t))
+        assert len(ring) == 2
+        assert [b for b, _ in ring.buckets()] == [2, 3]
+
+    def test_span(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        ring.observe(StreamEdge("a", "b", 1.0, 25.0))
+        assert ring.span == (0.0, 30.0)
+
+    def test_consume(self):
+        ring = make_ring()
+        edges = [StreamEdge("x", "y", 1.0, float(t)) for t in range(30)]
+        assert ring.consume(edges) == 30
+        assert len(ring) == 3
+
+
+class TestRangeQueries:
+    def test_range_merges_buckets(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        ring.observe(StreamEdge("a", "b", 2.0, 15.0))
+        ring.observe(StreamEdge("a", "b", 4.0, 25.0))
+        merged = ring.range_summary(0.0, 20.0)
+        assert merged.edge_weight("a", "b") == 3.0
+        full = ring.range_summary(0.0, 30.0)
+        assert full.edge_weight("a", "b") == 7.0
+
+    def test_range_does_not_mutate_buckets(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        ring.observe(StreamEdge("a", "b", 2.0, 15.0))
+        ring.range_summary(0.0, 20.0)
+        assert ring.edge_weight_series("a", "b") == [(0, 1.0), (1, 2.0)]
+
+    def test_range_validation(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        with pytest.raises(ValueError):
+            ring.range_summary(10.0, 10.0)
+
+    def test_untouched_range_raises(self):
+        ring = make_ring()
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        with pytest.raises(KeyError):
+            ring.range_summary(100.0, 200.0)
+
+    def test_evicted_range_raises(self):
+        ring = make_ring(capacity=1)
+        ring.observe(StreamEdge("a", "b", 1.0, 5.0))
+        ring.observe(StreamEdge("a", "b", 1.0, 15.0))
+        with pytest.raises(KeyError):
+            ring.range_summary(0.0, 10.0)
+
+    def test_range_supports_full_query_surface(self):
+        """The merged range is an ordinary TCM: all queries work."""
+        ring = make_ring(width=128)
+        ring.observe(StreamEdge("a", "b", 1.0, 1.0))
+        ring.observe(StreamEdge("b", "c", 1.0, 11.0))
+        merged = ring.range_summary(0.0, 20.0)
+        assert merged.reachable("a", "c")
+        assert merged.out_flow("b") == 1.0
+
+    def test_burst_localized_in_time(self):
+        """The motivating monitoring query: when did the burst happen?"""
+        ring = make_ring(capacity=10)
+        for t in range(100):
+            weight = 100.0 if 30 <= t < 40 else 1.0
+            ring.observe(StreamEdge("atk", "victim", weight, float(t)))
+        series = ring.edge_weight_series("atk", "victim")
+        heaviest_bucket = max(series, key=lambda kv: kv[1])[0]
+        assert heaviest_bucket == 3

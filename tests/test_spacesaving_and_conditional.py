@@ -1,0 +1,159 @@
+"""Tests for Space-Saving and the conditional node query helper."""
+
+import pytest
+
+from repro.baselines.spacesaving import (
+    SpaceSaving,
+    SpaceSavingEdges,
+    SpaceSavingNodes,
+)
+from repro.core.tcm import TCM
+from repro.streams.generators import ipflow_like
+from repro.streams.model import GraphStream
+
+
+class TestSpaceSaving:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_exact_below_k(self):
+        counter = SpaceSaving(10)
+        for i in range(5):
+            for _ in range(i + 1):
+                counter.update(f"item{i}")
+        assert counter.estimate("item4") == 5.0
+        assert counter.error_of("item4") == 0.0
+
+    def test_bounded_counters(self):
+        counter = SpaceSaving(8)
+        for i in range(1000):
+            counter.update(f"item{i}")
+        assert len(counter) == 8
+
+    def test_overcount_bounded_by_error(self):
+        counter = SpaceSaving(8)
+        truth = {}
+        for i in range(2000):
+            item = "hot" if i % 3 == 0 else f"cold{i}"
+            counter.update(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, _ in counter.top(8):
+            estimate = counter.estimate(item)
+            exact = truth.get(item, 0)
+            assert counter.guaranteed(item) <= exact <= estimate
+
+    def test_heavy_item_always_tracked(self):
+        """Items above N/k frequency are guaranteed present."""
+        counter = SpaceSaving(10)
+        for i in range(1000):
+            counter.update("dominant" if i % 2 == 0 else f"noise{i}")
+        assert counter.estimate("dominant") >= 500.0
+
+    def test_weighted(self):
+        counter = SpaceSaving(4)
+        counter.update("a", 10.0)
+        counter.update("b", 1.0)
+        assert counter.top(1)[0] == ("a", 10.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(2).update("a", -1.0)
+
+    def test_total_weight(self):
+        counter = SpaceSaving(2)
+        counter.update("a", 2.0)
+        counter.update("b", 3.0)
+        assert counter.total_weight == 5.0
+
+
+class TestSpaceSavingGraph:
+    def test_edges_find_heavy(self):
+        stream = ipflow_like(n_hosts=80, n_packets=2500, seed=6)
+        tracker = SpaceSavingEdges(k=50)
+        tracker.ingest(stream)
+        truth = {e for e, _ in stream.top_edges(10)}
+        found = {e for e, _ in tracker.top_edges(10)}
+        assert len(found & truth) >= 7
+
+    def test_edges_undirected_fold(self):
+        tracker = SpaceSavingEdges(k=4, directed=False)
+        tracker.update("b", "a", 1.0)
+        tracker.update("a", "b", 2.0)
+        assert tracker.edge_weight("a", "b") == 3.0
+
+    def test_nodes_find_heavy(self):
+        stream = ipflow_like(n_hosts=80, n_packets=2500, seed=6)
+        tracker = SpaceSavingNodes(k=40, direction="in")
+        tracker.ingest(stream)
+        truth = {n for n, _ in stream.top_nodes(10, "in")}
+        found = {n for n, _ in tracker.top_nodes(10)}
+        assert len(found & truth) >= 7
+
+    def test_nodes_direction_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingNodes(k=4, direction="around")
+
+    def test_nodes_both(self):
+        tracker = SpaceSavingNodes(k=8, direction="both")
+        tracker.update("a", "b", 2.0)
+        assert tracker.flow("a") == 2.0
+        assert tracker.flow("b") == 2.0
+
+
+class TestHeaviestNeighbours:
+    @pytest.fixture
+    def fan_in_stream(self):
+        stream = GraphStream(directed=True)
+        for i, weight in enumerate([50.0, 30.0, 10.0, 1.0]):
+            stream.add(f"sender{i}", "hub", weight, float(i))
+        stream.add("hub", "downstream", 5.0, 10.0)
+        return stream
+
+    def test_requires_extended(self, fan_in_stream):
+        tcm = TCM.from_stream(fan_in_stream, d=2, width=64, seed=1)
+        with pytest.raises(ValueError, match="keep_labels"):
+            tcm.heaviest_neighbours("hub")
+
+    def test_in_direction_ranks_senders(self, fan_in_stream):
+        tcm = TCM.from_stream(fan_in_stream, d=2, width=64, seed=1,
+                              keep_labels=True)
+        top = tcm.heaviest_neighbours("hub", k=3, direction="in")
+        assert [n for n, _ in top] == ["sender0", "sender1", "sender2"]
+        assert top[0][1] == 50.0
+
+    def test_out_direction(self, fan_in_stream):
+        tcm = TCM.from_stream(fan_in_stream, d=2, width=64, seed=1,
+                              keep_labels=True)
+        top = tcm.heaviest_neighbours("hub", k=2, direction="out")
+        assert top[0][0] == "downstream"
+
+    def test_k_bounds_result(self, fan_in_stream):
+        tcm = TCM.from_stream(fan_in_stream, d=2, width=64, seed=1,
+                              keep_labels=True)
+        assert len(tcm.heaviest_neighbours("hub", k=2, direction="in")) == 2
+
+    def test_both_on_undirected(self):
+        stream = GraphStream(directed=False)
+        stream.add("a", "x", 9.0)
+        stream.add("a", "y", 1.0)
+        tcm = TCM.from_stream(stream, d=2, width=64, seed=2,
+                              keep_labels=True)
+        top = tcm.heaviest_neighbours("a", k=2, direction="both")
+        assert top[0] == ("x", 9.0)
+
+    def test_validation(self, fan_in_stream):
+        tcm = TCM.from_stream(fan_in_stream, d=1, width=64, seed=1,
+                              keep_labels=True)
+        with pytest.raises(ValueError):
+            tcm.heaviest_neighbours("hub", k=0)
+        with pytest.raises(ValueError):
+            tcm.heaviest_neighbours("hub", direction="sideways")
+
+    def test_paper_example_2(self, paper_stream):
+        """'Which is the most frequent node linking to node a?' -- b or f
+        in Fig. 1 (both send weight 1)."""
+        tcm = TCM.from_stream(paper_stream, d=3, width=128, seed=3,
+                              keep_labels=True)
+        top = tcm.heaviest_neighbours("a", k=2, direction="in")
+        assert {n for n, _ in top} == {"b", "f"}

@@ -1,0 +1,182 @@
+"""Tests for the sparse backend and conservative updates."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.sparse import SparseGraphSketch
+from repro.core.tcm import TCM
+from repro.hashing.family import HashFamily
+from repro.streams.generators import dblp_like, ipflow_like
+
+
+class TestSparseEquivalence:
+    """Sparse and dense backends are estimate-for-estimate identical."""
+
+    def build_pair(self, stream, d=3, width=32, seed=5, **kwargs):
+        dense = TCM(d=d, width=width, seed=seed,
+                    directed=stream.directed, **kwargs)
+        sparse = TCM(d=d, width=width, seed=seed,
+                     directed=stream.directed, sparse=True, **kwargs)
+        dense.ingest(stream)
+        sparse.ingest(stream)
+        return dense, sparse
+
+    def test_edge_estimates_match(self, ipflow_stream):
+        dense, sparse = self.build_pair(ipflow_stream)
+        for x, y in list(ipflow_stream.distinct_edges)[:150]:
+            assert sparse.edge_weight(x, y) == \
+                pytest.approx(dense.edge_weight(x, y))
+
+    def test_flows_match(self, ipflow_stream):
+        dense, sparse = self.build_pair(ipflow_stream)
+        for node in sorted(ipflow_stream.nodes)[:40]:
+            assert sparse.out_flow(node) == pytest.approx(dense.out_flow(node))
+            assert sparse.in_flow(node) == pytest.approx(dense.in_flow(node))
+
+    def test_undirected_match(self, dblp_stream):
+        dense, sparse = self.build_pair(dblp_stream)
+        for x, y in list(dblp_stream.distinct_edges)[:100]:
+            assert sparse.edge_weight(x, y) == \
+                pytest.approx(dense.edge_weight(x, y))
+        for node in sorted(dblp_stream.nodes)[:30]:
+            assert sparse.flow(node) == pytest.approx(dense.flow(node))
+
+    def test_reachability_matches(self, paper_stream):
+        dense, sparse = self.build_pair(paper_stream, width=64)
+        nodes = sorted(paper_stream.nodes)
+        for a in nodes:
+            for b in nodes:
+                assert sparse.reachable(a, b) == dense.reachable(a, b)
+
+    def test_batch_queries_match(self, ipflow_stream):
+        dense, sparse = self.build_pair(ipflow_stream)
+        pairs = sorted(ipflow_stream.distinct_edges, key=repr)[:100]
+        np.testing.assert_allclose(sparse.edge_weights(pairs),
+                                   dense.edge_weights(pairs))
+
+    def test_total_weight_matches(self, ipflow_stream):
+        dense, sparse = self.build_pair(ipflow_stream)
+        assert sparse.total_weight_estimate() == \
+            pytest.approx(dense.total_weight_estimate())
+
+    def test_matrix_materialization_matches(self, paper_stream):
+        dense, sparse = self.build_pair(paper_stream, d=1, width=16)
+        np.testing.assert_allclose(sparse.sketches[0].matrix,
+                                   dense.sketches[0].matrix)
+
+
+class TestSparseSpecifics:
+    def make(self, width=64, seed=1, **kwargs):
+        return SparseGraphSketch(HashFamily.uniform(1, width, seed=seed)[0],
+                                 **kwargs)
+
+    def test_occupancy_bounded_by_distinct_edges(self, ipflow_stream):
+        tcm = TCM(d=2, width=512, seed=3, sparse=True)
+        tcm.ingest(ipflow_stream)
+        for sketch in tcm.sketches:
+            assert sketch.occupied_cells <= len(ipflow_stream.distinct_edges)
+            assert sketch.occupied_cells < sketch.size_in_cells
+
+    def test_min_max_rejected(self):
+        with pytest.raises(ValueError, match="sparse"):
+            self.make(aggregation=Aggregation.MIN)
+
+    def test_remove(self):
+        sketch = self.make()
+        sketch.update("a", "b", 3.0)
+        sketch.remove("a", "b", 3.0)
+        assert sketch.edge_estimate("a", "b") == 0.0
+        # Fully cancelled cells disappear from topology.
+        assert len(sketch.successors(sketch.node_of("a"))) == 0
+
+    def test_merge(self):
+        h = HashFamily.uniform(1, 32, seed=2)[0]
+        a = SparseGraphSketch(h)
+        b = SparseGraphSketch(h)
+        a.update("x", "y", 1.0)
+        b.update("x", "y", 2.0)
+        a.merge_from(b)
+        assert a.edge_estimate("x", "y") == 3.0
+
+    def test_merge_incompatible(self):
+        a = self.make(seed=1)
+        b = self.make(seed=2)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_extended_labels(self):
+        sketch = self.make(keep_labels=True)
+        sketch.update("alice", "bob", 1.0)
+        assert "alice" in sketch.ext(sketch.node_of("alice"))
+
+    def test_clear(self):
+        sketch = self.make()
+        sketch.update("a", "b", 2.0)
+        sketch.clear()
+        assert sketch.occupied_cells == 0
+        assert sketch.total_mass() == 0.0
+
+    def test_repr_shows_occupancy(self):
+        sketch = self.make()
+        sketch.update("a", "b", 1.0)
+        assert "occupied=1" in repr(sketch)
+
+    def test_algorithms_run_on_sparse_views(self, paper_stream):
+        tcm = TCM.from_stream(paper_stream, d=2, width=64, seed=4,
+                              sparse=True)
+        assert tcm.reachable("a", "g")
+        assert tcm.subgraph_weight([("a", "b"), ("a", "c")]) == 2.0
+        assert tcm.triangle_count() >= 0
+
+
+class TestConservativeUpdate:
+    def test_requires_sum(self):
+        tcm = TCM(d=2, width=16, seed=1, aggregation=Aggregation.COUNT)
+        with pytest.raises(ValueError, match="conservative"):
+            tcm.update_conservative("a", "b", 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TCM(d=2, width=16, seed=1).update_conservative("a", "b", -1.0)
+
+    def test_exact_without_collisions(self):
+        tcm = TCM(d=3, width=128, seed=2)
+        tcm.update_conservative("a", "b", 2.0)
+        tcm.update_conservative("a", "b", 3.0)
+        assert tcm.edge_weight("a", "b") == 5.0
+
+    def test_never_undercounts(self):
+        stream = ipflow_like(n_hosts=60, n_packets=1500, seed=9)
+        tcm = TCM(d=3, width=16, seed=3)
+        tcm.ingest_conservative(stream)
+        for x, y in stream.distinct_edges:
+            assert tcm.edge_weight(x, y) >= stream.edge_weight(x, y) - 1e-9
+
+    def test_never_exceeds_standard_update(self):
+        stream = ipflow_like(n_hosts=60, n_packets=1500, seed=9)
+        standard = TCM(d=3, width=16, seed=3)
+        standard.ingest(stream)
+        conservative = TCM(d=3, width=16, seed=3)
+        conservative.ingest_conservative(stream)
+        for x, y in stream.distinct_edges:
+            assert conservative.edge_weight(x, y) <= \
+                standard.edge_weight(x, y) + 1e-9
+
+    def test_strictly_better_under_collisions(self):
+        """On a congested sketch, CU cuts the ARE materially."""
+        from repro.experiments.common import edge_query_are
+        stream = dblp_like(n_authors=300, n_papers=800, seed=10)
+        standard = TCM(d=3, width=24, seed=4, directed=False)
+        standard.ingest(stream)
+        conservative = TCM(d=3, width=24, seed=4, directed=False)
+        conservative.ingest_conservative(stream)
+        are_standard = edge_query_are(stream, standard.edge_weight)
+        are_conservative = edge_query_are(stream, conservative.edge_weight)
+        assert are_conservative < 0.8 * are_standard
+
+    def test_works_on_sparse_backend(self):
+        tcm = TCM(d=2, width=64, seed=5, sparse=True)
+        tcm.update_conservative("a", "b", 2.0)
+        tcm.update_conservative("a", "b", 1.0)
+        assert tcm.edge_weight("a", "b") == 3.0

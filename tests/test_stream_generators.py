@@ -1,0 +1,223 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    clique_stream,
+    dblp_like,
+    erdos_renyi,
+    ipflow_like,
+    path_stream,
+    query_graphs_from_stream,
+    rmat,
+    star_stream,
+    twitter_like,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_length_and_bounds(self):
+        weights = zipf_weights(1000, seed=1)
+        assert len(weights) == 1000
+        assert weights.min() >= 1
+        assert weights.max() <= 200
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(zipf_weights(100, seed=3),
+                                      zipf_weights(100, seed=3))
+
+    def test_skew(self):
+        weights = zipf_weights(5000, seed=2)
+        # Zipf(1.5): weight-1 edges carry 1/zeta(1.5) ~ 38% of the mass.
+        assert (weights == 1).mean() > 0.3
+        assert weights.mean() > 2.0  # but the tail is heavy
+
+    def test_zero_count(self):
+        assert len(zipf_weights(0, seed=1)) == 0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_weights(10, alpha=1.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(-1)
+
+
+class TestRmat:
+    def test_sizes(self):
+        stream = rmat(64, 500, seed=1)
+        assert len(stream) == 500
+        assert all(0 <= e.source < 64 and 0 <= e.target < 64 for e in stream)
+
+    def test_reproducible(self):
+        s1 = rmat(32, 100, seed=7)
+        s2 = rmat(32, 100, seed=7)
+        assert [(e.source, e.target) for e in s1] == \
+            [(e.source, e.target) for e in s2]
+
+    def test_weights_applied(self):
+        weights = [2.0] * 50
+        stream = rmat(16, 50, weights=weights, seed=1)
+        assert all(e.weight == 2.0 for e in stream)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rmat(16, 50, weights=[1.0] * 49, seed=1)
+
+    def test_skewed_degrees(self):
+        """R-MAT with the default partition produces skewed out-degrees."""
+        stream = rmat(256, 5000, seed=3)
+        flows = sorted((stream.out_flow(n) for n in stream.nodes),
+                       reverse=True)
+        top_share = sum(flows[:len(flows) // 10]) / sum(flows)
+        assert top_share > 0.2  # top 10% of nodes carry >2x their share
+
+    def test_invalid_partition(self):
+        with pytest.raises(ValueError):
+            rmat(16, 10, partition=(0.5, 0.5, 0.5, 0.5))
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            rmat(1, 10)
+
+    def test_undirected_mode(self):
+        stream = rmat(16, 50, seed=1, directed=False)
+        assert not stream.directed
+
+    def test_zero_edges(self):
+        assert len(rmat(16, 0, seed=1)) == 0
+
+
+class TestDblpLike:
+    def test_undirected(self, dblp_stream):
+        assert not dblp_stream.directed
+
+    def test_all_weights_one(self, dblp_stream):
+        assert all(e.weight == 1.0 for e in dblp_stream)
+
+    def test_string_labels(self, dblp_stream):
+        assert all(isinstance(e.source, str) for e in dblp_stream)
+
+    def test_no_self_collaboration(self, dblp_stream):
+        assert all(e.source != e.target for e in dblp_stream)
+
+    def test_repeat_collaborations_accumulate(self):
+        stream = dblp_like(n_authors=20, n_papers=400, seed=1)
+        assert max(stream.edge_weight(*e) for e in stream.distinct_edges) > 1
+
+    def test_moderate_head_share(self):
+        """The most productive author holds a few percent of slots, not half."""
+        stream = dblp_like(n_authors=1000, n_papers=3000, seed=2)
+        total = stream.total_weight() * 2  # each element has 2 endpoints
+        top = max(stream.flow(n) for n in stream.nodes)
+        assert 0.005 < top / total < 0.15
+
+    def test_too_few_authors(self):
+        with pytest.raises(ValueError):
+            dblp_like(n_authors=2)
+
+
+class TestIpflowLike:
+    def test_directed(self, ipflow_stream):
+        assert ipflow_stream.directed
+
+    def test_packet_size_bounds(self, ipflow_stream):
+        assert all(40 <= e.weight <= 1500 for e in ipflow_stream)
+
+    def test_no_self_loops(self, ipflow_stream):
+        assert all(e.source != e.target for e in ipflow_stream)
+
+    def test_dotted_quad_labels(self, ipflow_stream):
+        assert all(e.source.startswith("10.") for e in ipflow_stream)
+
+    def test_heavy_tail_edge_weights(self):
+        """Flow aggregation spans orders of magnitude (paper Fig. 8(b))."""
+        stream = ipflow_like(n_hosts=300, n_packets=8000, seed=4)
+        weights = [stream.edge_weight(*e) for e in stream.distinct_edges]
+        assert max(weights) / min(weights) > 100
+
+    def test_background_fraction_zero(self):
+        stream = ipflow_like(n_hosts=50, n_packets=500,
+                             background_fraction=0.0, seed=1)
+        # Without background, distinct edges are bounded by flow count.
+        assert len(stream.distinct_edges) <= max(8, int(500 / 25)) + 1
+
+    def test_invalid_background(self):
+        with pytest.raises(ValueError):
+            ipflow_like(background_fraction=1.0)
+
+    def test_too_few_hosts(self):
+        with pytest.raises(ValueError):
+            ipflow_like(n_hosts=1)
+
+
+class TestShapeStreams:
+    def test_path(self):
+        stream = path_stream(["a", "b", "c", "d"])
+        assert len(stream) == 3
+        assert stream.reachable("a", "d")
+        assert not stream.reachable("d", "a")
+
+    def test_star(self):
+        stream = star_stream("hub", ["l1", "l2", "l3"])
+        assert stream.out_flow("hub") == 3.0
+        assert stream.in_flow("l2") == 1.0
+
+    def test_clique_undirected(self):
+        stream = clique_stream(["a", "b", "c"])
+        assert len(stream) == 3
+        assert stream.edge_weight("a", "c") == 1.0
+
+    def test_clique_directed_both_orientations(self):
+        stream = clique_stream(["a", "b", "c"], directed=True)
+        assert len(stream) == 6
+        assert stream.edge_weight("b", "a") == 1.0
+
+    def test_erdos_renyi(self):
+        stream = erdos_renyi(20, 100, seed=1)
+        assert len(stream) == 100
+
+    def test_twitter_like(self):
+        stream = twitter_like(n_users=64, n_links=200, seed=1)
+        assert not stream.directed
+        assert len(stream) == 200
+
+
+class TestQueryGraphSampling:
+    def test_counts_and_sizes(self, rmat_stream):
+        queries = query_graphs_from_stream(rmat_stream, count=10, seed=1)
+        assert 1 <= len(queries) <= 10
+        for query in queries:
+            assert 2 <= len(query) <= 8
+
+    def test_edges_exist_in_stream(self, rmat_stream):
+        queries = query_graphs_from_stream(rmat_stream, count=5, seed=2)
+        for query in queries:
+            for x, y in query:
+                assert rmat_stream.edge_weight(x, y) > 0
+
+    def test_queries_connected(self, rmat_stream):
+        """Each query graph is weakly connected by construction."""
+        queries = query_graphs_from_stream(rmat_stream, count=5, seed=3)
+        for query in queries:
+            nodes = {n for e in query for n in e}
+            adjacency = {n: set() for n in nodes}
+            for x, y in query:
+                adjacency[x].add(y)
+                adjacency[y].add(x)
+            seen = set()
+            frontier = [next(iter(nodes))]
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(adjacency[node])
+            assert seen == nodes
+
+    def test_empty_stream(self):
+        from repro.streams.model import GraphStream
+        assert query_graphs_from_stream(GraphStream(), count=5) == []

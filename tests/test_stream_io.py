@@ -1,0 +1,89 @@
+"""Tests for plain-text stream I/O."""
+
+import pytest
+
+from repro.streams.io import iter_stream_file, read_stream, write_stream
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text(
+        "# comment line\n"
+        "\n"
+        "a b 2.5 1.0\n"
+        "b c\n"
+        "c a 4\n")
+    return path
+
+
+class TestRead:
+    def test_round_elements(self, stream_file):
+        edges = list(iter_stream_file(stream_file))
+        assert len(edges) == 3
+
+    def test_full_fields(self, stream_file):
+        edge = list(iter_stream_file(stream_file))[0]
+        assert (edge.source, edge.target) == ("a", "b")
+        assert edge.weight == 2.5
+        assert edge.timestamp == 1.0
+
+    def test_default_weight(self, stream_file):
+        edge = list(iter_stream_file(stream_file))[1]
+        assert edge.weight == 1.0
+
+    def test_default_timestamp_is_line_number(self, stream_file):
+        edge = list(iter_stream_file(stream_file))[1]
+        assert edge.timestamp == 4.0  # 4th line in the file
+
+    def test_read_stream_builds_graph(self, stream_file):
+        stream = read_stream(stream_file, directed=True)
+        assert stream.edge_weight("a", "b") == 2.5
+        assert len(stream) == 3
+
+    def test_malformed_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b 1 2 3 4\n")
+        with pytest.raises(ValueError, match="expected 2-4 fields"):
+            list(iter_stream_file(path))
+
+    def test_single_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("lonely\n")
+        with pytest.raises(ValueError):
+            list(iter_stream_file(path))
+
+    def test_bad_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b notanumber\n")
+        with pytest.raises(ValueError, match="bad numeric"):
+            list(iter_stream_file(path))
+
+    def test_error_includes_line_number(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b 1\nc d oops\n")
+        with pytest.raises(ValueError, match=":2"):
+            list(iter_stream_file(path))
+
+
+class TestWrite:
+    def test_round_trip(self, tmp_path, small_directed):
+        path = tmp_path / "out.txt"
+        count = write_stream(small_directed, path)
+        assert count == 5
+        loaded = read_stream(path, directed=True)
+        assert len(loaded) == 5
+        assert loaded.edge_weight("a", "b") == small_directed.edge_weight("a", "b")
+        assert loaded.out_flow("a") == small_directed.out_flow("a")
+
+    def test_round_trip_undirected(self, tmp_path, small_undirected):
+        path = tmp_path / "out.txt"
+        write_stream(small_undirected, path)
+        loaded = read_stream(path, directed=False)
+        assert loaded.edge_weight("x", "y") == 3.0
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_stream(GraphStream(), path) == 0
+        assert len(read_stream(path)) == 0

@@ -1,0 +1,180 @@
+"""Tests for StreamEdge and the exact GraphStream store."""
+
+import pytest
+
+from repro.streams.model import GraphStream, StreamEdge
+
+
+class TestStreamEdge:
+    def test_defaults(self):
+        edge = StreamEdge("a", "b")
+        assert edge.weight == 1.0
+        assert edge.timestamp == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEdge("a", "b", weight=-1.0)
+
+    def test_zero_weight_allowed(self):
+        assert StreamEdge("a", "b", weight=0.0).weight == 0.0
+
+    def test_reversed(self):
+        edge = StreamEdge("a", "b", 2.0, 5.0)
+        rev = edge.reversed()
+        assert (rev.source, rev.target) == ("b", "a")
+        assert rev.weight == 2.0
+        assert rev.timestamp == 5.0
+
+    def test_frozen(self):
+        edge = StreamEdge("a", "b")
+        with pytest.raises(AttributeError):
+            edge.weight = 9.0
+
+
+class TestDirectedAggregation:
+    def test_len_counts_elements_not_edges(self, small_directed):
+        assert len(small_directed) == 5
+
+    def test_edge_weight_accumulates(self, small_directed):
+        assert small_directed.edge_weight("a", "b") == 5.0
+
+    def test_edge_weight_directional(self, small_directed):
+        assert small_directed.edge_weight("b", "a") == 0.0
+
+    def test_unknown_edge_is_zero(self, small_directed):
+        assert small_directed.edge_weight("z", "q") == 0.0
+
+    def test_out_flow(self, small_directed):
+        assert small_directed.out_flow("a") == 10.0
+
+    def test_in_flow(self, small_directed):
+        assert small_directed.in_flow("c") == 6.0
+
+    def test_flow_raises_for_directed(self, small_directed):
+        with pytest.raises(ValueError):
+            small_directed.flow("a")
+
+    def test_nodes(self, small_directed):
+        assert small_directed.nodes == {"a", "b", "c"}
+
+    def test_distinct_edges(self, small_directed):
+        assert small_directed.distinct_edges == {
+            ("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")}
+
+    def test_successors(self, small_directed):
+        assert small_directed.successors("a") == {"b", "c"}
+
+    def test_predecessors(self, small_directed):
+        assert small_directed.predecessors("c") == {"b", "a"}
+
+    def test_total_weight(self, small_directed):
+        assert small_directed.total_weight() == 15.0
+
+    def test_getitem(self, small_directed):
+        assert small_directed[0].source == "a"
+
+    def test_iteration_preserves_order(self, small_directed):
+        stamps = [e.timestamp for e in small_directed]
+        assert stamps == sorted(stamps)
+
+
+class TestUndirectedAggregation:
+    def test_edge_weight_symmetric(self, small_undirected):
+        assert small_undirected.edge_weight("x", "y") == 3.0
+        assert small_undirected.edge_weight("y", "x") == 3.0
+
+    def test_flow_counts_each_incidence_once(self, small_undirected):
+        assert small_undirected.flow("y") == 6.0
+        assert small_undirected.flow("x") == 3.0
+
+    def test_successors_symmetric(self, small_undirected):
+        assert "x" in small_undirected.successors("y")
+        assert "y" in small_undirected.successors("x")
+
+    def test_out_in_flow_symmetric(self, small_undirected):
+        assert small_undirected.out_flow("y") == small_undirected.in_flow("y")
+
+
+class TestReachability:
+    def test_self_reachable(self, paper_stream):
+        assert paper_stream.reachable("a", "a")
+
+    def test_paper_path_a_to_g(self, paper_stream):
+        # a -> b -> d -> g exists in Fig. 1.
+        assert paper_stream.reachable("a", "g")
+
+    def test_paper_unreachable(self, paper_stream):
+        # g only reaches b and onward; nothing reaches back to g except d.
+        assert paper_stream.reachable("g", "a")
+        assert not paper_stream.reachable("a", "zzz")
+
+    def test_unknown_source(self, paper_stream):
+        assert not paper_stream.reachable("nope", "a")
+
+    def test_direct_edge(self, small_directed):
+        assert small_directed.reachable("a", "b")
+
+    def test_two_hops(self, small_directed):
+        assert small_directed.reachable("a", "c")
+        assert small_directed.reachable("b", "a")
+
+
+class TestSubgraphWeight:
+    def test_existing_subgraph(self, paper_stream):
+        # Q3 from the paper: {(a,b), (a,c)} has weight 2.
+        assert paper_stream.subgraph_weight([("a", "b"), ("a", "c")]) == 2.0
+
+    def test_missing_edge_zeroes_whole_query(self, paper_stream):
+        assert paper_stream.subgraph_weight([("a", "b"), ("a", "zzz")]) == 0.0
+
+    def test_empty_query(self, paper_stream):
+        assert paper_stream.subgraph_weight([]) == 0.0
+
+
+class TestTopK:
+    def test_top_edges(self, small_directed):
+        top = small_directed.top_edges(2)
+        assert top[0] == (("a", "b"), 5.0)
+        assert top[1] == (("a", "c"), 5.0)
+
+    def test_top_edges_larger_k_than_edges(self, small_directed):
+        assert len(small_directed.top_edges(100)) == 4
+
+    def test_top_nodes_in(self, small_directed):
+        top = small_directed.top_nodes(1, direction="in")
+        assert top[0][0] == "c"
+
+    def test_top_nodes_out(self, small_directed):
+        top = small_directed.top_nodes(1, direction="out")
+        assert top[0] == ("a", 10.0)
+
+    def test_top_nodes_bad_direction(self, small_directed):
+        with pytest.raises(ValueError):
+            small_directed.top_nodes(1, direction="sideways")
+
+    def test_top_nodes_both_requires_undirected(self, small_directed,
+                                                 small_undirected):
+        with pytest.raises(ValueError, match="undirected"):
+            small_directed.top_nodes(1, direction="both")
+        assert small_undirected.top_nodes(1, direction="both")[0][0] == "y"
+
+
+class TestConstruction:
+    def test_init_with_edges(self):
+        edges = [StreamEdge("a", "b"), StreamEdge("b", "c")]
+        stream = GraphStream(directed=True, edges=edges)
+        assert len(stream) == 2
+
+    def test_extend(self):
+        stream = GraphStream()
+        stream.extend([StreamEdge("a", "b"), StreamEdge("a", "b")])
+        assert stream.edge_weight("a", "b") == 2.0
+
+    def test_multiplicity_flag_default(self):
+        assert GraphStream().multiplicity_weights is False
+
+    def test_int_labels(self):
+        stream = GraphStream()
+        stream.add(1, 2, 3.0)
+        assert stream.edge_weight(1, 2) == 3.0
+        assert stream.nodes == {1, 2}

@@ -1,0 +1,125 @@
+"""Tests for stream transformations."""
+
+import pytest
+
+from repro.streams.model import GraphStream, StreamEdge
+from repro.streams.transforms import (
+    batches,
+    filter_edges,
+    map_weights,
+    materialize,
+    merge_streams,
+    relabel,
+    sample_edges,
+    shard,
+    shift_time,
+    time_slice,
+)
+
+
+@pytest.fixture
+def edges():
+    return [StreamEdge(f"s{i % 3}", f"t{i % 2}", float(i + 1), float(i))
+            for i in range(10)]
+
+
+class TestElementwise:
+    def test_filter(self, edges):
+        heavy = list(filter_edges(edges, lambda e: e.weight > 5))
+        assert len(heavy) == 5
+        assert all(e.weight > 5 for e in heavy)
+
+    def test_map_weights(self, edges):
+        doubled = list(map_weights(edges, lambda w: 2 * w))
+        assert [e.weight for e in doubled] == [2.0 * (i + 1) for i in range(10)]
+        assert [e.timestamp for e in doubled] == [e.timestamp for e in edges]
+
+    def test_relabel(self, edges):
+        upper = list(relabel(edges, lambda n: n.upper()))
+        assert upper[0].source == "S0"
+        assert upper[0].target == "T0"
+
+    def test_sample_rate_one_keeps_all(self, edges):
+        assert len(list(sample_edges(edges, 1.0, seed=1))) == 10
+
+    def test_sample_rate_validation(self, edges):
+        with pytest.raises(ValueError):
+            list(sample_edges(edges, 0.0))
+
+    def test_sample_is_seeded(self, edges):
+        a = [e.timestamp for e in sample_edges(edges, 0.5, seed=3)]
+        b = [e.timestamp for e in sample_edges(edges, 0.5, seed=3)]
+        assert a == b
+
+
+class TestTimeOperations:
+    def test_time_slice(self, edges):
+        window = list(time_slice(edges, 3.0, 6.0))
+        assert [e.timestamp for e in window] == [3.0, 4.0, 5.0]
+
+    def test_time_slice_validation(self, edges):
+        with pytest.raises(ValueError):
+            list(time_slice(edges, 5.0, 5.0))
+
+    def test_shift_time(self, edges):
+        shifted = list(shift_time(edges, 100.0))
+        assert shifted[0].timestamp == 100.0
+
+    def test_merge_preserves_order(self, edges):
+        left = edges[:5]
+        right = list(shift_time(edges[:5], 0.5))
+        merged = list(merge_streams(left, right))
+        stamps = [e.timestamp for e in merged]
+        assert stamps == sorted(stamps)
+        assert len(merged) == 10
+
+
+class TestBatching:
+    def test_batches(self, edges):
+        chunks = list(batches(edges, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_batch_validation(self, edges):
+        with pytest.raises(ValueError):
+            list(batches(edges, 0))
+
+
+class TestSharding:
+    def test_round_robin(self, edges):
+        shards = shard(edges, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert sum(len(s) for s in shards) == 10
+
+    def test_by_source_groups_sources(self, edges):
+        shards = shard(edges, 2, by="source")
+        for piece in shards:
+            sources = {e.source for e in piece}
+            for other in shards:
+                if other is not piece:
+                    assert not sources & {e.source for e in other}
+
+    def test_by_time_contiguous(self, edges):
+        shards = shard(edges, 2, by="time")
+        assert [e.timestamp for e in shards[0]] == [float(i) for i in range(5)]
+
+    def test_unknown_strategy(self, edges):
+        with pytest.raises(ValueError):
+            shard(edges, 2, by="vibes")
+
+    def test_invalid_count(self, edges):
+        with pytest.raises(ValueError):
+            shard(edges, 0)
+
+
+class TestMaterialize:
+    def test_round_trip(self, edges):
+        stream = materialize(edges)
+        assert len(stream) == 10
+        assert stream.edge_weight("s0", "t0") > 0
+
+    def test_pipeline(self, edges):
+        stream = materialize(
+            map_weights(filter_edges(edges, lambda e: e.weight > 3),
+                        lambda w: 1.0))
+        assert len(stream) == 7
+        assert stream.total_weight() == 7.0

@@ -1,0 +1,104 @@
+"""Tests for sliding time-windows with deletions."""
+
+import pytest
+
+from repro.core.tcm import TCM
+from repro.baselines.countmin import CountMinSketch
+from repro.streams.model import StreamEdge
+from repro.streams.window import SlidingWindow
+
+
+def make_window(horizon=10.0, width=64):
+    return SlidingWindow(TCM(d=2, width=width, seed=1), horizon)
+
+
+class TestWindowBasics:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            make_window(horizon=0)
+
+    def test_observe_inserts(self):
+        window = make_window()
+        window.observe(StreamEdge("a", "b", 2.0, 1.0))
+        assert window.summary.edge_weight("a", "b") == 2.0
+        assert len(window) == 1
+
+    def test_watermark_advances(self):
+        window = make_window()
+        window.observe(StreamEdge("a", "b", 1.0, 3.0))
+        assert window.watermark == 3.0
+
+    def test_out_of_order_rejected(self):
+        window = make_window()
+        window.observe(StreamEdge("a", "b", 1.0, 5.0))
+        with pytest.raises(ValueError, match="out-of-order"):
+            window.observe(StreamEdge("a", "b", 1.0, 4.0))
+
+    def test_watermark_cannot_regress(self):
+        window = make_window()
+        window.advance_to(10.0)
+        with pytest.raises(ValueError):
+            window.advance_to(5.0)
+
+
+class TestExpiry:
+    def test_expiry_removes_from_summary(self):
+        window = make_window(horizon=5.0)
+        window.observe(StreamEdge("a", "b", 2.0, 0.0))
+        window.observe(StreamEdge("c", "d", 1.0, 10.0))
+        # t=0 is out of [5, 10]: expired.
+        assert window.summary.edge_weight("a", "b") == 0.0
+        assert window.summary.edge_weight("c", "d") == 1.0
+        assert len(window) == 1
+
+    def test_boundary_is_inclusive(self):
+        window = make_window(horizon=5.0)
+        window.observe(StreamEdge("a", "b", 1.0, 5.0))
+        window.observe(StreamEdge("c", "d", 1.0, 10.0))
+        # timestamp 5.0 == cutoff 10-5: still live (strict <).
+        assert window.summary.edge_weight("a", "b") == 1.0
+
+    def test_advance_returns_expired_count(self):
+        window = make_window(horizon=2.0)
+        for t in range(5):
+            window.observe(StreamEdge("n", "m", 1.0, float(t)))
+        # Observing t=4 already expired t=0 and t=1 (cutoff 2.0); the
+        # final advance flushes the remaining three live elements.
+        assert len(window) == 3
+        expired = window.advance_to(100.0)
+        assert expired == 3
+        assert len(window) == 0
+
+    def test_summary_matches_window_contents_exactly(self):
+        """After arbitrary expiry, the summary equals a fresh summary of
+        the live elements (deletion is the exact inverse of insertion)."""
+        window = SlidingWindow(TCM(d=3, width=32, seed=9), horizon=4.0)
+        edges = [StreamEdge(f"s{i % 5}", f"t{i % 3}", float(i % 7 + 1), float(i))
+                 for i in range(30)]
+        for edge in edges:
+            window.observe(edge)
+        live = [e for e in edges if e.timestamp >= window.watermark - 4.0]
+        fresh = TCM(d=3, width=32, seed=9)
+        for e in live:
+            fresh.update(e.source, e.target, e.weight)
+        for e in live:
+            assert window.summary.edge_weight(e.source, e.target) == \
+                pytest.approx(fresh.edge_weight(e.source, e.target))
+
+    def test_works_with_countmin_summary(self):
+        """The window is summary-agnostic (any update/remove structure)."""
+
+        class EdgeCM:
+            def __init__(self):
+                self.cm = CountMinSketch(2, 64, seed=3)
+
+            def update(self, s, t, w=1.0):
+                self.cm.update(f"{s}->{t}", w)
+
+            def remove(self, s, t, w=1.0):
+                self.cm.remove(f"{s}->{t}", w)
+
+        window = SlidingWindow(EdgeCM(), horizon=1.0)
+        window.observe(StreamEdge("a", "b", 5.0, 0.0))
+        window.observe(StreamEdge("c", "d", 1.0, 10.0))
+        assert window.summary.cm.estimate("a->b") == 0.0

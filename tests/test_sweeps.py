@@ -1,0 +1,60 @@
+"""Tests for the parameter-sweep drivers."""
+
+import pytest
+
+from repro.experiments.sweeps import accuracy_grid, cheapest_configuration
+
+
+class TestAccuracyGrid:
+    def test_shape(self):
+        rows = accuracy_grid("gtgraph", "tiny", ratios=(1 / 20, 1 / 60),
+                             d_values=(1, 3))
+        assert len(rows) == 2
+        assert len(rows[0]) == 3  # label + 2 d columns
+
+    def test_monotone_in_d(self):
+        rows = accuracy_grid("gtgraph", "tiny", ratios=(1 / 60,),
+                             d_values=(1, 5))
+        assert rows[0][2] <= rows[0][1]
+
+    def test_monotone_in_compression(self):
+        rows = accuracy_grid("gtgraph", "tiny", ratios=(1 / 20, 1 / 80),
+                             d_values=(3,))
+        assert rows[0][1] <= rows[1][1]
+
+    def test_countmin_variant(self):
+        rows = accuracy_grid("gtgraph", "tiny", ratios=(1 / 40,),
+                             d_values=(3,), summary="countmin")
+        assert rows[0][1] >= 0
+
+    def test_summary_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_grid("gtgraph", "tiny", summary="magic")
+
+
+class TestCheapestConfiguration:
+    def test_finds_a_config(self):
+        result = cheapest_configuration("gtgraph", target_are=50.0,
+                                        scale="tiny",
+                                        ratios=(1 / 20, 1 / 40),
+                                        d_values=(1, 3))
+        assert result is not None
+        ratio, d, are, cells = result
+        assert are <= 50.0
+        assert cells > 0
+
+    def test_impossible_budget(self):
+        result = cheapest_configuration("gtgraph", target_are=-1.0,
+                                        scale="tiny",
+                                        ratios=(1 / 40,), d_values=(1,))
+        assert result is None
+
+    def test_prefers_cheaper_space(self):
+        """With a loose budget, the minimal-space grid point wins."""
+        result = cheapest_configuration("gtgraph", target_are=1e9,
+                                        scale="tiny",
+                                        ratios=(1 / 20, 1 / 80),
+                                        d_values=(1, 3))
+        ratio, d, _, _ = result
+        assert d == 1
+        assert ratio == 1 / 80

@@ -1,0 +1,174 @@
+"""Tests for TCM construction and structural properties."""
+
+import math
+
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.streams.generators import path_stream
+
+
+class TestBasicConstruction:
+    def test_d_and_shapes(self):
+        tcm = TCM(d=3, width=16, seed=0)
+        assert tcm.d == 3
+        assert all(s.shape == (16, 16) for s in tcm.sketches)
+
+    def test_size_in_cells(self):
+        tcm = TCM(d=3, width=16, seed=0)
+        assert tcm.size_in_cells == 3 * 256
+
+    def test_graphical_by_default(self):
+        assert TCM(d=2, width=8, seed=0).is_graphical
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            TCM(d=0, width=8)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TCM(d=1, width=0)
+
+    def test_explicit_shapes(self):
+        tcm = TCM(shapes=[(8, 8), (16, 4)], seed=0)
+        assert tcm.d == 2
+        assert tcm.sketches[0].is_graphical
+        assert not tcm.sketches[1].is_graphical
+        assert not tcm.is_graphical
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TCM(shapes=[])
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TCM(shapes=[(0, 4)])
+
+    def test_nonsquare_undirected_rejected(self):
+        with pytest.raises(ValueError):
+            TCM(shapes=[(8, 4)], directed=False)
+
+    def test_seed_reproducibility(self):
+        t1 = TCM(d=2, width=32, seed=5)
+        t2 = TCM(d=2, width=32, seed=5)
+        t1.update("a", "b", 1.0)
+        t2.update("a", "b", 1.0)
+        for s1, s2 in zip(t1.sketches, t2.sketches):
+            assert (s1.matrix == s2.matrix).all()
+
+    def test_repr(self):
+        assert "d=2" in repr(TCM(d=2, width=8, seed=0))
+
+
+class TestFromSpace:
+    def test_width_is_isqrt(self):
+        tcm = TCM.from_space(1000, 2, seed=0)
+        assert all(s.rows == int(math.isqrt(1000)) for s in tcm.sketches)
+
+    def test_tiny_space(self):
+        tcm = TCM.from_space(1, 1, seed=0)
+        assert tcm.sketches[0].shape == (1, 1)
+
+
+class TestVariedShapes:
+    def test_first_is_square(self):
+        tcm = TCM.with_varied_shapes(1024, 5, seed=0)
+        assert tcm.sketches[0].rows == tcm.sketches[0].cols
+
+    def test_aspect_ratios_vary(self):
+        tcm = TCM.with_varied_shapes(4096, 5, seed=0)
+        shapes = {s.shape for s in tcm.sketches}
+        assert len(shapes) >= 3
+
+    def test_cell_budget_preserved(self):
+        tcm = TCM.with_varied_shapes(4096, 5, seed=0)
+        for sketch in tcm.sketches:
+            assert sketch.size_in_cells == pytest.approx(4096, rel=0.1)
+
+    def test_no_degenerate_dimensions(self):
+        """The aspect cap keeps every dimension at least n/8."""
+        tcm = TCM.with_varied_shapes(4096, 9, seed=0)
+        n = 64
+        for sketch in tcm.sketches:
+            assert min(sketch.shape) >= n // 8
+
+    def test_small_space_falls_back_to_square(self):
+        tcm = TCM.with_varied_shapes(16, 3, seed=0)
+        for sketch in tcm.sketches:
+            assert min(sketch.shape) >= 1
+
+
+class TestFromStream:
+    def test_ingests_everything(self):
+        stream = path_stream(list(range(10)))
+        tcm = TCM.from_stream(stream, d=2, width=64, seed=1)
+        assert tcm.edge_weight(0, 1) == 1.0
+        assert tcm.total_weight_estimate() == 9.0
+
+    def test_inherits_directedness(self):
+        stream = path_stream(["a", "b"], directed=False)
+        tcm = TCM.from_stream(stream, d=2, width=16, seed=1)
+        assert not tcm.directed
+
+    def test_keep_labels_passthrough(self):
+        stream = path_stream(["a", "b", "c"])
+        tcm = TCM.from_stream(stream, d=1, width=16, seed=1, keep_labels=True)
+        sketch = tcm.sketches[0]
+        assert "a" in sketch.ext(sketch.node_of("a"))
+
+
+class TestIngest:
+    def test_empty_stream(self):
+        from repro.streams.model import GraphStream
+        assert TCM(d=1, width=8, seed=0).ingest(GraphStream()) == 0
+
+    def test_vectorized_equals_scalar(self):
+        stream = path_stream([f"n{i}" for i in range(50)])
+        fast = TCM(d=3, width=16, seed=2)
+        fast.ingest(stream)
+        slow = TCM(d=3, width=16, seed=2)
+        for edge in stream:
+            slow.update(edge.source, edge.target, edge.weight)
+        for s1, s2 in zip(fast.sketches, slow.sketches):
+            assert (s1.matrix == s2.matrix).all()
+
+    def test_ingest_with_labels_falls_back(self):
+        stream = path_stream(["a", "b", "c"])
+        tcm = TCM(d=1, width=16, seed=0, keep_labels=True)
+        assert tcm.ingest(stream) == 2
+        assert tcm.edge_weight("a", "b") == 1.0
+
+    def test_ingest_min_aggregation_falls_back(self):
+        stream = path_stream(["a", "b", "c"], weight=5.0)
+        tcm = TCM(d=1, width=16, seed=0, aggregation=Aggregation.MIN)
+        tcm.ingest(stream)
+        assert tcm.edge_weight("a", "b") == 5.0
+
+    def test_clear(self):
+        tcm = TCM(d=2, width=8, seed=0)
+        tcm.update("a", "b", 2.0)
+        tcm.clear()
+        assert tcm.edge_weight("a", "b") == 0.0
+
+
+class TestGuards:
+    def test_views_require_graphical(self):
+        tcm = TCM(shapes=[(8, 4)], seed=0)
+        with pytest.raises(ValueError, match="non-square"):
+            tcm.views()
+
+    def test_reachable_requires_graphical(self):
+        tcm = TCM(shapes=[(8, 4)], seed=0)
+        with pytest.raises(ValueError):
+            tcm.reachable("a", "b")
+
+    def test_subgraph_requires_graphical(self):
+        tcm = TCM(shapes=[(8, 4)], seed=0)
+        with pytest.raises(ValueError):
+            tcm.subgraph_weight([("a", "b")])
+
+    def test_edge_queries_fine_on_nonsquare(self):
+        tcm = TCM(shapes=[(8, 4), (4, 8)], seed=0)
+        tcm.update("a", "b", 2.0)
+        assert tcm.edge_weight("a", "b") >= 2.0

@@ -1,0 +1,192 @@
+"""Tests for TCM edge, node, path and whole-graph queries (paper Section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+
+
+def build(stream, d=4, width=64, seed=7, **kwargs):
+    return TCM.from_stream(stream, d=d, width=width, seed=seed, **kwargs)
+
+
+class TestEdgeQueries:
+    def test_exact_on_wide_sketch(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        for x, y in paper_stream.distinct_edges:
+            assert tcm.edge_weight(x, y) == paper_stream.edge_weight(x, y)
+
+    def test_never_underestimates(self, rmat_stream):
+        tcm = build(rmat_stream, width=8)  # heavy collisions
+        for x, y in rmat_stream.distinct_edges:
+            assert tcm.edge_weight(x, y) >= rmat_stream.edge_weight(x, y)
+
+    def test_q1_example4(self, paper_stream):
+        """Q1: aggregated edge weight from b to c is 1 (precise)."""
+        tcm = build(paper_stream)
+        assert tcm.edge_weight("b", "c") == 1.0
+
+    def test_missing_edge_zero_when_wide(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        assert tcm.edge_weight("a", "g") == 0.0
+
+    def test_merge_is_min(self, rmat_stream):
+        tcm = build(rmat_stream, width=8)
+        for x, y in list(rmat_stream.distinct_edges)[:20]:
+            per_sketch = [s.edge_estimate(x, y) for s in tcm.sketches]
+            assert tcm.edge_weight(x, y) == min(per_sketch)
+
+    def test_removal(self, small_directed):
+        tcm = build(small_directed)
+        tcm.remove("a", "b", 5.0)
+        assert tcm.edge_weight("a", "b") == 0.0
+
+
+class TestNodeQueries:
+    def test_out_flow(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        # b has out-edges to c, d, f, a in Fig. 1.
+        assert tcm.out_flow("b") == 4.0
+
+    def test_in_flow(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        # b receives from a, e, g.
+        assert tcm.in_flow("b") == 3.0
+
+    def test_flows_never_underestimate(self, rmat_stream):
+        tcm = build(rmat_stream, width=8)
+        for node in rmat_stream.nodes:
+            assert tcm.out_flow(node) >= rmat_stream.out_flow(node)
+            assert tcm.in_flow(node) >= rmat_stream.in_flow(node)
+
+    def test_undirected_flow(self, small_undirected):
+        tcm = build(small_undirected, width=64)
+        assert tcm.flow("y") == 6.0
+
+    def test_flow_on_directed_raises(self, small_directed):
+        tcm = build(small_directed)
+        with pytest.raises(ValueError):
+            tcm.flow("a")
+
+
+class TestReachability:
+    def test_paper_example_path(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        assert tcm.reachable("a", "g")   # a -> b -> d -> g
+        assert tcm.reachable("a", "d")
+
+    def test_no_false_negatives(self, rmat_stream):
+        """Reachable pairs are always detected, even under collisions."""
+        tcm = build(rmat_stream, width=8)
+        nodes = sorted(rmat_stream.nodes)[:20]
+        for a in nodes:
+            for b in nodes:
+                if rmat_stream.reachable(a, b):
+                    assert tcm.reachable(a, b)
+
+    def test_unreachable_detected_when_wide(self, paper_stream):
+        tcm = build(paper_stream, width=256, d=6)
+        # Nothing leaves the sink-free component toward an unseen node.
+        assert not tcm.reachable("a", "nonexistent_node")
+
+    def test_self_reachability(self, paper_stream):
+        tcm = build(paper_stream)
+        assert tcm.reachable("a", "a")
+
+    def test_max_hops(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        # a -> b is one hop; a -> g needs three.
+        assert tcm.reachable("a", "b", max_hops=1)
+        assert not tcm.reachable("a", "g", max_hops=2)
+        assert tcm.reachable("a", "g", max_hops=3)
+
+    def test_undirected_reachability(self, small_undirected):
+        tcm = build(small_undirected, width=64)
+        assert tcm.reachable("x", "z")
+        assert tcm.reachable("z", "x")
+
+
+class TestShortestPath:
+    def test_direct_edge(self, small_directed):
+        tcm = build(small_directed, width=128)
+        assert tcm.shortest_path_weight("b", "c") == 1.0
+
+    def test_multi_hop(self, paper_stream):
+        tcm = build(paper_stream, width=128)
+        assert tcm.shortest_path_weight("a", "g") == 3.0
+
+    def test_unreachable_is_inf(self, paper_stream):
+        tcm = build(paper_stream, width=256, d=6)
+        assert math.isinf(tcm.shortest_path_weight("a", "unknown"))
+
+    def test_same_node_zero(self, paper_stream):
+        tcm = build(paper_stream)
+        assert tcm.shortest_path_weight("a", "a") == 0.0
+
+
+class TestTriangleCount:
+    def test_paper_stream_triangles(self, paper_stream):
+        """Fig. 1 contains directed triangles, e.g. a->b->... count must be
+        at least the true count on a wide sketch."""
+        from repro.analytics.triangles import count_triangles
+        from repro.analytics.views import StreamView
+
+        tcm = build(paper_stream, width=128)
+        exact = count_triangles(StreamView(paper_stream), directed=True)
+        assert tcm.triangle_count() == exact
+
+    def test_compressed_count_is_sane(self, rmat_stream):
+        """Under compression the count is not a one-sided bound (corner
+        collapse destroys triangles, collisions create them), but it must
+        stay a non-negative integer in the right order of magnitude."""
+        from repro.analytics.triangles import count_triangles
+        from repro.analytics.views import StreamView
+
+        tcm = build(rmat_stream, width=8)
+        exact = count_triangles(StreamView(rmat_stream), directed=True)
+        estimate = tcm.triangle_count()
+        assert isinstance(estimate, int)
+        assert 0 <= estimate
+        assert estimate <= 10 * max(exact, 1)
+
+
+class TestPagerank:
+    def test_returns_one_dict_per_sketch(self, paper_stream):
+        tcm = build(paper_stream, d=3, width=32)
+        ranks = tcm.pagerank()
+        assert len(ranks) == 3
+        for rank in ranks:
+            assert sum(rank.values()) == pytest.approx(1.0)
+
+
+class TestTotalWeight:
+    def test_total_weight_estimate(self, small_directed):
+        tcm = build(small_directed)
+        assert tcm.total_weight_estimate() == small_directed.total_weight()
+
+
+class TestAggregationVariants:
+    def test_count_mode(self, small_directed):
+        tcm = build(small_directed, aggregation=Aggregation.COUNT)
+        assert tcm.edge_weight("a", "b") == 2.0  # two elements
+
+    def test_min_mode_merges_with_max(self):
+        from repro.streams.model import GraphStream
+        stream = GraphStream()
+        stream.add("a", "b", 5.0)
+        stream.add("a", "b", 3.0)
+        tcm = build(stream, aggregation=Aggregation.MIN, width=4)
+        # min aggregation under-approximates; merge across sketches is max.
+        assert tcm.edge_weight("a", "b") <= 3.0
+        per_sketch = [s.edge_estimate("a", "b") for s in tcm.sketches]
+        assert tcm.edge_weight("a", "b") == max(per_sketch)
+
+    def test_max_mode(self):
+        from repro.streams.model import GraphStream
+        stream = GraphStream()
+        stream.add("a", "b", 5.0)
+        stream.add("a", "b", 9.0)
+        tcm = build(stream, aggregation=Aggregation.MAX, width=64)
+        assert tcm.edge_weight("a", "b") == 9.0

@@ -1,0 +1,144 @@
+"""Tests for aggregate subgraph queries, wildcards and bound wildcards
+(paper Section 4.4, queries Q3-Q6)."""
+
+import pytest
+
+from repro.core.queries import WILDCARD, BoundWildcard, SubgraphQuery
+from repro.core.tcm import TCM
+from repro.streams.model import GraphStream
+
+
+def build(stream, d=4, width=128, seed=7):
+    return TCM.from_stream(stream, d=d, width=width, seed=seed)
+
+
+@pytest.fixture
+def triangle_stream():
+    """a->b->c->a plus a spur edge c->d, with distinct weights."""
+    stream = GraphStream(directed=True)
+    stream.add("a", "b", 1.0)
+    stream.add("b", "c", 2.0)
+    stream.add("c", "a", 3.0)
+    stream.add("c", "d", 4.0)
+    return stream
+
+
+class TestExplicitQueries:
+    def test_q3_two_edges(self, paper_stream):
+        """Q3: f_g({(a,b),(a,c)}) = 2 in Fig. 1."""
+        tcm = build(paper_stream)
+        assert tcm.subgraph_weight([("a", "b"), ("a", "c")]) == 2.0
+
+    def test_q4_triangle(self, triangle_stream):
+        """Q4: an explicit 3-clique query sums its edges."""
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight([("a", "b"), ("b", "c"), ("c", "a")]) == 6.0
+
+    def test_missing_edge_returns_zero(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight([("a", "b"), ("b", "zzz")]) == 0.0
+
+    def test_never_underestimates_under_compression(self, rmat_stream):
+        tcm = build(rmat_stream, width=8)
+        edges = list(rmat_stream.distinct_edges)[:3]
+        exact = rmat_stream.subgraph_weight(edges)
+        assert tcm.subgraph_weight(edges) >= exact
+
+    def test_accepts_raw_edge_list_or_query(self, triangle_stream):
+        tcm = build(triangle_stream)
+        raw = tcm.subgraph_weight([("a", "b")])
+        wrapped = tcm.subgraph_weight(SubgraphQuery([("a", "b")]))
+        assert raw == wrapped == 1.0
+
+
+class TestWildcardQueries:
+    def test_out_wildcard_counts_all_out_edges(self, triangle_stream):
+        tcm = build(triangle_stream)
+        # (c, *) matches c->a (3) and c->d (4).
+        assert tcm.subgraph_weight([("c", WILDCARD)]) == 7.0
+
+    def test_in_wildcard(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight([(WILDCARD, "c")]) == 2.0
+
+    def test_q5_path_shape(self, triangle_stream):
+        """Q5: {(*, b), (b, c), (c, *)} -- paths into b and out of c."""
+        tcm = build(triangle_stream)
+        # Matches: (a->b, b->c, c->a) and (a->b, b->c, c->d).
+        expected = (1 + 2 + 3) + (1 + 2 + 4)
+        assert tcm.subgraph_weight(
+            [(WILDCARD, "b"), ("b", "c"), ("c", WILDCARD)]) == expected
+
+    def test_q6_bound_wildcard_closes_triangle(self, triangle_stream):
+        """Q6: {(*1, b), (b, c), (c, *1)} forces the same endpoint."""
+        tcm = build(triangle_stream)
+        # Only *1 = a closes: a->b, b->c, c->a.
+        star = BoundWildcard("1")
+        assert tcm.subgraph_weight([(star, "b"), ("b", "c"), ("c", star)]) == 6.0
+
+    def test_bound_wildcard_no_match(self, triangle_stream):
+        tcm = build(triangle_stream)
+        star = BoundWildcard("1")
+        # d has no outgoing edge back to b's predecessors.
+        assert tcm.subgraph_weight([(star, "d"), ("d", star)]) == 0.0
+
+    def test_double_wildcard_counts_everything(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight([(WILDCARD, WILDCARD)]) == 10.0
+
+
+class TestDecomposedOptimization:
+    def test_equals_full_on_explicit_queries(self, triangle_stream):
+        tcm = build(triangle_stream)
+        query = [("a", "b"), ("b", "c")]
+        assert tcm.subgraph_weight_decomposed(query) == \
+            tcm.subgraph_weight(query) == 3.0
+
+    def test_lower_or_equal_bound_property(self, rmat_stream):
+        """f'_g(Q) <= f_g(Q) (paper's optimization note)."""
+        tcm = build(rmat_stream, width=16)
+        edges = list(rmat_stream.distinct_edges)[:4]
+        assert tcm.subgraph_weight_decomposed(edges) <= \
+            tcm.subgraph_weight(edges) + 1e-9
+
+    def test_wildcard_becomes_flow_query(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight_decomposed([("c", WILDCARD)]) == \
+            tcm.out_flow("c")
+        assert tcm.subgraph_weight_decomposed([(WILDCARD, "c")]) == \
+            tcm.in_flow("c")
+
+    def test_double_wildcard_is_total_weight(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight_decomposed([(WILDCARD, WILDCARD)]) == \
+            tcm.total_weight_estimate()
+
+    def test_zero_edge_short_circuits(self, triangle_stream):
+        tcm = build(triangle_stream)
+        assert tcm.subgraph_weight_decomposed([("a", "b"), ("zz", "qq")]) == 0.0
+
+    def test_bound_wildcards_rejected(self, triangle_stream):
+        tcm = build(triangle_stream)
+        star = BoundWildcard("1")
+        with pytest.raises(ValueError, match="bind"):
+            tcm.subgraph_weight_decomposed([(star, "b"), ("c", star)])
+
+
+class TestUndirectedSubgraph:
+    def test_undirected_triangle(self):
+        stream = GraphStream(directed=False)
+        stream.add("a", "b", 1.0)
+        stream.add("b", "c", 2.0)
+        stream.add("c", "a", 3.0)
+        tcm = build(stream)
+        assert tcm.subgraph_weight([("a", "b"), ("b", "c"), ("c", "a")]) == 6.0
+        # Orientation doesn't matter for undirected queries.
+        assert tcm.subgraph_weight([("b", "a"), ("c", "b"), ("a", "c")]) == 6.0
+
+
+class TestMatchLimits:
+    def test_max_matches_caps_work(self, rmat_stream):
+        tcm = build(rmat_stream, width=8, d=1)
+        capped = tcm.subgraph_weight([(WILDCARD, WILDCARD)], max_matches=5)
+        uncapped = tcm.subgraph_weight([(WILDCARD, WILDCARD)])
+        assert 0 < capped <= uncapped

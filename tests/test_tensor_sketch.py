@@ -1,0 +1,189 @@
+"""Tests for the high-dimensional TensorSketch (paper Section 5.1.3)."""
+
+import pytest
+
+from repro.core.queries import WILDCARD
+from repro.core.tensor import TensorSketch
+
+
+@pytest.fixture
+def flow_sketch():
+    """(src, dst, protocol): two hashed dims + one predefined dim."""
+    return TensorSketch([64, 64, {"tcp": 0, "udp": 1}], d=3, seed=1)
+
+
+class TestConstruction:
+    def test_dimensions(self, flow_sketch):
+        assert flow_sketch.ndim == 3
+        assert flow_sketch.d == 3
+        assert flow_sketch.size_in_cells == 3 * 64 * 64 * 2
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSketch([])
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            TensorSketch([8], d=0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            TensorSketch([0])
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSketch([{}])
+
+    def test_gapped_mapping_rejected(self):
+        with pytest.raises(ValueError, match="gaps"):
+            TensorSketch([{"a": 0, "b": 2}])
+
+    def test_repr(self, flow_sketch):
+        assert "64x64x2" in repr(flow_sketch)
+
+
+class TestEstimates:
+    def test_point_estimate(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 120.0)
+        assert flow_sketch.estimate(("a", "b", "tcp")) == 120.0
+
+    def test_accumulation(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 100.0)
+        flow_sketch.update(("a", "b", "tcp"), 50.0)
+        assert flow_sketch.estimate(("a", "b", "tcp")) == 150.0
+
+    def test_protocol_dimension_separates(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 100.0)
+        flow_sketch.update(("a", "b", "udp"), 7.0)
+        assert flow_sketch.estimate(("a", "b", "tcp")) == 100.0
+        assert flow_sketch.estimate(("a", "b", "udp")) == 7.0
+
+    def test_unknown_category_rejected(self, flow_sketch):
+        with pytest.raises(KeyError, match="icmp"):
+            flow_sketch.estimate(("a", "b", "icmp"))
+
+    def test_wrong_arity(self, flow_sketch):
+        with pytest.raises(ValueError, match="coordinates"):
+            flow_sketch.update(("a", "b"), 1.0)
+
+    def test_negative_weight_rejected(self, flow_sketch):
+        with pytest.raises(ValueError):
+            flow_sketch.update(("a", "b", "tcp"), -1.0)
+
+    def test_never_underestimates(self):
+        sketch = TensorSketch([4, 4, 2], d=2, seed=3)
+        truth = {}
+        for i in range(200):
+            coords = (f"s{i % 9}", f"t{i % 7}", i % 2)
+            sketch.update(coords, 1.0)
+            truth[coords] = truth.get(coords, 0) + 1
+        for coords, exact in truth.items():
+            assert sketch.estimate(coords) >= exact
+
+
+class TestMarginals:
+    def test_single_wildcard(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 10.0)
+        flow_sketch.update(("a", "c", "tcp"), 5.0)
+        assert flow_sketch.estimate(("a", WILDCARD, "tcp")) == 15.0
+
+    def test_protocol_marginal(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 10.0)
+        flow_sketch.update(("a", "b", "udp"), 4.0)
+        assert flow_sketch.estimate(("a", "b", WILDCARD)) == 14.0
+
+    def test_total_weight(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 10.0)
+        flow_sketch.update(("x", "y", "udp"), 4.0)
+        assert flow_sketch.total_weight_estimate() == 14.0
+
+    def test_marginal_never_underestimates(self):
+        sketch = TensorSketch([4, 4], d=2, seed=5)
+        out_flow = {}
+        for i in range(100):
+            src = f"s{i % 6}"
+            sketch.update((src, f"t{i % 11}"), 2.0)
+            out_flow[src] = out_flow.get(src, 0.0) + 2.0
+        for src, exact in out_flow.items():
+            assert sketch.estimate((src, WILDCARD)) >= exact
+
+
+class TestDeletion:
+    def test_remove_inverts(self, flow_sketch):
+        flow_sketch.update(("a", "b", "tcp"), 9.0)
+        flow_sketch.remove(("a", "b", "tcp"), 9.0)
+        assert flow_sketch.estimate(("a", "b", "tcp")) == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self):
+        a = TensorSketch([8, 8, 2], d=2, seed=3)
+        b = TensorSketch([8, 8, 2], d=2, seed=3)
+        whole = TensorSketch([8, 8, 2], d=2, seed=3)
+        left = [(("s1", "t1", 0), 2.0), (("s2", "t2", 1), 3.0)]
+        right = [(("s1", "t1", 0), 4.0), (("s3", "t3", 0), 1.0)]
+        for coords, w in left:
+            a.update(coords, w)
+            whole.update(coords, w)
+        for coords, w in right:
+            b.update(coords, w)
+            whole.update(coords, w)
+        a.merge_from(b)
+        for coords, _ in left + right:
+            assert a.estimate(coords) == whole.estimate(coords)
+
+    def test_merge_different_seed_rejected(self):
+        a = TensorSketch([8, 8], d=1, seed=1)
+        b = TensorSketch([8, 8], d=1, seed=2)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_merge_different_shape_rejected(self):
+        a = TensorSketch([8, 8], d=1, seed=1)
+        b = TensorSketch([8, 4], d=1, seed=1)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_merge_predefined_mapping_mismatch_rejected(self):
+        a = TensorSketch([8, {"tcp": 0, "udp": 1}], d=1, seed=1)
+        b = TensorSketch([8, {"tcp": 1, "udp": 0}], d=1, seed=1)
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+
+class TestDegeneracies:
+    def test_one_dimension_is_countmin_like(self):
+        """x=1 behaves as a CountMin: point estimates over keys."""
+        sketch = TensorSketch([128], d=3, seed=7)
+        for i in range(50):
+            sketch.update((f"k{i % 5}",), 1.0)
+        assert sketch.estimate(("k0",)) >= 10.0
+
+    def test_two_dimensions_matches_tcm_semantics(self):
+        """x=2 point/marginal estimates behave like a directed TCM."""
+        from repro.core.tcm import TCM
+        sketch = TensorSketch([32, 32], d=2, seed=9)
+        tcm = TCM(d=2, width=32, seed=9)
+        elements = [(f"s{i % 7}", f"t{i % 5}") for i in range(120)]
+        for s, t in elements:
+            sketch.update((s, t), 1.0)
+            tcm.update(s, t, 1.0)
+        # Same hash seeds are drawn differently, so only the semantics
+        # (not the exact collisions) must agree: both over-approximate
+        # the same truths.
+        truth = {}
+        for s, t in elements:
+            truth[(s, t)] = truth.get((s, t), 0) + 1
+        for (s, t), exact in truth.items():
+            assert sketch.estimate((s, t)) >= exact
+            assert tcm.edge_weight(s, t) >= exact
+
+    def test_more_replicas_never_increase_estimates(self):
+        elements = [(f"s{i % 5}", f"t{i % 3}", i % 2) for i in range(150)]
+        small = TensorSketch([4, 4, 2], d=1, seed=11)
+        big = TensorSketch([4, 4, 2], d=4, seed=11)
+        for coords in elements:
+            small.update(coords, 1.0)
+            big.update(coords, 1.0)
+        for coords in set(elements):
+            assert big.estimate(coords) <= small.estimate(coords)

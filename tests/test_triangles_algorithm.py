@@ -1,0 +1,127 @@
+"""Tests for Algorithm 2: heavy triangle connections."""
+
+import pytest
+
+from repro.core.tcm import TCM
+from repro.core.triangles import (
+    connection_candidates,
+    heavy_triangle_connections,
+    triangle_score,
+)
+from repro.streams.model import GraphStream
+
+
+@pytest.fixture
+def collaboration_stream():
+    """Undirected: (p, q) is the heavy edge; z1/z2 collaborate with both,
+    z1 more strongly; lone only touches p."""
+    stream = GraphStream(directed=False)
+    t = 0
+    for _ in range(10):
+        stream.add("p", "q", 1.0, float(t)); t += 1
+    for _ in range(6):
+        stream.add("z1", "p", 1.0, float(t)); t += 1
+        stream.add("z1", "q", 1.0, float(t)); t += 1
+    for _ in range(2):
+        stream.add("z2", "p", 1.0, float(t)); t += 1
+        stream.add("z2", "q", 1.0, float(t)); t += 1
+    stream.add("lone", "p", 1.0, float(t))
+    return stream
+
+
+def extended_tcm(stream, directed=False, d=2, width=64, seed=3):
+    return TCM.from_stream(stream, d=d, width=width, seed=seed,
+                           keep_labels=True)
+
+
+class TestTriangleScore:
+    def test_formula(self):
+        assert triangle_score(6.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_when_either_absent(self):
+        assert triangle_score(0.0, 5.0) == 0.0
+        assert triangle_score(5.0, 0.0) == 0.0
+
+    def test_symmetry(self):
+        assert triangle_score(4.0, 2.0) == triangle_score(2.0, 4.0)
+
+    def test_monotone_in_both(self):
+        assert triangle_score(5.0, 5.0) > triangle_score(4.0, 5.0)
+
+
+class TestCandidates:
+    def test_requires_extended_sketch(self, collaboration_stream):
+        tcm = TCM.from_stream(collaboration_stream, d=1, width=64, seed=1)
+        with pytest.raises(ValueError, match="keep_labels"):
+            connection_candidates(tcm, "p", "q")
+
+    def test_finds_common_neighbours(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        candidates = connection_candidates(tcm, "p", "q")
+        assert {"z1", "z2"} <= candidates
+
+    def test_excludes_endpoints(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        candidates = connection_candidates(tcm, "p", "q")
+        assert "p" not in candidates and "q" not in candidates
+
+    def test_intersecting_sketches_prunes(self, collaboration_stream):
+        """More sketches can only shrink the candidate set."""
+        one = extended_tcm(collaboration_stream, d=1)
+        many = extended_tcm(collaboration_stream, d=4)
+        assert connection_candidates(many, "p", "q") <= \
+            connection_candidates(one, "p", "q")
+
+
+class TestAlgorithm2:
+    def test_ranks_strong_collaborator_first(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        results = heavy_triangle_connections(tcm, [("p", "q")], l=2)
+        (edge, connections), = results
+        assert edge == ("p", "q")
+        assert connections[0][0] == "z1"
+        assert connections[1][0] == "z2"
+
+    def test_scores_match_formula_on_wide_sketch(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream, width=256)
+        results = heavy_triangle_connections(tcm, [("p", "q")], l=1)
+        _, connections = results[0]
+        assert connections[0][1] == pytest.approx(triangle_score(6.0, 6.0))
+
+    def test_l_validation(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        with pytest.raises(ValueError):
+            heavy_triangle_connections(tcm, [("p", "q")], l=0)
+
+    def test_l_bounds_output(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        results = heavy_triangle_connections(tcm, [("p", "q")], l=1)
+        assert len(results[0][1]) == 1
+
+    def test_multiple_heavy_edges_in_order(self, collaboration_stream):
+        tcm = extended_tcm(collaboration_stream)
+        results = heavy_triangle_connections(
+            tcm, [("p", "q"), ("z1", "p")], l=2)
+        assert [edge for edge, _ in results] == [("p", "q"), ("z1", "p")]
+
+    def test_no_common_neighbours(self):
+        stream = GraphStream(directed=False)
+        stream.add("a", "b", 1.0)
+        tcm = extended_tcm(stream, width=128)
+        results = heavy_triangle_connections(tcm, [("a", "b")], l=3)
+        assert results[0][1] == []
+
+    def test_directed_counts_both_directions(self):
+        """Directed communication weight is the sum of both orientations."""
+        stream = GraphStream(directed=True)
+        for _ in range(3):
+            stream.add("x", "y", 1.0)
+        stream.add("z", "x", 2.0)
+        stream.add("x", "z", 1.0)
+        stream.add("z", "y", 3.0)
+        tcm = TCM.from_stream(stream, d=2, width=128, seed=5,
+                              keep_labels=True)
+        results = heavy_triangle_connections(tcm, [("x", "y")], l=1)
+        _, connections = results[0]
+        assert connections[0][0] == "z"
+        assert connections[0][1] == pytest.approx(triangle_score(3.0, 3.0))

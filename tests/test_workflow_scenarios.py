@@ -1,0 +1,122 @@
+"""Cross-feature workflow tests: compositions a real deployment uses."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_tcm, save_tcm
+from repro.core.snapshots import SnapshotRing
+from repro.core.tcm import TCM
+from repro.distributed.sharded import ShardedTCM
+from repro.streams.generators import ipflow_like
+from repro.streams.model import StreamEdge
+from repro.streams.transforms import shard, time_slice
+from repro.streams.window import SlidingWindow
+
+
+class TestWindowRingAgreement:
+    def test_window_equals_ring_range_at_boundaries(self):
+        """When the watermark sits on a bucket boundary and the horizon is
+        a whole number of buckets, the sliding window's summary equals the
+        ring's merged range over the same interval."""
+        bucket = 10.0
+        horizon = 30.0
+        edges = [StreamEdge(f"s{i % 7}", f"t{i % 5}", float(i % 4 + 1),
+                            float(i)) for i in range(100)]
+
+        window = SlidingWindow(TCM(d=2, width=32, seed=3), horizon)
+        ring = SnapshotRing(bucket, 32, d=2, width=32, seed=3)
+        for edge in edges:
+            window.observe(edge)
+            ring.observe(edge)
+        # Move the watermark to the boundary t=100: window covers [70, 100).
+        window.advance_to(100.0)
+        merged = ring.range_summary(70.0, 100.0)
+        for s1, s2 in zip(window.summary.sketches, merged.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+
+class TestShardSerializeMergeQuery:
+    def test_distributed_build_round_trip(self, tmp_path):
+        """Shard on 'ingest nodes', persist each shard summary, load and
+        merge on a 'query node', and answer queries exactly as a
+        single-machine build would."""
+        stream = ipflow_like(n_hosts=60, n_packets=1500, seed=12)
+        shards = shard(list(stream), 3, by="source")
+
+        # Ingest nodes: summarize a shard each and write it out.
+        paths = []
+        for i, piece in enumerate(shards):
+            tcm = TCM(d=2, width=32, seed=77)
+            tcm.ingest(piece)
+            path = tmp_path / f"shard{i}.npz"
+            save_tcm(tcm, path)
+            paths.append(path)
+
+        # Query node: load, merge, query.
+        merged = load_tcm(paths[0])
+        for path in paths[1:]:
+            merged.merge_from(load_tcm(path))
+
+        reference = TCM(d=2, width=32, seed=77)
+        reference.ingest(stream)
+        for x, y in list(stream.distinct_edges)[:60]:
+            assert merged.edge_weight(x, y) == \
+                pytest.approx(reference.edge_weight(x, y))
+
+    def test_sharded_helper_equivalent(self, tmp_path):
+        stream = ipflow_like(n_hosts=60, n_packets=1500, seed=12)
+        helper = ShardedTCM(3, d=2, width=32, seed=77)
+        merged = helper.summarize(shard(list(stream), 3, by="source"))
+        reference = TCM(d=2, width=32, seed=77)
+        reference.ingest(stream)
+        for s1, s2 in zip(merged.sketches, reference.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+
+class TestSliceThenSummarize:
+    def test_time_slice_matches_ring_bucket(self):
+        """Summarizing a time_slice equals the ring's bucket for it."""
+        edges = [StreamEdge(f"s{i % 4}", f"t{i % 3}", 1.0, float(i))
+                 for i in range(60)]
+        ring = SnapshotRing(20.0, 8, d=2, width=32, seed=5)
+        for edge in edges:
+            ring.observe(edge)
+
+        sliced = TCM(d=2, width=32, seed=5)
+        for edge in time_slice(edges, 20.0, 40.0):
+            sliced.update(edge.source, edge.target, edge.weight)
+
+        bucket = dict(ring.buckets())[1]
+        for s1, s2 in zip(sliced.sketches, bucket.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+
+
+class TestMonitorsSurviveSerialization:
+    def test_monitoring_resumes_on_loaded_sketch(self, tmp_path):
+        """A persisted summary can keep absorbing stream and serving the
+        same monitors -- checkpoint/restore for long-running collectors."""
+        from repro.core.heavy_hitters import HeavyEdgeMonitor
+
+        stream = ipflow_like(n_hosts=50, n_packets=1000, seed=13)
+        first_half = [stream[i] for i in range(500)]
+        second_half = [stream[i] for i in range(500, 1000)]
+
+        tcm = TCM(d=2, width=48, seed=9)
+        monitor = HeavyEdgeMonitor(tcm, k=10)
+        monitor.consume(first_half)
+        save_tcm(tcm, tmp_path / "checkpoint.npz")
+
+        restored = load_tcm(tmp_path / "checkpoint.npz")
+        resumed = HeavyEdgeMonitor(restored, k=10)
+        resumed.consume(second_half)
+
+        continuous = HeavyEdgeMonitor(TCM(d=2, width=48, seed=9), k=10)
+        continuous.consume(stream)
+        # Same sketch state at the end.
+        for s1, s2 in zip(restored.sketches, continuous.tcm.sketches):
+            np.testing.assert_allclose(s1.matrix, s2.matrix)
+        # The resumed monitor's top estimates agree for shared edges.
+        resumed_top = dict(resumed.top())
+        continuous_top = dict(continuous.top())
+        for edge in set(resumed_top) & set(continuous_top):
+            assert resumed_top[edge] == pytest.approx(continuous_top[edge])
