@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: help install test test-fast bench bench-small examples report clean
+.PHONY: help install test test-fast bench bench-small examples report \
+	obs-demo obs-overhead clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -12,6 +13,8 @@ help:
 	@echo "bench-small  benchmarks at the EXPERIMENTS.md fidelity scale"
 	@echo "examples     run every example script"
 	@echo "report       write the full Markdown reproduction report"
+	@echo "obs-demo     instrumented R-MAT ingest + metrics/health snapshot"
+	@echo "obs-overhead re-measure instrumentation cost on the hot path"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -37,6 +40,12 @@ examples:
 
 report:
 	$(PYTHON) -m repro.experiments report --scale small --out report.md
+
+obs-demo:
+	$(PYTHON) -m repro obs --dataset gtgraph --scale small --every 10000
+
+obs-overhead:
+	$(PYTHON) -m repro.obs.overhead --out BENCH_obs_overhead.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

@@ -8,6 +8,9 @@ sketch and a node sketch.
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.core.tcm import TCM
+from repro.experiments import datasets
+from repro.experiments.common import cells_for_ratio
 from repro.experiments.exp1_edge import fig12_same_space_set
 from repro.experiments.report import print_table
 
@@ -21,3 +24,21 @@ def test_fig12(benchmark, scale, dataset):
                 ["d", "TCM", "CountMin (half space)"], rows)
     wins = sum(1 for _, tcm, cm_half in rows if tcm <= cm_half)
     assert wins >= len(rows) - 1  # TCM wins (essentially) everywhere
+
+
+def test_same_space_memory_parity(scale):
+    """The "same space" protocol, audited in bytes via memory_bytes().
+
+    Two TCMs built for the same cell budget must land within one width
+    quantization step of each other in real memory, whatever d is --
+    the comparison the figure relies on.
+    """
+    stream = datasets.ipflow(scale)
+    cells = cells_for_ratio(stream, datasets.FIXED_RATIO["ipflow"])
+    budgets = []
+    for d in (1, 3, 5):
+        tcm = TCM.from_space(cells, d, seed=7, directed=stream.directed)
+        per_sketch = tcm.memory_bytes() / d
+        budgets.append(per_sketch)
+        assert tcm.memory_bytes() == tcm.size_in_cells * 8
+    assert max(budgets) == min(budgets)  # equal per-sketch budget at any d

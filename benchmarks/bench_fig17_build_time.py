@@ -66,4 +66,8 @@ def test_vectorized_ingest_throughput(benchmark, scale):
         tcm.ingest(stream)
         return tcm
 
-    benchmark.pedantic(build, rounds=3, iterations=1)
+    tcm = benchmark.pedantic(build, rounds=3, iterations=1)
+    # Memory via the first-class accessor, not ad-hoc d*w*w*8 math.
+    print(f"\nTCM footprint: {tcm.memory_bytes():,} bytes "
+          f"({tcm.size_in_cells:,} cells)")
+    assert tcm.memory_bytes() == tcm.size_in_cells * 8  # float64 cells

@@ -9,6 +9,11 @@ with pytest-benchmark.  Run with::
 ``-s`` shows the reproduced tables.  Scale defaults to ``tiny`` so the
 whole suite finishes in minutes; set ``REPRO_BENCH_SCALE=small`` for the
 higher-fidelity numbers recorded in EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_OBS=1`` (or a path) to run the whole session with the
+observability layer enabled and write a JSON metrics snapshot alongside
+the benchmark results when the session ends (default path
+``bench_obs_snapshot.json``; see docs/OBSERVABILITY.md).
 """
 
 import os
@@ -16,11 +21,32 @@ import os
 import pytest
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+BENCH_OBS = os.environ.get("REPRO_BENCH_OBS", "")
 
 
 @pytest.fixture(scope="session")
 def scale() -> str:
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_session_snapshot():
+    """Optionally instrument the whole bench session (REPRO_BENCH_OBS)."""
+    if not BENCH_OBS:
+        yield
+        return
+    from repro import obs
+
+    obs.enable()
+    try:
+        yield
+        path = (BENCH_OBS if BENCH_OBS not in ("1", "true", "yes")
+                else "bench_obs_snapshot.json")
+        with open(path, "w") as fh:
+            fh.write(obs.json_snapshot(indent=2))
+        print(f"\n[obs] wrote benchmark metrics snapshot to {path}")
+    finally:
+        obs.disable()
 
 
 def run_once(benchmark, fn):

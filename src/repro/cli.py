@@ -9,6 +9,7 @@ An operator-facing front end over the library::
     tcm query sketch.npz edge 10.0.0.1 10.0.0.9
     tcm query sketch.npz reach 10.0.0.1 10.0.0.9
     tcm query sketch.npz inflow 10.0.0.9
+    tcm obs --dataset gtgraph --scale tiny     # metrics/health demo
 
 Also available as ``python -m repro``.
 """
@@ -138,6 +139,70 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Instrumented demo ingest: emit metrics, health and trace snapshots.
+
+    Enables observability, replays a stream (a file if given, else a
+    synthetic dataset) through an instrumented per-element ingest with
+    the periodic reporter attached, runs a sample query workload to
+    populate the latency histograms, then prints the Prometheus text
+    exposition and/or the JSON snapshot.
+    """
+    from repro import obs
+    from repro.experiments import datasets
+    from repro.streams.replay import MonitoringHub
+
+    obs.enable()
+    try:
+        if args.stream is not None:
+            stream = read_stream(args.stream, directed=not args.undirected)
+        else:
+            stream = datasets.by_name(args.dataset, args.scale)
+
+        tcm = TCM(d=args.d, width=args.width, seed=args.seed,
+                  directed=stream.directed)
+        reporter = obs.PeriodicReporter(every=args.every,
+                                        emit=lambda line: print(line))
+        hub = MonitoringHub()
+        hub.attach("summary", tcm)
+        hub.attach("reporter", reporter)
+        with obs.span("obs.demo.ingest"):
+            hub.replay(stream)
+        reporter.report()
+
+        # A sample query workload so every latency histogram has data.
+        with obs.span("obs.demo.queries"):
+            edges = sorted(stream.distinct_edges, key=repr)[:args.queries]
+            for x, y in edges:
+                tcm.edge_weight(x, y)
+            tcm.edge_weights(edges)
+            nodes = sorted(stream.nodes, key=repr)[:args.queries]
+            for node in nodes[:20]:
+                if stream.directed:
+                    tcm.out_flow(node)
+                    tcm.in_flow(node)
+                else:
+                    tcm.flow(node)
+            if edges:
+                tcm.reachable(*edges[0])
+
+        health = obs.publish_health(tcm, name="demo")
+        for warning in obs.saturation_warnings(health):
+            print(f"warning: {warning}")
+
+        if args.format in ("prom", "both"):
+            print(obs.render_prometheus())
+        if args.format in ("json", "both"):
+            print(obs.json_snapshot(tcms={"demo": tcm}, indent=2))
+        if args.out is not None:
+            with open(args.out, "w") as fh:
+                fh.write(obs.json_snapshot(tcms={"demo": tcm}, indent=2))
+            print(f"wrote JSON snapshot to {args.out}")
+    finally:
+        obs.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tcm",
@@ -184,6 +249,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. '*->b, b->c, c->*'")
     query.add_argument("node2", nargs="?", default=None)
     query.set_defaults(handler=_cmd_query)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="instrumented demo ingest; emit metrics/health "
+                    "snapshots (docs/OBSERVABILITY.md)")
+    obs_cmd.add_argument("stream", nargs="?", default=None,
+                         help="optional stream file; default: a synthetic "
+                              "dataset (--dataset/--scale)")
+    obs_cmd.add_argument("--dataset",
+                         choices=("dblp", "ipflow", "gtgraph", "twitter"),
+                         default="gtgraph",
+                         help="synthetic dataset (gtgraph = R-MAT)")
+    obs_cmd.add_argument("--scale", choices=("tiny", "small", "medium"),
+                         default="tiny")
+    obs_cmd.add_argument("--d", type=int, default=4)
+    obs_cmd.add_argument("--width", type=int, default=64)
+    obs_cmd.add_argument("--seed", type=int, default=0)
+    obs_cmd.add_argument("--undirected", action="store_true")
+    obs_cmd.add_argument("--queries", type=int, default=100,
+                         help="sample queries per family after ingest")
+    obs_cmd.add_argument("--every", type=int, default=5000,
+                         help="periodic-reporter cadence in elements")
+    obs_cmd.add_argument("--format", choices=("prom", "json", "both"),
+                         default="both")
+    obs_cmd.add_argument("--out", default=None,
+                         help="also write the JSON snapshot to this file")
+    obs_cmd.set_defaults(handler=_cmd_obs)
 
     diff = commands.add_parser(
         "diff", help="compare two sketch files (graph evolution)")

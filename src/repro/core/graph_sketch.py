@@ -104,6 +104,32 @@ class GraphSketch:
     def keeps_labels(self) -> bool:
         return self._row_labels is not None
 
+    def memory_bytes(self) -> int:
+        """Memory footprint in bytes: matrix + label materialization.
+
+        The matrix (and the touched-mask for min/max aggregation) is
+        exact via numpy's ``nbytes``; extended-sketch label storage is
+        estimated at one dict slot (~64B) per occupied bucket plus ~80B
+        per materialized label (set slot + small label object) -- close
+        enough for capacity planning, cheap enough to call per scrape.
+        Also available as :attr:`nbytes`.
+        """
+        total = self._matrix.nbytes
+        if self._touched is not None:
+            total += self._touched.nbytes
+        if self._row_labels is not None:
+            maps = [self._row_labels]
+            if self._col_labels is not self._row_labels:
+                maps.append(self._col_labels)
+            for label_map in maps:
+                total += 64 * len(label_map)
+                total += 80 * sum(len(bucket) for bucket in label_map.values())
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        return self.memory_bytes()
+
     def row_of(self, label: Label) -> int:
         """The row bucket of a (source) label."""
         return self._row_hash(label)

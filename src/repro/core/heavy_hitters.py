@@ -19,12 +19,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.tcm import TCM
 from repro.hashing.labels import Label
+from repro.obs.instruments import OBS
 
 
 def _evict_min(candidates: Dict[Label, float]) -> None:
     """Drop the minimum-valued entry (ties broken deterministically)."""
     victim = min(candidates, key=lambda key: (candidates[key], repr(key)))
     del candidates[victim]
+    if OBS.enabled:
+        OBS.hh_evictions.inc()
 
 
 def _ranked(candidates: Dict[Label, float]) -> List[Tuple[Label, float]]:
@@ -47,9 +50,12 @@ class HeavyEdgeMonitor:
         self.tcm = tcm
         self.k = k
         self._candidates: Dict[Tuple[Label, Label], float] = {}
+        self._observed = OBS.hh_observed.labels("edge")
 
     def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
         """Ingest one stream element and refresh the top-k candidates."""
+        if OBS.enabled:
+            self._observed.inc()
         self.tcm.update(source, target, weight)
         if not self.tcm.directed and repr(source) > repr(target):
             source, target = target, source  # canonical undirected key
@@ -94,6 +100,7 @@ class HeavyNodeMonitor:
         self.k = k
         self.direction = direction
         self._candidates: Dict[Label, float] = {}
+        self._observed = OBS.hh_observed.labels("node")
 
     def _flow(self, node: Label) -> float:
         if self.direction == "in":
@@ -103,6 +110,8 @@ class HeavyNodeMonitor:
         return self.tcm.flow(node)
 
     def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        if OBS.enabled:
+            self._observed.inc()
         self.tcm.update(source, target, weight)
         touched = (source, target) if self.direction != "in" else (target, source)
         # Both endpoints change flow for undirected; for directed streams
@@ -156,6 +165,7 @@ class ConditionalHeavyHitterMonitor:
         # hh: heavy node -> flow estimate; hn: heavy node -> neighbour -> weight
         self._hh: Dict[Label, float] = {}
         self._hn: Dict[Label, Dict[Label, float]] = {}
+        self._observed = OBS.hh_observed.labels("conditional")
 
     def _flow(self, node: Label) -> float:
         if self.direction == "in":
@@ -166,6 +176,8 @@ class ConditionalHeavyHitterMonitor:
 
     def observe(self, source: Label, target: Label, weight: float = 1.0) -> None:
         """Process one element ``(source, target; .)`` -- Algorithm 1 lines 3-20."""
+        if OBS.enabled:
+            self._observed.inc()
         self.tcm.update(source, target, weight)                 # line 4
         if self.direction == "in":
             hot, neighbour = target, source

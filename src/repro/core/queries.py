@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence, Tuple, Union
 
 from repro.hashing.labels import Label
+from repro.obs.instruments import OBS
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,8 @@ class SubgraphQuery:
                 raise ValueError(f"query edge must be a pair, got {edge!r}")
             normalized.append((edge[0], edge[1]))
         self._edges: Tuple[QueryEdge, ...] = tuple(normalized)
+        if OBS.enabled:
+            OBS.subgraph_queries_built.inc()
 
     @property
     def edges(self) -> Tuple[QueryEdge, ...]:

@@ -90,6 +90,31 @@ class SparseGraphSketch:
     def keeps_labels(self) -> bool:
         return self._row_labels is not None
 
+    def memory_bytes(self) -> int:
+        """Estimated footprint: occupancy-proportional, unlike the dense
+        class.  ~96B per occupied cell (tuple key + float + dict slot),
+        ~56B per maintained row/column sum, ~32B per adjacency entry,
+        plus the extended-sketch label estimate used by
+        :meth:`GraphSketch.memory_bytes`.  Also available as
+        :attr:`nbytes`.
+        """
+        total = 96 * len(self._cells)
+        total += 56 * (len(self._row_sums) + len(self._col_sums))
+        total += 32 * (sum(len(s) for s in self._row_adjacency.values())
+                       + sum(len(s) for s in self._col_adjacency.values()))
+        if self._row_labels is not None:
+            maps = [self._row_labels]
+            if self._col_labels is not self._row_labels:
+                maps.append(self._col_labels)
+            for label_map in maps:
+                total += 64 * len(label_map)
+                total += 80 * sum(len(bucket) for bucket in label_map.values())
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        return self.memory_bytes()
+
     @property
     def matrix(self) -> np.ndarray:
         """Materialized dense matrix (O(w^2); for interop/serialization)."""

@@ -15,7 +15,9 @@ from Section 4; the streaming monitors (Algorithms 1 and 2) live in
 
 from __future__ import annotations
 
+import functools
 import math
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +33,29 @@ from repro.core.graph_sketch import GraphSketch
 from repro.core.queries import SubgraphQuery, is_wildcard
 from repro.hashing.family import HashFamily
 from repro.hashing.labels import Label, label_to_int
+from repro.obs.instruments import OBS
+
+
+def _timed_query(kind: str):
+    """Record the wrapped query's latency under ``tcm_query_seconds{kind}``.
+
+    Disabled observability short-circuits to the bare call after a single
+    attribute check, so un-instrumented workloads pay only the wrapper
+    frame.
+    """
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                OBS.query_seconds.labels(kind).observe(
+                    time.perf_counter() - start)
+        return wrapper
+    return decorate
 
 
 class TCM:
@@ -175,6 +200,20 @@ class TCM:
         """Total storage in matrix cells across all sketches."""
         return sum(s.size_in_cells for s in self._sketches)
 
+    def memory_bytes(self) -> int:
+        """Total memory footprint in bytes across all sketches.
+
+        Sums each sketch's matrix storage plus its label-materialization
+        storage (extended sketches); see
+        :meth:`GraphSketch.memory_bytes`.  Also available as
+        :attr:`nbytes` to mirror numpy.
+        """
+        return sum(s.memory_bytes() for s in self._sketches)
+
+    @property
+    def nbytes(self) -> int:
+        return self.memory_bytes()
+
     @property
     def is_graphical(self) -> bool:
         """True when every sketch is a graph (square, single hash)."""
@@ -197,11 +236,19 @@ class TCM:
         """Absorb one stream element into every sketch -- O(d)."""
         for sketch in self._sketches:
             sketch.update(source, target, weight)
+        if OBS.enabled:
+            # Direct slot bumps: this is the hottest line in the library
+            # and Counter.inc()'s validation costs more than the add
+            # itself (see BENCH_obs_overhead.json for the budget).
+            OBS.tcm_updates._value += 1.0
+            OBS.tcm_update_weight._value += weight
 
     def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
         """Delete one previously inserted element from every sketch."""
         for sketch in self._sketches:
             sketch.remove(source, target, weight)
+        if OBS.enabled:
+            OBS.tcm_removes.inc()
 
     def update_conservative(self, source: Label, target: Label,
                             weight: float = 1.0) -> None:
@@ -227,10 +274,14 @@ class TCM:
 
     def ingest_conservative(self, stream) -> int:
         """One-pass bulk construction using conservative updates."""
+        start = time.perf_counter() if OBS.enabled else 0.0
         count = 0
         for edge in stream:
             self.update_conservative(edge.source, edge.target, edge.weight)
             count += 1
+        if OBS.enabled:
+            OBS.tcm_ingest_elements.inc(count)
+            OBS.tcm_ingest_seconds.observe(time.perf_counter() - start)
         return count
 
     def ingest(self, stream: Iterable) -> int:
@@ -240,6 +291,7 @@ class TCM:
         label materialization); otherwise falls back to per-element
         updates.  Returns the number of elements ingested.
         """
+        start = time.perf_counter() if OBS.enabled else 0.0
         edges = list(stream)
         if not edges:
             return 0
@@ -257,6 +309,9 @@ class TCM:
         else:
             for edge in edges:
                 self.update(edge.source, edge.target, edge.weight)
+        if OBS.enabled:
+            OBS.tcm_ingest_elements.inc(len(edges))
+            OBS.tcm_ingest_seconds.observe(time.perf_counter() - start)
         return len(edges)
 
     def clear(self) -> None:
@@ -279,11 +334,13 @@ class TCM:
 
     # -- edge and node queries (Sections 4.1, 4.2) ------------------------------
 
+    @_timed_query("edge_weight")
     def edge_weight(self, source: Label, target: Label) -> float:
         """Estimated aggregated edge weight ``f_e(source, target)``."""
         return self.aggregation.merge(
             s.edge_estimate(source, target) for s in self._sketches)
 
+    @_timed_query("edge_weight_batch")
     def edge_weights(self, pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
         """Vectorized edge-weight estimates for a batch of queries.
 
@@ -304,18 +361,22 @@ class TCM:
             return estimates.min(axis=0)
         return estimates.max(axis=0)
 
+    @_timed_query("out_flow")
     def out_flow(self, node: Label) -> float:
         """Estimated node out-flow ``f_v(node, ->)``."""
         return self.aggregation.merge(s.out_flow(node) for s in self._sketches)
 
+    @_timed_query("in_flow")
     def in_flow(self, node: Label) -> float:
         """Estimated node in-flow ``f_v(node, <-)``."""
         return self.aggregation.merge(s.in_flow(node) for s in self._sketches)
 
+    @_timed_query("flow")
     def flow(self, node: Label) -> float:
         """Estimated undirected node flow ``f_v(node, -)``."""
         return self.aggregation.merge(s.flow(node) for s in self._sketches)
 
+    @_timed_query("flow_batch")
     def out_flows(self, nodes: Sequence[Label]) -> np.ndarray:
         """Vectorized out-flow estimates for a batch of nodes.
 
@@ -324,6 +385,7 @@ class TCM:
         """
         return self._batch_flows(nodes, axis=1)
 
+    @_timed_query("flow_batch")
     def in_flows(self, nodes: Sequence[Label]) -> np.ndarray:
         """Vectorized in-flow estimates for a batch of nodes."""
         return self._batch_flows(nodes, axis=0)
@@ -344,6 +406,7 @@ class TCM:
             return stacked.min(axis=0)
         return stacked.max(axis=0)
 
+    @_timed_query("degree")
     def degree_estimate(self, node: Label, direction: str = "out") -> int:
         """Heuristic distinct-neighbour count: the node's occupied cells.
 
@@ -367,6 +430,7 @@ class TCM:
             counts.append(len(occupied))
         return min(counts)
 
+    @_timed_query("heaviest_neighbours")
     def heaviest_neighbours(self, node: Label, k: int = 5,
                             direction: str = "in") -> List[Tuple[Label, float]]:
         """Conditional node query (paper Example 2): the heaviest
@@ -425,6 +489,7 @@ class TCM:
 
     # -- path queries (Section 4.3) ----------------------------------------------
 
+    @_timed_query("reachable")
     def reachable(self, source: Label, target: Label,
                   max_hops: Optional[int] = None) -> bool:
         """Estimated reachability ``r(source, target)``.
@@ -443,6 +508,7 @@ class TCM:
                 return False
         return True
 
+    @_timed_query("shortest_path")
     def shortest_path_weight(self, source: Label, target: Label) -> float:
         """Estimated shortest-path weight between two labels.
 
@@ -463,6 +529,7 @@ class TCM:
 
     # -- subgraph queries (Section 4.4) --------------------------------------------
 
+    @_timed_query("subgraph")
     def subgraph_weight(self, query, max_matches: Optional[int] = None) -> float:
         """Aggregate subgraph weight ``f_g(Q)`` via per-sketch matching.
 
@@ -484,6 +551,7 @@ class TCM:
             estimates.append(weight)
         return self.aggregation.merge(estimates)
 
+    @_timed_query("subgraph_decomposed")
     def subgraph_weight_decomposed(self, query) -> float:
         """The per-edge optimization ``f'_g(Q)`` of Section 4.4.
 
@@ -520,6 +588,7 @@ class TCM:
 
     # -- whole-graph analytics -------------------------------------------------------
 
+    @_timed_query("triangles")
     def triangle_count(self) -> int:
         """Estimated triangle count: black-box count per sketch, merged min.
 
@@ -533,6 +602,7 @@ class TCM:
         return min(_count_triangles(SketchView(s), directed=self.directed)
                    for s in self._sketches)
 
+    @_timed_query("pagerank")
     def pagerank(self, damping: float = 0.85):
         """Per-sketch PageRank over super-nodes.
 

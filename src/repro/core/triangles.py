@@ -14,10 +14,13 @@ bucket ``i`` is a candidate when both ``M[i][h(x)] > 0`` and
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.tcm import TCM
 from repro.hashing.labels import Label
+from repro.obs.instruments import OBS
+from repro.obs.tracing import TRACER
 
 HeavyEdge = Tuple[Label, Label]
 Connection = Tuple[Label, float]
@@ -50,6 +53,7 @@ def connection_candidates(tcm: TCM, x: Label, y: Label) -> Set[Label]:
     the d>1 adaption is easy: we intersect candidates across sketches,
     which can only remove false candidates.)
     """
+    started = time.perf_counter() if OBS.enabled else 0.0
     candidates: Set[Label] = set()
     first = True
     for sketch in tcm.sketches:
@@ -70,6 +74,9 @@ def connection_candidates(tcm: TCM, x: Label, y: Label) -> Set[Label]:
         first = False
     candidates.discard(x)
     candidates.discard(y)
+    if OBS.enabled:
+        OBS.triangle_query_seconds.labels("candidates").observe(
+            time.perf_counter() - started)
     return candidates
 
 
@@ -88,15 +95,21 @@ def heavy_triangle_connections(
     """
     if l < 1:
         raise ValueError(f"l must be >= 1, got {l}")
+    started = time.perf_counter() if OBS.enabled else 0.0
     results: List[Tuple[HeavyEdge, List[Connection]]] = []
-    for x, y in heavy_edges:                                   # line 3
-        scored: Dict[Label, float] = {}
-        for z in connection_candidates(tcm, x, y):             # lines 4-7
-            score = triangle_score(_edge_estimate(tcm, z, x),
-                                   _edge_estimate(tcm, z, y))  # line 8
-            if score > 0:
-                scored[z] = score
-        top = sorted(scored.items(),
-                     key=lambda kv: (-kv[1], repr(kv[0])))[:l]  # line 9
-        results.append(((x, y), top))
+    with TRACER.span("tcm.triangles.heavy_connections",
+                     heavy_edges=len(heavy_edges), l=l):
+        for x, y in heavy_edges:                               # line 3
+            scored: Dict[Label, float] = {}
+            for z in connection_candidates(tcm, x, y):         # lines 4-7
+                score = triangle_score(_edge_estimate(tcm, z, x),
+                                       _edge_estimate(tcm, z, y))  # line 8
+                if score > 0:
+                    scored[z] = score
+            top = sorted(scored.items(),
+                         key=lambda kv: (-kv[1], repr(kv[0])))[:l]  # line 9
+            results.append(((x, y), top))
+    if OBS.enabled:
+        OBS.triangle_query_seconds.labels("algorithm2").observe(
+            time.perf_counter() - started)
     return results                                             # line 10

@@ -15,11 +15,14 @@ accuracy cost at all, only no gain.
 from __future__ import annotations
 
 import copy
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
 from repro.core.aggregation import Aggregation
 from repro.core.tcm import TCM
+from repro.obs.instruments import OBS
+from repro.obs.tracing import TRACER
 from repro.streams.model import StreamEdge
 
 
@@ -41,9 +44,16 @@ class ShardedTCM:
                             aggregation=aggregation)
         self._parallel = parallel
 
-    def _build_shard(self, shard: Sequence[StreamEdge]) -> TCM:
+    def _build_shard(self, index: int, shard: Sequence[StreamEdge]) -> TCM:
+        if not OBS.enabled:
+            tcm = TCM(**self._config)
+            tcm.ingest(shard)
+            return tcm
+        start = time.perf_counter()
         tcm = TCM(**self._config)
         tcm.ingest(shard)
+        OBS.shard_build_seconds.observe(time.perf_counter() - start)
+        OBS.shard_elements.labels(index).inc(len(shard))
         return tcm
 
     def summarize(self, shards: Sequence[Sequence[StreamEdge]]) -> TCM:
@@ -57,14 +67,27 @@ class ShardedTCM:
         if len(shards) > self.m:
             raise ValueError(
                 f"{len(shards)} shards exceed the {self.m} workers")
+        if OBS.enabled:
+            OBS.shard_count.set(len(shards))
         if not shards:
             return TCM(**self._config)
-        if self._parallel and len(shards) > 1:
-            with ThreadPoolExecutor(max_workers=self.m) as pool:
-                partials: List[TCM] = list(pool.map(self._build_shard, shards))
-        else:
-            partials = [self._build_shard(shard) for shard in shards]
-        merged = copy.deepcopy(partials[0])
-        for partial in partials[1:]:
-            merged.merge_from(partial)
+        with TRACER.span("tcm.sharded.summarize", shards=len(shards),
+                         workers=self.m):
+            if self._parallel and len(shards) > 1:
+                with ThreadPoolExecutor(max_workers=self.m) as pool:
+                    partials: List[TCM] = list(
+                        pool.map(self._build_shard,
+                                 range(len(shards)), shards))
+            else:
+                partials = [self._build_shard(i, shard)
+                            for i, shard in enumerate(shards)]
+            merged = copy.deepcopy(partials[0])
+            for partial in partials[1:]:
+                if OBS.enabled:
+                    start = time.perf_counter()
+                    merged.merge_from(partial)
+                    OBS.shard_merge_seconds.observe(
+                        time.perf_counter() - start)
+                else:
+                    merged.merge_from(partial)
         return merged

@@ -1,0 +1,222 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, periodic reports.
+
+Two pull formats and one push channel:
+
+- :func:`render_prometheus` -- the text exposition format
+  (``# HELP`` / ``# TYPE`` / samples).  Write it to a file for the
+  node-exporter textfile collector, or serve it from any HTTP handler.
+- :func:`json_snapshot` -- one JSON document bundling metrics, recent
+  trace spans and (optionally) per-sketch health; what the ``tcm obs``
+  CLI and the benchmark harness emit.
+- :class:`PeriodicReporter` -- a stream consumer that prints a progress
+  line (elements, edges/sec, bytes/sec) every N elements or T seconds
+  during long-running ingest; attach it to a
+  :class:`~repro.streams.replay.MonitoringHub` or wrap a raw stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+
+from repro.obs.health import TCMHealth, tcm_health
+from repro.obs.instruments import OBS, REGISTRY
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import TRACER, Tracer
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(family, metric, extra: Dict[str, str] = {}) -> str:
+    # Label *names* live on the family; children only carry their values.
+    pairs = list(zip(family.labelnames, metric.labelvalues)) + \
+        list(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry = REGISTRY) -> str:
+    """Render every registered metric in the Prometheus text format."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.TYPE}")
+        for metric in family.children():
+            if isinstance(metric, Histogram):
+                cumulative = metric.bucket_counts
+                bounds = [*metric.buckets, float("inf")]
+                for bound, count in zip(bounds, cumulative):
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(family, metric, {'le': le})} {count}")
+                lines.append(f"{family.name}_sum"
+                             f"{_label_str(family, metric)} "
+                             f"{_format_value(metric.sum)}")
+                lines.append(f"{family.name}_count"
+                             f"{_label_str(family, metric)} "
+                             f"{metric.count}")
+            elif isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{family.name}{_label_str(family, metric)} "
+                             f"{_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_snapshot(registry: MetricsRegistry = REGISTRY) -> Dict[str, Any]:
+    """JSON-able dict of every metric's current value(s)."""
+    out: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples = []
+        for metric in family.children():
+            labels = dict(zip(metric.labelnames or family.labelnames,
+                              metric.labelvalues))
+            if isinstance(metric, Histogram):
+                samples.append({
+                    "labels": labels,
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "p50": metric.quantile(0.5),
+                    "p99": metric.quantile(0.99),
+                    "buckets": dict(zip((f"{b:g}" for b in metric.buckets),
+                                        metric.bucket_counts)),
+                })
+            else:
+                samples.append({"labels": labels, "value": metric.value})
+        out[family.name] = {"type": family.TYPE, "help": family.help,
+                            "samples": samples}
+    return out
+
+
+def publish_health(tcm, registry: MetricsRegistry = REGISTRY,
+                   name: str = "default") -> TCMHealth:
+    """Compute a TCM's health and mirror it into gauges.
+
+    Gauges are labeled ``{tcm, sketch}`` so several summaries (shards,
+    windows) can publish side by side.  Returns the full report.
+    """
+    health = tcm_health(tcm)
+    load = registry.gauge("tcm_sketch_load_factor",
+                          "Occupied / total cells per sketch",
+                          labelnames=("tcm", "sketch"))
+    occupied = registry.gauge("tcm_sketch_occupied_cells",
+                              "Occupied cells per sketch",
+                              labelnames=("tcm", "sketch"))
+    collisions = registry.gauge("tcm_sketch_collision_rate",
+                                "Exact (extended) or estimated fraction of "
+                                "labels sharing buckets",
+                                labelnames=("tcm", "sketch"))
+    nbytes = registry.gauge("tcm_memory_bytes",
+                            "Total memory footprint per summary",
+                            labelnames=("tcm",))
+    for i, sketch in enumerate(health.sketches):
+        load.labels(name, i).set(sketch.load_factor)
+        occupied.labels(name, i).set(sketch.occupied_cells)
+        if sketch.collision_rate is not None:
+            collisions.labels(name, i).set(sketch.collision_rate)
+    nbytes.labels(name).set(health.nbytes)
+    return health
+
+
+def json_snapshot(registry: MetricsRegistry = REGISTRY,
+                  tracer: Optional[Tracer] = TRACER,
+                  tcms: Optional[Dict[str, Any]] = None,
+                  indent: Optional[int] = None) -> str:
+    """One JSON document: metrics + recent spans + optional health.
+
+    :param tcms: ``{name: TCM}`` summaries to health-check inline.
+    """
+    doc: Dict[str, Any] = {
+        "enabled": OBS.enabled,
+        "metrics": metrics_snapshot(registry),
+    }
+    if tracer is not None:
+        doc["spans"] = tracer.export()
+    if tcms:
+        doc["health"] = {label: tcm_health(t).to_dict()
+                         for label, t in tcms.items()}
+    return json.dumps(doc, indent=indent, default=str)
+
+
+class PeriodicReporter:
+    """Progress lines for long-running ingest: elements, edges/s, bytes/s.
+
+    Use as a hub consumer or as a stream wrapper::
+
+        hub.attach("reporter", PeriodicReporter(every=100_000))
+        # or
+        tcm.ingest(reporter.wrap(stream))
+
+    Emits through ``emit`` (default: ``print``) every ``every`` elements
+    *or* ``interval`` seconds, whichever comes first; call
+    :meth:`report` for a final summary line.
+    """
+
+    def __init__(self, every: int = 100_000,
+                 interval: Optional[float] = 10.0,
+                 emit: Callable[[str], None] = print):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.interval = interval
+        self.emit = emit
+        self.elements = 0
+        self.bytes = 0
+        self._started: Optional[float] = None
+        self._last_emit_time: Optional[float] = None
+        self._last_elements = 0
+        self._last_bytes = 0
+
+    @staticmethod
+    def edge_nbytes(edge) -> int:
+        """Estimated wire size: label text + 8B weight + 8B timestamp."""
+        return len(str(edge.source)) + len(str(edge.target)) + 16
+
+    def observe(self, edge) -> None:
+        """Account one element (hub-consumer entry point)."""
+        now = time.perf_counter()
+        if self._started is None:
+            self._started = self._last_emit_time = now
+        self.elements += 1
+        self.bytes += self.edge_nbytes(edge)
+        due = (self.elements % self.every == 0
+               or (self.interval is not None
+                   and now - self._last_emit_time >= self.interval))
+        if due:
+            self._emit_line(now)
+
+    def _emit_line(self, now: float) -> None:
+        window = max(now - self._last_emit_time, 1e-9)
+        d_elements = self.elements - self._last_elements
+        d_bytes = self.bytes - self._last_bytes
+        self.emit(f"[obs] {self.elements} elements "
+                  f"({d_elements / window:,.0f} edges/s, "
+                  f"{d_bytes / window:,.0f} bytes/s)")
+        self._last_emit_time = now
+        self._last_elements = self.elements
+        self._last_bytes = self.bytes
+
+    def wrap(self, stream: Iterable) -> Iterator:
+        """Yield the stream unchanged while accounting every element."""
+        for edge in stream:
+            self.observe(edge)
+            yield edge
+
+    def report(self) -> Dict[str, float]:
+        """Emit and return the whole-run summary."""
+        elapsed = ((time.perf_counter() - self._started)
+                   if self._started is not None else 0.0)
+        rate = self.elements / elapsed if elapsed > 0 else 0.0
+        byte_rate = self.bytes / elapsed if elapsed > 0 else 0.0
+        self.emit(f"[obs] done: {self.elements} elements in {elapsed:.2f}s "
+                  f"({rate:,.0f} edges/s, {byte_rate:,.0f} bytes/s)")
+        return {"elements": self.elements, "bytes": self.bytes,
+                "seconds": elapsed, "edges_per_sec": rate,
+                "bytes_per_sec": byte_rate}

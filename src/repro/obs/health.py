@@ -1,0 +1,217 @@
+"""Sketch-health introspection: how full, how collided, how big.
+
+TCM's accuracy degrades exactly as buckets saturate -- the signal
+gSketch exploits with workload-aware partitioning and SBG-Sketch with
+self-balancing.  This module computes that saturation from a live
+summary without touching its estimates:
+
+- **load factor** -- occupied cells / total cells.  The paper's "compressed
+  sketches are relatively dense" claim is a load-factor claim; a sketch
+  near 1.0 answers every query through collisions.
+- **row-occupancy distribution** -- max/mean/percentiles of occupied cells
+  per row.  Skewed streams concentrate mass in few rows long before the
+  whole matrix fills.
+- **collision estimates** -- for extended sketches (``keep_labels=True``)
+  the *exact* number of labels sharing each bucket; for plain sketches a
+  birthday-bound estimate from the occupancy.
+- **memory footprint** -- the ``memory_bytes()`` accessor of each sketch.
+
+Everything here is read-only and works on dense :class:`GraphSketch`,
+:class:`SparseGraphSketch`, whole :class:`TCM` ensembles and the
+distributed deployments (per-worker / per-shard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SketchHealth:
+    """Health numbers for one sketch (one hashed adjacency matrix)."""
+
+    rows: int
+    cols: int
+    cells: int
+    occupied_cells: int
+    load_factor: float
+    total_mass: float
+    nbytes: int
+    graphical: bool
+    extended: bool
+    #: occupied cells per row: [min, mean, p50, p90, max]
+    row_occupancy: List[float] = field(default_factory=list)
+    #: share of total mass held by the heaviest 1% of occupied cells
+    top_cell_mass_share: float = 0.0
+    #: distinct labels materialized (extended sketches only)
+    labels_tracked: Optional[int] = None
+    #: buckets holding >= 2 labels (extended sketches only)
+    colliding_buckets: Optional[int] = None
+    #: fraction of labels sharing a bucket with another label.  Exact for
+    #: extended sketches; a birthday-style estimate otherwise (None when
+    #: no estimate is possible).
+    collision_rate: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class TCMHealth:
+    """Ensemble-level health: per-sketch reports plus totals."""
+
+    d: int
+    directed: bool
+    aggregation: str
+    cells: int
+    occupied_cells: int
+    load_factor: float
+    nbytes: int
+    sketches: List[SketchHealth] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _occupancy_stats(per_row: np.ndarray) -> List[float]:
+    if per_row.size == 0:
+        return [0.0, 0.0, 0.0, 0.0, 0.0]
+    return [float(per_row.min()),
+            float(per_row.mean()),
+            float(np.percentile(per_row, 50)),
+            float(np.percentile(per_row, 90)),
+            float(per_row.max())]
+
+
+def _top_mass_share(values: np.ndarray) -> float:
+    """Mass share of the heaviest 1% (at least one) of occupied cells."""
+    if values.size == 0:
+        return 0.0
+    total = float(np.abs(values).sum())
+    if total == 0.0:
+        return 0.0
+    k = max(1, values.size // 100)
+    top = np.partition(np.abs(values), values.size - k)[-k:]
+    return float(top.sum()) / total
+
+
+def _estimate_collision_rate(labels: int, buckets: int) -> float:
+    """Expected fraction of labels sharing a bucket under uniform hashing.
+
+    With ``n`` labels over ``w`` buckets, a given label collides with
+    probability ``1 - (1 - 1/w)^(n-1)``; by linearity that is also the
+    expected colliding fraction.
+    """
+    if labels <= 1 or buckets <= 0:
+        return 0.0
+    if buckets == 1:
+        return 1.0
+    return 1.0 - (1.0 - 1.0 / buckets) ** (labels - 1)
+
+
+def sketch_health(sketch) -> SketchHealth:
+    """Compute the health report for one (dense or sparse) sketch."""
+    sparse = hasattr(sketch, "occupied_cells")  # SparseGraphSketch
+    if sparse:
+        cells_map = sketch._cells
+        occupied = len(cells_map)
+        values = np.array(list(cells_map.values()), dtype=float)
+        total_mass = float(values.sum()) if occupied else 0.0
+        per_row = np.zeros(sketch.rows, dtype=np.int64)
+        for (r, _c), v in cells_map.items():
+            if v != 0:
+                per_row[r] += 1
+    else:
+        matrix = np.asarray(sketch.matrix)
+        nonzero = matrix != 0
+        occupied = int(np.count_nonzero(nonzero))
+        values = matrix[nonzero]
+        total_mass = float(matrix.sum())
+        per_row = nonzero.sum(axis=1)
+
+    cells = sketch.rows * sketch.cols
+    labels_tracked = colliding = None
+    collision_rate: Optional[float] = None
+    if sketch.keeps_labels:
+        bucket_sizes = [len(v) for v in sketch._row_labels.values()]
+        labels_tracked = sum(bucket_sizes)
+        colliding = sum(1 for size in bucket_sizes if size >= 2)
+        shared = sum(size for size in bucket_sizes if size >= 2)
+        collision_rate = (shared / labels_tracked) if labels_tracked else 0.0
+    elif occupied:
+        # No labels -> estimate from occupancy: occupied cells lower-bound
+        # the distinct edges seen, so this underestimates on purpose.
+        collision_rate = _estimate_collision_rate(occupied, cells)
+
+    return SketchHealth(
+        rows=sketch.rows,
+        cols=sketch.cols,
+        cells=cells,
+        occupied_cells=occupied,
+        load_factor=occupied / cells if cells else 0.0,
+        total_mass=total_mass,
+        nbytes=int(sketch.memory_bytes()),
+        graphical=sketch.is_graphical,
+        extended=sketch.keeps_labels,
+        row_occupancy=_occupancy_stats(np.asarray(per_row)),
+        top_cell_mass_share=_top_mass_share(np.asarray(values)),
+        labels_tracked=labels_tracked,
+        colliding_buckets=colliding,
+        collision_rate=collision_rate,
+    )
+
+
+def tcm_health(tcm) -> TCMHealth:
+    """Health report for a whole TCM ensemble."""
+    reports = [sketch_health(s) for s in tcm.sketches]
+    cells = sum(r.cells for r in reports)
+    occupied = sum(r.occupied_cells for r in reports)
+    return TCMHealth(
+        d=tcm.d,
+        directed=tcm.directed,
+        aggregation=tcm.aggregation.value,
+        cells=cells,
+        occupied_cells=occupied,
+        load_factor=occupied / cells if cells else 0.0,
+        nbytes=int(tcm.memory_bytes()),
+        sketches=reports,
+    )
+
+
+def distributed_health(deployment) -> Dict[str, Any]:
+    """Per-worker health for a :class:`DistributedTCM` (broadcast mode).
+
+    Returns ``{"workers": [TCMHealth-dict per worker], "nbytes": total}``.
+    """
+    reports = [tcm_health(w.tcm) for w in deployment.workers]
+    return {
+        "workers": [r.to_dict() for r in reports],
+        "nbytes": sum(r.nbytes for r in reports),
+    }
+
+
+def saturation_warnings(health: TCMHealth,
+                        load_threshold: float = 0.5,
+                        collision_threshold: float = 0.5) -> List[str]:
+    """Human-readable warnings for sketches past the accuracy cliff.
+
+    The thresholds are heuristics: at load factor 0.5 roughly every other
+    query cell carries foreign mass, and the paper's error bounds
+    (Theorem 1, e/w collision mass) presume much sparser rows.
+    """
+    warnings = []
+    for i, s in enumerate(health.sketches):
+        if s.load_factor > load_threshold:
+            warnings.append(
+                f"sketch[{i}] load factor {s.load_factor:.2f} exceeds "
+                f"{load_threshold:.2f}: estimates are collision-dominated; "
+                "grow width or add sketches")
+        if (s.collision_rate is not None
+                and s.collision_rate > collision_threshold):
+            warnings.append(
+                f"sketch[{i}] collision rate {s.collision_rate:.2f} exceeds "
+                f"{collision_threshold:.2f}: most labels share buckets")
+    return warnings

@@ -1,0 +1,111 @@
+"""The well-known instrument handles shared by every instrumented module.
+
+``OBS`` is the single process-wide switchboard: instrumented code guards
+every metric touch with ``if OBS.enabled:`` -- one attribute lookup and a
+branch when observability is off, which is what keeps the hot update loop
+honest (see ``BENCH_obs_overhead.json`` for the measured cost).
+
+The handles are created eagerly against the default registry so metric
+names exist (at zero) from the first export, and so hot loops can cache
+a bound child (e.g. ``OBS.hh_observed.labels("edge")``) once instead of
+doing a dict lookup per element.
+
+Metric catalog: docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, log_buckets
+
+#: The default process-wide registry every instrument lives in.
+REGISTRY = MetricsRegistry()
+
+
+class Instruments:
+    """Pre-declared metric handles plus the global enable flag."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.enabled = False
+        self.registry = registry
+
+        # -- ingest path ---------------------------------------------------
+        self.tcm_updates = registry.counter(
+            "tcm_updates_total",
+            "Stream elements absorbed via TCM.update (any aggregation)")
+        self.tcm_update_weight = registry.counter(
+            "tcm_update_weight_total",
+            "Total weight absorbed via TCM.update")
+        self.tcm_removes = registry.counter(
+            "tcm_removes_total", "Deletions applied via TCM.remove")
+        self.tcm_ingest_elements = registry.counter(
+            "tcm_ingest_elements_total",
+            "Elements absorbed through bulk TCM.ingest / "
+            "ingest_conservative")
+        self.tcm_ingest_seconds = registry.histogram(
+            "tcm_ingest_seconds",
+            "Wall time of bulk ingest calls",
+            buckets=log_buckets(1e-5, 100.0))
+
+        # -- query path ----------------------------------------------------
+        self.query_seconds = registry.histogram(
+            "tcm_query_seconds",
+            "Latency per query, labeled by query family",
+            labelnames=("kind",))
+        self.subgraph_queries_built = registry.counter(
+            "tcm_subgraph_queries_built_total",
+            "SubgraphQuery objects constructed (parsed or programmatic)")
+
+        # -- streaming monitors (Algorithms 1 & 2) -------------------------
+        self.hh_observed = registry.counter(
+            "hh_observed_total",
+            "Elements observed by heavy-hitter monitors",
+            labelnames=("monitor",))
+        self.hh_evictions = registry.counter(
+            "hh_evictions_total",
+            "Candidate evictions across heavy-hitter monitors")
+        self.triangle_query_seconds = registry.histogram(
+            "tcm_triangle_query_seconds",
+            "Latency of heavy-triangle-connection queries (Algorithm 2)",
+            labelnames=("stage",))
+
+        # -- stream replay -------------------------------------------------
+        self.replay_edges = registry.counter(
+            "stream_replay_edges_total",
+            "Elements delivered through MonitoringHub.observe")
+        self.replay_bytes = registry.counter(
+            "stream_replay_bytes_total",
+            "Estimated wire bytes of elements delivered through "
+            "MonitoringHub (label lengths + 16B weight/timestamp)")
+
+        # -- distributed ---------------------------------------------------
+        self.shard_elements = registry.counter(
+            "sharded_elements_total",
+            "Elements summarized per shard worker",
+            labelnames=("shard",))
+        self.shard_build_seconds = registry.histogram(
+            "sharded_build_seconds",
+            "Wall time to summarize one shard",
+            buckets=log_buckets(1e-5, 100.0))
+        self.shard_merge_seconds = registry.histogram(
+            "sharded_merge_seconds",
+            "Wall time per pairwise shard-summary merge",
+            buckets=log_buckets(1e-6, 10.0))
+        self.shard_count = registry.gauge(
+            "sharded_shards", "Shards in the most recent summarize() call")
+
+
+OBS = Instruments(REGISTRY)
+
+
+def enable() -> None:
+    """Turn instrumentation on (counters start moving)."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (hot paths fall back to the no-op check)."""
+    OBS.enabled = False
+
+
+def is_enabled() -> bool:
+    return OBS.enabled

@@ -1,0 +1,324 @@
+"""Process-local metrics: counters, gauges and log-bucket histograms.
+
+The registry is deliberately tiny -- no sockets, no threads, no external
+dependencies -- because the point is to make the TCM trade-off (accuracy
+vs space vs throughput) *visible* without distorting it.  Three metric
+types cover every signal the system emits:
+
+- :class:`Counter` -- monotonically increasing totals (elements ingested,
+  evictions, bytes replayed).
+- :class:`Gauge` -- point-in-time values (sketch load factor, shard
+  count, memory footprint).
+- :class:`Histogram` -- distributions over fixed **log-scale** buckets
+  (query latencies spanning microseconds to seconds fit a multiplicative
+  grid; a linear grid would waste every bucket on one decade).
+
+Metrics may declare *label names* and fan out into labeled children via
+:meth:`~Metric.labels`, mirroring the Prometheus data model so the text
+exposition in :mod:`repro.obs.export` is scrape-compatible.
+
+Hot-path cost: an un-labeled ``Counter.inc()`` is one attribute add.
+Whether to call it at all is decided by the single ``OBS.enabled``
+attribute check in the instrumented code (see
+:mod:`repro.obs.instruments`), so disabled instrumentation costs ~one
+attribute lookup and a branch.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def log_buckets(minimum: float = 1e-6, maximum: float = 10.0,
+                per_decade: int = 2) -> Tuple[float, ...]:
+    """Fixed log-scale bucket upper bounds from ``minimum`` to ``maximum``.
+
+    ``per_decade`` bounds per power of ten; the implicit ``+Inf`` bucket
+    is always appended by :class:`Histogram`.
+
+    >>> log_buckets(1e-2, 1.0, per_decade=1)
+    (0.01, 0.1, 1.0)
+    """
+    if minimum <= 0 or maximum <= minimum:
+        raise ValueError(f"need 0 < minimum < maximum, "
+                         f"got [{minimum}, {maximum}]")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    lo = round(math.log10(minimum) * per_decade)
+    hi = round(math.log10(maximum) * per_decade)
+    return tuple(10.0 ** (e / per_decade) for e in range(lo, hi + 1))
+
+
+#: Default latency grid: 1 microsecond to 10 seconds, half-decade steps.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-6, 10.0, per_decade=2)
+
+
+class Metric:
+    """Base class: name, help text and the labeled-children machinery.
+
+    A metric created *with* ``labelnames`` is a family; operating on the
+    family directly raises -- call :meth:`labels` to get (or lazily
+    create) the child for one label combination.  A metric created
+    without label names is its own single child.
+    """
+
+    TYPE = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], "Metric"] = {}
+        self.labelvalues: Tuple[str, ...] = ()
+
+    def labels(self, *values) -> "Metric":
+        """The child metric for one combination of label values."""
+        if not self.labelnames:
+            raise ValueError(f"{self.name} was declared without labels")
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects {len(self.labelnames)} label values "
+                f"{self.labelnames}, got {len(values)}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            child.labelvalues = key
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "Metric":
+        raise NotImplementedError
+
+    def children(self) -> Iterator["Metric"]:
+        """All concrete (value-bearing) metrics under this family."""
+        if self.labelnames:
+            for key in sorted(self._children):
+                yield self._children[key]
+        else:
+            yield self
+
+    def _check_leaf(self) -> None:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; "
+                "call .labels(...) first")
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    TYPE = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self._check_leaf()
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            return sum(c._value for c in self._children.values())
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._children.clear()
+
+
+class Gauge(Metric):
+    """A value that can go up and down (or be set outright)."""
+
+    TYPE = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        self._check_leaf()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._children.clear()
+
+
+class Histogram(Metric):
+    """Counts of observations over fixed log-scale buckets.
+
+    Buckets are *cumulative upper bounds* (Prometheus ``le`` semantics)
+    with an implicit ``+Inf`` bucket, plus a running sum and count so
+    mean latency falls out of any snapshot.
+
+    >>> h = Histogram("t", buckets=(0.01, 0.1, 1.0))
+    >>> h.observe(0.05); h.observe(0.5); h.observe(5.0)
+    >>> h.count, h.bucket_counts
+    (3, [0, 1, 2, 3])
+    """
+
+    TYPE = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets if buckets is not None
+                       else DEFAULT_LATENCY_BUCKETS)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._check_leaf()
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        if self.labelnames:
+            return sum(c._count for c in self._children.values())
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        if self.labelnames:
+            return sum(c._sum for c in self._children.values())
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Cumulative counts per bucket (``le`` semantics, +Inf last)."""
+        out, running = [], 0
+        for n in self._counts:
+            running += n
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        the ``q``-th observation falls in; +Inf bucket reports the top
+        finite bound)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        running = 0
+        for i, n in enumerate(self._counts):
+            running += n
+            if running >= rank:
+                return (self.buckets[i] if i < len(self.buckets)
+                        else self.buckets[-1])
+        return self.buckets[-1]
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._children.clear()
+
+
+class MetricsRegistry:
+    """Owns every metric family; the unit of export and reset.
+
+    Re-declaring a name returns the existing family when the type and
+    labels match (so instrumented modules can declare idempotently) and
+    raises on any mismatch.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _register(self, cls, name: str, help: str,
+                  labelnames: Sequence[str], **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.labelnames != tuple(labelnames)):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.TYPE}{existing.labelnames}")
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        """Every registered family, name-sorted (stable export order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every value; registrations (and handles) survive."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop registrations entirely (tests only -- cached handles in
+        instrumented modules would go stale)."""
+        self._metrics.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)

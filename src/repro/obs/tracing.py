@@ -1,0 +1,162 @@
+"""Lightweight tracing: nested timed spans with a ring-buffer recorder.
+
+A :class:`Tracer` keeps a bounded deque of *finished* spans (oldest
+evicted first) and a per-thread stack of open ones, so
+
+    with span("tcm.query.edge_weight", dataset="dblp"):
+        ...
+
+records one timed entry with its parent/depth filled in from whatever
+span was open on the same thread.  When observability is disabled
+(:func:`repro.obs.disable`), ``span()`` yields a shared no-op object and
+records nothing.
+
+Spans are for the *coarse* operations -- ingests, query batches,
+shard merges -- not per-element work; per-element signals belong to the
+counters in :mod:`repro.obs.instruments`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.instruments import OBS
+
+
+class Span:
+    """One finished (or still-open) timed operation."""
+
+    __slots__ = ("span_id", "parent_id", "name", "depth", "start", "end",
+                 "attributes")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 depth: int, start: float,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = attributes or {}
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes to the span; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, depth={self.depth}, "
+                f"duration={self.duration:.6f})")
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Ring-buffer span recorder; thread-safe for concurrent spans."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._finished: deque = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[object]:
+        """Open a nested timed span; a no-op when obs is disabled.
+
+        Spans opened while disabled are never recorded, even if obs is
+        enabled before they close (the start time would be meaningless).
+        """
+        if not OBS.enabled:
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        entry = Span(next(self._ids),
+                     parent.span_id if parent else None,
+                     name,
+                     parent.depth + 1 if parent else 0,
+                     time.perf_counter(),
+                     attributes)
+        stack.append(entry)
+        try:
+            yield entry
+        finally:
+            entry.end = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                self._finished.append(entry)
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first; optionally filtered by name."""
+        with self._lock:
+            snapshot = list(self._finished)
+        if name is not None:
+            snapshot = [s for s in snapshot if s.name == name]
+        return snapshot
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def export(self) -> List[Dict[str, Any]]:
+        """JSON-able list of finished spans, oldest first."""
+        return [s.to_dict() for s in self.spans()]
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.export(), indent=indent, default=str)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+#: The default process-wide tracer used by the instrumented code paths.
+TRACER = Tracer()
+
+
+def span(name: str, **attributes):
+    """Open a span on the default tracer (module-level convenience)."""
+    return TRACER.span(name, **attributes)

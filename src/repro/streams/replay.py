@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Tuple
 
+from repro.obs.instruments import OBS
 from repro.streams.model import StreamEdge
 
 Consumer = Callable[[StreamEdge], None]
@@ -76,6 +77,10 @@ class MonitoringHub:
         """Deliver one element to every consumer, in attach order."""
         for _, _, deliver in self._consumers:
             deliver(edge)
+        if OBS.enabled:
+            OBS.replay_edges.inc()
+            OBS.replay_bytes.inc(
+                len(str(edge.source)) + len(str(edge.target)) + 16)
 
     def replay(self, stream: Iterable[StreamEdge]) -> int:
         """Deliver a whole stream; returns the element count."""

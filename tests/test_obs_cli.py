@@ -1,0 +1,79 @@
+"""Smoke tests for the ``tcm obs`` subcommand."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.streams.io import write_stream
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.TRACER.clear()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.TRACER.clear()
+    obs.REGISTRY.reset()
+
+
+@pytest.fixture
+def trace_file(tmp_path, ipflow_stream):
+    path = tmp_path / "trace.txt"
+    write_stream(ipflow_stream, path)
+    return path
+
+
+class TestObsCommand:
+    def test_demo_on_synthetic_dataset(self, capsys):
+        assert main(["obs", "--dataset", "gtgraph", "--scale", "tiny",
+                     "--every", "500"]) == 0
+        out = capsys.readouterr().out
+        # periodic reporter progress + final line
+        assert "[obs] done:" in out
+        assert "edges/s" in out
+        # Prometheus exposition covers ingest, queries and health
+        assert "# TYPE tcm_updates_total counter" in out
+        assert "# TYPE tcm_query_seconds histogram" in out
+        assert 'tcm_query_seconds_bucket{kind="edge_weight"' in out
+        assert 'tcm_sketch_load_factor{tcm="demo"' in out
+        # JSON snapshot rides along in `both` mode
+        assert '"tcm_ingest_elements_total"' in out
+
+    def test_stream_file_json_only(self, trace_file, capsys):
+        assert main(["obs", str(trace_file), "--format", "json",
+                     "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" not in out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["enabled"] is True
+        assert doc["health"]["demo"]["d"] == 4
+        samples = doc["metrics"]["stream_replay_edges_total"]["samples"]
+        assert samples[0]["value"] == 1500  # ipflow_stream has 1500 packets
+        assert any(s["name"] == "obs.demo.ingest" for s in doc["spans"])
+
+    def test_out_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "snapshot.json"
+        assert main(["obs", str(trace_file), "--format", "prom",
+                     "--out", str(out_path)]) == 0
+        assert "wrote JSON snapshot" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert "tcm_updates_total" in doc["metrics"]
+
+    def test_obs_disabled_after_run(self, trace_file, capsys):
+        main(["obs", str(trace_file), "--format", "prom"])
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+    def test_python_m_repro_obs(self):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "obs", "--dataset", "gtgraph",
+             "--scale", "tiny", "--format", "prom"],
+            capture_output=True, text=True)
+        assert result.returncode == 0
+        assert "tcm_updates_total" in result.stdout

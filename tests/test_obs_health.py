@@ -1,0 +1,163 @@
+"""Tests for sketch-health introspection (repro.obs.health) and the
+memory_bytes accessors it relies on."""
+
+import pytest
+
+from repro import obs
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+
+
+class TestSketchHealthHandBuilt:
+    """A d=1, 2x2 sketch whose numbers can be checked by hand."""
+
+    def make(self, **kwargs):
+        return TCM(d=1, width=2, seed=0, **kwargs)
+
+    def test_empty_sketch(self):
+        health = obs.sketch_health(self.make().sketches[0])
+        assert health.rows == health.cols == 2
+        assert health.cells == 4
+        assert health.occupied_cells == 0
+        assert health.load_factor == 0.0
+        assert health.total_mass == 0.0
+        assert health.nbytes == 4 * 8  # four float64 cells
+        assert health.row_occupancy == [0.0, 0.0, 0.0, 0.0, 0.0]
+        assert health.collision_rate is None
+
+    def test_one_edge(self):
+        tcm = self.make()
+        tcm.update("a", "b", 3.0)
+        health = obs.sketch_health(tcm.sketches[0])
+        assert health.occupied_cells == 1
+        assert health.load_factor == 0.25
+        assert health.total_mass == 3.0
+        assert health.top_cell_mass_share == 1.0
+        assert health.row_occupancy[-1] == 1.0  # max row occupancy
+
+    def test_full_sketch(self):
+        tcm = self.make()
+        # The 4x4 label cross product hits all four cells at this seed.
+        for i in range(4):
+            for j in range(4):
+                tcm.update(f"s{i}", f"t{j}", 1.0)
+        health = obs.sketch_health(tcm.sketches[0])
+        assert health.occupied_cells == 4
+        assert health.load_factor == 1.0
+        assert health.total_mass == 16.0
+
+    def test_extended_sketch_exact_collisions(self):
+        tcm = TCM(d=1, width=1, seed=0, keep_labels=True)
+        tcm.update("a", "b", 1.0)
+        tcm.update("c", "b", 1.0)
+        health = obs.sketch_health(tcm.sketches[0])
+        assert health.extended
+        # width 1: all three labels share the single bucket
+        assert health.labels_tracked == 3
+        assert health.colliding_buckets == 1
+        assert health.collision_rate == 1.0
+
+    def test_plain_sketch_estimates_collisions(self):
+        tcm = self.make()
+        for i in range(8):
+            tcm.update(f"s{i}", f"t{i}", 1.0)
+        health = obs.sketch_health(tcm.sketches[0])
+        assert 0.0 < health.collision_rate <= 1.0
+
+
+class TestTCMHealth:
+    def test_ensemble_totals(self, small_directed):
+        tcm = TCM(d=3, width=8, seed=2)
+        tcm.ingest(small_directed)
+        health = obs.tcm_health(tcm)
+        assert health.d == 3
+        assert health.cells == 3 * 64
+        assert health.occupied_cells == sum(
+            s.occupied_cells for s in health.sketches)
+        assert health.nbytes == tcm.memory_bytes()
+        assert 0 < health.load_factor < 1
+        assert health.aggregation == "sum"
+
+    def test_sparse_backend(self, small_directed):
+        tcm = TCM(d=2, width=64, seed=2, sparse=True)
+        tcm.ingest(small_directed)
+        health = obs.tcm_health(tcm)
+        occupied = sum(s.occupied_cells for s in tcm.sketches)
+        assert health.occupied_cells == occupied
+        assert health.nbytes == tcm.memory_bytes()
+        assert health.nbytes < 2 * 64 * 64 * 8  # occupancy-priced, not w^2
+
+    def test_to_dict_is_jsonable(self, small_directed):
+        import json
+        tcm = TCM(d=2, width=8, seed=2)
+        tcm.ingest(small_directed)
+        json.dumps(obs.tcm_health(tcm).to_dict())
+
+    def test_distributed_health(self, small_directed):
+        from repro.distributed.cluster import DistributedTCM
+        with DistributedTCM(2, d=2, width=8, parallel=False) as cluster:
+            cluster.ingest(small_directed)
+            report = obs.distributed_health(cluster)
+        assert len(report["workers"]) == 2
+        assert report["nbytes"] == sum(w["nbytes"]
+                                       for w in report["workers"])
+
+
+class TestMemoryBytes:
+    def test_dense_exact(self):
+        tcm = TCM(d=4, width=16, seed=0)
+        assert tcm.memory_bytes() == 4 * 16 * 16 * 8
+        assert tcm.nbytes == tcm.memory_bytes()
+
+    def test_minmax_counts_touched_mask(self):
+        plain = TCM(d=1, width=16, seed=0)
+        minagg = TCM(d=1, width=16, seed=0, aggregation=Aggregation.MIN)
+        assert minagg.memory_bytes() == plain.memory_bytes() + 16 * 16
+
+    def test_extended_costs_more(self, small_directed):
+        plain = TCM(d=2, width=16, seed=0)
+        extended = TCM(d=2, width=16, seed=0, keep_labels=True)
+        plain.ingest(small_directed)
+        for e in small_directed:
+            extended.update(e.source, e.target, e.weight)
+        assert extended.memory_bytes() > plain.memory_bytes()
+
+    def test_sparse_grows_with_occupancy(self):
+        tcm = TCM(d=1, width=64, seed=0, sparse=True)
+        empty = tcm.memory_bytes()
+        tcm.update("a", "b", 1.0)
+        assert tcm.memory_bytes() > empty
+
+
+class TestPublishAndWarnings:
+    def test_publish_health_sets_gauges(self, small_directed):
+        tcm = TCM(d=2, width=8, seed=2)
+        tcm.ingest(small_directed)
+        health = obs.publish_health(tcm, name="t")
+        gauge = obs.REGISTRY.get("tcm_sketch_load_factor")
+        assert gauge.labels("t", "0").value == \
+            health.sketches[0].load_factor
+        assert obs.REGISTRY.get("tcm_memory_bytes").labels("t").value == \
+            health.nbytes
+
+    def test_saturation_warnings(self):
+        tcm = TCM(d=1, width=2, seed=0)
+        for i in range(16):
+            tcm.update(f"s{i}", f"t{i}", 1.0)
+        warnings = obs.saturation_warnings(obs.tcm_health(tcm))
+        assert warnings  # load factor 1.0 must trip the threshold
+        assert any("load factor" in w for w in warnings)
+
+    def test_healthy_sketch_no_warnings(self):
+        tcm = TCM(d=2, width=64, seed=0)
+        tcm.update("a", "b", 1.0)
+        assert obs.saturation_warnings(obs.tcm_health(tcm)) == []

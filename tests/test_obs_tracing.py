@@ -1,0 +1,134 @@
+"""Tests for the tracing module (repro.obs.tracing)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer, _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.TRACER.clear()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.TRACER.clear()
+    obs.REGISTRY.reset()
+
+
+class TestSpanRecording:
+    def test_disabled_yields_null_span(self):
+        tracer = Tracer()
+        with tracer.span("op") as s:
+            assert s is _NULL_SPAN
+            s.set(anything="fine")  # no-op, chainable
+        assert len(tracer) == 0
+
+    def test_enabled_records_span(self):
+        obs.enable()
+        tracer = Tracer()
+        with tracer.span("op", dataset="dblp") as s:
+            pass
+        spans = tracer.spans()
+        assert len(spans) == 1
+        assert spans[0].name == "op"
+        assert spans[0].attributes == {"dataset": "dblp"}
+        assert spans[0].duration >= 0
+        assert spans[0].parent_id is None
+        assert spans[0].depth == 0
+
+    def test_nesting(self):
+        obs.enable()
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, recorded_outer = tracer.spans()
+        # inner closes first, so it is recorded first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert recorded_outer.name == "outer"
+        assert recorded_outer.duration >= inner.duration
+
+    def test_span_recorded_even_on_exception(self):
+        obs.enable()
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans()] == ["fails"]
+
+    def test_set_attributes_mid_span(self):
+        obs.enable()
+        tracer = Tracer()
+        with tracer.span("op") as s:
+            s.set(count=3).set(extra=True)
+        assert tracer.spans()[0].attributes == {"count": 3, "extra": True}
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        obs.enable()
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["op2", "op3", "op4"]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        obs.enable()
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def test_json_export(self):
+        obs.enable()
+        tracer = Tracer()
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                pass
+        doc = json.loads(tracer.export_json())
+        assert [s["name"] for s in doc] == ["b", "a"]
+        assert doc[1]["attributes"] == {"k": 1}
+        assert all("duration" in s and "span_id" in s for s in doc)
+
+    def test_name_filter(self):
+        obs.enable()
+        tracer = Tracer()
+        for name in ("x", "y", "x"):
+            with tracer.span(name):
+                pass
+        assert len(tracer.spans("x")) == 2
+
+
+class TestDefaultTracerIntegration:
+    def test_module_level_span_uses_default_tracer(self):
+        obs.enable()
+        with obs.span("top"):
+            pass
+        assert any(s.name == "top" for s in obs.TRACER.spans())
+
+    def test_sharded_summarize_traced(self, small_directed):
+        from repro.distributed.sharded import ShardedTCM
+        from repro.streams.transforms import shard
+
+        obs.enable()
+        shards = shard(list(small_directed), 2)
+        ShardedTCM(2, d=2, width=16, seed=1).summarize(shards)
+        names = [s.name for s in obs.TRACER.spans()]
+        assert "tcm.sharded.summarize" in names
+        assert obs.OBS.shard_count.value == 2
+        assert obs.OBS.shard_elements.value == len(small_directed)
+        assert obs.OBS.shard_merge_seconds.count == 1
