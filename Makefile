@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: help install test test-fast bench bench-small examples report \
-	obs-demo obs-overhead clean
+.PHONY: help install test test-fast bench bench-small bench-ingest \
+	examples report obs-demo obs-overhead clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -15,6 +15,7 @@ help:
 	@echo "report       write the full Markdown reproduction report"
 	@echo "obs-demo     instrumented R-MAT ingest + metrics/health snapshot"
 	@echo "obs-overhead re-measure instrumentation cost on the hot path"
+	@echo "bench-ingest re-measure chunked/parallel ingest throughput + RSS"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -46,6 +47,9 @@ obs-demo:
 
 obs-overhead:
 	$(PYTHON) -m repro.obs.overhead --out BENCH_obs_overhead.json
+
+bench-ingest:
+	$(PYTHON) -m repro.perf.ingest_bench --out BENCH_ingest_throughput.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

@@ -11,6 +11,7 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.baselines.countmin import EdgeCountMin
 from repro.core.tcm import TCM
+from repro.distributed.parallel import parallel_ingest
 from repro.experiments import datasets
 from repro.experiments.exp5_efficiency import build_time_breakdown
 from repro.experiments.report import print_table
@@ -71,3 +72,29 @@ def test_vectorized_ingest_throughput(benchmark, scale):
     print(f"\nTCM footprint: {tcm.memory_bytes():,} bytes "
           f"({tcm.size_in_cells:,} cells)")
     assert tcm.memory_bytes() == tcm.size_in_cells * 8  # float64 cells
+
+
+def test_chunked_ingest_throughput(benchmark, scale):
+    """Constant-memory chunked build over a lazy stream (no list())."""
+    stream = datasets.ipflow(scale)
+
+    def build():
+        tcm = TCM(d=5, width=64, seed=1)
+        tcm.ingest(iter(stream), chunk_size=4096)
+        return tcm
+
+    tcm = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert tcm.total_weight_estimate() > 0
+
+
+def test_parallel_build_throughput(benchmark, scale):
+    """Two-worker sharded build; pays pickling + merge overheads, so it
+    only wins on streams long enough to amortize them."""
+    stream = datasets.ipflow(scale)
+
+    def build():
+        return parallel_ingest(stream, workers=2, chunk_size=4096,
+                               d=5, width=64, seed=1)
+
+    tcm = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert tcm.total_weight_estimate() > 0

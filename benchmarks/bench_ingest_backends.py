@@ -1,16 +1,20 @@
 """Throughput: ingest paths across backends.
 
 Measures elements/second for (a) dense scalar updates, (b) dense
-vectorized ingest, (c) sparse scalar updates, (d) sparse bulk ingest and
-(e) conservative updates -- the cost spectrum a deployment picks from.
-The vectorized dense path must dominate by a wide margin (it is what
-makes a Python TCM viable at the paper's stream sizes).
+vectorized ingest, (c) sparse scalar updates, (d) sparse bulk ingest,
+(e) conservative updates, (f) min-aggregation scalar vs chunked, (g) the
+batched conservative path and (h) the two-worker parallel build -- the
+cost spectrum a deployment picks from.  The vectorized dense path must
+dominate by a wide margin (it is what makes a Python TCM viable at the
+paper's stream sizes).
 """
 
 import time
 
 from benchmarks.conftest import run_once
+from repro.core.aggregation import Aggregation
 from repro.core.tcm import TCM
+from repro.distributed.parallel import parallel_ingest
 from repro.experiments import datasets
 from repro.experiments.report import print_table
 
@@ -47,11 +51,32 @@ def test_ingest_backends(benchmark, scale):
             for s, t, w in elements:
                 tcm.update_conservative(s, t, w)
 
+        def scalar_min():
+            tcm = TCM(d=3, width=64, seed=1, aggregation=Aggregation.MIN)
+            for s, t, w in elements:
+                tcm.update(s, t, w)
+
+        def chunked_min():
+            TCM(d=3, width=64, seed=1,
+                aggregation=Aggregation.MIN).ingest(stream, chunk_size=4096)
+
+        def batched_conservative():
+            TCM(d=3, width=64, seed=1).ingest_conservative(stream,
+                                                           chunk_size=4096)
+
+        def parallel_dense():
+            parallel_ingest(stream, workers=2, chunk_size=4096,
+                            d=3, width=64, seed=1)
+
         timed("dense scalar", scalar_dense)
         timed("dense vectorized", vectorized_dense)
         timed("sparse scalar", scalar_sparse)
         timed("sparse bulk", bulk_sparse)
         timed("conservative", conservative)
+        timed("min scalar", scalar_min)
+        timed("min chunked", chunked_min)
+        timed("conservative batched", batched_conservative)
+        timed("dense parallel x2", parallel_dense)
         return rates
 
     rates = run_once(benchmark, run)
@@ -63,3 +88,6 @@ def test_ingest_backends(benchmark, scale):
     # >5x at 'small'.
     assert rates["dense vectorized"] > 2 * rates["dense scalar"]
     assert rates["conservative"] < rates["dense scalar"] * 1.5
+    # The previously loop-bound paths now have batch kernels too.
+    assert rates["min chunked"] > rates["min scalar"]
+    assert rates["conservative batched"] > rates["conservative"]

@@ -5,6 +5,7 @@ An operator-facing front end over the library::
     tcm generate ipflow trace.txt --scale small     # synthetic workload
     tcm stats trace.txt                             # stream shape report
     tcm summarize trace.txt sketch.npz --d 5 --width 96
+    tcm ingest trace.txt sketch.npz --parallel 4 --chunk-size 65536
     tcm info sketch.npz
     tcm query sketch.npz edge 10.0.0.1 10.0.0.9
     tcm query sketch.npz reach 10.0.0.1 10.0.0.9
@@ -65,6 +66,59 @@ def _cmd_summarize(args) -> int:
     print(f"summarized {count} elements into {args.sketch} "
           f"({tcm.d} x {args.width}x{args.width} cells, "
           f"{ratio:.2f} cells/element)")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    """High-throughput chunked (optionally parallel) stream-file ingest.
+
+    Unlike ``summarize`` this never materializes the stream: elements are
+    read lazily from the file and absorbed in ``--chunk-size`` batches,
+    so memory stays constant however long the file is.  ``--parallel N``
+    deals chunks to N worker processes building same-seed TCMs that are
+    merged into one summary (docs/PERFORMANCE.md).
+    """
+    import time as _time
+
+    from repro.streams.io import iter_stream_file
+
+    if args.parallel < 1:
+        raise SystemExit(f"--parallel must be >= 1, got {args.parallel}")
+    if args.conservative and args.parallel > 1:
+        raise SystemExit("conservative summaries are not mergeable; "
+                         "use --parallel 1 with --conservative")
+    config = dict(d=args.d, width=args.width, seed=args.seed,
+                  directed=not args.undirected,
+                  keep_labels=args.keep_labels, sparse=args.sparse)
+    edges = iter_stream_file(args.stream)
+    start = _time.perf_counter()
+    if args.parallel > 1:
+        from repro.distributed.parallel import ParallelTCMBuilder
+        builder = ParallelTCMBuilder(workers=args.parallel,
+                                     chunk_size=args.chunk_size, **config)
+        tcm = builder.build(edges)
+        count = None
+    else:
+        tcm = TCM(**config)
+        if args.conservative:
+            count = tcm.ingest_conservative(edges,
+                                            chunk_size=args.chunk_size)
+        else:
+            count = tcm.ingest(edges, chunk_size=args.chunk_size)
+    elapsed = _time.perf_counter() - start
+    save_tcm(tcm, args.sketch)
+    if count is None:
+        # The parallel path streams the file straight into worker
+        # processes without counting elements in the parent.
+        print(f"ingested {args.stream} into {args.sketch} "
+              f"in {elapsed:.2f}s "
+              f"({args.parallel} workers, chunk size {args.chunk_size})")
+    else:
+        rate = count / elapsed if elapsed > 0 else float("inf")
+        mode = "conservative" if args.conservative else "chunked"
+        print(f"ingested {count} elements into {args.sketch} "
+              f"in {elapsed:.2f}s ({mode}, chunk size {args.chunk_size}, "
+              f"{rate:,.0f} elements/s)")
     return 0
 
 
@@ -234,6 +288,29 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_cmd.add_argument("--keep-labels", action="store_true",
                                help="build the extended sketch (§5.1.4)")
     summarize_cmd.set_defaults(handler=_cmd_summarize)
+
+    ingest = commands.add_parser(
+        "ingest", help="chunked high-throughput (optionally parallel) "
+                       "build from a stream file (docs/PERFORMANCE.md)")
+    ingest.add_argument("stream")
+    ingest.add_argument("sketch")
+    ingest.add_argument("--d", type=int, default=4)
+    ingest.add_argument("--width", type=int, default=256)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--undirected", action="store_true")
+    ingest.add_argument("--keep-labels", action="store_true",
+                        help="build the extended sketch (§5.1.4)")
+    ingest.add_argument("--sparse", action="store_true",
+                        help="dict-backed sparse backend (§5.1.1)")
+    ingest.add_argument("--chunk-size", type=int, default=65536,
+                        help="elements per ingest batch (default 65536)")
+    ingest.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for a sharded build "
+                             "(same-seed TCMs, merged; default 1)")
+    ingest.add_argument("--conservative", action="store_true",
+                        help="conservative (Estan-Varghese) batched "
+                             "ingest; insert-only, not mergeable")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     info = commands.add_parser("info", help="describe a sketch file")
     info.add_argument("sketch")

@@ -20,13 +20,14 @@ they degenerate to a CountMin row over source labels (Section 5.1.3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.aggregation import Aggregation
 from repro.hashing.family import PairwiseHash
 from repro.hashing.labels import Label, label_to_int
+from repro.hashing.labels import label_keys as _label_keys
 
 
 class GraphSketch:
@@ -212,30 +213,113 @@ class GraphSketch:
         self._matrix[r, c] -= delta
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
-                    weights: np.ndarray) -> None:
+                    weights: np.ndarray,
+                    source_labels: Optional[Sequence[Label]] = None,
+                    target_labels: Optional[Sequence[Label]] = None) -> None:
         """Vectorized bulk ingest of pre-converted integer label keys.
 
-        Semantically identical to calling :meth:`update` per element (for
-        sum/count aggregation) but orders of magnitude faster; used by the
-        throughput benchmarks.  Not available for min/max or when labels
-        are being materialized (those paths need per-element bookkeeping).
+        Bit-identical to calling :meth:`update` once per element, for every
+        aggregation: sum/count go through ``np.add.at`` (which applies the
+        chunk's additions in stream order, so float rounding matches the
+        scalar path exactly), min/max go through ``np.minimum.at`` /
+        ``np.maximum.at`` after seeding this chunk's previously-untouched
+        cells with the identity (min/max of the same floats is one of the
+        inputs, so no rounding is involved at all).
+
+        Extended sketches (``keep_labels=True``) additionally need the
+        original label objects to materialize per-bucket label sets; pass
+        them via ``source_labels``/``target_labels`` (the keys alone are
+        one-way).  Bookkeeping is deduplicated per distinct label per
+        chunk, so repeated labels cost one set insertion instead of one
+        per element.
         """
-        if self.aggregation not in (Aggregation.SUM, Aggregation.COUNT):
-            raise ValueError("update_many supports sum/count aggregation only")
-        if self._row_labels is not None:
-            raise ValueError("update_many is unavailable with keep_labels=True")
         source_keys = np.asarray(source_keys, dtype=np.uint64)
         target_keys = np.asarray(target_keys, dtype=np.uint64)
+        weights = np.asarray(weights, dtype=self._matrix.dtype)
+        if weights.size and (weights < 0).any():
+            bad = float(weights[weights < 0][0])
+            raise ValueError(f"stream weights must be non-negative, got {bad}")
+        if self._row_labels is not None and (source_labels is None
+                                             or target_labels is None):
+            raise ValueError(
+                "this sketch materializes labels (keep_labels=True); "
+                "update_many needs source_labels/target_labels too")
+        if source_labels is not None and self._row_labels is not None:
+            self._record_labels_bulk(source_keys, source_labels,
+                                     self._row_hash, self._row_labels)
+            self._record_labels_bulk(target_keys, target_labels,
+                                     self._col_hash, self._col_labels)
         if not self.directed:
-            # Label-canonical orientation, matching _buckets().
+            # Label-canonical orientation, matching _buckets().  Applied
+            # after label bookkeeping, which uses the original orientation.
             source_keys, target_keys = (np.minimum(source_keys, target_keys),
                                         np.maximum(source_keys, target_keys))
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
-        values = (np.asarray(weights, dtype=self._matrix.dtype)
-                  if self.aggregation is Aggregation.SUM
-                  else np.ones(len(rows), dtype=self._matrix.dtype))
-        np.add.at(self._matrix, (rows, cols), values)
+        if self.aggregation in (Aggregation.SUM, Aggregation.COUNT):
+            values = (weights if self.aggregation is Aggregation.SUM
+                      else np.ones(len(rows), dtype=self._matrix.dtype))
+            np.add.at(self._matrix, (rows, cols), values)
+        else:
+            # Cells first touched in this chunk start from the min/max
+            # identity so the unbuffered ufunc leaves exactly the chunk's
+            # extreme there -- the same value the scalar path's
+            # "untouched -> overwrite" branch produces.
+            identity = (np.inf if self.aggregation is Aggregation.MIN
+                        else -np.inf)
+            fresh = ~self._touched[rows, cols]
+            if fresh.any():
+                self._matrix[rows[fresh], cols[fresh]] = identity
+            if self.aggregation is Aggregation.MIN:
+                np.minimum.at(self._matrix, (rows, cols), weights)
+            else:
+                np.maximum.at(self._matrix, (rows, cols), weights)
+            self._touched[rows, cols] = True
+
+    @staticmethod
+    def _record_labels_bulk(keys: np.ndarray, labels: Sequence[Label],
+                            hash_fn: PairwiseHash,
+                            label_map: Dict[int, Set[Label]]) -> None:
+        """Materialize a chunk's labels into per-bucket sets.
+
+        Deduplicates by label object first (a chunk typically repeats hot
+        labels thousands of times), then buckets the distinct survivors
+        with one vectorized hash pass.
+        """
+        first_index: Dict[Label, int] = {}
+        for i, label in enumerate(labels):
+            if label not in first_index:
+                first_index[label] = i
+        if not first_index:
+            return
+        distinct = list(first_index.keys())
+        buckets = hash_fn.hash_many(
+            keys[np.fromiter(first_index.values(), dtype=np.intp,
+                             count=len(first_index))])
+        for bucket, label in zip(buckets.tolist(), distinct):
+            label_map.setdefault(bucket, set()).add(label)
+
+    def raise_cells_to(self, source_keys: np.ndarray,
+                       target_keys: np.ndarray,
+                       floors: np.ndarray) -> None:
+        """Batched :meth:`raise_cell_to`: lift each edge's cell to its floor.
+
+        The kernel behind chunked conservative update.  When several edges
+        in the batch share a cell, the cell ends at the maximum of their
+        floors -- the same fixed point per-edge raising reaches for floors
+        computed against a common pre-batch state.
+        """
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("conservative update requires sum aggregation")
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        np.maximum.at(self._matrix, (rows, cols),
+                      np.asarray(floors, dtype=self._matrix.dtype))
 
     # -- point estimates -----------------------------------------------------
 
@@ -415,7 +499,6 @@ class GraphSketch:
                 f"agg={self.aggregation.value})")
 
 
-def label_keys(labels: Iterable[Label]) -> np.ndarray:
-    """Convert an iterable of labels to the integer key array consumed by
-    :meth:`GraphSketch.update_many`."""
-    return np.array([label_to_int(x) for x in labels], dtype=np.uint64)
+#: Re-exported here for backwards compatibility; the implementation (with
+#: its interning cache) lives in :mod:`repro.hashing.labels`.
+label_keys = _label_keys

@@ -19,7 +19,7 @@ configuration are estimate-for-estimate identical; tests enforce it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -176,22 +176,57 @@ class SparseGraphSketch:
                             else 1.0))
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
-                    weights: np.ndarray) -> None:
-        """Bulk ingest: vectorized hashing, dict accumulation."""
-        if self._row_labels is not None:
-            raise ValueError("update_many is unavailable with keep_labels=True")
+                    weights: np.ndarray,
+                    source_labels: Optional[Sequence[Label]] = None,
+                    target_labels: Optional[Sequence[Label]] = None) -> None:
+        """Bulk ingest: vectorized hashing, grouped dict accumulation.
+
+        Hashing and per-cell weight accumulation are vectorized; the dict
+        is then touched once per *distinct* cell in the chunk instead of
+        once per element, which is what makes the sparse backend's bulk
+        path scale with occupancy rather than stream length.  Cell sums
+        are accumulated per cell in stream order before the single dict
+        add, so results match the scalar path exactly for the integer and
+        dyadic weights real streams carry (arbitrary floats can differ in
+        the last ulp because float addition is not associative).
+
+        Extended sketches need ``source_labels``/``target_labels`` for the
+        per-bucket label sets, exactly as in
+        :meth:`GraphSketch.update_many`.
+        """
         source_keys = np.asarray(source_keys, dtype=np.uint64)
         target_keys = np.asarray(target_keys, dtype=np.uint64)
+        weights = np.asarray(weights, dtype=float)
+        if weights.size and (weights < 0).any():
+            bad = float(weights[weights < 0][0])
+            raise ValueError(f"stream weights must be non-negative, got {bad}")
+        if self._row_labels is not None and (source_labels is None
+                                             or target_labels is None):
+            raise ValueError(
+                "this sketch materializes labels (keep_labels=True); "
+                "update_many needs source_labels/target_labels too")
+        if source_labels is not None and self._row_labels is not None:
+            from repro.core.graph_sketch import GraphSketch
+            GraphSketch._record_labels_bulk(source_keys, source_labels,
+                                            self._row_hash, self._row_labels)
+            GraphSketch._record_labels_bulk(target_keys, target_labels,
+                                            self._col_hash, self._col_labels)
         if not self.directed:
             source_keys, target_keys = (np.minimum(source_keys, target_keys),
                                         np.maximum(source_keys, target_keys))
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
-        values = (np.asarray(weights, dtype=float)
-                  if self.aggregation is Aggregation.SUM
+        if len(rows) == 0:
+            return
+        values = (weights if self.aggregation is Aggregation.SUM
                   else np.ones(len(rows)))
-        for r, c, v in zip(rows.tolist(), cols.tolist(), values.tolist()):
-            self._apply(r, c, v)
+        flat = rows * np.int64(self.cols) + cols
+        cells, inverse = np.unique(flat, return_inverse=True)
+        sums = np.bincount(inverse, weights=values,
+                           minlength=len(cells))
+        width = self.cols
+        for cell, total in zip(cells.tolist(), sums.tolist()):
+            self._apply(cell // width, cell % width, total)
 
     def raise_cell_to(self, source: Label, target: Label,
                       floor: float) -> None:
@@ -201,6 +236,31 @@ class SparseGraphSketch:
         current = self._cells.get((r, c), 0.0)
         if current < floor:
             self._apply(r, c, floor - current)
+
+    def raise_cells_to(self, source_keys: np.ndarray,
+                       target_keys: np.ndarray,
+                       floors: np.ndarray) -> None:
+        """Batched :meth:`raise_cell_to` (see the dense counterpart).
+
+        Raising a cell repeatedly is idempotent up to the maximum floor,
+        so the sequential dict walk here reaches the same fixed point as
+        the dense kernel's ``np.maximum.at``.
+        """
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("conservative update requires sum aggregation")
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        cells = self._cells
+        for r, c, floor in zip(rows.tolist(), cols.tolist(),
+                               np.asarray(floors, dtype=float).tolist()):
+            current = cells.get((r, c), 0.0)
+            if current < floor:
+                self._apply(r, c, floor - current)
 
     # -- point estimates ---------------------------------------------------------
 

@@ -16,6 +16,7 @@ from Section 4; the streaming monitors (Algorithms 1 and 2) live in
 from __future__ import annotations
 
 import functools
+import itertools
 import math
 import time
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -32,8 +33,13 @@ from repro.core.aggregation import Aggregation
 from repro.core.graph_sketch import GraphSketch
 from repro.core.queries import SubgraphQuery, is_wildcard
 from repro.hashing.family import HashFamily
-from repro.hashing.labels import Label, label_to_int
+from repro.hashing.labels import Label, label_keys
 from repro.obs.instruments import OBS
+
+#: Default ingest batch size.  Big enough to amortize numpy/hashing call
+#: overheads (they flatten out around ~16k elements), small enough that a
+#: chunk of label lists + three key/weight arrays stays a few MB.
+DEFAULT_CHUNK_SIZE = 65536
 
 
 def _timed_query(kind: str):
@@ -272,47 +278,147 @@ class TCM:
         for sketch in self._sketches:
             sketch.raise_cell_to(source, target, floor)
 
-    def ingest_conservative(self, stream) -> int:
-        """One-pass bulk construction using conservative updates."""
+    def ingest_conservative(self, stream: Iterable, *,
+                            chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+        """One-pass bulk construction using conservative updates.
+
+        Consumes the stream lazily in ``chunk_size`` batches (constant
+        memory) and applies one batched conservative raise per chunk:
+        the chunk is grouped by distinct (canonical) edge, each group's
+        weights are summed, floors are computed as ``current ensemble
+        estimate + chunk sum`` against the pre-chunk state, and every
+        sketch's cells are lifted to the max floor landing on them.
+
+        **Equivalence.**  For a repeated edge the per-element floors
+        telescope -- raising every sketch's cell to ``f`` makes the
+        ensemble estimate exactly ``max(f, old estimate)``, so ``k``
+        consecutive updates of one edge raise it to ``estimate + w_1 +
+        ... + w_k`` -- which is precisely the batched floor.  Hence the
+        batched result is *identical* to per-element
+        :meth:`update_conservative` whenever no two distinct edges of a
+        chunk collide in a cell of any sketch (always true for
+        ``chunk_size=1``).  Under within-chunk collisions the batched
+        floors are computed against the pre-chunk state instead of the
+        partially-raised one, so batched cells are *at most* the
+        per-element cells -- estimates stay one-sided (never undercount,
+        the tests assert both invariants) and collide strictly less.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("conservative update requires sum aggregation")
         start = time.perf_counter() if OBS.enabled else 0.0
         count = 0
-        for edge in stream:
-            self.update_conservative(edge.source, edge.target, edge.weight)
-            count += 1
+        iterator = iter(stream)
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            count += len(chunk)
+            source_keys = label_keys([e.source for e in chunk])
+            target_keys = label_keys([e.target for e in chunk])
+            weights = np.array([e.weight for e in chunk])
+            if (weights < 0).any():
+                bad = float(weights[weights < 0][0])
+                raise ValueError(
+                    f"weights must be non-negative, got {bad}")
+            if not self.directed:
+                source_keys, target_keys = (
+                    np.minimum(source_keys, target_keys),
+                    np.maximum(source_keys, target_keys))
+            pairs = np.column_stack((source_keys, target_keys))
+            distinct, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            sums = np.bincount(inverse.ravel(), weights=weights,
+                               minlength=len(distinct))
+            estimates = np.stack(
+                [s.edge_estimates(distinct[:, 0], distinct[:, 1])
+                 for s in self._sketches]).min(axis=0)
+            floors = estimates + sums
+            for sketch in self._sketches:
+                sketch.raise_cells_to(distinct[:, 0], distinct[:, 1], floors)
+            if OBS.enabled:
+                OBS.tcm_ingest_chunks.inc()
         if OBS.enabled:
             OBS.tcm_ingest_elements.inc(count)
             OBS.tcm_ingest_seconds.observe(time.perf_counter() - start)
         return count
 
-    def ingest(self, stream: Iterable) -> int:
+    def ingest(self, stream: Iterable, *,
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
         """One-pass bulk construction from a stream of elements.
 
-        Uses the vectorized matrix path when possible (sum/count without
-        label materialization); otherwise falls back to per-element
-        updates.  Returns the number of elements ingested.
+        Consumes the stream lazily in fixed-size chunks -- a generator
+        stream is never materialized, so peak memory is bounded by
+        ``chunk_size`` regardless of stream length -- and routes every
+        chunk through the vectorized kernels
+        (:meth:`GraphSketch.update_many`), which cover all aggregations,
+        both backends, and extended (``keep_labels``) sketches.  Results
+        are bit-identical to per-element :meth:`update` (see
+        docs/PERFORMANCE.md for the engine's layout and measured rates).
+        Returns the number of elements ingested.
         """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         start = time.perf_counter() if OBS.enabled else 0.0
-        edges = list(stream)
+        count = 0
+        iterator = iter(stream)
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            count += self.ingest_chunk(chunk)
+        if OBS.enabled:
+            OBS.tcm_ingest_elements.inc(count)
+            OBS.tcm_ingest_seconds.observe(time.perf_counter() - start)
+        return count
+
+    def ingest_chunk(self, edges: Sequence) -> int:
+        """Absorb one batch of stream elements through the vectorized path.
+
+        The per-chunk kernel behind :meth:`ingest`; also usable directly
+        by replay/batching layers (see
+        :meth:`repro.streams.replay.MonitoringHub.replay_chunked`).
+        """
         if not edges:
             return 0
-        vectorizable = (
-            self.aggregation in (Aggregation.SUM, Aggregation.COUNT)
-            and not any(s.keeps_labels for s in self._sketches))
-        if vectorizable:
-            keys_src = np.array([label_to_int(e.source) for e in edges],
-                                dtype=np.uint64)
-            keys_dst = np.array([label_to_int(e.target) for e in edges],
-                                dtype=np.uint64)
-            weights = np.array([e.weight for e in edges])
-            for sketch in self._sketches:
-                sketch.update_many(keys_src, keys_dst, weights)
+        return self.ingest_columns([e.source for e in edges],
+                                   [e.target for e in edges],
+                                   np.array([e.weight for e in edges]))
+
+    def ingest_columns(self, sources: Sequence[Label],
+                       targets: Sequence[Label],
+                       weights: Optional[np.ndarray] = None) -> int:
+        """Columnar chunk ingest: parallel label/weight sequences.
+
+        The zero-copy entry point for columnar sources (parallel workers
+        ship chunks as three flat lists; benchmarks feed numpy slices).
+        ``weights`` defaults to all-ones.
+        """
+        n = len(sources)
+        if len(targets) != n:
+            raise ValueError(
+                f"got {n} sources but {len(targets)} targets")
+        if n == 0:
+            return 0
+        if weights is None:
+            weights = np.ones(n)
         else:
-            for edge in edges:
-                self.update(edge.source, edge.target, edge.weight)
+            weights = np.asarray(weights, dtype=np.float64)
+            if len(weights) != n:
+                raise ValueError(
+                    f"got {n} sources but {len(weights)} weights")
+        source_keys = label_keys(sources)
+        target_keys = label_keys(targets)
+        for sketch in self._sketches:
+            if sketch.keeps_labels:
+                sketch.update_many(source_keys, target_keys, weights,
+                                   source_labels=sources,
+                                   target_labels=targets)
+            else:
+                sketch.update_many(source_keys, target_keys, weights)
         if OBS.enabled:
-            OBS.tcm_ingest_elements.inc(len(edges))
-            OBS.tcm_ingest_seconds.observe(time.perf_counter() - start)
-        return len(edges)
+            OBS.tcm_ingest_chunks.inc()
+        return n
 
     def clear(self) -> None:
         for sketch in self._sketches:
@@ -351,10 +457,8 @@ class TCM:
         """
         if len(pairs) == 0:
             return np.zeros(0)
-        source_keys = np.array([label_to_int(x) for x, _ in pairs],
-                               dtype=np.uint64)
-        target_keys = np.array([label_to_int(y) for _, y in pairs],
-                               dtype=np.uint64)
+        source_keys = label_keys([x for x, _ in pairs])
+        target_keys = label_keys([y for _, y in pairs])
         estimates = np.stack([s.edge_estimates(source_keys, target_keys)
                               for s in self._sketches])
         if self.aggregation.overestimates:
@@ -395,7 +499,7 @@ class TCM:
             raise ValueError("out_flows/in_flows are directed-only")
         if len(nodes) == 0:
             return np.zeros(0)
-        keys = np.array([label_to_int(n) for n in nodes], dtype=np.uint64)
+        keys = label_keys(nodes)
         estimates = []
         for sketch in self._sketches:
             sums = np.asarray(sketch.matrix).sum(axis=axis)

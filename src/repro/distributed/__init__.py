@@ -9,9 +9,15 @@ Two deployment modes:
   slice of the stream with a shared configuration; mergeability yields a
   summary bit-identical to a single-machine build (higher ingest
   bandwidth, unchanged error).
+- :class:`ParallelTCMBuilder` / :func:`parallel_ingest` -- the
+  single-machine realization of shard-and-merge: chunks dealt to
+  ``multiprocessing`` workers over a bounded queue, per-worker TCMs with
+  identical seeds, merged in worker order.
 """
 
 from repro.distributed.cluster import DistributedTCM, SketchWorker
+from repro.distributed.parallel import ParallelTCMBuilder, parallel_ingest
 from repro.distributed.sharded import ShardedTCM
 
-__all__ = ["DistributedTCM", "SketchWorker", "ShardedTCM"]
+__all__ = ["DistributedTCM", "SketchWorker", "ShardedTCM",
+           "ParallelTCMBuilder", "parallel_ingest"]

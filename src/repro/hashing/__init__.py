@@ -12,14 +12,28 @@ provides:
   ``h(x) = ((a*x + b) mod p) mod w`` over the Mersenne prime ``p = 2^61-1``.
 - :class:`HashFamily`: ``d`` independent :class:`PairwiseHash` instances
   drawn from a seeded RNG, as used by the TCM ensemble.
+- :func:`label_key` / :func:`label_keys`: the interning-cached scalar and
+  bulk converters the batched ingest/query kernels go through, so each
+  distinct string label is FNV-hashed exactly once per process.
 """
 
-from repro.hashing.labels import fnv1a_64, label_to_int
+from repro.hashing.labels import (
+    clear_label_cache,
+    fnv1a_64,
+    label_cache_info,
+    label_key,
+    label_keys,
+    label_to_int,
+)
 from repro.hashing.family import MERSENNE_PRIME_61, HashFamily, PairwiseHash
 
 __all__ = [
     "fnv1a_64",
     "label_to_int",
+    "label_key",
+    "label_keys",
+    "label_cache_info",
+    "clear_label_cache",
     "PairwiseHash",
     "HashFamily",
     "MERSENNE_PRIME_61",

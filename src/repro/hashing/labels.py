@@ -5,11 +5,23 @@ ids, author names (paper Section 3.1).  Before a pairwise-independent hash
 can be applied, a label must be turned into an integer key.  We use FNV-1a,
 a small, fast, well-distributed non-cryptographic hash that is identical
 across processes and platforms (unlike Python's salted ``hash``).
+
+Because real streams repeat the same labels constantly (a heavy host
+appears in millions of elements), the byte-wise FNV loop is the single
+largest string-ingest cost.  :func:`label_key` and the bulk converter
+:func:`label_keys` intern computed keys in a process-wide dict so each
+distinct string/bytes label is hashed exactly once; integer labels pass
+through untouched (they were already free).  The cache is bounded: when
+it reaches :data:`LABEL_CACHE_LIMIT` distinct labels it is cleared
+wholesale, which keeps the amortized cost at one FNV pass per label per
+generation without any per-hit LRU bookkeeping.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Dict, Iterable, Union
+
+import numpy as np
 
 Label = Union[str, bytes, int]
 
@@ -51,3 +63,89 @@ def label_to_int(label: Label) -> int:
     if isinstance(label, bytes):
         return fnv1a_64(label)
     raise TypeError(f"unsupported node label type: {type(label).__name__}")
+
+
+#: Distinct string/bytes labels retained before the interning cache is
+#: cleared wholesale.  2^20 entries is ~100MB worst case for long labels,
+#: far below the sketches the cache feeds, and clearing (rather than LRU
+#: eviction) keeps the hit path to a single dict lookup.
+LABEL_CACHE_LIMIT = 1 << 20
+
+_KEY_CACHE: Dict[Union[str, bytes], int] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def label_key(label: Label) -> int:
+    """:func:`label_to_int` with interning for string/bytes labels.
+
+    The first conversion of a distinct label pays the FNV-1a pass; every
+    repeat is a dict hit.  Integer labels bypass the cache entirely.
+    """
+    global _cache_hits, _cache_misses
+    cls = type(label)
+    if cls is int:
+        return label & _MASK_64
+    if cls is str or cls is bytes:
+        cached = _KEY_CACHE.get(label)
+        if cached is not None:
+            _cache_hits += 1
+            return cached
+        key = fnv1a_64(label.encode("utf-8") if cls is str else label)
+        if len(_KEY_CACHE) >= LABEL_CACHE_LIMIT:
+            _KEY_CACHE.clear()
+        _KEY_CACHE[label] = key
+        _cache_misses += 1
+        return key
+    # Subclasses and unsupported types take the validating slow path.
+    return label_to_int(label)
+
+
+def label_keys(labels: Iterable[Label]) -> "np.ndarray":
+    """Bulk-convert labels to the uint64 key array the sketch kernels eat.
+
+    The cached counterpart of ``np.array([label_to_int(x) for x in ...])``
+    and the converter every batched ingest/query path goes through: one
+    dict probe per repeated string label, one FNV pass per distinct one.
+    """
+    global _cache_hits, _cache_misses
+    if not isinstance(labels, (list, tuple)):
+        labels = list(labels)
+    out = np.empty(len(labels), dtype=np.uint64)
+    cache = _KEY_CACHE
+    hits = misses = 0
+    for i, label in enumerate(labels):
+        cls = type(label)
+        if cls is int:
+            out[i] = label & _MASK_64
+        elif cls is str or cls is bytes:
+            cached = cache.get(label)
+            if cached is None:
+                cached = fnv1a_64(
+                    label.encode("utf-8") if cls is str else label)
+                if len(cache) >= LABEL_CACHE_LIMIT:
+                    cache.clear()
+                cache[label] = cached
+                misses += 1
+            else:
+                hits += 1
+            out[i] = cached
+        else:
+            out[i] = label_to_int(label)
+    _cache_hits += hits
+    _cache_misses += misses
+    return out
+
+
+def label_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters for the interning cache (for dashboards)."""
+    return {"hits": _cache_hits, "misses": _cache_misses,
+            "size": len(_KEY_CACHE), "limit": LABEL_CACHE_LIMIT}
+
+
+def clear_label_cache() -> None:
+    """Drop all interned keys and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _KEY_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0

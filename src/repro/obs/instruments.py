@@ -45,6 +45,9 @@ class Instruments:
             "tcm_ingest_seconds",
             "Wall time of bulk ingest calls",
             buckets=log_buckets(1e-5, 100.0))
+        self.tcm_ingest_chunks = registry.counter(
+            "tcm_ingest_chunks_total",
+            "Fixed-size chunks processed by the batched ingest engine")
 
         # -- query path ----------------------------------------------------
         self.query_seconds = registry.histogram(
@@ -92,6 +95,21 @@ class Instruments:
             buckets=log_buckets(1e-6, 10.0))
         self.shard_count = registry.gauge(
             "sharded_shards", "Shards in the most recent summarize() call")
+        self.parallel_workers = registry.gauge(
+            "parallel_build_workers",
+            "Worker processes in the most recent parallel build")
+        self.parallel_worker_seconds = registry.histogram(
+            "parallel_worker_build_seconds",
+            "Per-worker wall time spent building a shard summary",
+            buckets=log_buckets(1e-4, 1000.0))
+        self.parallel_worker_chunks = registry.counter(
+            "parallel_worker_chunks_total",
+            "Chunks ingested per parallel worker",
+            labelnames=("worker",))
+        self.parallel_merge_seconds = registry.histogram(
+            "parallel_merge_seconds",
+            "Wall time per worker-summary merge in a parallel build",
+            buckets=log_buckets(1e-6, 10.0))
 
 
 OBS = Instruments(REGISTRY)

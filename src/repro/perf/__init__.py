@@ -1,0 +1,16 @@
+"""Performance harnesses for the ingest engine.
+
+The committed-baseline pattern (like ``BENCH_obs_overhead.json``): run
+::
+
+    python -m repro.perf.ingest_bench --out BENCH_ingest_throughput.json
+    # or: make bench-ingest
+
+to re-measure elements/second for the per-edge, chunked-vectorized and
+parallel-sharded build paths on an R-MAT stream, plus peak-RSS probes
+showing chunked ingest memory is independent of stream length.  The JSON
+record is committed so regressions show up in review diffs; CI runs the
+same harness on a small stream as a smoke test.
+
+Engine architecture and chunk-size guidance: docs/PERFORMANCE.md.
+"""

@@ -101,3 +101,49 @@ class TestModuleEntryPoint:
             capture_output=True, text=True)
         assert result.returncode == 0
         assert "elements" in result.stdout
+
+
+class TestIngest:
+    def test_ingest_creates_sketch(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chunked.npz"
+        assert main(["ingest", str(trace_file), str(out),
+                     "--d", "3", "--width", "48",
+                     "--chunk-size", "500"]) == 0
+        assert out.exists()
+        assert "ingested" in capsys.readouterr().out
+
+    def test_ingest_matches_summarize(self, trace_file, sketch_file,
+                                      tmp_path, ipflow_stream):
+        from repro.core.serialization import load_tcm
+        out = tmp_path / "chunked.npz"
+        assert main(["ingest", str(trace_file), str(out), "--d", "3",
+                     "--width", "48", "--chunk-size", "100"]) == 0
+        chunked = load_tcm(out)
+        reference = load_tcm(sketch_file)
+        for x, y in sorted(ipflow_stream.distinct_edges, key=repr)[:50]:
+            assert chunked.edge_weight(x, y) == \
+                pytest.approx(reference.edge_weight(x, y))
+
+    def test_ingest_parallel(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "parallel.npz"
+        assert main(["ingest", str(trace_file), str(out), "--d", "3",
+                     "--width", "48", "--parallel", "2",
+                     "--chunk-size", "200"]) == 0
+        assert out.exists()
+        assert "workers" in capsys.readouterr().out
+
+    def test_ingest_conservative(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "cons.npz"
+        assert main(["ingest", str(trace_file), str(out), "--d", "3",
+                     "--width", "48", "--conservative"]) == 0
+        assert "conservative" in capsys.readouterr().out
+
+    def test_conservative_parallel_rejected(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit, match="mergeable"):
+            main(["ingest", str(trace_file), str(tmp_path / "x.npz"),
+                  "--conservative", "--parallel", "2"])
+
+    def test_bad_parallel_rejected(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit, match="parallel"):
+            main(["ingest", str(trace_file), str(tmp_path / "x.npz"),
+                  "--parallel", "0"])

@@ -273,19 +273,68 @@ class TestUpdateMany:
         bulk.update_many(label_keys(sources), label_keys(targets), weights)
         np.testing.assert_allclose(bulk.matrix, scalar.matrix)
 
-    def test_rejected_for_min_aggregation(self):
-        sketch = make_sketch(aggregation=Aggregation.MIN)
-        with pytest.raises(ValueError):
-            sketch.update_many(np.array([1], dtype=np.uint64),
-                               np.array([2], dtype=np.uint64),
-                               np.array([1.0]))
+    def test_min_matches_scalar_updates(self):
+        h = HashFamily.uniform(1, 8, seed=9)[0]
+        scalar = GraphSketch(h, aggregation=Aggregation.MIN)
+        bulk = GraphSketch(h, aggregation=Aggregation.MIN)
+        sources = [f"s{i % 5}" for i in range(60)]
+        targets = [f"t{i % 4}" for i in range(60)]
+        weights = np.array([float((i * 7) % 11) for i in range(60)])
+        for s, t, w in zip(sources, targets, weights):
+            scalar.update(s, t, w)
+        bulk.update_many(label_keys(sources), label_keys(targets), weights)
+        assert np.array_equal(bulk.matrix, scalar.matrix)
+        assert np.array_equal(bulk._touched, scalar._touched)
 
-    def test_rejected_with_labels(self):
+    def test_max_matches_scalar_updates(self):
+        h = HashFamily.uniform(1, 8, seed=10)[0]
+        scalar = GraphSketch(h, aggregation=Aggregation.MAX)
+        bulk = GraphSketch(h, aggregation=Aggregation.MAX)
+        sources = [f"s{i % 6}" for i in range(60)]
+        targets = [f"t{i % 5}" for i in range(60)]
+        weights = np.array([float((i * 5) % 13) for i in range(60)])
+        for s, t, w in zip(sources, targets, weights):
+            scalar.update(s, t, w)
+        bulk.update_many(label_keys(sources), label_keys(targets), weights)
+        assert np.array_equal(bulk.matrix, scalar.matrix)
+        assert np.array_equal(bulk._touched, scalar._touched)
+
+    def test_min_zero_weight_distinct_from_untouched(self):
+        h = HashFamily.uniform(1, 8, seed=11)[0]
+        sketch = GraphSketch(h, aggregation=Aggregation.MIN)
+        sketch.update_many(label_keys(["a"]), label_keys(["b"]),
+                           np.array([0.0]))
+        assert sketch.edge_estimate("a", "b") == 0.0
+        assert sketch._touched.sum() == 1
+
+    def test_labels_require_label_arguments(self):
         sketch = make_sketch(keep_labels=True)
         with pytest.raises(ValueError):
             sketch.update_many(np.array([1], dtype=np.uint64),
                                np.array([2], dtype=np.uint64),
                                np.array([1.0]))
+
+    def test_labels_recorded_in_bulk(self):
+        h = HashFamily.uniform(1, 16, seed=12)[0]
+        scalar = GraphSketch(h, keep_labels=True)
+        bulk = GraphSketch(h, keep_labels=True)
+        sources = [f"s{i % 5}" for i in range(40)]
+        targets = [f"t{i % 7}" for i in range(40)]
+        weights = np.ones(40)
+        for s, t in zip(sources, targets):
+            scalar.update(s, t, 1.0)
+        bulk.update_many(label_keys(sources), label_keys(targets), weights,
+                         source_labels=sources, target_labels=targets)
+        assert np.array_equal(bulk.matrix, scalar.matrix)
+        assert bulk._row_labels == scalar._row_labels
+        assert bulk._col_labels == scalar._col_labels
+
+    def test_negative_weights_rejected_like_scalar(self):
+        sketch = make_sketch()
+        with pytest.raises(ValueError):
+            sketch.update_many(np.array([1, 2], dtype=np.uint64),
+                               np.array([3, 4], dtype=np.uint64),
+                               np.array([1.0, -2.0]))
 
     def test_count_aggregation_ignores_weights(self):
         h = HashFamily.uniform(1, 16, seed=6)[0]

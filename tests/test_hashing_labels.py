@@ -1,8 +1,11 @@
 """Tests for the stable label-to-integer mapping."""
 
+import numpy as np
 import pytest
 
-from repro.hashing.labels import fnv1a_64, label_to_int
+from repro.hashing.labels import (
+    LABEL_CACHE_LIMIT, clear_label_cache, fnv1a_64, label_cache_info,
+    label_key, label_keys, label_to_int)
 
 
 class TestFnv1a:
@@ -67,3 +70,58 @@ class TestLabelToInt:
     def test_distinct_strings_rarely_collide(self):
         keys = {label_to_int(f"node_{i}") for i in range(10000)}
         assert len(keys) == 10000
+
+
+class TestLabelKeyCache:
+    """The interning cache: same keys as label_to_int, bounded, observable."""
+
+    def setup_method(self):
+        clear_label_cache()
+
+    def test_matches_label_to_int(self):
+        for label in ("host-7", b"raw", "192.168.0.1", 42, -1, 2 ** 64 + 7):
+            assert label_key(label) == label_to_int(label)
+
+    def test_cache_hit_counted(self):
+        label_key("repeat-me")
+        before = label_cache_info()
+        label_key("repeat-me")
+        after = label_cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_int_labels_bypass_cache(self):
+        before = label_cache_info()["size"]
+        label_key(123456)
+        assert label_cache_info()["size"] == before
+
+    def test_clear_resets_size(self):
+        label_key("x")
+        label_key("y")
+        assert label_cache_info()["size"] >= 2
+        clear_label_cache()
+        assert label_cache_info()["size"] == 0
+
+    def test_limit_bounds_cache(self):
+        assert label_cache_info()["limit"] == LABEL_CACHE_LIMIT
+        assert LABEL_CACHE_LIMIT >= 1024
+
+    def test_bulk_matches_scalar(self):
+        labels = ["a", b"b", 3, "a", 2 ** 65, "dup", "dup"]
+        keys = label_keys(labels)
+        assert keys.dtype == np.uint64
+        assert [int(k) for k in keys] == [label_key(x) for x in labels]
+
+    def test_bulk_counts_hits(self):
+        clear_label_cache()
+        label_keys(["alpha", "alpha", "beta"])
+        info = label_cache_info()
+        assert info["misses"] >= 2
+        assert info["hits"] >= 1
+
+    def test_bulk_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            label_keys(["fine", None])
+
+    def test_bulk_empty(self):
+        assert len(label_keys([])) == 0

@@ -1,0 +1,254 @@
+"""Equivalence suite for the chunked/vectorized ingest engine.
+
+The engine's contract: chunked ``ingest`` produces bit-identical state to
+the per-edge ``update`` loop across every aggregation, orientation,
+backend and label mode; ``ingest_conservative`` with ``chunk_size=1`` is
+exactly the per-edge conservative loop, and with larger chunks keeps the
+one-sided guarantee while never exceeding the per-edge estimates.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import DEFAULT_CHUNK_SIZE, TCM
+from repro.streams.generators import ipflow_like, rmat, zipf_weights
+from repro.streams.model import GraphStream, StreamEdge
+
+
+def make_stream(directed: bool, n: int = 400, seed: int = 3) -> GraphStream:
+    """Repeat-heavy integer-weighted stream (exact under reordering)."""
+    rng = np.random.default_rng(seed)
+    stream = GraphStream(directed=directed)
+    nodes = [f"n{i}" for i in range(40)]
+    for t in range(n):
+        x, y = rng.choice(len(nodes), size=2)
+        stream.add(nodes[x], nodes[y], float(rng.integers(1, 8)), float(t))
+    return stream
+
+
+def assert_same_state(a: TCM, b: TCM) -> None:
+    """Bit-identical sketch state: matrices, touched masks, label maps."""
+    assert a.d == b.d
+    for sa, sb in zip(a.sketches, b.sketches):
+        np.testing.assert_array_equal(sa.matrix, sb.matrix)
+        touched_a = getattr(sa, "_touched", None)
+        touched_b = getattr(sb, "_touched", None)
+        if touched_a is not None or touched_b is not None:
+            np.testing.assert_array_equal(touched_a, touched_b)
+        for attr in ("_row_labels", "_col_labels"):
+            assert getattr(sa, attr, None) == getattr(sb, attr, None)
+
+
+def build_pair(stream, *, chunk_size, aggregation=Aggregation.SUM,
+               keep_labels=False, sparse=False, d=3, width=24, seed=9):
+    config = dict(d=d, width=width, seed=seed, directed=stream.directed,
+                  aggregation=aggregation, keep_labels=keep_labels,
+                  sparse=sparse)
+    reference = TCM(**config)
+    for edge in stream:
+        reference.update(edge.source, edge.target, edge.weight)
+    chunked = TCM(**config)
+    chunked.ingest(iter(stream), chunk_size=chunk_size)
+    return reference, chunked
+
+
+class TestChunkedEquivalence:
+    """ingest(chunk_size=k) == per-edge update, bit for bit."""
+
+    @pytest.mark.parametrize("aggregation", list(Aggregation))
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_matrix_bit_identical(self, aggregation, directed, sparse):
+        if sparse and aggregation not in (Aggregation.SUM,
+                                          Aggregation.COUNT):
+            pytest.skip("sparse backend is sum/count only")
+        stream = make_stream(directed)
+        reference, chunked = build_pair(stream, chunk_size=17,
+                                        aggregation=aggregation,
+                                        sparse=sparse)
+        assert_same_state(reference, chunked)
+
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_keep_labels_bookkeeping(self, directed, sparse):
+        stream = make_stream(directed, n=200)
+        reference, chunked = build_pair(stream, chunk_size=13,
+                                        keep_labels=True, sparse=sparse)
+        assert_same_state(reference, chunked)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 399, 400, 10_000])
+    def test_any_chunk_size(self, chunk_size):
+        stream = make_stream(directed=True)
+        reference, chunked = build_pair(stream, chunk_size=chunk_size,
+                                        aggregation=Aggregation.MIN)
+        assert_same_state(reference, chunked)
+
+    def test_float_weights_bit_identical_for_sum(self):
+        # np.add.at applies additions in stream order, so even arbitrary
+        # float weights round identically to the scalar loop.
+        stream = ipflow_like(n_hosts=30, n_packets=500, seed=2)
+        reference, chunked = build_pair(stream, chunk_size=31)
+        assert_same_state(reference, chunked)
+
+    def test_rmat_stream(self):
+        stream = rmat(64, 600, weights=zipf_weights(600, seed=4), seed=4)
+        reference, chunked = build_pair(stream, chunk_size=64,
+                                        aggregation=Aggregation.MAX)
+        assert_same_state(reference, chunked)
+
+
+class TestLazyIteration:
+    """ingest never materializes the stream: chunks interleave with pulls."""
+
+    def test_first_chunk_applied_before_stream_exhausted(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        applied_midway = []
+
+        def edges():
+            for i in range(25):
+                if i == 20:
+                    # Four chunks of 5 have been pulled; at least the
+                    # first must already be in the sketch if ingest is
+                    # lazy (a list(stream) would see 0.0 here).
+                    applied_midway.append(tcm.total_weight_estimate())
+                yield StreamEdge(f"s{i}", f"t{i}", 1.0, float(i))
+
+        tcm.ingest(edges(), chunk_size=5)
+        assert applied_midway and applied_midway[0] > 0.0
+        assert tcm.total_weight_estimate() == pytest.approx(25.0)
+
+    def test_one_shot_iterator_fully_consumed(self):
+        stream = make_stream(directed=True, n=100)
+        reference, _ = build_pair(stream, chunk_size=9)
+        tcm = TCM(d=3, width=24, seed=9)
+        tcm.ingest(iter(list(stream)), chunk_size=9)
+        assert_same_state(reference, tcm)
+
+    def test_conservative_is_lazy_too(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        seen = []
+
+        def edges():
+            for i in range(12):
+                if i == 10:
+                    seen.append(tcm.total_weight_estimate())
+                yield StreamEdge("a", f"t{i}", 1.0, float(i))
+
+        tcm.ingest_conservative(edges(), chunk_size=4)
+        assert seen and seen[0] > 0.0
+
+
+class TestValidation:
+    def test_chunk_size_must_be_positive(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        with pytest.raises(ValueError, match="chunk_size"):
+            tcm.ingest([], chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            tcm.ingest_conservative([], chunk_size=-1)
+
+    def test_negative_weight_rejected_in_columns(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            tcm.ingest_columns(["a", "b"], ["c", "d"], [1.0, -2.0])
+
+    def test_column_length_mismatch_rejected(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        with pytest.raises(ValueError):
+            tcm.ingest_columns(["a", "b"], ["c"])
+        with pytest.raises(ValueError):
+            tcm.ingest_columns(["a"], ["c"], [1.0, 2.0])
+
+    def test_columns_default_unit_weights(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        tcm.ingest_columns(["a", "b"], ["c", "d"])
+        assert tcm.edge_weight("a", "c") >= 1.0
+        assert tcm.total_weight_estimate() == pytest.approx(2.0)
+
+    def test_conservative_requires_sum(self):
+        tcm = TCM(d=2, width=16, seed=1, aggregation=Aggregation.MIN)
+        with pytest.raises(ValueError, match="sum aggregation"):
+            tcm.ingest_conservative(make_stream(True, n=10))
+
+
+class TestConservativeBatched:
+    def build_pair(self, stream, chunk_size, sparse=False):
+        config = dict(d=3, width=24, seed=9, directed=stream.directed,
+                      sparse=sparse)
+        reference = TCM(**config)
+        for edge in stream:
+            reference.update_conservative(edge.source, edge.target,
+                                          edge.weight)
+        batched = TCM(**config)
+        batched.ingest_conservative(iter(stream), chunk_size=chunk_size)
+        return reference, batched
+
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_chunk_one_is_exactly_per_edge(self, directed, sparse):
+        stream = make_stream(directed, n=250)
+        reference, batched = self.build_pair(stream, chunk_size=1,
+                                             sparse=sparse)
+        for sa, sb in zip(reference.sketches, batched.sketches):
+            np.testing.assert_array_equal(sa.matrix, sb.matrix)
+
+    @pytest.mark.parametrize("chunk_size", [10, 100])
+    def test_batched_keeps_one_sided_guarantee(self, chunk_size):
+        stream = make_stream(directed=True, n=400)
+        truth = {}
+        for edge in stream:
+            truth[(edge.source, edge.target)] = \
+                truth.get((edge.source, edge.target), 0.0) + edge.weight
+        reference, batched = self.build_pair(stream, chunk_size=chunk_size)
+        for (x, y), exact in truth.items():
+            estimate = batched.edge_weight(x, y)
+            # Never undercounts, and never exceeds the per-edge
+            # conservative estimate (the batch floor is tighter).
+            assert estimate >= exact - 1e-9
+            assert estimate <= reference.edge_weight(x, y) + 1e-9
+
+    def test_batched_tighter_than_plain_sum(self):
+        stream = make_stream(directed=True, n=400)
+        plain = TCM(d=3, width=8, seed=9)
+        plain.ingest(iter(stream))
+        _, batched = self.build_pair(stream, chunk_size=50)
+        pairs = sorted({(e.source, e.target) for e in stream})
+        plain_total = sum(plain.edge_weight(x, y) for x, y in pairs)
+        batched_total = sum(batched.edge_weight(x, y) for x, y in pairs)
+        assert batched_total <= plain_total + 1e-9
+
+
+class TestIngestChunk:
+    def test_chunk_matches_streaming(self):
+        stream = make_stream(directed=True, n=90)
+        reference, _ = build_pair(stream, chunk_size=30)
+        tcm = TCM(d=3, width=24, seed=9)
+        edges = list(stream)
+        for start in range(0, len(edges), 30):
+            tcm.ingest_chunk(edges[start:start + 30])
+        assert_same_state(reference, tcm)
+
+    def test_empty_chunk_is_noop(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        tcm.ingest_chunk([])
+        assert tcm.total_weight_estimate() == 0.0
+
+    def test_default_chunk_size_sane(self):
+        assert DEFAULT_CHUNK_SIZE >= 1024
+
+
+class TestReplayHubChunked:
+    def test_replay_chunked_matches_replay(self):
+        from repro.streams.replay import MonitoringHub
+
+        stream = make_stream(directed=True, n=120)
+        ref_hub = MonitoringHub()
+        reference = ref_hub.attach("tcm", TCM(d=3, width=24, seed=9))
+        assert ref_hub.replay(stream) == 120
+
+        chunk_hub = MonitoringHub()
+        chunked = chunk_hub.attach("tcm", TCM(d=3, width=24, seed=9))
+        assert chunk_hub.replay_chunked(iter(stream), chunk_size=16) == 120
+        assert_same_state(reference, chunked)

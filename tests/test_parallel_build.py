@@ -1,0 +1,110 @@
+"""Tests for the parallel sharded build (repro.distributed.parallel).
+
+Same-seed workers build independent partial summaries whose cells are
+sums over disjoint stream shards, so ``merge_from`` reconstructs the
+single-process summary exactly -- bit-identical for integer/dyadic
+weights (float addition commutes there), estimate-identical otherwise.
+The equivalence tests use integer weights so equality is exact.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.distributed.parallel import ParallelTCMBuilder, parallel_ingest
+from tests.test_ingest_engine import assert_same_state, make_stream
+
+Edge = collections.namedtuple("Edge", "source target weight timestamp")
+
+
+def single_process(stream, **config):
+    tcm = TCM(**config)
+    tcm.ingest(iter(stream))
+    return tcm
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("aggregation", list(Aggregation))
+    def test_matches_single_process(self, aggregation):
+        stream = make_stream(directed=True, n=300)
+        config = dict(d=3, width=24, seed=9, aggregation=aggregation)
+        reference = single_process(stream, **config)
+        built = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                   **config).build(iter(stream))
+        assert_same_state(reference, built)
+
+    def test_undirected(self):
+        stream = make_stream(directed=False, n=200)
+        config = dict(d=3, width=24, seed=9, directed=False)
+        reference = single_process(stream, **config)
+        built = ParallelTCMBuilder(workers=2, chunk_size=17,
+                                   **config).build(iter(stream))
+        assert_same_state(reference, built)
+
+    def test_keep_labels(self):
+        stream = make_stream(directed=True, n=200)
+        config = dict(d=2, width=24, seed=9, keep_labels=True)
+        reference = single_process(stream, **config)
+        built = ParallelTCMBuilder(workers=3, chunk_size=11,
+                                   **config).build(iter(stream))
+        assert_same_state(reference, built)
+
+    def test_sparse_backend(self):
+        stream = make_stream(directed=True, n=200)
+        config = dict(d=2, width=24, seed=9, sparse=True)
+        reference = single_process(stream, **config)
+        built = ParallelTCMBuilder(workers=2, chunk_size=25,
+                                   **config).build(iter(stream))
+        for sa, sb in zip(reference.sketches, built.sketches):
+            np.testing.assert_array_equal(sa.matrix, sb.matrix)
+
+    def test_single_worker_shortcut(self):
+        stream = make_stream(directed=True, n=150)
+        config = dict(d=3, width=24, seed=9)
+        reference = single_process(stream, **config)
+        built = ParallelTCMBuilder(workers=1, chunk_size=16,
+                                   **config).build(iter(stream))
+        assert_same_state(reference, built)
+
+    def test_empty_stream(self):
+        built = ParallelTCMBuilder(workers=2, d=2, width=16,
+                                   seed=1).build(iter([]))
+        assert built.total_weight_estimate() == 0.0
+
+    def test_parallel_ingest_honors_stream_direction(self):
+        stream = make_stream(directed=False, n=120)
+        built = parallel_ingest(stream, workers=2, chunk_size=16,
+                                d=3, width=24, seed=9)
+        assert not built.directed
+        reference = TCM(d=3, width=24, seed=9, directed=False)
+        reference.ingest(iter(stream))
+        assert_same_state(reference, built)
+
+
+class TestParallelValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelTCMBuilder(workers=0, d=2, width=16, seed=1)
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelTCMBuilder(workers=2, chunk_size=0,
+                               d=2, width=16, seed=1)
+
+    def test_rejects_unseeded_config(self):
+        # Workers must hash identically or the merge is meaningless.
+        with pytest.raises(ValueError, match="seed"):
+            ParallelTCMBuilder(workers=2, d=2, width=16, seed=None)
+
+    def test_worker_failure_surfaces(self):
+        # StreamEdge validates weight >= 0 at construction, so smuggle
+        # the bad weight through a bare namedtuple; the worker's
+        # update_many rejects it and build() must re-raise, not hang.
+        edges = [Edge("a", "b", 1.0, 0.0), Edge("c", "d", -5.0, 1.0)]
+        builder = ParallelTCMBuilder(workers=2, chunk_size=1,
+                                     d=2, width=16, seed=1)
+        with pytest.raises(RuntimeError, match="worker"):
+            builder.build(iter(edges))
