@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
-	examples report obs-demo obs-overhead clean
+	bench-query examples report obs-demo obs-overhead clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -16,6 +16,7 @@ help:
 	@echo "obs-demo     instrumented R-MAT ingest + metrics/health snapshot"
 	@echo "obs-overhead re-measure instrumentation cost on the hot path"
 	@echo "bench-ingest re-measure chunked/parallel ingest throughput + RSS"
+	@echo "bench-query  re-measure query-engine latency (cold/warm vs scalar)"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -50,6 +51,9 @@ obs-overhead:
 
 bench-ingest:
 	$(PYTHON) -m repro.perf.ingest_bench --out BENCH_ingest_throughput.json
+
+bench-query:
+	$(PYTHON) benchmarks/bench_query_latency.py --out BENCH_query_latency.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

@@ -1,0 +1,276 @@
+"""Query-engine latency benchmark: cold/warm cache vs the scalar baseline.
+
+Measures per-query latency of the epoch-cached query engine on an R-MAT
+stream for the three serving-path families -- reachability, node flows
+and shortest paths -- against the pre-engine scalar implementations
+(fresh per-call BFS / per-sketch Python loops).  Cold numbers include
+the index build; warm numbers are steady state.  Writes the committed
+``BENCH_query_latency.json`` record::
+
+    python benchmarks/bench_query_latency.py --out BENCH_query_latency.json
+
+Also runs (tiny scale) as part of ``make bench`` / ``make bench-query``
+via the pytest smoke test at the bottom, which validates the JSON schema
+and that the engine actually wins.
+
+Methodology: one TCM is built per run; every mode answers the *same*
+query workload.  Scalar baselines re-create the pre-engine code paths
+inline (the TCM scalar APIs now delegate to the engine, so they cannot
+serve as their own baseline).  Cold timings use a fresh
+:class:`QueryEngine` so the first batched call pays the full index
+build; warm timings repeat the call against the now-populated cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.paths import shortest_path_weight as _dijkstra
+from repro.analytics.reachability import reach as _reach
+from repro.analytics.views import SketchView
+from repro.core.query_engine import QueryEngine
+from repro.core.tcm import TCM
+from repro.streams.generators import rmat_edges
+
+#: Schema of the emitted record: key -> type of the value (dict values
+#: are themselves flat {str: number} maps).  CI validates against this.
+RECORD_SCHEMA = {
+    "benchmark": str,
+    "config": dict,
+    "n_queries": dict,
+    "cold_seconds": dict,
+    "warm_seconds": dict,
+    "baseline_seconds": dict,
+    "warm_per_query_us": dict,
+    "speedups": dict,
+    "cache_stats": dict,
+}
+
+#: Required entries of the ``speedups`` map (warm engine vs scalar).
+SPEEDUP_KEYS = ("reachable_warm", "reachable_scalar_warm", "flow_batch",
+                "shortest_path_batch")
+
+
+def build_tcm(n_edges: int, n_nodes: int, d: int, width: int,
+              seed: int) -> TCM:
+    tcm = TCM(d=d, width=width, seed=seed, directed=True)
+    tcm.ingest(rmat_edges(n_nodes, n_edges, seed=seed))
+    return tcm
+
+
+def sample_queries(n_nodes: int, n_pairs: int, n_flow: int, n_shortest: int,
+                   seed: int) -> Tuple[List[Tuple[int, int]], List[int],
+                                       List[Tuple[int, int]]]:
+    """Uniform node-id workloads (R-MAT labels are integers)."""
+    rng = np.random.default_rng(seed + 1)
+    pairs = list(zip(rng.integers(0, n_nodes, n_pairs).tolist(),
+                     rng.integers(0, n_nodes, n_pairs).tolist()))
+    flow_nodes = rng.integers(0, n_nodes, n_flow).tolist()
+    # Few distinct sources: shortest-path queries share relaxations.
+    sources = rng.integers(0, n_nodes, max(1, n_shortest // 8)).tolist()
+    shortest = [(sources[i % len(sources)], t) for i, t in
+                enumerate(rng.integers(0, n_nodes, n_shortest).tolist())]
+    return pairs, flow_nodes, shortest
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# -- the pre-engine scalar baselines (inlined old implementations) ----------
+
+
+def scalar_reachable(tcm: TCM, source, target) -> bool:
+    for sketch in tcm.sketches:
+        view = SketchView(sketch)
+        if not _reach(view, view.node_of(source), view.node_of(target)):
+            return False
+    return True
+
+
+def scalar_out_flow(tcm: TCM, node) -> float:
+    return min(sketch.out_flow(node) for sketch in tcm.sketches)
+
+
+def scalar_shortest(tcm: TCM, source, target) -> float:
+    best = 0.0
+    for sketch in tcm.sketches:
+        view = SketchView(sketch)
+        best = max(best, _dijkstra(view, view.node_of(source),
+                                   view.node_of(target)))
+    return best
+
+
+def measure(tcm: TCM, pairs, flow_nodes, shortest) -> Dict:
+    cold: Dict[str, float] = {}
+    warm: Dict[str, float] = {}
+    baseline: Dict[str, float] = {}
+
+    # Reachability: fresh engine pays the connectivity-index build (cold),
+    # the repeats are pure probes (warm).
+    engine = QueryEngine(tcm)
+    cold["reachable_batch"] = _timed(lambda: engine.reachable_many(pairs))
+    warm["reachable_batch"] = _timed(lambda: engine.reachable_many(pairs))
+    tcm._query_engine = engine  # scalar delegation hits the warm cache
+    warm["reachable_scalar"] = _timed(
+        lambda: [tcm.reachable(a, b) for a, b in pairs])
+    baseline["reachable_scalar_bfs"] = _timed(
+        lambda: [scalar_reachable(tcm, a, b) for a, b in pairs])
+
+    engine = QueryEngine(tcm)
+    cold["flow_batch"] = _timed(lambda: engine.out_flow_many(flow_nodes))
+    warm["flow_batch"] = _timed(lambda: engine.out_flow_many(flow_nodes))
+    baseline["flow_scalar"] = _timed(
+        lambda: [scalar_out_flow(tcm, n) for n in flow_nodes])
+
+    engine = QueryEngine(tcm)
+    cold["shortest_path_batch"] = _timed(
+        lambda: engine.shortest_path_weight_many(shortest))
+    warm["shortest_path_batch"] = _timed(
+        lambda: engine.shortest_path_weight_many(shortest))
+    baseline["shortest_scalar_dijkstra"] = _timed(
+        lambda: [scalar_shortest(tcm, a, b) for a, b in shortest])
+
+    def per_query(seconds: float, n: int) -> float:
+        return round(1e6 * seconds / n, 3) if n else 0.0
+
+    return {
+        "n_queries": {"reachable": len(pairs), "flow": len(flow_nodes),
+                      "shortest_path": len(shortest)},
+        "cold_seconds": {k: round(v, 6) for k, v in cold.items()},
+        "warm_seconds": {k: round(v, 6) for k, v in warm.items()},
+        "baseline_seconds": {k: round(v, 6) for k, v in baseline.items()},
+        "warm_per_query_us": {
+            "reachable_batch": per_query(warm["reachable_batch"], len(pairs)),
+            "reachable_scalar": per_query(warm["reachable_scalar"],
+                                          len(pairs)),
+            "flow_batch": per_query(warm["flow_batch"], len(flow_nodes)),
+            "shortest_path_batch": per_query(warm["shortest_path_batch"],
+                                             len(shortest)),
+        },
+        "speedups": {
+            # Warm batched engine vs the per-call scalar BFS baseline.
+            "reachable_warm": round(baseline["reachable_scalar_bfs"]
+                                    / warm["reachable_batch"], 2),
+            # Same workload through the delegating scalar API (per-call
+            # Python overhead included), still against the BFS baseline.
+            "reachable_scalar_warm": round(baseline["reachable_scalar_bfs"]
+                                           / warm["reachable_scalar"], 2),
+            "flow_batch": round(baseline["flow_scalar"]
+                                / warm["flow_batch"], 2),
+            "shortest_path_batch": round(
+                baseline["shortest_scalar_dijkstra"]
+                / warm["shortest_path_batch"], 2),
+            # Cold-cache penalty of the first batched reachability call.
+            "reachable_cold_vs_warm": round(cold["reachable_batch"]
+                                            / warm["reachable_batch"], 2),
+        },
+        "cache_stats": dict(engine.cache_stats()),
+    }
+
+
+def run(n_edges: int = 1_000_000, n_nodes: int = 65536, d: int = 4,
+        width: int = 256, seed: int = 7, n_pairs: int = 2000,
+        n_flow: int = 2000, n_shortest: int = 64) -> Dict:
+    tcm = build_tcm(n_edges, n_nodes, d, width, seed)
+    pairs, flow_nodes, shortest = sample_queries(
+        n_nodes, n_pairs, n_flow, n_shortest, seed)
+    record: Dict = {
+        "benchmark": "query-engine latency (epoch-cached indexes + batch "
+                     "kernels) vs scalar baseline on an R-MAT stream",
+        "config": {"n_edges": n_edges, "n_nodes": n_nodes, "d": d,
+                   "width": width, "seed": seed,
+                   "python": platform.python_version(),
+                   "machine": platform.machine()},
+        "target": "warm reachable >= 5x scalar BFS; batched flows >= 3x "
+                  "scalar; cold numbers reported alongside",
+    }
+    record.update(measure(tcm, pairs, flow_nodes, shortest))
+    return record
+
+
+def validate_record(record: Dict) -> None:
+    """Schema check for the emitted JSON (used by the CI smoke step)."""
+    for key, expected in RECORD_SCHEMA.items():
+        if key not in record:
+            raise ValueError(f"BENCH_query_latency record misses {key!r}")
+        if not isinstance(record[key], expected):
+            raise ValueError(f"{key!r} should be {expected.__name__}, got "
+                             f"{type(record[key]).__name__}")
+    for key in SPEEDUP_KEYS:
+        value = record["speedups"].get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"speedups[{key!r}] should be a positive "
+                             f"number, got {value!r}")
+    for section in ("cold_seconds", "warm_seconds", "baseline_seconds",
+                    "warm_per_query_us"):
+        for name, value in record[section].items():
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"{section}[{name!r}] should be a "
+                                 f"non-negative number, got {value!r}")
+    for counter in ("hits", "misses", "invalidations"):
+        if not isinstance(record["cache_stats"].get(counter), int):
+            raise ValueError(f"cache_stats misses integer {counter!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the cached/batched query engine")
+    parser.add_argument("--edges", type=int, default=1_000_000)
+    parser.add_argument("--nodes", type=int, default=65536)
+    parser.add_argument("--d", type=int, default=4)
+    parser.add_argument("--width", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pairs", type=int, default=2000,
+                        help="reachability query pairs (default 2000)")
+    parser.add_argument("--flow-nodes", type=int, default=2000,
+                        help="flow query nodes (default 2000)")
+    parser.add_argument("--shortest", type=int, default=64,
+                        help="shortest-path query pairs (default 64)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    record = run(n_edges=args.edges, n_nodes=args.nodes, d=args.d,
+                 width=args.width, seed=args.seed, n_pairs=args.pairs,
+                 n_flow=args.flow_nodes, n_shortest=args.shortest)
+    validate_record(record)
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        speedups = record["speedups"]
+        print(f"wrote {args.out} (warm reachable speedup: "
+              f"{speedups['reachable_warm']}x, batched flows: "
+              f"{speedups['flow_batch']}x)")
+    else:
+        print(text)
+    return 0
+
+
+# -- pytest smoke (tiny scale; part of `make bench` / `make bench-query`) ---
+
+
+def test_query_latency_smoke(benchmark):
+    from benchmarks.conftest import run_once
+
+    record = run_once(benchmark,
+                      lambda: run(n_edges=20000, n_nodes=1024, n_pairs=200,
+                                  n_flow=200, n_shortest=16))
+    validate_record(record)
+    speedups = record["speedups"]
+    print(json.dumps(speedups, indent=2))
+    assert speedups["reachable_warm"] > 1.0
+    assert speedups["flow_batch"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,9 +7,11 @@ sketch; the TCM layer conjoins the per-sketch answers (step P2).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Set
+from typing import Optional, Sequence, Set, Tuple
 
-from repro.analytics.views import GraphView, Node
+import numpy as np
+
+from repro.analytics.views import GraphView, Node, SketchView
 
 
 def reach(view: GraphView, source: Node, target: Node,
@@ -34,3 +36,24 @@ def reach(view: GraphView, source: Node, target: Node,
                 visited.add(succ)
                 frontier.append((succ, depth + 1))
     return False
+
+
+def reach_many(view: SketchView,
+               pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Batched unbounded reachability over one sketch view.
+
+    Builds the sketch's connectivity index (components + transitive
+    closure, see :func:`repro.core.query_engine.build_connectivity_index`)
+    once and probes it per pair -- element-wise identical to calling
+    :func:`reach` without a hop bound, but O(1) per pair after the build.
+    Callers that query repeatedly should go through ``TCM.reachable_many``
+    instead, which additionally caches the index across calls.
+    """
+    from repro.core.query_engine import build_connectivity_index
+
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=bool)
+    index = build_connectivity_index(view.sketch)
+    sources = np.asarray([s for s, _ in pairs], dtype=np.int64)
+    targets = np.asarray([t for _, t in pairs], dtype=np.int64)
+    return index.query_many(sources, targets)

@@ -63,6 +63,15 @@ class SketchView(GraphView):
     def sketch(self) -> GraphSketch:
         return self._sketch
 
+    @property
+    def epoch(self) -> int:
+        """The underlying sketch's update epoch (see ``GraphSketch.epoch``).
+
+        Cache-backed consumers (``repro.core.query_engine``) key derived
+        structures on this value to detect writes between queries.
+        """
+        return self._sketch.epoch
+
     def node_of(self, label) -> int:
         return self._sketch.node_of(label)
 

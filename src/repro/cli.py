@@ -137,9 +137,68 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _run_query_batch(tcm, path: str) -> int:
+    """Answer a query file through the batched kernels, in input order.
+
+    Lines are ``<kind> <node> [<node>]`` with kinds ``edge``, ``reach``,
+    ``shortest``, ``outflow``, ``inflow`` and ``flow``; blank lines and
+    ``#`` comments are skipped.  Queries are grouped by kind so each
+    group costs one engine kernel call, then printed in input order.
+    """
+    pair_kinds = ("edge", "reach", "shortest")
+    node_kinds = ("outflow", "inflow", "flow")
+    parsed = []  # (kind, index-within-kind-group)
+    groups = {kind: [] for kind in pair_kinds + node_kinds}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            if kind in pair_kinds:
+                if len(parts) != 3:
+                    raise SystemExit(f"{path}:{lineno}: {kind} needs two "
+                                     f"node labels, got {line!r}")
+                payload = (parts[1], parts[2])
+            elif kind in node_kinds:
+                if len(parts) != 2:
+                    raise SystemExit(f"{path}:{lineno}: {kind} needs one "
+                                     f"node label, got {line!r}")
+                payload = parts[1]
+            else:
+                raise SystemExit(f"{path}:{lineno}: unknown query kind "
+                                 f"{kind!r}")
+            parsed.append((kind, len(groups[kind])))
+            groups[kind].append(payload)
+    answers = {
+        "edge": tcm.edge_weights(groups["edge"]),
+        "reach": (tcm.reachable_many(groups["reach"])
+                  if groups["reach"] else []),
+        "shortest": (tcm.shortest_path_weights(groups["shortest"])
+                     if groups["shortest"] else []),
+        "outflow": (tcm.out_flows(groups["outflow"])
+                    if groups["outflow"] else []),
+        "inflow": tcm.in_flows(groups["inflow"]) if groups["inflow"] else [],
+        "flow": tcm.flows(groups["flow"]) if groups["flow"] else [],
+    }
+    for kind, idx in parsed:
+        value = answers[kind][idx]
+        if kind == "reach":
+            print("reachable" if value else "unreachable")
+        else:
+            print(f"{float(value):g}")
+    return 0
+
+
 def _cmd_query(args) -> int:
     tcm = load_tcm(args.sketch)
+    if args.batch is not None:
+        return _run_query_batch(tcm, args.batch)
     kind = args.kind
+    if kind is None or args.node1 is None:
+        raise SystemExit("query needs a kind and node label(s) "
+                         "(or --batch FILE)")
     if kind == "subgraph":
         from repro.core.query_parser import parse_subgraph_query
         query = parse_subgraph_query(args.node1)
@@ -153,6 +212,10 @@ def _cmd_query(args) -> int:
             raise SystemExit("reach queries need two node labels")
         print("reachable" if tcm.reachable(args.node1, args.node2)
               else "unreachable")
+    elif kind == "shortest":
+        if args.node2 is None:
+            raise SystemExit("shortest queries need two node labels")
+        print(f"{tcm.shortest_path_weight(args.node1, args.node2):g}")
     elif kind == "outflow":
         print(f"{tcm.out_flow(args.node1):g}")
     elif kind == "inflow":
@@ -318,13 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="query a sketch file")
     query.add_argument("sketch")
-    query.add_argument("kind",
-                       choices=("edge", "reach", "outflow", "inflow",
-                                "flow", "subgraph"))
-    query.add_argument("node1",
+    query.add_argument("kind", nargs="?", default=None,
+                       choices=("edge", "reach", "shortest", "outflow",
+                                "inflow", "flow", "subgraph"))
+    query.add_argument("node1", nargs="?", default=None,
                        help="node label; for 'subgraph', the query text, "
                             "e.g. '*->b, b->c, c->*'")
     query.add_argument("node2", nargs="?", default=None)
+    query.add_argument("--batch", metavar="FILE", default=None,
+                       help="answer a file of queries ('edge x y', "
+                            "'reach x y', 'shortest x y', 'outflow x', "
+                            "'inflow x', 'flow x'; '#' comments) through "
+                            "the batched kernels, results in input order")
     query.set_defaults(handler=_cmd_query)
 
     obs_cmd = commands.add_parser(

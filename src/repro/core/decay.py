@@ -72,6 +72,7 @@ class TimeDecayedTCM:
         """Fold the running scale into the matrices (rare, O(cells))."""
         for sketch in self._tcm.sketches:
             sketch._matrix *= self._scale
+            sketch.bump_epoch()
         self._scale = 1.0
 
     def observe(self, source: Label, target: Label, weight: float = 1.0,

@@ -61,6 +61,7 @@ class GraphSketch:
         self.directed = directed
         self.aggregation = aggregation
         self._matrix = np.zeros((row_hash.width, self._col_hash.width), dtype=dtype)
+        self._epoch = 0
         self._touched: Optional[np.ndarray] = None
         if aggregation in (Aggregation.MIN, Aggregation.MAX):
             # min/max need to distinguish "empty cell" from "value 0".
@@ -104,6 +105,26 @@ class GraphSketch:
     @property
     def keeps_labels(self) -> bool:
         return self._row_labels is not None
+
+    @property
+    def epoch(self) -> int:
+        """Monotone update counter; bumped by every mutating operation.
+
+        Derived read-side structures (the query engine's connectivity
+        indexes, cached flow vectors, ...) are keyed on this value: a
+        cached structure is valid exactly while the epoch it was built at
+        matches the sketch's current epoch.
+        """
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate epoch-keyed caches after an out-of-band mutation.
+
+        The public mutators bump automatically; call this only when code
+        touches the matrix directly (e.g. the decay layer's
+        renormalization).
+        """
+        self._epoch += 1
 
     def memory_bytes(self) -> int:
         """Memory footprint in bytes: matrix + label materialization.
@@ -161,6 +182,7 @@ class GraphSketch:
         if weight < 0:
             raise ValueError(f"stream weights must be non-negative, got {weight}")
         r, c = self._buckets(source, target)
+        self._epoch += 1
         self._apply(r, c, weight)
         if self._row_labels is not None:
             # For graphical sketches row and column label maps are the same
@@ -210,6 +232,7 @@ class GraphSketch:
                 f"{self.aggregation.value} aggregation does not support deletion")
         r, c = self._buckets(source, target)
         delta = weight if self.aggregation is Aggregation.SUM else 1
+        self._epoch += 1
         self._matrix[r, c] -= delta
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
@@ -254,6 +277,7 @@ class GraphSketch:
             # after label bookkeeping, which uses the original orientation.
             source_keys, target_keys = (np.minimum(source_keys, target_keys),
                                         np.maximum(source_keys, target_keys))
+        self._epoch += 1
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
         if self.aggregation in (Aggregation.SUM, Aggregation.COUNT):
@@ -318,6 +342,7 @@ class GraphSketch:
                                         np.maximum(source_keys, target_keys))
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
+        self._epoch += 1
         np.maximum.at(self._matrix, (rows, cols),
                       np.asarray(floors, dtype=self._matrix.dtype))
 
@@ -370,6 +395,29 @@ class GraphSketch:
         b = self._row_hash(node)
         return float(self._matrix[b, :].sum() + self._matrix[:, b].sum()
                      - self._matrix[b, b])
+
+    # -- bulk read accessors (query-engine kernels) ---------------------------
+
+    def row_sums(self) -> np.ndarray:
+        """All row sums at once -- ``row_sums()[row_of(x)] == out_flow(x)``."""
+        return self._matrix.sum(axis=1, dtype=np.float64)
+
+    def col_sums(self) -> np.ndarray:
+        """All column sums at once -- the batch counterpart of in_flow."""
+        return self._matrix.sum(axis=0, dtype=np.float64)
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal (self-loop cells) as a fresh array."""
+        return np.diagonal(self._matrix).astype(np.float64)
+
+    def positive_cells(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Row/column indices of every cell with positive weight.
+
+        The backend-agnostic adjacency extraction the query engine builds
+        its connectivity indexes from; undirected sketches return the
+        canonical (stored) orientation only -- symmetrize downstream.
+        """
+        return np.nonzero(self._matrix > 0)
 
     # -- graph topology (graphical sketches only) ----------------------------
 
@@ -425,6 +473,7 @@ class GraphSketch:
             raise ValueError("conservative update requires sum aggregation")
         r, c = self._buckets(source, target)
         if self._matrix[r, c] < floor:
+            self._epoch += 1
             self._matrix[r, c] = floor
 
     def total_mass(self) -> float:
@@ -456,6 +505,7 @@ class GraphSketch:
         if not self.compatible_with(other):
             raise ValueError("cannot merge sketches built with different "
                              "hashes, direction or aggregation")
+        self._epoch += 1
         if self.aggregation in (Aggregation.SUM, Aggregation.COUNT):
             self._matrix += other._matrix
         elif self.aggregation is Aggregation.MIN:
@@ -484,6 +534,7 @@ class GraphSketch:
 
     def clear(self) -> None:
         """Reset the sketch to its freshly-constructed state."""
+        self._epoch += 1
         self._matrix.fill(0)
         if self._touched is not None:
             self._touched.fill(False)

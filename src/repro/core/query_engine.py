@@ -1,0 +1,548 @@
+"""Batched, cache-backed query engine over the sketch ensemble.
+
+TCM's selling point over linear sketches is that connectivity queries run
+*directly on the summary* -- but running a fresh Python BFS per call
+throws that advantage away at serving time.  This module is the query
+half of the performance story (the ingest half is the chunked engine in
+:mod:`repro.core.tcm`): it maintains **epoch-cached reachability
+indexes** and **vectorized batch kernels** so steady-state queries cost
+one numpy gather instead of a graph traversal.
+
+Architecture
+------------
+
+Every sketch carries a monotone ``epoch`` counter bumped by each mutation
+(:attr:`GraphSketch.epoch`).  The engine keeps one :class:`_SketchState`
+per constituent sketch, stamped with the epoch it was built at; any
+epoch mismatch discards the whole state (an *invalidation*) and the next
+query lazily rebuilds just the structures it needs:
+
+``connectivity``
+    For undirected graphical sketches: union-find over the buckets
+    touched by positive cells, collapsed to a component-id vector --
+    ``reachable`` becomes one equality check.  For directed sketches:
+    Tarjan SCC condensation plus a packed-bitset (``np.packbits``
+    layout) transitive closure over the condensed DAG -- ``reachable``
+    becomes one bit probe.  When the condensation is larger than
+    ``max_closure_nodes`` the quadratic closure is skipped and queries
+    fall back to memoized per-source BFS over the (much smaller)
+    condensed DAG; see docs/PERFORMANCE.md for the cost model.
+
+``row_sums`` / ``col_sums`` / ``diagonal``
+    Flow vectors, gathered per batch with one fancy index per sketch.
+
+``weight_matrix`` / ``distances``
+    The bucket-level weight matrix (``inf`` where no edge) and per-source
+    shortest-path distance vectors computed by numpy frontier relaxation
+    (Bellman-Ford on the bucket matrix); repeated sources hit the
+    distance cache.
+
+All kernels are **answer-identical to the scalar paths**: the scalar TCM
+query methods delegate here, so there is exactly one implementation of
+each estimate.  Cache hits/misses/invalidations are counted locally
+(:meth:`QueryEngine.cache_stats`) and exported through :mod:`repro.obs`
+when instrumentation is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing.labels import Label, label_keys
+from repro.obs.instruments import OBS
+
+#: Above this many SCCs the O(n^2)-bit transitive closure is skipped in
+#: favour of memoized BFS on the condensed DAG (docs/PERFORMANCE.md).
+DEFAULT_MAX_CLOSURE_NODES = 4096
+
+#: Cap on memoized shortest-path sources (and BFS frontiers) per sketch,
+#: bounding steady-state cache memory at ``cap * w`` floats.
+DEFAULT_MAX_CACHED_SOURCES = 1024
+
+#: Below this many keys per batch the scalar Mersenne hash beats the
+#: vectorized one (whose uint64 split-multiply has a fixed setup cost),
+#: keeping the delegating scalar APIs -- batches of one -- fast.
+_SMALL_BATCH = 16
+
+
+def _buckets_of(hash_fn, keys: np.ndarray) -> np.ndarray:
+    """Bucket a key array, switching to scalar hashing for tiny batches."""
+    if len(keys) >= _SMALL_BATCH:
+        return hash_fn.hash_many(keys)
+    return np.fromiter((hash_fn.hash_int(int(k)) for k in keys),
+                       dtype=np.int64, count=len(keys))
+
+
+# ---------------------------------------------------------------------------
+# Connectivity index construction
+# ---------------------------------------------------------------------------
+
+
+def _csr(n_nodes: int, rows: np.ndarray,
+         cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compressed adjacency: (indptr, flat successor array)."""
+    order = np.argsort(rows, kind="stable")
+    indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n_nodes), out=indptr[1:])
+    return indptr, cols[order]
+
+
+def _undirected_components(n_nodes: int, rows: np.ndarray,
+                           cols: np.ndarray) -> np.ndarray:
+    """Union-find components over the symmetrized positive cells."""
+    parent = list(range(n_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        root_r, root_c = find(r), find(c)
+        if root_r != root_c:
+            parent[root_r] = root_c
+    comp = np.fromiter((find(i) for i in range(n_nodes)),
+                       dtype=np.int64, count=n_nodes)
+    # Relabel roots to consecutive component ids.
+    return np.unique(comp, return_inverse=True)[1]
+
+
+def _tarjan_components(n_nodes: int, rows: np.ndarray,
+                       cols: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Iterative Tarjan SCC; component ids are in emission order.
+
+    Tarjan pops an SCC only after everything reachable from it has been
+    popped, so component ``k`` can only reach components with id < k --
+    exactly the topological order the closure builder needs.
+    """
+    indptr, adjacency = _csr(n_nodes, rows, cols)
+    index = [-1] * n_nodes
+    low = [0] * n_nodes
+    on_stack = [False] * n_nodes
+    comp = np.full(n_nodes, -1, dtype=np.int64)
+    stack: List[int] = []
+    counter = 0
+    n_comp = 0
+    for root in range(n_nodes):
+        if index[root] != -1:
+            continue
+        work: List[List[int]] = [[root, int(indptr[root])]]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, cursor = work[-1]
+            end = int(indptr[node + 1])
+            advanced = False
+            while cursor < end:
+                succ = int(adjacency[cursor])
+                cursor += 1
+                if index[succ] == -1:
+                    work[-1][1] = cursor
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append([succ, int(indptr[succ])])
+                    advanced = True
+                    break
+                if on_stack[succ] and index[succ] < low[node]:
+                    low[node] = index[succ]
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp[member] = n_comp
+                    if member == node:
+                        break
+                n_comp += 1
+            work.pop()
+            if work and low[node] < low[work[-1][0]]:
+                low[work[-1][0]] = low[node]
+    return comp, n_comp
+
+
+def _packed_closure(n_comp: int, edges: np.ndarray) -> np.ndarray:
+    """Packed-bitset transitive closure of the condensed DAG.
+
+    Rows follow ``np.packbits``'s big-endian bit layout: component ``t``
+    is bit ``7 - (t & 7)`` of byte ``t >> 3``.  Because component ids are
+    in reverse-topological (Tarjan emission) order, one increasing-id
+    sweep OR-ing each component's direct successors' finished rows
+    completes the closure.
+    """
+    width_bytes = max(1, (n_comp + 7) // 8)
+    closure = np.zeros((n_comp, width_bytes), dtype=np.uint8)
+    ids = np.arange(n_comp)
+    closure[ids, ids >> 3] |= (np.uint8(0x80) >> (ids & 7)).astype(np.uint8)
+    if len(edges):
+        indptr, targets = _csr(n_comp, edges[:, 0], edges[:, 1])
+        for c in range(n_comp):
+            lo, hi = int(indptr[c]), int(indptr[c + 1])
+            if lo != hi:
+                closure[c] |= np.bitwise_or.reduce(closure[targets[lo:hi]],
+                                                   axis=0)
+    return closure
+
+
+class ConnectivityIndex:
+    """Epoch-snapshot reachability structure for one graphical sketch.
+
+    Three shapes, picked at build time:
+
+    - undirected: component-id vector only (union-find result);
+    - directed, condensation <= ``max_closure_nodes``: component ids +
+      packed-bitset closure, O(1) probes;
+    - directed, larger: component ids + condensed successor lists, with
+      per-source memoized BFS probes.
+    """
+
+    __slots__ = ("components", "n_components", "closure", "successors",
+                 "directed", "_reachable_sets", "_max_cached_sources")
+
+    def __init__(self, components: np.ndarray, n_components: int,
+                 closure: Optional[np.ndarray],
+                 successors: Optional[Tuple[np.ndarray, np.ndarray]],
+                 directed: bool,
+                 max_cached_sources: int = DEFAULT_MAX_CACHED_SOURCES):
+        self.components = components
+        self.n_components = n_components
+        self.closure = closure
+        self.successors = successors
+        self.directed = directed
+        self._reachable_sets: Dict[int, np.ndarray] = {}
+        self._max_cached_sources = max_cached_sources
+
+    def _bfs_component_closure(self, comp: int) -> np.ndarray:
+        """Boolean reachability row of one component (memoized)."""
+        cached = self._reachable_sets.get(comp)
+        if cached is not None:
+            return cached
+        indptr, targets = self.successors
+        seen = np.zeros(self.n_components, dtype=bool)
+        seen[comp] = True
+        frontier = [comp]
+        while frontier:
+            node = frontier.pop()
+            for succ in targets[indptr[node]:indptr[node + 1]].tolist():
+                if not seen[succ]:
+                    seen[succ] = True
+                    frontier.append(succ)
+        if len(self._reachable_sets) < self._max_cached_sources:
+            self._reachable_sets[comp] = seen
+        return seen
+
+    def query_many(self, source_buckets: np.ndarray,
+                   target_buckets: np.ndarray) -> np.ndarray:
+        """Element-wise reachability between bucket arrays."""
+        cs = self.components[source_buckets]
+        ct = self.components[target_buckets]
+        if not self.directed:
+            return cs == ct
+        if self.closure is not None:
+            bits = self.closure[cs, ct >> 3] >> (7 - (ct & 7)).astype(np.uint8)
+            return (bits & 1).astype(bool)
+        result = np.zeros(len(cs), dtype=bool)
+        for comp in np.unique(cs).tolist():
+            mask = cs == comp
+            result[mask] = self._bfs_component_closure(comp)[ct[mask]]
+        return result
+
+
+def build_connectivity_index(
+        sketch, *, max_closure_nodes: int = DEFAULT_MAX_CLOSURE_NODES,
+        max_cached_sources: int = DEFAULT_MAX_CACHED_SOURCES,
+) -> ConnectivityIndex:
+    """Build the reachability index of one graphical sketch.
+
+    Standalone entry point (also used by
+    :func:`repro.analytics.reachability.reach_many`); the engine wraps it
+    with epoch caching.
+    """
+    if not sketch.is_graphical:
+        raise ValueError("connectivity indexes need a graphical "
+                         "(square, single-hash) sketch")
+    n_nodes = sketch.rows
+    rows, cols = sketch.positive_cells()
+    if not sketch.directed:
+        comp = _undirected_components(
+            n_nodes, np.concatenate((rows, cols)),
+            np.concatenate((cols, rows)))
+        return ConnectivityIndex(comp, int(comp.max()) + 1 if n_nodes else 0,
+                                 None, None, directed=False)
+    comp, n_comp = _tarjan_components(n_nodes, rows, cols)
+    cu, cv = comp[rows], comp[cols]
+    cross = cu != cv
+    if cross.any():
+        edges = np.unique(np.column_stack((cu[cross], cv[cross])), axis=0)
+    else:
+        edges = np.zeros((0, 2), dtype=np.int64)
+    if n_comp <= max_closure_nodes:
+        return ConnectivityIndex(comp, n_comp, _packed_closure(n_comp, edges),
+                                 None, directed=True)
+    successors = _csr(n_comp, edges[:, 0], edges[:, 1])
+    return ConnectivityIndex(comp, n_comp, None, successors, directed=True,
+                             max_cached_sources=max_cached_sources)
+
+
+# ---------------------------------------------------------------------------
+# Shortest-path frontier relaxation
+# ---------------------------------------------------------------------------
+
+
+def bucket_weight_matrix(sketch) -> np.ndarray:
+    """The bucket-level edge-weight matrix with ``inf`` where no edge.
+
+    Matches :meth:`GraphSketch.bucket_edge_weight`: undirected sketches
+    sum the two canonical cells per unordered bucket pair (they hold
+    disjoint edge sets), keeping the diagonal counted once.  Non-positive
+    cells are *no edge* -- the same predicate Dijkstra on a
+    :class:`SketchView` applies.
+    """
+    dense = np.asarray(sketch.matrix, dtype=np.float64)
+    if not sketch.directed:
+        symmetric = dense + dense.T
+        np.fill_diagonal(symmetric, np.diagonal(dense))
+        dense = symmetric
+    return np.where(dense > 0, dense, np.inf)
+
+
+def relax_distances(weight_matrix: np.ndarray, source: int) -> np.ndarray:
+    """Single-source shortest-path distances by numpy frontier relaxation.
+
+    Bellman-Ford on the bucket matrix: each sweep relaxes every edge at
+    once (``min over u of dist[u] + W[u, :]``) until a fixpoint, which
+    arrives after at most ``w`` sweeps -- and in practice after
+    (diameter + 1).  Distances accumulate left-to-right along each path
+    exactly like Dijkstra's relaxations, so values are bit-identical to
+    the scalar path.
+    """
+    n = weight_matrix.shape[0]
+    distances = np.full(n, np.inf)
+    distances[source] = 0.0
+    for _ in range(n):
+        relaxed = np.minimum(
+            distances, np.min(distances[:, None] + weight_matrix, axis=0))
+        if np.array_equal(relaxed, distances):
+            break
+        distances = relaxed
+    return distances
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class _SketchState:
+    """Everything cached for one sketch at one epoch."""
+
+    __slots__ = ("epoch", "connectivity", "row_sums", "col_sums",
+                 "diagonal", "weight_matrix", "distances")
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.connectivity: Optional[ConnectivityIndex] = None
+        self.row_sums: Optional[np.ndarray] = None
+        self.col_sums: Optional[np.ndarray] = None
+        self.diagonal: Optional[np.ndarray] = None
+        self.weight_matrix: Optional[np.ndarray] = None
+        self.distances: Dict[int, np.ndarray] = {}
+
+
+class QueryEngine:
+    """Batched query kernels with epoch-keyed per-sketch caches.
+
+    Owned by a :class:`~repro.core.tcm.TCM` (the lazy
+    :attr:`~repro.core.tcm.TCM.query_engine` property); all scalar TCM
+    query methods delegate to these kernels so the batch and scalar
+    paths share one implementation.
+    """
+
+    def __init__(self, tcm, *,
+                 max_closure_nodes: int = DEFAULT_MAX_CLOSURE_NODES,
+                 max_cached_sources: int = DEFAULT_MAX_CACHED_SOURCES):
+        self._tcm = tcm
+        self.max_closure_nodes = max_closure_nodes
+        self.max_cached_sources = max_cached_sources
+        self._states: List[Optional[_SketchState]] = [None] * tcm.d
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Local hit/miss/invalidation counters (obs-independent)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations}
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _state(self, i: int) -> _SketchState:
+        sketch = self._tcm._sketches[i]
+        state = self._states[i]
+        if state is None or state.epoch != sketch.epoch:
+            if state is not None:
+                self.invalidations += 1
+                if OBS.enabled:
+                    OBS.query_cache_invalidations.inc()
+            state = _SketchState(sketch.epoch)
+            self._states[i] = state
+        return state
+
+    def _cached(self, i: int, name: str, build):
+        """Fetch one epoch-keyed structure, building (and timing) on miss."""
+        state = self._state(i)
+        value = getattr(state, name)
+        if value is None:
+            self.misses += 1
+            start = time.perf_counter() if OBS.enabled else 0.0
+            value = build(self._tcm._sketches[i])
+            setattr(state, name, value)
+            if OBS.enabled:
+                OBS.query_cache_misses.labels(name).inc()
+                OBS.query_index_build_seconds.labels(name).observe(
+                    time.perf_counter() - start)
+        else:
+            self.hits += 1
+            if OBS.enabled:
+                OBS.query_cache_hits.labels(name).inc()
+        return value
+
+    def _connectivity(self, i: int) -> ConnectivityIndex:
+        return self._cached(
+            i, "connectivity",
+            lambda sketch: build_connectivity_index(
+                sketch, max_closure_nodes=self.max_closure_nodes,
+                max_cached_sources=self.max_cached_sources))
+
+    # -- reachability --------------------------------------------------------
+
+    def reachable_many(self, pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
+        """Element-wise estimated reachability for a batch of label pairs.
+
+        Per sketch: hash both endpoint columns once, probe the
+        connectivity index, AND across sketches (the paper's P2
+        conjunction).  Inherits the scalar guarantee: never ``False`` for
+        a truly reachable pair.
+        """
+        n = len(pairs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        source_keys = label_keys([x for x, _ in pairs])
+        target_keys = label_keys([y for _, y in pairs])
+        result = np.ones(n, dtype=bool)
+        for i, sketch in enumerate(self._tcm._sketches):
+            index = self._connectivity(i)
+            source_buckets = _buckets_of(sketch._row_hash, source_keys)
+            target_buckets = _buckets_of(sketch._row_hash, target_keys)
+            result &= index.query_many(source_buckets, target_buckets)
+            if not result.any():
+                break
+        return result
+
+    # -- flows ---------------------------------------------------------------
+
+    def _merge(self, stacked: np.ndarray) -> np.ndarray:
+        if self._tcm.aggregation.overestimates:
+            return stacked.min(axis=0)
+        return stacked.max(axis=0)
+
+    def out_flow_many(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Batch out-flow estimates: one cached-row-sum gather per sketch."""
+        if not self._tcm.directed:
+            raise ValueError("out_flow is directed-only; use flow()")
+        return self._flow_kernel(nodes, "row_sums",
+                                 lambda sketch: sketch.row_sums(),
+                                 lambda sketch: sketch._row_hash)
+
+    def in_flow_many(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Batch in-flow estimates: one cached-column-sum gather per sketch."""
+        if not self._tcm.directed:
+            raise ValueError("in_flow is directed-only; use flow()")
+        return self._flow_kernel(nodes, "col_sums",
+                                 lambda sketch: sketch.col_sums(),
+                                 lambda sketch: sketch._col_hash)
+
+    def _flow_kernel(self, nodes, cache_name, build, hash_of) -> np.ndarray:
+        if len(nodes) == 0:
+            return np.zeros(0)
+        keys = label_keys(nodes)
+        estimates = []
+        for i, sketch in enumerate(self._tcm._sketches):
+            sums = self._cached(i, cache_name, build)
+            estimates.append(sums[_buckets_of(hash_of(sketch), keys)])
+        return self._merge(np.stack(estimates))
+
+    def flow_many(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Batch undirected node flows: row sum + column sum - diagonal."""
+        if self._tcm.directed:
+            raise ValueError("flow() is for undirected sketches; "
+                             "use in_flow/out_flow")
+        if len(nodes) == 0:
+            return np.zeros(0)
+        keys = label_keys(nodes)
+        estimates = []
+        for i, sketch in enumerate(self._tcm._sketches):
+            row_sums = self._cached(i, "row_sums",
+                                    lambda s: s.row_sums())
+            col_sums = self._cached(i, "col_sums",
+                                    lambda s: s.col_sums())
+            diagonal = self._cached(i, "diagonal",
+                                    lambda s: s.diagonal())
+            buckets = _buckets_of(sketch._row_hash, keys)
+            estimates.append(row_sums[buckets] + col_sums[buckets]
+                             - diagonal[buckets])
+        return self._merge(np.stack(estimates))
+
+    # -- shortest paths ------------------------------------------------------
+
+    def _distances(self, i: int, source_bucket: int) -> np.ndarray:
+        state = self._state(i)
+        cached = state.distances.get(source_bucket)
+        if cached is not None:
+            self.hits += 1
+            if OBS.enabled:
+                OBS.query_cache_hits.labels("distances").inc()
+            return cached
+        weight_matrix = self._cached(i, "weight_matrix", bucket_weight_matrix)
+        self.misses += 1
+        start = time.perf_counter() if OBS.enabled else 0.0
+        distances = relax_distances(weight_matrix, source_bucket)
+        if len(state.distances) < self.max_cached_sources:
+            state.distances[source_bucket] = distances
+        if OBS.enabled:
+            OBS.query_cache_misses.labels("distances").inc()
+            OBS.query_index_build_seconds.labels("distances").observe(
+                time.perf_counter() - start)
+        return distances
+
+    def shortest_path_weight_many(
+            self, pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
+        """Batch shortest-path weights, merged ``max`` across sketches.
+
+        ``inf`` marks pairs where some sketch finds no path (the explicit
+        no-path answer); queries sharing a source bucket share one
+        frontier relaxation per sketch.
+        """
+        n = len(pairs)
+        if n == 0:
+            return np.zeros(0)
+        source_keys = label_keys([x for x, _ in pairs])
+        target_keys = label_keys([y for _, y in pairs])
+        per_sketch = np.empty((self._tcm.d, n))
+        for i, sketch in enumerate(self._tcm._sketches):
+            source_buckets = _buckets_of(sketch._row_hash, source_keys)
+            target_buckets = _buckets_of(sketch._row_hash, target_keys)
+            values = np.empty(n)
+            for bucket in np.unique(source_buckets).tolist():
+                mask = source_buckets == bucket
+                values[mask] = self._distances(i, bucket)[target_buckets[mask]]
+            per_sketch[i] = values
+        return per_sketch.max(axis=0)

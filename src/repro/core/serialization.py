@@ -102,6 +102,7 @@ def load_tcm(path) -> TCM:
                                  aggregation=aggregation,
                                  keep_labels=keep_labels)
             sketch._matrix[...] = archive[f"matrix_{i}"]
+            sketch.bump_epoch()
             if f"touched_{i}" in archive:
                 sketch._touched[...] = archive[f"touched_{i}"]
             if keep_labels:

@@ -48,6 +48,7 @@ class SparseGraphSketch:
                 "(symmetric square matrix); do not pass col_hash")
         self.directed = directed
         self.aggregation = aggregation
+        self._epoch = 0
         self._cells: Dict[Tuple[int, int], float] = {}
         self._row_sums: Dict[int, float] = {}
         self._col_sums: Dict[int, float] = {}
@@ -89,6 +90,15 @@ class SparseGraphSketch:
     @property
     def keeps_labels(self) -> bool:
         return self._row_labels is not None
+
+    @property
+    def epoch(self) -> int:
+        """Monotone update counter (see :attr:`GraphSketch.epoch`)."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate epoch-keyed caches after an out-of-band mutation."""
+        self._epoch += 1
 
     def memory_bytes(self) -> int:
         """Estimated footprint: occupancy-proportional, unlike the dense
@@ -165,6 +175,7 @@ class SparseGraphSketch:
         if weight < 0:
             raise ValueError(f"stream weights must be non-negative, got {weight}")
         r, c = self._buckets(source, target)
+        self._epoch += 1
         self._apply(r, c, weight if self.aggregation is Aggregation.SUM else 1.0)
         if self._row_labels is not None:
             self._row_labels.setdefault(self._row_hash(source), set()).add(source)
@@ -172,6 +183,7 @@ class SparseGraphSketch:
 
     def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
         r, c = self._buckets(source, target)
+        self._epoch += 1
         self._apply(r, c, -(weight if self.aggregation is Aggregation.SUM
                             else 1.0))
 
@@ -218,6 +230,7 @@ class SparseGraphSketch:
         cols = self._col_hash.hash_many(target_keys)
         if len(rows) == 0:
             return
+        self._epoch += 1
         values = (weights if self.aggregation is Aggregation.SUM
                   else np.ones(len(rows)))
         flat = rows * np.int64(self.cols) + cols
@@ -235,6 +248,7 @@ class SparseGraphSketch:
         r, c = self._buckets(source, target)
         current = self._cells.get((r, c), 0.0)
         if current < floor:
+            self._epoch += 1
             self._apply(r, c, floor - current)
 
     def raise_cells_to(self, source_keys: np.ndarray,
@@ -255,6 +269,7 @@ class SparseGraphSketch:
                                         np.maximum(source_keys, target_keys))
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
+        self._epoch += 1
         cells = self._cells
         for r, c, floor in zip(rows.tolist(), cols.tolist(),
                                np.asarray(floors, dtype=float).tolist()):
@@ -300,6 +315,44 @@ class SparseGraphSketch:
     def total_mass(self) -> float:
         return sum(self._row_sums.values())
 
+    # -- bulk read accessors (query-engine kernels) -----------------------------
+
+    def row_sums(self) -> np.ndarray:
+        """All row sums as a dense vector, built from the maintained dict.
+
+        O(occupied rows), unlike :attr:`matrix` which densifies O(w^2).
+        """
+        sums = np.zeros(self.rows, dtype=np.float64)
+        for bucket, value in self._row_sums.items():
+            sums[bucket] = value
+        return sums
+
+    def col_sums(self) -> np.ndarray:
+        """All column sums as a dense vector (see :meth:`row_sums`)."""
+        sums = np.zeros(self.cols, dtype=np.float64)
+        for bucket, value in self._col_sums.items():
+            sums[bucket] = value
+        return sums
+
+    def diagonal(self) -> np.ndarray:
+        """Self-loop cells as a dense vector."""
+        diag = np.zeros(min(self.rows, self.cols), dtype=np.float64)
+        for (r, c), value in self._cells.items():
+            if r == c:
+                diag[r] = value
+        return diag
+
+    def positive_cells(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Row/column indices of every stored cell with positive weight."""
+        rows = []
+        cols = []
+        for (r, c), value in self._cells.items():
+            if value > 0:
+                rows.append(r)
+                cols.append(c)
+        return (np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64))
+
     # -- graph topology -------------------------------------------------------------
 
     def successors(self, bucket: int) -> np.ndarray:
@@ -338,6 +391,7 @@ class SparseGraphSketch:
         if not self.compatible_with(other):
             raise ValueError("cannot merge sketches built with different "
                              "hashes, direction or aggregation")
+        self._epoch += 1
         for (r, c), value in other._cells.items():
             self._apply(r, c, value)
         if self._row_labels is not None:
@@ -351,6 +405,7 @@ class SparseGraphSketch:
                     self._col_labels.setdefault(bucket, set()).update(labels)
 
     def clear(self) -> None:
+        self._epoch += 1
         self._cells.clear()
         self._row_sums.clear()
         self._col_sums.clear()

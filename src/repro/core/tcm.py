@@ -26,12 +26,12 @@ import numpy as np
 from repro.analytics.pagerank import pagerank as _pagerank
 from repro.analytics.reachability import reach as _reach
 from repro.analytics.subgraph import subgraph_weight as _subgraph_weight
-from repro.analytics.paths import shortest_path_weight as _shortest_path_weight
 from repro.analytics.triangles import count_triangles as _count_triangles
 from repro.analytics.views import SketchView
 from repro.core.aggregation import Aggregation
 from repro.core.graph_sketch import GraphSketch
 from repro.core.queries import SubgraphQuery, is_wildcard
+from repro.core.query_engine import QueryEngine
 from repro.hashing.family import HashFamily
 from repro.hashing.labels import Label, label_keys
 from repro.obs.instruments import OBS
@@ -229,6 +229,21 @@ class TCM:
         """Per-sketch graph views for running black-box algorithms."""
         self._require_graphical("views")
         return [SketchView(s) for s in self._sketches]
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The batched, epoch-cached query engine over this ensemble.
+
+        Created lazily (so deserialized and pickled TCMs get one on first
+        use) and shared by every query method; see
+        :mod:`repro.core.query_engine` for the caching model and
+        :meth:`QueryEngine.cache_stats` for hit/miss introspection.
+        """
+        engine = getattr(self, "_query_engine", None)
+        if engine is None:
+            engine = QueryEngine(self)
+            self._query_engine = engine
+        return engine
 
     def _require_graphical(self, operation: str) -> None:
         if not self.is_graphical:
@@ -467,48 +482,42 @@ class TCM:
 
     @_timed_query("out_flow")
     def out_flow(self, node: Label) -> float:
-        """Estimated node out-flow ``f_v(node, ->)``."""
-        return self.aggregation.merge(s.out_flow(node) for s in self._sketches)
+        """Estimated node out-flow ``f_v(node, ->)``.
+
+        Delegates to :meth:`out_flows` -- the scalar and batch paths
+        share the engine's cached-row-sum kernel.
+        """
+        return float(self.out_flows([node])[0])
 
     @_timed_query("in_flow")
     def in_flow(self, node: Label) -> float:
         """Estimated node in-flow ``f_v(node, <-)``."""
-        return self.aggregation.merge(s.in_flow(node) for s in self._sketches)
+        return float(self.in_flows([node])[0])
 
     @_timed_query("flow")
     def flow(self, node: Label) -> float:
         """Estimated undirected node flow ``f_v(node, -)``."""
-        return self.aggregation.merge(s.flow(node) for s in self._sketches)
+        return float(self.flows([node])[0])
 
     @_timed_query("flow_batch")
     def out_flows(self, nodes: Sequence[Label]) -> np.ndarray:
         """Vectorized out-flow estimates for a batch of nodes.
 
-        The batch counterpart of :meth:`out_flow`: per sketch, all row
-        sums are precomputed once and gathered, then min-merged.
+        Per sketch the engine caches all row sums (keyed on the sketch
+        epoch) and answers the batch with one fancy-indexed gather, then
+        merges with the aggregation's direction.
         """
-        return self._batch_flows(nodes, axis=1)
+        return self.query_engine.out_flow_many(nodes)
 
     @_timed_query("flow_batch")
     def in_flows(self, nodes: Sequence[Label]) -> np.ndarray:
         """Vectorized in-flow estimates for a batch of nodes."""
-        return self._batch_flows(nodes, axis=0)
+        return self.query_engine.in_flow_many(nodes)
 
-    def _batch_flows(self, nodes: Sequence[Label], axis: int) -> np.ndarray:
-        if not self.directed:
-            raise ValueError("out_flows/in_flows are directed-only")
-        if len(nodes) == 0:
-            return np.zeros(0)
-        keys = label_keys(nodes)
-        estimates = []
-        for sketch in self._sketches:
-            sums = np.asarray(sketch.matrix).sum(axis=axis)
-            hash_fn = sketch._row_hash if axis == 1 else sketch._col_hash
-            estimates.append(sums[hash_fn.hash_many(keys)])
-        stacked = np.stack(estimates)
-        if self.aggregation.overestimates:
-            return stacked.min(axis=0)
-        return stacked.max(axis=0)
+    @_timed_query("flow_batch")
+    def flows(self, nodes: Sequence[Label]) -> np.ndarray:
+        """Vectorized undirected node-flow estimates for a batch of nodes."""
+        return self.query_engine.flow_many(nodes)
 
     @_timed_query("degree")
     def degree_estimate(self, node: Label, direction: str = "out") -> int:
@@ -577,16 +586,24 @@ class TCM:
         candidates = candidates or set()
         candidates.discard(node)
 
-        def weight_of(candidate: Label) -> float:
-            if direction == "in":
-                return self.edge_weight(candidate, node)
-            if direction == "out":
-                return self.edge_weight(node, candidate)
-            return self.edge_weight(node, candidate)
-
-        scored = [(candidate, weight_of(candidate))
-                  for candidate in candidates]
-        scored = [(candidate, weight) for candidate, weight in scored
+        ordered = sorted(candidates, key=repr)
+        if not ordered:
+            return []
+        if direction == "in":
+            weights = self.edge_weights([(c, node) for c in ordered])
+        elif direction == "out":
+            weights = self.edge_weights([(node, c) for c in ordered])
+        elif not self.directed:
+            # Undirected storage is symmetric: one estimate already covers
+            # both directions (summing would double-count every edge).
+            weights = self.edge_weights([(node, c) for c in ordered])
+        else:
+            # Directed "both": traffic in either direction counts, so score
+            # outgoing + incoming instead of silently dropping one side.
+            weights = (self.edge_weights([(node, c) for c in ordered])
+                       + self.edge_weights([(c, node) for c in ordered]))
+        scored = [(candidate, float(weight))
+                  for candidate, weight in zip(ordered, weights)
                   if weight > 0]
         scored.sort(key=lambda kv: (-kv[1], repr(kv[0])))
         return scored[:k]
@@ -598,19 +615,44 @@ class TCM:
                   max_hops: Optional[int] = None) -> bool:
         """Estimated reachability ``r(source, target)``.
 
-        P1: run the black-box ``reach()`` on every sketch; P2: conjoin.
-        True only if the hashed endpoints are connected in *all* sketches.
-        Never returns False for a truly reachable pair (no false
-        "unreachable" answers); may return True for unreachable pairs when
-        collisions manufacture paths.
+        P1: answer per sketch; P2: conjoin -- True only if the hashed
+        endpoints are connected in *all* sketches.  Never returns False
+        for a truly reachable pair (no false "unreachable" answers); may
+        return True for unreachable pairs when collisions manufacture
+        paths.
+
+        Unbounded queries delegate to :meth:`reachable_many`, i.e. the
+        engine's epoch-cached connectivity indexes: steady state is an
+        O(1) component/bitset probe instead of a BFS.  Hop-bounded
+        queries (``max_hops``) cannot use the transitive index and run
+        the per-sketch BFS.
         """
         self._require_graphical("reachable")
+        if max_hops is not None:
+            return self._reachable_bfs(source, target, max_hops)
+        return bool(self.reachable_many([(source, target)])[0])
+
+    def _reachable_bfs(self, source: Label, target: Label,
+                       max_hops: Optional[int]) -> bool:
+        """The index-free per-sketch BFS path (hop-bounded queries)."""
         for sketch in self._sketches:
             view = SketchView(sketch)
             if not _reach(view, view.node_of(source), view.node_of(target),
                           max_hops=max_hops):
                 return False
         return True
+
+    @_timed_query("reachable_batch")
+    def reachable_many(self,
+                       pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
+        """Vectorized reachability for a batch of label pairs.
+
+        Element-wise identical to calling :meth:`reachable` per pair;
+        per sketch the whole batch costs two hash passes plus one index
+        probe (see :class:`repro.core.query_engine.ConnectivityIndex`).
+        """
+        self._require_graphical("reachable")
+        return self.query_engine.reachable_many(pairs)
 
     @_timed_query("shortest_path")
     def shortest_path_weight(self, source: Label, target: Label) -> float:
@@ -620,16 +662,27 @@ class TCM:
         spurious shortcut edges (under-estimate), so no one-sided bound
         exists; we return the max across sketches, which empirically
         tracks the truth best (spurious shortcuts are what extra sketches
-        rule out).  ``math.inf`` when some sketch finds no path.
+        rule out).  Returns ``math.inf`` explicitly whenever *any* sketch
+        finds no path -- a no-path answer is never conflated with a
+        genuine zero-weight (same-node) path.
+
+        Delegates to :meth:`shortest_path_weights`; repeated sources hit
+        the engine's per-source distance cache.
+        """
+        weight = float(self.shortest_path_weights([(source, target)])[0])
+        return math.inf if math.isinf(weight) else weight
+
+    @_timed_query("shortest_path_batch")
+    def shortest_path_weights(
+            self, pairs: Sequence[Tuple[Label, Label]]) -> np.ndarray:
+        """Vectorized shortest-path weights for a batch of label pairs.
+
+        Per sketch, queries are grouped by source bucket and each group
+        shares one numpy frontier relaxation over the cached bucket
+        weight matrix; entries are ``inf`` where some sketch has no path.
         """
         self._require_graphical("shortest_path_weight")
-        best = 0.0
-        for sketch in self._sketches:
-            view = SketchView(sketch)
-            weight = _shortest_path_weight(
-                view, view.node_of(source), view.node_of(target))
-            best = max(best, weight)
-        return best
+        return self.query_engine.shortest_path_weight_many(pairs)
 
     # -- subgraph queries (Section 4.4) --------------------------------------------
 
@@ -663,27 +716,72 @@ class TCM:
         the full ensemble (wildcard endpoints become flow queries), and
         sums -- hence ``f'_g(Q) <= f_g(Q)``.  Returns 0 if any edge
         estimate is 0.  Not applicable to bound wildcards (raises).
+
+        Delegates to :meth:`subgraph_weight_decomposed_many`.
         """
-        query = query if isinstance(query, SubgraphQuery) else SubgraphQuery(query)
-        if not query.supports_decomposed_estimate():
-            raise ValueError(
-                "the decomposed estimate cannot bind wildcards to the same "
-                "node; use subgraph_weight() for bound-wildcard queries")
-        total = 0.0
-        for x, y in query:
-            x_wild, y_wild = is_wildcard(x), is_wildcard(y)
-            if x_wild and y_wild:
-                estimate = self.total_weight_estimate()
-            elif x_wild:
-                estimate = self.in_flow(y)
-            elif y_wild:
-                estimate = self.out_flow(x)
-            else:
-                estimate = self.edge_weight(x, y)
-            if estimate == 0.0:
-                return 0.0
-            total += estimate
-        return total
+        return float(self.subgraph_weight_decomposed_many([query])[0])
+
+    @_timed_query("subgraph_decomposed_batch")
+    def subgraph_weight_decomposed_many(self, queries) -> np.ndarray:
+        """Vectorized decomposed estimates for a batch of subgraph queries.
+
+        Flattens every query's edges into three work lists -- concrete
+        pairs, wildcard-source flows, wildcard-target flows -- answers
+        each list with one batched kernel (:meth:`edge_weights`,
+        :meth:`in_flows`, :meth:`out_flows`), then reassembles the
+        per-query sums in edge order with the same zero-rule
+        short-circuit as the scalar path.
+        """
+        parsed = [q if isinstance(q, SubgraphQuery) else SubgraphQuery(q)
+                  for q in queries]
+        for query in parsed:
+            if not query.supports_decomposed_estimate():
+                raise ValueError(
+                    "the decomposed estimate cannot bind wildcards to the "
+                    "same node; use subgraph_weight() for bound-wildcard "
+                    "queries")
+        edge_pairs: List[Tuple[Label, Label]] = []
+        in_nodes: List[Label] = []
+        out_nodes: List[Label] = []
+        plans: List[List[Tuple[str, int]]] = []
+        total_needed = False
+        for query in parsed:
+            steps: List[Tuple[str, int]] = []
+            for x, y in query:
+                x_wild, y_wild = is_wildcard(x), is_wildcard(y)
+                if x_wild and y_wild:
+                    steps.append(("total", 0))
+                    total_needed = True
+                elif x_wild:
+                    steps.append(("in", len(in_nodes)))
+                    in_nodes.append(y)
+                elif y_wild:
+                    steps.append(("out", len(out_nodes)))
+                    out_nodes.append(x)
+                else:
+                    steps.append(("edge", len(edge_pairs)))
+                    edge_pairs.append((x, y))
+            plans.append(steps)
+        estimates = {
+            "edge": (self.edge_weights(edge_pairs) if edge_pairs
+                     else np.zeros(0)),
+            "in": self.in_flows(in_nodes) if in_nodes else np.zeros(0),
+            "out": self.out_flows(out_nodes) if out_nodes else np.zeros(0),
+        }
+        total_estimate = (self.total_weight_estimate() if total_needed
+                          else 0.0)
+        results = np.zeros(len(parsed))
+        for qi, steps in enumerate(plans):
+            total = 0.0
+            for kind, idx in steps:
+                estimate = (total_estimate if kind == "total"
+                            else float(estimates[kind][idx]))
+                if estimate == 0.0:
+                    total = 0.0
+                    break
+                total += estimate
+            results[qi] = total
+        return results
 
     def total_weight_estimate(self) -> float:
         """Estimated total stream weight (the ``f_e(*, *)`` query)."""

@@ -58,6 +58,25 @@ class Instruments:
             "tcm_subgraph_queries_built_total",
             "SubgraphQuery objects constructed (parsed or programmatic)")
 
+        # -- query engine (epoch-cached indexes) ---------------------------
+        self.query_cache_hits = registry.counter(
+            "query_engine_cache_hits_total",
+            "Epoch-cache hits in the query engine, labeled by index kind",
+            labelnames=("index",))
+        self.query_cache_misses = registry.counter(
+            "query_engine_cache_misses_total",
+            "Epoch-cache misses (index rebuilds), labeled by index kind",
+            labelnames=("index",))
+        self.query_cache_invalidations = registry.counter(
+            "query_engine_cache_invalidations_total",
+            "Per-sketch cache states discarded because the sketch epoch "
+            "moved past the cached one")
+        self.query_index_build_seconds = registry.histogram(
+            "query_engine_index_build_seconds",
+            "Wall time to (re)build one cached index, labeled by kind",
+            labelnames=("index",),
+            buckets=log_buckets(1e-6, 100.0))
+
         # -- streaming monitors (Algorithms 1 & 2) -------------------------
         self.hh_observed = registry.counter(
             "hh_observed_total",

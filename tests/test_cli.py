@@ -78,6 +78,12 @@ class TestQuery:
                      edge[0], edge[1]]) == 0
         assert capsys.readouterr().out.strip() == "reachable"
 
+    def test_shortest_query(self, sketch_file, ipflow_stream, capsys):
+        edge = next(iter(sorted(ipflow_stream.distinct_edges, key=repr)))
+        assert main(["query", str(sketch_file), "shortest",
+                     edge[0], edge[1]]) == 0
+        assert float(capsys.readouterr().out) > 0
+
     def test_inflow_query(self, sketch_file, ipflow_stream, capsys):
         node = sorted(ipflow_stream.nodes)[0]
         assert main(["query", str(sketch_file), "inflow", node]) == 0
@@ -90,6 +96,49 @@ class TestQuery:
     def test_unknown_kind_rejected(self, sketch_file):
         with pytest.raises(SystemExit):
             main(["query", str(sketch_file), "teleport", "a", "b"])
+
+    def test_missing_kind_rejected(self, sketch_file):
+        with pytest.raises(SystemExit):
+            main(["query", str(sketch_file)])
+
+
+class TestQueryBatch:
+    def test_batch_file_matches_scalar_queries(self, tmp_path, sketch_file,
+                                               ipflow_stream, capsys):
+        from repro.core.serialization import load_tcm
+
+        edge = next(iter(sorted(ipflow_stream.distinct_edges, key=repr)))
+        node = sorted(ipflow_stream.nodes)[0]
+        batch = tmp_path / "queries.txt"
+        batch.write_text(
+            "# a comment and a blank line are skipped\n\n"
+            f"edge {edge[0]} {edge[1]}\n"
+            f"reach {edge[0]} {edge[1]}\n"
+            f"shortest {edge[0]} {edge[1]}\n"
+            f"outflow {node}\n"
+            f"inflow {node}\n")
+        assert main(["query", str(sketch_file), "--batch", str(batch)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        tcm = load_tcm(sketch_file)
+        assert float(lines[0]) == pytest.approx(tcm.edge_weight(*edge),
+                                                rel=1e-5)
+        assert lines[1] == "reachable"
+        assert float(lines[2]) == pytest.approx(
+            tcm.shortest_path_weight(*edge), rel=1e-5)
+        assert float(lines[3]) == pytest.approx(tcm.out_flow(node), rel=1e-5)
+        assert float(lines[4]) == pytest.approx(tcm.in_flow(node), rel=1e-5)
+
+    def test_batch_rejects_malformed_line(self, tmp_path, sketch_file):
+        batch = tmp_path / "bad.txt"
+        batch.write_text("reach only_one_label\n")
+        with pytest.raises(SystemExit):
+            main(["query", str(sketch_file), "--batch", str(batch)])
+
+    def test_batch_rejects_unknown_kind(self, tmp_path, sketch_file):
+        batch = tmp_path / "bad.txt"
+        batch.write_text("teleport a b\n")
+        with pytest.raises(SystemExit):
+            main(["query", str(sketch_file), "--batch", str(batch)])
 
 
 class TestModuleEntryPoint:

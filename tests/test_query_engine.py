@@ -1,0 +1,348 @@
+"""The epoch-cached query engine: invalidation, batch=scalar identity.
+
+Covers the contract of :mod:`repro.core.query_engine`:
+
+- sketch epochs move on every mutation path and the engine discards
+  cached indexes accordingly (dense & sparse, directed & undirected);
+- batch kernels are element-wise identical to the scalar APIs across
+  aggregations and backends;
+- the packed-bitset closure and the BFS fallback agree;
+- cache statistics are observable both locally and through repro.obs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.reachability import reach, reach_many
+from repro.analytics.views import SketchView
+from repro.core.aggregation import Aggregation
+from repro.core.query_engine import (
+    QueryEngine,
+    bucket_weight_matrix,
+    relax_distances,
+)
+from repro.core.tcm import TCM
+from repro.streams.generators import rmat_edges
+from repro.streams.model import GraphStream
+
+
+def make_tcm(directed=True, sparse=False, aggregation=Aggregation.SUM,
+             d=3, width=32, seed=11):
+    return TCM(d=d, width=width, seed=seed, directed=directed,
+               sparse=sparse, aggregation=aggregation)
+
+
+BACKENDS = [
+    pytest.param(dict(directed=True, sparse=False), id="dense-directed"),
+    pytest.param(dict(directed=False, sparse=False), id="dense-undirected"),
+    pytest.param(dict(directed=True, sparse=True), id="sparse-directed"),
+    pytest.param(dict(directed=False, sparse=True), id="sparse-undirected"),
+]
+
+
+class TestEpochs:
+    @pytest.mark.parametrize("kwargs", BACKENDS)
+    def test_every_mutation_bumps_the_epoch(self, kwargs):
+        tcm = make_tcm(**kwargs)
+        sketch = tcm.sketches[0]
+        seen = [sketch.epoch]
+
+        def bumped():
+            seen.append(sketch.epoch)
+            assert seen[-1] > seen[-2]
+
+        tcm.update("a", "b", 2.0)
+        bumped()
+        tcm.ingest_columns(["c", "d"], ["d", "e"])  # sketch update_many
+        bumped()
+        other = make_tcm(**kwargs)
+        other.update("x", "y")
+        tcm.merge_from(other)
+        bumped()
+        tcm.remove("a", "b", 1.0)
+        bumped()
+        tcm.clear()
+        bumped()
+
+    def test_save_load_round_trip_moves_the_epoch(self, tmp_path):
+        from repro.core.serialization import load_tcm, save_tcm
+
+        tcm = make_tcm()
+        tcm.update("a", "b")
+        path = tmp_path / "sketch.npz"
+        save_tcm(tcm, path)
+        loaded = load_tcm(path)
+        assert all(s.epoch > 0 for s in loaded.sketches)
+        assert loaded.reachable("a", "b")
+
+
+class TestInvalidation:
+    """Query -> warm cache -> mutate -> the answer must move."""
+
+    @pytest.mark.parametrize("kwargs", BACKENDS)
+    def test_update_invalidates_reachability(self, kwargs):
+        tcm = make_tcm(**kwargs)
+        tcm.update("a", "b")
+        assert tcm.reachable("a", "b")
+        assert not tcm.reachable("a", "zzz")  # cache is now warm
+        tcm.update("b", "zzz")
+        assert tcm.reachable("a", "zzz")
+        assert tcm.query_engine.cache_stats()["invalidations"] > 0
+
+    @pytest.mark.parametrize("kwargs", BACKENDS)
+    def test_update_many_invalidates_reachability(self, kwargs):
+        tcm = make_tcm(**kwargs)
+        tcm.ingest_columns(["a"], ["b"])
+        assert not tcm.reachable("a", "qq")
+        tcm.ingest_columns(["b", "c"], ["c", "qq"])
+        assert tcm.reachable("a", "qq")
+
+    @pytest.mark.parametrize("kwargs", BACKENDS)
+    def test_merge_invalidates_reachability(self, kwargs):
+        tcm = make_tcm(**kwargs)
+        tcm.update("a", "b")
+        assert not tcm.reachable("a", "ww")
+        other = make_tcm(**kwargs)
+        other.update("b", "ww")
+        tcm.merge_from(other)
+        assert tcm.reachable("a", "ww")
+
+    @pytest.mark.parametrize("kwargs", BACKENDS)
+    def test_update_invalidates_flows(self, kwargs):
+        tcm = make_tcm(**kwargs)
+        tcm.update("a", "b", 3.0)
+        flow = tcm.out_flow("a") if kwargs["directed"] else tcm.flow("a")
+        assert flow == 3.0
+        tcm.update("a", "c", 2.0)
+        flow = tcm.out_flow("a") if kwargs["directed"] else tcm.flow("a")
+        assert flow == 5.0
+
+    def test_update_invalidates_shortest_paths(self):
+        tcm = make_tcm()
+        tcm.update("a", "b", 5.0)
+        assert math.isinf(tcm.shortest_path_weight("a", "z"))
+        tcm.update("b", "z", 7.0)
+        assert tcm.shortest_path_weight("a", "z") == 12.0
+
+
+def paths_tcm():
+    tcm = make_tcm(d=3, width=64, seed=5)
+    tcm.ingest_columns(["a", "b", "a", "c", "x"], ["b", "c", "c", "d", "y"],
+                       np.array([2.0, 3.0, 9.0, 1.0, 4.0]))
+    return tcm
+
+
+class TestBatchScalarIdentity:
+    AGG_BACKENDS = [
+        pytest.param(dict(sparse=False, aggregation=Aggregation.SUM),
+                     id="dense-sum"),
+        pytest.param(dict(sparse=False, aggregation=Aggregation.MIN),
+                     id="dense-min"),
+        pytest.param(dict(sparse=True, aggregation=Aggregation.SUM),
+                     id="sparse-sum"),
+    ]
+
+    @pytest.mark.parametrize("directed", [True, False],
+                             ids=["directed", "undirected"])
+    @pytest.mark.parametrize("kwargs", AGG_BACKENDS)
+    def test_flows_match_scalar(self, kwargs, directed):
+        tcm = make_tcm(directed=directed, **kwargs)
+        tcm.ingest_columns(["a", "b", "a", "a"], ["b", "c", "c", "a"],
+                           np.array([2.0, 3.0, 9.0, 1.0]))
+        nodes = ["a", "b", "c", "ghost"]
+        if directed:
+            assert tcm.out_flows(nodes).tolist() == \
+                [tcm.out_flow(n) for n in nodes]
+            assert tcm.in_flows(nodes).tolist() == \
+                [tcm.in_flow(n) for n in nodes]
+        else:
+            assert tcm.flows(nodes).tolist() == [tcm.flow(n) for n in nodes]
+
+    @pytest.mark.parametrize("directed", [True, False],
+                             ids=["directed", "undirected"])
+    @pytest.mark.parametrize("kwargs", AGG_BACKENDS)
+    def test_reachable_many_matches_scalar(self, kwargs, directed):
+        tcm = make_tcm(directed=directed, **kwargs)
+        tcm.ingest_columns(["a", "b", "x"], ["b", "c", "y"])
+        pairs = [("a", "c"), ("c", "a"), ("a", "x"), ("y", "x"),
+                 ("a", "a"), ("nope", "a")]
+        got = tcm.reachable_many(pairs)
+        assert got.tolist() == [tcm.reachable(s, t) for s, t in pairs]
+
+    def test_shortest_path_weights_match_scalar(self):
+        tcm = paths_tcm()
+        pairs = [("a", "d"), ("a", "c"), ("x", "y"), ("a", "x"), ("b", "b")]
+        got = tcm.shortest_path_weights(pairs)
+        for value, (s, t) in zip(got, pairs):
+            assert float(value) == tcm.shortest_path_weight(s, t)
+
+    def test_decomposed_many_matches_scalar(self):
+        from repro.core.queries import WILDCARD
+
+        tcm = paths_tcm()
+        queries = [[("a", "b"), ("b", "c")],
+                   [("a", WILDCARD)],
+                   [(WILDCARD, "c"), ("c", "d")],
+                   [(WILDCARD, WILDCARD)],
+                   [("a", "ghost")]]
+        got = tcm.subgraph_weight_decomposed_many(queries)
+        assert got.tolist() == \
+            [tcm.subgraph_weight_decomposed(q) for q in queries]
+
+    def test_empty_batches(self):
+        tcm = paths_tcm()
+        assert tcm.reachable_many([]).shape == (0,)
+        assert tcm.shortest_path_weights([]).shape == (0,)
+        assert tcm.out_flows([]).shape == (0,)
+
+    def test_flow_direction_errors_preserved(self):
+        undirected = make_tcm(directed=False)
+        with pytest.raises(ValueError):
+            undirected.out_flows(["a"])
+        directed = make_tcm(directed=True)
+        with pytest.raises(ValueError):
+            directed.flows(["a"])
+
+
+class TestClosureVsBfsFallback:
+    def test_forced_bfs_fallback_agrees_with_closure(self):
+        tcm = make_tcm(d=2, width=64, seed=6)
+        tcm.ingest_columns([f"n{i}" for i in range(40)],
+                           [f"n{i + 1}" for i in range(40)])
+        tcm.update("n40", "n0")  # close a big cycle -> one SCC
+        tcm.update("m1", "m2")
+        pairs = [("n0", "n39"), ("n39", "n0"), ("n0", "m2"), ("m2", "m1"),
+                 ("m1", "m1")]
+        closure_engine = QueryEngine(tcm)
+        bfs_engine = QueryEngine(tcm, max_closure_nodes=1)
+        assert closure_engine.reachable_many(pairs).tolist() == \
+            bfs_engine.reachable_many(pairs).tolist()
+
+    def test_reach_many_matches_scalar_reach(self):
+        tcm = make_tcm(d=1, width=48, seed=9)
+        tcm.ingest_columns(["a", "b", "p"], ["b", "c", "q"])
+        view = SketchView(tcm.sketches[0])
+        labels = ["a", "b", "c", "p", "q", "zz"]
+        buckets = [view.node_of(x) for x in labels]
+        pairs = [(s, t) for s in buckets for t in buckets]
+        got = reach_many(view, pairs)
+        assert got.tolist() == [reach(view, s, t) for s, t in pairs]
+
+
+class TestDistanceKernel:
+    def test_relaxation_equals_dijkstra_on_views(self):
+        from repro.analytics.paths import shortest_path_weight as dijkstra
+
+        tcm = paths_tcm()
+        for sketch in tcm.sketches:
+            view = SketchView(sketch)
+            weights = bucket_weight_matrix(sketch)
+            for source in {view.node_of(x) for x in "abcxy"}:
+                distances = relax_distances(weights, source)
+                for target in range(sketch.rows):
+                    assert float(distances[target]) == \
+                        dijkstra(view, source, target)
+
+    def test_no_path_is_inf_not_zero(self):
+        tcm = make_tcm(d=3, width=64, seed=3)
+        tcm.update("a", "b", 1.0)
+        tcm.update("c", "d", 1.0)
+        assert math.isinf(tcm.shortest_path_weight("a", "d"))
+        # ...whereas a genuine zero-weight path (same node) stays 0.
+        assert tcm.shortest_path_weight("a", "a") == 0.0
+
+
+class TestCacheAccounting:
+    def test_local_counters(self):
+        tcm = paths_tcm()
+        engine = tcm.query_engine
+        assert engine.cache_stats() == {"hits": 0, "misses": 0,
+                                        "invalidations": 0}
+        tcm.reachable("a", "b")
+        stats = engine.cache_stats()
+        assert stats["misses"] == tcm.d
+        tcm.reachable("a", "c")
+        assert engine.cache_stats()["hits"] == tcm.d
+        tcm.update("q", "r")
+        tcm.reachable("a", "b")
+        assert engine.cache_stats()["invalidations"] == tcm.d
+
+    def test_obs_counters_exported(self):
+        from repro import obs
+        from repro.obs.instruments import OBS
+
+        tcm = paths_tcm()
+        obs.enable()
+        try:
+            tcm.reachable("a", "b")
+            tcm.reachable("a", "c")
+            tcm.update("q", "r")
+            tcm.reachable("a", "b")
+        finally:
+            obs.disable()
+        assert OBS.query_cache_misses.labels("connectivity").value >= tcm.d
+        assert OBS.query_cache_hits.labels("connectivity").value >= tcm.d
+        assert OBS.query_cache_invalidations.value >= tcm.d
+
+    def test_engine_survives_load(self, tmp_path):
+        """load_tcm bypasses __init__; the lazy property must still work."""
+        from repro.core.serialization import load_tcm, save_tcm
+
+        tcm = paths_tcm()
+        path = tmp_path / "s.npz"
+        save_tcm(tcm, path)
+        loaded = load_tcm(path)
+        assert loaded.query_engine.cache_stats()["misses"] == 0
+        assert loaded.reachable("a", "c")
+
+
+class TestHeaviestNeighboursBoth:
+    def test_both_counts_incoming_direction(self):
+        """Regression: direction='both' used to drop incoming weight."""
+        tcm = TCM(d=3, width=64, seed=2, directed=True, keep_labels=True)
+        tcm.update("hub", "out1", 1.0)
+        tcm.update("in1", "hub", 10.0)
+        top = tcm.heaviest_neighbours("hub", k=2, direction="both")
+        assert dict(top)["in1"] == 10.0
+        assert dict(top)["out1"] == 1.0
+
+    def test_both_sums_two_directions(self):
+        tcm = TCM(d=3, width=64, seed=2, directed=True, keep_labels=True)
+        tcm.update("a", "b", 4.0)
+        tcm.update("b", "a", 5.0)
+        assert tcm.heaviest_neighbours("a", k=1, direction="both") == \
+            [("b", 9.0)]
+
+
+# -- property test: batched reachability == scalar, no false negatives -----
+
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+
+class TestReachableManyProperty:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=seeds,
+           n_edges=st.integers(min_value=1, max_value=120),
+           width=st.integers(min_value=4, max_value=48),
+           directed=st.booleans())
+    def test_matches_scalar_and_never_false_for_reachable(
+            self, seed, n_edges, width, directed):
+        stream = GraphStream(directed=directed)
+        for edge in rmat_edges(64, n_edges, seed=seed):
+            stream.add(edge.source, edge.target, 1.0, edge.timestamp)
+        tcm = TCM.from_stream(stream, d=2, width=width, seed=seed,
+                              directed=directed)
+        rng = np.random.default_rng(seed)
+        nodes = sorted(stream.nodes)
+        pairs = [(nodes[rng.integers(len(nodes))],
+                  nodes[rng.integers(len(nodes))]) for _ in range(25)]
+        got = tcm.reachable_many(pairs)
+        for answer, (s, t) in zip(got.tolist(), pairs):
+            assert answer == tcm.reachable(s, t)
+            if stream.reachable(s, t):
+                assert answer  # one-sided error: never a false negative
