@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
-	bench-query examples report obs-demo obs-overhead clean
+	bench-query bench-window examples report obs-demo obs-overhead clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -17,6 +17,7 @@ help:
 	@echo "obs-overhead re-measure instrumentation cost on the hot path"
 	@echo "bench-ingest re-measure chunked/parallel ingest throughput + RSS"
 	@echo "bench-query  re-measure query-engine latency (cold/warm vs scalar)"
+	@echo "bench-window re-measure sliding-window maintenance throughput"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -54,6 +55,9 @@ bench-ingest:
 
 bench-query:
 	$(PYTHON) benchmarks/bench_query_latency.py --out BENCH_query_latency.json
+
+bench-window:
+	$(PYTHON) benchmarks/bench_window_throughput.py --out BENCH_window_throughput.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

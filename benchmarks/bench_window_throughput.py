@@ -1,0 +1,262 @@
+"""Window-maintenance throughput: batched and rotating vs per-element.
+
+Measures sustained sliding-window maintenance -- insert every arriving
+element, expire everything older than the horizon -- over a timestamped
+R-MAT stream, for three implementations of the same window:
+
+- ``per_element``: the pre-vectorization baseline (scalar ``update`` per
+  arrival, deque front popped with scalar ``remove`` per expiry),
+- ``batched_exact``: :class:`~repro.streams.window.SlidingWindow` -- the
+  columnar ring buffer driving ``ingest_columns`` / ``remove_many``,
+- ``rotating``: :class:`~repro.streams.rotating.RotatingWindowTCM` --
+  bucketed sub-sketches, expiry by clearing the oldest bucket.
+
+The exact modes are cross-checked cell-for-cell at full scale before
+timings are reported.  Writes the committed
+``BENCH_window_throughput.json`` record::
+
+    python benchmarks/bench_window_throughput.py --out BENCH_window_throughput.json
+
+Also runs (tiny scale) as part of ``make bench`` / ``make bench-window``
+via the pytest smoke test at the bottom, which validates the JSON schema
+and that the batched path actually wins.
+
+Methodology: all modes consume the same lazy
+:func:`~repro.streams.generators.rmat_edges_timestamped` stream (jittered
+arrivals at ``rate`` elements per time unit), so a horizon of ``H`` time
+units keeps ``~ rate * H`` elements live and -- past warm-up -- every
+element is expired exactly once.  Element generation is inside the
+timed region for every mode alike; throughput is end-to-end arrivals
+per second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from collections import deque
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tcm import TCM
+from repro.streams.generators import rmat_edges_timestamped
+from repro.streams.rotating import RotatingWindowTCM
+from repro.streams.window import SlidingWindow
+
+#: Schema of the emitted record: key -> type of the value.  CI validates
+#: against this.
+RECORD_SCHEMA = {
+    "benchmark": str,
+    "config": dict,
+    "seconds": dict,
+    "elements_per_second": dict,
+    "window": dict,
+    "speedups": dict,
+    "equivalence": dict,
+}
+
+#: Required entries of the ``speedups`` map.
+SPEEDUP_KEYS = ("batched_vs_per_element", "rotating_vs_per_element")
+
+
+def _stream(config: Dict):
+    return rmat_edges_timestamped(
+        config["n_nodes"], config["n_edges"], seed=config["seed"],
+        rate=config["rate"], jitter=config["jitter"])
+
+
+def _tcm(config: Dict) -> TCM:
+    return TCM(d=config["d"], width=config["width"], seed=config["seed"],
+               directed=True)
+
+
+def run_per_element(config: Dict):
+    """The baseline loop: scalar insert, deque expiry, scalar deletes."""
+    tcm = _tcm(config)
+    horizon = config["horizon"]
+    buffer = deque()
+    start = time.perf_counter()
+    for edge in _stream(config):
+        tcm.update(edge.source, edge.target, edge.weight)
+        buffer.append(edge)
+        cutoff = edge.timestamp - horizon
+        while buffer and buffer[0].timestamp < cutoff:
+            old = buffer.popleft()
+            tcm.remove(old.source, old.target, old.weight)
+    return time.perf_counter() - start, tcm, len(buffer)
+
+
+def run_batched(config: Dict):
+    window = SlidingWindow(_tcm(config), config["horizon"])
+    start = time.perf_counter()
+    window.consume(_stream(config), chunk_size=config["chunk_size"])
+    return time.perf_counter() - start, window.summary, len(window)
+
+
+def run_rotating(config: Dict):
+    window = RotatingWindowTCM(
+        config["horizon"], buckets=config["buckets"], d=config["d"],
+        width=config["width"], seed=config["seed"], directed=True)
+    start = time.perf_counter()
+    window.consume(_stream(config), chunk_size=config["chunk_size"])
+    # Include one merged-view build: that is the cost a query pays after
+    # the stream ends.
+    window.merged
+    return time.perf_counter() - start, window
+
+
+def run(n_edges: int = 1_000_000, n_nodes: int = 65536, d: int = 4,
+        width: int = 256, seed: int = 7, horizon: float = 100_000.0,
+        rate: float = 1.0, jitter: float = 0.5, buckets: int = 8,
+        chunk_size: int = 65536) -> Dict:
+    config = dict(n_edges=n_edges, n_nodes=n_nodes, d=d, width=width,
+                  seed=seed, horizon=horizon, rate=rate, jitter=jitter,
+                  buckets=buckets, chunk_size=chunk_size)
+
+    batched_seconds, batched_tcm, batched_live = run_batched(config)
+    baseline_seconds, baseline_tcm, baseline_live = run_per_element(config)
+    rotating_seconds, rotating = run_rotating(config)
+
+    # Full-scale equivalence: the batched window must be cell-for-cell
+    # the per-element window, and the rotating view must dominate it
+    # (it covers a superset of the live elements).
+    bit_identical = all(
+        np.array_equal(mine._matrix, theirs._matrix)
+        for mine, theirs in zip(batched_tcm.sketches,
+                                baseline_tcm.sketches))
+    rotating_dominates = all(
+        (mine._matrix >= theirs._matrix - 1e-9).all()
+        for mine, theirs in zip(rotating.merged.sketches,
+                                batched_tcm.sketches))
+
+    def rate_of(seconds: float) -> float:
+        return round(n_edges / seconds) if seconds > 0 else float("inf")
+
+    return {
+        "benchmark": "sliding-window maintenance throughput (columnar "
+                     "ring buffer + batch deletions, rotating sub-"
+                     "sketches) vs per-element baseline on a "
+                     "timestamped R-MAT stream",
+        "config": {**config, "python": platform.python_version(),
+                   "machine": platform.machine()},
+        "target": "batched exact window >= 3x the per-element loop; "
+                  "rotating reported alongside; exact modes "
+                  "cell-for-cell identical",
+        "seconds": {
+            "per_element": round(baseline_seconds, 3),
+            "batched_exact": round(batched_seconds, 3),
+            "rotating": round(rotating_seconds, 3),
+        },
+        "elements_per_second": {
+            "per_element": rate_of(baseline_seconds),
+            "batched_exact": rate_of(batched_seconds),
+            "rotating": rate_of(rotating_seconds),
+        },
+        "window": {
+            "live_elements": batched_live,
+            "baseline_live_elements": baseline_live,
+            "expired_elements": n_edges - batched_live,
+            "rotating_max_staleness": rotating.max_staleness,
+            "rotating_memory_bytes": rotating.memory_bytes(),
+        },
+        "speedups": {
+            "batched_vs_per_element": round(
+                baseline_seconds / batched_seconds, 2),
+            "rotating_vs_per_element": round(
+                baseline_seconds / rotating_seconds, 2),
+            "rotating_vs_batched": round(
+                batched_seconds / rotating_seconds, 2),
+        },
+        "equivalence": {
+            "batched_bit_identical_to_per_element": bit_identical,
+            "rotating_never_below_exact": rotating_dominates,
+            "live_elements_match": batched_live == baseline_live,
+        },
+    }
+
+
+def validate_record(record: Dict) -> None:
+    """Schema check for the emitted JSON (used by the CI smoke step)."""
+    for key, expected in RECORD_SCHEMA.items():
+        if key not in record:
+            raise ValueError(f"BENCH_window_throughput record misses "
+                             f"{key!r}")
+        if not isinstance(record[key], expected):
+            raise ValueError(f"{key!r} should be {expected.__name__}, got "
+                             f"{type(record[key]).__name__}")
+    for key in SPEEDUP_KEYS:
+        value = record["speedups"].get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"speedups[{key!r}] should be a positive "
+                             f"number, got {value!r}")
+    for section in ("seconds", "elements_per_second"):
+        for name, value in record[section].items():
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"{section}[{name!r}] should be a "
+                                 f"non-negative number, got {value!r}")
+    for flag in ("batched_bit_identical_to_per_element",
+                 "rotating_never_below_exact", "live_elements_match"):
+        if record["equivalence"].get(flag) is not True:
+            raise ValueError(f"equivalence[{flag!r}] must be true, got "
+                             f"{record['equivalence'].get(flag)!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark sliding-window maintenance throughput")
+    parser.add_argument("--edges", type=int, default=1_000_000)
+    parser.add_argument("--nodes", type=int, default=65536)
+    parser.add_argument("--d", type=int, default=4)
+    parser.add_argument("--width", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--horizon", type=float, default=100_000.0,
+                        help="window length in stream time units "
+                             "(default 100000, ~100k live elements at "
+                             "the default rate)")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="mean arrivals per stream-time unit")
+    parser.add_argument("--jitter", type=float, default=0.5)
+    parser.add_argument("--buckets", type=int, default=8,
+                        help="rotating-window sub-sketches per horizon")
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    record = run(n_edges=args.edges, n_nodes=args.nodes, d=args.d,
+                 width=args.width, seed=args.seed, horizon=args.horizon,
+                 rate=args.rate, jitter=args.jitter, buckets=args.buckets,
+                 chunk_size=args.chunk_size)
+    validate_record(record)
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        speedups = record["speedups"]
+        print(f"wrote {args.out} (batched exact: "
+              f"{speedups['batched_vs_per_element']}x baseline, rotating: "
+              f"{speedups['rotating_vs_per_element']}x)")
+    else:
+        print(text)
+    return 0
+
+
+# -- pytest smoke (tiny scale; part of `make bench` / `make bench-window`) --
+
+
+def test_window_throughput_smoke(benchmark):
+    from benchmarks.conftest import run_once
+
+    record = run_once(benchmark,
+                      lambda: run(n_edges=20000, n_nodes=1024, width=64,
+                                  horizon=2000.0, chunk_size=4096))
+    validate_record(record)
+    print(json.dumps(record["speedups"], indent=2))
+    assert record["speedups"]["batched_vs_per_element"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,12 @@ from repro.core import (
     top_changed_cells,
     top_changed_edges,
 )
-from repro.streams import GraphStream, SlidingWindow, StreamEdge
+from repro.streams import (
+    GraphStream,
+    RotatingWindowTCM,
+    SlidingWindow,
+    StreamEdge,
+)
 
 __version__ = "1.0.0"
 
@@ -50,6 +55,7 @@ __all__ = [
     "GraphStream",
     "StreamEdge",
     "SlidingWindow",
+    "RotatingWindowTCM",
     "SubgraphQuery",
     "Wildcard",
     "BoundWildcard",

@@ -6,6 +6,7 @@ An operator-facing front end over the library::
     tcm stats trace.txt                             # stream shape report
     tcm summarize trace.txt sketch.npz --d 5 --width 96
     tcm ingest trace.txt sketch.npz --parallel 4 --chunk-size 65536
+    tcm window trace.txt window.npz --horizon 1000 --mode rotating
     tcm info sketch.npz
     tcm query sketch.npz edge 10.0.0.1 10.0.0.9
     tcm query sketch.npz reach 10.0.0.1 10.0.0.9
@@ -119,6 +120,53 @@ def _cmd_ingest(args) -> int:
         print(f"ingested {count} elements into {args.sketch} "
               f"in {elapsed:.2f}s ({mode}, chunk size {args.chunk_size}, "
               f"{rate:,.0f} elements/s)")
+    return 0
+
+
+def _cmd_window(args) -> int:
+    """Maintain a sliding window over a timestamped stream file.
+
+    Streams the file lazily through either the exact batch-deletion
+    window (``--mode exact``, the default) or the approximate rotating
+    sub-sketch window (``--mode rotating``), reports maintenance
+    statistics, and optionally saves the final windowed summary -- the
+    exact window's TCM, or the rotating window's merged view -- to a
+    sketch file for ``tcm query``.
+    """
+    import time as _time
+
+    from repro.streams.io import iter_stream_file
+    from repro.streams.rotating import RotatingWindowTCM
+    from repro.streams.window import SlidingWindow
+
+    if args.horizon <= 0:
+        raise SystemExit(f"--horizon must be positive, got {args.horizon}")
+    config = dict(d=args.d, width=args.width, seed=args.seed,
+                  directed=not args.undirected, sparse=args.sparse)
+    edges = iter_stream_file(args.stream)
+    start = _time.perf_counter()
+    if args.mode == "rotating":
+        window = RotatingWindowTCM(args.horizon, buckets=args.buckets,
+                                   **config)
+        count = window.consume(edges, chunk_size=args.chunk_size)
+        summary = window.merged
+        detail = (f"{args.buckets} buckets, "
+                  f"staleness < {window.max_staleness:g}")
+    else:
+        window = SlidingWindow(TCM(**config), args.horizon)
+        count = window.consume(edges, chunk_size=args.chunk_size)
+        summary = window.summary
+        detail = f"{len(window)} live elements"
+    elapsed = _time.perf_counter() - start
+    rate = count / elapsed if elapsed > 0 else float("inf")
+    print(f"windowed {count} elements ({args.mode}, "
+          f"horizon {args.horizon:g}, {detail}) "
+          f"in {elapsed:.2f}s ({rate:,.0f} elements/s)")
+    print(f"watermark    {window.watermark:g}")
+    print(f"total weight {summary.total_weight_estimate():g}")
+    if args.sketch is not None:
+        save_tcm(summary, args.sketch)
+        print(f"wrote windowed summary to {args.sketch}")
     return 0
 
 
@@ -374,6 +422,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="conservative (Estan-Varghese) batched "
                              "ingest; insert-only, not mergeable")
     ingest.set_defaults(handler=_cmd_ingest)
+
+    window = commands.add_parser(
+        "window", help="maintain a sliding time-window summary over a "
+                       "timestamped stream file (docs/PERFORMANCE.md)")
+    window.add_argument("stream")
+    window.add_argument("sketch", nargs="?", default=None,
+                        help="optional output file for the final "
+                             "windowed summary")
+    window.add_argument("--horizon", type=float, required=True,
+                        help="window length in stream time units")
+    window.add_argument("--mode", choices=("exact", "rotating"),
+                        default="exact",
+                        help="exact batch-deletion window, or the "
+                             "approximate rotating sub-sketch ring")
+    window.add_argument("--buckets", type=int, default=8,
+                        help="sub-sketches per horizon (rotating mode)")
+    window.add_argument("--d", type=int, default=4)
+    window.add_argument("--width", type=int, default=256)
+    window.add_argument("--seed", type=int, default=0)
+    window.add_argument("--undirected", action="store_true")
+    window.add_argument("--sparse", action="store_true",
+                        help="dict-backed sparse backend (§5.1.1)")
+    window.add_argument("--chunk-size", type=int, default=65536,
+                        help="elements per maintenance batch")
+    window.set_defaults(handler=_cmd_window)
 
     info = commands.add_parser("info", help="describe a sketch file")
     info.add_argument("sketch")

@@ -32,17 +32,20 @@ class TimeDecayedTCM:
 
     :param decay: per-time-unit retention factor in (0, 1); e.g. 0.99
         with seconds as time units halves an edge's weight every ~69 s.
+    :param sparse: use the dict-backed sparse sketch backend
+        (renormalization scales occupied cells only).
     :param kwargs: forwarded to :class:`TCM` (d, width, seed, directed).
         Sum aggregation is required (decay relies on linearity).
     """
 
     def __init__(self, decay: float, *, d: int = 4, width: int = 64,
-                 seed: Optional[int] = 0, directed: bool = True):
+                 seed: Optional[int] = 0, directed: bool = True,
+                 sparse: bool = False):
         if not 0 < decay < 1:
             raise ValueError(f"decay must be in (0, 1), got {decay}")
         self.decay = decay
         self._tcm = TCM(d=d, width=width, seed=seed, directed=directed,
-                        aggregation=Aggregation.SUM)
+                        aggregation=Aggregation.SUM, sparse=sparse)
         self._now = 0.0
         # Matrices hold values in "epoch" units; real value = cell * scale.
         self._scale = 1.0
@@ -69,10 +72,14 @@ class TimeDecayedTCM:
             self._renormalize()
 
     def _renormalize(self) -> None:
-        """Fold the running scale into the matrices (rare, O(cells))."""
+        """Fold the running scale into the cells (rare, O(cells)).
+
+        Delegates to the backend's :meth:`scale_by`, which bumps the
+        sketch epoch -- so the query engine's cached indexes invalidate
+        exactly when cell magnitudes actually change.
+        """
         for sketch in self._tcm.sketches:
-            sketch._matrix *= self._scale
-            sketch.bump_epoch()
+            sketch.scale_by(self._scale)
         self._scale = 1.0
 
     def observe(self, source: Label, target: Label, weight: float = 1.0,

@@ -230,10 +230,47 @@ class GraphSketch:
         if not self.aggregation.invertible:
             raise ValueError(
                 f"{self.aggregation.value} aggregation does not support deletion")
+        if weight < 0:
+            # A negative deletion would be an insertion in disguise.
+            raise ValueError(f"removal weights must be non-negative, got {weight}")
         r, c = self._buckets(source, target)
         delta = weight if self.aggregation is Aggregation.SUM else 1
         self._epoch += 1
         self._matrix[r, c] -= delta
+
+    def remove_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
+                    weights: np.ndarray) -> None:
+        """Vectorized bulk deletion of pre-converted integer label keys.
+
+        The expiry counterpart of :meth:`update_many` and the kernel the
+        sliding-window fast path drives: one ``np.subtract.at`` scatter
+        deletes a whole batch of previously inserted elements.  Deletion
+        is exact for sum (``np.subtract.at`` applies the batch in stream
+        order, so float rounding matches the scalar path) and count
+        (each element subtracts 1); min/max are not invertible, so --
+        exactly like the scalar :meth:`remove` -- the call raises
+        ``ValueError`` rather than silently corrupting the sketch.
+        """
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support deletion")
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        weights = np.asarray(weights, dtype=self._matrix.dtype)
+        if weights.size and (weights < 0).any():
+            bad = float(weights[weights < 0][0])
+            raise ValueError(f"removal weights must be non-negative, got {bad}")
+        if len(source_keys) == 0:
+            return
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        self._epoch += 1
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        values = (weights if self.aggregation is Aggregation.SUM
+                  else np.ones(len(rows), dtype=self._matrix.dtype))
+        np.subtract.at(self._matrix, (rows, cols), values)
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
                     weights: np.ndarray,
@@ -531,6 +568,22 @@ class GraphSketch:
                     self._col_labels.setdefault(bucket, set()).update(labels)
 
     # -- maintenance ---------------------------------------------------------
+
+    def scale_by(self, factor: float) -> None:
+        """Multiply every cell by ``factor`` -- O(cells), epoch-bumping.
+
+        The backend-agnostic primitive behind the decay layer's
+        renormalization (:class:`repro.core.decay.TimeDecayedTCM`): sum
+        aggregation is linear, so folding a running scale into the cells
+        preserves every estimate while keeping magnitudes in the float
+        sweet spot.  Only meaningful for sum aggregation.
+        """
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("scale_by requires sum aggregation")
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        self._epoch += 1
+        self._matrix *= factor
 
     def clear(self) -> None:
         """Reset the sketch to its freshly-constructed state."""

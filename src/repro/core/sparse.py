@@ -182,10 +182,50 @@ class SparseGraphSketch:
             self._col_labels.setdefault(self._col_hash(target), set()).add(target)
 
     def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support deletion")
+        if weight < 0:
+            raise ValueError(f"removal weights must be non-negative, got {weight}")
         r, c = self._buckets(source, target)
         self._epoch += 1
         self._apply(r, c, -(weight if self.aggregation is Aggregation.SUM
                             else 1.0))
+
+    def remove_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
+                    weights: np.ndarray) -> None:
+        """Bulk deletion: vectorized hashing, grouped dict decrements.
+
+        Mirrors :meth:`update_many`'s layout -- hash the whole batch,
+        group by distinct cell, touch the dict once per distinct cell
+        with the (negated) per-cell weight sum.  Exact for the integer
+        and dyadic weights real streams carry, same as bulk insertion.
+        """
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support deletion")
+        source_keys = np.asarray(source_keys, dtype=np.uint64)
+        target_keys = np.asarray(target_keys, dtype=np.uint64)
+        weights = np.asarray(weights, dtype=float)
+        if weights.size and (weights < 0).any():
+            bad = float(weights[weights < 0][0])
+            raise ValueError(f"removal weights must be non-negative, got {bad}")
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        rows = self._row_hash.hash_many(source_keys)
+        cols = self._col_hash.hash_many(target_keys)
+        if len(rows) == 0:
+            return
+        self._epoch += 1
+        values = (weights if self.aggregation is Aggregation.SUM
+                  else np.ones(len(rows)))
+        flat = rows * np.int64(self.cols) + cols
+        cells, inverse = np.unique(flat, return_inverse=True)
+        sums = np.bincount(inverse, weights=values, minlength=len(cells))
+        width = self.cols
+        for cell, total in zip(cells.tolist(), sums.tolist()):
+            self._apply(cell // width, cell % width, -total)
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
                     weights: np.ndarray,
@@ -403,6 +443,25 @@ class SparseGraphSketch:
             if self._col_labels is not self._row_labels:
                 for bucket, labels in other._col_labels.items():
                     self._col_labels.setdefault(bucket, set()).update(labels)
+
+    def scale_by(self, factor: float) -> None:
+        """Multiply every stored cell (and maintained sums) by ``factor``.
+
+        O(occupied cells); see :meth:`GraphSketch.scale_by` -- this is
+        what lets :class:`repro.core.decay.TimeDecayedTCM` renormalize a
+        sparse-backed summary.
+        """
+        if self.aggregation is not Aggregation.SUM:
+            raise ValueError("scale_by requires sum aggregation")
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        self._epoch += 1
+        for cell in self._cells:
+            self._cells[cell] *= factor
+        for bucket in self._row_sums:
+            self._row_sums[bucket] *= factor
+        for bucket in self._col_sums:
+            self._col_sums[bucket] *= factor
 
     def clear(self) -> None:
         self._epoch += 1

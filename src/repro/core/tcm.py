@@ -265,11 +265,65 @@ class TCM:
             OBS.tcm_update_weight._value += weight
 
     def remove(self, source: Label, target: Label, weight: float = 1.0) -> None:
-        """Delete one previously inserted element from every sketch."""
+        """Delete one previously inserted element from every sketch.
+
+        Deletion inverts insertion only for the linear aggregations
+        (sum/count); min/max raise ``ValueError`` *before* any sketch is
+        touched, so a bad call can never leave the ensemble
+        half-mutated.
+        """
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support "
+                "deletion")
         for sketch in self._sketches:
             sketch.remove(source, target, weight)
         if OBS.enabled:
             OBS.tcm_removes.inc()
+
+    def remove_many(self, sources: Sequence[Label],
+                    targets: Sequence[Label],
+                    weights: Optional[np.ndarray] = None) -> int:
+        """Vectorized bulk deletion: the expiry mirror of :meth:`ingest_columns`.
+
+        Accepts parallel label sequences -- or, on the window fast path,
+        pre-hashed ``uint64`` key arrays (the columnar ring buffer stores
+        keys, so expiry skips label conversion entirely) -- and applies
+        one :meth:`GraphSketch.remove_many` scatter per sketch.
+        ``weights`` defaults to all-ones.  Exactly equivalent to calling
+        :meth:`remove` once per element; raises ``ValueError`` for
+        non-invertible aggregations before touching any sketch.  Returns
+        the number of elements deleted.
+        """
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support "
+                "deletion")
+        n = len(sources)
+        if len(targets) != n:
+            raise ValueError(f"got {n} sources but {len(targets)} targets")
+        if n == 0:
+            return 0
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if len(weights) != n:
+                raise ValueError(f"got {n} sources but {len(weights)} weights")
+        source_keys = self._deletion_keys(sources)
+        target_keys = self._deletion_keys(targets)
+        for sketch in self._sketches:
+            sketch.remove_many(source_keys, target_keys, weights)
+        if OBS.enabled:
+            OBS.tcm_removes.inc(n)
+        return n
+
+    @staticmethod
+    def _deletion_keys(values) -> np.ndarray:
+        """Label sequence or pre-hashed key array -> uint64 key array."""
+        if isinstance(values, np.ndarray) and values.dtype == np.uint64:
+            return values
+        return label_keys(values)
 
     def update_conservative(self, source: Label, target: Label,
                             weight: float = 1.0) -> None:

@@ -77,6 +77,30 @@ class Instruments:
             labelnames=("index",),
             buckets=log_buckets(1e-6, 100.0))
 
+        # -- sliding / rotating windows ------------------------------------
+        self.window_observed = registry.counter(
+            "window_observed_total",
+            "Stream elements absorbed by sliding/rotating windows")
+        self.window_expired = registry.counter(
+            "window_expired_total",
+            "Elements expired (deleted) out of sliding windows")
+        self.window_live_elements = registry.gauge(
+            "window_live_elements",
+            "Live (non-expired) elements in the most recently advanced "
+            "sliding window")
+        self.window_watermark_lag = registry.gauge(
+            "window_watermark_lag",
+            "Stream-time span the live buffer covers: watermark minus "
+            "oldest live timestamp (0 when empty)")
+        self.window_expired_per_advance = registry.histogram(
+            "window_expired_per_advance",
+            "Elements expired per watermark advance (batch deletion size)",
+            buckets=log_buckets(1.0, 1e6))
+        self.window_rotations = registry.counter(
+            "window_rotations_total",
+            "Sub-sketch rotations (oldest-bucket clears) in rotating "
+            "windows")
+
         # -- streaming monitors (Algorithms 1 & 2) -------------------------
         self.hh_observed = registry.counter(
             "hh_observed_total",

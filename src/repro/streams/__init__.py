@@ -9,8 +9,9 @@ This package provides the stream model (:class:`StreamEdge`,
 :class:`GraphStream`), synthetic workload generators standing in for the
 paper's DBLP / CAIDA IP-flow / GTGraph / Twitter datasets
 (:mod:`repro.streams.generators`), plain-text stream I/O
-(:mod:`repro.streams.io`) and sliding time-windows with deletions
-(:mod:`repro.streams.window`).
+(:mod:`repro.streams.io`) and sliding time-windows -- exact windows via
+batched deletions (:mod:`repro.streams.window`) and approximate rotating
+sub-sketch windows (:mod:`repro.streams.rotating`).
 """
 
 from repro.streams.model import GraphStream, StreamEdge
@@ -22,17 +23,22 @@ from repro.streams.generators import (
     ipflow_like,
     path_stream,
     rmat,
+    rmat_edges,
+    rmat_edges_timestamped,
     star_stream,
     twitter_like,
     zipf_weights,
 )
 from repro.streams.io import read_stream, write_stream
+from repro.streams.rotating import RotatingWindowTCM
 from repro.streams.window import SlidingWindow
 
 __all__ = [
     "StreamEdge",
     "GraphStream",
     "rmat",
+    "rmat_edges",
+    "rmat_edges_timestamped",
     "zipf_weights",
     "dblp_like",
     "ipflow_like",
@@ -45,4 +51,5 @@ __all__ = [
     "read_stream",
     "write_stream",
     "SlidingWindow",
+    "RotatingWindowTCM",
 ]

@@ -165,6 +165,69 @@ def rmat_edges(n_nodes: int, n_edges: int,
         emitted += size
 
 
+def rmat_edges_timestamped(
+        n_nodes: int, n_edges: int,
+        partition: Tuple[float, float, float, float] = (0.45, 0.15,
+                                                        0.15, 0.25),
+        seed: Optional[int] = None,
+        block: int = 65536,
+        rate: float = 1.0,
+        jitter: float = 0.5) -> Iterator[StreamEdge]:
+    """Lazy R-MAT elements with irregular, monotone arrival timestamps.
+
+    :func:`rmat_edges` stamps element ``i`` with timestamp ``i`` -- fine
+    for build benchmarks, useless for window workloads, where expiry
+    batches are shaped by the *arrival process*.  This variant emits the
+    exact same edge sequence for a given ``(seed, block)`` (timestamps
+    come from an independent RNG stream, so the topology draws are
+    untouched) but spaces arrivals by jittered inter-arrival gaps::
+
+        gap_i ~ (1 / rate) * Uniform(1 - jitter, 1 + jitter)
+
+    so timestamps are strictly increasing with mean rate ``rate``
+    elements per stream-time unit, and a window of horizon ``H`` holds
+    ``~ rate * H`` live elements whose per-advance expiry counts vary --
+    the regime the window throughput benchmark measures.
+
+    :param rate: mean arrivals per stream-time unit (> 0).
+    :param jitter: half-width of the relative gap spread, in ``[0, 1)``;
+        0 gives perfectly regular arrivals.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 0 <= jitter < 1:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    # Independent RNG for the arrival process: offsetting the seed keeps
+    # the edge-topology stream identical to rmat_edges(seed).
+    clock_rng = np.random.default_rng(
+        None if seed is None else seed + 0x5EED)
+    clock = 0.0
+    pending: List[StreamEdge] = []
+    for edge in rmat_edges(n_nodes, n_edges, partition=partition,
+                           seed=seed, block=block):
+        pending.append(edge)
+        if len(pending) == block:
+            yield from _stamp_arrivals(pending, clock_rng, rate, jitter,
+                                       clock)
+            clock = pending[-1].timestamp
+            pending = []
+    if pending:
+        yield from _stamp_arrivals(pending, clock_rng, rate, jitter, clock)
+
+
+def _stamp_arrivals(edges: List[StreamEdge], rng: np.random.Generator,
+                    rate: float, jitter: float,
+                    clock: float) -> Iterator[StreamEdge]:
+    """Re-stamp a block of elements with jittered arrival times in place."""
+    gaps = (1.0 / rate) * rng.uniform(1.0 - jitter, 1.0 + jitter,
+                                      size=len(edges))
+    timestamps = clock + np.cumsum(gaps)
+    for i, edge in enumerate(edges):
+        edges[i] = StreamEdge(edge.source, edge.target, edge.weight,
+                              float(timestamps[i]))
+    return iter(edges)
+
+
 def dblp_like(n_authors: int = 2000, n_papers: int = 4000,
               productivity_alpha: float = 1.8,
               communities: int = 1,

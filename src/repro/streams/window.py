@@ -6,14 +6,38 @@ a time window is a constant-time decrement of the corresponding matrix cell.
 element to a summary as an insertion and, as the watermark advances, replays
 expired elements as deletions, so the summary always reflects exactly the
 last ``horizon`` time units of the stream.
+
+The window is the third vectorized path of the system (after the chunked
+ingest engine and the batched query engine): live elements are held in a
+**columnar ring buffer** -- flat numpy arrays of interned label keys,
+weights and timestamps -- and expiry drains a whole batch with one
+:meth:`~repro.core.tcm.TCM.remove_many` scatter per advance instead of one
+Python-level ``remove`` call per element.  Summaries that only implement
+the scalar ``update``/``remove`` protocol (:class:`SupportsUpdateRemove`)
+still work through a per-element fallback that stores the original labels.
+Results are bit-identical to the per-element loop for the linear
+aggregations (sum/count) -- see ``tests/test_stream_window.py`` and
+docs/PERFORMANCE.md ("Window path") for the equivalence argument and the
+measured speedup (``BENCH_window_throughput.json``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Protocol, runtime_checkable
+import itertools
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple, \
+    runtime_checkable
 
+import numpy as np
+
+from repro.hashing.labels import label_keys
+from repro.obs.instruments import OBS
 from repro.streams.model import StreamEdge
+
+#: Elements pulled per :meth:`SlidingWindow.consume` batch and deleted per
+#: :meth:`SlidingWindow.advance_to` expiry scatter.  Matches the ingest
+#: engine's chunk size: big enough to amortize numpy call overheads, small
+#: enough that the in-flight columns stay a few MB.
+DEFAULT_WINDOW_CHUNK = 65536
 
 
 @runtime_checkable
@@ -22,11 +46,143 @@ class SupportsUpdateRemove(Protocol):
 
     :class:`repro.core.tcm.TCM`, :class:`repro.core.graph_sketch.GraphSketch`
     and :class:`repro.baselines.countmin.CountMinSketch` all satisfy this.
+    Summaries that additionally provide the batched ``ingest_columns`` /
+    ``remove_many`` pair (TCM does) get the vectorized window fast path.
     """
 
     def update(self, source, target, weight: float = ...) -> None: ...
 
     def remove(self, source, target, weight: float = ...) -> None: ...
+
+
+class _ColumnarBuffer:
+    """Growable columnar FIFO of (source, target, weight, timestamp).
+
+    A flat-array deque: appends land at the tail with amortized doubling,
+    expiry pops a prefix by advancing the head index, and the live region
+    is compacted to the front -- one bulk copy -- whenever the dead prefix
+    outgrows the live data.  Timestamps are non-decreasing by the window's
+    ordering contract, so "how many elements expire" is one
+    ``np.searchsorted``.
+
+    In batched mode the endpoint columns are interned uint64 label keys
+    (the form :meth:`TCM.remove_many` eats directly, skipping label
+    re-conversion at expiry); in scalar-fallback mode the original label
+    objects are kept instead, for summaries that only speak per-element
+    ``remove``.
+    """
+
+    __slots__ = ("keep_labels", "_capacity", "_head", "_tail",
+                 "source_keys", "target_keys", "weights", "timestamps",
+                 "source_labels", "target_labels")
+
+    def __init__(self, keep_labels: bool, capacity: int = 1024):
+        self.keep_labels = keep_labels
+        self._capacity = max(1, capacity)
+        self._head = 0
+        self._tail = 0
+        if keep_labels:
+            self.source_keys = None
+            self.target_keys = None
+            self.source_labels: List = []
+            self.target_labels: List = []
+        else:
+            self.source_keys = np.empty(self._capacity, dtype=np.uint64)
+            self.target_keys = np.empty(self._capacity, dtype=np.uint64)
+            self.source_labels = None
+            self.target_labels = None
+        self.weights = np.empty(self._capacity, dtype=np.float64)
+        self.timestamps = np.empty(self._capacity, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    @property
+    def oldest_timestamp(self) -> Optional[float]:
+        if self._head == self._tail:
+            return None
+        return float(self.timestamps[self._head])
+
+    def _array_columns(self) -> Tuple[np.ndarray, ...]:
+        if self.keep_labels:
+            return (self.weights, self.timestamps)
+        return (self.source_keys, self.target_keys,
+                self.weights, self.timestamps)
+
+    def _ensure(self, extra: int) -> None:
+        """Make room for ``extra`` appended elements (compact or grow).
+
+        Called only from :meth:`append`, never between a :meth:`pop` and
+        the caller's use of the popped views -- popped slices stay valid
+        because compaction happens lazily at the next append.
+        """
+        live = self._tail - self._head
+        if self._tail + extra <= self._capacity:
+            return
+        if live + extra <= self._capacity and self._head > live:
+            # Enough total room: slide the live region to the front.
+            for column in self._array_columns():
+                column[:live] = column[self._head:self._tail].copy()
+        else:
+            new_capacity = self._capacity
+            while live + extra > new_capacity:
+                new_capacity *= 2
+            for name in ("source_keys", "target_keys", "weights",
+                         "timestamps"):
+                column = getattr(self, name)
+                if column is None:
+                    continue
+                grown = np.empty(new_capacity, dtype=column.dtype)
+                grown[:live] = column[self._head:self._tail]
+                setattr(self, name, grown)
+            self._capacity = new_capacity
+        if self.keep_labels and self._head:
+            del self.source_labels[:self._head]
+            del self.target_labels[:self._head]
+        self._head, self._tail = 0, live
+
+    def append(self, weights: np.ndarray, timestamps: np.ndarray,
+               source_keys: Optional[np.ndarray] = None,
+               target_keys: Optional[np.ndarray] = None,
+               source_labels: Optional[Sequence] = None,
+               target_labels: Optional[Sequence] = None) -> None:
+        n = len(weights)
+        if n == 0:
+            return
+        self._ensure(n)
+        lo, hi = self._tail, self._tail + n
+        self.weights[lo:hi] = weights
+        self.timestamps[lo:hi] = timestamps
+        if self.keep_labels:
+            self.source_labels.extend(source_labels)
+            self.target_labels.extend(target_labels)
+        else:
+            self.source_keys[lo:hi] = source_keys
+            self.target_keys[lo:hi] = target_keys
+        self._tail = hi
+
+    def count_expired(self, cutoff: float) -> int:
+        """Elements at the front with ``timestamp < cutoff`` (strict)."""
+        return int(np.searchsorted(self.timestamps[self._head:self._tail],
+                                   cutoff, side="left"))
+
+    def pop(self, n: int):
+        """Drop the ``n`` oldest elements, returning their columns.
+
+        Batched mode returns ``(source_keys, target_keys, weights)``
+        array views; scalar mode returns ``(source_labels, target_labels,
+        weights)``.  Views remain valid until the next :meth:`append`.
+        """
+        lo, hi = self._head, self._head + n
+        weights = self.weights[lo:hi]
+        if self.keep_labels:
+            columns = (self.source_labels[lo:hi],
+                       self.target_labels[lo:hi], weights)
+        else:
+            columns = (self.source_keys[lo:hi],
+                       self.target_keys[lo:hi], weights)
+        self._head = hi
+        return columns
 
 
 class SlidingWindow:
@@ -36,19 +192,35 @@ class SlidingWindow:
     model's natural order); out-of-order arrivals raise ``ValueError``
     rather than silently corrupting the window.
 
+    When the summary exposes the batched maintenance pair
+    (``ingest_columns`` + ``remove_many``, as :class:`~repro.core.tcm.TCM`
+    does), insertion and expiry run through the vectorized kernels over a
+    columnar key buffer; any other insert/delete-capable structure falls
+    back to per-element calls transparently.  Either way the maintained
+    summary is identical to the per-element reference loop.
+
     :param summary: the sketch (or any insert/delete-capable structure)
         kept in sync with the window contents.
     :param horizon: window length in stream time units.  An element with
         timestamp ``t`` expires once an element with timestamp
         ``> t + horizon`` arrives (or :meth:`advance_to` passes it).
+    :param expiry_chunk: maximum elements deleted per ``remove_many``
+        scatter (bounds temp-array size on huge expiry bursts).
     """
 
-    def __init__(self, summary: SupportsUpdateRemove, horizon: float):
+    def __init__(self, summary: SupportsUpdateRemove, horizon: float,
+                 *, expiry_chunk: int = DEFAULT_WINDOW_CHUNK):
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
+        if expiry_chunk < 1:
+            raise ValueError(
+                f"expiry_chunk must be >= 1, got {expiry_chunk}")
         self.summary = summary
         self.horizon = horizon
-        self._buffer: Deque[StreamEdge] = deque()
+        self.expiry_chunk = expiry_chunk
+        self._batched = (hasattr(summary, "remove_many")
+                         and hasattr(summary, "ingest_columns"))
+        self._buffer = _ColumnarBuffer(keep_labels=not self._batched)
         self._watermark = float("-inf")
 
     def __len__(self) -> int:
@@ -60,32 +232,118 @@ class SlidingWindow:
         """The latest timestamp observed (or advanced to)."""
         return self._watermark
 
+    @property
+    def is_batched(self) -> bool:
+        """Whether maintenance runs through the vectorized kernels."""
+        return self._batched
+
+    @property
+    def oldest_timestamp(self) -> Optional[float]:
+        """Timestamp of the oldest live element (None when empty)."""
+        return self._buffer.oldest_timestamp
+
     def observe(self, edge: StreamEdge) -> None:
         """Ingest one element: insert into the summary, expire the old."""
-        if edge.timestamp < self._watermark:
+        self.observe_many((edge,))
+
+    def observe_many(self, edges: Sequence[StreamEdge]) -> int:
+        """Ingest a batch of elements through the vectorized path.
+
+        One label-interning pass, one ``ingest_columns`` insertion, one
+        buffer append and one watermark advance (hence at most
+        ``ceil(expired / expiry_chunk)`` ``remove_many`` scatters) for
+        the whole batch.  The final summary and buffer state are
+        identical to observing the elements one at a time.  Returns the
+        number of elements ingested.
+        """
+        if not isinstance(edges, (list, tuple)):
+            edges = list(edges)
+        n = len(edges)
+        if n == 0:
+            return 0
+        timestamps = np.fromiter((e.timestamp for e in edges),
+                                 dtype=np.float64, count=n)
+        previous = np.empty(n, dtype=np.float64)
+        previous[0] = self._watermark
+        previous[1:] = timestamps[:-1]
+        disorder = timestamps < previous
+        if disorder.any():
+            i = int(np.argmax(disorder))
             raise ValueError(
-                f"out-of-order element at t={edge.timestamp} "
-                f"(watermark is {self._watermark})")
-        self.summary.update(edge.source, edge.target, edge.weight)
-        self._buffer.append(edge)
-        self.advance_to(edge.timestamp)
+                f"out-of-order element at t={timestamps[i]} "
+                f"(watermark is {previous[i]})")
+        weights = np.fromiter((e.weight for e in edges),
+                              dtype=np.float64, count=n)
+        sources = [e.source for e in edges]
+        targets = [e.target for e in edges]
+        if self._batched:
+            self.summary.ingest_columns(sources, targets, weights)
+            self._buffer.append(weights, timestamps,
+                                source_keys=label_keys(sources),
+                                target_keys=label_keys(targets))
+        else:
+            for edge in edges:
+                self.summary.update(edge.source, edge.target, edge.weight)
+            self._buffer.append(weights, timestamps,
+                                source_labels=sources,
+                                target_labels=targets)
+        if OBS.enabled:
+            OBS.window_observed.inc(n)
+        self.advance_to(float(timestamps[-1]))
+        return n
+
+    def consume(self, stream: Iterable[StreamEdge], *,
+                chunk_size: int = DEFAULT_WINDOW_CHUNK) -> int:
+        """Drive a whole (lazy) stream through the window in chunks.
+
+        The windowed counterpart of :meth:`TCM.ingest`: constant memory
+        for any stream length, one vectorized insert + expiry round per
+        ``chunk_size`` elements.  Returns the number of elements.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        count = 0
+        iterator = iter(stream)
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            count += self.observe_many(chunk)
+        return count
 
     def advance_to(self, timestamp: float) -> int:
         """Move the watermark forward, expiring elements; returns how many.
 
         Expiry is the constant-per-element decrement described in the
-        paper: each expired edge is removed from the summary with exactly
-        the weight it was inserted with.
+        paper, applied a batch at a time: the expired prefix of the
+        columnar buffer (one ``searchsorted``) is deleted with one
+        ``remove_many`` scatter per ``expiry_chunk`` elements, each edge
+        removed with exactly the weight it was inserted with.
         """
         if timestamp < self._watermark:
             raise ValueError(
                 f"cannot move watermark backwards to {timestamp} "
                 f"(currently {self._watermark})")
         self._watermark = timestamp
-        expired = 0
         cutoff = timestamp - self.horizon
-        while self._buffer and self._buffer[0].timestamp < cutoff:
-            old = self._buffer.popleft()
-            self.summary.remove(old.source, old.target, old.weight)
-            expired += 1
+        expired = self._buffer.count_expired(cutoff)
+        remaining = expired
+        while remaining:
+            batch = min(remaining, self.expiry_chunk)
+            col_a, col_b, weights = self._buffer.pop(batch)
+            if self._batched:
+                self.summary.remove_many(col_a, col_b, weights)
+            else:
+                for source, target, weight in zip(col_a, col_b,
+                                                  weights.tolist()):
+                    self.summary.remove(source, target, weight)
+            remaining -= batch
+        if OBS.enabled:
+            OBS.window_live_elements.set(len(self._buffer))
+            oldest = self._buffer.oldest_timestamp
+            OBS.window_watermark_lag.set(
+                self._watermark - oldest if oldest is not None else 0.0)
+            if expired:
+                OBS.window_expired.inc(expired)
+                OBS.window_expired_per_advance.observe(expired)
         return expired

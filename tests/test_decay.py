@@ -107,6 +107,42 @@ class TestRenormalization:
         decayed.observe("a", "b", 7.0)
         assert decayed.edge_weight("a", "b") == pytest.approx(7.0)
 
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_renormalization_bumps_sketch_epochs(self, sparse):
+        """Folding the scale into the cells is an out-of-band mutation;
+        it must move every sketch epoch so cached indexes invalidate."""
+        decayed = TimeDecayedTCM(0.1, d=2, width=16, seed=1, sparse=sparse)
+        decayed.observe("a", "b", 4.0, timestamp=0.0)
+        before = [s.epoch for s in decayed.tcm.sketches]
+        decayed.advance_to(125.0)  # 0.1**125 < 1e-120: forces a renorm
+        after = [s.epoch for s in decayed.tcm.sketches]
+        assert all(b > a for b, a in zip(after, before))
+        assert decayed.edge_weight("a", "b") == pytest.approx(4.0 * 0.1**125)
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_renormalization_invalidates_query_engine_caches(self, sparse):
+        decayed = TimeDecayedTCM(0.1, d=2, width=16, seed=1, sparse=sparse)
+        decayed.observe("a", "b", 4.0, timestamp=0.0)
+        engine = decayed.tcm.query_engine
+        assert decayed.out_flow("a") == pytest.approx(4.0)
+        warm = engine.cache_stats()
+        assert decayed.out_flow("a") == pytest.approx(4.0)
+        assert engine.cache_stats()["hits"] > warm["hits"]
+        decayed.advance_to(125.0)  # renormalizes: epochs move
+        # A stale row-sum cache would return the un-scaled flow here.
+        assert decayed.out_flow("a") == pytest.approx(4.0 * 0.1**125)
+        assert engine.cache_stats()["invalidations"] > \
+            warm["invalidations"]
+
+    def test_sparse_backend_matches_dense_semantics(self):
+        dense = TimeDecayedTCM(0.5, d=2, width=32, seed=1)
+        sparse = TimeDecayedTCM(0.5, d=2, width=32, seed=1, sparse=True)
+        for decayed in (dense, sparse):
+            decayed.observe("a", "b", 8.0, timestamp=0.0)
+            decayed.observe("a", "b", 8.0, timestamp=1.0)
+        assert sparse.edge_weight("a", "b") == \
+            pytest.approx(dense.edge_weight("a", "b"))
+
     def test_recent_burst_outranks_old_heavyweight(self):
         """The motivating query: what is hot *now*."""
         decayed = TimeDecayedTCM(0.9, d=2, width=64, seed=2)

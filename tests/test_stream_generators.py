@@ -221,3 +221,46 @@ class TestQueryGraphSampling:
     def test_empty_stream(self):
         from repro.streams.model import GraphStream
         assert query_graphs_from_stream(GraphStream(), count=5) == []
+
+
+class TestRmatEdgesTimestamped:
+    def test_same_topology_as_rmat_edges(self):
+        from repro.streams.generators import rmat_edges, \
+            rmat_edges_timestamped
+        plain = list(rmat_edges(64, 700, seed=3, block=256))
+        stamped = list(rmat_edges_timestamped(64, 700, seed=3, block=256,
+                                              rate=4.0))
+        assert [(e.source, e.target) for e in plain] == \
+            [(e.source, e.target) for e in stamped]
+
+    def test_timestamps_monotone_with_mean_rate(self):
+        from repro.streams.generators import rmat_edges_timestamped
+        edges = list(rmat_edges_timestamped(64, 2000, seed=5, block=512,
+                                            rate=8.0, jitter=0.5))
+        timestamps = np.array([e.timestamp for e in edges])
+        gaps = np.diff(timestamps)
+        assert (gaps > 0).all()
+        # Gaps are Uniform(1/rate * [0.5, 1.5]): mean 1/rate, bounded.
+        assert gaps.mean() == pytest.approx(1 / 8.0, rel=0.05)
+        assert gaps.min() >= 0.5 / 8.0
+        assert gaps.max() <= 1.5 / 8.0
+
+    def test_zero_jitter_is_regular(self):
+        from repro.streams.generators import rmat_edges_timestamped
+        edges = list(rmat_edges_timestamped(16, 50, seed=1, rate=2.0,
+                                            jitter=0.0))
+        gaps = np.diff([e.timestamp for e in edges])
+        np.testing.assert_allclose(gaps, 0.5)
+
+    def test_reproducible(self):
+        from repro.streams.generators import rmat_edges_timestamped
+        a = list(rmat_edges_timestamped(64, 300, seed=9, rate=3.0))
+        b = list(rmat_edges_timestamped(64, 300, seed=9, rate=3.0))
+        assert a == b
+
+    def test_validation(self):
+        from repro.streams.generators import rmat_edges_timestamped
+        with pytest.raises(ValueError, match="rate"):
+            list(rmat_edges_timestamped(16, 10, rate=0.0))
+        with pytest.raises(ValueError, match="jitter"):
+            list(rmat_edges_timestamped(16, 10, jitter=1.0))

@@ -1,0 +1,351 @@
+"""Tests for the windowed-stream fast path.
+
+Covers the batch-deletion kernels (``remove_many``), the columnar
+ring-buffer :class:`SlidingWindow` (equivalence against the per-element
+reference loop), the rotating sub-sketch window's accuracy bounds, the
+window observability gauges, and the ``tcm window`` CLI subcommand.
+"""
+
+import json
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.hashing.labels import label_keys
+from repro.streams.generators import rmat_edges_timestamped
+from repro.streams.model import StreamEdge
+from repro.streams.rotating import RotatingWindowTCM
+from repro.streams.window import SlidingWindow
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+
+
+def timestamped_edges(n=1500, seed=7, rate=20.0, labels="int"):
+    edges = list(rmat_edges_timestamped(64, n, seed=seed, rate=rate,
+                                        jitter=0.6))
+    if labels == "str":
+        edges = [StreamEdge(f"n{e.source}", f"n{e.target}", e.weight,
+                            e.timestamp) for e in edges]
+    return edges
+
+
+def reference_window(config, edges, horizon):
+    """The pre-vectorization baseline: per-element insert + deque expiry."""
+    tcm = TCM(**config)
+    buffer = deque()
+    for e in edges:
+        tcm.update(e.source, e.target, e.weight)
+        buffer.append(e)
+        cutoff = e.timestamp - horizon
+        while buffer and buffer[0].timestamp < cutoff:
+            old = buffer.popleft()
+            tcm.remove(old.source, old.target, old.weight)
+    return tcm, buffer
+
+
+def assert_same_summary(fast: TCM, slow: TCM, edges):
+    for mine, theirs in zip(fast.sketches, slow.sketches):
+        if hasattr(mine, "_matrix"):
+            assert np.array_equal(mine._matrix, theirs._matrix)
+    pairs = sorted({(e.source, e.target) for e in edges}, key=repr)
+    assert np.array_equal(fast.edge_weights(pairs), slow.edge_weights(pairs))
+    assert fast.total_weight_estimate() == \
+        pytest.approx(slow.total_weight_estimate())
+
+
+class TestBatchDeletionKernels:
+    @pytest.mark.parametrize("sparse", [False, True])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_remove_many_matches_scalar_removes(self, sparse, directed):
+        config = dict(d=3, width=32, seed=4, directed=directed,
+                      sparse=sparse)
+        edges = timestamped_edges(400, labels="str")
+        batched, scalar = TCM(**config), TCM(**config)
+        for tcm in (batched, scalar):
+            tcm.ingest_columns([e.source for e in edges],
+                               [e.target for e in edges],
+                               np.array([e.weight for e in edges]))
+        victims = edges[:150]
+        assert batched.remove_many([e.source for e in victims],
+                                   [e.target for e in victims],
+                                   np.array([e.weight for e in victims])) \
+            == len(victims)
+        for e in victims:
+            scalar.remove(e.source, e.target, e.weight)
+        assert_same_summary(batched, scalar, edges)
+
+    def test_remove_many_accepts_prehashed_keys(self):
+        tcm = TCM(d=2, width=32, seed=9)
+        labels = ["a", "b", "c", "a"]
+        targets = ["b", "c", "a", "b"]
+        tcm.ingest_columns(labels, targets, None)
+        tcm.remove_many(label_keys(labels), label_keys(targets))
+        assert tcm.total_weight_estimate() == 0.0
+
+    @pytest.mark.parametrize("aggregation",
+                             [Aggregation.MIN, Aggregation.MAX])
+    def test_non_invertible_aggregations_refuse_deletion(self, aggregation):
+        tcm = TCM(d=2, width=16, seed=1, aggregation=aggregation)
+        tcm.update("a", "b", 5.0)
+        before = tcm.edge_weight("a", "b")
+        with pytest.raises(ValueError, match="does not support deletion"):
+            tcm.remove("a", "b", 5.0)
+        with pytest.raises(ValueError, match="does not support deletion"):
+            tcm.remove_many(["a"], ["b"], np.array([5.0]))
+        # The failed calls must not leave the ensemble half-mutated.
+        assert tcm.edge_weight("a", "b") == before
+
+    def test_negative_removal_weight_rejected(self):
+        tcm = TCM(d=2, width=16, seed=1)
+        tcm.update("a", "b", 5.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            tcm.sketches[0].remove_many(
+                label_keys(["a"]), label_keys(["b"]), np.array([-1.0]))
+
+    def test_remove_many_bumps_epochs_and_invalidates_caches(self):
+        tcm = TCM(d=2, width=32, seed=3)
+        tcm.ingest_columns(["a", "b"], ["b", "c"], None)
+        assert tcm.out_flow("a") == 1.0
+        engine = tcm.query_engine
+        assert engine.cache_stats()["misses"] > 0
+        tcm.remove_many(["a"], ["b"])
+        assert tcm.out_flow("a") == 0.0  # stale cache would still say 1
+
+
+class TestSlidingWindowEquivalence:
+    @pytest.mark.parametrize("sparse", [False, True])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_batched_window_matches_per_element_baseline(self, sparse,
+                                                         directed):
+        config = dict(d=3, width=32, seed=11, directed=directed,
+                      sparse=sparse)
+        edges = timestamped_edges(1500)
+        horizon = 20.0
+        window = SlidingWindow(TCM(**config), horizon)
+        assert window.is_batched
+        assert window.consume(iter(edges), chunk_size=237) == len(edges)
+        baseline, live = reference_window(config, edges, horizon)
+        assert len(window) == len(live)
+        assert_same_summary(window.summary, baseline, edges)
+
+    def test_count_aggregation_equivalence(self):
+        config = dict(d=2, width=32, seed=5,
+                      aggregation=Aggregation.COUNT)
+        edges = timestamped_edges(800)
+        window = SlidingWindow(TCM(**config), 15.0)
+        window.observe_many(edges)
+        baseline, live = reference_window(config, edges, 15.0)
+        assert len(window) == len(live)
+        assert_same_summary(window.summary, baseline, edges)
+
+    def test_chunk_size_does_not_change_results(self):
+        edges = timestamped_edges(900, seed=2)
+        results = []
+        for chunk_size in (1, 7, 128, 10_000):
+            window = SlidingWindow(TCM(d=2, width=32, seed=8), 10.0)
+            window.consume(iter(edges), chunk_size=chunk_size)
+            results.append((len(window),
+                            window.summary.sketches[0]._matrix.copy()))
+        for count, matrix in results[1:]:
+            assert count == results[0][0]
+            assert np.array_equal(matrix, results[0][1])
+
+    def test_expiry_chunk_bounds_each_scatter(self):
+        edges = timestamped_edges(600, seed=3)
+        small = SlidingWindow(TCM(d=2, width=32, seed=8), 10.0,
+                              expiry_chunk=13)
+        big = SlidingWindow(TCM(d=2, width=32, seed=8), 10.0)
+        for window in (small, big):
+            window.observe_many(edges)
+            window.advance_to(edges[-1].timestamp + 100.0)
+            assert len(window) == 0
+        assert np.array_equal(small.summary.sketches[0]._matrix,
+                              big.summary.sketches[0]._matrix)
+
+    def test_buffer_survives_heavy_churn(self):
+        """Growth, compaction and pop interleave correctly over many
+        advances (the live region slides through the arrays)."""
+        window = SlidingWindow(TCM(d=1, width=16, seed=1), 5.0)
+        t = 0.0
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            burst = [StreamEdge(int(rng.integers(8)), int(rng.integers(8)),
+                                1.0, t + i * 0.01)
+                     for i in range(int(rng.integers(1, 120)))]
+            t = burst[-1].timestamp + float(rng.uniform(0, 4.0))
+            window.observe_many(burst)
+        live = len(window)
+        assert window.summary.total_weight_estimate() == live
+        assert window.oldest_timestamp >= window.watermark - 5.0
+
+    def test_out_of_order_within_batch_rejected(self):
+        window = SlidingWindow(TCM(d=1, width=16, seed=1), 5.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            window.observe_many([StreamEdge("a", "b", 1.0, 2.0),
+                                 StreamEdge("a", "b", 1.0, 1.0)])
+
+    def test_scalar_fallback_observe_many(self):
+        """Summaries without the batched protocol still get batch calls."""
+
+        class Plain:
+            def __init__(self):
+                self.weights = {}
+
+            def update(self, s, t, w=1.0):
+                self.weights[(s, t)] = self.weights.get((s, t), 0.0) + w
+
+            def remove(self, s, t, w=1.0):
+                self.weights[(s, t)] -= w
+
+        window = SlidingWindow(Plain(), 5.0)
+        assert not window.is_batched
+        window.observe_many([StreamEdge("a", "b", 2.0, 0.0),
+                             StreamEdge("c", "d", 1.0, 10.0)])
+        assert window.summary.weights[("a", "b")] == 0.0
+        assert window.summary.weights[("c", "d")] == 1.0
+        assert len(window) == 1
+
+
+class TestRotatingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="horizon"):
+            RotatingWindowTCM(0.0)
+        with pytest.raises(ValueError, match="buckets"):
+            RotatingWindowTCM(10.0, buckets=0)
+        with pytest.raises(ValueError, match="seed"):
+            RotatingWindowTCM(10.0, seed=None)
+
+    def test_never_under_estimates_exact_window(self):
+        edges = timestamped_edges(2000, seed=13, rate=25.0)
+        horizon = 20.0
+        rotating = RotatingWindowTCM(horizon, buckets=6, d=2, width=32,
+                                     seed=5)
+        rotating.consume(iter(edges), chunk_size=333)
+        exact = SlidingWindow(TCM(d=2, width=32, seed=5), horizon)
+        exact.observe_many(edges)
+        pairs = sorted({(e.source, e.target) for e in edges})
+        surplus = rotating.edge_weights(pairs) - \
+            exact.summary.edge_weights(pairs)
+        assert (surplus >= -1e-9).all()
+
+    def test_view_equals_tcm_of_covered_buckets_exactly(self):
+        """For sum the merged view is *bit-identical* to a fresh TCM over
+        the elements of the live buckets -- the over-estimate is exactly
+        the boundary elements, nothing else (merge linearity)."""
+        edges = timestamped_edges(1200, seed=17, rate=30.0)
+        horizon = 15.0
+        buckets = 5
+        rotating = RotatingWindowTCM(horizon, buckets=buckets, d=2,
+                                     width=32, seed=5)
+        rotating.observe_many(edges)
+        span = horizon / buckets
+        current = int(np.floor(edges[-1].timestamp / span))
+        covered = [e for e in edges
+                   if np.floor(e.timestamp / span) >= current - buckets]
+        fresh = TCM(d=2, width=32, seed=5)
+        fresh.ingest_columns([e.source for e in covered],
+                             [e.target for e in covered],
+                             np.array([e.weight for e in covered]))
+        for mine, theirs in zip(rotating.merged.sketches, fresh.sketches):
+            assert np.array_equal(mine._matrix, theirs._matrix)
+        assert rotating.max_staleness == pytest.approx(span)
+
+    def test_long_gap_clears_entire_ring(self):
+        rotating = RotatingWindowTCM(10.0, buckets=4, d=1, width=16, seed=1)
+        rotating.observe("a", "b", 3.0, timestamp=0.0)
+        assert rotating.total_weight_estimate() == 3.0
+        rotating.advance_to(1000.0)
+        assert rotating.total_weight_estimate() == 0.0
+
+    def test_supports_min_aggregation(self):
+        """Rotation is the only windowing for non-invertible aggregations
+        (exact windows need deletion); min merges across buckets."""
+        rotating = RotatingWindowTCM(10.0, buckets=2, d=2, width=32,
+                                     seed=3, aggregation=Aggregation.MIN)
+        rotating.observe("a", "b", 5.0, timestamp=0.0)
+        rotating.observe("a", "b", 9.0, timestamp=6.0)
+        assert rotating.edge_weight("a", "b") == 5.0
+        rotating.advance_to(100.0)
+        assert rotating.edge_weight("a", "b") == 0.0
+
+    def test_merged_view_cached_between_mutations(self):
+        rotating = RotatingWindowTCM(10.0, buckets=2, d=1, width=16, seed=1)
+        rotating.observe("a", "b", 1.0, timestamp=0.0)
+        view = rotating.merged
+        epoch = view.sketches[0].epoch
+        assert rotating.merged.sketches[0].epoch == epoch  # cached: no rebuild
+        rotating.observe("a", "b", 1.0, timestamp=1.0)
+        assert rotating.merged.sketches[0].epoch > epoch  # rebuilt
+        assert rotating.edge_weight("a", "b") == 2.0
+
+    def test_watermark_and_order_validation(self):
+        rotating = RotatingWindowTCM(10.0, buckets=2, d=1, width=16, seed=1)
+        rotating.advance_to(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            rotating.advance_to(4.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            rotating.observe_many([StreamEdge("a", "b", 1.0, 9.0),
+                                   StreamEdge("a", "b", 1.0, 8.0)])
+
+
+class TestWindowObservability:
+    def test_gauges_appear_in_prometheus_scrape(self):
+        obs.enable()
+        window = SlidingWindow(TCM(d=1, width=16, seed=1), 5.0)
+        window.observe_many([StreamEdge("a", "b", 1.0, 0.0),
+                             StreamEdge("b", "c", 1.0, 1.0),
+                             StreamEdge("c", "d", 1.0, 10.0)])
+        text = obs.render_prometheus()
+        assert "window_observed_total 3" in text
+        assert "window_expired_total 2" in text
+        assert "window_live_elements 1" in text
+        assert "window_watermark_lag 0" in text
+        assert "# TYPE window_expired_per_advance histogram" in text
+        assert "window_expired_per_advance_count 1" in text
+
+    def test_rotation_counter_and_json_snapshot(self):
+        obs.enable()
+        rotating = RotatingWindowTCM(10.0, buckets=2, d=1, width=16, seed=1)
+        rotating.observe("a", "b", 1.0, timestamp=0.0)
+        rotating.observe("a", "b", 1.0, timestamp=12.0)
+        doc = json.loads(obs.json_snapshot())
+        metrics = doc["metrics"]
+        assert metrics["window_rotations_total"]["samples"][0]["value"] == 2
+        assert metrics["window_observed_total"]["samples"][0]["value"] == 2
+
+
+class TestWindowCli:
+    def test_window_subcommand_both_modes(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.streams.io import write_stream
+        from repro.streams.model import GraphStream
+
+        stream = GraphStream(directed=True)
+        for e in timestamped_edges(400, seed=1, rate=10.0):
+            stream.add(e.source, e.target, e.weight, e.timestamp)
+        trace = tmp_path / "trace.txt"
+        write_stream(stream, str(trace))
+
+        sketch = tmp_path / "window.npz"
+        assert main(["window", str(trace), str(sketch),
+                     "--horizon", "10", "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "live elements" in out
+        assert sketch.exists()
+
+        assert main(["window", str(trace), "--horizon", "10",
+                     "--mode", "rotating", "--buckets", "4",
+                     "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "rotating" in out and "staleness" in out
