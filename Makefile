@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
-	bench-query bench-window examples report obs-demo obs-overhead clean
+	bench-query bench-window bench-soak examples report obs-demo \
+	obs-overhead clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -18,6 +19,7 @@ help:
 	@echo "bench-ingest re-measure chunked/parallel ingest throughput + RSS"
 	@echo "bench-query  re-measure query-engine latency (cold/warm vs scalar)"
 	@echo "bench-window re-measure sliding-window maintenance throughput"
+	@echo "bench-soak   minutes-long mixed soak with telemetry + drift gates"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -58,6 +60,9 @@ bench-query:
 
 bench-window:
 	$(PYTHON) benchmarks/bench_window_throughput.py --out BENCH_window_throughput.json
+
+bench-soak:
+	$(PYTHON) benchmarks/bench_soak.py --out BENCH_soak.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

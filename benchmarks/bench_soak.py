@@ -1,0 +1,521 @@
+"""Soak regression gate: sustained mixed workload with full telemetry on.
+
+The other benchmarks measure one path at a time; this one is the
+standing answer to "does the whole system stay healthy while a stream
+actually runs?" (ROADMAP item 5).  It drives a minutes-long mixed
+workload -- chunked TCM ingest, a rotating window, a time-decayed
+summary, batched queries -- over a timestamped R-MAT stream whose
+quadrant parameters *shift mid-run* (the gSketch/SBG-Sketch degradation
+scenario), with the full observability stack attached: shadow-truth
+accuracy tracking, Page-Hinkley drift detection, RSS/GC sampling and the
+flight recorder.
+
+The committed ``BENCH_soak.json`` record asserts, as hard gate flags:
+
+- ``throughput_ok``     -- sustained arrivals/sec above a floor,
+- ``p99_ok``            -- query p99 (from the obs histograms) below a
+  ceiling,
+- ``rss_ok``            -- post-warm-up RSS slope below a leak ceiling,
+- ``accuracy_ok``       -- observed mean ARE on the sampled keys bounded
+  through both phases,
+- ``drift_fired``       -- the detector raised at least one event after
+  the parameter shift,
+- ``drift_silent_before`` -- and none during the stationary phase,
+- ``overhead_ok``       -- the telemetry stack costs <= the documented
+  5% budget on this very loop (measured disabled-vs-enabled on a
+  calibration slice).
+
+Regenerate with ``make bench-soak`` (full scale) or run the pytest smoke
+(tiny scale) via ``make bench``.  CI validates the committed record's
+schema and gate flags on every push (``benchmarks/validate_bench_records.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.decay import TimeDecayedTCM
+from repro.core.tcm import TCM
+from repro.hashing.labels import label_keys
+from repro.streams.generators import rmat_edges_drifting
+from repro.streams.rotating import RotatingWindowTCM
+
+#: Schema of the emitted record: key -> type.  CI validates against this.
+RECORD_SCHEMA = {
+    "benchmark": str,
+    "config": dict,
+    "throughput": dict,
+    "latency": dict,
+    "memory": dict,
+    "accuracy": dict,
+    "drift": dict,
+    "overhead": dict,
+    "gates": dict,
+}
+
+#: Gate flags that must all be true in a committed record.
+GATE_FLAGS = ("throughput_ok", "p99_ok", "rss_ok", "accuracy_ok",
+              "drift_fired", "drift_silent_before", "overhead_ok")
+
+#: Default thresholds for the full-scale run.  Floors/ceilings are set
+#: with ~3x headroom against the measured values on a dev laptop so the
+#: gate catches step regressions, not machine-to-machine variance.
+DEFAULT_THRESHOLDS = dict(
+    throughput_floor=100_000.0,     # arrivals/sec, telemetry on
+    p99_ceiling_seconds=0.05,       # batched query p99
+    rss_slope_limit=2 ** 21,        # bytes/sec of run time (2 MiB/s)
+    are_bound=1.0,                  # mean ARE over sampled keys
+    overhead_budget_pct=5.0,        # telemetry on the soak hot loop
+    overhead_headroom_pct=5.0,      # runner-noise allowance on top
+)
+
+
+def _chunks(stream, size: int):
+    iterator = iter(stream)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _columns(chunk):
+    sources = [e.source for e in chunk]
+    targets = [e.target for e in chunk]
+    # Pre-hashed key columns: every consumer (sketch ingest, shadow
+    # truth) goes through label_keys, whose ndarray fast path makes the
+    # conversion effectively free past this point.
+    skeys = label_keys(sources)
+    tkeys = label_keys(targets)
+    weights = np.fromiter((e.weight for e in chunk), dtype=np.float64,
+                          count=len(chunk))
+    timestamps = np.fromiter((e.timestamp for e in chunk),
+                             dtype=np.float64, count=len(chunk))
+    return sources, targets, skeys, tkeys, weights, timestamps
+
+
+def _materialize(config: Dict, n_edges: int) -> List:
+    """Pre-generate a slice of the stream as (chunk, *columns) tuples.
+
+    Used by the overhead calibration: generating the synthetic stream
+    costs more than processing it, so timing generation would both
+    dilute the overhead percentage and drown the delta in generator
+    noise.  Materializing once and replaying the identical chunks for
+    every mode/repeat isolates the processing loop.
+    """
+    stream = rmat_edges_drifting(
+        config["n_nodes"], n_edges, seed=config["seed"],
+        drift_start=config["drift_start"], drift_span=config["drift_span"],
+        rate=config["rate"], jitter=config["jitter"],
+        block=min(config["chunk_size"], 65536))
+    return [(chunk, *_columns(chunk))
+            for chunk in _chunks(stream, config["chunk_size"])]
+
+
+def _run_workload(config: Dict, *, telemetry: bool,
+                  prepared: Optional[List] = None) -> Dict:
+    """One pass of the mixed soak loop; the timed core of the benchmark.
+
+    With ``telemetry=False`` the identical workload runs with
+    observability disabled and no accuracy/runtime instruments attached
+    -- the baseline the overhead gate compares against.  With
+    ``prepared`` (from :func:`_materialize`) the loop replays
+    pre-generated chunks and the timer covers pure processing.
+    """
+    n_edges = config["n_edges"]
+    chunk_size = config["chunk_size"]
+    drift_start = config["drift_start"]
+    horizon = config["horizon"]
+
+    # The main TCM is sized for the gated accuracy bound; the window and
+    # decayed summaries run narrower (their accuracy is reported, not
+    # gated) so the rotating buckets don't dominate RSS.
+    tcm = TCM(d=config["d"], width=config["width"], seed=config["seed"])
+    window = RotatingWindowTCM(
+        horizon, buckets=config["buckets"], d=config["d"],
+        width=config.get("window_width", config["width"]),
+        seed=config["seed"])
+    decayed = TimeDecayedTCM(config["decay"], d=config["d"],
+                             width=config.get("window_width",
+                                              config["width"]),
+                             seed=config["seed"])
+
+    tracker = window_tracker = sampler = None
+    if telemetry:
+        obs.enable()
+        obs.FLIGHT.clear()
+        # error_delta absorbs the fill-phase ARE ramp (collisions accrue
+        # as the sketch populates, ~0.03 ARE/tick at this scale) so the
+        # stationary phase stays silent while the post-shift slope break
+        # still accumulates an excursion past error_lambda.
+        tracker = obs.AccuracyTracker(
+            tcm, sample_size=config["sample_size"], seed=config["seed"],
+            name="soak-tcm", flight=obs.FLIGHT,
+            detector=obs.DriftDetector(error_delta=0.05, error_lambda=0.4))
+        window_tracker = obs.AccuracyTracker(
+            window, sample_size=config["sample_size"] // 2,
+            seed=config["seed"], name="soak-window", flight=obs.FLIGHT)
+        sampler = obs.RuntimeSampler()
+        obs.FLIGHT.mark("soak start", edges=n_edges)
+    else:
+        obs.disable()
+
+    if prepared is None:
+        stream = rmat_edges_drifting(
+            config["n_nodes"], n_edges, seed=config["seed"],
+            drift_start=drift_start, drift_span=config["drift_span"],
+            rate=config["rate"], jitter=config["jitter"],
+            block=min(chunk_size, 65536))
+        chunk_iter = ((chunk, *_columns(chunk))
+                      for chunk in _chunks(stream, chunk_size))
+    else:
+        n_edges = sum(len(item[0]) for item in prepared)
+        chunk_iter = iter(prepared)
+
+    #: (tick index, elements seen) at each accuracy tick, to split drift
+    #: events into stationary vs post-shift.
+    are_series: List[float] = []
+    window_are_series: List[float] = []
+    stationary_events = 0
+    drift_events = 0
+    marked = False
+    seen = 0
+    chunk_index = 0
+    # Telemetry cadences: a tick per ~130k elements and a full-sketch
+    # health scan per ~500k still give dozens of accuracy points over a
+    # soak while keeping the telemetry bill inside the 5% budget.
+    tick_every = config.get("tick_every", 3)
+    health_every = config.get("health_every", 8)
+    start = time.perf_counter()
+    for chunk, sources, targets, skeys, tkeys, weights, ts_col in chunk_iter:
+        timestamps = ts_col
+        tcm.ingest_columns(skeys, tkeys, weights)
+        window.observe_many(chunk)
+        # A light decayed-summary trickle (its ingest is per-element).
+        for edge in chunk[::config["decay_stride"]]:
+            decayed.observe(edge.source, edge.target, edge.weight,
+                            timestamp=edge.timestamp)
+        # The query side of the mix: batched edge probes over a rolling
+        # slice of the chunk plus node flows on its hottest endpoints.
+        probe = min(len(chunk), 256)
+        pairs = list(zip(sources[:probe], targets[:probe]))
+        tcm.edge_weights(pairs)
+        window.edge_weights(pairs[: probe // 4])
+        tcm.out_flows(sources[:64])
+
+        seen += len(chunk)
+        if telemetry:
+            # Both trackers share a seed, so one hash pass feeds both.
+            hashed = tracker.comparator.hash_columns(skeys, tkeys)
+            tracker.observe_columns(sources, targets, weights,
+                                    hashed=hashed)
+            window_tracker.observe_columns(sources, targets, weights,
+                                           timestamps=timestamps,
+                                           hashed=hashed)
+            in_drift = seen > n_edges * drift_start
+            if not marked and in_drift:
+                obs.FLIGHT.mark("drift phase reached", elements=seen)
+                marked = True
+            if chunk_index % tick_every == 0:
+                report = tracker.tick(timestamp=float(timestamps[-1]))
+                window_report = window_tracker.tick(
+                    timestamp=float(timestamps[-1]))
+                are_series.append(report.mean_are)
+                window_are_series.append(window_report.mean_are)
+                # The gate classifies events from the gated (main)
+                # summary only: the deliberately narrow window sketch
+                # saturates, and its error signal reflects saturation,
+                # not stream drift.  Its events still reach the flight
+                # recorder and are reported informationally.
+                fired = len(report.drift_events)
+                if in_drift:
+                    drift_events += fired
+                else:
+                    stationary_events += fired
+                sampler.sample()
+            # The full-sketch health scan is O(cells); run it on a
+            # cadence, like a production health tick would.
+            if chunk_index % health_every == 0:
+                obs.FLIGHT.check_saturation(tcm, summary="soak-tcm")
+                obs.FLIGHT.capture_spans()
+        chunk_index += 1
+    elapsed = time.perf_counter() - start
+
+    result = {
+        "elapsed": elapsed,
+        "elements": seen,
+        "elements_per_second": seen / elapsed if elapsed > 0 else 0.0,
+    }
+    if telemetry:
+        obs.FLIGHT.mark("soak end", elements=seen)
+        result.update(
+            tcm=tcm, window=window,
+            are_series=are_series,
+            window_are_series=window_are_series,
+            stationary_events=stationary_events,
+            drift_events=drift_events,
+            sampler=sampler,
+            tracker=tracker, window_tracker=window_tracker,
+            flight_counts=obs.FLIGHT.counts(),
+        )
+        obs.disable()
+    return result
+
+
+def _measure_overhead(config: Dict, slice_edges: int,
+                      repeats: int = 3) -> Dict:
+    """Best-of-``repeats`` CPU time of the soak loop, telemetry on vs off.
+
+    Runs a shortened calibration slice of the *same* mixed loop so the
+    measured percentage is the telemetry cost on exactly the workload
+    the gate protects, not a synthetic micro-loop.  The chunks are
+    materialized once and replayed per mode (generation would otherwise
+    drown the delta), modes interleave so machine drift hits both, and
+    ``time.process_time`` + minimum-of-repeats keeps scheduler noise out
+    of the estimate.  One untimed warm-up run per mode precedes the
+    measurement.
+    """
+    calibration = {**config, "n_edges": slice_edges}
+    prepared = _materialize(calibration, slice_edges)
+    for mode in ("disabled", "enabled"):
+        _run_workload(calibration, telemetry=(mode == "enabled"),
+                      prepared=prepared)
+    best = {"disabled": float("inf"), "enabled": float("inf")}
+    for _ in range(repeats):
+        for mode in ("disabled", "enabled"):
+            started = time.process_time()
+            _run_workload(calibration, telemetry=(mode == "enabled"),
+                          prepared=prepared)
+            best[mode] = min(best[mode], time.process_time() - started)
+    overhead_pct = ((best["enabled"] - best["disabled"])
+                    / best["disabled"] * 100.0)
+    return {
+        "calibration_edges": slice_edges,
+        "repeats": repeats,
+        "disabled_best_seconds": round(best["disabled"], 4),
+        "enabled_best_seconds": round(best["enabled"], 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def run(n_edges: int = 4_000_000, n_nodes: int = 1 << 11, d: int = 4,
+        width: int = 1024, window_width: int = 256,
+        seed: int = 7, rate: float = 1000.0,
+        jitter: float = 0.5, chunk_size: int = 65536,
+        drift_start: float = 0.5, drift_span: float = 0.1,
+        buckets: int = 8, horizon: Optional[float] = None,
+        decay: float = 0.01, decay_stride: int = 64,
+        sample_size: int = 256, tick_every: int = 3,
+        health_every: int = 8, warmup_skip: int = 4,
+        overhead_slice: Optional[int] = None,
+        thresholds: Optional[Dict] = None) -> Dict:
+    """Run the soak and return the gate record.
+
+    :param horizon: rotating-window length in stream time; defaults to a
+        quarter of the stream's span (``n_edges / rate / 4``).
+    :param warmup_skip: runtime samples ignored by the RSS slope fit
+        (allocator warm-up is growth, not a leak).
+    :param overhead_slice: elements for the overhead calibration runs;
+        defaults to ``n_edges // 8`` (capped at 500k).
+    """
+    limits = {**DEFAULT_THRESHOLDS, **(thresholds or {})}
+    if horizon is None:
+        horizon = n_edges / rate / 4
+    if overhead_slice is None:
+        overhead_slice = min(max(n_edges // 8, 10_000), 500_000)
+    config = dict(n_edges=n_edges, n_nodes=n_nodes, d=d, width=width,
+                  window_width=window_width,
+                  seed=seed, rate=rate, jitter=jitter,
+                  chunk_size=chunk_size, drift_start=drift_start,
+                  drift_span=drift_span, buckets=buckets, horizon=horizon,
+                  decay=decay, decay_stride=decay_stride,
+                  sample_size=sample_size, tick_every=tick_every,
+                  health_every=health_every)
+
+    # Calibrate overhead *before* the soak: the telemetry cost is a
+    # property of the instrumentation, and measuring it on a fresh heap
+    # keeps the multi-million-element soak's retained allocations (GC
+    # scan cost scales with live objects) from inflating the delta.
+    overhead = _measure_overhead(config, overhead_slice)
+    obs.REGISTRY.reset()
+
+    soak = _run_workload(config, telemetry=True)
+    sampler: obs.RuntimeSampler = soak["sampler"]
+    runtime = sampler.summary(warmup_skip=warmup_skip)
+    quantiles = obs.latency_quantiles()
+    query_q = quantiles.get("tcm_query_seconds{kind=edge_weight_batch}", {})
+    p99 = query_q.get("p99", 0.0)
+    are_series = soak["are_series"]
+    window_are = soak["window_are_series"]
+    peak_are = max(are_series) if are_series else 0.0
+    final_are = are_series[-1] if are_series else 0.0
+
+    gates = {
+        "throughput_ok":
+            soak["elements_per_second"] >= limits["throughput_floor"],
+        "p99_ok": bool(query_q) and p99 <= limits["p99_ceiling_seconds"],
+        "rss_ok": (runtime["rss_slope_bytes_per_sec"]
+                   <= limits["rss_slope_limit"]),
+        "accuracy_ok": peak_are <= limits["are_bound"],
+        "drift_fired": soak["drift_events"] >= 1,
+        "drift_silent_before": soak["stationary_events"] == 0,
+        "overhead_ok": (overhead["overhead_pct"]
+                        <= limits["overhead_budget_pct"]
+                        + limits["overhead_headroom_pct"]),
+    }
+
+    return {
+        "benchmark": "sustained mixed ingest/query/window/decay soak with "
+                     "full telemetry (shadow truth, drift detection, "
+                     "RSS sampling) over a parameter-drifting R-MAT "
+                     "stream",
+        "config": {**config, "warmup_skip": warmup_skip,
+                   "python": platform.python_version(),
+                   "machine": platform.machine()},
+        "target": "all gate flags true; telemetry <= "
+                  f"{limits['overhead_budget_pct']:g}% on this loop",
+        "thresholds": limits,
+        "throughput": {
+            "elapsed_seconds": round(soak["elapsed"], 3),
+            "elements": soak["elements"],
+            "elements_per_second": round(soak["elements_per_second"]),
+        },
+        "latency": {
+            "query_p50_seconds": query_q.get("p50", 0.0),
+            "query_p99_seconds": p99,
+            "histograms": {k: {q: v for q, v in row.items()}
+                           for k, row in quantiles.items()},
+        },
+        "memory": runtime,
+        "accuracy": {
+            "ticks": len(are_series),
+            "mean_are_final": round(final_are, 6),
+            "mean_are_peak": round(peak_are, 6),
+            "window_mean_are_final":
+                round(window_are[-1], 6) if window_are else 0.0,
+            "window_mean_are_peak":
+                round(max(window_are), 6) if window_are else 0.0,
+            "observed_epsilon_final": round(
+                soak["tracker"].last_report.observed_epsilon, 8),
+            "false_positive_rate_final":
+                soak["tracker"].last_report.false_positive_rate,
+        },
+        "drift": {
+            "stationary_events": soak["stationary_events"],
+            "post_shift_events": soak["drift_events"],
+            "window_tracker_events":
+                len(soak["window_tracker"].detector.events),
+            "flight_counts": soak["flight_counts"],
+        },
+        "overhead": overhead,
+        "gates": gates,
+    }
+
+
+def validate_record(record: Dict) -> None:
+    """Schema + gate check for the emitted JSON (used by CI)."""
+    for key, expected in RECORD_SCHEMA.items():
+        if key not in record:
+            raise ValueError(f"BENCH_soak record misses {key!r}")
+        if not isinstance(record[key], expected):
+            raise ValueError(f"{key!r} should be {expected.__name__}, got "
+                             f"{type(record[key]).__name__}")
+    for flag in GATE_FLAGS:
+        if record["gates"].get(flag) is not True:
+            raise ValueError(
+                f"gates[{flag!r}] must be true, got "
+                f"{record['gates'].get(flag)!r}")
+    throughput = record["throughput"]
+    for key in ("elapsed_seconds", "elements", "elements_per_second"):
+        value = throughput.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"throughput[{key!r}] should be a positive "
+                             f"number, got {value!r}")
+    overhead = record["overhead"].get("overhead_pct")
+    if not isinstance(overhead, (int, float)):
+        raise ValueError(f"overhead.overhead_pct should be a number, "
+                         f"got {overhead!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sustained mixed-workload soak with telemetry gates")
+    parser.add_argument("--edges", type=int, default=4_000_000)
+    parser.add_argument("--nodes", type=int, default=1 << 11)
+    parser.add_argument("--d", type=int, default=4)
+    parser.add_argument("--width", type=int, default=1024)
+    parser.add_argument("--window-width", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rate", type=float, default=1000.0,
+                        help="mean arrivals per stream-time unit")
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--drift-start", type=float, default=0.5,
+                        help="fraction of the stream before the R-MAT "
+                             "parameter shift begins")
+    parser.add_argument("--sample-size", type=int, default=256,
+                        help="shadow-truth sampled edge keys")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    record = run(n_edges=args.edges, n_nodes=args.nodes, d=args.d,
+                 width=args.width, window_width=args.window_width,
+                 seed=args.seed, rate=args.rate,
+                 chunk_size=args.chunk_size, drift_start=args.drift_start,
+                 sample_size=args.sample_size)
+    validate_record(record)
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        gates = record["gates"]
+        print(f"wrote {args.out} "
+              f"({record['throughput']['elements_per_second']:,} elem/s, "
+              f"p99 {record['latency']['query_p99_seconds']:g}s, "
+              f"ARE {record['accuracy']['mean_are_peak']:g}, "
+              f"overhead {record['overhead']['overhead_pct']:+.2f}%, "
+              f"gates: {'all ok' if all(gates.values()) else gates})")
+    else:
+        print(text)
+    return 0
+
+
+# -- pytest smoke (tiny scale; part of `make bench` / `make bench-soak`) ----
+
+
+def test_soak_smoke(benchmark):
+    from benchmarks.conftest import run_once
+
+    record = run_once(
+        benchmark,
+        lambda: run(n_edges=60_000, n_nodes=1 << 10, width=128,
+                    window_width=128,
+                    rate=1000.0, chunk_size=8192, sample_size=64,
+                    tick_every=1, health_every=4, overhead_slice=40_000,
+                    thresholds=dict(throughput_floor=10_000.0,
+                                    p99_ceiling_seconds=0.5,
+                                    rss_slope_limit=2 ** 24,
+                                    # a 128-wide sketch saturates at this
+                                    # density, and per-tick fixed costs
+                                    # barely amortize over a 5-chunk
+                                    # calibration slice: the smoke checks
+                                    # plumbing, the committed full-scale
+                                    # record checks quality
+                                    are_bound=8.0,
+                                    overhead_headroom_pct=75.0)))
+    validate_record(record)
+    print(json.dumps({"throughput": record["throughput"],
+                      "gates": record["gates"]}, indent=2))
+    assert all(record["gates"].values())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -304,6 +304,71 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_obs_flight(args) -> int:
+    """``tcm obs flight``: drive a drift workload, dump the black box.
+
+    Runs a short instrumented soak -- stationary R-MAT, then a quadrant
+    parameter shift -- with the accuracy tracker, runtime sampler and
+    flight recorder attached, then prints (or writes with ``--out``) the
+    recorder's JSON post-mortem: spans, saturation warnings, drift
+    alarms and workload marks, oldest first.
+    """
+    import itertools
+
+    from repro import obs
+    from repro.streams.generators import rmat_edges_drifting
+
+    obs.enable()
+    obs.FLIGHT.clear()
+    try:
+        tcm = TCM(d=args.d, width=args.width, seed=args.seed)
+        tracker = obs.AccuracyTracker(tcm, sample_size=args.sample_size,
+                                      seed=args.seed, name="flight",
+                                      flight=obs.FLIGHT)
+        sampler = obs.RuntimeSampler()
+        n_edges = {"tiny": 20_000, "small": 100_000,
+                   "medium": 400_000}[args.scale]
+        stream = rmat_edges_drifting(1 << 12, n_edges, seed=args.seed,
+                                     rate=1000.0)
+        obs.FLIGHT.mark("workload start", edges=n_edges,
+                        drift="rmat quadrant shift at 50%")
+        chunk_size = max(1, n_edges // 20)
+        marked_drift = False
+        seen = 0
+        iterator = iter(stream)
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            sources = [e.source for e in chunk]
+            targets = [e.target for e in chunk]
+            weights = [e.weight for e in chunk]
+            with obs.span("obs.flight.ingest", elements=len(chunk)):
+                tcm.ingest_columns(sources, targets, weights)
+            tracker.observe_columns(sources, targets, weights)
+            tracker.tick(timestamp=chunk[-1].timestamp)
+            sampler.sample()
+            obs.FLIGHT.check_saturation(tcm, summary="flight")
+            obs.FLIGHT.capture_spans()
+            seen += len(chunk)
+            if not marked_drift and seen >= n_edges // 2:
+                obs.FLIGHT.mark("drift phase reached", elements=seen)
+                marked_drift = True
+        obs.FLIGHT.mark("workload end", elements=seen,
+                        runtime=sampler.summary())
+        dump = obs.FLIGHT.dump_json(indent=2)
+        if args.out is not None:
+            with open(args.out, "w") as fh:
+                fh.write(dump)
+            print(f"wrote flight post-mortem to {args.out} "
+                  f"({len(obs.FLIGHT)} events)")
+        else:
+            print(dump)
+    finally:
+        obs.disable()
+    return 0
+
+
 def _cmd_obs(args) -> int:
     """Instrumented demo ingest: emit metrics, health and trace snapshots.
 
@@ -311,11 +376,15 @@ def _cmd_obs(args) -> int:
     synthetic dataset) through an instrumented per-element ingest with
     the periodic reporter attached, runs a sample query workload to
     populate the latency histograms, then prints the Prometheus text
-    exposition and/or the JSON snapshot.
+    exposition and/or the JSON snapshot.  ``tcm obs flight`` instead runs
+    the drift workload and dumps the flight recorder's post-mortem.
     """
     from repro import obs
     from repro.experiments import datasets
     from repro.streams.replay import MonitoringHub
+
+    if args.stream == "flight":
+        return _cmd_obs_flight(args)
 
     obs.enable()
     try:
@@ -331,9 +400,21 @@ def _cmd_obs(args) -> int:
         hub = MonitoringHub()
         hub.attach("summary", tcm)
         hub.attach("reporter", reporter)
+        tracker = None
+        if args.accuracy:
+            tracker = obs.AccuracyTracker(tcm, sample_size=args.sample_size,
+                                          seed=args.seed, name="demo",
+                                          flight=obs.FLIGHT)
+            hub.attach("shadow-truth", tracker.comparator)
         with obs.span("obs.demo.ingest"):
             hub.replay(stream)
         reporter.report()
+        if tracker is not None:
+            report = tracker.tick()
+            print(f"[obs] accuracy: {report.sampled_keys} sampled keys, "
+                  f"mean ARE {report.mean_are:.4f}, "
+                  f"observed epsilon {report.observed_epsilon:.6f}, "
+                  f"FPR {report.false_positive_rate:.3f}")
 
         # A sample query workload so every latency histogram has data.
         with obs.span("obs.demo.queries"):
@@ -472,8 +553,12 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="instrumented demo ingest; emit metrics/health "
                     "snapshots (docs/OBSERVABILITY.md)")
     obs_cmd.add_argument("stream", nargs="?", default=None,
-                         help="optional stream file; default: a synthetic "
-                              "dataset (--dataset/--scale)")
+                         metavar="stream|flight",
+                         help="optional stream file, or the literal "
+                              "'flight' to run the drift workload and "
+                              "dump the flight-recorder post-mortem; "
+                              "default: a synthetic dataset "
+                              "(--dataset/--scale)")
     obs_cmd.add_argument("--dataset",
                          choices=("dblp", "ipflow", "gtgraph", "twitter"),
                          default="gtgraph",
@@ -488,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sample queries per family after ingest")
     obs_cmd.add_argument("--every", type=int, default=5000,
                          help="periodic-reporter cadence in elements")
+    obs_cmd.add_argument("--accuracy", action="store_true",
+                         help="attach a shadow-truth accuracy tracker and "
+                              "print observed ARE/epsilon/FPR after ingest")
+    obs_cmd.add_argument("--sample-size", type=int, default=256,
+                         help="shadow-truth sampled edge keys "
+                              "(--accuracy and flight modes)")
     obs_cmd.add_argument("--format", choices=("prom", "json", "both"),
                          default="both")
     obs_cmd.add_argument("--out", default=None,

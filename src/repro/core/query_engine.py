@@ -220,6 +220,16 @@ class ConnectivityIndex:
         self._reachable_sets: Dict[int, np.ndarray] = {}
         self._max_cached_sources = max_cached_sources
 
+    def nbytes(self) -> int:
+        """Bytes held by this index's arrays and memoized BFS rows."""
+        total = self.components.nbytes
+        if self.closure is not None:
+            total += self.closure.nbytes
+        if self.successors is not None:
+            total += sum(a.nbytes for a in self.successors)
+        total += sum(row.nbytes for row in self._reachable_sets.values())
+        return total
+
     def _bfs_component_closure(self, comp: int) -> np.ndarray:
         """Boolean reachability row of one component (memoized)."""
         cached = self._reachable_sets.get(comp)
@@ -381,6 +391,30 @@ class QueryEngine:
         """Local hit/miss/invalidation counters (obs-independent)."""
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations}
+
+    def cache_bytes(self) -> int:
+        """Bytes held by every live epoch cache across the ensemble.
+
+        Sums the numpy footprint of each cached structure -- connectivity
+        indexes (component vectors, packed closures, CSR successor lists,
+        memoized BFS rows), flow vectors, weight matrices and memoized
+        distance vectors.  This is the ``query_engine_cache_bytes`` gauge
+        and the delta :meth:`TCM.memory_bytes` adds on top of the raw
+        sketch matrices once the engine has been exercised.
+        """
+        total = 0
+        for state in self._states:
+            if state is None:
+                continue
+            if state.connectivity is not None:
+                total += state.connectivity.nbytes()
+            for name in ("row_sums", "col_sums", "diagonal",
+                         "weight_matrix"):
+                array = getattr(state, name)
+                if array is not None:
+                    total += array.nbytes
+            total += sum(d.nbytes for d in state.distances.values())
+        return total
 
     # -- cache plumbing ------------------------------------------------------
 

@@ -211,10 +211,33 @@ class TCM:
 
         Sums each sketch's matrix storage plus its label-materialization
         storage (extended sketches); see
-        :meth:`GraphSketch.memory_bytes`.  Also available as
-        :attr:`nbytes` to mirror numpy.
+        :meth:`GraphSketch.memory_bytes`.  Once the lazy
+        :attr:`query_engine` has been exercised, its epoch-cached index
+        structures (connectivity closures, flow vectors, distance rows --
+        :meth:`QueryEngine.cache_bytes`) are counted too, so this
+        accessor and process RSS telemetry agree about what the summary
+        actually holds.  A TCM that has never been queried reports
+        exactly its matrix bytes.  Also available as :attr:`nbytes` to
+        mirror numpy.
         """
-        return sum(s.memory_bytes() for s in self._sketches)
+        total = sum(s.memory_bytes() for s in self._sketches)
+        return total + self.query_engine_cache_bytes()
+
+    def query_engine_cache_bytes(self) -> int:
+        """Bytes held by the lazy query engine's caches (0 before first use)."""
+        engine = getattr(self, "_query_engine", None)
+        return engine.cache_bytes() if engine is not None else 0
+
+    def shadow_truth(self, *, sample_size: int = 256, seed: int = 0):
+        """A matched shadow-truth comparator for accuracy telemetry.
+
+        Returns a :class:`~repro.obs.accuracy.ShadowTruthComparator` with
+        this summary's aggregation and directedness; feed it the same
+        stream and compare via
+        :class:`~repro.obs.accuracy.AccuracyTracker`.
+        """
+        from repro.obs.accuracy import shadow_truth_for
+        return shadow_truth_for(self, sample_size=sample_size, seed=seed)
 
     @property
     def nbytes(self) -> int:

@@ -109,8 +109,23 @@ def label_keys(labels: Iterable[Label]) -> "np.ndarray":
     dict probe per repeated string label, one FNV pass per distinct one.
     """
     global _cache_hits, _cache_misses
-    if not isinstance(labels, (list, tuple)):
+    if isinstance(labels, np.ndarray):
+        if labels.dtype.kind in "iu":
+            return labels.astype(np.uint64, copy=False)
+        labels = labels.tolist()
+    elif not isinstance(labels, (list, tuple)):
         labels = list(labels)
+    # Vectorized fast path for all-integer columns (generator streams and
+    # pre-hashed keys): one C-level conversion instead of 65k scalar
+    # assignments.  Mixed or huge-int columns fall through to the loop
+    # (np.asarray yields a non-integer dtype or overflows).
+    if labels and type(labels[0]) is int:
+        try:
+            arr = np.asarray(labels)
+        except OverflowError:
+            arr = None
+        if arr is not None and arr.dtype.kind in "iu":
+            return arr.astype(np.uint64, copy=False)
     out = np.empty(len(labels), dtype=np.uint64)
     cache = _KEY_CACHE
     hits = misses = 0
@@ -141,6 +156,31 @@ def label_cache_info() -> Dict[str, int]:
     """Hit/miss/size counters for the interning cache (for dashboards)."""
     return {"hits": _cache_hits, "misses": _cache_misses,
             "size": len(_KEY_CACHE), "limit": LABEL_CACHE_LIMIT}
+
+
+def label_cache_bytes() -> int:
+    """Estimated footprint of the interning cache.
+
+    Sampled rather than summed: ``sys.getsizeof`` over every key would be
+    O(cache) per telemetry tick.  Up to 256 keys are measured and the mean
+    per-entry size (key object + dict slot + cached int) is extrapolated
+    to the full cache, which is accurate enough for the RSS-accounting
+    gauge this feeds (``label_cache_bytes`` in docs/OBSERVABILITY.md).
+    """
+    import sys
+    size = len(_KEY_CACHE)
+    if size == 0:
+        return 0
+    sampled = 0
+    total = 0
+    for label in _KEY_CACHE:
+        # ~104B: one dict slot (key+value pointers, hash, load factor
+        # headroom) plus the cached int object.
+        total += sys.getsizeof(label) + 104
+        sampled += 1
+        if sampled >= 256:
+            break
+    return int(total / sampled * size)
 
 
 def clear_label_cache() -> None:

@@ -13,12 +13,33 @@ The observability layer for the TCM system.  Quickstart::
     for line in obs.saturation_warnings(health):
         print(line)
 
+Continuous *accuracy* telemetry (shadow truth, drift detection), runtime
+sampling (RSS/GC/latency quantiles), and the flight recorder live in
+:mod:`repro.obs.accuracy`, :mod:`repro.obs.runtime` and
+:mod:`repro.obs.flight`::
+
+    tracker = obs.AccuracyTracker(tcm, flight=obs.FLIGHT)
+    tracker.observe_columns(sources, targets, weights)   # next to ingest
+    report = tracker.tick()            # ARE/epsilon/FPR gauges + drift
+    sampler = obs.RuntimeSampler(); sampler.sample()
+    print(obs.FLIGHT.dump_json())      # the post-mortem black box
+
 Everything is process-local and dependency-free; instrumentation costs
 ~one attribute lookup per hot-path call while disabled (the default) and
 well under 5% of TCM's per-element update cost while enabled -- see
 ``BENCH_obs_overhead.json`` and docs/OBSERVABILITY.md.
 """
 
+from repro.obs.accuracy import (
+    AccuracyReport,
+    AccuracyTracker,
+    DriftDetector,
+    DriftEvent,
+    PageHinkley,
+    RotatingShadowTruth,
+    ShadowTruthComparator,
+    shadow_truth_for,
+)
 from repro.obs.export import (
     PeriodicReporter,
     json_snapshot,
@@ -26,6 +47,7 @@ from repro.obs.export import (
     publish_health,
     render_prometheus,
 )
+from repro.obs.flight import FLIGHT, FlightEvent, FlightRecorder
 from repro.obs.health import (
     SketchHealth,
     TCMHealth,
@@ -42,17 +64,36 @@ from repro.obs.metrics import (
     MetricsRegistry,
     log_buckets,
 )
+from repro.obs.runtime import (
+    RuntimeSample,
+    RuntimeSampler,
+    latency_quantiles,
+    rss_bytes,
+    rss_slope,
+)
 from repro.obs.tracing import Span, Tracer, TRACER, span
 
 __all__ = [
+    "FLIGHT",
     "OBS",
     "REGISTRY",
     "TRACER",
+    "AccuracyReport",
+    "AccuracyTracker",
     "Counter",
+    "DriftDetector",
+    "DriftEvent",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PageHinkley",
     "PeriodicReporter",
+    "RotatingShadowTruth",
+    "RuntimeSample",
+    "RuntimeSampler",
+    "ShadowTruthComparator",
     "SketchHealth",
     "Span",
     "TCMHealth",
@@ -62,11 +103,15 @@ __all__ = [
     "enable",
     "is_enabled",
     "json_snapshot",
+    "latency_quantiles",
     "log_buckets",
     "metrics_snapshot",
     "publish_health",
     "render_prometheus",
+    "rss_bytes",
+    "rss_slope",
     "saturation_warnings",
+    "shadow_truth_for",
     "sketch_health",
     "span",
     "tcm_health",

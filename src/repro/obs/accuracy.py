@@ -1,0 +1,943 @@
+"""Continuous accuracy telemetry: shadow truth, observed error, drift.
+
+The paper's central claim is *bounded-error* summarization -- ``err <=
+epsilon * W`` with probability ``1 - delta`` -- yet a deployed sketch
+only ever shows its estimates, never its error.  gSketch (arXiv:1111.7167)
+and SBG-Sketch (arXiv:1709.06723) both demonstrate the failure mode this
+module exists to surface: workload skew and concept drift silently
+degrade sketch accuracy long before any performance counter moves.
+
+Three pieces:
+
+- :class:`ShadowTruthComparator` -- keeps the **exact** aggregated weight
+  for a uniform sample of edge keys next to the sketch, so the observed
+  error of the live summary can be measured continuously.  The sample is
+  a *bottom-k reservoir in hash space* (Cohen & Kaplan's bottom-k
+  machinery, the same admission rule as
+  :class:`repro.baselines.bottomk.BottomKSketch` and the key-space
+  counterpart of :class:`repro.baselines.sampling.ReservoirEdgeSample`'s
+  Algorithm R): track the ``k`` edge keys with the smallest values of a
+  fixed 64-bit mix of the key pair.  Membership is a pure function of the
+  key and the set of distinct keys seen, so a key is always admitted at
+  its *first* occurrence (when its true weight is exactly zero) and never
+  re-admitted after eviction -- which is what makes the tracked weights
+  exact under inserts *and* deletes, for every aggregation.
+- :class:`DriftDetector` -- Page-Hinkley change detection over the
+  observed-error series plus an upward mean-shift detector over sketch
+  occupancy deltas (the :mod:`repro.obs.health` signal: a stream that
+  starts exploring new key-space regions grows occupancy faster).  Emits
+  structured :class:`DriftEvent` records.
+- :class:`AccuracyTracker` -- ties a summary, a comparator and a detector
+  together: ``tick()`` probes the summary on the sampled keys, exports
+  ``accuracy_observed_are`` / ``accuracy_observed_epsilon`` /
+  ``accuracy_false_positive_rate`` gauges, feeds the drift detector and
+  records drift alarms in the flight recorder.
+
+Everything is batched: the per-chunk cost of :meth:`observe_columns` is
+one vectorized hash-mix plus a mask, so attaching a comparator to the
+soak hot loop stays inside the existing <= 5% telemetry budget
+(``BENCH_soak.json``, ``overhead`` section).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.hashing.labels import Label, label_keys
+from repro.obs.instruments import OBS
+
+__all__ = [
+    "AccuracyReport",
+    "AccuracyTracker",
+    "DriftDetector",
+    "DriftEvent",
+    "PageHinkley",
+    "RotatingShadowTruth",
+    "ShadowTruthComparator",
+    "shadow_truth_for",
+]
+
+
+# -- key mixing -------------------------------------------------------------
+
+_MIX_C1 = np.uint64(0x9E3779B97F4A7C15)
+_MIX_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C3 = np.uint64(0x94D049BB133111EB)
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a fast, well-distributed 64-bit mix."""
+    z = values + _MIX_C1
+    z = (z ^ (z >> np.uint64(30))) * _MIX_C2
+    z = (z ^ (z >> np.uint64(27))) * _MIX_C3
+    return z ^ (z >> np.uint64(31))
+
+
+def _pair_ranks(source_keys: np.ndarray, target_keys: np.ndarray,
+                seed: int, directed: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical pair key and its uniform rank for each edge.
+
+    The rank is a pure function of the (canonicalised) key pair and the
+    seed -- the property the comparator's exactness proof rests on.
+    """
+    s = source_keys.astype(np.uint64, copy=False)
+    t = target_keys.astype(np.uint64, copy=False)
+    if not directed:
+        s, t = np.minimum(s, t), np.maximum(s, t)
+    # Modular uint64 wraparound is the point of the mix; silence numpy's
+    # overflow RuntimeWarning on the 0-d (scalar) path.
+    with np.errstate(over="ignore"):
+        pair = _mix64(s) * _MIX_C3 + _mix64(t + np.uint64(seed) * _MIX_C1)
+        return pair, _mix64(pair)
+
+
+# -- exact shadow truth ------------------------------------------------------
+
+
+class ShadowTruthComparator:
+    """Exact aggregated weights for a bottom-k uniform sample of edge keys.
+
+    :param aggregation: must match the summary under observation; SUM and
+        COUNT support :meth:`remove` / :meth:`remove_columns`, MIN and MAX
+        are insert-only (mirroring the sketches).
+    :param sample_size: tracked edge keys (``k``).  Memory is O(k).
+    :param seed: seeds the rank hash; same seed, same sample.
+    :param directed: canonicalise (x, y)/(y, x) for undirected streams.
+
+    Exactness invariant (asserted by the property tests): for every
+    currently sampled key, the stored weight equals replaying the entire
+    stream for that key through the aggregation.  It holds because
+    membership is bottom-k by a pure hash rank: a key whose rank is below
+    the current threshold was below every earlier (larger) threshold, so
+    it has been tracked since its first occurrence; evicted keys can
+    never re-enter because the threshold only shrinks.
+    """
+
+    def __init__(self, aggregation: Aggregation = Aggregation.SUM,
+                 sample_size: int = 256, seed: int = 0,
+                 directed: bool = True):
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.aggregation = aggregation
+        self.sample_size = sample_size
+        self.seed = seed
+        self.directed = directed
+        #: pair-key -> [rank, source_label, target_label, value]
+        self._tracked: Dict[int, List[Any]] = {}
+        #: (-rank, key) max-heap over the tracked ranks (see _absorb)
+        self._rank_heap: List[Tuple[int, int]] = []
+        self._threshold = int(_U64_MAX)  # admit everything until full
+        self.elements = 0
+        self.total_weight = 0.0
+        self.distinct_admissions = 0
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tracked)
+
+    def observe(self, source: Label, target: Label,
+                weight: float = 1.0) -> None:
+        """Account one inserted stream element."""
+        self.observe_columns([source], [target],
+                             np.array([weight], dtype=np.float64))
+
+    def remove(self, source: Label, target: Label,
+               weight: float = 1.0) -> None:
+        """Account one deleted stream element (SUM/COUNT only)."""
+        self.remove_columns([source], [target],
+                            np.array([weight], dtype=np.float64))
+
+    def observe_edge(self, edge) -> None:
+        """Hub-consumer entry point (one :class:`StreamEdge`)."""
+        self.observe(edge.source, edge.target, edge.weight)
+
+    def wrap(self, stream):
+        """Yield the stream unchanged while accounting every element."""
+        for edge in stream:
+            self.observe(edge.source, edge.target, edge.weight)
+            yield edge
+
+    def hash_columns(self, sources: Sequence[Label],
+                     targets: Sequence[Label]) -> Tuple[np.ndarray,
+                                                        np.ndarray]:
+        """The chunk's (pair-key, rank) arrays under this comparator's
+        seed -- computable once and shared (via ``hashed=``) between
+        comparators with the same seed and directedness."""
+        return _pair_ranks(label_keys(sources), label_keys(targets),
+                           self.seed, self.directed)
+
+    def observe_columns(self, sources: Sequence[Label],
+                        targets: Sequence[Label],
+                        weights: Optional[np.ndarray] = None,
+                        hashed: Optional[Tuple[np.ndarray,
+                                               np.ndarray]] = None) -> int:
+        """Vectorized batch insert accounting; the soak hot-loop entry.
+
+        One hash-mix pass over the chunk (or a precomputed ``hashed``
+        pair from :meth:`hash_columns`), a numpy reduction per distinct
+        key that passes the bottom-k threshold, and a Python loop over
+        only those keys.  Returns the number of elements accounted.
+        """
+        n = len(sources)
+        if n == 0:
+            return 0
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        self.elements += n
+        self.total_weight += float(weights.sum())
+        pair, ranks = (hashed if hashed is not None
+                       else self.hash_columns(sources, targets))
+        self._absorb_hits(pair, ranks, sources, targets, weights)
+        return n
+
+    def _absorb_hits(self, pair: np.ndarray, ranks: np.ndarray,
+                     sources: Sequence[Label], targets: Sequence[Label],
+                     weights: np.ndarray, offset: int = 0) -> None:
+        """Absorb the elements whose rank passes the bottom-k threshold.
+
+        ``pair``/``ranks`` may be slices of a chunk's hash arrays while
+        ``sources``/``targets``/``weights`` stay whole-chunk (indexed at
+        ``offset + i``), so a caller that hashed the chunk once can feed
+        consecutive runs without re-slicing the label columns.
+
+        Skewed streams make hits frequent -- a popular sampled key hits
+        on *every* occurrence -- so the batch is reduced to one
+        aggregate per distinct hit key in numpy before the Python loop.
+        The reduction is order-insensitive and therefore exact: bottom-k
+        membership is a pure function of the distinct keys seen, and a
+        key admitted then evicted within the batch leaves no trace
+        either way.
+        """
+        hits = np.flatnonzero(ranks <= np.uint64(self._threshold))
+        if hits.size == 0:
+            return
+        agg = self.aggregation
+        if hits.size > 16 and agg in (Aggregation.SUM, Aggregation.COUNT,
+                                      Aggregation.MIN, Aggregation.MAX):
+            uniq, inverse = np.unique(pair[hits], return_inverse=True)
+            hit_weights = np.asarray(weights)[hits + offset]
+            if agg is Aggregation.SUM:
+                totals = np.bincount(inverse, weights=hit_weights,
+                                     minlength=uniq.size)
+            elif agg is Aggregation.COUNT:
+                totals = np.bincount(inverse, minlength=uniq.size)
+            elif agg is Aggregation.MIN:
+                totals = np.full(uniq.size, np.inf)
+                np.minimum.at(totals, inverse, hit_weights)
+            else:
+                totals = np.full(uniq.size, -np.inf)
+                np.maximum.at(totals, inverse, hit_weights)
+            counts = np.bincount(inverse, minlength=uniq.size)
+            # First-occurrence index per unique key: reverse-order
+            # assignment leaves the earliest hit last-written.
+            first = np.empty(uniq.size, dtype=np.int64)
+            first[inverse[::-1]] = hits[::-1]
+            first_ranks = ranks[first]
+            if uniq.size > self.sample_size:
+                selected = self._cold_start_candidates(
+                    uniq, first_ranks, totals, counts)
+            else:
+                selected = range(uniq.size)
+            for j in selected:
+                i = int(first[j]) + offset
+                self._absorb_batch(int(uniq[j]), int(first_ranks[j]),
+                                   sources[i], targets[i],
+                                   float(totals[j]), int(counts[j]))
+            return
+        for i in hits.tolist():
+            self._absorb(int(pair[i]), int(ranks[i]), sources[offset + i],
+                         targets[offset + i], float(weights[offset + i]))
+
+    def _cold_start_candidates(self, uniq: np.ndarray,
+                               first_ranks: np.ndarray, totals: np.ndarray,
+                               counts: np.ndarray) -> List[int]:
+        """Prune a huge hit batch to the keys that can affect the sample.
+
+        While the threshold is loose (cold start) nearly every element
+        hits, but only (a) keys already tracked and (b) the batch's
+        bottom-``sample_size`` new keys by rank can change the final
+        state: the eventual tracked set is the bottom-k of the whole
+        pool, so a new key outside the batch's own bottom-k can never be
+        in it.  Applies (a)'s aggregates inline and returns (b)'s
+        indices for the absorb loop.
+        """
+        if self._tracked:
+            tracked_keys = np.fromiter(self._tracked.keys(),
+                                       dtype=np.uint64,
+                                       count=len(self._tracked))
+            pos = np.minimum(np.searchsorted(uniq, tracked_keys),
+                             uniq.size - 1)
+            present = uniq[pos] == tracked_keys
+            for p in pos[present].tolist():
+                self._apply_batch(self._tracked[int(uniq[p])],
+                                  float(totals[p]), int(counts[p]))
+            candidates = np.ones(uniq.size, dtype=bool)
+            candidates[pos[present]] = False
+            candidates = np.flatnonzero(candidates)
+        else:
+            candidates = np.arange(uniq.size)
+        k = self.sample_size
+        if candidates.size > k:
+            order = np.argpartition(first_ranks[candidates], k)[:k]
+            candidates = candidates[order]
+        return candidates.tolist()
+
+    def remove_columns(self, sources: Sequence[Label],
+                       targets: Sequence[Label],
+                       weights: Optional[np.ndarray] = None) -> int:
+        """Vectorized batch delete accounting (SUM/COUNT only)."""
+        if not self.aggregation.invertible:
+            raise ValueError(
+                f"{self.aggregation.value} aggregation does not support "
+                "deletion")
+        n = len(sources)
+        if n == 0:
+            return 0
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        self.total_weight -= float(weights.sum())
+        pair, ranks = _pair_ranks(label_keys(sources), label_keys(targets),
+                                  self.seed, self.directed)
+        hits = np.flatnonzero(ranks <= np.uint64(self._threshold))
+        # Routed through _absorb_batch with a negated aggregate so a
+        # deletion that precedes the key's first insertion (legal in a
+        # turnstile stream) admits the key with a negative value instead
+        # of being dropped -- otherwise the later insertion would start
+        # from zero and break the replay-exactness invariant.
+        for i in hits.tolist():
+            self._absorb_batch(int(pair[i]), int(ranks[i]),
+                               sources[i], targets[i],
+                               -float(weights[i]), -1)
+        return n
+
+    def _absorb(self, key: int, rank: int, source: Label, target: Label,
+                weight: float) -> None:
+        entry = self._tracked.get(key)
+        if entry is not None:
+            self._apply(entry, weight)
+            return
+        # The max-heap mirrors ``_tracked`` exactly: a rank is a pure
+        # function of its key and evicted keys can never re-enter, so no
+        # lazy-deletion bookkeeping is needed -- eviction is one heappop
+        # instead of an O(k) scan.
+        if len(self._tracked) < self.sample_size:
+            self._admit(key, rank, source, target, weight)
+            heapq.heappush(self._rank_heap, (-rank, key))
+            if len(self._tracked) == self.sample_size:
+                self._threshold = -self._rank_heap[0][0]
+            return
+        if rank < self._threshold:
+            _, worst = heapq.heappop(self._rank_heap)
+            del self._tracked[worst]
+            self._admit(key, rank, source, target, weight)
+            heapq.heappush(self._rank_heap, (-rank, key))
+            self._threshold = -self._rank_heap[0][0]
+
+    def _absorb_batch(self, key: int, rank: int, source: Label,
+                      target: Label, total: float, count: int) -> None:
+        """Like :meth:`_absorb` for a pre-aggregated run of one key.
+
+        ``total`` is the run's weights already reduced under the
+        aggregation (sum for SUM, min for MIN, ...) and ``count`` its
+        occurrence count (what COUNT accumulates).
+        """
+        entry = self._tracked.get(key)
+        if entry is not None:
+            self._apply_batch(entry, total, count)
+            return
+        if len(self._tracked) < self.sample_size:
+            self._admit_batch(key, rank, source, target, total, count)
+            heapq.heappush(self._rank_heap, (-rank, key))
+            if len(self._tracked) == self.sample_size:
+                self._threshold = -self._rank_heap[0][0]
+            return
+        if rank < self._threshold:
+            _, worst = heapq.heappop(self._rank_heap)
+            del self._tracked[worst]
+            self._admit_batch(key, rank, source, target, total, count)
+            heapq.heappush(self._rank_heap, (-rank, key))
+            self._threshold = -self._rank_heap[0][0]
+
+    def _admit(self, key: int, rank: int, source: Label, target: Label,
+               weight: float) -> None:
+        agg = self.aggregation
+        if agg is Aggregation.COUNT:
+            value = 1.0
+        else:
+            value = weight
+        self._tracked[key] = [rank, source, target, value]
+        self.distinct_admissions += 1
+
+    def _apply(self, entry: List[Any], weight: float) -> None:
+        agg = self.aggregation
+        if agg is Aggregation.SUM:
+            entry[3] += weight
+        elif agg is Aggregation.COUNT:
+            entry[3] += 1.0
+        elif agg is Aggregation.MIN:
+            entry[3] = min(entry[3], weight)
+        else:  # MAX
+            entry[3] = max(entry[3], weight)
+
+    def _admit_batch(self, key: int, rank: int, source: Label,
+                     target: Label, total: float, count: int) -> None:
+        value = float(count) if self.aggregation is Aggregation.COUNT \
+            else total
+        self._tracked[key] = [rank, source, target, value]
+        self.distinct_admissions += 1
+
+    def _apply_batch(self, entry: List[Any], total: float,
+                     count: int) -> None:
+        agg = self.aggregation
+        if agg is Aggregation.SUM:
+            entry[3] += total
+        elif agg is Aggregation.COUNT:
+            entry[3] += float(count)
+        elif agg is Aggregation.MIN:
+            entry[3] = min(entry[3], total)
+        else:  # MAX
+            entry[3] = max(entry[3], total)
+
+    # -- readout ------------------------------------------------------------
+
+    def sampled(self) -> List[Tuple[Label, Label, float]]:
+        """The tracked ``(source, target, exact_weight)`` triples."""
+        return [(e[1], e[2], float(e[3]))
+                for e in self._tracked.values()]
+
+    def exact_weight(self, source: Label, target: Label) -> Optional[float]:
+        """The exact weight of one key, or None when it is not sampled."""
+        pair, ranks = _pair_ranks(label_keys([source]), label_keys([target]),
+                                  self.seed, self.directed)
+        entry = self._tracked.get(int(pair[0]))
+        return None if entry is None else float(entry[3])
+
+    def memory_bytes(self) -> int:
+        """Rough footprint: ~160 B per tracked key (dict slot + entry)."""
+        return 160 * len(self._tracked)
+
+
+class RotatingShadowTruth(ShadowTruthComparator):
+    """Shadow truth mirroring :class:`RotatingWindowTCM` bucket semantics.
+
+    Tracked keys carry one exact aggregate *per live time bucket*; on a
+    bucket-boundary crossing the expired buckets are dropped, exactly as
+    the rotating window clears its oldest sub-sketches.  The merged exact
+    weight of a sampled key therefore equals replaying the elements of
+    the live buckets -- the same contents the window's merged view
+    summarizes -- so observed error measures pure sketch error, never
+    boundary staleness.
+
+    Timestamps must be monotone (the rotating window enforces the same).
+    """
+
+    def __init__(self, horizon: float, buckets: int = 8, *,
+                 aggregation: Aggregation = Aggregation.SUM,
+                 sample_size: int = 256, seed: int = 0,
+                 directed: bool = True):
+        super().__init__(aggregation=aggregation, sample_size=sample_size,
+                         seed=seed, directed=directed)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.horizon = float(horizon)
+        self.buckets = buckets
+        self.span = self.horizon / buckets
+        self._bucket_index: Optional[int] = None
+        #: per-key entry[3] is a dict bucket_id -> aggregate
+        #: per-bucket total weight for the observed-epsilon denominator
+        self._bucket_weight: Dict[int, float] = {}
+
+    # Entries hold {bucket: value} dicts instead of a scalar.
+
+    def _admit(self, key: int, rank: int, source: Label, target: Label,
+               weight: float) -> None:
+        value = 1.0 if self.aggregation is Aggregation.COUNT else weight
+        self._tracked[key] = [rank, source, target,
+                              {self._bucket_index: value}]
+        self.distinct_admissions += 1
+
+    def _apply(self, entry: List[Any], weight: float) -> None:
+        buckets = entry[3]
+        bucket = self._bucket_index
+        agg = self.aggregation
+        current = buckets.get(bucket)
+        if current is None:
+            buckets[bucket] = (1.0 if agg is Aggregation.COUNT else weight)
+        elif agg is Aggregation.SUM:
+            buckets[bucket] = current + weight
+        elif agg is Aggregation.COUNT:
+            buckets[bucket] = current + 1.0
+        elif agg is Aggregation.MIN:
+            buckets[bucket] = min(current, weight)
+        else:
+            buckets[bucket] = max(current, weight)
+
+    def _admit_batch(self, key: int, rank: int, source: Label,
+                     target: Label, total: float, count: int) -> None:
+        value = float(count) if self.aggregation is Aggregation.COUNT \
+            else total
+        self._tracked[key] = [rank, source, target,
+                              {self._bucket_index: value}]
+        self.distinct_admissions += 1
+
+    def _apply_batch(self, entry: List[Any], total: float,
+                     count: int) -> None:
+        buckets = entry[3]
+        bucket = self._bucket_index
+        agg = self.aggregation
+        value = float(count) if agg is Aggregation.COUNT else total
+        current = buckets.get(bucket)
+        if current is None:
+            buckets[bucket] = value
+        elif agg in (Aggregation.SUM, Aggregation.COUNT):
+            buckets[bucket] = current + value
+        elif agg is Aggregation.MIN:
+            buckets[bucket] = min(current, value)
+        else:
+            buckets[bucket] = max(current, value)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Rotate the truth buckets forward to ``timestamp``."""
+        bucket = math.floor(timestamp / self.span)
+        if self._bucket_index is not None and bucket <= self._bucket_index:
+            return
+        self._bucket_index = bucket
+        oldest_live = bucket - self.buckets
+        for entry in self._tracked.values():
+            stale = [b for b in entry[3] if b < oldest_live]
+            for b in stale:
+                del entry[3][b]
+        for b in [b for b in self._bucket_weight if b < oldest_live]:
+            del self._bucket_weight[b]
+
+    def observe_timestamped(self, sources: Sequence[Label],
+                            targets: Sequence[Label],
+                            weights: np.ndarray,
+                            timestamps: np.ndarray,
+                            hashed: Optional[Tuple[np.ndarray,
+                                                   np.ndarray]] = None
+                            ) -> int:
+        """Batch insert accounting with per-element stream timestamps.
+
+        Splits the (monotone) batch into per-bucket runs like
+        :meth:`RotatingWindowTCM.observe_many`, rotating between runs.
+        """
+        n = len(sources)
+        if n == 0:
+            return 0
+        weights = (np.ones(n) if weights is None
+                   else np.asarray(weights, dtype=np.float64))
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        # Hash the whole chunk once; the per-bucket runs below reuse
+        # slices of the key arrays instead of re-hashing list slices.
+        pair, ranks = (hashed if hashed is not None
+                       else self.hash_columns(sources, targets))
+        self.elements += n
+        self.total_weight += float(weights.sum())
+        bucket_ids = np.floor(timestamps / self.span).astype(np.int64)
+        splits = np.flatnonzero(np.diff(bucket_ids)) + 1
+        for lo, hi in zip(np.concatenate(([0], splits)),
+                          np.concatenate((splits, [n]))):
+            lo, hi = int(lo), int(hi)
+            self.advance_to(float(timestamps[lo]))
+            self._bucket_weight[self._bucket_index] = (
+                self._bucket_weight.get(self._bucket_index, 0.0)
+                + float(np.sum(weights[lo:hi])))
+            self._absorb_hits(pair[lo:hi], ranks[lo:hi], sources, targets,
+                              weights, offset=lo)
+        return n
+
+    def observe_edge(self, edge) -> None:
+        self.observe_timestamped([edge.source], [edge.target],
+                                 np.array([edge.weight]),
+                                 np.array([edge.timestamp]))
+
+    @property
+    def live_weight(self) -> float:
+        """Total stream weight inside the live buckets."""
+        return float(sum(self._bucket_weight.values()))
+
+    def _merge_buckets(self, buckets: Dict[int, float]) -> float:
+        if not buckets:
+            return 0.0
+        values = buckets.values()
+        agg = self.aggregation
+        if agg in (Aggregation.SUM, Aggregation.COUNT):
+            return float(sum(values))
+        return float(min(values) if agg is Aggregation.MIN else max(values))
+
+    def sampled(self) -> List[Tuple[Label, Label, float]]:
+        out = []
+        for entry in self._tracked.values():
+            weight = self._merge_buckets(entry[3])
+            out.append((entry[1], entry[2], weight))
+        return out
+
+    def exact_weight(self, source: Label, target: Label) -> Optional[float]:
+        pair, _ = _pair_ranks(label_keys([source]), label_keys([target]),
+                              self.seed, self.directed)
+        entry = self._tracked.get(int(pair[0]))
+        return None if entry is None else self._merge_buckets(entry[3])
+
+
+def shadow_truth_for(summary, *, sample_size: int = 256,
+                     seed: int = 0) -> ShadowTruthComparator:
+    """The matching comparator for a TCM or RotatingWindowTCM.
+
+    Copies aggregation / directedness (and, for rotating windows, the
+    horizon and bucket count) off the summary so the comparator's
+    semantics line up with what the summary actually estimates.
+    """
+    horizon = getattr(summary, "horizon", None)
+    if horizon is not None and hasattr(summary, "ring"):
+        return RotatingShadowTruth(
+            horizon, getattr(summary, "buckets", 8),
+            aggregation=summary.aggregation, sample_size=sample_size,
+            seed=seed, directed=summary.directed)
+    return ShadowTruthComparator(
+        aggregation=summary.aggregation, sample_size=sample_size,
+        seed=seed, directed=summary.directed)
+
+
+# -- drift detection ---------------------------------------------------------
+
+
+@dataclass
+class DriftEvent:
+    """One structured drift alarm."""
+
+    signal: str          #: "error" or "occupancy"
+    direction: str       #: "up" or "down"
+    index: int           #: tick number the alarm fired at
+    value: float         #: the observation that triggered the alarm
+    statistic: float     #: the detector statistic at alarm time
+    threshold: float     #: the configured alarm threshold (lambda)
+    timestamp: Optional[float] = None   #: stream time, when known
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class PageHinkley:
+    """Page-Hinkley sequential change detection for a scalar series.
+
+    Accumulates ``m_t = sum(x_i - mean_i - delta)`` and alarms when the
+    excursion ``m_t - min(m)`` exceeds ``lamb`` (upward shifts); the
+    mirrored statistic catches downward shifts when ``bidirectional``.
+    ``delta`` is the tolerated per-step magnitude (absorbs slow,
+    legitimate trends), ``lamb`` the change magnitude that constitutes an
+    alarm; the detector resets itself after alarming so repeated drift
+    produces repeated events.
+    """
+
+    def __init__(self, delta: float = 0.005, lamb: float = 0.1,
+                 min_samples: int = 8, bidirectional: bool = True):
+        if lamb <= 0:
+            raise ValueError(f"lamb must be positive, got {lamb}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.delta = delta
+        self.lamb = lamb
+        self.min_samples = min_samples
+        self.bidirectional = bidirectional
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """The larger of the two current excursions."""
+        up = self._cum_up - self._min_up
+        down = self._max_down - self._cum_down
+        return max(up, down if self.bidirectional else 0.0)
+
+    def update(self, x: float) -> Optional[str]:
+        """Feed one observation; returns "up"/"down" on alarm, else None."""
+        self.n += 1
+        self.mean += (x - self.mean) / self.n
+        self._cum_up += x - self.mean - self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._cum_down += x - self.mean + self.delta
+        self._max_down = max(self._max_down, self._cum_down)
+        if self.n < self.min_samples:
+            return None
+        if self._cum_up - self._min_up > self.lamb:
+            self.reset()
+            return "up"
+        if self.bidirectional and \
+                self._max_down - self._cum_down > self.lamb:
+            self.reset()
+            return "down"
+        return None
+
+
+class DriftDetector:
+    """Windowed drift detection over error and occupancy series.
+
+    Two independent signals, each with its own Page-Hinkley detector:
+
+    - ``error``: the observed-ARE series from the shadow-truth
+      comparator.  Bidirectional -- a drifting stream can push sketch
+      error up (new mass collides with sampled keys) or down (mass moves
+      away from them); either is a distribution change worth an event.
+    - ``occupancy``: per-tick *deltas* of occupied cells (from
+      :func:`repro.obs.health.tcm_health`), normalized by total cells.
+      Upward-only: a stationary stream's occupancy growth decays
+      smoothly toward zero (never alarming an upward detector), while a
+      parameter shift starts exploring new key-space regions and the
+      growth rate jumps.
+
+    ``update()`` returns the :class:`DriftEvent` list for one tick; all
+    events are also appended to :attr:`events` (bounded).
+    """
+
+    def __init__(self, *,
+                 error_delta: float = 0.01, error_lambda: float = 0.25,
+                 occupancy_delta: float = 0.002,
+                 occupancy_lambda: float = 0.02,
+                 min_samples: int = 8, capacity: int = 256):
+        self._error_ph = PageHinkley(error_delta, error_lambda,
+                                     min_samples=min_samples,
+                                     bidirectional=True)
+        self._occupancy_ph = PageHinkley(occupancy_delta, occupancy_lambda,
+                                         min_samples=min_samples,
+                                         bidirectional=False)
+        self.capacity = capacity
+        self.events: List[DriftEvent] = []
+        self.ticks = 0
+        self._last_occupancy: Optional[float] = None
+
+    def update(self, error: Optional[float] = None,
+               occupancy: Optional[float] = None,
+               timestamp: Optional[float] = None) -> List[DriftEvent]:
+        """Feed one tick of signals; returns any events fired this tick.
+
+        :param error: observed mean ARE (or any error statistic) for the
+            tick; skipped when None.
+        :param occupancy: the summary's current load factor in [0, 1];
+            the detector differentiates it internally.
+        """
+        self.ticks += 1
+        fired: List[DriftEvent] = []
+        if error is not None:
+            direction = self._error_ph.update(float(error))
+            if direction is not None:
+                fired.append(DriftEvent(
+                    "error", direction, self.ticks, float(error),
+                    self._error_ph.lamb, self._error_ph.lamb, timestamp))
+        if occupancy is not None:
+            occupancy = float(occupancy)
+            if self._last_occupancy is not None:
+                delta = occupancy - self._last_occupancy
+                direction = self._occupancy_ph.update(delta)
+                if direction is not None:
+                    fired.append(DriftEvent(
+                        "occupancy", direction, self.ticks, delta,
+                        self._occupancy_ph.lamb, self._occupancy_ph.lamb,
+                        timestamp))
+            self._last_occupancy = occupancy
+        for event in fired:
+            self.events.append(event)
+        if len(self.events) > self.capacity:
+            del self.events[:len(self.events) - self.capacity]
+        return fired
+
+    @property
+    def statistics(self) -> Dict[str, float]:
+        return {"error": self._error_ph.statistic,
+                "occupancy": self._occupancy_ph.statistic}
+
+
+# -- the tracker -------------------------------------------------------------
+
+
+@dataclass
+class AccuracyReport:
+    """One tick's accuracy readout over the sampled keys."""
+
+    sampled_keys: int
+    mean_are: float
+    max_are: float
+    #: max over sampled keys of (estimate - exact) / total stream weight,
+    #: the empirical counterpart of the paper's epsilon in err <= eps * W.
+    observed_epsilon: float
+    false_positive_rate: float
+    total_weight: float
+    drift_events: List[DriftEvent] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["drift_events"] = [e.to_dict() for e in self.drift_events]
+        return doc
+
+
+class AccuracyTracker:
+    """Continuous accuracy telemetry for one summary.
+
+    :param summary: a :class:`~repro.core.tcm.TCM` or
+        :class:`~repro.streams.rotating.RotatingWindowTCM`.
+    :param comparator: a matching shadow-truth comparator; built via
+        :func:`shadow_truth_for` when omitted.
+    :param probes: never-inserted probe edges used to measure the false
+        positive rate (a sketch answering > 0 for an absent edge).
+    :param name: the ``summary`` label on the exported gauges.
+
+    The caller feeds the *stream* to both the summary and the comparator
+    (or uses :meth:`observe_columns`, which forwards to the comparator
+    only -- the summary's own ingest path stays untouched), then calls
+    :meth:`tick` at whatever cadence telemetry should refresh.
+    """
+
+    def __init__(self, summary, *, comparator=None, sample_size: int = 256,
+                 seed: int = 0, probes: int = 64, detector=None,
+                 name: str = "default", are_floor: float = 1.0,
+                 flight=None):
+        if probes < 0:
+            raise ValueError(f"probes must be >= 0, got {probes}")
+        self.summary = summary
+        self.comparator = comparator if comparator is not None else \
+            shadow_truth_for(summary, sample_size=sample_size, seed=seed)
+        self.detector = detector if detector is not None else DriftDetector()
+        self.name = name
+        self.are_floor = are_floor
+        self._flight = flight
+        # Probe labels from a reserved namespace no real stream uses.
+        self._probe_pairs = [
+            (f"\x00obs-fpr-{seed}-{i}\x00a", f"\x00obs-fpr-{seed}-{i}\x00b")
+            for i in range(probes)]
+        self.ticks = 0
+        self.last_report: Optional[AccuracyReport] = None
+
+    # -- stream-side accounting ---------------------------------------------
+
+    def observe_columns(self, sources, targets, weights=None,
+                        timestamps=None, hashed=None) -> int:
+        """Forward one ingest chunk to the shadow-truth comparator.
+
+        ``hashed`` is an optional precomputed result of the comparator's
+        :meth:`~ShadowTruthComparator.hash_columns` -- trackers sharing
+        a seed can hash a chunk once and pass it to each of them.
+        """
+        if timestamps is not None and \
+                isinstance(self.comparator, RotatingShadowTruth):
+            weights = (np.ones(len(sources)) if weights is None
+                       else np.asarray(weights, dtype=np.float64))
+            return self.comparator.observe_timestamped(
+                sources, targets, weights, timestamps, hashed=hashed)
+        return self.comparator.observe_columns(sources, targets, weights,
+                                               hashed=hashed)
+
+    def remove_columns(self, sources, targets, weights=None) -> int:
+        return self.comparator.remove_columns(sources, targets, weights)
+
+    # -- readout ------------------------------------------------------------
+
+    def _occupancy(self) -> Optional[float]:
+        tcm = self.summary
+        if hasattr(tcm, "merged"):            # rotating window: merged view
+            tcm = tcm.merged
+        sketches = getattr(tcm, "sketches", None)
+        if not sketches:
+            return None
+        # One sketch stands in for all d: same dimensions, same stream,
+        # independent hashes -- occupancies track each other closely,
+        # and the drift detector only consumes the per-tick delta.
+        sketch = sketches[0]
+        cells = sketch.rows * sketch.cols
+        return self._occupied(sketch) / cells if cells else None
+
+    @staticmethod
+    def _occupied(sketch) -> int:
+        counter = getattr(sketch, "occupied_cells", None)
+        if callable(counter):                 # SparseGraphSketch
+            return int(counter())
+        matrix = getattr(sketch, "matrix", None)
+        if matrix is None:
+            return 0
+        return int(np.count_nonzero(np.asarray(matrix)))
+
+    def tick(self, timestamp: Optional[float] = None) -> AccuracyReport:
+        """Probe the summary, export gauges, run drift detection."""
+        sampled = self.comparator.sampled()
+        if sampled:
+            pairs = [(s, t) for s, t, _ in sampled]
+            truth = np.array([w for _, _, w in sampled])
+            estimates = np.asarray(self.summary.edge_weights(pairs),
+                                   dtype=np.float64)
+            errors = np.abs(estimates - truth)
+            are = errors / np.maximum(np.abs(truth), self.are_floor)
+            mean_are = float(are.mean())
+            max_are = float(are.max())
+            total = self._denominator()
+            observed_epsilon = (float((estimates - truth).max() / total)
+                                if total > 0 else 0.0)
+        else:
+            mean_are = max_are = observed_epsilon = 0.0
+        if self._probe_pairs:
+            probe_estimates = np.asarray(
+                self.summary.edge_weights(self._probe_pairs))
+            fpr = float(np.count_nonzero(probe_estimates > 0)
+                        / len(self._probe_pairs))
+        else:
+            fpr = 0.0
+
+        occupancy = self._occupancy()
+        events = self.detector.update(error=mean_are, occupancy=occupancy,
+                                      timestamp=timestamp)
+        self.ticks += 1
+        report = AccuracyReport(
+            sampled_keys=len(sampled), mean_are=mean_are, max_are=max_are,
+            observed_epsilon=observed_epsilon, false_positive_rate=fpr,
+            total_weight=self._denominator(), drift_events=events)
+        self.last_report = report
+        self._export(report, occupancy)
+        if self._flight is not None:
+            for event in events:
+                self._flight.record_drift(event, summary=self.name)
+        return report
+
+    def _denominator(self) -> float:
+        comparator = self.comparator
+        if isinstance(comparator, RotatingShadowTruth):
+            return comparator.live_weight
+        return comparator.total_weight
+
+    def _export(self, report: AccuracyReport,
+                occupancy: Optional[float]) -> None:
+        if not OBS.enabled:
+            return
+        name = self.name
+        OBS.accuracy_observed_are.labels(name).set(report.mean_are)
+        OBS.accuracy_observed_max_are.labels(name).set(report.max_are)
+        OBS.accuracy_observed_epsilon.labels(name).set(
+            report.observed_epsilon)
+        OBS.accuracy_false_positive_rate.labels(name).set(
+            report.false_positive_rate)
+        OBS.accuracy_sampled_keys.labels(name).set(report.sampled_keys)
+        OBS.accuracy_ticks.inc()
+        for signal, value in self.detector.statistics.items():
+            OBS.drift_statistic.labels(signal).set(value)
+        for event in report.drift_events:
+            OBS.drift_events.labels(event.signal).inc()
+        if occupancy is not None:
+            OBS.accuracy_summary_load_factor.labels(name).set(occupancy)

@@ -32,13 +32,26 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Inside double-quoted label values, backslash, double-quote and
+    line-feed must be written as ``\\\\``, ``\\"`` and ``\\n`` -- in that
+    order, or already-escaped backslashes get double-escaped.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(family, metric, extra: Dict[str, str] = {}) -> str:
     # Label *names* live on the family; children only carry their values.
     pairs = list(zip(family.labelnames, metric.labelvalues)) + \
         list(extra.items())
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -122,6 +135,15 @@ def publish_health(tcm, registry: MetricsRegistry = REGISTRY,
         if sketch.collision_rate is not None:
             collisions.labels(name, i).set(sketch.collision_rate)
     nbytes.labels(name).set(health.nbytes)
+    engine_bytes = getattr(tcm, "query_engine_cache_bytes", None)
+    if callable(engine_bytes):
+        # The lazily built index caches counted inside memory_bytes(),
+        # broken out so dashboards can see sketch vs cache growth.
+        registry.gauge(
+            "query_engine_cache_bytes",
+            "Bytes held by a TCM's lazily built query-engine index caches "
+            "(connectivity, closure bitsets, flow vectors, distances)",
+            labelnames=("tcm",)).labels(name).set(engine_bytes())
     return health
 
 
@@ -157,6 +179,13 @@ class PeriodicReporter:
     Emits through ``emit`` (default: ``print``) every ``every`` elements
     *or* ``interval`` seconds, whichever comes first; call
     :meth:`report` for a final summary line.
+
+    For workloads that stall (a quiet stream emits nothing through
+    :meth:`observe`), :meth:`start` runs a daemon thread that emits a
+    progress line every ``interval`` seconds regardless of traffic;
+    :meth:`stop` joins the thread and flushes the final :meth:`report`
+    line.  Both are idempotent, and a reporter can be restarted after a
+    stop.
     """
 
     def __init__(self, every: int = 100_000,
@@ -173,6 +202,8 @@ class PeriodicReporter:
         self._last_emit_time: Optional[float] = None
         self._last_elements = 0
         self._last_bytes = 0
+        self._thread = None
+        self._stop_flag = None
 
     @staticmethod
     def edge_nbytes(edge) -> int:
@@ -208,6 +239,48 @@ class PeriodicReporter:
         for edge in stream:
             self.observe(edge)
             yield edge
+
+    # -- lifecycle (background heartbeat) -----------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the heartbeat thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the heartbeat thread; a no-op when already running."""
+        import threading
+        if self.running:
+            return
+        if self.interval is None or self.interval <= 0:
+            raise ValueError(
+                "start() needs a positive interval to pace the heartbeat")
+        if self._started is None:
+            self._started = self._last_emit_time = time.perf_counter()
+        self._stop_flag = threading.Event()
+
+        def _run(stop=self._stop_flag):
+            while not stop.wait(self.interval):
+                self._emit_line(time.perf_counter())
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-periodic-reporter", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> Optional[Dict[str, float]]:
+        """Join the heartbeat and flush the final report; idempotent.
+
+        Returns the :meth:`report` summary on the stop that actually
+        tears the thread down, ``None`` on repeat calls.
+        """
+        thread, self._thread = self._thread, None
+        if self._stop_flag is not None:
+            self._stop_flag.set()
+            self._stop_flag = None
+        if thread is None:
+            return None
+        thread.join(timeout=5.0)
+        return self.report()
 
     def report(self) -> Dict[str, float]:
         """Emit and return the whole-run summary."""

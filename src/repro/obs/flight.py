@@ -1,0 +1,185 @@
+"""Flight recorder: a bounded in-memory black box with a JSON post-mortem.
+
+When a long-running summary goes wrong -- error drifting up, a sketch
+saturating, latency spiking -- the question is always "what happened in
+the minutes before?".  Metrics answer "what is the state *now*"; the
+flight recorder answers the post-mortem question: a bounded ring buffer
+of timestamped, structured events that costs O(capacity) memory forever
+and can be dumped as one JSON document at any point (``tcm obs flight``).
+
+Captured event kinds:
+
+- ``span`` -- coarse timed operations, pulled from the default
+  :class:`~repro.obs.tracing.Tracer` by :meth:`FlightRecorder.capture_spans`
+  (incremental: only spans finished since the last capture are copied).
+- ``saturation`` -- :func:`~repro.obs.health.saturation_warnings` strings
+  recorded by :meth:`check_saturation` when a summary crosses the
+  load/collision thresholds.  Deduplicated per (summary, warning) so a
+  saturated sketch does not flood the buffer at every health tick.
+- ``drift`` -- structured :class:`~repro.obs.accuracy.DriftEvent` alarms
+  recorded by the accuracy tracker.
+- ``mark`` -- free-form annotations ("phase: drift-injection", "rotation
+  storm") from whoever is driving the workload.
+
+The default instance :data:`FLIGHT` is what the CLI, the accuracy
+tracker, and the soak benchmark share.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.obs.instruments import OBS
+from repro.obs.tracing import TRACER, Tracer
+
+__all__ = ["FLIGHT", "FlightEvent", "FlightRecorder"]
+
+#: Strips the measured values (always x.xx-formatted) out of a saturation
+#: warning so repeat warnings about the same sketch dedup to one event,
+#: while integer sketch indexes stay distinguishing (see
+#: :meth:`FlightRecorder.check_saturation`).
+_NUMBER_RE = re.compile(r"\d+\.\d+")
+
+
+class FlightEvent:
+    """One recorded event: a kind, a wall-clock time, and a payload."""
+
+    __slots__ = ("kind", "time", "payload")
+
+    def __init__(self, kind: str, payload: Dict[str, Any],
+                 timestamp: Optional[float] = None):
+        self.kind = kind
+        self.time = time.time() if timestamp is None else timestamp
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "time": self.time, **self.payload}
+
+    def __repr__(self) -> str:
+        return f"FlightEvent({self.kind!r}, {self.payload!r})"
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events with a JSON dump.
+
+    :param capacity: events retained; the oldest are evicted first, so the
+        dump always covers the most recent window of activity.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._last_span_id = 0
+        #: (summary, warning-text) pairs already recorded, so a sketch
+        #: sitting above the threshold alarms once, not once per tick.
+        self._seen_saturation: Set[Tuple[str, str]] = set()
+        self.recorded = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, kind: str, **payload) -> FlightEvent:
+        """Append one event (the generic entry point)."""
+        event = FlightEvent(kind, payload)
+        self._events.append(event)
+        self.recorded += 1
+        if OBS.enabled:
+            OBS.flight_events.labels(kind).inc()
+        return event
+
+    def mark(self, note: str, **payload) -> FlightEvent:
+        """Record a free-form annotation (workload phases, injections)."""
+        return self.record("mark", note=note, **payload)
+
+    def record_drift(self, event, summary: str = "default") -> FlightEvent:
+        """Record one accuracy-tracker drift alarm."""
+        return self.record("drift", summary=summary, **event.to_dict())
+
+    def capture_spans(self, tracer: Tracer = TRACER) -> int:
+        """Copy spans finished since the last capture into the buffer.
+
+        Incremental by span id (the tracer hands them out monotonically),
+        so calling this at every telemetry tick is cheap and never
+        duplicates an event.  Returns the number of spans captured.
+        """
+        captured = 0
+        for span in tracer.spans():
+            if span.span_id <= self._last_span_id:
+                continue
+            self._last_span_id = span.span_id
+            self.record("span", **span.to_dict())
+            captured += 1
+        return captured
+
+    def check_saturation(self, tcm, summary: str = "default",
+                         load_threshold: float = 0.5,
+                         collision_threshold: float = 0.5) -> List[str]:
+        """Health-check a summary and record any *new* saturation warnings.
+
+        Returns the (possibly empty) warning list for this check, whether
+        or not each warning was already recorded.
+        """
+        from repro.obs.health import saturation_warnings, tcm_health
+        if hasattr(tcm, "merged"):     # rotating window: check the view
+            tcm = tcm.merged
+        warnings = saturation_warnings(tcm_health(tcm),
+                                       load_threshold=load_threshold,
+                                       collision_threshold=collision_threshold)
+        for warning in warnings:
+            # Dedup on the warning *shape* (sketch index + kind), not its
+            # text: the embedded load/collision values change every tick
+            # and would defeat the dedup entirely.
+            key = (summary, _NUMBER_RE.sub("", warning))
+            if key not in self._seen_saturation:
+                self._seen_saturation.add(key)
+                self.record("saturation", summary=summary, warning=warning)
+        return warnings
+
+    # -- readout ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[FlightEvent]:
+        """Recorded events oldest first, optionally filtered by kind."""
+        snapshot = list(self._events)
+        if kind is not None:
+            snapshot = [e for e in snapshot if e.kind == kind]
+        return snapshot
+
+    def counts(self) -> Dict[str, int]:
+        """Events currently buffered, per kind."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def dump(self) -> Dict[str, Any]:
+        """The JSON-able post-mortem document."""
+        return {
+            "capacity": self.capacity,
+            "recorded_total": self.recorded,
+            "buffered": len(self._events),
+            "counts": self.counts(),
+            "events": [e.to_dict() for e in self._events],
+        }
+
+    def dump_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.dump(), indent=indent, default=str)
+
+    def clear(self) -> None:
+        """Drop all events and reset the dedup / span cursors."""
+        self._events.clear()
+        self._last_span_id = 0
+        self._seen_saturation.clear()
+        self.recorded = 0
+
+
+#: The default process-wide recorder shared by the CLI, the accuracy
+#: tracker, and the soak benchmark.
+FLIGHT = FlightRecorder()

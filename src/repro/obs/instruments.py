@@ -123,6 +123,71 @@ class Instruments:
             "Estimated wire bytes of elements delivered through "
             "MonitoringHub (label lengths + 16B weight/timestamp)")
 
+        # -- accuracy telemetry (repro.obs.accuracy) -----------------------
+        self.accuracy_observed_are = registry.gauge(
+            "accuracy_observed_are",
+            "Mean absolute relative error of the summary over the "
+            "shadow-truth sampled keys, per tracked summary",
+            labelnames=("summary",))
+        self.accuracy_observed_max_are = registry.gauge(
+            "accuracy_observed_max_are",
+            "Max absolute relative error over the sampled keys",
+            labelnames=("summary",))
+        self.accuracy_observed_epsilon = registry.gauge(
+            "accuracy_observed_epsilon",
+            "Max (estimate - exact) / total stream weight over the "
+            "sampled keys: the empirical epsilon in err <= eps * W",
+            labelnames=("summary",))
+        self.accuracy_false_positive_rate = registry.gauge(
+            "accuracy_false_positive_rate",
+            "Fraction of never-inserted probe edges the summary answers "
+            "with a positive weight",
+            labelnames=("summary",))
+        self.accuracy_sampled_keys = registry.gauge(
+            "accuracy_sampled_keys",
+            "Edge keys currently tracked by the shadow-truth comparator",
+            labelnames=("summary",))
+        self.accuracy_summary_load_factor = registry.gauge(
+            "accuracy_summary_load_factor",
+            "Occupied / total cells of the tracked summary at the last "
+            "accuracy tick (the drift detector's occupancy signal)",
+            labelnames=("summary",))
+        self.accuracy_ticks = registry.counter(
+            "accuracy_ticks_total",
+            "Accuracy-tracker ticks (summary probes) performed")
+        self.drift_events = registry.counter(
+            "drift_events_total",
+            "Drift alarms emitted, labeled by detector signal",
+            labelnames=("signal",))
+        self.drift_statistic = registry.gauge(
+            "drift_statistic",
+            "Current Page-Hinkley excursion per detector signal",
+            labelnames=("signal",))
+
+        # -- runtime telemetry (repro.obs.runtime) -------------------------
+        self.process_rss_bytes = registry.gauge(
+            "process_rss_bytes",
+            "Resident set size of this process at the last runtime sample")
+        self.process_gc_collections = registry.counter(
+            "process_gc_collections_total",
+            "Garbage collections observed since sampling started, "
+            "labeled by generation",
+            labelnames=("generation",))
+        self.query_engine_cache_bytes = registry.gauge(
+            "query_engine_cache_bytes",
+            "Bytes held by a TCM's lazily built query-engine index caches "
+            "(connectivity, closure bitsets, flow vectors, distances)",
+            labelnames=("tcm",))
+        self.label_cache_bytes = registry.gauge(
+            "label_cache_bytes",
+            "Estimated bytes held by the process-wide label-intern cache")
+
+        # -- flight recorder (repro.obs.flight) ----------------------------
+        self.flight_events = registry.counter(
+            "flight_events_total",
+            "Events captured by the flight recorder, labeled by kind",
+            labelnames=("kind",))
+
         # -- distributed ---------------------------------------------------
         self.shard_elements = registry.counter(
             "sharded_elements_total",

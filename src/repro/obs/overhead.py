@@ -82,8 +82,41 @@ def measure(n_elements: int = 20000, d: int = 4, width: int = 64,
                    "python": platform.python_version(),
                    "machine": platform.machine()},
         "modes": {mode: row(mode) for mode in ("disabled", "enabled")},
+        "budget_pct": DEFAULT_BUDGET_PCT,
         "target": "enabled <= 5% over disabled",
     }
+
+
+#: The documented enabled-instrumentation budget; recorded in the
+#: committed BENCH_obs_overhead.json and enforced by the --gate CI step.
+DEFAULT_BUDGET_PCT = 5.0
+
+
+def gate(record: Dict, budget_record_path: str,
+         headroom_pct: float = 5.0) -> List[str]:
+    """Check a fresh measurement against the committed budget.
+
+    Reads ``budget_pct`` from the committed record at
+    ``budget_record_path`` (falling back to :data:`DEFAULT_BUDGET_PCT`
+    for records predating the field) and returns the violations -- an
+    empty list means the gate passes.  ``headroom_pct`` absorbs CI-runner
+    noise on top of the budget: micro-benchmark minima on shared runners
+    jitter by a few percent, and the gate should catch a *regression*
+    (10%+, an unguarded metric touch on the hot path), not flake on
+    scheduler luck.
+    """
+    with open(budget_record_path) as fh:
+        committed = json.load(fh)
+    budget = float(committed.get("budget_pct", DEFAULT_BUDGET_PCT))
+    allowed = budget + headroom_pct
+    failures = []
+    measured = record["modes"]["enabled"]["overhead_vs_disabled_pct"]
+    if measured > allowed:
+        failures.append(
+            f"enabled-instrumentation overhead {measured:+.2f}% exceeds "
+            f"the {budget:.1f}% budget (+{headroom_pct:.1f}% CI headroom) "
+            f"recorded in {budget_record_path}")
+    return failures
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -95,6 +128,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--out", default=None,
                         help="write the JSON record here (default: stdout)")
+    parser.add_argument("--gate", default=None, metavar="RECORD",
+                        help="exit nonzero when the measured enabled "
+                             "overhead exceeds the budget_pct recorded "
+                             "in this committed BENCH record")
+    parser.add_argument("--gate-headroom", type=float, default=5.0,
+                        help="extra percentage points tolerated on top "
+                             "of the budget to absorb CI-runner noise")
     args = parser.parse_args(argv)
 
     record = measure(n_elements=args.elements, d=args.d, width=args.width,
@@ -107,6 +147,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {args.out} (enabled overhead: {enabled:+.2f}%)")
     else:
         print(text)
+    if args.gate is not None:
+        failures = gate(record, args.gate, headroom_pct=args.gate_headroom)
+        for failure in failures:
+            print(f"GATE FAIL: {failure}")
+        if failures:
+            return 1
+        measured = record["modes"]["enabled"]["overhead_vs_disabled_pct"]
+        print(f"gate ok: enabled overhead {measured:+.2f}% within budget")
     return 0
 
 

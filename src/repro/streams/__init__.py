@@ -24,6 +24,7 @@ from repro.streams.generators import (
     path_stream,
     rmat,
     rmat_edges,
+    rmat_edges_drifting,
     rmat_edges_timestamped,
     star_stream,
     twitter_like,
@@ -38,6 +39,7 @@ __all__ = [
     "GraphStream",
     "rmat",
     "rmat_edges",
+    "rmat_edges_drifting",
     "rmat_edges_timestamped",
     "zipf_weights",
     "dblp_like",

@@ -215,6 +215,86 @@ def rmat_edges_timestamped(
         yield from _stamp_arrivals(pending, clock_rng, rate, jitter, clock)
 
 
+def rmat_edges_drifting(
+        n_nodes: int, n_edges: int,
+        partition: Tuple[float, float, float, float] = (0.45, 0.15,
+                                                        0.15, 0.25),
+        drift_partition: Tuple[float, float, float, float] = (0.15, 0.25,
+                                                              0.45, 0.15),
+        drift_start: float = 0.5,
+        drift_span: float = 0.1,
+        seed: Optional[int] = None,
+        block: int = 65536,
+        rate: float = 1.0,
+        jitter: float = 0.5) -> Iterator[StreamEdge]:
+    """Lazy R-MAT elements whose quadrant parameters shift mid-stream.
+
+    A concept-drift workload for the accuracy telemetry and the soak
+    gate: the first ``drift_start`` fraction of the stream is stationary
+    R-MAT under ``partition``, then over the next ``drift_span`` fraction
+    the quadrant probabilities interpolate linearly to
+    ``drift_partition``, and the remainder is stationary under the new
+    regime.  The default shift moves the hot quadrant from ``a`` to
+    ``c`` -- mass relocates to previously cold key-space regions, the
+    degradation mode gSketch's static partitioning suffers under and the
+    event the drift detector must fire on.
+
+    Timestamps follow the same jittered arrival process as
+    :func:`rmat_edges_timestamped` (independent RNG stream at
+    ``seed + 0x5EED``), so window workloads can consume this directly.
+    """
+    if not 0 <= drift_start <= 1:
+        raise ValueError(f"drift_start must be in [0, 1], got {drift_start}")
+    if not 0 <= drift_span <= 1 - drift_start:
+        raise ValueError(
+            f"drift_span must be in [0, {1 - drift_start:g}] "
+            f"(drift_start={drift_start:g}), got {drift_span}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 0 <= jitter < 1:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    start_p = np.asarray(partition, dtype=float)
+    end_p = np.asarray(drift_partition, dtype=float)
+    for name, p in (("partition", start_p), ("drift_partition", end_p)):
+        if not np.isclose(p.sum(), 1.0):
+            raise ValueError(
+                f"{name} probabilities must sum to 1, got {p.sum()}")
+    scale = int(np.ceil(np.log2(n_nodes)))
+    rng = np.random.default_rng(seed)
+    clock_rng = np.random.default_rng(
+        None if seed is None else seed + 0x5EED)
+    clock = 0.0
+    emitted = 0
+    while emitted < n_edges:
+        size = min(block, n_edges - emitted)
+        # One interpolation factor per block (blocks are small relative
+        # to the drift span, so the ramp is still effectively smooth).
+        progress = (emitted + size / 2) / n_edges
+        if progress <= drift_start or drift_span == 0:
+            mix = 0.0 if progress <= drift_start else 1.0
+        else:
+            mix = min(1.0, (progress - drift_start) / drift_span)
+        a, b, c, _d = (1 - mix) * start_p + mix * end_p
+        thresholds = np.array([a, a + b, a + b + c])
+        src = np.zeros(size, dtype=np.int64)
+        dst = np.zeros(size, dtype=np.int64)
+        for _ in range(scale):
+            quadrant = np.searchsorted(thresholds, rng.random(size))
+            src = (src << 1) | (quadrant >> 1)
+            dst = (dst << 1) | (quadrant & 1)
+        src %= n_nodes
+        dst %= n_nodes
+        pending = [StreamEdge(s, t, 1.0, 0.0)
+                   for s, t in zip(src.tolist(), dst.tolist())]
+        yield from _stamp_arrivals(pending, clock_rng, rate, jitter, clock)
+        clock = pending[-1].timestamp
+        emitted += size
+
+
 def _stamp_arrivals(edges: List[StreamEdge], rng: np.random.Generator,
                     rate: float, jitter: float,
                     clock: float) -> Iterator[StreamEdge]:

@@ -233,6 +233,21 @@ class RotatingWindowTCM:
             count += self.observe_many(chunk)
         return count
 
+    def shadow_truth(self, *, sample_size: int = 256, seed: int = 0):
+        """A matched shadow-truth comparator for accuracy telemetry.
+
+        Returns a :class:`~repro.obs.accuracy.RotatingShadowTruth` with
+        this window's horizon, bucket count, aggregation and
+        directedness, so its exact per-key weights expire on the same
+        bucket boundaries the sub-sketches rotate on.  Feed it the same
+        elements (``observe_timestamped`` next to :meth:`observe_many`)
+        and compare via :class:`~repro.obs.accuracy.AccuracyTracker`.
+        """
+        # Deferred for symmetry with the TCM import above: repro.obs's
+        # package init pulls repro.core, which imports this package.
+        from repro.obs.accuracy import shadow_truth_for
+        return shadow_truth_for(self, sample_size=sample_size, seed=seed)
+
     # -- queries (all over the merged live-bucket view) -----------------------
 
     @property

@@ -1,0 +1,384 @@
+"""Tests for shadow-truth accuracy telemetry (repro.obs.accuracy).
+
+The comparator's exactness invariant is the module's load-bearing claim:
+for every currently sampled key, the stored aggregate equals replaying
+the entire stream for that key.  The property tests here assert it
+against a brute-force replay across aggregations, batch shapes, and
+insert+delete mixes; the drift tests assert the detector's two promises
+(fires on an injected R-MAT parameter shift, stays silent on a
+stationary stream).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.aggregation import Aggregation
+from repro.core.tcm import TCM
+from repro.obs.accuracy import (
+    AccuracyTracker,
+    DriftDetector,
+    PageHinkley,
+    RotatingShadowTruth,
+    ShadowTruthComparator,
+    shadow_truth_for,
+)
+from repro.streams.generators import rmat
+from repro.streams.rotating import RotatingWindowTCM
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+
+
+def brute_force(ops, aggregation):
+    """Replay (op, source, target, weight) tuples exactly, per edge key."""
+    values = {}
+    counts = {}
+    for op, s, t, w in ops:
+        key = (s, t)
+        if op == "del":
+            delta = 1.0 if aggregation is Aggregation.COUNT else w
+            values[key] = values.get(key, 0.0) - delta
+            continue
+        counts[key] = counts.get(key, 0) + 1
+        if key not in values:
+            values[key] = 1.0 if aggregation is Aggregation.COUNT else w
+        elif aggregation is Aggregation.SUM:
+            values[key] += w
+        elif aggregation is Aggregation.COUNT:
+            values[key] += 1.0
+        elif aggregation is Aggregation.MIN:
+            values[key] = min(values[key], w)
+        else:
+            values[key] = max(values[key], w)
+    return values
+
+
+def feed_in_batches(comparator, ops, batch_size):
+    """Feed ops through the vectorized column paths in batches."""
+    inserts = []
+    for op, s, t, w in ops:
+        if op == "ins":
+            inserts.append((s, t, w))
+            continue
+        if inserts:
+            _flush(comparator, inserts, batch_size)
+            inserts = []
+        comparator.remove(s, t, w)
+    if inserts:
+        _flush(comparator, inserts, batch_size)
+
+
+def _flush(comparator, inserts, batch_size):
+    for lo in range(0, len(inserts), batch_size):
+        batch = inserts[lo:lo + batch_size]
+        comparator.observe_columns(
+            [s for s, _, _ in batch], [t for _, t, _ in batch],
+            np.array([w for _, _, w in batch], dtype=np.float64))
+
+
+edge_ops = st.lists(
+    st.tuples(st.sampled_from(["ins", "ins", "ins", "del"]),
+              st.integers(0, 30), st.integers(0, 30),
+              st.floats(0.5, 16.0, allow_nan=False)),
+    min_size=1, max_size=300)
+
+
+class TestComparatorExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=edge_ops, batch_size=st.sampled_from([1, 7, 64, 300]),
+           seed=st.integers(0, 3))
+    def test_sum_exact_under_insert_delete(self, ops, batch_size, seed):
+        comparator = ShadowTruthComparator(Aggregation.SUM, sample_size=16,
+                                           seed=seed)
+        feed_in_batches(comparator, ops, batch_size)
+        exact = brute_force(ops, Aggregation.SUM)
+        for s, t, value in comparator.sampled():
+            assert value == pytest.approx(exact[(s, t)])
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=edge_ops, batch_size=st.sampled_from([1, 13, 300]),
+           aggregation=st.sampled_from([Aggregation.MIN, Aggregation.MAX,
+                                        Aggregation.COUNT]))
+    def test_min_max_count_exact(self, ops, batch_size, aggregation):
+        inserts = [op for op in ops if op[0] == "ins"]
+        comparator = ShadowTruthComparator(aggregation, sample_size=16,
+                                           seed=1)
+        feed_in_batches(comparator, inserts, batch_size)
+        exact = brute_force(inserts, aggregation)
+        for s, t, value in comparator.sampled():
+            assert value == pytest.approx(exact[(s, t)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=edge_ops, seed=st.integers(0, 5))
+    def test_sample_is_bottom_k_of_distinct_keys(self, ops, seed):
+        """The final sample is exactly the bottom-k distinct keys by rank."""
+        inserts = [op for op in ops if op[0] == "ins"]
+        comparator = ShadowTruthComparator(Aggregation.SUM, sample_size=8,
+                                           seed=seed)
+        feed_in_batches(comparator, inserts, 300)
+        pairs = sorted({(s, t) for _, s, t, _ in inserts})
+        if not pairs:
+            assert len(comparator) == 0
+            return
+        keys, ranks = comparator.hash_columns([s for s, _ in pairs],
+                                              [t for _, t in pairs])
+        by_rank = sorted(zip(ranks.tolist(), keys.tolist()))
+        expected = {key for _, key in by_rank[:comparator.sample_size]}
+        assert set(comparator._tracked.keys()) == expected
+
+    def test_batch_order_independent_of_chunking(self):
+        rng = np.random.default_rng(5)
+        sources = rng.integers(0, 50, size=2000).tolist()
+        targets = rng.integers(0, 50, size=2000).tolist()
+        weights = rng.uniform(0.1, 9.0, size=2000)
+        whole = ShadowTruthComparator(Aggregation.SUM, sample_size=32, seed=2)
+        whole.observe_columns(sources, targets, weights)
+        chunked = ShadowTruthComparator(Aggregation.SUM, sample_size=32,
+                                        seed=2)
+        for lo in range(0, 2000, 170):
+            chunked.observe_columns(sources[lo:lo + 170],
+                                    targets[lo:lo + 170],
+                                    weights[lo:lo + 170])
+        assert sorted(whole.sampled()) == pytest.approx(
+            sorted(chunked.sampled()))
+
+    def test_cold_start_single_giant_batch(self):
+        """One batch far larger than sample_size lands exactly."""
+        rng = np.random.default_rng(11)
+        n = 50_000
+        sources = rng.integers(0, 4000, size=n).tolist()
+        targets = rng.integers(0, 4000, size=n).tolist()
+        weights = rng.uniform(0.5, 4.0, size=n)
+        comparator = ShadowTruthComparator(Aggregation.SUM, sample_size=64,
+                                           seed=3)
+        comparator.observe_columns(sources, targets, weights)
+        exact = brute_force(
+            [("ins", s, t, w)
+             for s, t, w in zip(sources, targets, weights)],
+            Aggregation.SUM)
+        assert len(comparator) == 64
+        for s, t, value in comparator.sampled():
+            assert value == pytest.approx(exact[(s, t)])
+
+    def test_hash_columns_shared_between_same_seed_trackers(self):
+        a = ShadowTruthComparator(Aggregation.SUM, sample_size=8, seed=9)
+        b = ShadowTruthComparator(Aggregation.COUNT, sample_size=4, seed=9)
+        sources = list(range(100))
+        targets = list(range(100, 200))
+        hashed = a.hash_columns(sources, targets)
+        pair_b, ranks_b = b.hash_columns(sources, targets)
+        assert np.array_equal(hashed[0], pair_b)
+        assert np.array_equal(hashed[1], ranks_b)
+        # Feeding the precomputed pair gives the same state as rehashing.
+        b2 = ShadowTruthComparator(Aggregation.COUNT, sample_size=4, seed=9)
+        b.observe_columns(sources, targets, hashed=hashed)
+        b2.observe_columns(sources, targets)
+        assert sorted(b.sampled()) == sorted(b2.sampled())
+
+    def test_rejects_delete_on_min(self):
+        comparator = ShadowTruthComparator(Aggregation.MIN)
+        with pytest.raises(ValueError, match="does not support deletion"):
+            comparator.remove("a", "b", 1.0)
+
+    def test_memory_is_bounded_by_sample_size(self):
+        comparator = ShadowTruthComparator(Aggregation.SUM, sample_size=32,
+                                           seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            comparator.observe_columns(
+                rng.integers(0, 100_000, size=1000).tolist(),
+                rng.integers(0, 100_000, size=1000).tolist())
+        assert len(comparator) == 32
+        assert comparator.memory_bytes() == 32 * 160
+
+
+class TestRotatingShadowTruth:
+    def test_expiry_matches_live_buckets(self):
+        """Weight outside the horizon vanishes from the exact truth."""
+        truth = RotatingShadowTruth(horizon=8.0, buckets=4, sample_size=64,
+                                    seed=0)
+        # One element per time unit for the same key; span = 2.0.
+        for ts in range(12):
+            truth.observe_timestamped(["a"], ["b"], np.array([1.0]),
+                                      np.array([float(ts)]))
+        exact = truth.exact_weight("a", "b")
+        # Live buckets: the current (partial) bucket plus `buckets` older
+        # ones; anything below bucket_index - buckets has been dropped.
+        span = truth.span
+        oldest_live = truth._bucket_index - truth.buckets
+        expected = sum(1.0 for ts in range(12)
+                       if ts // span >= oldest_live)
+        assert exact == pytest.approx(expected)
+
+    def test_live_weight_drops_on_rotation(self):
+        truth = RotatingShadowTruth(horizon=4.0, buckets=2, sample_size=8,
+                                    seed=0)
+        truth.observe_timestamped(["x"], ["y"], np.array([5.0]),
+                                  np.array([0.0]))
+        before = truth.live_weight
+        truth.observe_timestamped(["x"], ["y"], np.array([1.0]),
+                                  np.array([100.0]))
+        assert before == pytest.approx(5.0)
+        assert truth.live_weight == pytest.approx(1.0)
+
+    def test_matches_rotating_window_semantics(self):
+        """Truth and RotatingWindowTCM agree on a collision-free stream."""
+        window = RotatingWindowTCM(8.0, buckets=4, d=2, width=64, seed=1)
+        truth = shadow_truth_for(window, sample_size=256, seed=1)
+        assert isinstance(truth, RotatingShadowTruth)
+        rng = np.random.default_rng(2)
+        for step in range(40):
+            s = int(rng.integers(0, 8))
+            t = int(rng.integers(0, 8))
+            w = float(rng.uniform(1, 3))
+            ts = step * 0.3
+            window.observe(s, t, w, timestamp=ts)
+            truth.observe_timestamped([s], [t], np.array([w]),
+                                      np.array([ts]))
+        for s, t, exact in truth.sampled():
+            estimate = window.edge_weight(s, t)
+            # A sketch never underestimates SUM; with 8 nodes on a
+            # 64-wide sketch there are no collisions, so it is exact.
+            assert estimate == pytest.approx(exact)
+
+
+class TestPageHinkley:
+    def test_silent_on_stationary_series(self):
+        ph = PageHinkley(delta=0.01, lamb=0.25)
+        rng = np.random.default_rng(0)
+        for x in rng.normal(0.5, 0.005, size=200):
+            assert ph.update(float(x)) is None
+
+    def test_fires_upward_on_step_change(self):
+        ph = PageHinkley(delta=0.01, lamb=0.25)
+        fired = []
+        for x in [0.1] * 20 + [0.9] * 20:
+            direction = ph.update(x)
+            if direction:
+                fired.append(direction)
+        assert "up" in fired
+
+    def test_fires_downward_when_bidirectional(self):
+        ph = PageHinkley(delta=0.01, lamb=0.25, bidirectional=True)
+        fired = [ph.update(x) for x in [0.9] * 20 + [0.1] * 20]
+        assert "down" in [f for f in fired if f]
+
+    def test_warmup_defers_alarms(self):
+        ph = PageHinkley(delta=0.0, lamb=0.001, min_samples=10)
+        for i, x in enumerate([0.0] * 5 + [10.0] * 4):
+            assert ph.update(x) is None, f"alarmed during warmup at {i}"
+
+
+class TestDriftDetector:
+    def test_error_shift_fires_and_resets(self):
+        detector = DriftDetector(min_samples=4)
+        events = []
+        for x in [0.1] * 10 + [2.0] * 10:
+            events.extend(detector.update(error=x))
+        assert any(e.signal == "error" and e.direction == "up"
+                   for e in events)
+
+    def test_occupancy_growth_decay_is_silent(self):
+        """A stationary fill curve (slowing growth) never alarms."""
+        detector = DriftDetector(min_samples=4)
+        occupancy = 0.0
+        events = []
+        for step in range(60):
+            occupancy += (0.9 - occupancy) * 0.05   # saturating fill
+            events.extend(detector.update(occupancy=occupancy))
+        assert events == []
+
+    def test_occupancy_growth_jump_fires(self):
+        detector = DriftDetector(min_samples=4)
+        events = []
+        occupancy = 0.0
+        deltas = [0.001] * 30 + [0.05] * 10         # key-space expansion
+        for delta in deltas:
+            occupancy += delta
+            events.extend(detector.update(occupancy=min(occupancy, 1.0)))
+        assert any(e.signal == "occupancy" for e in events)
+
+
+class TestAccuracyTracker:
+    def _ingest(self, tcm, tracker, stream):
+        sources, targets, weights = [], [], []
+        for edge in stream:
+            sources.append(edge.source)
+            targets.append(edge.target)
+            weights.append(edge.weight)
+        tcm.ingest_columns(sources, targets,
+                           np.array(weights, dtype=np.float64))
+        tracker.observe_columns(sources, targets,
+                                np.array(weights, dtype=np.float64))
+
+    def test_tick_reports_exact_on_oversized_sketch(self):
+        """No collisions => observed ARE 0, FPR 0, epsilon 0."""
+        tcm = TCM(d=4, width=256, seed=0)
+        tracker = AccuracyTracker(tcm, sample_size=32, seed=0)
+        self._ingest(tcm, tracker, rmat(16, 2000, seed=3))
+        report = tracker.tick()
+        assert report.sampled_keys == 32
+        assert report.mean_are == pytest.approx(0.0)
+        assert report.false_positive_rate == pytest.approx(0.0)
+        assert report.observed_epsilon == pytest.approx(0.0)
+
+    def test_saturated_sketch_reports_positive_error(self):
+        tcm = TCM(d=2, width=8, seed=0)
+        tracker = AccuracyTracker(tcm, sample_size=32, seed=0)
+        self._ingest(tcm, tracker, rmat(512, 4000, seed=4))
+        report = tracker.tick()
+        assert report.mean_are > 0.1
+        assert report.false_positive_rate > 0.5
+
+    def test_drift_fires_on_rmat_shift_and_not_before(self):
+        """The acceptance scenario: silent while stationary, alarmed
+        after the generator's quadrant parameters shift."""
+        tcm = TCM(d=4, width=96, seed=0)
+        tracker = AccuracyTracker(tcm, sample_size=64, seed=0,
+                                  name="drift-test")
+        stationary_events = 0
+        for _ in range(12):
+            self._ingest(tcm, tracker, rmat(256, 2500, seed=7,
+                                            partition=(0.45, 0.15,
+                                                       0.15, 0.25)))
+            stationary_events += len(tracker.tick().drift_events)
+        shifted_events = 0
+        for _ in range(12):
+            self._ingest(tcm, tracker, rmat(256, 2500, seed=8,
+                                            partition=(0.05, 0.35,
+                                                       0.45, 0.15)))
+            shifted_events += len(tracker.tick().drift_events)
+        assert stationary_events == 0
+        assert shifted_events >= 1
+
+    def test_gauges_exported_when_enabled(self):
+        obs.enable()
+        tcm = TCM(d=2, width=64, seed=0)
+        tracker = AccuracyTracker(tcm, sample_size=8, seed=0, name="gauged")
+        self._ingest(tcm, tracker, rmat(16, 500, seed=1))
+        tracker.tick()
+        rendered = obs.render_prometheus()
+        assert 'accuracy_observed_are{summary="gauged"}' in rendered
+        assert 'accuracy_sampled_keys{summary="gauged"} 8' in rendered
+
+    def test_flight_records_drift_events(self):
+        flight = obs.FlightRecorder(capacity=16)
+        detector = DriftDetector(min_samples=2)
+        tcm = TCM(d=2, width=64, seed=0)
+        tracker = AccuracyTracker(tcm, sample_size=8, seed=0,
+                                  detector=detector, flight=flight)
+        # Drive the detector directly through ticks with injected error.
+        for x in [0.0] * 5 + [5.0] * 5:
+            detector_events = detector.update(error=x)
+            for event in detector_events:
+                flight.record_drift(event, summary="injected")
+        assert any(e.kind == "drift" for e in flight.events())
