@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
 	bench-query bench-window bench-soak examples report obs-demo \
-	obs-overhead clean
+	obs-overhead profile-ingest clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -20,6 +20,7 @@ help:
 	@echo "bench-query  re-measure query-engine latency (cold/warm vs scalar)"
 	@echo "bench-window re-measure sliding-window maintenance throughput"
 	@echo "bench-soak   minutes-long mixed soak with telemetry + drift gates"
+	@echo "profile-ingest  cProfile + per-stage (hashing/scatter) ingest breakdown"
 	@echo "clean        remove caches and build artifacts"
 
 install:
@@ -63,6 +64,9 @@ bench-window:
 
 bench-soak:
 	$(PYTHON) benchmarks/bench_soak.py --out BENCH_soak.json
+
+profile-ingest:
+	$(PYTHON) benchmarks/profile_ingest.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info

@@ -64,6 +64,30 @@ def _check_ingest(record: Dict, filename: str) -> None:
     _require(record, "speedup_vs_per_edge", dict, filename)
     memory = _require(record, "memory", dict, filename)
     _require(memory, "peak_rss_kib", dict, filename)
+    # Kernel-layer provenance: the record must say which scatter backend
+    # produced it and how many hardware cores the parallel numbers had,
+    # or the throughput/domination figures are uninterpretable.
+    config = record["config"]
+    backend = _require(config, "kernel_backend", str, filename)
+    if backend not in ("numpy", "numba"):
+        raise ValueError(
+            f"{filename}: kernel_backend must be 'numpy' or 'numba', "
+            f"got {backend!r}")
+    cpu_count = _require(config, "cpu_count", int, filename)
+    if cpu_count < 1:
+        raise ValueError(
+            f"{filename}: cpu_count must be >= 1, got {cpu_count}")
+    if config.get("workers", 1) > 1:
+        comparison = _require(record, "parallel_vs_chunked", dict, filename)
+        _require(comparison, "transport", dict, filename)
+        for key in ("sum_ratio", "min_ratio"):
+            ratio = _require(comparison, key, (int, float), filename)
+            if ratio <= 0:
+                raise ValueError(
+                    f"{filename}: parallel_vs_chunked.{key} must be "
+                    f"positive, got {ratio!r}")
+        for key in ("sum_dominates", "min_dominates"):
+            _require(comparison, key, bool, filename)
 
 
 def _check_overhead(record: Dict, filename: str) -> None:

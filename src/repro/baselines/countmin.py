@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.hashing.family import HashFamily
 from repro.hashing.labels import Label, label_to_int
 
@@ -73,10 +74,26 @@ class CountMinSketch:
                          for row, h in enumerate(self._family)))
 
     def update_many(self, keys: np.ndarray, weights: np.ndarray) -> None:
-        """Vectorized bulk update of pre-converted integer keys."""
+        """Vectorized bulk update of pre-converted integer keys.
+
+        Routed through the active scatter kernel (see
+        :mod:`repro.core.kernels`): each row takes one buffered
+        bincount scatter, bit-identical to per-element :meth:`update`,
+        and duplicate keys are hashed once per chunk rather than once
+        per row.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
         weights = np.asarray(weights, dtype=np.float64)
+        backend = _kernels.get_backend()
+        if self.d > 1:
+            unique_keys, inverse = _kernels.dedup_keys(keys)
+        else:
+            unique_keys, inverse = keys, None
         for row, h in enumerate(self._family):
-            np.add.at(self._table[row], h.hash_many(keys), weights)
+            idx = h.hash_many(unique_keys)
+            if inverse is not None:
+                idx = idx[inverse]
+            backend.scatter_add_1d(self._table[row], idx, weights)
 
     def clear(self) -> None:
         self._table.fill(0)

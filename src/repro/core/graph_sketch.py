@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.aggregation import Aggregation
+from repro.core import kernels as _kernels
 from repro.hashing.family import PairwiseHash
 from repro.hashing.labels import Label, label_to_int
 from repro.hashing.labels import label_keys as _label_keys
@@ -243,13 +244,14 @@ class GraphSketch:
         """Vectorized bulk deletion of pre-converted integer label keys.
 
         The expiry counterpart of :meth:`update_many` and the kernel the
-        sliding-window fast path drives: one ``np.subtract.at`` scatter
-        deletes a whole batch of previously inserted elements.  Deletion
-        is exact for sum (``np.subtract.at`` applies the batch in stream
-        order, so float rounding matches the scalar path) and count
-        (each element subtracts 1); min/max are not invertible, so --
-        exactly like the scalar :meth:`remove` -- the call raises
-        ``ValueError`` rather than silently corrupting the sketch.
+        sliding-window fast path drives: one buffered scatter (see
+        :mod:`repro.core.kernels`) deletes a whole batch of previously
+        inserted elements.  Deletion is bit-identical to the scalar path
+        for sum (the kernel replays the batch's subtractions in stream
+        order per cell) and count (each element subtracts 1); min/max
+        are not invertible, so -- exactly like the scalar :meth:`remove`
+        -- the call raises ``ValueError`` rather than silently
+        corrupting the sketch.
         """
         if not self.aggregation.invertible:
             raise ValueError(
@@ -268,9 +270,9 @@ class GraphSketch:
         self._epoch += 1
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
-        values = (weights if self.aggregation is Aggregation.SUM
-                  else np.ones(len(rows), dtype=self._matrix.dtype))
-        np.subtract.at(self._matrix, (rows, cols), values)
+        self._scatter(rows, cols,
+                      weights if self.aggregation is Aggregation.SUM else None,
+                      insert=False)
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
                     weights: np.ndarray,
@@ -279,12 +281,12 @@ class GraphSketch:
         """Vectorized bulk ingest of pre-converted integer label keys.
 
         Bit-identical to calling :meth:`update` once per element, for every
-        aggregation: sum/count go through ``np.add.at`` (which applies the
-        chunk's additions in stream order, so float rounding matches the
-        scalar path exactly), min/max go through ``np.minimum.at`` /
-        ``np.maximum.at`` after seeding this chunk's previously-untouched
-        cells with the identity (min/max of the same floats is one of the
-        inputs, so no rounding is involved at all).
+        aggregation: sum/count go through the active backend's buffered
+        scatter-add (see :mod:`repro.core.kernels` -- the kernel folds
+        each cell's additions in stream order, so float rounding matches
+        the scalar path exactly), min/max through its sort-based segment
+        extreme (min/max of the same floats is one of the inputs, so no
+        rounding is involved at all).
 
         Extended sketches (``keep_labels=True``) additionally need the
         original label objects to materialize per-bucket label sets; pass
@@ -317,10 +319,48 @@ class GraphSketch:
         self._epoch += 1
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
+        self._scatter(rows, cols,
+                      weights if self.aggregation is not Aggregation.COUNT
+                      else None,
+                      insert=True)
+
+    def _scatter(self, rows: np.ndarray, cols: np.ndarray,
+                 weights: Optional[np.ndarray], insert: bool = True) -> None:
+        """Dispatch one pre-hashed batch to the active scatter kernel.
+
+        ``weights is None`` means unit weights (count aggregation, or an
+        unweighted sum), which lets the backend take its pure-count fast
+        path.  Callers bump the epoch and validate; this only mutates the
+        matrix.  Non-float64 matrices keep the legacy unbuffered ufunc
+        scatter -- the bincount kernels accumulate in float64 and would
+        round differently on narrower dtypes.
+        """
+        agg = self.aggregation
+        matrix = self._matrix
+        if matrix.dtype != np.float64:
+            self._scatter_legacy(rows, cols, weights, insert)
+            return
+        backend = _kernels.get_backend()
+        if agg is Aggregation.SUM or agg is Aggregation.COUNT:
+            values = weights if agg is Aggregation.SUM else None
+            if insert:
+                backend.scatter_add(matrix, rows, cols, values)
+            else:
+                backend.scatter_sub(matrix, rows, cols, values)
+        else:
+            backend.scatter_extreme(matrix, self._touched, rows, cols,
+                                    weights, agg is Aggregation.MIN)
+
+    def _scatter_legacy(self, rows: np.ndarray, cols: np.ndarray,
+                        weights: Optional[np.ndarray], insert: bool) -> None:
+        """Unbuffered ufunc.at scatter for non-float64 matrices."""
         if self.aggregation in (Aggregation.SUM, Aggregation.COUNT):
             values = (weights if self.aggregation is Aggregation.SUM
                       else np.ones(len(rows), dtype=self._matrix.dtype))
-            np.add.at(self._matrix, (rows, cols), values)
+            if insert:
+                np.add.at(self._matrix, (rows, cols), values)
+            else:
+                np.subtract.at(self._matrix, (rows, cols), values)
         else:
             # Cells first touched in this chunk start from the min/max
             # identity so the unbuffered ufunc leaves exactly the chunk's
@@ -336,6 +376,33 @@ class GraphSketch:
             else:
                 np.maximum.at(self._matrix, (rows, cols), weights)
             self._touched[rows, cols] = True
+
+    def _apply_keys_fused(self, backend: "_kernels.KernelBackend",
+                          source_keys: np.ndarray, target_keys: np.ndarray,
+                          weights: Optional[np.ndarray],
+                          insert: bool = True) -> None:
+        """Single-pass key->hash->cell ingest on a fused backend.
+
+        Keys must already be in canonical orientation for undirected
+        sketches and validated; used by the TCM column fast path when the
+        active backend compiles the whole pipeline (numba).
+        """
+        agg = self.aggregation
+        if agg is Aggregation.SUM:
+            values = (weights if weights is not None
+                      else np.ones(source_keys.shape[0], dtype=np.float64))
+            op = 0 if insert else 1
+        elif agg is Aggregation.COUNT:
+            values = np.ones(source_keys.shape[0], dtype=np.float64)
+            op = 0 if insert else 1
+        elif agg is Aggregation.MIN:
+            values, op = weights, 2
+        else:
+            values, op = weights, 3
+        self._epoch += 1
+        backend.fused_ingest(self._matrix, self._touched, self._row_hash,
+                             self._col_hash, source_keys, target_keys,
+                             values, op)
 
     @staticmethod
     def _record_labels_bulk(keys: np.ndarray, labels: Sequence[Label],
@@ -380,8 +447,12 @@ class GraphSketch:
         rows = self._row_hash.hash_many(source_keys)
         cols = self._col_hash.hash_many(target_keys)
         self._epoch += 1
-        np.maximum.at(self._matrix, (rows, cols),
-                      np.asarray(floors, dtype=self._matrix.dtype))
+        floors = np.asarray(floors, dtype=self._matrix.dtype)
+        if self._matrix.dtype == np.float64:
+            _kernels.get_backend().scatter_floor(self._matrix, rows, cols,
+                                                 floors)
+        else:
+            np.maximum.at(self._matrix, (rows, cols), floors)
 
     # -- point estimates -----------------------------------------------------
 

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.aggregation import Aggregation
 from repro.hashing.family import PairwiseHash
 from repro.hashing.labels import Label, label_to_int
@@ -218,14 +219,9 @@ class SparseGraphSketch:
         if len(rows) == 0:
             return
         self._epoch += 1
-        values = (weights if self.aggregation is Aggregation.SUM
-                  else np.ones(len(rows)))
-        flat = rows * np.int64(self.cols) + cols
-        cells, inverse = np.unique(flat, return_inverse=True)
-        sums = np.bincount(inverse, weights=values, minlength=len(cells))
-        width = self.cols
-        for cell, total in zip(cells.tolist(), sums.tolist()):
-            self._apply(cell // width, cell % width, -total)
+        self._scatter(rows, cols,
+                      weights if self.aggregation is Aggregation.SUM else None,
+                      insert=False)
 
     def update_many(self, source_keys: np.ndarray, target_keys: np.ndarray,
                     weights: np.ndarray,
@@ -271,13 +267,27 @@ class SparseGraphSketch:
         if len(rows) == 0:
             return
         self._epoch += 1
-        values = (weights if self.aggregation is Aggregation.SUM
-                  else np.ones(len(rows)))
-        flat = rows * np.int64(self.cols) + cols
-        cells, inverse = np.unique(flat, return_inverse=True)
-        sums = np.bincount(inverse, weights=values,
-                           minlength=len(cells))
+        self._scatter(rows, cols,
+                      weights if self.aggregation is Aggregation.SUM else None,
+                      insert=True)
+
+    def _scatter(self, rows: np.ndarray, cols: np.ndarray,
+                 values: Optional[np.ndarray], insert: bool = True) -> None:
+        """Grouped dict scatter of one pre-hashed batch.
+
+        The sparse counterpart of :meth:`GraphSketch._scatter`: the
+        backend's segment-sum kernel accumulates per-cell totals in
+        stream order, then the dict is touched once per distinct cell.
+        ``values is None`` means unit weights (count aggregation).
+        Callers bump the epoch and validate.
+        """
+        if values is None:
+            values = np.ones(len(rows))
+        cells, sums = _kernels.get_backend().segment_cell_sums(
+            rows, cols, self.cols, values)
         width = self.cols
+        if not insert:
+            sums = -sums
         for cell, total in zip(cells.tolist(), sums.tolist()):
             self._apply(cell // width, cell % width, total)
 

@@ -28,6 +28,7 @@ from repro.analytics.reachability import reach as _reach
 from repro.analytics.subgraph import subgraph_weight as _subgraph_weight
 from repro.analytics.triangles import count_triangles as _count_triangles
 from repro.analytics.views import SketchView
+from repro.core import kernels as _kernels
 from repro.core.aggregation import Aggregation
 from repro.core.graph_sketch import GraphSketch
 from repro.core.queries import SubgraphQuery, is_wildcard
@@ -141,6 +142,15 @@ class TCM:
                                       keep_labels=keep_labels)
                 cursor += 2
             self._sketches.append(sketch)
+
+        # Plain ensembles take the shared-hash column fast path
+        # (validate/canonicalize/dedup once per chunk instead of per
+        # sketch); extended sketches need per-sketch label bookkeeping,
+        # so they keep the per-sketch update_many route.  The fused
+        # (single-pass key->cell) kernel additionally requires dense
+        # float64 matrices.
+        self._column_fast_path = not keep_labels
+        self._fused_eligible = not keep_labels and not sparse
 
     # -- constructors ---------------------------------------------------------
 
@@ -327,16 +337,20 @@ class TCM:
             raise ValueError(f"got {n} sources but {len(targets)} targets")
         if n == 0:
             return 0
-        if weights is None:
-            weights = np.ones(n)
-        else:
+        if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
             if len(weights) != n:
                 raise ValueError(f"got {n} sources but {len(weights)} weights")
         source_keys = self._deletion_keys(sources)
         target_keys = self._deletion_keys(targets)
-        for sketch in self._sketches:
-            sketch.remove_many(source_keys, target_keys, weights)
+        if getattr(self, "_column_fast_path", False):
+            self._apply_key_columns(source_keys, target_keys, weights,
+                                    insert=False)
+        else:
+            if weights is None:
+                weights = np.ones(n)
+            for sketch in self._sketches:
+                sketch.remove_many(source_keys, target_keys, weights)
         if OBS.enabled:
             OBS.tcm_removes.inc(n)
         return n
@@ -492,25 +506,96 @@ class TCM:
                 f"got {n} sources but {len(targets)} targets")
         if n == 0:
             return 0
-        if weights is None:
-            weights = np.ones(n)
-        else:
+        if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
             if len(weights) != n:
                 raise ValueError(
                     f"got {n} sources but {len(weights)} weights")
         source_keys = label_keys(sources)
         target_keys = label_keys(targets)
-        for sketch in self._sketches:
-            if sketch.keeps_labels:
-                sketch.update_many(source_keys, target_keys, weights,
-                                   source_labels=sources,
-                                   target_labels=targets)
-            else:
-                sketch.update_many(source_keys, target_keys, weights)
+        if getattr(self, "_column_fast_path", False):
+            self._apply_key_columns(source_keys, target_keys, weights,
+                                    insert=True)
+        else:
+            if weights is None:
+                weights = np.ones(n)
+            for sketch in self._sketches:
+                if sketch.keeps_labels:
+                    sketch.update_many(source_keys, target_keys, weights,
+                                       source_labels=sources,
+                                       target_labels=targets)
+                else:
+                    sketch.update_many(source_keys, target_keys, weights)
         if OBS.enabled:
             OBS.tcm_ingest_chunks.inc()
         return n
+
+    def _apply_key_columns(self, source_keys: np.ndarray,
+                           target_keys: np.ndarray,
+                           weights: Optional[np.ndarray],
+                           insert: bool = True) -> None:
+        """Shared-hash scatter of one pre-converted key-column chunk.
+
+        The hot core of :meth:`ingest_columns`/:meth:`remove_many` for
+        plain (non-extended) ensembles.  Hoists everything
+        ``update_many`` would repeat per sketch -- weight validation,
+        undirected canonicalization, and (via per-chunk key dedup) most
+        of the hashing -- so each additional sketch costs one gather
+        plus one scatter.  On a fused backend (numba) the whole
+        key->hash->cell pipeline runs as a single compiled pass per
+        sketch instead.  Bit-identical to the per-sketch route: the
+        hash values are the same by construction and the scatters are
+        the same kernels.
+
+        ``weights is None`` means unit weights.  Callers have already
+        checked the aggregation is invertible when ``insert=False``.
+        """
+        if weights is not None and weights.size and (weights < 0).any():
+            bad = float(weights[weights < 0][0])
+            kind = "stream" if insert else "removal"
+            raise ValueError(
+                f"{kind} weights must be non-negative, got {bad}")
+        if not self.directed:
+            source_keys, target_keys = (np.minimum(source_keys, target_keys),
+                                        np.maximum(source_keys, target_keys))
+        values = (weights if self.aggregation is not Aggregation.COUNT
+                  else None)
+        backend = _kernels.get_backend()
+        if backend.fused and getattr(self, "_fused_eligible", False):
+            for sketch in self._sketches:
+                sketch._apply_keys_fused(backend, source_keys, target_keys,
+                                         values, insert=insert)
+            return
+        if (self.aggregation in (Aggregation.MIN, Aggregation.MAX)
+                and values is None):
+            values = np.ones(source_keys.shape[0], dtype=np.float64)
+        # Hash only the distinct keys of the chunk, once per sketch side,
+        # and gather back -- streams repeat hot endpoints constantly, and
+        # with d sketches every duplicate would otherwise be hashed d
+        # times.
+        if self.d > 1:
+            unique_sources, source_inverse = _kernels.dedup_keys(source_keys)
+            unique_targets, target_inverse = _kernels.dedup_keys(target_keys)
+        else:
+            unique_sources = unique_targets = None
+            source_inverse = target_inverse = None
+        for sketch in self._sketches:
+            if source_inverse is not None:
+                rows = sketch._row_hash.hash_many(unique_sources)[
+                    source_inverse]
+            else:
+                rows = sketch._row_hash.hash_many(
+                    unique_sources if unique_sources is not None
+                    else source_keys)
+            if target_inverse is not None:
+                cols = sketch._col_hash.hash_many(unique_targets)[
+                    target_inverse]
+            else:
+                cols = sketch._col_hash.hash_many(
+                    unique_targets if unique_targets is not None
+                    else target_keys)
+            sketch._epoch += 1
+            sketch._scatter(rows, cols, values, insert=insert)
 
     def clear(self) -> None:
         for sketch in self._sketches:

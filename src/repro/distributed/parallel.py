@@ -5,11 +5,28 @@ deployment of §5.3 (pre-partitioned shards, thread pool -- fine for the
 paper's semantics, but Python threads share one GIL so it buys no local
 speedup).  :class:`ParallelTCMBuilder` is the single-machine engine the
 ROADMAP's throughput goal needs: the stream is consumed lazily in
-fixed-size chunks, chunks are dealt round-robin to ``workers`` OS
-processes over a bounded queue (constant memory end to end), each worker
-folds its chunks into a private TCM built from the *same seed*, and
-mergeability (Section 3.3) collapses the per-worker summaries into the
-summary of the whole stream.
+fixed-size chunks, chunks are dealt to ``workers`` OS processes, each
+worker folds its chunks into a private TCM built from the *same seed*,
+and mergeability (Section 3.3) collapses the per-worker summaries into
+the summary of the whole stream.
+
+Two transports implement that plan:
+
+- **Shared memory** (the default for plain dense configs): one
+  ``multiprocessing.shared_memory`` block holds a ring of input slots --
+  uint64 source/target key columns plus float64 weights, written once by
+  the feeder and read zero-copy by workers -- and a second block holds
+  every worker's output tables (count matrices + min/max touched masks).
+  Nothing but slot indices and tiny status tuples ever crosses a pickle
+  boundary: label->key conversion happens once in the parent (one
+  interning cache instead of ``workers`` cold ones), workers scatter
+  straight into their shared tables via the kernel layer
+  (:mod:`repro.core.kernels`), and the parent merges the tables cell-wise
+  in worker order without deserializing a single Python object.
+- **Queue fallback** for configurations whose state does not fit flat
+  shared tables (``sparse=True`` dict cells, ``keep_labels=True`` label
+  sets): columnar chunks are pickled to workers and per-worker TCMs are
+  pickled back, exactly the original transport.
 
 Exactness: merging same-seed sketches is cell-wise, so min/max/count
 builds are bit-identical to a single-process build.  Sum builds add each
@@ -27,19 +44,30 @@ import itertools
 import multiprocessing
 import os
 import time
+from multiprocessing import shared_memory
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.aggregation import Aggregation
 from repro.core.tcm import DEFAULT_CHUNK_SIZE, TCM
+from repro.hashing.labels import label_keys
 from repro.obs.instruments import OBS
 from repro.obs.tracing import TRACER
 
-#: Chunks allowed to sit in the task queue per worker before the feeder
-#: blocks.  Two keeps every worker busy while bounding buffered elements
-#: at ``2 * workers * chunk_size``.
+#: Chunks allowed to sit in flight per worker before the feeder blocks.
+#: Two keeps every worker busy while bounding buffered elements at
+#: ``2 * workers * chunk_size`` (queue transport) or the same number of
+#: shared-memory slots (shm transport).
 _QUEUE_DEPTH_PER_WORKER = 2
+
+#: Bytes per element in an input slot: two uint64 keys + one float64.
+_SLOT_ELEMENT_BYTES = 24
+
+#: How long the feeder waits for a free input slot before concluding the
+#: workers are gone.  Generous -- a slot frees after one chunk scatter,
+#: normally milliseconds.
+_SLOT_TIMEOUT_SECONDS = 600.0
 
 
 def _default_workers() -> int:
@@ -54,8 +82,144 @@ def _mp_context():
         "fork" if "fork" in methods else None)
 
 
-def _shard_worker(config: dict, index: int, task_queue, result_queue) -> None:
-    """Worker loop: fold columnar chunks into a private same-seed TCM."""
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared block without tracker double-counting.
+
+    Before 3.13 (``track=False``) every attach re-registers the block
+    with ``resource_tracker``, whose per-type cache is a set -- N workers
+    collapse to one entry, and the N-1 surplus unregisters at exit spray
+    KeyError warnings.  The parent owns the block's lifetime, so the
+    workers' attachments suppress registration entirely.
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _worker_table_bytes(tcm: TCM) -> int:
+    """Bytes one worker's output tables occupy (matrices + touched masks)."""
+    total = 0
+    for sketch in tcm._sketches:
+        total += sketch._matrix.nbytes
+        if sketch._touched is not None:
+            total += sketch._touched.nbytes
+    return total
+
+
+def _adopt_shared_tables(tcm: TCM, buf, offset: int) -> int:
+    """Point a TCM's matrices/touched masks into a shared buffer.
+
+    Returns the offset past this worker's region.  The freshly created
+    arrays are zeroed explicitly -- newly created POSIX shm is
+    zero-filled, but a recycled buffer would not be.
+    """
+    for sketch in tcm._sketches:
+        shape = sketch._matrix.shape
+        matrix = np.ndarray(shape, dtype=np.float64, buffer=buf,
+                            offset=offset)
+        matrix[:] = 0.0
+        sketch._matrix = matrix
+        offset += matrix.nbytes
+        if sketch._touched is not None:
+            touched = np.ndarray(shape, dtype=np.bool_, buffer=buf,
+                                 offset=offset)
+            touched[:] = False
+            sketch._touched = touched
+            offset += touched.nbytes
+    return offset
+
+
+def _fold_shared_tables(tcm: TCM, buf, offset: int) -> int:
+    """Merge one worker's shared tables into ``tcm``, cell-wise.
+
+    The zero-deserialization counterpart of :meth:`GraphSketch.merge_from`
+    -- same combination rules, reading straight out of the shared block.
+    Returns the offset past the worker's region.
+    """
+    for sketch in tcm._sketches:
+        shape = sketch._matrix.shape
+        table = np.ndarray(shape, dtype=np.float64, buffer=buf,
+                           offset=offset)
+        offset += table.nbytes
+        sketch._epoch += 1
+        if sketch.aggregation in (Aggregation.SUM, Aggregation.COUNT):
+            sketch._matrix += table
+            continue
+        touched = np.ndarray(shape, dtype=np.bool_, buffer=buf,
+                             offset=offset)
+        offset += touched.nbytes
+        combine = (np.minimum if sketch.aggregation is Aggregation.MIN
+                   else np.maximum)
+        both = sketch._touched & touched
+        sketch._matrix = np.where(
+            both, combine(sketch._matrix, table),
+            np.where(touched, table, sketch._matrix))
+        sketch._touched |= touched
+    return offset
+
+
+def _shm_worker(config: dict, index: int, in_name: str, out_name: str,
+                chunk_size: int, task_queue, free_queue,
+                result_queue) -> None:
+    """Shared-memory worker: scatter key-column slots into shared tables."""
+    start = time.perf_counter()
+    shm_in = shm_out = None
+    try:
+        shm_in = _attach(in_name)
+        shm_out = _attach(out_name)
+        tcm = TCM(**config)
+        _adopt_shared_tables(tcm, shm_out.buf,
+                             index * _worker_table_bytes(tcm))
+        slot_bytes = chunk_size * _SLOT_ELEMENT_BYTES
+        chunks = 0
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            slot, n = task
+            try:
+                base = slot * slot_bytes
+                source_keys = np.ndarray((n,), dtype=np.uint64,
+                                         buffer=shm_in.buf, offset=base)
+                target_keys = np.ndarray(
+                    (n,), dtype=np.uint64, buffer=shm_in.buf,
+                    offset=base + chunk_size * 8)
+                weights = np.ndarray(
+                    (n,), dtype=np.float64, buffer=shm_in.buf,
+                    offset=base + chunk_size * 16)
+                tcm._apply_key_columns(source_keys, target_keys, weights,
+                                       insert=True)
+                chunks += 1
+            finally:
+                # The slot is consumed synchronously (canonicalization,
+                # hashing and the scatter all copy or reduce), so it can
+                # recycle as soon as the call returns -- or fails.
+                free_queue.put(slot)
+        result_queue.put(("ok", index, chunks, time.perf_counter() - start))
+    except Exception as exc:  # surface instead of deadlocking the feeder
+        result_queue.put(("error", index, f"{type(exc).__name__}: {exc}",
+                          0, time.perf_counter() - start))
+        # Keep draining tasks and recycling slots so the feeder and the
+        # sibling workers' sentinels never block on a dead peer.
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            free_queue.put(task[0])
+    finally:
+        if shm_in is not None:
+            shm_in.close()
+        if shm_out is not None:
+            shm_out.close()
+
+
+def _queue_worker(config: dict, index: int, task_queue,
+                  result_queue) -> None:
+    """Fallback worker: fold pickled columnar chunks into a private TCM."""
     start = time.perf_counter()
     try:
         tcm = TCM(**config)
@@ -84,9 +248,20 @@ class ParallelTCMBuilder:
     :param workers: worker process count; defaults to the CPU count.
     :param chunk_size: elements per task chunk (the same default as
         :meth:`TCM.ingest`).
+    :param use_shared_memory: transport selection.  ``None`` (default)
+        picks shared memory whenever the configuration supports it
+        (plain dense sketches); ``False`` forces the pickling queue
+        transport; ``True`` asserts shared memory and raises
+        ``ValueError`` for configurations that cannot use it
+        (``sparse=True`` / ``keep_labels=True``).
     :param tcm_config: forwarded to every worker's ``TCM(...)``; must
         include a concrete ``seed`` (it defaults to 0, which is concrete)
         so the per-worker sketches are mergeable.
+
+    After :meth:`build`, :attr:`last_build_info` reports the transport
+    used (``mode``), the worker count, and the shared-memory bytes that
+    were mapped (also exported live on the
+    ``parallel_shared_memory_bytes`` gauge).
 
     >>> builder = ParallelTCMBuilder(workers=2, d=2, width=32, seed=3)
     >>> tcm = builder.build([])
@@ -95,7 +270,8 @@ class ParallelTCMBuilder:
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE, **tcm_config):
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 use_shared_memory: Optional[bool] = None, **tcm_config):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -104,9 +280,21 @@ class ParallelTCMBuilder:
             raise ValueError(
                 "parallel builds need a concrete seed; seed=None would "
                 "give every worker incompatible hash functions")
+        shm_capable = (not tcm_config.get("sparse")
+                       and not tcm_config.get("keep_labels"))
+        if use_shared_memory and not shm_capable:
+            raise ValueError(
+                "shared-memory transport needs plain dense sketches; "
+                "sparse=True / keep_labels=True configurations use the "
+                "queue transport (use_shared_memory=False or None)")
         self.workers = workers if workers is not None else _default_workers()
         self.chunk_size = chunk_size
+        self.use_shared_memory = (shm_capable if use_shared_memory is None
+                                  else bool(use_shared_memory))
         self._config = dict(tcm_config)
+        self.last_build_info: dict = {}
+
+    # -- chunking -------------------------------------------------------------
 
     def _chunk_columns(self, stream: Iterable) -> Iterable[Tuple[list, list, list]]:
         iterator = iter(stream)
@@ -120,26 +308,160 @@ class ParallelTCMBuilder:
                    [e.target for e in chunk],
                    [e.weight for e in chunk])
 
+    def _chunk_key_columns(self, stream: Iterable):
+        """Chunks as (uint64 keys, uint64 keys, float64 weights) arrays.
+
+        Label->key conversion happens here, in the parent: one warm
+        interning cache beats ``workers`` cold ones, and workers then
+        never see a label object.  Weights are *not* validated here --
+        validation stays in the workers so a poisoned element surfaces
+        as a worker failure exactly like the queue transport.
+        """
+        iterator = iter(stream)
+        while True:
+            chunk = list(itertools.islice(iterator, self.chunk_size))
+            if not chunk:
+                return
+            yield (label_keys([e.source for e in chunk]),
+                   label_keys([e.target for e in chunk]),
+                   np.array([e.weight for e in chunk], dtype=np.float64))
+
+    # -- build ----------------------------------------------------------------
+
     def build(self, stream: Iterable) -> TCM:
         """Consume the stream once and return the merged summary."""
         if self.workers == 1:
             tcm = TCM(**self._config)
             tcm.ingest(stream, chunk_size=self.chunk_size)
+            self.last_build_info = {"mode": "single", "workers": 1,
+                                    "shm_bytes": 0}
             return tcm
         if OBS.enabled:
             OBS.parallel_workers.set(self.workers)
+        if self.use_shared_memory:
+            return self._build_shared_memory(stream)
+        return self._build_queue(stream)
+
+    def _build_shared_memory(self, stream: Iterable) -> TCM:
+        merged = TCM(**self._config)
+        slots = _QUEUE_DEPTH_PER_WORKER * self.workers
+        slot_bytes = self.chunk_size * _SLOT_ELEMENT_BYTES
+        table_bytes = _worker_table_bytes(merged)
+        in_size = slots * slot_bytes
+        out_size = self.workers * table_bytes
+        shm_in = shared_memory.SharedMemory(create=True, size=in_size)
+        shm_out = shared_memory.SharedMemory(create=True, size=out_size)
+        total_bytes = in_size + out_size
+        self.last_build_info = {"mode": "shared_memory",
+                                "workers": self.workers,
+                                "shm_bytes": total_bytes}
+        if OBS.enabled:
+            OBS.parallel_shm_bytes.set(total_bytes)
+        ctx = _mp_context()
+        task_queue = ctx.Queue()
+        free_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        for slot in range(slots):
+            free_queue.put(slot)
+        processes = [
+            ctx.Process(target=_shm_worker,
+                        args=(self._config, i, shm_in.name, shm_out.name,
+                              self.chunk_size, task_queue, free_queue,
+                              result_queue),
+                        daemon=True)
+            for i in range(self.workers)
+        ]
+        try:
+            with TRACER.span("tcm.parallel.build", workers=self.workers,
+                             chunk_size=self.chunk_size,
+                             transport="shared_memory"):
+                for process in processes:
+                    process.start()
+                try:
+                    in_view = np.ndarray((in_size,), dtype=np.uint8,
+                                         buffer=shm_in.buf)
+                    for columns in self._chunk_key_columns(stream):
+                        source_keys, target_keys, weights = columns
+                        n = len(source_keys)
+                        try:
+                            slot = free_queue.get(
+                                timeout=_SLOT_TIMEOUT_SECONDS)
+                        except Exception:
+                            raise RuntimeError(
+                                "parallel build stalled: no worker "
+                                "returned an input slot "
+                                f"in {_SLOT_TIMEOUT_SECONDS:.0f}s") from None
+                        base = slot * slot_bytes
+                        in_view[base:base + 8 * n] = \
+                            source_keys.view(np.uint8)
+                        in_view[base + self.chunk_size * 8:
+                                base + self.chunk_size * 8 + 8 * n] = \
+                            target_keys.view(np.uint8)
+                        in_view[base + self.chunk_size * 16:
+                                base + self.chunk_size * 16 + 8 * n] = \
+                            weights.view(np.uint8)
+                        task_queue.put((slot, n))
+                    for _ in processes:
+                        task_queue.put(None)
+                    failure: Optional[str] = None
+                    for _ in processes:
+                        status, index, payload, *rest = result_queue.get()
+                        if status == "error":
+                            failure = failure or f"worker {index}: {payload}"
+                            continue
+                        chunks, elapsed = payload, rest[0]
+                        if OBS.enabled:
+                            OBS.parallel_worker_seconds.observe(elapsed)
+                            OBS.parallel_worker_chunks.labels(index).inc(
+                                chunks)
+                    if failure is not None:
+                        raise RuntimeError(
+                            f"parallel build failed in {failure}")
+                finally:
+                    for process in processes:
+                        process.join(timeout=30)
+                        if process.is_alive():
+                            process.terminate()
+                # Merge in worker order so the result is deterministic
+                # for a given chunk->worker assignment; per-cell sums are
+                # grouping-independent for the integer/dyadic weights real
+                # streams carry, making the merged summary deterministic
+                # outright (see module docstring).
+                offset = 0
+                for index in range(self.workers):
+                    if OBS.enabled:
+                        start = time.perf_counter()
+                        offset = _fold_shared_tables(merged, shm_out.buf,
+                                                     offset)
+                        OBS.parallel_merge_seconds.observe(
+                            time.perf_counter() - start)
+                    else:
+                        offset = _fold_shared_tables(merged, shm_out.buf,
+                                                     offset)
+        finally:
+            if OBS.enabled:
+                OBS.parallel_shm_bytes.set(0)
+            shm_in.close()
+            shm_out.close()
+            shm_in.unlink()
+            shm_out.unlink()
+        return merged
+
+    def _build_queue(self, stream: Iterable) -> TCM:
+        self.last_build_info = {"mode": "queue", "workers": self.workers,
+                                "shm_bytes": 0}
         ctx = _mp_context()
         task_queue = ctx.Queue(
             maxsize=_QUEUE_DEPTH_PER_WORKER * self.workers)
         result_queue = ctx.Queue()
         processes = [
-            ctx.Process(target=_shard_worker,
+            ctx.Process(target=_queue_worker,
                         args=(self._config, i, task_queue, result_queue),
                         daemon=True)
             for i in range(self.workers)
         ]
         with TRACER.span("tcm.parallel.build", workers=self.workers,
-                         chunk_size=self.chunk_size):
+                         chunk_size=self.chunk_size, transport="queue"):
             for process in processes:
                 process.start()
             try:
@@ -183,6 +505,7 @@ class ParallelTCMBuilder:
 
 def parallel_ingest(stream: Iterable, *, workers: Optional[int] = None,
                     chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    use_shared_memory: Optional[bool] = None,
                     **tcm_config) -> TCM:
     """One-call parallel build: shard ``stream`` across processes and merge.
 
@@ -202,5 +525,6 @@ def parallel_ingest(stream: Iterable, *, workers: Optional[int] = None,
         raise ValueError("unsupported aggregation for parallel builds")
     directed = getattr(stream, "directed", tcm_config.pop("directed", True))
     builder = ParallelTCMBuilder(workers=workers, chunk_size=chunk_size,
+                                 use_shared_memory=use_shared_memory,
                                  directed=directed, **tcm_config)
     return builder.build(stream)

@@ -218,6 +218,15 @@ class Instruments:
             "parallel_merge_seconds",
             "Wall time per worker-summary merge in a parallel build",
             buckets=log_buckets(1e-6, 10.0))
+        self.parallel_shm_bytes = registry.gauge(
+            "parallel_shared_memory_bytes",
+            "Shared-memory bytes mapped by the active parallel build "
+            "(input slot ring + per-worker output tables; 0 when idle)")
+        self.kernel_backend = registry.gauge(
+            "kernel_backend_active",
+            "1 for the scatter-kernel backend bulk ingest dispatches to, "
+            "0 for the others (see repro.core.kernels)",
+            labelnames=("backend",))
 
 
 OBS = Instruments(REGISTRY)

@@ -9,12 +9,15 @@ committed ``BENCH_ingest_throughput.json`` record::
 
     python -m repro.perf.ingest_bench --out BENCH_ingest_throughput.json
 
-Methodology: edge endpoints are pre-generated into flat arrays so every
-mode pays the same generation cost (none); per-edge loops consume plain
-tuples, chunked modes consume a lazy :class:`StreamEdge` generator
-through the public ``ingest``/``ingest_conservative`` interface, and
-parallel modes go through :class:`ParallelTCMBuilder`.  RSS probes run in
-fresh child processes so ``ru_maxrss`` reflects one build only.
+Methodology: edge endpoints are pre-generated and pre-materialized
+(plain tuples for the per-edge loops, :class:`StreamEdge` objects for
+the bulk paths) so every mode pays the same generation cost: none.
+Chunked modes consume a fresh iterator over the prebuilt elements
+through the public ``ingest``/``ingest_conservative`` interface --
+paying real chunking, attribute-extraction, hashing and scatter costs
+-- and parallel modes go through :class:`ParallelTCMBuilder`.  RSS
+probes run in fresh child processes so ``ru_maxrss`` reflects one build
+only.
 """
 
 from __future__ import annotations
@@ -46,9 +49,10 @@ def _edge_arrays(n_nodes: int, n_edges: int,
     return src, dst
 
 
-def _edge_stream(src: np.ndarray, dst: np.ndarray) -> Iterator[StreamEdge]:
-    for s, t in zip(src.tolist(), dst.tolist()):
-        yield StreamEdge(s, t, 1.0, 0.0)
+def _edge_objects(src: np.ndarray, dst: np.ndarray) -> List[StreamEdge]:
+    """Materialize the element objects once, outside every timed region."""
+    return [StreamEdge(s, t, 1.0, 0.0)
+            for s, t in zip(src.tolist(), dst.tolist())]
 
 
 def _rate(n: int, seconds: float) -> float:
@@ -63,6 +67,7 @@ def measure_throughput(n_edges: int, n_nodes: int, d: int, width: int,
     n_base = min(baseline_edges or n_edges, n_edges)
     base_pairs: List[Tuple[int, int]] = list(
         zip(src[:n_base].tolist(), dst[:n_base].tolist()))
+    edges = _edge_objects(src, dst)
 
     rates: Dict[str, float] = {}
 
@@ -85,16 +90,20 @@ def measure_throughput(n_edges: int, n_nodes: int, d: int, width: int,
 
     def chunked(aggregation: Aggregation):
         TCM(d=d, width=width, seed=seed, aggregation=aggregation).ingest(
-            _edge_stream(src, dst), chunk_size=chunk_size)
+            iter(edges), chunk_size=chunk_size)
 
     def chunked_conservative():
         TCM(d=d, width=width, seed=seed).ingest_conservative(
-            _edge_stream(src, dst), chunk_size=chunk_size)
+            iter(edges), chunk_size=chunk_size)
 
-    def parallel(aggregation: Aggregation):
-        ParallelTCMBuilder(
+    parallel_modes: Dict[str, str] = {}
+
+    def parallel(aggregation: Aggregation, mode_key: str):
+        builder = ParallelTCMBuilder(
             workers=workers, chunk_size=chunk_size, d=d, width=width,
-            seed=seed, aggregation=aggregation).build(_edge_stream(src, dst))
+            seed=seed, aggregation=aggregation)
+        builder.build(iter(edges))
+        parallel_modes[mode_key] = builder.last_build_info["mode"]
 
     timed("per_edge_sum", n_base, lambda: per_edge(Aggregation.SUM))
     timed("per_edge_min", n_base, lambda: per_edge(Aggregation.MIN))
@@ -104,9 +113,11 @@ def measure_throughput(n_edges: int, n_nodes: int, d: int, width: int,
     timed("chunked_max", n_edges, lambda: chunked(Aggregation.MAX))
     timed("chunked_conservative", n_edges, chunked_conservative)
     if workers > 1:
-        timed("parallel_sum", n_edges, lambda: parallel(Aggregation.SUM))
-        timed("parallel_min", n_edges, lambda: parallel(Aggregation.MIN))
-    return {
+        timed("parallel_sum", n_edges,
+              lambda: parallel(Aggregation.SUM, "parallel_sum"))
+        timed("parallel_min", n_edges,
+              lambda: parallel(Aggregation.MIN, "parallel_min"))
+    result = {
         "rates_elements_per_sec": {k: round(v, 1) for k, v in rates.items()},
         "baseline_edges": n_base,
         "speedup_vs_per_edge": {
@@ -121,6 +132,21 @@ def measure_throughput(n_edges: int, n_nodes: int, d: int, width: int,
                if workers > 1 else {}),
         },
     }
+    if workers > 1:
+        # Whether fanning out beats the single-process chunked engine on
+        # this machine; on a single hardware core the answer is honestly
+        # "no" (process setup + merge with zero extra parallelism), which
+        # is exactly what the record should say.
+        result["parallel_vs_chunked"] = {
+            "transport": parallel_modes,
+            "sum_ratio": round(rates["parallel_sum"]
+                               / rates["chunked_sum"], 3),
+            "min_ratio": round(rates["parallel_min"]
+                               / rates["chunked_min"], 3),
+            "sum_dominates": rates["parallel_sum"] >= rates["chunked_sum"],
+            "min_dominates": rates["parallel_min"] >= rates["chunked_min"],
+        }
+    return result
 
 
 def _rss_probe(n_nodes: int, n_edges: int, d: int, width: int, seed: int,
@@ -171,6 +197,8 @@ def run(n_edges: int = 1_000_000, n_nodes: int = 65536, d: int = 4,
         skip_rss: bool = False) -> Dict:
     import os
 
+    from repro.core import kernels
+
     resolved_workers = workers if workers is not None \
         else max(1, os.cpu_count() or 1)
     record: Dict = {
@@ -179,10 +207,12 @@ def run(n_edges: int = 1_000_000, n_nodes: int = 65536, d: int = 4,
         "config": {"n_edges": n_edges, "n_nodes": n_nodes, "d": d,
                    "width": width, "seed": seed, "chunk_size": chunk_size,
                    "workers": resolved_workers,
+                   "kernel_backend": kernels.active_backend(),
+                   "cpu_count": os.cpu_count() or 1,
                    "python": platform.python_version(),
                    "machine": platform.machine()},
-        "target": "chunked >= 3x per-edge for a previously "
-                  "non-vectorized path (min/max or conservative)",
+        "target": "chunked SUM >= 5x per-edge via the kernel layer's "
+                  "buffered bincount scatter; min/max/conservative >= 3x",
     }
     record.update(measure_throughput(n_edges, n_nodes, d, width, seed,
                                      chunk_size, resolved_workers,

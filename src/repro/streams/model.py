@@ -14,13 +14,17 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 from repro.hashing.labels import Label
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamEdge:
     """One stream element ``(source, target; timestamp)`` with a weight.
 
     The default weight is 1 (paper Fig. 1); IP-flow-style streams carry the
     packet size in bytes as the weight.  Weights must be non-negative
     (paper Section 3.1 assumes ``w(e) >= 0``).
+
+    Slotted because ingest constructs one instance per stream element:
+    slots shave roughly a third off construction plus attribute access,
+    which is measurable at millions of elements per second.
     """
 
     source: Label

@@ -84,6 +84,80 @@ class TestParallelEquivalence:
         assert_same_state(reference, built)
 
 
+class TestTransportSelection:
+    """The builder picks shared memory when it can, queues when it must."""
+
+    def test_dense_build_uses_shared_memory(self):
+        stream = make_stream(directed=True, n=200)
+        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                     d=2, width=24, seed=9)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "shared_memory"
+        assert builder.last_build_info["shm_bytes"] > 0
+
+    def test_sparse_build_falls_back_to_queue(self):
+        stream = make_stream(directed=True, n=120)
+        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                     d=2, width=24, seed=9, sparse=True)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "queue"
+
+    def test_keep_labels_build_falls_back_to_queue(self):
+        stream = make_stream(directed=True, n=120)
+        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                     d=2, width=24, seed=9,
+                                     keep_labels=True)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "queue"
+
+    def test_single_worker_skips_both_transports(self):
+        stream = make_stream(directed=True, n=80)
+        builder = ParallelTCMBuilder(workers=1, chunk_size=32,
+                                     d=2, width=24, seed=9)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "single"
+
+    def test_forced_queue_transport_matches_shared_memory(self):
+        stream = make_stream(directed=True, n=200)
+        config = dict(d=2, width=24, seed=9)
+        shm = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                 use_shared_memory=True, **config)
+        queued = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                    use_shared_memory=False, **config)
+        assert_same_state(shm.build(iter(stream)),
+                          queued.build(iter(stream)))
+        assert shm.last_build_info["mode"] == "shared_memory"
+        assert queued.last_build_info["mode"] == "queue"
+
+    def test_forcing_shared_memory_on_sparse_config_rejected(self):
+        with pytest.raises(ValueError, match="shared.memory"):
+            ParallelTCMBuilder(workers=2, d=2, width=16, seed=1,
+                               sparse=True, use_shared_memory=True)
+
+    def test_shm_gauge_returns_to_zero_after_build(self):
+        from repro.obs import instruments
+        instruments.enable()
+        try:
+            stream = make_stream(directed=True, n=150)
+            builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                         d=2, width=24, seed=9)
+            builder.build(iter(stream))
+            assert instruments.OBS.parallel_shm_bytes.value == 0.0
+        finally:
+            instruments.disable()
+
+    def test_shm_worker_failure_surfaces(self):
+        # Same contract as the queue transport: a worker hitting a bad
+        # weight must fail the whole build loudly, and the parent must
+        # still unlink its segments (no leak -> no tracker warnings).
+        edges = [Edge("a", "b", 1.0, 0.0), Edge("c", "d", -5.0, 1.0)]
+        builder = ParallelTCMBuilder(workers=2, chunk_size=1,
+                                     d=2, width=16, seed=1,
+                                     use_shared_memory=True)
+        with pytest.raises(RuntimeError, match="worker"):
+            builder.build(iter(edges))
+
+
 class TestParallelValidation:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError, match="workers"):
