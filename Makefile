@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
-	bench-query bench-window bench-soak examples report obs-demo \
-	obs-overhead profile-ingest clean
+	bench-query bench-window bench-soak bench-server smoke-server \
+	examples report obs-demo obs-overhead profile-ingest clean
 
 help:
 	@echo "install      editable install (falls back to setup.py develop offline)"
@@ -20,6 +20,8 @@ help:
 	@echo "bench-query  re-measure query-engine latency (cold/warm vs scalar)"
 	@echo "bench-window re-measure sliding-window maintenance throughput"
 	@echo "bench-soak   minutes-long mixed soak with telemetry + drift gates"
+	@echo "bench-server re-measure micro-batched vs scalar service ingest"
+	@echo "smoke-server quick service boot/throughput/shutdown check (CI)"
 	@echo "profile-ingest  cProfile + per-stage (hashing/scatter) ingest breakdown"
 	@echo "clean        remove caches and build artifacts"
 
@@ -64,6 +66,12 @@ bench-window:
 
 bench-soak:
 	$(PYTHON) benchmarks/bench_soak.py --out BENCH_soak.json
+
+bench-server:
+	$(PYTHON) benchmarks/bench_server.py --out BENCH_server.json
+
+smoke-server:
+	$(PYTHON) benchmarks/bench_server.py --smoke
 
 profile-ingest:
 	$(PYTHON) benchmarks/profile_ingest.py

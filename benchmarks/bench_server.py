@@ -1,0 +1,292 @@
+"""Sketch-service throughput: micro-batched vs scalar per-request ingest.
+
+Boots ``tcm serve`` twice in fresh subprocesses -- once with the
+coalescers on (the shipping configuration) and once with
+``--no-batching`` (every request applied immediately through the scalar
+``update``/``observe`` paths) -- and drives both with the identical
+closed-loop :mod:`repro.server.loadgen` mix at equal request
+concurrency.  The ratio of sustained elements/second is the committed
+claim: micro-batching is what lets a request-per-element-ish HTTP
+workload ride the kernel-layer columnar fast paths, and the record gates
+it at >= 5x.
+
+Both runs also check the operational contract: zero request errors and a
+clean SIGTERM shutdown (drained coalescers, exit code 0).
+
+Writes the committed ``BENCH_server.json``::
+
+    python benchmarks/bench_server.py --out BENCH_server.json
+
+``--smoke`` is the CI mode: a small fixed load with conservative floors
+(server boots, sustains a minimum throughput, shuts down cleanly) that
+must pass on any runner, while the committed record keeps the
+reference-machine numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+#: Smoke-mode floors: intentionally far below the reference numbers so
+#: they only catch "the service is broken", never "the runner is slow".
+SMOKE_MIN_ELEMENTS_PER_S = 5_000.0
+SMOKE_MIN_REQ_PER_S = 25.0
+
+
+class _ServerProcess:
+    """One ``tcm serve`` subprocess with readiness and clean-exit checks."""
+
+    def __init__(self, *, batching: bool, max_batch: int,
+                 max_delay_ms: float):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--max-batch", str(max_batch),
+                "--max-delay-ms", str(max_delay_ms)]
+        if not batching:
+            argv.append("--no-batching")
+        self.proc = subprocess.Popen(
+            argv, env=env, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = _LISTEN_RE.search(line)
+            if match:
+                self.host = match.group(1)
+                self.port = int(match.group(2))
+                return
+        raise RuntimeError(
+            f"server never reported readiness "
+            f"(exit code {self.proc.poll()})")
+
+    def shutdown(self, timeout: float = 30.0) -> bool:
+        """SIGTERM; True when the process drained and exited 0."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=timeout)
+            return False
+        # Drain the pipe so the shutdown report is not left in a buffer.
+        self.proc.stdout.read()
+        return self.proc.returncode == 0
+
+
+def _measure_mode(*, batching: bool, connections: int, requests: int,
+                  elements: int, n_nodes: int, query_ratio: float,
+                  max_batch: int, max_delay_ms: float, seed: int) -> Dict:
+    from repro.server.loadgen import run_loadgen
+
+    server = _ServerProcess(batching=batching, max_batch=max_batch,
+                            max_delay_ms=max_delay_ms)
+    try:
+        server.wait_ready()
+        summary = asyncio.run(run_loadgen(
+            server.host, server.port, sketch="bench",
+            connections=connections, requests=requests,
+            elements=elements, n_nodes=n_nodes,
+            query_ratio=query_ratio, seed=seed))
+    except BaseException:
+        server.proc.kill()
+        raise
+    clean = server.shutdown()
+    summary["shutdown_clean"] = clean
+    summary["batching"] = batching
+    return summary
+
+
+def run(connections: int = 16, requests: int = 2048, elements: int = 1024,
+        n_nodes: int = 65536, query_ratio: float = 0.05,
+        max_batch: int = 4096, max_delay_ms: float = 2.0,
+        seed: int = 7, full_scale: bool = True) -> Dict:
+    record: Dict = {
+        "benchmark": "multi-tenant sketch service: micro-batched vs "
+                     "scalar per-request ingest at equal concurrency",
+        "config": {"connections": connections, "requests": requests,
+                   "elements_per_request": elements, "n_nodes": n_nodes,
+                   "query_ratio": query_ratio, "max_batch": max_batch,
+                   "max_delay_ms": max_delay_ms, "seed": seed,
+                   "cpu_count": os.cpu_count() or 1,
+                   "python": platform.python_version(),
+                   "machine": platform.machine(),
+                   "full_scale": full_scale},
+        "target": "micro-batched ingest >= 5x elements/s vs the "
+                  "batching-disabled (scalar per-request) server at "
+                  "equal request concurrency, both shutting down "
+                  "cleanly with zero errors",
+    }
+    modes = {}
+    for label, batching in (("batched", True), ("unbatched", False)):
+        modes[label] = _measure_mode(
+            batching=batching, connections=connections, requests=requests,
+            elements=elements, n_nodes=n_nodes, query_ratio=query_ratio,
+            max_batch=max_batch, max_delay_ms=max_delay_ms, seed=seed)
+    record.update(modes)
+    batched = modes["batched"]["elements_per_s"]
+    unbatched = modes["unbatched"]["elements_per_s"]
+    record["batched_vs_unbatched"] = {
+        "elements_ratio": round(batched / max(unbatched, 1e-9), 2),
+        "req_ratio": round(modes["batched"]["req_per_s"]
+                           / max(modes["unbatched"]["req_per_s"], 1e-9), 2),
+        "dominates": batched >= unbatched,
+    }
+    return record
+
+
+def validate_record(record: Dict, filename: str = "BENCH_server.json") -> None:
+    """Schema + gate check (registered in validate_bench_records.py)."""
+    def require(holder, key, kind):
+        if key not in holder:
+            raise ValueError(f"{filename}: missing key {key!r}")
+        value = holder[key]
+        if not isinstance(value, kind):
+            raise ValueError(
+                f"{filename}: {key!r} should be "
+                f"{getattr(kind, '__name__', kind)}, "
+                f"got {type(value).__name__}")
+        return value
+
+    config = require(record, "config", dict)
+    for key in ("connections", "requests", "elements_per_request",
+                "max_batch"):
+        value = require(config, key, int)
+        if value < 1:
+            raise ValueError(f"{filename}: config.{key} must be >= 1")
+    require(config, "full_scale", bool)
+    for mode in ("batched", "unbatched"):
+        row = require(record, mode, dict)
+        for key in ("req_per_s", "elements_per_s"):
+            value = require(row, key, (int, float))
+            if value <= 0:
+                raise ValueError(
+                    f"{filename}: {mode}.{key} must be positive, "
+                    f"got {value!r}")
+        latency = require(row, "latency_ms", dict)
+        p50 = require(latency, "p50", (int, float))
+        p99 = require(latency, "p99", (int, float))
+        if not 0 < p50 <= p99:
+            raise ValueError(
+                f"{filename}: {mode} latency needs 0 < p50 <= p99, "
+                f"got p50={p50!r} p99={p99!r}")
+        errors = require(row, "errors", int)
+        if errors != 0:
+            raise ValueError(
+                f"{filename}: {mode} run had {errors} request errors")
+        if require(row, "shutdown_clean", bool) is not True:
+            raise ValueError(
+                f"{filename}: {mode} server did not shut down cleanly")
+    comparison = require(record, "batched_vs_unbatched", dict)
+    ratio = require(comparison, "elements_ratio", (int, float))
+    if ratio <= 0:
+        raise ValueError(
+            f"{filename}: batched_vs_unbatched.elements_ratio must be "
+            f"positive, got {ratio!r}")
+    if config["full_scale"] and ratio < 5.0:
+        # The committed claim: coalescing earns its complexity.
+        raise ValueError(
+            f"{filename}: full-scale elements_ratio {ratio} is below the "
+            f"5x gate (batched micro-batching must beat scalar "
+            f"per-request ingest by >= 5x)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the sketch service's request micro-batching")
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=2048)
+    parser.add_argument("--elements", type=int, default=1024)
+    parser.add_argument("--nodes", type=int, default=65536)
+    parser.add_argument("--query-ratio", type=float, default=0.05)
+    parser.add_argument("--max-batch", type=int, default=4096)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small load, conservative floors, "
+                             "no 5x gate (full_scale=false)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record = run(connections=8, requests=256, elements=256,
+                     n_nodes=4096, query_ratio=args.query_ratio,
+                     max_batch=args.max_batch,
+                     max_delay_ms=args.max_delay_ms, seed=args.seed,
+                     full_scale=False)
+    else:
+        record = run(connections=args.connections, requests=args.requests,
+                     elements=args.elements, n_nodes=args.nodes,
+                     query_ratio=args.query_ratio,
+                     max_batch=args.max_batch,
+                     max_delay_ms=args.max_delay_ms, seed=args.seed)
+    validate_record(record, "bench_server run")
+
+    comparison = record["batched_vs_unbatched"]
+    batched = record["batched"]
+    print(f"batched:   {batched['elements_per_s']:>12,.0f} elements/s  "
+          f"{batched['req_per_s']:>8,.0f} req/s  "
+          f"p99 {batched['latency_ms']['p99']:.2f}ms")
+    unbatched = record["unbatched"]
+    print(f"unbatched: {unbatched['elements_per_s']:>12,.0f} elements/s  "
+          f"{unbatched['req_per_s']:>8,.0f} req/s  "
+          f"p99 {unbatched['latency_ms']['p99']:.2f}ms")
+    print(f"ratio:     {comparison['elements_ratio']}x elements/s")
+
+    if args.smoke:
+        problems = []
+        if batched["elements_per_s"] < SMOKE_MIN_ELEMENTS_PER_S:
+            problems.append(
+                f"batched {batched['elements_per_s']:,.0f} elements/s "
+                f"below the {SMOKE_MIN_ELEMENTS_PER_S:,.0f} smoke floor")
+        if batched["req_per_s"] < SMOKE_MIN_REQ_PER_S:
+            problems.append(
+                f"batched {batched['req_per_s']:,.0f} req/s below the "
+                f"{SMOKE_MIN_REQ_PER_S:,.0f} smoke floor")
+        if comparison["elements_ratio"] < 1.5:
+            problems.append(
+                f"batched/unbatched ratio {comparison['elements_ratio']} "
+                f"below the 1.5x smoke floor")
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAIL: {problem}")
+            return 1
+        print("smoke ok: boot, throughput floors, coalescing win, "
+              "clean shutdowns")
+
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

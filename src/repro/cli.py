@@ -284,6 +284,110 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """``tcm serve``: the multi-tenant micro-batching sketch service.
+
+    Binds the asyncio HTTP/JSON front end (docs/SERVER.md), enables
+    observability (so ``/metrics`` and ``/stats`` are live) and a
+    background runtime sampler, then runs until SIGINT/SIGTERM.  On
+    shutdown every staged micro-batch is drained, and the per-endpoint
+    latency quantiles (``repro.obs.runtime.latency_quantiles``) are
+    printed as the final service report.
+    """
+    import asyncio
+    import signal
+
+    from repro.obs import instruments
+    from repro.obs.runtime import RuntimeSampler, latency_quantiles
+    from repro.server import SketchServer
+
+    if args.max_batch < 1:
+        raise SystemExit(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_delay_ms <= 0:
+        raise SystemExit(
+            f"--max-delay-ms must be positive, got {args.max_delay_ms}")
+    if not args.no_obs:
+        instruments.enable()
+    server = SketchServer(host=args.host, port=args.port,
+                          max_batch=args.max_batch,
+                          max_delay=args.max_delay_ms / 1000.0,
+                          batching=not args.no_batching)
+
+    async def _run() -> None:
+        port = await server.start()
+        print(f"tcm serve: listening on http://{args.host}:{port} "
+              f"(batching {'on' if server.batching else 'off'}, "
+              f"max_batch={args.max_batch}, "
+              f"max_delay={args.max_delay_ms:g}ms)", flush=True)
+        sampler = None
+        if not args.no_obs:
+            sampler = RuntimeSampler()
+            sampler.start(interval=args.sample_interval)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        await server.stop()
+        if sampler is not None:
+            sampler.stop()
+        if not args.no_obs:
+            for key, q in sorted(latency_quantiles().items()):
+                if not key.startswith("server_request_seconds"):
+                    continue
+                print(f"tcm serve: {key} "
+                      f"p50={q['p50'] * 1e3:.3f}ms "
+                      f"p99={q['p99'] * 1e3:.3f}ms "
+                      f"n={int(q['count'])}", flush=True)
+        print("tcm serve: shut down cleanly", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """``tcm loadgen``: closed-loop driver for a running ``tcm serve``.
+
+    Pre-generates the request mix, fans it over persistent keep-alive
+    connections, and prints throughput plus client-side p50/p99 (and the
+    server's own histogram quantiles from ``/stats``).
+    """
+    import asyncio
+    import json as _json
+
+    from repro.server import run_loadgen
+
+    sketch_config = {"kind": args.kind, "d": args.d, "width": args.width,
+                     "seed": args.seed}
+    if args.kind == "window":
+        sketch_config["horizon"] = args.horizon
+    summary = asyncio.run(run_loadgen(
+        args.host, args.port, sketch=args.sketch,
+        connections=args.connections, requests=args.requests,
+        elements=args.elements, n_nodes=args.nodes,
+        query_ratio=args.query_ratio, seed=args.seed,
+        sketch_config=sketch_config, cleanup=args.cleanup))
+    lat = summary["latency_ms"]
+    print(f"loadgen: {summary['requests']} requests over "
+          f"{summary['connections']} connections in "
+          f"{summary['seconds']:.2f}s")
+    print(f"  {summary['req_per_s']:,.0f} req/s, "
+          f"{summary['elements_per_s']:,.0f} elements/s "
+          f"({summary['ingested_elements']} ingested, "
+          f"{summary['errors']} errors)")
+    print(f"  latency p50 {lat['p50']:.3f}ms, p99 {lat['p99']:.3f}ms, "
+          f"max {lat['max']:.3f}ms")
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            _json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if summary["errors"] else 0
+
+
 def _cmd_diff(args) -> int:
     from repro.core.compare import (
         sketch_distance,
@@ -598,6 +702,60 @@ def build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument("--out", default=None,
                          help="also write the JSON snapshot to this file")
     obs_cmd.set_defaults(handler=_cmd_obs)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant micro-batching sketch "
+                      "service (docs/SERVER.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listening port (0 picks a free one)")
+    serve.add_argument("--max-batch", type=int, default=4096,
+                       help="flush a micro-batch at this many staged "
+                            "elements (default 4096)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="flush a micro-batch when its oldest request "
+                            "has waited this long (default 2ms)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable coalescing: apply every request "
+                            "immediately via the scalar paths (the "
+                            "BENCH_server.json baseline)")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="skip enabling observability (faster, but "
+                            "/metrics and /stats stay empty)")
+    serve.add_argument("--sample-interval", type=float, default=5.0,
+                       help="runtime-sampler cadence in seconds")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a running 'tcm serve' with a concurrent "
+                        "request mix and report throughput/latency")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8765)
+    loadgen.add_argument("--sketch", default="loadgen",
+                         help="tenant name to create and drive")
+    loadgen.add_argument("--kind", choices=("tcm", "window"),
+                         default="tcm")
+    loadgen.add_argument("--horizon", type=float, default=1000.0,
+                         help="window horizon (--kind window)")
+    loadgen.add_argument("--d", type=int, default=4)
+    loadgen.add_argument("--width", type=int, default=256)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--connections", type=int, default=16,
+                         help="persistent keep-alive connections")
+    loadgen.add_argument("--requests", type=int, default=512,
+                         help="total requests across all connections")
+    loadgen.add_argument("--elements", type=int, default=256,
+                         help="stream elements per ingest request")
+    loadgen.add_argument("--nodes", type=int, default=4096,
+                         help="node-id universe for the generated edges")
+    loadgen.add_argument("--query-ratio", type=float, default=0.0,
+                         help="fraction of requests that are batched "
+                              "edge queries (default: all ingest)")
+    loadgen.add_argument("--cleanup", action="store_true",
+                         help="delete the tenant when done")
+    loadgen.add_argument("--out", default=None,
+                         help="also write the JSON summary here")
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     diff = commands.add_parser(
         "diff", help="compare two sketch files (graph evolution)")

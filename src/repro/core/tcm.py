@@ -530,6 +530,56 @@ class TCM:
             OBS.tcm_ingest_chunks.inc()
         return n
 
+    def ingest_keys(self, source_keys: np.ndarray,
+                    target_keys: np.ndarray,
+                    weights: Optional[np.ndarray] = None) -> int:
+        """Pre-hashed columnar ingest: the service-layer batch entry point.
+
+        Absorbs one batch given as parallel ``uint64`` key arrays (the
+        output of :func:`repro.hashing.labels.label_keys`) plus optional
+        ``float64`` weights, skipping label conversion entirely -- the
+        micro-batching coalescer in :mod:`repro.server` hashes labels
+        once at request-parse time, stages raw keys, and flushes whole
+        batches through this method.  Bit-identical to
+        :meth:`ingest_columns` over the same labels: ``label_keys`` is
+        deterministic, so staging keys instead of labels changes nothing
+        downstream.  Requires a plain (non-extended) ensemble; extended
+        (``keep_labels=True``) sketches need the original labels and
+        must use :meth:`ingest_columns`.  Returns the batch size.
+        """
+        source_keys = np.asarray(source_keys)
+        target_keys = np.asarray(target_keys)
+        if source_keys.dtype != np.uint64 or target_keys.dtype != np.uint64:
+            if (source_keys.dtype.kind not in "iu"
+                    or target_keys.dtype.kind not in "iu"):
+                raise TypeError(
+                    "ingest_keys takes pre-hashed integer key arrays; "
+                    "for label sequences use ingest_columns")
+            source_keys = source_keys.astype(np.uint64)
+            target_keys = target_keys.astype(np.uint64)
+        n = source_keys.shape[0]
+        if target_keys.shape[0] != n:
+            raise ValueError(
+                f"got {n} source keys but {target_keys.shape[0]} targets")
+        if n == 0:
+            return 0
+        if not getattr(self, "_column_fast_path", True):
+            raise ValueError(
+                "extended (keep_labels) ensembles materialize labels per "
+                "bucket and cannot ingest pre-hashed keys; use "
+                "ingest_columns with the original labels")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != n:
+                raise ValueError(
+                    f"got {n} source keys but {weights.shape[0]} weights")
+        self._apply_key_columns(source_keys, target_keys, weights,
+                                insert=True)
+        if OBS.enabled:
+            OBS.tcm_ingest_chunks.inc()
+            OBS.tcm_ingest_elements.inc(n)
+        return n
+
     def _apply_key_columns(self, source_keys: np.ndarray,
                            target_keys: np.ndarray,
                            weights: Optional[np.ndarray],

@@ -254,6 +254,16 @@ class ParallelTCMBuilder:
         transport; ``True`` asserts shared memory and raises
         ``ValueError`` for configurations that cannot use it
         (``sparse=True`` / ``keep_labels=True``).
+    :param single_core_fallback: when True (the default) a multi-worker
+        build on a machine with one hardware core
+        (``os.cpu_count() <= 1``) silently degrades to the single-process
+        chunked engine instead of paying fork/IPC overhead for no
+        parallelism -- the committed bench record
+        (``parallel_vs_chunked`` in ``BENCH_ingest_throughput.json``)
+        shows fan-out *loses* there.  The decision is recorded as a
+        one-line reason in :attr:`last_build_info` and on the obs
+        flight recorder.  Set False to force the requested transport
+        regardless (benchmarks measuring the transports themselves do).
     :param tcm_config: forwarded to every worker's ``TCM(...)``; must
         include a concrete ``seed`` (it defaults to 0, which is concrete)
         so the per-worker sketches are mergeable.
@@ -271,7 +281,8 @@ class ParallelTCMBuilder:
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 use_shared_memory: Optional[bool] = None, **tcm_config):
+                 use_shared_memory: Optional[bool] = None,
+                 single_core_fallback: bool = True, **tcm_config):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -291,6 +302,7 @@ class ParallelTCMBuilder:
         self.chunk_size = chunk_size
         self.use_shared_memory = (shm_capable if use_shared_memory is None
                                   else bool(use_shared_memory))
+        self.single_core_fallback = single_core_fallback
         self._config = dict(tcm_config)
         self.last_build_info: dict = {}
 
@@ -335,6 +347,24 @@ class ParallelTCMBuilder:
             tcm.ingest(stream, chunk_size=self.chunk_size)
             self.last_build_info = {"mode": "single", "workers": 1,
                                     "shm_bytes": 0}
+            return tcm
+        cores = os.cpu_count() or 1
+        if self.single_core_fallback and cores <= 1:
+            # Fan-out on one hardware core only adds fork + transport
+            # overhead (the bench record's parallel_vs_chunked section
+            # measures the loss); take the chunked engine instead and
+            # say so once, where operators can see it.
+            reason = (f"parallel build fell back to single-process "
+                      f"chunked ingest: requested {self.workers} workers "
+                      f"but os.cpu_count()={cores}")
+            from repro.obs.flight import FLIGHT
+            FLIGHT.mark("parallel single-core fallback",
+                        requested_workers=self.workers, cpu_count=cores)
+            tcm = TCM(**self._config)
+            tcm.ingest(stream, chunk_size=self.chunk_size)
+            self.last_build_info = {"mode": "single_fallback", "workers": 1,
+                                    "requested_workers": self.workers,
+                                    "shm_bytes": 0, "reason": reason}
             return tcm
         if OBS.enabled:
             OBS.parallel_workers.set(self.workers)
@@ -506,6 +536,7 @@ class ParallelTCMBuilder:
 def parallel_ingest(stream: Iterable, *, workers: Optional[int] = None,
                     chunk_size: int = DEFAULT_CHUNK_SIZE,
                     use_shared_memory: Optional[bool] = None,
+                    single_core_fallback: bool = True,
                     **tcm_config) -> TCM:
     """One-call parallel build: shard ``stream`` across processes and merge.
 
@@ -526,5 +557,6 @@ def parallel_ingest(stream: Iterable, *, workers: Optional[int] = None,
     directed = getattr(stream, "directed", tcm_config.pop("directed", True))
     builder = ParallelTCMBuilder(workers=workers, chunk_size=chunk_size,
                                  use_shared_memory=use_shared_memory,
+                                 single_core_fallback=single_core_fallback,
                                  directed=directed, **tcm_config)
     return builder.build(stream)

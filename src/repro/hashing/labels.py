@@ -11,14 +11,22 @@ appears in millions of elements), the byte-wise FNV loop is the single
 largest string-ingest cost.  :func:`label_key` and the bulk converter
 :func:`label_keys` intern computed keys in a process-wide dict so each
 distinct string/bytes label is hashed exactly once; integer labels pass
-through untouched (they were already free).  The cache is bounded: when
-it reaches :data:`LABEL_CACHE_LIMIT` distinct labels it is cleared
-wholesale, which keeps the amortized cost at one FNV pass per label per
-generation without any per-hit LRU bookkeeping.
+through untouched (they were already free).  The cache is bounded with
+an LRU-style cap: at :func:`label_cache_limit` distinct labels the
+*oldest-inserted* eighth of the entries is evicted (Python dicts iterate
+in insertion order, so the victims are the labels interned longest ago)
+and the eviction is counted in :func:`label_cache_info`.  The hit path
+stays a single dict probe -- no per-hit recency bookkeeping -- while a
+long-running server can no longer leak memory through an unbounded tail
+of one-shot labels: the cache's footprint is capped at ``maxsize``
+entries forever, and hot labels that re-appear after eviction simply pay
+one fresh FNV pass.  :func:`set_label_cache_limit` tunes the cap (e.g.
+down for memory-constrained tenants, up for label-heavy batch jobs).
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Union
 
 import numpy as np
@@ -65,15 +73,56 @@ def label_to_int(label: Label) -> int:
     raise TypeError(f"unsupported node label type: {type(label).__name__}")
 
 
-#: Distinct string/bytes labels retained before the interning cache is
-#: cleared wholesale.  2^20 entries is ~100MB worst case for long labels,
-#: far below the sketches the cache feeds, and clearing (rather than LRU
-#: eviction) keeps the hit path to a single dict lookup.
+#: Default cap on distinct string/bytes labels retained by the interning
+#: cache.  2^20 entries is ~100MB worst case for long labels, far below
+#: the sketches the cache feeds.  Tune per process with
+#: :func:`set_label_cache_limit`.
 LABEL_CACHE_LIMIT = 1 << 20
 
 _KEY_CACHE: Dict[Union[str, bytes], int] = {}
+_cache_limit = LABEL_CACHE_LIMIT
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
+
+
+def set_label_cache_limit(maxsize: int) -> None:
+    """Set the interning cache's entry cap, shrinking it now if needed.
+
+    A long-running service sizes this per deployment: the cache holds at
+    most ``maxsize`` label->key entries from here on.  Shrinking below
+    the current occupancy evicts the oldest entries immediately (counted
+    as evictions, like cap-triggered ones).
+    """
+    global _cache_limit
+    if maxsize < 1:
+        raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+    _cache_limit = maxsize
+    if len(_KEY_CACHE) > maxsize:
+        _evict(len(_KEY_CACHE) - maxsize)
+
+
+def label_cache_limit() -> int:
+    """The current entry cap of the interning cache."""
+    return _cache_limit
+
+
+def _evict(count: int) -> None:
+    """Drop the ``count`` oldest-inserted entries (insertion-order LRU)."""
+    global _cache_evictions
+    victims = list(itertools.islice(iter(_KEY_CACHE), count))
+    for label in victims:
+        del _KEY_CACHE[label]
+    _cache_evictions += len(victims)
+
+
+def _make_room() -> None:
+    """Evict an eighth of the cap (>= 1 entry) before a full-cache insert.
+
+    Batched eviction keeps the amortized insert cost at O(1): one
+    O(cap/8) sweep admits cap/8 fresh labels before the next sweep.
+    """
+    _evict(max(1, _cache_limit >> 3))
 
 
 def label_key(label: Label) -> int:
@@ -92,8 +141,8 @@ def label_key(label: Label) -> int:
             _cache_hits += 1
             return cached
         key = fnv1a_64(label.encode("utf-8") if cls is str else label)
-        if len(_KEY_CACHE) >= LABEL_CACHE_LIMIT:
-            _KEY_CACHE.clear()
+        if len(_KEY_CACHE) >= _cache_limit:
+            _make_room()
         _KEY_CACHE[label] = key
         _cache_misses += 1
         return key
@@ -138,8 +187,8 @@ def label_keys(labels: Iterable[Label]) -> "np.ndarray":
             if cached is None:
                 cached = fnv1a_64(
                     label.encode("utf-8") if cls is str else label)
-                if len(cache) >= LABEL_CACHE_LIMIT:
-                    cache.clear()
+                if len(cache) >= _cache_limit:
+                    _make_room()
                 cache[label] = cached
                 misses += 1
             else:
@@ -153,9 +202,10 @@ def label_keys(labels: Iterable[Label]) -> "np.ndarray":
 
 
 def label_cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters for the interning cache (for dashboards)."""
+    """Hit/miss/size/eviction counters for the interning cache."""
     return {"hits": _cache_hits, "misses": _cache_misses,
-            "size": len(_KEY_CACHE), "limit": LABEL_CACHE_LIMIT}
+            "size": len(_KEY_CACHE), "limit": _cache_limit,
+            "evictions": _cache_evictions}
 
 
 def label_cache_bytes() -> int:
@@ -184,8 +234,9 @@ def label_cache_bytes() -> int:
 
 
 def clear_label_cache() -> None:
-    """Drop all interned keys and reset the hit/miss counters."""
-    global _cache_hits, _cache_misses
+    """Drop all interned keys and reset the hit/miss/eviction counters."""
+    global _cache_hits, _cache_misses, _cache_evictions
     _KEY_CACHE.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _cache_evictions = 0

@@ -100,6 +100,10 @@ class Instruments:
             "window_rotations_total",
             "Sub-sketch rotations (oldest-bucket clears) in rotating "
             "windows")
+        self.window_late_clamped = registry.counter(
+            "window_late_clamped_total",
+            "Late elements whose timestamps were clamped up to the "
+            "watermark by RotatingWindowTCM.observe_columns")
 
         # -- streaming monitors (Algorithms 1 & 2) -------------------------
         self.hh_observed = registry.counter(
@@ -227,6 +231,43 @@ class Instruments:
             "1 for the scatter-kernel backend bulk ingest dispatches to, "
             "0 for the others (see repro.core.kernels)",
             labelnames=("backend",))
+
+        # -- sketch service (repro.server) ---------------------------------
+        self.server_requests = registry.counter(
+            "server_requests_total",
+            "HTTP requests served, labeled by endpoint and status code",
+            labelnames=("endpoint", "status"))
+        self.server_request_seconds = registry.histogram(
+            "server_request_seconds",
+            "End-to-end request latency (parse to response write), "
+            "labeled by endpoint",
+            labelnames=("endpoint",),
+            buckets=log_buckets(1e-5, 10.0))
+        self.server_batch_flushes = registry.counter(
+            "server_batch_flushes_total",
+            "Coalescer flushes, labeled by batch kind (ingest/query) and "
+            "trigger reason (size/deadline/barrier/shutdown)",
+            labelnames=("kind", "reason"))
+        self.server_batch_elements = registry.histogram(
+            "server_batch_elements",
+            "Elements (or queries) per coalesced batch flush",
+            labelnames=("kind",),
+            buckets=log_buckets(1.0, 1e6))
+        self.server_batch_wait_seconds = registry.histogram(
+            "server_batch_wait_seconds",
+            "Time the first request of a batch waited before its flush",
+            buckets=log_buckets(1e-6, 1.0))
+        self.server_coalesced_requests = registry.counter(
+            "server_coalesced_requests_total",
+            "Requests answered from a shared coalesced batch, labeled by "
+            "batch kind",
+            labelnames=("kind",))
+        self.server_active_sketches = registry.gauge(
+            "server_active_sketches",
+            "Named sketches currently registered in the service")
+        self.server_open_connections = registry.gauge(
+            "server_open_connections",
+            "Client connections currently open against the service")
 
 
 OBS = Instruments(REGISTRY)

@@ -1,0 +1,35 @@
+"""A multi-tenant sketch service with request micro-batching.
+
+The library's batch entry points (:meth:`~repro.core.tcm.TCM.ingest_keys`,
+``edge_weights``/``flows``/``reachable_many``) are 1-2 orders of magnitude
+faster per element than their scalar counterparts -- but an HTTP service
+naturally receives *small* requests from *many* concurrent clients, which
+would drive the scalar paths.  This package closes that gap with
+per-sketch **coalescers**: concurrent requests stage their pre-hashed
+columns into a shared buffer and one kernel call per batch window answers
+all of them (flush on size or deadline; docs/SERVER.md).
+
+- :class:`~repro.server.registry.SketchRegistry` -- named per-tenant
+  ``TCM`` / ``RotatingWindowTCM`` instances plus their coalescers.
+- :class:`~repro.server.coalescer.IngestCoalescer` /
+  :class:`~repro.server.coalescer.QueryCoalescer` -- the micro-batching
+  core (usable without the HTTP layer).
+- :class:`~repro.server.http.SketchServer` -- the stdlib-only asyncio
+  HTTP/JSON front end (``tcm serve``).
+- :func:`~repro.server.loadgen.run_loadgen` -- the closed-loop load
+  generator (``tcm loadgen``) behind ``BENCH_server.json``.
+"""
+
+from repro.server.coalescer import IngestCoalescer, QueryCoalescer
+from repro.server.http import SketchServer
+from repro.server.loadgen import run_loadgen
+from repro.server.registry import SketchRegistry, TenantSketch
+
+__all__ = [
+    "IngestCoalescer",
+    "QueryCoalescer",
+    "SketchRegistry",
+    "TenantSketch",
+    "SketchServer",
+    "run_loadgen",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.server`` -- shorthand for ``tcm serve``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,348 @@
+"""Request micro-batching: coalesce concurrent requests into kernel calls.
+
+The service's throughput hinges on one observation: a TCM absorbs a
+65k-element column batch through :meth:`~repro.core.tcm.TCM.ingest_keys`
+at roughly the same wall cost as a few hundred scalar
+:meth:`~repro.core.tcm.TCM.update` calls.  Individually small HTTP
+requests would pay the scalar price; the coalescers below make them pay
+the batch price instead.
+
+:class:`IngestCoalescer` keeps a preallocated **columnar staging buffer**
+(``uint64`` source/target keys, ``float64`` weights, optionally
+``float64`` timestamps -- labels are FNV-hashed at request-parse time, so
+staging is pure array writes).  Each request appends its columns and
+receives an :class:`asyncio.Future`; the whole buffer is flushed through
+ONE batch call when it reaches ``max_batch`` elements or when the oldest
+staged request has waited ``max_delay`` seconds, whichever comes first.
+Every staged future resolves from that single call.
+
+:class:`QueryCoalescer` does the same for reads: requests are grouped by
+query family and each family is answered with one batched engine call
+(``edge_weights`` / ``reachable_many`` / ``flows`` / ...) per flush, with
+per-request slices handed back through futures.  A query flush first
+drains the tenant's ingest coalescer so a client always reads its own
+acknowledged writes.
+
+Both run entirely on the event-loop thread: ``add`` must be called from a
+running loop, flushes are synchronous (the kernel call briefly occupies
+the loop -- bounded by ``max_batch``), and no locks are needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.instruments import OBS
+
+#: Flush when the staging buffer holds this many elements ...
+DEFAULT_MAX_BATCH = 4096
+#: ... or when the oldest staged request has waited this long (seconds).
+DEFAULT_MAX_DELAY = 0.002
+
+
+class IngestCoalescer:
+    """Stage per-request ingest columns; flush them as one kernel call.
+
+    :param apply_batch: ``(source_keys, target_keys, weights, timestamps)``
+        -- absorbs one staged batch (timestamps is ``None`` unless
+        ``with_timestamps``).  Called synchronously on the loop thread.
+    :param apply_scalar: same signature, used for every request when
+        ``batching=False`` -- the honest per-request baseline the batched
+        path is benchmarked against (scalar ``update`` loops).
+    :param with_timestamps: stage a timestamp column (window tenants).
+    :param batching: when ``False``, ``add`` applies immediately via
+        ``apply_scalar`` and never stages.
+    """
+
+    def __init__(self, apply_batch: Callable, *,
+                 apply_scalar: Optional[Callable] = None,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay: float = DEFAULT_MAX_DELAY,
+                 with_timestamps: bool = False,
+                 batching: bool = True,
+                 kind: str = "ingest"):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be positive, got {max_delay}")
+        self.apply_batch = apply_batch
+        self.apply_scalar = apply_scalar
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.with_timestamps = with_timestamps
+        self.batching = batching
+        self.kind = kind
+        self._cap = max_batch
+        self._src = np.empty(self._cap, dtype=np.uint64)
+        self._dst = np.empty(self._cap, dtype=np.uint64)
+        self._wts = np.empty(self._cap, dtype=np.float64)
+        self._ts = (np.empty(self._cap, dtype=np.float64)
+                    if with_timestamps else None)
+        self._n = 0
+        self._futures: List[Tuple[asyncio.Future, int]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._first_staged: Optional[float] = None
+        self.flushes = 0
+        self.staged_elements = 0
+
+    def __len__(self) -> int:
+        """Elements currently staged."""
+        return self._n
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._futures)
+
+    def _grow(self, needed: int) -> None:
+        cap = self._cap
+        while cap < needed:
+            cap *= 2
+        for name in ("_src", "_dst", "_wts", "_ts"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            fresh = np.empty(cap, dtype=old.dtype)
+            fresh[:self._n] = old[:self._n]
+            setattr(self, name, fresh)
+        self._cap = cap
+
+    def add(self, source_keys: np.ndarray, target_keys: np.ndarray,
+            weights: np.ndarray,
+            timestamps: Optional[np.ndarray] = None) -> asyncio.Future:
+        """Stage one request's columns; returns a future of its count.
+
+        The future resolves when the batch containing this request is
+        flushed (or immediately in unbatched mode), or raises whatever
+        the batch application raised.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        k = len(source_keys)
+        if not self.batching:
+            apply = self.apply_scalar or self.apply_batch
+            try:
+                apply(source_keys, target_keys, weights, timestamps)
+            except Exception as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(k)
+            return future
+        if k == 0:
+            future.set_result(0)
+            return future
+        n = self._n
+        if n + k > self._cap:
+            self._grow(n + k)
+        self._src[n:n + k] = source_keys
+        self._dst[n:n + k] = target_keys
+        self._wts[n:n + k] = weights
+        if self._ts is not None:
+            if timestamps is None:
+                raise ValueError(
+                    "this coalescer stages timestamps; pass a column")
+            self._ts[n:n + k] = timestamps
+        self._n = n + k
+        self._futures.append((future, k))
+        if self._first_staged is None:
+            self._first_staged = time.perf_counter()
+        if self._n >= self.max_batch:
+            self.flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_delay, self._on_deadline)
+        return future
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        self.flush("deadline")
+
+    def flush(self, reason: str = "explicit") -> int:
+        """Apply everything staged with one batch call; resolve futures.
+
+        Returns the number of elements flushed (0 when nothing staged).
+        Safe to call any time from the loop thread -- the query
+        coalescer calls it as its read-your-writes barrier and shutdown
+        calls it to drain.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        n, futures = self._n, self._futures
+        if n == 0:
+            return 0
+        waited = (time.perf_counter() - self._first_staged
+                  if self._first_staged is not None else 0.0)
+        self._n = 0
+        self._futures = []
+        self._first_staged = None
+        try:
+            self.apply_batch(
+                self._src[:n], self._dst[:n], self._wts[:n],
+                self._ts[:n] if self._ts is not None else None)
+        except Exception as exc:
+            for future, _ in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return n
+        finally:
+            self.flushes += 1
+            self.staged_elements += n
+            if OBS.enabled:
+                OBS.server_batch_flushes.labels(self.kind, reason).inc()
+                OBS.server_batch_elements.labels(self.kind).observe(n)
+                OBS.server_batch_wait_seconds.observe(waited)
+                if len(futures) > 1:
+                    OBS.server_coalesced_requests.labels(self.kind).inc(
+                        len(futures))
+        for future, count in futures:
+            if not future.done():
+                future.set_result(count)
+        return n
+
+
+#: Query families and whether their payload items are pairs or nodes.
+QUERY_KINDS: Dict[str, str] = {
+    "edge": "pairs",
+    "reach": "pairs",
+    "outflow": "nodes",
+    "inflow": "nodes",
+    "flow": "nodes",
+    "total": "none",
+}
+
+
+class QueryCoalescer:
+    """Group concurrent read requests into one engine call per family.
+
+    :param runner: ``(kind, payload_list) -> sequence`` -- answers one
+        family's concatenated payload with a single batched call
+        (``edge_weights`` for ``edge``, ``reachable_many`` for
+        ``reach``, ...).  For ``total`` the payload is ignored and the
+        scalar result is shared by every staged request.
+    :param before_flush: called once per flush before any family runs --
+        the registry wires the tenant's ingest-coalescer flush here, so
+        a query never overtakes writes acknowledged before it.
+    """
+
+    def __init__(self, runner: Callable[[str, list], Any], *,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay: float = DEFAULT_MAX_DELAY,
+                 batching: bool = True,
+                 before_flush: Optional[Callable[[], Any]] = None,
+                 kind: str = "query"):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be positive, got {max_delay}")
+        self.runner = runner
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.batching = batching
+        self.before_flush = before_flush
+        self.kind = kind
+        # kind -> (payload items, [(future, start, stop)])
+        self._groups: Dict[str, Tuple[list, list]] = {}
+        self._items = 0
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._first_staged: Optional[float] = None
+        self.flushes = 0
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(len(futs) for _, futs in self._groups.values())
+
+    def __len__(self) -> int:
+        return self._items
+
+    def add(self, kind: str, payload: Sequence) -> asyncio.Future:
+        """Stage one request's queries; future of the result list.
+
+        ``payload`` is a list of (pre-hashed) pairs or nodes per
+        :data:`QUERY_KINDS`; for ``total`` it is ignored.  The future
+        resolves to a plain Python list (JSON-ready).
+        """
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r} "
+                             f"(expected one of {sorted(QUERY_KINDS)})")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if not self.batching:
+            if self.before_flush is not None:
+                self.before_flush()
+            try:
+                future.set_result(self._answer(kind, list(payload)))
+            except Exception as exc:
+                future.set_exception(exc)
+            return future
+        items, futures = self._groups.setdefault(kind, ([], []))
+        start = len(items)
+        items.extend(payload)
+        futures.append((future, start, len(items)))
+        self._items += max(len(items) - start, 1)
+        if self._first_staged is None:
+            self._first_staged = time.perf_counter()
+        if self._items >= self.max_batch:
+            self.flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_delay, self._on_deadline)
+        return future
+
+    def _answer(self, kind: str, items: list) -> list:
+        result = self.runner(kind, items)
+        if kind == "total":
+            return [float(result)]
+        if isinstance(result, np.ndarray):
+            return result.tolist()
+        return list(result)
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        self.flush("deadline")
+
+    def flush(self, reason: str = "explicit") -> int:
+        """Answer every staged family with one batched call each."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        groups = self._groups
+        items = self._items
+        if not groups:
+            return 0
+        waited = (time.perf_counter() - self._first_staged
+                  if self._first_staged is not None else 0.0)
+        self._groups = {}
+        self._items = 0
+        self._first_staged = None
+        if self.before_flush is not None:
+            self.before_flush()
+        coalesced = 0
+        for kind, (payload, futures) in groups.items():
+            try:
+                answers = self._answer(kind, payload)
+            except Exception as exc:
+                for future, _, _ in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            if len(futures) > 1:
+                coalesced += len(futures)
+            for future, start, stop in futures:
+                if future.done():
+                    continue
+                if kind == "total":
+                    future.set_result(answers)
+                else:
+                    future.set_result(answers[start:stop])
+        self.flushes += 1
+        if OBS.enabled:
+            OBS.server_batch_flushes.labels(self.kind, reason).inc()
+            OBS.server_batch_elements.labels(self.kind).observe(items)
+            OBS.server_batch_wait_seconds.observe(waited)
+            if coalesced:
+                OBS.server_coalesced_requests.labels(self.kind).inc(
+                    coalesced)
+        return items

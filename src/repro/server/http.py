@@ -1,0 +1,360 @@
+"""The stdlib-only asyncio HTTP/JSON front end (``tcm serve``).
+
+One event loop, hand-rolled HTTP/1.1 with keep-alive, JSON bodies.  The
+handler's job is deliberately thin: parse, **pre-hash labels to uint64
+keys**, hand the columns to the tenant's coalescer, await the shared
+batch's future, serialize.  All sketch work happens in the coalescer
+flushes (see :mod:`repro.server.coalescer`).
+
+Endpoints (docs/SERVER.md, docs/API.md):
+
+- ``GET /healthz`` -- liveness.
+- ``GET /metrics`` -- Prometheus text exposition of the process registry.
+- ``GET /stats`` -- JSON: per-endpoint latency quantiles (via
+  :func:`repro.obs.runtime.latency_quantiles`) plus per-sketch info.
+- ``GET /sketches`` | ``PUT/GET/DELETE /sketches/{name}`` -- registry.
+- ``POST /sketches/{name}/ingest`` -- ``{sources, targets, weights?,
+  timestamps?}``; acknowledged when its micro-batch lands.
+- ``POST /sketches/{name}/remove`` -- deletions (kind="tcm").
+- ``POST /sketches/{name}/query`` -- ``{kind, pairs|nodes}``; coalesced
+  per query family.
+- ``POST /sketches/{name}/advance`` -- ``{timestamp}`` (kind="window").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hashing.labels import label_key, label_keys
+from repro.obs.instruments import OBS, REGISTRY
+from repro.server.coalescer import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY,
+    QUERY_KINDS,
+)
+from repro.server.registry import SketchRegistry
+
+_MAX_BODY = 64 * 1024 * 1024
+_STATUS_TEXT = {200: "OK", 201: "Created", 204: "No Content",
+                400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 409: "Conflict",
+                413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _parse_labels(body: Dict, field: str) -> np.ndarray:
+    values = body.get(field)
+    if not isinstance(values, list):
+        raise _HTTPError(400, f"'{field}' must be a list")
+    try:
+        return label_keys(values)
+    except TypeError as exc:
+        raise _HTTPError(400, f"bad label in '{field}': {exc}")
+
+
+def _parse_floats(body: Dict, field: str, n: int,
+                  default: Optional[float]) -> Optional[np.ndarray]:
+    values = body.get(field)
+    if values is None:
+        if default is None:
+            return None
+        return np.full(n, default)
+    if not isinstance(values, list) or len(values) != n:
+        raise _HTTPError(
+            400, f"'{field}' must be a list of {n} numbers")
+    try:
+        return np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise _HTTPError(400, f"'{field}' must be numeric")
+
+
+class SketchServer:
+    """The asyncio service; owns a registry and a listening socket."""
+
+    def __init__(self, registry: Optional[SketchRegistry] = None, *,
+                 host: str = "127.0.0.1", port: int = 8765,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay: float = DEFAULT_MAX_DELAY,
+                 batching: bool = True):
+        self.registry = registry if registry is not None else SketchRegistry(
+            max_batch=max_batch, max_delay=max_delay, batching=batching)
+        self.host = host
+        self.port = port
+        self.batching = self.registry.batching
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Drain every coalescer, then close the listening socket."""
+        self.registry.drain_all()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection loop ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        if OBS.enabled:
+            OBS.server_open_connections.inc()
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                started = time.perf_counter()
+                try:
+                    method, path, version = \
+                        request_line.decode("latin-1").split()
+                except ValueError:
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or "0")
+                if length > _MAX_BODY:
+                    self._write_response(
+                        writer, 413, {"error": "body too large"})
+                    await writer.drain()
+                    break
+                raw = await reader.readexactly(length) if length else b""
+                endpoint = self._endpoint_family(method, path)
+                try:
+                    status, payload, content_type = \
+                        await self._dispatch(method, path, raw)
+                except _HTTPError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                    content_type = "application/json"
+                except (KeyError, LookupError) as exc:
+                    status, payload = 404, {"error": str(exc)}
+                    content_type = "application/json"
+                except ValueError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                    content_type = "application/json"
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 -- the 500 boundary
+                    status = 500
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                    content_type = "application/json"
+                keep_alive = (version == "HTTP/1.1"
+                              and headers.get("connection", "").lower()
+                              != "close")
+                self._write_response(writer, status, payload, content_type,
+                                     keep_alive=keep_alive)
+                await writer.drain()
+                if OBS.enabled:
+                    OBS.server_requests.labels(endpoint, str(status)).inc()
+                    OBS.server_request_seconds.labels(endpoint).observe(
+                        time.perf_counter() - started)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            if OBS.enabled:
+                OBS.server_open_connections.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # Teardown-time cancellation (loop shutdown) must not
+                # escape the finally -- the connection is gone either way.
+                pass
+
+    @staticmethod
+    def _endpoint_family(method: str, path: str) -> str:
+        parts = [p for p in path.split("?")[0].split("/") if p]
+        if not parts:
+            return "root"
+        if parts[0] in ("healthz", "metrics", "stats"):
+            return parts[0]
+        if parts[0] == "sketches":
+            if len(parts) == 3:
+                return parts[2]
+            return f"sketches:{method.lower()}"
+        return "other"
+
+    @staticmethod
+    def _write_response(writer: asyncio.StreamWriter, status: int,
+                        payload: Any,
+                        content_type: str = "application/json", *,
+                        keep_alive: bool = True) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        raw: bytes) -> Tuple[int, Any, str]:
+        path = path.split("?")[0]
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok",
+                         "batching": self.batching,
+                         "sketches": len(self.registry)}, "application/json"
+        if path == "/metrics" and method == "GET":
+            from repro.obs.export import render_prometheus
+            return 200, render_prometheus(REGISTRY), \
+                "text/plain; version=0.0.4"
+        if path == "/stats" and method == "GET":
+            from repro.obs.runtime import latency_quantiles
+            return 200, {"latency": latency_quantiles(REGISTRY),
+                         "sketches": self.registry.infos()}, \
+                "application/json"
+        if parts and parts[0] == "sketches":
+            if len(parts) == 1:
+                if method != "GET":
+                    raise _HTTPError(405, "use GET /sketches")
+                return 200, {"sketches": self.registry.names()}, \
+                    "application/json"
+            name = parts[1]
+            if len(parts) == 2:
+                return await self._sketch_resource(method, name, raw)
+            if len(parts) == 3 and method == "POST":
+                return await self._sketch_action(name, parts[2], raw)
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    def _json_body(self, raw: bytes) -> Dict:
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"bad JSON body: {exc}")
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+        return body
+
+    async def _sketch_resource(self, method: str, name: str,
+                               raw: bytes) -> Tuple[int, Any, str]:
+        if method == "PUT":
+            body = self._json_body(raw)
+            kind = body.pop("kind", "tcm")
+            if name in self.registry:
+                raise _HTTPError(409, f"sketch {name!r} already exists")
+            tenant = self.registry.create(name, kind, **body)
+            return 201, tenant.info(), "application/json"
+        if method == "GET":
+            return 200, self.registry.get(name).info(), "application/json"
+        if method == "DELETE":
+            self.registry.delete(name)
+            return 200, {"deleted": name}, "application/json"
+        raise _HTTPError(405, f"unsupported method {method} for a sketch")
+
+    async def _sketch_action(self, name: str, action: str,
+                             raw: bytes) -> Tuple[int, Any, str]:
+        tenant = self.registry.get(name)
+        body = self._json_body(raw)
+        if action == "ingest":
+            sources = _parse_labels(body, "sources")
+            targets = _parse_labels(body, "targets")
+            n = len(sources)
+            if len(targets) != n:
+                raise _HTTPError(
+                    400, f"got {n} sources but {len(targets)} targets")
+            weights = _parse_floats(body, "weights", n, 1.0)
+            timestamps = None
+            if tenant.kind == "window":
+                watermark = tenant.sketch.watermark
+                default_ts = watermark if np.isfinite(watermark) else 0.0
+                timestamps = _parse_floats(body, "timestamps", n,
+                                           default_ts)
+            ingested = await tenant.ingest.add(sources, targets, weights,
+                                               timestamps)
+            return 200, {"ingested": ingested,
+                         "batched": tenant.ingest.batching}, \
+                "application/json"
+        if action == "remove":
+            sources = _parse_labels(body, "sources")
+            targets = _parse_labels(body, "targets")
+            n = len(sources)
+            if len(targets) != n:
+                raise _HTTPError(
+                    400, f"got {n} sources but {len(targets)} targets")
+            weights = _parse_floats(body, "weights", n, 1.0)
+            removed = tenant.remove(sources, targets, weights)
+            return 200, {"removed": int(removed)}, "application/json"
+        if action == "query":
+            kind = body.get("kind")
+            if kind not in QUERY_KINDS:
+                raise _HTTPError(
+                    400, f"query 'kind' must be one of "
+                         f"{sorted(QUERY_KINDS)}, got {kind!r}")
+            shape = QUERY_KINDS[kind]
+            if shape == "pairs":
+                pairs = body.get("pairs")
+                if (not isinstance(pairs, list)
+                        or any(not isinstance(p, list) or len(p) != 2
+                               for p in pairs)):
+                    raise _HTTPError(
+                        400, f"{kind} queries need 'pairs': [[src, dst]]")
+                try:
+                    payload = [(label_key(s), label_key(t))
+                               for s, t in pairs]
+                except TypeError as exc:
+                    raise _HTTPError(400, f"bad label in 'pairs': {exc}")
+            elif shape == "nodes":
+                nodes = body.get("nodes")
+                if not isinstance(nodes, list):
+                    raise _HTTPError(
+                        400, f"{kind} queries need 'nodes': [node, ...]")
+                try:
+                    payload = [label_key(node) for node in nodes]
+                except TypeError as exc:
+                    raise _HTTPError(400, f"bad label in 'nodes': {exc}")
+            else:
+                payload = []
+            values = await tenant.queries.add(kind, payload)
+            if kind == "reach":
+                values = [bool(v) for v in values]
+            return 200, {"kind": kind, "values": values}, "application/json"
+        if action == "advance":
+            timestamp = body.get("timestamp")
+            if not isinstance(timestamp, (int, float)):
+                raise _HTTPError(400, "advance needs a numeric 'timestamp'")
+            return 200, tenant.advance(float(timestamp)), "application/json"
+        raise _HTTPError(404, f"unknown action {action!r} (expected "
+                              f"ingest, remove, query or advance)")

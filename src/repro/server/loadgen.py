@@ -1,0 +1,178 @@
+"""Closed-loop load generator for the sketch service (``tcm loadgen``).
+
+Drives N persistent keep-alive connections against a running
+:class:`~repro.server.http.SketchServer`, each sending its share of
+pre-generated JSON requests back-to-back (closed loop: a connection's
+next request leaves when its previous response arrives).  Concurrency
+across connections is what exercises the server's coalescers -- with one
+connection every micro-batch holds one request; with 16, batches fill.
+
+All request bodies are generated and JSON-encoded **before** the clock
+starts, so measured time is wire + server work only.  Latency is
+recorded per request; the summary reports client-side p50/p99 (exact,
+``np.percentile``) and, when asked, the server's own
+``/stats`` view (histogram-bucket quantiles via
+:func:`repro.obs.runtime.latency_quantiles`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+_DEFAULT_SKETCH = {"kind": "tcm", "d": 4, "width": 256, "seed": 7}
+
+
+async def _request(reader: asyncio.StreamReader,
+                   writer: asyncio.StreamWriter, method: str, path: str,
+                   body: bytes = b"", host: str = "localhost") -> Tuple[int, bytes]:
+    """One HTTP/1.1 request over an already-open keep-alive connection."""
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n")
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload
+
+
+def _make_requests(n_requests: int, elements: int, n_nodes: int,
+                   query_ratio: float, sketch: str,
+                   seed: int) -> List[Tuple[str, str, bytes]]:
+    """Pre-encode the request mix: (kind, path, body) per request."""
+    rng = np.random.default_rng(seed)
+    ingest_path = f"/sketches/{sketch}/ingest"
+    query_path = f"/sketches/{sketch}/query"
+    out: List[Tuple[str, str, bytes]] = []
+    for _ in range(n_requests):
+        if rng.random() < query_ratio:
+            pairs = rng.integers(0, n_nodes,
+                                 size=(max(1, elements // 8), 2))
+            body = json.dumps({"kind": "edge",
+                               "pairs": pairs.tolist()}).encode()
+            out.append(("query", query_path, body))
+        else:
+            src = rng.integers(0, n_nodes, size=elements)
+            dst = rng.integers(0, n_nodes, size=elements)
+            body = json.dumps({"sources": src.tolist(),
+                               "targets": dst.tolist()}).encode()
+            out.append(("ingest", ingest_path, body))
+    return out
+
+
+async def run_loadgen(host: str, port: int, *,
+                      sketch: str = "loadgen",
+                      connections: int = 16,
+                      requests: int = 512,
+                      elements: int = 256,
+                      n_nodes: int = 4096,
+                      query_ratio: float = 0.0,
+                      seed: int = 7,
+                      create: bool = True,
+                      sketch_config: Optional[Dict[str, Any]] = None,
+                      fetch_server_stats: bool = True,
+                      cleanup: bool = False) -> Dict[str, Any]:
+    """Drive the mix and return the throughput/latency summary."""
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    workload = _make_requests(requests, elements, n_nodes, query_ratio,
+                              sketch, seed)
+
+    admin_reader, admin_writer = await asyncio.open_connection(host, port)
+    try:
+        if create:
+            config = dict(_DEFAULT_SKETCH, **(sketch_config or {}))
+            status, payload = await _request(
+                admin_reader, admin_writer, "PUT", f"/sketches/{sketch}",
+                json.dumps(config).encode(), host=host)
+            if status not in (201, 409):
+                raise RuntimeError(
+                    f"creating sketch {sketch!r} failed: "
+                    f"{status} {payload.decode(errors='replace')}")
+
+        latencies_ms: List[float] = []
+        errors = 0
+        ingested = 0
+
+        async def worker(worker_requests) -> None:
+            nonlocal errors, ingested
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for kind, path, body in worker_requests:
+                    started = time.perf_counter()
+                    status, payload = await _request(
+                        reader, writer, "POST", path, body, host=host)
+                    latencies_ms.append(
+                        (time.perf_counter() - started) * 1e3)
+                    if status != 200:
+                        errors += 1
+                    elif kind == "ingest":
+                        ingested += json.loads(payload)["ingested"]
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+        shards = [workload[i::connections] for i in range(connections)]
+        started = time.perf_counter()
+        await asyncio.gather(*(worker(shard) for shard in shards if shard))
+        elapsed = time.perf_counter() - started
+
+        lat = np.asarray(latencies_ms)
+        summary: Dict[str, Any] = {
+            "connections": connections,
+            "requests": requests,
+            "elements_per_request": elements,
+            "query_ratio": query_ratio,
+            "seconds": round(elapsed, 4),
+            "req_per_s": round(requests / elapsed, 1),
+            "elements_per_s": round(ingested / elapsed, 1),
+            "ingested_elements": int(ingested),
+            "errors": int(errors),
+            "latency_ms": {
+                "p50": round(float(np.percentile(lat, 50)), 3),
+                "p99": round(float(np.percentile(lat, 99)), 3),
+                "mean": round(float(lat.mean()), 3),
+                "max": round(float(lat.max()), 3),
+            },
+        }
+        if fetch_server_stats:
+            status, payload = await _request(
+                admin_reader, admin_writer, "GET", "/stats", host=host)
+            if status == 200:
+                stats = json.loads(payload)
+                summary["server_latency"] = {
+                    key: value
+                    for key, value in stats.get("latency", {}).items()
+                    if key.startswith("server_")}
+        if cleanup:
+            await _request(admin_reader, admin_writer, "DELETE",
+                           f"/sketches/{sketch}", host=host)
+        return summary
+    finally:
+        admin_writer.close()
+        try:
+            await admin_writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,229 @@
+"""The named-sketch registry: per-tenant summaries plus their coalescers.
+
+Each tenant is one named summary -- a plain :class:`~repro.core.tcm.TCM`
+(``kind="tcm"``) or a :class:`~repro.streams.rotating.RotatingWindowTCM`
+(``kind="window"``) -- paired with its own
+:class:`~repro.server.coalescer.IngestCoalescer` and
+:class:`~repro.server.coalescer.QueryCoalescer`.  Coalescing is per
+tenant: requests against the same sketch share batches (that is where
+the win is), requests against different sketches never block each other
+on a shared buffer.
+
+The registry is the server's only mutable state; it is event-loop-owned
+and needs no locks (the sketches themselves are additionally
+thread-safe where it matters -- see ``RotatingWindowTCM``'s lock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.obs.instruments import OBS
+from repro.server.coalescer import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY,
+    IngestCoalescer,
+    QueryCoalescer,
+)
+
+#: Constructor keys a tenant config may set, per kind.
+_TCM_KEYS = frozenset({"d", "width", "seed", "directed", "aggregation",
+                       "sparse"})
+_WINDOW_KEYS = _TCM_KEYS | {"horizon", "buckets"}
+
+
+def _parse_config(kind: str, config: Dict[str, Any]) -> Dict[str, Any]:
+    if config.get("keep_labels"):
+        raise ValueError(
+            "keep_labels sketches are not servable: the extended sketch "
+            "has no columnar fast path for the coalescer to ride")
+    allowed = _WINDOW_KEYS if kind == "window" else _TCM_KEYS
+    unknown = set(config) - allowed - {"keep_labels"}
+    if unknown:
+        raise ValueError(f"unknown sketch config keys: {sorted(unknown)}")
+    parsed = dict(config)
+    parsed.pop("keep_labels", None)
+    if isinstance(parsed.get("aggregation"), str):
+        try:
+            parsed["aggregation"] = Aggregation(parsed["aggregation"])
+        except ValueError:
+            raise ValueError(
+                f"unknown aggregation {parsed['aggregation']!r} (expected "
+                f"one of {[a.value for a in Aggregation]})")
+    if kind == "window" and "horizon" not in parsed:
+        raise ValueError("window sketches need a 'horizon'")
+    return parsed
+
+
+class TenantSketch:
+    """One named summary and its micro-batching state."""
+
+    def __init__(self, name: str, kind: str, config: Dict[str, Any], *,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay: float = DEFAULT_MAX_DELAY,
+                 batching: bool = True):
+        if kind not in ("tcm", "window"):
+            raise ValueError(
+                f"unknown sketch kind {kind!r} (expected 'tcm' or 'window')")
+        self.name = name
+        self.kind = kind
+        self.config = _parse_config(kind, config)
+        if kind == "window":
+            from repro.streams.rotating import RotatingWindowTCM
+            self.sketch = RotatingWindowTCM(**self.config)
+            apply_batch = self._apply_window_batch
+            apply_scalar = self._apply_window_scalar
+        else:
+            from repro.core.tcm import TCM
+            self.sketch = TCM(**self.config)
+            apply_batch = self._apply_tcm_batch
+            apply_scalar = self._apply_tcm_scalar
+        self.ingest = IngestCoalescer(
+            apply_batch, apply_scalar=apply_scalar,
+            max_batch=max_batch, max_delay=max_delay,
+            with_timestamps=(kind == "window"), batching=batching,
+            kind="ingest")
+        self.queries = QueryCoalescer(
+            self._run_queries, max_batch=max_batch, max_delay=max_delay,
+            batching=batching, before_flush=self.ingest.flush,
+            kind="query")
+
+    # -- ingest applications (batch rides the kernels, scalar does not) ----
+
+    def _apply_tcm_batch(self, src, dst, weights, _ts) -> None:
+        self.sketch.ingest_keys(src, dst, weights)
+
+    def _apply_tcm_scalar(self, src, dst, weights, _ts) -> None:
+        update = self.sketch.update
+        for s, t, w in zip(src.tolist(), dst.tolist(), weights.tolist()):
+            update(s, t, w)
+
+    def _apply_window_batch(self, src, dst, weights, ts) -> None:
+        self.sketch.observe_columns(src, dst, weights, ts)
+
+    def _apply_window_scalar(self, src, dst, weights, ts) -> None:
+        observe = self.sketch.observe
+        for s, t, w, when in zip(src.tolist(), dst.tolist(),
+                                 weights.tolist(), ts.tolist()):
+            # Same late policy as observe_columns: clamp, don't reject.
+            observe(s, t, w, max(when, self.sketch.watermark))
+
+    # -- the batched query runner ------------------------------------------
+
+    def _run_queries(self, kind: str, payload: list):
+        sketch = self.sketch
+        if kind == "edge":
+            return sketch.edge_weights(payload)
+        if kind == "reach":
+            return sketch.reachable_many(payload)
+        if kind == "outflow":
+            return sketch.out_flows(payload)
+        if kind == "inflow":
+            return sketch.in_flows(payload)
+        if kind == "flow":
+            return sketch.flows(payload)
+        if kind == "total":
+            return sketch.total_weight_estimate()
+        raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover
+
+    # -- maintenance -------------------------------------------------------
+
+    def remove(self, sources, targets, weights) -> int:
+        """Apply deletions after draining staged inserts (order matters)."""
+        if self.kind != "tcm":
+            raise ValueError(
+                "window sketches expire by rotation; deletions are only "
+                "supported on kind='tcm'")
+        self.ingest.flush("barrier")
+        return self.sketch.remove_many(sources, targets, weights)
+
+    def advance(self, timestamp: float) -> Dict[str, float]:
+        """Move a window tenant's watermark after draining staged inserts."""
+        if self.kind != "window":
+            raise ValueError("advance is only supported on kind='window'")
+        self.ingest.flush("barrier")
+        self.sketch.advance_to(timestamp)
+        return {"watermark": self.sketch.watermark}
+
+    def drain(self) -> None:
+        """Flush both coalescers (shutdown / deletion barrier)."""
+        self.ingest.flush("shutdown")
+        self.queries.flush("shutdown")
+
+    def info(self) -> Dict[str, Any]:
+        config = {k: (v.value if isinstance(v, Aggregation) else v)
+                  for k, v in self.config.items()}
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "config": config,
+            "memory_bytes": int(self.sketch.memory_bytes()),
+            "total_weight": float(self.sketch.total_weight_estimate()),
+            "staged_elements": len(self.ingest),
+            "ingest_flushes": self.ingest.flushes,
+            "ingested_elements": self.ingest.staged_elements,
+        }
+        if self.kind == "window":
+            watermark = self.sketch.watermark
+            out["watermark"] = watermark if np.isfinite(watermark) else None
+        return out
+
+
+class SketchRegistry:
+    """Create / look up / drop named tenants; one coalescer pair each."""
+
+    def __init__(self, *, max_batch: int = DEFAULT_MAX_BATCH,
+                 max_delay: float = DEFAULT_MAX_DELAY,
+                 batching: bool = True):
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.batching = batching
+        self._tenants: Dict[str, TenantSketch] = {}
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def names(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def create(self, name: str, kind: str = "tcm",
+               **config: Any) -> TenantSketch:
+        if not name or "/" in name:
+            raise ValueError(f"invalid sketch name {name!r}")
+        if name in self._tenants:
+            raise ValueError(f"sketch {name!r} already exists")
+        tenant = TenantSketch(name, kind, config,
+                              max_batch=self.max_batch,
+                              max_delay=self.max_delay,
+                              batching=self.batching)
+        self._tenants[name] = tenant
+        if OBS.enabled:
+            OBS.server_active_sketches.set(len(self._tenants))
+        return tenant
+
+    def get(self, name: str) -> TenantSketch:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise KeyError(f"no sketch named {name!r}")
+
+    def delete(self, name: str) -> None:
+        tenant = self.get(name)
+        tenant.drain()
+        del self._tenants[name]
+        if OBS.enabled:
+            OBS.server_active_sketches.set(len(self._tenants))
+
+    def drain_all(self) -> None:
+        """Flush every tenant's staged work (server shutdown)."""
+        for tenant in self._tenants.values():
+            tenant.drain()
+
+    def infos(self) -> List[Dict[str, Any]]:
+        return [self._tenants[name].info() for name in self.names()]

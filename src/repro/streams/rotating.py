@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.aggregation import Aggregation
-from repro.hashing.labels import Label
+from repro.hashing.labels import Label, label_keys
 from repro.obs.instruments import OBS
 from repro.streams.model import StreamEdge
 from repro.streams.window import DEFAULT_WINDOW_CHUNK
@@ -90,6 +91,12 @@ class RotatingWindowTCM:
         self._merged_stale = False
         self._bucket_index: Optional[int] = None
         self._watermark = float("-inf")
+        # Maintenance (advance/observe/rotation) and the lazy merged-view
+        # rebuild are serialized so a server can advance the window from
+        # one thread while another queries: rotations clear sub-sketches
+        # in place, which must never interleave with a half-built merge.
+        # Re-entrant because observe_* advance internally.
+        self._lock = threading.RLock()
 
     # -- structure ------------------------------------------------------------
 
@@ -157,23 +164,30 @@ class RotatingWindowTCM:
             OBS.window_rotations.inc(rotations)
 
     def advance_to(self, timestamp: float) -> None:
-        """Move the watermark forward, rotating out expired buckets."""
-        if timestamp < self._watermark:
-            raise ValueError(
-                f"cannot move watermark backwards to {timestamp} "
-                f"(currently {self._watermark})")
-        self._watermark = timestamp
-        self._rotate_to(self._bucket_of(timestamp))
+        """Move the watermark forward, rotating out expired buckets.
+
+        Thread-safe: rotation (which clears expired sub-sketches in
+        place) is serialized against concurrent observes and the merged
+        view's rebuild.
+        """
+        with self._lock:
+            if timestamp < self._watermark:
+                raise ValueError(
+                    f"cannot move watermark backwards to {timestamp} "
+                    f"(currently {self._watermark})")
+            self._watermark = timestamp
+            self._rotate_to(self._bucket_of(timestamp))
 
     def observe(self, source: Label, target: Label, weight: float = 1.0,
                 timestamp: Optional[float] = None) -> None:
         """Ingest one element at ``timestamp`` (default: current watermark)."""
-        if timestamp is None:
-            timestamp = self._watermark if math.isfinite(self._watermark) \
-                else 0.0
-        self.advance_to(timestamp)
-        self.current.update(source, target, weight)
-        self._merged_stale = True
+        with self._lock:
+            if timestamp is None:
+                timestamp = self._watermark \
+                    if math.isfinite(self._watermark) else 0.0
+            self.advance_to(timestamp)
+            self.current.update(source, target, weight)
+            self._merged_stale = True
         if OBS.enabled:
             OBS.window_observed.inc()
 
@@ -190,31 +204,112 @@ class RotatingWindowTCM:
         n = len(edges)
         if n == 0:
             return 0
-        timestamps = np.fromiter((e.timestamp for e in edges),
-                                 dtype=np.float64, count=n)
-        previous = np.empty(n, dtype=np.float64)
-        previous[0] = self._watermark
-        previous[1:] = timestamps[:-1]
-        disorder = timestamps < previous
-        if disorder.any():
-            i = int(np.argmax(disorder))
-            raise ValueError(
-                f"out-of-order element at t={timestamps[i]} "
-                f"(watermark is {previous[i]})")
-        weights = np.fromiter((e.weight for e in edges),
-                              dtype=np.float64, count=n)
-        sources = [e.source for e in edges]
-        targets = [e.target for e in edges]
-        bucket_ids = np.floor(timestamps / self.span).astype(np.int64)
-        splits = np.flatnonzero(np.diff(bucket_ids)) + 1
-        for lo, hi in zip(np.concatenate(([0], splits)),
-                          np.concatenate((splits, [n]))):
-            lo, hi = int(lo), int(hi)
-            self._rotate_to(int(bucket_ids[lo]))
-            self.current.ingest_columns(sources[lo:hi], targets[lo:hi],
-                                        weights[lo:hi])
-        self._watermark = float(timestamps[-1])
-        self._merged_stale = True
+        with self._lock:
+            timestamps = np.fromiter((e.timestamp for e in edges),
+                                     dtype=np.float64, count=n)
+            previous = np.empty(n, dtype=np.float64)
+            previous[0] = self._watermark
+            previous[1:] = timestamps[:-1]
+            disorder = timestamps < previous
+            if disorder.any():
+                i = int(np.argmax(disorder))
+                raise ValueError(
+                    f"out-of-order element at t={timestamps[i]} "
+                    f"(watermark is {previous[i]})")
+            weights = np.fromiter((e.weight for e in edges),
+                                  dtype=np.float64, count=n)
+            sources = [e.source for e in edges]
+            targets = [e.target for e in edges]
+            bucket_ids = np.floor(timestamps / self.span).astype(np.int64)
+            splits = np.flatnonzero(np.diff(bucket_ids)) + 1
+            for lo, hi in zip(np.concatenate(([0], splits)),
+                              np.concatenate((splits, [n]))):
+                lo, hi = int(lo), int(hi)
+                self._rotate_to(int(bucket_ids[lo]))
+                self.current.ingest_columns(sources[lo:hi], targets[lo:hi],
+                                            weights[lo:hi])
+            self._watermark = float(timestamps[-1])
+            self._merged_stale = True
+        if OBS.enabled:
+            OBS.window_observed.inc(n)
+        return n
+
+    def observe_columns(self, sources: Sequence[Label],
+                        targets: Sequence[Label],
+                        weights: Optional[np.ndarray] = None,
+                        timestamps: Optional[np.ndarray] = None) -> int:
+        """Columnar batch ingest for service layers: labels *or* raw keys.
+
+        The rotating mirror of :meth:`~repro.core.tcm.TCM.ingest_keys`,
+        built for the :mod:`repro.server` coalescer, whose batches
+        aggregate concurrent requests and therefore cannot promise the
+        ordering :meth:`observe_many` demands.  Differences:
+
+        - accepts parallel columns -- label sequences or pre-hashed
+          ``uint64`` key arrays -- instead of :class:`StreamEdge`\\ s;
+        - **late elements are clamped, not rejected**: a timestamp below
+          the current watermark is raised to the watermark (the standard
+          late-arrival policy; each clamp counts on
+          ``window_late_clamped_total``), so one slow client can never
+          poison a shared tenant with a ``ValueError``;
+        - within-batch disorder is fixed up with one stable argsort
+          before bucket-splitting;
+        - thread-safe under the same lock as :meth:`advance_to`.
+
+        ``weights`` defaults to all-ones; ``timestamps`` defaults to the
+        current watermark (ingest without advancing time).  Returns the
+        number of elements ingested.
+        """
+        n = len(sources)
+        if len(targets) != n:
+            raise ValueError(f"got {n} sources but {len(targets)} targets")
+        if n == 0:
+            return 0
+        source_keys = label_keys(sources)
+        target_keys = label_keys(targets)
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != n:
+                raise ValueError(
+                    f"got {n} sources but {weights.shape[0]} weights")
+        with self._lock:
+            watermark = self._watermark
+            if timestamps is None:
+                base = watermark if math.isfinite(watermark) else 0.0
+                ts = np.full(n, base)
+            else:
+                ts = np.array(timestamps, dtype=np.float64)
+                if ts.shape[0] != n:
+                    raise ValueError(
+                        f"got {n} sources but {ts.shape[0]} timestamps")
+                if math.isfinite(watermark):
+                    late = ts < watermark
+                    if late.any():
+                        ts[late] = watermark
+                        if OBS.enabled:
+                            OBS.window_late_clamped.inc(int(late.sum()))
+                else:
+                    # First-ever batch: nothing to clamp against.
+                    pass
+                if n > 1 and (np.diff(ts) < 0).any():
+                    order = np.argsort(ts, kind="stable")
+                    ts = ts[order]
+                    source_keys = source_keys[order]
+                    target_keys = target_keys[order]
+                    weights = weights[order]
+            bucket_ids = np.floor(ts / self.span).astype(np.int64)
+            splits = np.flatnonzero(np.diff(bucket_ids)) + 1
+            for lo, hi in zip(np.concatenate(([0], splits)),
+                              np.concatenate((splits, [n]))):
+                lo, hi = int(lo), int(hi)
+                self._rotate_to(int(bucket_ids[lo]))
+                self.current.ingest_columns(source_keys[lo:hi],
+                                            target_keys[lo:hi],
+                                            weights[lo:hi])
+            self._watermark = max(watermark, float(ts[-1]))
+            self._merged_stale = True
         if OBS.enabled:
             OBS.window_observed.inc(n)
         return n
@@ -261,12 +356,13 @@ class RotatingWindowTCM:
         indexes exactly when the contents actually change; between
         rotations, repeated queries run entirely off the caches.
         """
-        if self._merged_stale:
-            self._merged.clear()
-            for tcm in self._ring:
-                self._merged.merge_from(tcm)
-            self._merged_stale = False
-        return self._merged
+        with self._lock:
+            if self._merged_stale:
+                self._merged.clear()
+                for tcm in self._ring:
+                    self._merged.merge_from(tcm)
+                self._merged_stale = False
+            return self._merged
 
     def edge_weight(self, source: Label, target: Label) -> float:
         return self.merged.edge_weight(source, target)

@@ -5,7 +5,8 @@ import pytest
 
 from repro.hashing.labels import (
     LABEL_CACHE_LIMIT, clear_label_cache, fnv1a_64, label_cache_info,
-    label_key, label_keys, label_to_int)
+    label_cache_limit, label_key, label_keys, label_to_int,
+    set_label_cache_limit)
 
 
 class TestFnv1a:
@@ -125,3 +126,77 @@ class TestLabelKeyCache:
 
     def test_bulk_empty(self):
         assert len(label_keys([])) == 0
+
+
+class TestBoundedCache:
+    """The LRU-style cap: a long-running server cannot leak label memory."""
+
+    def setup_method(self):
+        clear_label_cache()
+        self._default = label_cache_limit()
+
+    def teardown_method(self):
+        set_label_cache_limit(self._default)
+        clear_label_cache()
+
+    def test_size_never_exceeds_limit(self):
+        set_label_cache_limit(64)
+        for i in range(1000):
+            label_key(f"one-shot-{i}")
+            assert label_cache_info()["size"] <= 64
+
+    def test_evictions_counted(self):
+        set_label_cache_limit(32)
+        for i in range(100):
+            label_key(f"n{i}")
+        info = label_cache_info()
+        assert info["evictions"] > 0
+        assert info["size"] + info["evictions"] == info["misses"]
+
+    def test_oldest_evicted_first(self):
+        set_label_cache_limit(8)
+        for i in range(8):
+            label_key(f"old-{i}")
+        label_key("fresh")  # triggers one eviction sweep of the oldest
+        hits_before = label_cache_info()["hits"]
+        label_key("fresh")
+        assert label_cache_info()["hits"] == hits_before + 1
+
+    def test_evicted_label_rehashes_to_same_key(self):
+        set_label_cache_limit(4)
+        expected = label_key("victim")
+        for i in range(16):
+            label_key(f"filler-{i}")
+        assert label_key("victim") == expected
+        assert label_key("victim") == label_to_int("victim")
+
+    def test_bulk_path_respects_limit(self):
+        set_label_cache_limit(16)
+        keys = label_keys([f"bulk-{i}" for i in range(500)])
+        assert len(keys) == 500
+        info = label_cache_info()
+        assert info["size"] <= 16
+        assert info["evictions"] > 0
+
+    def test_shrinking_limit_evicts_immediately(self):
+        set_label_cache_limit(128)
+        for i in range(100):
+            label_key(f"s{i}")
+        assert label_cache_info()["size"] == 100
+        set_label_cache_limit(10)
+        info = label_cache_info()
+        assert info["size"] <= 10
+        assert info["limit"] == 10
+        assert info["evictions"] >= 90
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            set_label_cache_limit(0)
+
+    def test_clear_resets_evictions(self):
+        set_label_cache_limit(4)
+        for i in range(20):
+            label_key(f"c{i}")
+        assert label_cache_info()["evictions"] > 0
+        clear_label_cache()
+        assert label_cache_info()["evictions"] == 0

@@ -20,6 +20,14 @@ from tests.test_ingest_engine import assert_same_state, make_stream
 Edge = collections.namedtuple("Edge", "source target weight timestamp")
 
 
+def multi_builder(**kwargs):
+    # These tests exercise the multiprocess transports themselves, so
+    # they opt out of the honest single-core fallback (this reference
+    # box has one hardware core; see TestSingleCoreFallback).
+    kwargs.setdefault("single_core_fallback", False)
+    return ParallelTCMBuilder(**kwargs)
+
+
 def single_process(stream, **config):
     tcm = TCM(**config)
     tcm.ingest(iter(stream))
@@ -32,32 +40,32 @@ class TestParallelEquivalence:
         stream = make_stream(directed=True, n=300)
         config = dict(d=3, width=24, seed=9, aggregation=aggregation)
         reference = single_process(stream, **config)
-        built = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                   **config).build(iter(stream))
+        built = multi_builder(workers=2, chunk_size=32,
+                              **config).build(iter(stream))
         assert_same_state(reference, built)
 
     def test_undirected(self):
         stream = make_stream(directed=False, n=200)
         config = dict(d=3, width=24, seed=9, directed=False)
         reference = single_process(stream, **config)
-        built = ParallelTCMBuilder(workers=2, chunk_size=17,
-                                   **config).build(iter(stream))
+        built = multi_builder(workers=2, chunk_size=17,
+                              **config).build(iter(stream))
         assert_same_state(reference, built)
 
     def test_keep_labels(self):
         stream = make_stream(directed=True, n=200)
         config = dict(d=2, width=24, seed=9, keep_labels=True)
         reference = single_process(stream, **config)
-        built = ParallelTCMBuilder(workers=3, chunk_size=11,
-                                   **config).build(iter(stream))
+        built = multi_builder(workers=3, chunk_size=11,
+                              **config).build(iter(stream))
         assert_same_state(reference, built)
 
     def test_sparse_backend(self):
         stream = make_stream(directed=True, n=200)
         config = dict(d=2, width=24, seed=9, sparse=True)
         reference = single_process(stream, **config)
-        built = ParallelTCMBuilder(workers=2, chunk_size=25,
-                                   **config).build(iter(stream))
+        built = multi_builder(workers=2, chunk_size=25,
+                              **config).build(iter(stream))
         for sa, sb in zip(reference.sketches, built.sketches):
             np.testing.assert_array_equal(sa.matrix, sb.matrix)
 
@@ -70,13 +78,14 @@ class TestParallelEquivalence:
         assert_same_state(reference, built)
 
     def test_empty_stream(self):
-        built = ParallelTCMBuilder(workers=2, d=2, width=16,
-                                   seed=1).build(iter([]))
+        built = multi_builder(workers=2, d=2, width=16,
+                              seed=1).build(iter([]))
         assert built.total_weight_estimate() == 0.0
 
     def test_parallel_ingest_honors_stream_direction(self):
         stream = make_stream(directed=False, n=120)
         built = parallel_ingest(stream, workers=2, chunk_size=16,
+                                single_core_fallback=False,
                                 d=3, width=24, seed=9)
         assert not built.directed
         reference = TCM(d=3, width=24, seed=9, directed=False)
@@ -89,24 +98,24 @@ class TestTransportSelection:
 
     def test_dense_build_uses_shared_memory(self):
         stream = make_stream(directed=True, n=200)
-        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                     d=2, width=24, seed=9)
+        builder = multi_builder(workers=2, chunk_size=32,
+                                d=2, width=24, seed=9)
         builder.build(iter(stream))
         assert builder.last_build_info["mode"] == "shared_memory"
         assert builder.last_build_info["shm_bytes"] > 0
 
     def test_sparse_build_falls_back_to_queue(self):
         stream = make_stream(directed=True, n=120)
-        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                     d=2, width=24, seed=9, sparse=True)
+        builder = multi_builder(workers=2, chunk_size=32,
+                                d=2, width=24, seed=9, sparse=True)
         builder.build(iter(stream))
         assert builder.last_build_info["mode"] == "queue"
 
     def test_keep_labels_build_falls_back_to_queue(self):
         stream = make_stream(directed=True, n=120)
-        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                     d=2, width=24, seed=9,
-                                     keep_labels=True)
+        builder = multi_builder(workers=2, chunk_size=32,
+                                d=2, width=24, seed=9,
+                                keep_labels=True)
         builder.build(iter(stream))
         assert builder.last_build_info["mode"] == "queue"
 
@@ -120,10 +129,10 @@ class TestTransportSelection:
     def test_forced_queue_transport_matches_shared_memory(self):
         stream = make_stream(directed=True, n=200)
         config = dict(d=2, width=24, seed=9)
-        shm = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                 use_shared_memory=True, **config)
-        queued = ParallelTCMBuilder(workers=2, chunk_size=32,
-                                    use_shared_memory=False, **config)
+        shm = multi_builder(workers=2, chunk_size=32,
+                            use_shared_memory=True, **config)
+        queued = multi_builder(workers=2, chunk_size=32,
+                               use_shared_memory=False, **config)
         assert_same_state(shm.build(iter(stream)),
                           queued.build(iter(stream)))
         assert shm.last_build_info["mode"] == "shared_memory"
@@ -151,11 +160,61 @@ class TestTransportSelection:
         # weight must fail the whole build loudly, and the parent must
         # still unlink its segments (no leak -> no tracker warnings).
         edges = [Edge("a", "b", 1.0, 0.0), Edge("c", "d", -5.0, 1.0)]
-        builder = ParallelTCMBuilder(workers=2, chunk_size=1,
-                                     d=2, width=16, seed=1,
-                                     use_shared_memory=True)
+        builder = multi_builder(workers=2, chunk_size=1,
+                                d=2, width=16, seed=1,
+                                use_shared_memory=True)
         with pytest.raises(RuntimeError, match="worker"):
             builder.build(iter(edges))
+
+
+class TestSingleCoreFallback:
+    """On a one-core box a multi-worker build degrades to chunked ingest."""
+
+    def test_fallback_forced(self, monkeypatch):
+        import repro.distributed.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        stream = make_stream(directed=True, n=200)
+        config = dict(d=3, width=24, seed=9)
+        builder = ParallelTCMBuilder(workers=4, chunk_size=32, **config)
+        built = builder.build(iter(stream))
+        info = builder.last_build_info
+        assert info["mode"] == "single_fallback"
+        assert info["workers"] == 1
+        assert info["requested_workers"] == 4
+        assert "cpu_count" in info["reason"]
+        assert_same_state(single_process(stream, **config), built)
+
+    def test_fallback_emits_flight_mark(self, monkeypatch):
+        from repro.obs.flight import FLIGHT
+        import repro.distributed.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        recorded_before = FLIGHT.recorded
+        builder = ParallelTCMBuilder(workers=2, d=2, width=16, seed=1)
+        builder.build(iter(make_stream(directed=True, n=50)))
+        assert FLIGHT.recorded > recorded_before
+        marks = [e for e in FLIGHT.events()
+                 if e.kind == "mark"
+                 and e.payload.get("note") == "parallel single-core fallback"]
+        assert marks and marks[-1].payload["requested_workers"] == 2
+
+    def test_no_fallback_on_multicore(self, monkeypatch):
+        import repro.distributed.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+        stream = make_stream(directed=True, n=120)
+        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                     d=2, width=24, seed=9)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "shared_memory"
+
+    def test_opt_out_keeps_transport(self, monkeypatch):
+        import repro.distributed.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        stream = make_stream(directed=True, n=120)
+        builder = ParallelTCMBuilder(workers=2, chunk_size=32,
+                                     single_core_fallback=False,
+                                     d=2, width=24, seed=9)
+        builder.build(iter(stream))
+        assert builder.last_build_info["mode"] == "shared_memory"
 
 
 class TestParallelValidation:
@@ -178,7 +237,7 @@ class TestParallelValidation:
         # the bad weight through a bare namedtuple; the worker's
         # update_many rejects it and build() must re-raise, not hang.
         edges = [Edge("a", "b", 1.0, 0.0), Edge("c", "d", -5.0, 1.0)]
-        builder = ParallelTCMBuilder(workers=2, chunk_size=1,
-                                     d=2, width=16, seed=1)
+        builder = multi_builder(workers=2, chunk_size=1,
+                                d=2, width=16, seed=1)
         with pytest.raises(RuntimeError, match="worker"):
             builder.build(iter(edges))

@@ -1,0 +1,595 @@
+"""Tests for the micro-batching sketch service (repro.server).
+
+Three layers: the coalescers directly (flush triggers, future
+resolution, error propagation), the HTTP front end over a real loopback
+socket (routing, validation, read-your-writes), and the multi-tenant
+concurrency contract -- interleaved batched ingest + queries on several
+named sketches must be **bit-identical** to a serial replay of the same
+elements, because staged-key batch ingest applies exactly the same
+uint64 keys and float64 weights the scalar path would.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TCM
+from repro.server import (
+    IngestCoalescer,
+    QueryCoalescer,
+    SketchRegistry,
+    SketchServer,
+)
+from repro.server.loadgen import _request, run_loadgen
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def cols(pairs, weights=None):
+    src = np.asarray([p[0] for p in pairs], dtype=np.uint64)
+    dst = np.asarray([p[1] for p in pairs], dtype=np.uint64)
+    wts = (np.ones(len(pairs)) if weights is None
+           else np.asarray(weights, dtype=np.float64))
+    return src, dst, wts
+
+
+class TestIngestCoalescer:
+    def test_size_trigger_flushes_immediately(self):
+        async def scenario():
+            batches = []
+            coalescer = IngestCoalescer(
+                lambda s, t, w, ts: batches.append(len(s)),
+                max_batch=4, max_delay=60.0)
+            f1 = coalescer.add(*cols([(1, 2), (3, 4)]))
+            assert not f1.done() and len(coalescer) == 2
+            f2 = coalescer.add(*cols([(5, 6), (7, 8)]))
+            # Hitting max_batch flushes synchronously: one apply call.
+            assert batches == [4]
+            assert await f1 == 2 and await f2 == 2
+            assert len(coalescer) == 0
+
+        run_async(scenario())
+
+    def test_deadline_trigger(self):
+        async def scenario():
+            batches = []
+            coalescer = IngestCoalescer(
+                lambda s, t, w, ts: batches.append(len(s)),
+                max_batch=1024, max_delay=0.005)
+            future = coalescer.add(*cols([(1, 2)]))
+            # Nothing staged reaches max_batch; the deadline must fire.
+            assert await asyncio.wait_for(future, timeout=2.0) == 1
+            assert batches == [1]
+
+        run_async(scenario())
+
+    def test_batch_error_fails_every_staged_future(self):
+        async def scenario():
+            def explode(s, t, w, ts):
+                raise RuntimeError("bad batch")
+
+            coalescer = IngestCoalescer(explode, max_batch=2,
+                                        max_delay=60.0)
+            f1 = coalescer.add(*cols([(1, 2)]))
+            f2 = coalescer.add(*cols([(3, 4)]))
+            with pytest.raises(RuntimeError, match="bad batch"):
+                await f1
+            with pytest.raises(RuntimeError, match="bad batch"):
+                await f2
+
+        run_async(scenario())
+
+    def test_unbatched_mode_applies_scalar_immediately(self):
+        async def scenario():
+            batch_calls, scalar_calls = [], []
+            coalescer = IngestCoalescer(
+                lambda s, t, w, ts: batch_calls.append(len(s)),
+                apply_scalar=lambda s, t, w, ts: scalar_calls.append(
+                    len(s)),
+                batching=False)
+            future = coalescer.add(*cols([(1, 2), (3, 4)]))
+            assert future.done() and await future == 2
+            assert scalar_calls == [2] and batch_calls == []
+
+        run_async(scenario())
+
+    def test_staging_grows_past_max_batch(self):
+        async def scenario():
+            batches = []
+            coalescer = IngestCoalescer(
+                lambda s, t, w, ts: batches.append(len(s)),
+                max_batch=4, max_delay=60.0)
+            pairs = [(i, i + 1) for i in range(50)]
+            future = coalescer.add(*cols(pairs))
+            assert await future == 50
+            assert batches == [50]
+
+        run_async(scenario())
+
+    def test_flush_into_tcm_matches_direct_ingest(self):
+        async def scenario():
+            tcm = TCM(d=2, width=32, seed=5)
+            coalescer = IngestCoalescer(
+                lambda s, t, w, ts: tcm.ingest_keys(s, t, w),
+                max_batch=8, max_delay=60.0)
+            coalescer.add(*cols([(1, 2), (3, 4)], weights=[2.0, 5.0]))
+            coalescer.flush()
+            reference = TCM(d=2, width=32, seed=5)
+            reference.update(1, 2, 2.0)
+            reference.update(3, 4, 5.0)
+            for a, b in zip(tcm.sketches, reference.sketches):
+                np.testing.assert_array_equal(a.matrix, b.matrix)
+
+        run_async(scenario())
+
+
+class TestQueryCoalescer:
+    def test_groups_by_kind_one_runner_call_each(self):
+        async def scenario():
+            calls = []
+
+            def runner(kind, payload):
+                calls.append((kind, len(payload)))
+                if kind == "total":
+                    return 42.0
+                return np.arange(len(payload), dtype=np.float64)
+
+            coalescer = QueryCoalescer(runner, max_batch=1024,
+                                       max_delay=60.0)
+            f_edge_a = coalescer.add("edge", [(1, 2), (3, 4)])
+            f_edge_b = coalescer.add("edge", [(5, 6)])
+            f_flow = coalescer.add("flow", [7, 8, 9])
+            f_total = coalescer.add("total", [])
+            coalescer.flush()
+            assert sorted(calls) == [("edge", 3), ("flow", 3),
+                                     ("total", 0)]
+            assert await f_edge_a == [0.0, 1.0]
+            assert await f_edge_b == [2.0]
+            assert await f_flow == [0.0, 1.0, 2.0]
+            assert await f_total == [42.0]
+
+        run_async(scenario())
+
+    def test_before_flush_runs_first(self):
+        async def scenario():
+            order = []
+            coalescer = QueryCoalescer(
+                lambda kind, payload: order.append("query") or [],
+                before_flush=lambda: order.append("ingest-flush"),
+                max_batch=1024, max_delay=60.0)
+            coalescer.add("edge", [(1, 2)])
+            coalescer.flush()
+            assert order == ["ingest-flush", "query"]
+
+        run_async(scenario())
+
+    def test_unknown_kind_rejected(self):
+        async def scenario():
+            coalescer = QueryCoalescer(lambda kind, payload: [])
+            with pytest.raises(ValueError, match="unknown query kind"):
+                coalescer.add("shortest", [(1, 2)])
+
+        run_async(scenario())
+
+    def test_runner_error_fails_that_familys_futures(self):
+        async def scenario():
+            def runner(kind, payload):
+                if kind == "edge":
+                    raise RuntimeError("edge broke")
+                return np.zeros(len(payload))
+
+            coalescer = QueryCoalescer(runner, max_batch=1024,
+                                       max_delay=60.0)
+            f_edge = coalescer.add("edge", [(1, 2)])
+            f_flow = coalescer.add("flow", [3])
+            coalescer.flush()
+            with pytest.raises(RuntimeError, match="edge broke"):
+                await f_edge
+            assert await f_flow == [0.0]
+
+        run_async(scenario())
+
+
+class TestRegistry:
+    def test_create_get_delete(self):
+        registry = SketchRegistry()
+        registry.create("alpha", "tcm", d=2, width=32, seed=1)
+        assert "alpha" in registry and registry.names() == ["alpha"]
+        with pytest.raises(ValueError, match="already exists"):
+            registry.create("alpha", "tcm")
+        registry.delete("alpha")
+        assert len(registry) == 0
+        with pytest.raises(KeyError):
+            registry.get("alpha")
+
+    def test_rejects_keep_labels_and_unknown_keys(self):
+        registry = SketchRegistry()
+        with pytest.raises(ValueError, match="keep_labels"):
+            registry.create("x", "tcm", keep_labels=True)
+        with pytest.raises(ValueError, match="unknown sketch config"):
+            registry.create("x", "tcm", frobnicate=3)
+        with pytest.raises(ValueError, match="horizon"):
+            registry.create("x", "window", d=2, width=32)
+
+    def test_window_tenant_rejects_remove_tcm_rejects_advance(self):
+        async def scenario():
+            registry = SketchRegistry()
+            plain = registry.create("plain", "tcm", d=2, width=32, seed=1)
+            window = registry.create("ring", "window", horizon=100.0,
+                                     d=2, width=32, seed=1)
+            with pytest.raises(ValueError, match="advance"):
+                plain.advance(5.0)
+            with pytest.raises(ValueError, match="rotation"):
+                window.remove([1], [2], np.ones(1))
+
+        run_async(scenario())
+
+
+class _Client:
+    """Minimal keep-alive JSON client over the loadgen request helper."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def call(self, method, path, body=None):
+        raw = b"" if body is None else json.dumps(body).encode()
+        status, payload = await _request(self.reader, self.writer,
+                                         method, path, raw)
+        return status, (json.loads(payload) if payload else None)
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _with_server(scenario, **server_kwargs):
+    server_kwargs.setdefault("max_delay", 0.002)
+    server = SketchServer(port=0, **server_kwargs)
+    port = await server.start()
+    client = await _Client.open(port)
+    try:
+        return await scenario(client, server, port)
+    finally:
+        await client.close()
+        await server.stop()
+
+
+class TestServerHTTP:
+    def test_healthz_and_unknown_routes(self):
+        async def scenario(client, server, port):
+            status, body = await client.call("GET", "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            status, body = await client.call("GET", "/nope")
+            assert status == 404
+            status, body = await client.call("POST", "/sketches/x/zap")
+            assert status == 404
+
+        run_async(_with_server(scenario))
+
+    def test_sketch_lifecycle(self):
+        async def scenario(client, server, port):
+            status, body = await client.call(
+                "PUT", "/sketches/alpha",
+                {"kind": "tcm", "d": 2, "width": 32, "seed": 1})
+            assert status == 201 and body["name"] == "alpha"
+            status, _ = await client.call(
+                "PUT", "/sketches/alpha", {"kind": "tcm"})
+            assert status == 409
+            status, body = await client.call("GET", "/sketches")
+            assert status == 200 and body["sketches"] == ["alpha"]
+            status, body = await client.call("GET", "/sketches/alpha")
+            assert status == 200 and body["kind"] == "tcm"
+            status, body = await client.call("GET", "/sketches/ghost")
+            assert status == 404
+            status, body = await client.call("DELETE", "/sketches/alpha")
+            assert status == 200
+            status, body = await client.call("GET", "/sketches")
+            assert body["sketches"] == []
+
+        run_async(_with_server(scenario))
+
+    def test_bad_bodies_get_400(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 1})
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest", {"sources": "oops"})
+            assert status == 400 and "sources" in body["error"]
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest",
+                {"sources": [1], "targets": [2, 3]})
+            assert status == 400
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest",
+                {"sources": [1], "targets": [2], "weights": [1, 2]})
+            assert status == 400
+            status, body = await client.call(
+                "POST", "/sketches/a/query", {"kind": "bogus"})
+            assert status == 400
+            status, body = await client.call(
+                "POST", "/sketches/a/query", {"kind": "edge"})
+            assert status == 400
+            status, body = await client.call(
+                "PUT", "/sketches/bad", {"keep_labels": True})
+            assert status == 400 and "keep_labels" in body["error"]
+
+        run_async(_with_server(scenario))
+
+    def test_ingest_then_query_reads_own_writes(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 3, "width": 64, "seed": 2})
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest",
+                {"sources": ["u", "v", "u"], "targets": ["v", "w", "v"],
+                 "weights": [1.0, 2.0, 3.0]})
+            assert status == 200 and body["ingested"] == 3
+            assert body["batched"] is True
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "edge", "pairs": [["u", "v"], ["v", "w"],
+                                           ["x", "y"]]})
+            assert status == 200
+            reference = TCM(d=3, width=64, seed=2)
+            reference.ingest_columns(["u", "v", "u"], ["v", "w", "v"],
+                                     [1.0, 2.0, 3.0])
+            expected = reference.edge_weights(
+                [("u", "v"), ("v", "w"), ("x", "y")])
+            assert body["values"] == expected.tolist()
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "outflow", "nodes": ["u", "v"]})
+            assert body["values"] == reference.out_flows(
+                ["u", "v"]).tolist()
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "reach", "pairs": [["u", "w"], ["w", "u"]]})
+            assert body["values"] == [True, False]
+            status, body = await client.call(
+                "POST", "/sketches/a/query", {"kind": "total"})
+            assert body["values"] == [6.0]
+
+        run_async(_with_server(scenario))
+
+    def test_remove_after_staged_ingest(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 3})
+            await client.call("POST", "/sketches/a/ingest",
+                              {"sources": [1], "targets": [2],
+                               "weights": [5.0]})
+            status, body = await client.call(
+                "POST", "/sketches/a/remove",
+                {"sources": [1], "targets": [2], "weights": [2.0]})
+            assert status == 200 and body["removed"] == 1
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "edge", "pairs": [[1, 2]]})
+            assert body["values"] == [3.0]
+
+        run_async(_with_server(scenario))
+
+    def test_window_tenant_ingest_advance_expiry(self):
+        async def scenario(client, server, port):
+            await client.call(
+                "PUT", "/sketches/w",
+                {"kind": "window", "horizon": 100.0, "buckets": 4,
+                 "d": 2, "width": 32, "seed": 4})
+            status, body = await client.call(
+                "POST", "/sketches/w/ingest",
+                {"sources": ["a"], "targets": ["b"], "weights": [7.0],
+                 "timestamps": [10.0]})
+            assert status == 200 and body["ingested"] == 1
+            status, body = await client.call(
+                "POST", "/sketches/w/query",
+                {"kind": "edge", "pairs": [["a", "b"]]})
+            assert body["values"] == [7.0]
+            status, body = await client.call(
+                "POST", "/sketches/w/advance", {"timestamp": 500.0})
+            assert status == 200 and body["watermark"] == 500.0
+            status, body = await client.call(
+                "POST", "/sketches/w/query",
+                {"kind": "edge", "pairs": [["a", "b"]]})
+            assert body["values"] == [0.0]
+            status, body = await client.call(
+                "POST", "/sketches/w/remove",
+                {"sources": ["a"], "targets": ["b"]})
+            assert status == 400
+            status, body = await client.call(
+                "POST", "/sketches/w/advance", {"timestamp": "later"})
+            assert status == 400
+
+        run_async(_with_server(scenario))
+
+    def test_metrics_and_stats_endpoints(self):
+        from repro.obs import instruments
+
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 1})
+            await client.call("POST", "/sketches/a/ingest",
+                              {"sources": [1], "targets": [2]})
+            raw = b""
+            status, payload = await _request(
+                client.reader, client.writer, "GET", "/metrics", raw)
+            assert status == 200
+            text = payload.decode()
+            assert "server_requests_total" in text
+            assert "server_batch_flushes_total" in text
+            status, body = await client.call("GET", "/stats")
+            assert status == 200
+            assert any(key.startswith("server_request_seconds")
+                       for key in body["latency"])
+            assert body["sketches"][0]["name"] == "a"
+
+        instruments.enable()
+        try:
+            run_async(_with_server(scenario))
+        finally:
+            instruments.disable()
+
+    def test_unbatched_server_answers_identically(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 9})
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest",
+                {"sources": [1, 2], "targets": [3, 4],
+                 "weights": [1.0, 2.0]})
+            assert status == 200 and body["batched"] is False
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "edge", "pairs": [[1, 3], [2, 4]]})
+            assert body["values"] == [1.0, 2.0]
+
+        run_async(_with_server(scenario, batching=False))
+
+
+class TestMultiTenantConcurrency:
+    """Interleaved batched traffic == serial replay, per tenant, exactly."""
+
+    def test_interleaved_ingest_bit_identical_to_serial_replay(self):
+        rng = np.random.default_rng(11)
+        tenants = {
+            "red": [(int(s), int(t), float(w)) for s, t, w in
+                    zip(rng.integers(0, 500, 300),
+                        rng.integers(0, 500, 300),
+                        rng.integers(1, 5, 300))],
+            "blue": [(int(s), int(t), float(w)) for s, t, w in
+                     zip(rng.integers(0, 500, 300),
+                         rng.integers(0, 500, 300),
+                         rng.integers(1, 5, 300))],
+        }
+        config = {"d": 3, "width": 64, "seed": 13}
+        probes = [[int(a), int(b)] for a, b in
+                  zip(rng.integers(0, 500, 64), rng.integers(0, 500, 64))]
+
+        async def scenario(client, server, port):
+            for name in tenants:
+                await client.call("PUT", f"/sketches/{name}",
+                                  dict(config, kind="tcm"))
+
+            async def drive(name, elements):
+                # Its own connection, so requests genuinely interleave.
+                worker = await _Client.open(port)
+                try:
+                    mid_queries = 0
+                    for lo in range(0, len(elements), 25):
+                        chunk = elements[lo:lo + 25]
+                        status, body = await worker.call(
+                            "POST", f"/sketches/{name}/ingest",
+                            {"sources": [e[0] for e in chunk],
+                             "targets": [e[1] for e in chunk],
+                             "weights": [e[2] for e in chunk]})
+                        assert status == 200
+                        assert body["ingested"] == len(chunk)
+                        status, body = await worker.call(
+                            "POST", f"/sketches/{name}/query",
+                            {"kind": "edge", "pairs": probes[:8]})
+                        assert status == 200 and len(body["values"]) == 8
+                        mid_queries += 1
+                    return mid_queries
+                finally:
+                    await worker.close()
+
+            done = await asyncio.gather(
+                *(drive(name, elements)
+                  for name, elements in tenants.items()))
+            assert all(count > 0 for count in done)
+            answers = {}
+            for name in tenants:
+                status, body = await client.call(
+                    "POST", f"/sketches/{name}/query",
+                    {"kind": "edge", "pairs": probes})
+                assert status == 200
+                answers[name] = body["values"]
+            return answers
+
+        answers = run_async(_with_server(scenario))
+        for name, elements in tenants.items():
+            reference = TCM(**config)
+            for s, t, w in elements:
+                reference.update(s, t, w)
+            expected = reference.edge_weights(
+                [(a, b) for a, b in probes])
+            # Bit-identical: same keys, same float64 sums, no tolerance.
+            assert answers[name] == expected.tolist(), name
+
+    def test_epoch_cache_invalidation_across_batches(self):
+        # A coalesced query warms the engine's epoch caches; a later
+        # micro-batch must invalidate them so the next coalesced query
+        # sees the new weights, not the cached ones.
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 21})
+            await client.call("POST", "/sketches/a/ingest",
+                              {"sources": [1], "targets": [2]})
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "reach", "pairs": [[1, 3]]})
+            assert body["values"] == [False]
+            await client.call("POST", "/sketches/a/ingest",
+                              {"sources": [2], "targets": [3]})
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "reach", "pairs": [[1, 3]]})
+            assert body["values"] == [True]
+
+        run_async(_with_server(scenario))
+
+    def test_batched_and_unbatched_servers_agree(self):
+        # The coalesced path must be an optimization, not a semantic
+        # change: equal traffic against a batching and a non-batching
+        # server ends in identical sketches.
+        traffic = [([1, 2, 3], [4, 5, 6], [1.0, 2.0, 3.0]),
+                   ([1, 7], [4, 8], [5.0, 1.0])]
+        probes = [[1, 4], [2, 5], [3, 6], [7, 8]]
+
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 31})
+            for sources, targets, weights in traffic:
+                await client.call("POST", "/sketches/a/ingest",
+                                  {"sources": sources, "targets": targets,
+                                   "weights": weights})
+            status, body = await client.call(
+                "POST", "/sketches/a/query",
+                {"kind": "edge", "pairs": probes})
+            return body["values"]
+
+        batched = run_async(_with_server(scenario))
+        unbatched = run_async(_with_server(scenario, batching=False))
+        assert batched == unbatched
+
+
+class TestLoadgen:
+    def test_loadgen_against_inprocess_server(self):
+        async def scenario():
+            server = SketchServer(port=0, max_delay=0.002)
+            port = await server.start()
+            try:
+                summary = await run_loadgen(
+                    "127.0.0.1", port, connections=4, requests=40,
+                    elements=32, query_ratio=0.25, cleanup=True)
+            finally:
+                await server.stop()
+            return summary
+
+        summary = run_async(scenario())
+        assert summary["errors"] == 0
+        assert summary["ingested_elements"] > 0
+        assert summary["latency_ms"]["p50"] <= summary["latency_ms"]["p99"]
+        assert summary["req_per_s"] > 0
