@@ -4,6 +4,7 @@ PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
 	bench-query bench-window bench-soak bench-server smoke-server \
+	bench-chaos smoke-chaos \
 	examples report obs-demo obs-overhead profile-ingest clean
 
 help:
@@ -22,6 +23,8 @@ help:
 	@echo "bench-soak   minutes-long mixed soak with telemetry + drift gates"
 	@echo "bench-server re-measure micro-batched vs scalar service ingest"
 	@echo "smoke-server quick service boot/throughput/shutdown check (CI)"
+	@echo "bench-chaos  re-measure WAL overhead, crash recovery, overload shedding"
+	@echo "smoke-chaos  quick crash-recovery/fault-injection check (CI)"
 	@echo "profile-ingest  cProfile + per-stage (hashing/scatter) ingest breakdown"
 	@echo "clean        remove caches and build artifacts"
 
@@ -72,6 +75,12 @@ bench-server:
 
 smoke-server:
 	$(PYTHON) benchmarks/bench_server.py --smoke
+
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py --out BENCH_chaos.json
+
+smoke-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py --smoke
 
 profile-ingest:
 	$(PYTHON) benchmarks/profile_ingest.py

@@ -1,0 +1,671 @@
+"""Chaos harness: the durable sketch service under crashes and overload.
+
+Four phases, each against real ``tcm serve`` subprocesses:
+
+1. **wal_overhead** -- identical closed-loop ingest against a plain
+   server and a durable one (``--data-dir --fsync interval``).  The WAL
+   costs one columnar write (+ group fsync) per coalesced batch, so the
+   committed gate is durable >= 0.75x plain elements/s.
+2. **crash_recovery** -- ``--fsync always``, a deterministic acked
+   ingest sequence, then SIGKILL, a garbage tail appended to the live
+   WAL segment (the torn frame a mid-append crash leaves), and a
+   restart.  The recovered server must answer a probe workload
+   **identically** to an uncrashed in-driver reference, having
+   discarded the torn tail; recovery time is recorded.
+3. **overload** -- open-loop arrivals at 5x the measured sustainable
+   closed-loop rate.  The server must stay up, shed with 429s, and keep
+   the p99 *service* latency of the requests it accepts within 3x the
+   uncontended p99 (degradation means answering less, not answering
+   everything slowly) -- then still shut down cleanly on SIGTERM.
+4. **fault_soak** -- injected storage faults via ``REPRO_FAULT_PLAN``:
+   a deterministic ``kill -9`` mid-flush (``crash_after_records``; the
+   WAL prefix including the in-flight record must recover -- acked work
+   exactly once, in-flight work at least once), and a dying disk
+   (``fail_fsync_after``; ingest degrades to 503s, the process stays
+   up and still exits 0 on SIGTERM).
+
+Writes the committed ``BENCH_chaos.json``::
+
+    python benchmarks/bench_chaos.py --out BENCH_chaos.json
+
+``--smoke`` is the CI mode: tiny load, correctness gates only (recovery
+bit-identity is scale-independent), no performance gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import os
+import platform
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+import numpy as np  # noqa: E402
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+_RECOVERY_RE = re.compile(
+    r"recovered (\d+) tenants, (\d+) WAL records \((\d+) elements, "
+    r"(\d+) torn frames\) in ([\d.]+)s")
+
+_EXIT_KILLED = 137
+
+SKETCH_CONFIG = {"kind": "tcm", "d": 3, "width": 128, "seed": 17}
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServerProc:
+    """One ``tcm serve`` subprocess with readiness + recovery parsing."""
+
+    def __init__(self, *extra: str, data_dir: Optional[str] = None,
+                 fault_plan: Optional[Dict] = None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        if fault_plan is not None:
+            env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+        else:
+            env.pop("REPRO_FAULT_PLAN", None)
+        self.port = _free_port()
+        argv = [sys.executable, "-m", "repro", "serve", "--host",
+                "127.0.0.1", "--port", str(self.port), "--no-obs"]
+        if data_dir is not None:
+            argv += ["--data-dir", str(data_dir)]
+        argv += list(extra)
+        self.proc = subprocess.Popen(
+            argv, env=env, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        self.recovery: Optional[Dict] = None
+        self.boot_seconds: Optional[float] = None
+
+    def wait_ready(self, timeout: float = 60.0) -> "ServerProc":
+        started = time.monotonic()
+        deadline = started + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server exited during boot "
+                    f"(exit code {self.proc.poll()})")
+            if _LISTEN_RE.search(line):
+                self.boot_seconds = time.monotonic() - started
+                return self
+            match = _RECOVERY_RE.search(line)
+            if match:
+                self.recovery = {
+                    "tenants": int(match.group(1)),
+                    "records": int(match.group(2)),
+                    "elements": int(match.group(3)),
+                    "torn_frames": int(match.group(4)),
+                    "seconds": float(match.group(5)),
+                }
+        raise RuntimeError("server never reported readiness")
+
+    def read_recovery_line(self, timeout: float = 30.0) -> Dict:
+        """The durable boot prints recovery right after the listen line."""
+        if self.recovery is not None:
+            return self.recovery
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = _RECOVERY_RE.search(line)
+            if match:
+                self.recovery = {
+                    "tenants": int(match.group(1)),
+                    "records": int(match.group(2)),
+                    "elements": int(match.group(3)),
+                    "torn_frames": int(match.group(4)),
+                    "seconds": float(match.group(5)),
+                }
+                return self.recovery
+        raise RuntimeError("server never printed its recovery summary")
+
+    def alive(self) -> bool:
+        try:
+            status, _ = self.call("GET", "/healthz")
+            return status == 200
+        except OSError:
+            return False
+
+    def call(self, method: str, path: str,
+             body: Optional[Dict] = None,
+             timeout: float = 30.0) -> Tuple[int, Optional[Dict]]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            conn.request(method, path,
+                         body=None if body is None else json.dumps(body),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        return response.status, (json.loads(data) if data else None)
+
+    def kill(self) -> int:
+        self.proc.kill()
+        return self.proc.wait(timeout=30)
+
+    def shutdown(self, timeout: float = 60.0) -> bool:
+        """SIGTERM; True when the process drained and exited 0."""
+        if self.proc.poll() is not None:
+            return self.proc.returncode == 0
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=timeout)
+            return False
+        self.proc.stdout.read()
+        return self.proc.returncode == 0
+
+
+def _deterministic_batches(n_batches: int, elements: int,
+                           n_nodes: int, seed: int) \
+        -> List[Tuple[List[int], List[int], List[float]]]:
+    rng = np.random.default_rng(seed)
+    return [(rng.integers(0, n_nodes, elements).tolist(),
+             rng.integers(0, n_nodes, elements).tolist(),
+             rng.integers(1, 6, elements).astype(float).tolist())
+            for _ in range(n_batches)]
+
+
+def _probes(n_nodes: int, count: int, seed: int) -> List[List[int]]:
+    rng = np.random.default_rng(seed + 1)
+    return [[int(a), int(b)] for a, b in
+            zip(rng.integers(0, n_nodes, count),
+                rng.integers(0, n_nodes, count))]
+
+
+def _reference_answers(batches, probes) -> List[float]:
+    from repro.core.tcm import TCM
+
+    reference = TCM(d=SKETCH_CONFIG["d"], width=SKETCH_CONFIG["width"],
+                    seed=SKETCH_CONFIG["seed"])
+    for sources, targets, weights in batches:
+        reference.ingest_columns(sources, targets, weights)
+    return reference.edge_weights(
+        [(a, b) for a, b in probes]).tolist()
+
+
+def _loadgen(port: int, **kwargs) -> Dict:
+    from repro.server.loadgen import run_loadgen
+
+    return asyncio.run(run_loadgen("127.0.0.1", port, **kwargs))
+
+
+# -- phase 1: WAL overhead --------------------------------------------------
+
+def phase_wal_overhead(data_root: str, *, connections: int, requests: int,
+                       elements: int, trials: int = 3) -> Dict:
+    # Alternate plain/durable trials and keep each mode's best run so a
+    # transient stall on the shared box does not land on one mode only.
+    runs: Dict[str, List[Dict]] = {"plain": [], "durable": []}
+    for trial in range(trials):
+        for label, extra in (
+                ("plain", ()),
+                ("durable", ("--fsync", "interval"))):
+            data_dir = (os.path.join(data_root, f"overhead-{trial}")
+                        if label == "durable" else None)
+            server = ServerProc(*extra, data_dir=data_dir).wait_ready()
+            try:
+                summary = _loadgen(
+                    server.port, sketch="bench", connections=connections,
+                    requests=requests, elements=elements, n_nodes=65536,
+                    query_ratio=0.0, seed=7)
+            except BaseException:
+                server.kill()
+                raise
+            clean = server.shutdown()
+            runs[label].append({
+                "elements_per_s": summary["elements_per_s"],
+                "req_per_s": summary["req_per_s"],
+                "latency_ms": summary["latency_ms"],
+                "errors": summary["errors"],
+                "shutdown_clean": clean,
+            })
+
+    def best(label: str) -> Dict:
+        clean_runs = [r for r in runs[label]
+                      if not r["errors"] and r["shutdown_clean"]]
+        pool = clean_runs or runs[label]
+        return max(pool, key=lambda r: r["elements_per_s"])
+
+    results = {"plain": best("plain"), "durable": best("durable")}
+    ratio = (results["durable"]["elements_per_s"]
+             / max(results["plain"]["elements_per_s"], 1e-9))
+    return {"fsync": "interval", "trials": trials,
+            "plain": results["plain"], "durable": results["durable"],
+            "ratio": round(ratio, 3)}
+
+
+# -- phase 2: SIGKILL + torn tail + recovery --------------------------------
+
+def phase_crash_recovery(data_root: str, *, batches: int,
+                         elements: int) -> Dict:
+    data_dir = os.path.join(data_root, "crash")
+    workload = _deterministic_batches(batches, elements, 4096, seed=23)
+    probes = _probes(4096, 64, seed=23)
+
+    server = ServerProc("--fsync", "always",
+                        data_dir=data_dir).wait_ready()
+    try:
+        status, _ = server.call("PUT", "/sketches/crashy", SKETCH_CONFIG)
+        assert status == 201, f"create failed: {status}"
+        for sources, targets, weights in workload:
+            status, body = server.call(
+                "POST", "/sketches/crashy/ingest",
+                {"sources": sources, "targets": targets,
+                 "weights": weights})
+            assert status == 200 and body["ingested"] == elements
+    finally:
+        # Everything above was ACKED under --fsync always: all of it
+        # must survive this.
+        server.kill()
+
+    # A crash mid-append leaves a torn tail; recovery must discard it.
+    from repro.server.durability import list_segments
+    from repro.server.faults import append_garbage
+    tenant_dir = os.path.join(data_dir, "tenants", "crashy")
+    _, live_segment = list_segments(tenant_dir)[-1]
+    append_garbage(live_segment, nbytes=57, seed=9)
+
+    restarted = ServerProc("--fsync", "always",
+                           data_dir=data_dir).wait_ready()
+    try:
+        recovery = restarted.read_recovery_line()
+        status, body = restarted.call(
+            "POST", "/sketches/crashy/query",
+            {"kind": "edge", "pairs": probes})
+        assert status == 200, f"post-recovery query failed: {status}"
+        answers = body["values"]
+        clean = True
+    except BaseException:
+        restarted.kill()
+        raise
+    else:
+        clean = restarted.shutdown()
+    expected = _reference_answers(workload, probes)
+    return {
+        "acked_batches": batches,
+        "elements_per_batch": elements,
+        "identical": answers == expected,
+        "torn_frames_discarded": recovery["torn_frames"],
+        "replayed_records": recovery["records"],
+        "recovery_seconds": recovery["seconds"],
+        "restart_boot_seconds": round(restarted.boot_seconds, 3),
+        "shutdown_clean": clean,
+    }
+
+
+# -- phase 3: open-loop overload --------------------------------------------
+
+def phase_overload(data_root: str, *, baseline_connections: int,
+                   pool_connections: int, connection_cap: int,
+                   baseline_requests: int, elements: int,
+                   overload_seconds: float, smoke: bool) -> Dict:
+    # The server is configured the way a production deployment facing
+    # overload would be: a connection cap (excess connections get an
+    # instant 503 + Retry-After instead of growing the event-loop sweep),
+    # a loop-lag admission limit, and a bounded coalescer backlog so an
+    # admitted ingest never queues behind more than ~one flush round.
+    server = ServerProc(
+        "--lag-limit-ms", "25", "--max-backlog", "16384",
+        "--max-connections", str(connection_cap)).wait_ready()
+    try:
+        # Sustainable reference: closed loop, comfortably inside the
+        # connection cap -- self-clocking, so it never overloads.
+        baseline = _loadgen(
+            server.port, sketch="bench", connections=baseline_connections,
+            requests=baseline_requests, elements=elements,
+            n_nodes=65536, query_ratio=0.0, seed=7, cleanup=True)
+        sustainable = baseline["req_per_s"]
+        rate = 5.0 * sustainable
+        overload_requests = max(64, int(rate * overload_seconds))
+        # An open-loop client still needs a free connection to fire each
+        # arrival; with only the baseline pool the client itself caps the
+        # offered rate at the sustainable one.  Offer from a pool twice
+        # the server's cap so the 5x schedule actually reaches it.
+        overloaded = _loadgen(
+            server.port, sketch="bench", connections=pool_connections,
+            requests=overload_requests, elements=elements,
+            n_nodes=65536, query_ratio=0.0, seed=11, rate=rate,
+            max_retries=0, request_timeout=30.0)
+        alive = server.alive()
+    except BaseException:
+        server.kill()
+        raise
+    clean = server.shutdown()
+    by_class = overloaded["errors_by_class"]
+    rejected = by_class.get("http_429", 0)
+    shed_503 = by_class.get("http_503", 0)
+    hard_errors = sum(count for key, count in by_class.items()
+                      if key not in ("http_429", "http_503"))
+    baseline_p99 = max(baseline["accepted_latency_ms"]["p99"], 0.1)
+    p99_ratio = overloaded["accepted_latency_ms"]["p99"] / baseline_p99
+    return {
+        "server": {"lag_limit_ms": 25, "max_backlog": 16384,
+                   "max_connections": connection_cap},
+        "baseline": {
+            "connections": baseline_connections,
+            "req_per_s": sustainable,
+            "accepted_p99_ms": baseline["accepted_latency_ms"]["p99"],
+            "errors": baseline["errors"],
+            "retries": baseline["retries"],
+        },
+        "offered_rate": round(rate, 1),
+        "offered_requests": overload_requests,
+        "overload_connections": pool_connections,
+        "accepted_requests": overloaded["accepted_requests"],
+        "rejected_429": rejected,
+        "rejected_503": shed_503,
+        "hard_errors": hard_errors,
+        "accepted_p99_ms": overloaded["accepted_latency_ms"]["p99"],
+        "accepted_p99_ratio": round(p99_ratio, 2),
+        "alive_after_overload": alive,
+        "shutdown_clean": clean,
+        "smoke": smoke,
+    }
+
+
+# -- phase 4: injected storage faults ---------------------------------------
+
+def phase_fault_soak(data_root: str, *, elements: int) -> Dict:
+    # (a) deterministic kill -9 mid-flush: the crash fires right after
+    # the WAL record of batch ACKED+1 is durable, before its batch is
+    # applied or acked.  Recovery must yield batches 1..ACKED+1 -- the
+    # acked prefix exactly once, the in-flight record at least once.
+    acked = 5
+    data_dir = os.path.join(data_root, "soak-crash")
+    workload = _deterministic_batches(acked + 2, elements, 2048, seed=31)
+    probes = _probes(2048, 48, seed=31)
+    server = ServerProc(
+        "--fsync", "always", data_dir=data_dir,
+        fault_plan={"crash_after_records": acked + 1}).wait_ready()
+    acked_ok = 0
+    crash_seen = False
+    try:
+        status, _ = server.call("PUT", "/sketches/soak", SKETCH_CONFIG)
+        assert status == 201
+        for sources, targets, weights in workload:
+            try:
+                status, _ = server.call(
+                    "POST", "/sketches/soak/ingest",
+                    {"sources": sources, "targets": targets,
+                     "weights": weights}, timeout=10.0)
+            except OSError:
+                crash_seen = True
+                break
+            if status == 200:
+                acked_ok += 1
+    finally:
+        exit_code = server.proc.wait(timeout=30)
+    restarted = ServerProc("--fsync", "always",
+                           data_dir=data_dir).wait_ready()
+    try:
+        status, body = restarted.call(
+            "POST", "/sketches/soak/query",
+            {"kind": "edge", "pairs": probes})
+        assert status == 200
+        recovered = body["values"]
+    finally:
+        restarted.shutdown()
+    expected = _reference_answers(workload[:acked + 1], probes)
+    crash_report = {
+        "crash_after_records": acked + 1,
+        "acked_before_crash": acked_ok,
+        "in_flight_crash_observed": crash_seen,
+        "exit_code": exit_code,
+        "state_matches_wal_prefix": recovered == expected,
+    }
+
+    # (b) dying disk: fsyncs start failing mid-run.  Ingest degrades to
+    # 503 (never acked), the process stays up, SIGTERM still exits 0.
+    survive = 3
+    data_dir = os.path.join(data_root, "soak-fsync")
+    server = ServerProc(
+        "--fsync", "always", data_dir=data_dir,
+        fault_plan={"fail_fsync_after": survive}).wait_ready()
+    acked_ok = storage_errors = 0
+    try:
+        status, _ = server.call("PUT", "/sketches/soak", SKETCH_CONFIG)
+        assert status == 201
+        for sources, targets, weights in workload:
+            status, _ = server.call(
+                "POST", "/sketches/soak/ingest",
+                {"sources": sources, "targets": targets,
+                 "weights": weights})
+            if status == 200:
+                acked_ok += 1
+            elif status == 503:
+                storage_errors += 1
+        alive = server.alive()
+    except BaseException:
+        server.kill()
+        raise
+    clean = server.shutdown()
+    fsync_report = {
+        "fail_fsync_after": survive,
+        "acked_before_failure": acked_ok,
+        "storage_errors_503": storage_errors,
+        "alive_after_failures": alive,
+        "shutdown_clean": clean,
+    }
+    return {"crash_mid_flush": crash_report, "dying_fsync": fsync_report}
+
+
+# -- record assembly --------------------------------------------------------
+
+def run(data_root: str, *, connections: int = 16, requests: int = 1024,
+        elements: int = 1024, crash_batches: int = 12,
+        overload_seconds: float = 4.0, full_scale: bool = True) -> Dict:
+    record: Dict = {
+        "benchmark": "durable sketch service under chaos: WAL overhead, "
+                     "SIGKILL recovery, 5x overload shedding, injected "
+                     "storage faults",
+        "config": {"connections": connections, "requests": requests,
+                   "elements_per_request": elements,
+                   "crash_batches": crash_batches,
+                   "overload_seconds": overload_seconds,
+                   "cpu_count": os.cpu_count() or 1,
+                   "python": platform.python_version(),
+                   "machine": platform.machine(),
+                   "full_scale": full_scale},
+        "target": "durable ingest >= 0.75x plain; SIGKILL + torn tail "
+                  "recovers bit-identically; 5x open-loop overload is "
+                  "shed with 429s while accepted p99 stays <= 3x "
+                  "uncontended; injected crash/fsync faults never "
+                  "corrupt state or wedge the process",
+    }
+    record["wal_overhead"] = phase_wal_overhead(
+        data_root, connections=connections, requests=requests,
+        elements=elements)
+    record["crash_recovery"] = phase_crash_recovery(
+        data_root, batches=crash_batches, elements=256)
+    if full_scale:
+        record["overload"] = phase_overload(
+            data_root, baseline_connections=32, pool_connections=96,
+            connection_cap=48, baseline_requests=2048, elements=512,
+            overload_seconds=overload_seconds, smoke=False)
+    else:
+        record["overload"] = phase_overload(
+            data_root, baseline_connections=8, pool_connections=24,
+            connection_cap=12, baseline_requests=128, elements=256,
+            overload_seconds=overload_seconds, smoke=True)
+    record["fault_soak"] = phase_fault_soak(data_root, elements=128)
+    return record
+
+
+def validate_record(record: Dict, filename: str = "BENCH_chaos.json") -> None:
+    """Schema + gate check (registered in validate_bench_records.py)."""
+    def require(holder, key, kind):
+        if key not in holder:
+            raise ValueError(f"{filename}: missing key {key!r}")
+        value = holder[key]
+        if not isinstance(value, kind):
+            raise ValueError(
+                f"{filename}: {key!r} should be "
+                f"{getattr(kind, '__name__', kind)}, "
+                f"got {type(value).__name__}")
+        return value
+
+    config = require(record, "config", dict)
+    full_scale = require(config, "full_scale", bool)
+
+    overhead = require(record, "wal_overhead", dict)
+    ratio = require(overhead, "ratio", (int, float))
+    for mode in ("plain", "durable"):
+        row = require(overhead, mode, dict)
+        if require(row, "errors", int) != 0:
+            raise ValueError(
+                f"{filename}: wal_overhead.{mode} had request errors")
+        if require(row, "shutdown_clean", bool) is not True:
+            raise ValueError(
+                f"{filename}: wal_overhead.{mode} unclean shutdown")
+    if full_scale and ratio < 0.75:
+        raise ValueError(
+            f"{filename}: WAL overhead ratio {ratio} below the 0.75 gate "
+            f"(durable ingest must stay within 25% of plain)")
+
+    crash = require(record, "crash_recovery", dict)
+    if require(crash, "identical", bool) is not True:
+        raise ValueError(
+            f"{filename}: crash_recovery.identical is false -- recovery "
+            f"did not reproduce the acked pre-crash answers")
+    if require(crash, "torn_frames_discarded", int) < 1:
+        raise ValueError(
+            f"{filename}: the torn-tail injection was not observed")
+    if require(crash, "shutdown_clean", bool) is not True:
+        raise ValueError(
+            f"{filename}: recovered server did not shut down cleanly")
+    seconds = require(crash, "recovery_seconds", (int, float))
+    if not 0 <= seconds < 60:
+        raise ValueError(
+            f"{filename}: recovery took {seconds}s (>= 60s bound)")
+
+    overload = require(record, "overload", dict)
+    if require(overload, "alive_after_overload", bool) is not True:
+        raise ValueError(
+            f"{filename}: server died under 5x overload")
+    if require(overload, "shutdown_clean", bool) is not True:
+        raise ValueError(
+            f"{filename}: overloaded server did not shut down cleanly")
+    if require(overload, "hard_errors", int) != 0:
+        raise ValueError(
+            f"{filename}: overload produced non-shed errors "
+            f"(connection drops / 5xx)")
+    if full_scale:
+        if require(overload, "rejected_429", int) < 1:
+            raise ValueError(
+                f"{filename}: 5x overload shed no 429s -- either the "
+                f"rate was not an overload or admission control is off")
+        p99_ratio = require(overload, "accepted_p99_ratio", (int, float))
+        if p99_ratio > 3.0:
+            raise ValueError(
+                f"{filename}: accepted p99 under overload is "
+                f"{p99_ratio}x uncontended (gate: <= 3x)")
+
+    soak = require(record, "fault_soak", dict)
+    crash_soak = require(soak, "crash_mid_flush", dict)
+    if require(crash_soak, "exit_code", int) != _EXIT_KILLED:
+        raise ValueError(
+            f"{filename}: crash injection exited "
+            f"{crash_soak['exit_code']}, expected {_EXIT_KILLED}")
+    if require(crash_soak, "state_matches_wal_prefix", bool) is not True:
+        raise ValueError(
+            f"{filename}: recovery after kill-mid-flush does not match "
+            f"the durable WAL prefix (acked + in-flight record)")
+    fsync_soak = require(soak, "dying_fsync", dict)
+    if require(fsync_soak, "alive_after_failures", bool) is not True:
+        raise ValueError(
+            f"{filename}: server died when fsync started failing")
+    if require(fsync_soak, "storage_errors_503", int) < 1:
+        raise ValueError(
+            f"{filename}: dying-fsync injection produced no 503s")
+    if require(fsync_soak, "shutdown_clean", bool) is not True:
+        raise ValueError(
+            f"{filename}: server with a dying disk did not exit 0 on "
+            f"SIGTERM")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        description="chaos-test the durable sketch service")
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=1024)
+    parser.add_argument("--elements", type=int, default=1024)
+    parser.add_argument("--crash-batches", type=int, default=12)
+    parser.add_argument("--overload-seconds", type=float, default=4.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny load, correctness gates only "
+                             "(full_scale=false)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as data_root:
+        if args.smoke:
+            record = run(data_root, connections=8, requests=128,
+                         elements=256, crash_batches=6,
+                         overload_seconds=1.5, full_scale=False)
+        else:
+            record = run(data_root, connections=args.connections,
+                         requests=args.requests, elements=args.elements,
+                         crash_batches=args.crash_batches,
+                         overload_seconds=args.overload_seconds)
+    validate_record(record, "bench_chaos run")
+
+    overhead = record["wal_overhead"]
+    print(f"wal overhead: durable {overhead['durable']['elements_per_s']:,.0f}"
+          f" vs plain {overhead['plain']['elements_per_s']:,.0f} elements/s"
+          f" (ratio {overhead['ratio']})")
+    crash = record["crash_recovery"]
+    print(f"crash recovery: identical={crash['identical']} "
+          f"({crash['replayed_records']} records, "
+          f"{crash['torn_frames_discarded']} torn frames discarded, "
+          f"{crash['recovery_seconds']:.3f}s)")
+    overload = record["overload"]
+    print(f"overload: {overload['offered_rate']:,.0f} req/s offered, "
+          f"{overload['accepted_requests']} accepted, "
+          f"{overload['rejected_429']} shed 429, accepted p99 "
+          f"{overload['accepted_p99_ratio']}x baseline, "
+          f"alive={overload['alive_after_overload']}")
+    soak = record["fault_soak"]
+    print(f"fault soak: kill-mid-flush recovered="
+          f"{soak['crash_mid_flush']['state_matches_wal_prefix']}, "
+          f"dying fsync 503s={soak['dying_fsync']['storage_errors_503']} "
+          f"clean-exit={soak['dying_fsync']['shutdown_clean']}")
+
+    text = json.dumps(record, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,6 +126,11 @@ def _check_server(record: Dict, filename: str) -> None:
     validate_record(record, filename)
 
 
+def _check_chaos(record: Dict, filename: str) -> None:
+    from benchmarks.bench_chaos import validate_record
+    validate_record(record, filename)
+
+
 #: filename -> validator.  A BENCH_*.json with no entry here is an error:
 #: new standing records must register their schema check to be committed.
 VALIDATORS: Dict[str, Callable[[Dict, str], None]] = {
@@ -135,6 +140,7 @@ VALIDATORS: Dict[str, Callable[[Dict, str], None]] = {
     "BENCH_window_throughput.json": _check_window,
     "BENCH_soak.json": _check_soak,
     "BENCH_server.json": _check_server,
+    "BENCH_chaos.json": _check_chaos,
 }
 
 

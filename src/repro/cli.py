@@ -12,6 +12,8 @@ An operator-facing front end over the library::
     tcm query sketch.npz reach 10.0.0.1 10.0.0.9
     tcm query sketch.npz inflow 10.0.0.9
     tcm obs --dataset gtgraph --scale tiny     # metrics/health demo
+    tcm serve --data-dir /var/lib/tcm          # durable sketch service
+    tcm recover /var/lib/tcm                   # offline recovery audit
 
 Also available as ``python -m repro``.
 """
@@ -306,12 +308,32 @@ def _cmd_serve(args) -> int:
     if args.max_delay_ms <= 0:
         raise SystemExit(
             f"--max-delay-ms must be positive, got {args.max_delay_ms}")
+    if args.fsync_interval_ms <= 0:
+        raise SystemExit(f"--fsync-interval-ms must be positive, "
+                         f"got {args.fsync_interval_ms}")
+    if args.rotate_mb <= 0:
+        raise SystemExit(f"--rotate-mb must be positive, got {args.rotate_mb}")
+    if args.max_body_mb <= 0:
+        raise SystemExit(f"--max-body-mb must be positive, "
+                         f"got {args.max_body_mb}")
+    if args.lag_limit_ms <= 0:
+        raise SystemExit(f"--lag-limit-ms must be positive, "
+                         f"got {args.lag_limit_ms}")
     if not args.no_obs:
         instruments.enable()
     server = SketchServer(host=args.host, port=args.port,
                           max_batch=args.max_batch,
                           max_delay=args.max_delay_ms / 1000.0,
-                          batching=not args.no_batching)
+                          batching=not args.no_batching,
+                          max_body=int(args.max_body_mb * (1 << 20)),
+                          max_backlog=args.max_backlog,
+                          max_connections=args.max_connections,
+                          lag_limit=args.lag_limit_ms / 1000.0,
+                          data_dir=args.data_dir,
+                          fsync=args.fsync,
+                          fsync_interval=args.fsync_interval_ms / 1000.0,
+                          rotate_bytes=int(args.rotate_mb * (1 << 20)),
+                          snapshot_interval=args.snapshot_interval)
 
     async def _run() -> None:
         port = await server.start()
@@ -319,6 +341,16 @@ def _cmd_serve(args) -> int:
               f"(batching {'on' if server.batching else 'off'}, "
               f"max_batch={args.max_batch}, "
               f"max_delay={args.max_delay_ms:g}ms)", flush=True)
+        if args.data_dir is not None:
+            report = server.recovery_report or {}
+            print(f"tcm serve: durable in {args.data_dir} "
+                  f"(fsync={args.fsync}, "
+                  f"snapshot every {args.snapshot_interval:g}s); "
+                  f"recovered {len(report.get('tenants', {}))} tenants, "
+                  f"{report.get('records', 0)} WAL records "
+                  f"({report.get('elements', 0)} elements, "
+                  f"{report.get('torn_frames', 0)} torn frames) "
+                  f"in {report.get('seconds', 0.0):.3f}s", flush=True)
         sampler = None
         if not args.no_obs:
             sampler = RuntimeSampler()
@@ -348,18 +380,58 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    """``tcm recover``: offline recovery check for a ``--data-dir``.
+
+    Rebuilds every tenant from its latest usable snapshot plus the WAL
+    tail -- exactly what ``tcm serve --data-dir`` does at boot -- and
+    prints the per-tenant report without starting a server.  Use it to
+    audit a data directory after a crash, or to measure recovery time.
+    Exits non-zero if any tenant fails to recover or the replay hit
+    poison records.
+    """
+    import os
+
+    from repro.server.durability import DurabilityManager
+    from repro.server.registry import SketchRegistry
+
+    if not os.path.isdir(args.data_dir):
+        raise SystemExit(f"not a directory: {args.data_dir}")
+    registry = SketchRegistry()
+    manager = DurabilityManager(args.data_dir, fsync="off")
+    try:
+        report = manager.recover(registry)
+    finally:
+        manager.close_all(registry)
+    print(f"tcm recover: {len(report['tenants'])} tenants, "
+          f"{report['records']} WAL records "
+          f"({report['elements']} elements) replayed "
+          f"in {report['seconds']:.3f}s")
+    print(f"  torn frames discarded: {report['torn_frames']}")
+    print(f"  replay errors:         {report['replay_errors']}")
+    for name in sorted(registry.names()):
+        tenant = registry.get(name)
+        print(f"  tenant {name!r}: kind={tenant.kind} "
+              f"total_weight={tenant.sketch.total_weight_estimate():g}")
+    return 1 if report["replay_errors"] else 0
+
+
 def _cmd_loadgen(args) -> int:
-    """``tcm loadgen``: closed-loop driver for a running ``tcm serve``.
+    """``tcm loadgen``: resilient driver for a running ``tcm serve``.
 
     Pre-generates the request mix, fans it over persistent keep-alive
-    connections, and prints throughput plus client-side p50/p99 (and the
-    server's own histogram quantiles from ``/stats``).
+    connections (closed loop, or open loop with ``--rate``), retries
+    transient failures with backoff, and prints throughput plus
+    client-side p50/p99 (and the server's own histogram quantiles from
+    ``/stats``).
     """
     import asyncio
     import json as _json
 
     from repro.server import run_loadgen
 
+    if args.rate is not None and args.rate <= 0:
+        raise SystemExit(f"--rate must be positive, got {args.rate}")
     sketch_config = {"kind": args.kind, "d": args.d, "width": args.width,
                      "seed": args.seed}
     if args.kind == "window":
@@ -369,17 +441,23 @@ def _cmd_loadgen(args) -> int:
         connections=args.connections, requests=args.requests,
         elements=args.elements, n_nodes=args.nodes,
         query_ratio=args.query_ratio, seed=args.seed,
-        sketch_config=sketch_config, cleanup=args.cleanup))
+        sketch_config=sketch_config, cleanup=args.cleanup,
+        rate=args.rate, request_timeout=args.timeout,
+        max_retries=args.retries))
     lat = summary["latency_ms"]
     print(f"loadgen: {summary['requests']} requests over "
           f"{summary['connections']} connections in "
-          f"{summary['seconds']:.2f}s")
+          f"{summary['seconds']:.2f}s ({summary['mode']} loop)")
     print(f"  {summary['req_per_s']:,.0f} req/s, "
           f"{summary['elements_per_s']:,.0f} elements/s "
           f"({summary['ingested_elements']} ingested, "
-          f"{summary['errors']} errors)")
+          f"{summary['errors']} errors, {summary['retries']} retries)")
     print(f"  latency p50 {lat['p50']:.3f}ms, p99 {lat['p99']:.3f}ms, "
           f"max {lat['max']:.3f}ms")
+    if summary["errors_by_class"]:
+        parts = ", ".join(f"{k}={v}" for k, v
+                          in sorted(summary["errors_by_class"].items()))
+        print(f"  errors by class: {parts}")
     if args.out is not None:
         with open(args.out, "w") as fh:
             _json.dump(summary, fh, indent=2)
@@ -724,7 +802,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "/metrics and /stats stay empty)")
     serve.add_argument("--sample-interval", type=float, default=5.0,
                        help="runtime-sampler cadence in seconds")
+    serve.add_argument("--data-dir", default=None,
+                       help="enable durability: per-tenant write-ahead "
+                            "logs and snapshots under this directory, "
+                            "with crash recovery at boot")
+    serve.add_argument("--fsync", choices=("always", "interval", "off"),
+                       default="interval",
+                       help="WAL fsync policy: per record, time-based "
+                            "(--fsync-interval-ms), or never "
+                            "(default interval)")
+    serve.add_argument("--fsync-interval-ms", type=float, default=50.0,
+                       help="max seconds of acked data at risk with "
+                            "--fsync interval (default 50ms)")
+    serve.add_argument("--snapshot-interval", type=float, default=30.0,
+                       help="background snapshot cadence in seconds; "
+                            "0 disables periodic snapshots (default 30)")
+    serve.add_argument("--rotate-mb", type=float, default=64.0,
+                       help="rotate WAL segments at this size (default 64)")
+    serve.add_argument("--max-body-mb", type=float, default=8.0,
+                       help="reject request bodies larger than this "
+                            "with 413 (default 8)")
+    serve.add_argument("--max-backlog", type=int, default=None,
+                       help="bound staged ingest elements per tenant; "
+                            "admission beyond it sheds 429 "
+                            "(default 8 * max_batch)")
+    serve.add_argument("--max-connections", type=int, default=512,
+                       help="concurrent connection cap; beyond it new "
+                            "connections get 503 (default 512)")
+    serve.add_argument("--lag-limit-ms", type=float, default=250.0,
+                       help="event-loop lag threshold for shedding "
+                            "ingest with 429 (default 250ms)")
     serve.set_defaults(handler=_cmd_serve)
+
+    recover = commands.add_parser(
+        "recover", help="offline crash-recovery check for a 'tcm serve' "
+                        "--data-dir (docs/SERVER.md)")
+    recover.add_argument("data_dir",
+                         help="the --data-dir to recover tenants from")
+    recover.set_defaults(handler=_cmd_recover)
 
     loadgen = commands.add_parser(
         "loadgen", help="drive a running 'tcm serve' with a concurrent "
@@ -751,6 +866,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--query-ratio", type=float, default=0.0,
                          help="fraction of requests that are batched "
                               "edge queries (default: all ingest)")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in requests/s "
+                              "(default: closed loop)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request timeout in seconds (default 30)")
+    loadgen.add_argument("--retries", type=int, default=3,
+                         help="max retries per request for transient "
+                              "failures and 429/503 sheds (default 3)")
     loadgen.add_argument("--cleanup", action="store_true",
                          help="delete the tenant when done")
     loadgen.add_argument("--out", default=None,

@@ -269,6 +269,71 @@ class Instruments:
             "server_open_connections",
             "Client connections currently open against the service")
 
+        # -- durability (repro.server.durability) --------------------------
+        self.wal_records = registry.counter(
+            "wal_records_total",
+            "Records appended to tenant write-ahead logs, labeled by op",
+            labelnames=("op",))
+        self.wal_bytes = registry.counter(
+            "wal_bytes_total",
+            "Frame bytes appended to tenant write-ahead logs")
+        self.wal_fsyncs = registry.counter(
+            "wal_fsyncs_total", "fsync calls issued by WAL writers")
+        self.wal_fsync_seconds = registry.histogram(
+            "wal_fsync_seconds", "Wall time per WAL fsync",
+            buckets=log_buckets(1e-6, 10.0))
+        self.wal_rotations = registry.counter(
+            "wal_rotations_total",
+            "WAL segment rotations (size-triggered or snapshot-triggered)")
+        self.wal_append_errors = registry.counter(
+            "wal_append_errors_total",
+            "WAL appends that failed (write or fsync error) and were "
+            "rolled back")
+        self.wal_snapshots = registry.counter(
+            "wal_snapshots_total", "Tenant snapshots written")
+        self.wal_snapshot_seconds = registry.histogram(
+            "wal_snapshot_seconds",
+            "Wall time per tenant snapshot (rotate + write + prune)",
+            buckets=log_buckets(1e-4, 100.0))
+        self.wal_segments_pruned = registry.counter(
+            "wal_segments_pruned_total",
+            "WAL segments deleted because a snapshot covers them")
+        self.recovery_replayed_records = registry.counter(
+            "recovery_replayed_records_total",
+            "WAL records replayed during startup recovery")
+        self.recovery_replayed_elements = registry.counter(
+            "recovery_replayed_elements_total",
+            "Stream elements replayed during startup recovery")
+        self.recovery_torn_frames = registry.counter(
+            "recovery_torn_frames_total",
+            "Torn/corrupt WAL tail frames discarded during recovery")
+        self.recovery_tenants = registry.counter(
+            "recovery_tenants_total",
+            "Tenants rebuilt from disk during startup recovery")
+        self.recovery_seconds = registry.histogram(
+            "recovery_seconds",
+            "Wall time of a full startup recovery (all tenants)",
+            buckets=log_buckets(1e-4, 1000.0))
+
+        # -- graceful degradation (admission control) ----------------------
+        self.shed_requests = registry.counter(
+            "shed_requests_total",
+            "Requests refused (429/503) to protect the service, labeled "
+            "by reason (lag/backlog/query_class/connections)",
+            labelnames=("reason",))
+        self.server_loop_lag = registry.gauge(
+            "server_loop_lag_seconds",
+            "EWMA of event-loop callback delay -- the overload signal "
+            "the admission controller sheds on")
+        self.retry_attempts = registry.counter(
+            "retry_attempts_total",
+            "Client-side (loadgen) retries, labeled by cause "
+            "(http_429/timeout/connection)",
+            labelnames=("reason",))
+        self.retry_backoff_seconds = registry.counter(
+            "retry_backoff_seconds_total",
+            "Total client-side (loadgen) backoff sleep time")
+
 
 OBS = Instruments(REGISTRY)
 

@@ -18,18 +18,34 @@ all of them (flush on size or deadline; docs/SERVER.md).
   HTTP/JSON front end (``tcm serve``).
 - :func:`~repro.server.loadgen.run_loadgen` -- the closed-loop load
   generator (``tcm loadgen``) behind ``BENCH_server.json``.
+- :class:`~repro.server.durability.DurabilityManager` /
+  :class:`~repro.server.durability.WalWriter` -- per-tenant write-ahead
+  logging, snapshots and crash recovery (``tcm serve --data-dir``).
+- :class:`~repro.server.faults.FaultPlan` -- deterministic storage-fault
+  injection for the chaos harness (``benchmarks/bench_chaos.py``).
 """
 
-from repro.server.coalescer import IngestCoalescer, QueryCoalescer
-from repro.server.http import SketchServer
+from repro.server.coalescer import (
+    BacklogExceeded,
+    IngestCoalescer,
+    QueryCoalescer,
+)
+from repro.server.durability import DurabilityManager, WalWriter
+from repro.server.faults import FaultPlan
+from repro.server.http import BackpressureController, SketchServer
 from repro.server.loadgen import run_loadgen
 from repro.server.registry import SketchRegistry, TenantSketch
 
 __all__ = [
+    "BacklogExceeded",
+    "BackpressureController",
+    "DurabilityManager",
+    "FaultPlan",
     "IngestCoalescer",
     "QueryCoalescer",
     "SketchRegistry",
     "TenantSketch",
     "SketchServer",
+    "WalWriter",
     "run_loadgen",
 ]

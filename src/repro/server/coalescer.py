@@ -44,6 +44,23 @@ DEFAULT_MAX_BATCH = 4096
 DEFAULT_MAX_DELAY = 0.002
 
 
+class BacklogExceeded(Exception):
+    """Admission refused: staging this request would exceed the bound.
+
+    The server maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` hint -- the load-shedding contract, not an error in
+    the request itself.
+    """
+
+    def __init__(self, staged: int, adding: int, max_backlog: int):
+        super().__init__(
+            f"ingest backlog full: {staged} staged + {adding} requested "
+            f"> {max_backlog} allowed")
+        self.staged = staged
+        self.adding = adding
+        self.max_backlog = max_backlog
+
+
 class IngestCoalescer:
     """Stage per-request ingest columns; flush them as one kernel call.
 
@@ -56,6 +73,12 @@ class IngestCoalescer:
     :param with_timestamps: stage a timestamp column (window tenants).
     :param batching: when ``False``, ``add`` applies immediately via
         ``apply_scalar`` and never stages.
+    :param max_backlog: hard bound on staged elements; ``add`` raises
+        :class:`BacklogExceeded` instead of staging past it (``None``
+        leaves staging unbounded).  Normally the size trigger flushes
+        well before this bound -- it is the safety valve for the case
+        where flushes themselves are slow or failing (sick disk under a
+        WAL) and the honest answer is to shed.
     """
 
     def __init__(self, apply_batch: Callable, *,
@@ -64,17 +87,22 @@ class IngestCoalescer:
                  max_delay: float = DEFAULT_MAX_DELAY,
                  with_timestamps: bool = False,
                  batching: bool = True,
+                 max_backlog: Optional[int] = None,
                  kind: str = "ingest"):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay <= 0:
             raise ValueError(f"max_delay must be positive, got {max_delay}")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(
+                f"max_backlog must be >= 1, got {max_backlog}")
         self.apply_batch = apply_batch
         self.apply_scalar = apply_scalar
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.with_timestamps = with_timestamps
         self.batching = batching
+        self.max_backlog = max_backlog
         self.kind = kind
         self._cap = max_batch
         self._src = np.empty(self._cap, dtype=np.uint64)
@@ -134,6 +162,9 @@ class IngestCoalescer:
         if k == 0:
             future.set_result(0)
             return future
+        if (self.max_backlog is not None
+                and self._n + k > self.max_backlog):
+            raise BacklogExceeded(self._n, k, self.max_backlog)
         n = self._n
         if n + k > self._cap:
             self._grow(n + k)

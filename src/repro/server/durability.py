@@ -1,0 +1,844 @@
+"""Durability for the sketch service: per-tenant WAL, snapshots, recovery.
+
+The service's state is rebuildable by construction -- a TCM is a pure
+fold over its input columns, and label hashing is seed-deterministic --
+so durability reduces to persisting the *inputs* cheaply and replaying
+them on restart:
+
+- **Write-ahead log** (:class:`WalWriter`): an append-only file of
+  binary columnar records, one per coalesced *batch* (not per request --
+  the coalescer already aggregates, so durability costs one write and at
+  most one fsync per flush).  Each record is a CRC32-checksummed frame
+  holding the exact ``uint64`` key / ``float64`` weight columns the
+  kernel call consumed; replaying them through the same columnar entry
+  points yields **bit-identical** matrices (integer keys pass through
+  ``label_to_int`` unchanged).
+- **Snapshots**: periodically the WAL is rotated and the full tenant
+  state is written as one ``.npz`` (reusing
+  :func:`repro.core.serialization.save_tcm`; window tenants embed one
+  ``save_tcm`` payload per ring slot plus watermark/bucket cursor).
+  A snapshot covering segment ``N`` lets every segment ``<= N`` be
+  deleted -- the "big crunch" that keeps the data dir bounded.
+- **Recovery** (:meth:`DurabilityManager.recover`): rebuild each tenant
+  from ``meta.json`` (same config + seed => same hash functions), load
+  the newest readable snapshot, then replay the WAL tail.  A torn or
+  corrupt tail frame (partial write at crash time) fails its CRC or
+  length check and is cleanly discarded; everything acked before it
+  survives.
+
+On-disk layout under ``--data-dir``::
+
+    <data_dir>/tenants/<name>/meta.json          # kind + config
+    <data_dir>/tenants/<name>/wal-00000007.log   # CRC-framed records
+    <data_dir>/tenants/<name>/snapshot-00000006.npz  # covers segs <= 6
+
+Durability contract (``--fsync`` policy):
+
+- ``always``  -- fsync per record before the batch is applied/acked:
+  an acked write survives kill -9 and power loss.
+- ``interval`` -- group fsync every ``fsync_interval`` seconds: an
+  acked write survives process crash (the kernel has the bytes); up to
+  one interval of acked writes may be lost on *machine* loss.
+- ``off``     -- never fsync explicitly; cheapest, weakest.
+
+In every policy the record is *written* before the batch is applied and
+the futures resolve, so the WAL is always a superset of acked state:
+recovery yields exactly the acked prefix plus at most the records of
+batches that were in flight (at-least-once for unacked work, exactly
+once for acked work).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import struct
+import time
+import zlib
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.core.serialization import save_tcm
+from repro.obs.instruments import OBS
+from repro.server.faults import FaultPlan
+
+#: First 8 bytes of every WAL segment file.
+SEGMENT_MAGIC = b"TCMWAL1\n"
+
+#: Frame header: op (u8), flags (u8), reserved (u16), payload length
+#: (u32), CRC32 of the payload (u32).
+_FRAME_HEADER = struct.Struct("<BBHII")
+
+OP_INGEST = 1
+OP_REMOVE = 2
+OP_ADVANCE = 3
+_OP_NAMES = {OP_INGEST: "ingest", OP_REMOVE: "remove", OP_ADVANCE: "advance"}
+
+#: Record flags.
+FLAG_TIMESTAMPS = 0x01  # payload carries a float64 timestamp column
+FLAG_SCALAR = 0x02      # batch was applied through the scalar path
+
+#: Sanity cap on a single frame's payload (a corrupt length field must
+#: not make the scanner allocate gigabytes).
+_MAX_PAYLOAD = 1 << 31
+
+DEFAULT_ROTATE_BYTES = 64 * 1024 * 1024
+DEFAULT_FSYNC_INTERVAL = 0.05
+FSYNC_POLICIES = ("always", "interval", "off")
+
+_META_NAME = "meta.json"
+
+
+class SnapshotMismatch(ValueError):
+    """A snapshot does not match the tenant rebuilt from ``meta.json``."""
+
+
+class WalRecord(NamedTuple):
+    """One decoded WAL record (column arrays are ``None`` for advance)."""
+
+    op: str                              # "ingest" | "remove" | "advance"
+    flags: int
+    sources: Optional[np.ndarray]        # uint64 keys
+    targets: Optional[np.ndarray]        # uint64 keys
+    weights: Optional[np.ndarray]        # float64
+    timestamps: Optional[np.ndarray]     # float64 (ingest w/ FLAG_TIMESTAMPS)
+    timestamp: Optional[float]           # advance watermark
+
+    @property
+    def elements(self) -> int:
+        return 0 if self.sources is None else len(self.sources)
+
+
+# -- record encoding -------------------------------------------------------
+
+def _encode_columns(sources: np.ndarray, targets: np.ndarray,
+                    weights: np.ndarray,
+                    timestamps: Optional[np.ndarray]) -> bytes:
+    n = len(sources)
+    parts = [struct.pack("<I", n),
+             np.ascontiguousarray(sources, dtype=np.uint64).tobytes(),
+             np.ascontiguousarray(targets, dtype=np.uint64).tobytes(),
+             np.ascontiguousarray(weights, dtype=np.float64).tobytes()]
+    if timestamps is not None:
+        parts.append(
+            np.ascontiguousarray(timestamps, dtype=np.float64).tobytes())
+    return b"".join(parts)
+
+
+def _decode_columns(payload: bytes, with_timestamps: bool) \
+        -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    if len(payload) < 4:
+        raise ValueError("short column payload")
+    (n,) = struct.unpack_from("<I", payload)
+    columns = 4 if with_timestamps else 3
+    expected = 4 + 8 * n * columns
+    if len(payload) != expected:
+        raise ValueError(
+            f"column payload is {len(payload)} bytes, expected {expected}")
+    offset = 4
+    sources = np.frombuffer(payload, dtype=np.uint64, count=n, offset=offset)
+    offset += 8 * n
+    targets = np.frombuffer(payload, dtype=np.uint64, count=n, offset=offset)
+    offset += 8 * n
+    weights = np.frombuffer(payload, dtype=np.float64, count=n, offset=offset)
+    offset += 8 * n
+    timestamps = None
+    if with_timestamps:
+        timestamps = np.frombuffer(payload, dtype=np.float64, count=n,
+                                   offset=offset)
+    return sources, targets, weights, timestamps
+
+
+def _decode_record(op: int, flags: int, payload: bytes) -> WalRecord:
+    name = _OP_NAMES[op]
+    if op == OP_ADVANCE:
+        if len(payload) != 8:
+            raise ValueError("advance payload must be 8 bytes")
+        (timestamp,) = struct.unpack("<d", payload)
+        return WalRecord(name, flags, None, None, None, None, timestamp)
+    with_ts = bool(flags & FLAG_TIMESTAMPS)
+    if op == OP_REMOVE and with_ts:
+        raise ValueError("remove records cannot carry timestamps")
+    src, dst, wts, ts = _decode_columns(payload, with_ts)
+    return WalRecord(name, flags, src, dst, wts, ts, None)
+
+
+# -- segment naming --------------------------------------------------------
+
+def segment_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"wal-{seq:08d}.log")
+
+
+def snapshot_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"snapshot-{seq:08d}.npz")
+
+
+def _listed(directory: str, prefix: str, suffix: str) \
+        -> List[Tuple[int, str]]:
+    out = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return out
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        middle = name[len(prefix):-len(suffix)]
+        try:
+            seq = int(middle)
+        except ValueError:
+            continue
+        out.append((seq, os.path.join(directory, name)))
+    out.sort()
+    return out
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` for every WAL segment, ascending."""
+    return _listed(directory, "wal-", ".log")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` for every snapshot, ascending."""
+    return _listed(directory, "snapshot-", ".npz")
+
+
+def _fsync_dir(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover -- platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+# -- the writer ------------------------------------------------------------
+
+class WalWriter:
+    """Append CRC-framed records to size-rotated segment files.
+
+    Single-writer, event-loop-owned (no locks).  A failed append is
+    rolled back (the segment is truncated to the pre-record offset, or
+    abandoned for a fresh segment if even that fails) so the on-disk log
+    is always a clean prefix of attempted records -- the scanner's
+    torn-tail handling only has to deal with *crash* artifacts.
+    """
+
+    def __init__(self, directory: str, *, fsync: str = "interval",
+                 fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+                 rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+                 start_segment: int = 1,
+                 faults: Optional[FaultPlan] = None):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got "
+                f"{fsync!r}")
+        if fsync_interval <= 0:
+            raise ValueError(
+                f"fsync_interval must be positive, got {fsync_interval}")
+        if rotate_bytes < 4096:
+            raise ValueError(
+                f"rotate_bytes must be >= 4096, got {rotate_bytes}")
+        if start_segment < 1:
+            raise ValueError(
+                f"start_segment must be >= 1, got {start_segment}")
+        self.directory = directory
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.rotate_bytes = rotate_bytes
+        self.faults = faults
+        self.records = 0
+        self.bytes_written = 0
+        self.records_in_segment = 0
+        self._seq = start_segment
+        self._fh: Optional[io.BufferedWriter] = None
+        self._last_sync = time.monotonic()
+        self._needs_sync = False
+        os.makedirs(directory, exist_ok=True)
+        self._open_segment()
+
+    @property
+    def segment_seq(self) -> int:
+        """Sequence number of the segment currently being appended."""
+        return self._seq
+
+    @property
+    def path(self) -> str:
+        return segment_path(self.directory, self._seq)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open_segment(self) -> None:
+        self._fh = open(self.path, "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(SEGMENT_MAGIC)
+            self._fh.flush()
+        self.records_in_segment = 0
+
+    def rotate(self) -> int:
+        """Close the current segment and start the next; returns the
+        sequence number of the segment just closed."""
+        closed = self._seq
+        try:
+            self.sync()
+        except OSError:
+            # A dying disk must not wedge rotation -- the new segment is
+            # exactly how we get away from the bad tail.
+            pass
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+        self._seq += 1
+        self._open_segment()
+        if OBS.enabled:
+            OBS.wal_rotations.inc()
+        return closed
+
+    def sync(self) -> None:
+        """Force an fsync of the current segment (ignores the policy)."""
+        if self._fh is None or not self._needs_sync:
+            return
+        self._do_fsync()
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        try:
+            # Best-effort: a disk that cannot fsync at shutdown must not
+            # turn a drained stop into an unclean exit -- the bytes are
+            # already flushed to the kernel, and every record the disk
+            # refused earlier was answered with a 503, never acked.
+            self.sync()
+        except OSError:
+            pass
+        finally:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    # -- appends -----------------------------------------------------------
+
+    def append_ingest(self, sources: np.ndarray, targets: np.ndarray,
+                      weights: np.ndarray,
+                      timestamps: Optional[np.ndarray] = None, *,
+                      scalar: bool = False) -> None:
+        flags = 0
+        if timestamps is not None:
+            flags |= FLAG_TIMESTAMPS
+        if scalar:
+            flags |= FLAG_SCALAR
+        self._append(OP_INGEST, flags,
+                     _encode_columns(sources, targets, weights, timestamps))
+
+    def append_remove(self, sources: np.ndarray, targets: np.ndarray,
+                      weights: np.ndarray) -> None:
+        self._append(OP_REMOVE, 0,
+                     _encode_columns(sources, targets, weights, None))
+
+    def append_advance(self, timestamp: float) -> None:
+        self._append(OP_ADVANCE, 0, struct.pack("<d", timestamp))
+
+    def _append(self, op: int, flags: int, payload: bytes) -> None:
+        if self._fh is None:
+            self._open_segment()
+        if self._fh.tell() >= self.rotate_bytes:
+            self.rotate()
+        frame = _FRAME_HEADER.pack(op, flags, 0, len(payload),
+                                   zlib.crc32(payload)) + payload
+        offset = self._fh.tell()
+        try:
+            if self.faults is not None:
+                self.faults.on_write(len(frame))
+            self._fh.write(frame)
+            self._fh.flush()
+            self._needs_sync = True
+            if self.fsync_policy == "always":
+                self._do_fsync()
+            elif (self.fsync_policy == "interval"
+                  and time.monotonic() - self._last_sync
+                  >= self.fsync_interval):
+                self._do_fsync()
+        except Exception:
+            if OBS.enabled:
+                OBS.wal_append_errors.inc()
+            self._rollback_to(offset)
+            raise
+        self.records += 1
+        self.records_in_segment += 1
+        self.bytes_written += len(frame)
+        if OBS.enabled:
+            OBS.wal_records.labels(_OP_NAMES[op]).inc()
+            OBS.wal_bytes.inc(len(frame))
+        if self.faults is not None:
+            # Deterministic kill-mid-flush: record durable, batch not
+            # yet applied, request not yet acked.
+            self.faults.on_record()
+
+    def _do_fsync(self) -> None:
+        started = time.perf_counter()
+        if self.faults is not None:
+            self.faults.on_fsync()
+        os.fsync(self._fh.fileno())
+        self._needs_sync = False
+        self._last_sync = time.monotonic()
+        if OBS.enabled:
+            OBS.wal_fsyncs.inc()
+            OBS.wal_fsync_seconds.observe(time.perf_counter() - started)
+
+    def _rollback_to(self, offset: int) -> None:
+        """Undo a failed append so the segment stays a clean prefix.
+
+        Reopen (dropping any half-flushed buffer) and truncate back.  If
+        the disk won't even do that, abandon the segment: the scanner
+        treats its torn tail as end-of-segment and recovery continues
+        with later segments.
+        """
+        try:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+            self._fh = open(self.path, "ab")
+            self._fh.truncate(offset)
+        except OSError:
+            self._fh = None
+            self._seq += 1
+
+
+# -- the scanner -----------------------------------------------------------
+
+def scan_segment(path: str) -> Tuple[List[WalRecord], int]:
+    """Decode every complete, checksummed record in one segment.
+
+    Returns ``(records, torn)`` where ``torn`` is 1 if the segment ends
+    in an incomplete / corrupt frame (which is *expected* after a crash
+    mid-append) and 0 if it ends cleanly.  Never raises on corrupt
+    input: scanning stops at the first bad frame, because nothing after
+    an unreadable length/checksum can be trusted to be frame-aligned.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < len(SEGMENT_MAGIC) or not blob.startswith(SEGMENT_MAGIC):
+        return [], (1 if blob else 0)
+    records: List[WalRecord] = []
+    pos = len(SEGMENT_MAGIC)
+    size = len(blob)
+    while pos < size:
+        if pos + _FRAME_HEADER.size > size:
+            return records, 1
+        op, flags, _, length, crc = _FRAME_HEADER.unpack_from(blob, pos)
+        if op not in _OP_NAMES or length > _MAX_PAYLOAD:
+            return records, 1
+        start = pos + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            return records, 1
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, 1
+        try:
+            records.append(_decode_record(op, flags, payload))
+        except ValueError:
+            return records, 1
+        pos = end
+    return records, 0
+
+
+# -- snapshots -------------------------------------------------------------
+
+def _check_hash_params(archive, i: int, sketch) -> None:
+    expect_row = np.array(
+        [sketch._row_hash.a, sketch._row_hash.b, sketch._row_hash.width],
+        dtype=np.uint64)
+    if not np.array_equal(np.asarray(archive[f"row_hash_{i}"]), expect_row):
+        raise SnapshotMismatch(
+            f"sketch {i}: snapshot row-hash parameters do not match the "
+            "tenant config (different seed or width?)")
+    expect_col = np.array(
+        [sketch._col_hash.a, sketch._col_hash.b, sketch._col_hash.width],
+        dtype=np.uint64)
+    if not np.array_equal(np.asarray(archive[f"col_hash_{i}"]), expect_col):
+        raise SnapshotMismatch(
+            f"sketch {i}: snapshot col-hash parameters do not match the "
+            "tenant config")
+
+
+def _restore_tcm_into(tcm, archive) -> None:
+    """Copy a ``save_tcm`` archive's state into a freshly built TCM.
+
+    Restoring *into* a config-built instance (rather than using
+    :func:`load_tcm`'s reconstruction) keeps every derived attribute the
+    constructor set -- columnar fast-path flags, backend selection --
+    exactly as a live server would have them, which is what the
+    bit-identity guarantee is about.
+    """
+    version = int(archive["format_version"])
+    if version != 1:
+        raise SnapshotMismatch(f"unsupported snapshot version {version}")
+    if int(archive["d"]) != tcm.d:
+        raise SnapshotMismatch(
+            f"snapshot has d={int(archive['d'])}, tenant config d={tcm.d}")
+    if bool(archive["directed"]) != tcm.directed:
+        raise SnapshotMismatch("snapshot directedness does not match config")
+    if str(archive["aggregation"]) != tcm.aggregation.value:
+        raise SnapshotMismatch("snapshot aggregation does not match config")
+    for i, sketch in enumerate(tcm.sketches):
+        _check_hash_params(archive, i, sketch)
+        matrix = np.asarray(archive[f"matrix_{i}"])
+        if hasattr(sketch, "_matrix"):
+            if matrix.shape != sketch._matrix.shape:
+                raise SnapshotMismatch(
+                    f"sketch {i}: snapshot matrix shape {matrix.shape} != "
+                    f"configured {sketch._matrix.shape}")
+            sketch._matrix[...] = matrix
+            touched = getattr(sketch, "_touched", None)
+            if touched is not None:
+                if f"touched_{i}" not in archive:
+                    raise SnapshotMismatch(
+                        f"sketch {i}: config expects an occupancy mask "
+                        "but the snapshot has none")
+                touched[...] = archive[f"touched_{i}"]
+        else:
+            # Sparse backend: rebuild cells, marginals and adjacency
+            # from the densified matrix through the same bookkeeping
+            # the live path uses.  Zero-valued cells are dropped, which
+            # is answer-preserving (only cells > 0 count as edges).
+            sketch._cells.clear()
+            sketch._row_sums.clear()
+            sketch._col_sums.clear()
+            sketch._row_adjacency.clear()
+            sketch._col_adjacency.clear()
+            rows, cols = np.nonzero(matrix)
+            values = matrix[rows, cols]
+            for r, c, v in zip(rows.tolist(), cols.tolist(),
+                               values.tolist()):
+                sketch._apply(r, c, v)
+        sketch.bump_epoch()
+
+
+def _write_window_snapshot(window, path: str) -> None:
+    payload: Dict[str, Any] = {
+        "window_format_version": np.int64(1),
+        "watermark": np.float64(window._watermark),
+        "has_bucket": np.bool_(window._bucket_index is not None),
+        "bucket_index": np.int64(window._bucket_index or 0),
+        "ring_slots": np.int64(len(window._ring)),
+    }
+    for i, sub in enumerate(window._ring):
+        buf = io.BytesIO()
+        save_tcm(sub, buf)
+        payload[f"ring_{i}"] = np.frombuffer(buf.getvalue(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def _restore_window_snapshot(window, path: str) -> None:
+    with np.load(path, allow_pickle=False) as archive:
+        if "window_format_version" not in archive:
+            raise SnapshotMismatch(
+                "snapshot is not a window snapshot (tenant kind mismatch)")
+        if int(archive["window_format_version"]) != 1:
+            raise SnapshotMismatch("unsupported window snapshot version")
+        slots = int(archive["ring_slots"])
+        if slots != len(window._ring):
+            raise SnapshotMismatch(
+                f"snapshot has {slots} ring slots, config has "
+                f"{len(window._ring)} (different 'buckets'?)")
+        with window._lock:
+            for i, sub in enumerate(window._ring):
+                blob = np.asarray(archive[f"ring_{i}"]).tobytes()
+                with np.load(io.BytesIO(blob),
+                             allow_pickle=False) as sub_archive:
+                    _restore_tcm_into(sub, sub_archive)
+            window._watermark = float(archive["watermark"])
+            window._bucket_index = (int(archive["bucket_index"])
+                                    if bool(archive["has_bucket"]) else None)
+            window._merged_stale = True
+
+
+def write_tenant_snapshot(tenant, directory: str, seq: int) -> str:
+    """Atomically write ``snapshot-<seq>.npz`` for one tenant.
+
+    The snapshot is written to a temp file, fsynced, then renamed into
+    place (and the directory fsynced), so a crash mid-snapshot leaves
+    either the old snapshot set or the new one -- never a torn archive
+    under the final name.
+    """
+    final = snapshot_path(directory, seq)
+    tmp = os.path.join(directory, f".snapshot-{seq:08d}.tmp.npz")
+    if tenant.kind == "window":
+        _write_window_snapshot(tenant.sketch, tmp)
+    else:
+        save_tcm(tenant.sketch, tmp)
+    with open(tmp, "rb") as fh:
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    _fsync_dir(directory)
+    return final
+
+
+def restore_tenant_snapshot(tenant, path: str) -> None:
+    """Load a snapshot written by :func:`write_tenant_snapshot`."""
+    if tenant.kind == "window":
+        _restore_window_snapshot(tenant.sketch, path)
+    else:
+        with np.load(path, allow_pickle=False) as archive:
+            if "window_format_version" in archive:
+                raise SnapshotMismatch(
+                    "snapshot is a window snapshot (tenant kind mismatch)")
+            _restore_tcm_into(tenant.sketch, archive)
+
+
+# -- tenant metadata -------------------------------------------------------
+
+def _config_json(config: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: (v.value if isinstance(v, Aggregation) else v)
+            for k, v in config.items()}
+
+
+def write_meta(directory: str, name: str, kind: str,
+               config: Dict[str, Any]) -> None:
+    meta = {"format_version": 1, "name": name, "kind": kind,
+            "config": _config_json(config)}
+    tmp = os.path.join(directory, f".{_META_NAME}.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, os.path.join(directory, _META_NAME))
+    _fsync_dir(directory)
+
+
+def read_meta(directory: str) -> Dict[str, Any]:
+    with open(os.path.join(directory, _META_NAME), encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("format_version") != 1:
+        raise ValueError(
+            f"unsupported tenant meta version {meta.get('format_version')}")
+    return meta
+
+
+# -- the manager -----------------------------------------------------------
+
+class DurabilityManager:
+    """Owns the data dir: attaches WALs to tenants, snapshots, recovers.
+
+    Event-loop-owned like the registry; all methods are synchronous and
+    must be called from the loop thread (or before the loop runs).
+    """
+
+    def __init__(self, data_dir: str, *, fsync: str = "interval",
+                 fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+                 rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+                 faults: Optional[FaultPlan] = None):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got "
+                f"{fsync!r}")
+        self.data_dir = data_dir
+        self.tenants_dir = os.path.join(data_dir, "tenants")
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.rotate_bytes = rotate_bytes
+        self.faults = faults
+        self.last_recovery: Optional[Dict[str, Any]] = None
+        os.makedirs(self.tenants_dir, exist_ok=True)
+        # records-at-last-snapshot per tenant, to skip no-op snapshots.
+        self._snapshot_marks: Dict[str, int] = {}
+
+    def tenant_dir(self, name: str) -> str:
+        return os.path.join(self.tenants_dir, name)
+
+    # -- attach / detach ---------------------------------------------------
+
+    def attach(self, tenant, *, write_meta_file: bool = True) -> None:
+        """Give a tenant a WAL (new segment after any existing tail)."""
+        directory = self.tenant_dir(tenant.name)
+        os.makedirs(directory, exist_ok=True)
+        if write_meta_file:
+            write_meta(directory, tenant.name, tenant.kind, tenant.config)
+        segments = list_segments(directory)
+        snapshots = list_snapshots(directory)
+        last = max([seq for seq, _ in segments]
+                   + [seq for seq, _ in snapshots] + [0])
+        tenant.wal = WalWriter(
+            directory, fsync=self.fsync_policy,
+            fsync_interval=self.fsync_interval,
+            rotate_bytes=self.rotate_bytes,
+            start_segment=last + 1, faults=self.faults)
+
+    def detach(self, name: str, wal: Optional[WalWriter], *,
+               delete: bool = False) -> None:
+        if wal is not None:
+            wal.close()
+        self._snapshot_marks.pop(name, None)
+        if delete:
+            shutil.rmtree(self.tenant_dir(name), ignore_errors=True)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot_tenant(self, tenant) -> Optional[Dict[str, Any]]:
+        """Rotate the WAL, snapshot current state, prune covered files.
+
+        Returns a small report dict, or ``None`` when nothing was
+        written since the last snapshot (no point churning the disk).
+        Everything happens synchronously on the loop thread: between the
+        rotate and the state capture no batch can land, so the snapshot
+        covers exactly the segments before the rotation point.
+        """
+        wal = tenant.wal
+        if wal is None:
+            return None
+        if self._snapshot_marks.get(tenant.name) == wal.records:
+            return None
+        started = time.perf_counter()
+        directory = self.tenant_dir(tenant.name)
+        covered = wal.rotate()
+        write_tenant_snapshot(tenant, directory, covered)
+        self._snapshot_marks[tenant.name] = wal.records
+        pruned = 0
+        for seq, path in list_segments(directory):
+            if seq <= covered:
+                try:
+                    os.remove(path)
+                    pruned += 1
+                except OSError:
+                    pass
+        for seq, path in list_snapshots(directory):
+            if seq < covered:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        elapsed = time.perf_counter() - started
+        if OBS.enabled:
+            OBS.wal_snapshots.inc()
+            OBS.wal_snapshot_seconds.observe(elapsed)
+            OBS.wal_segments_pruned.inc(pruned)
+        return {"tenant": tenant.name, "covered_segment": covered,
+                "segments_pruned": pruned, "seconds": elapsed}
+
+    def snapshot_all(self, registry) -> List[Dict[str, Any]]:
+        reports = []
+        for name in registry.names():
+            report = self.snapshot_tenant(registry.get(name))
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def sync_all(self, registry) -> None:
+        """Force-fsync every tenant's WAL (shutdown path)."""
+        for name in registry.names():
+            wal = registry.get(name).wal
+            if wal is not None:
+                try:
+                    wal.sync()
+                except OSError:
+                    pass
+
+    def close_all(self, registry) -> None:
+        for name in registry.names():
+            tenant = registry.get(name)
+            if tenant.wal is not None:
+                tenant.wal.close()
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, registry) -> Dict[str, Any]:
+        """Rebuild every persisted tenant into ``registry``.
+
+        For each tenant dir: construct a fresh sketch from ``meta.json``
+        (deterministic hashes), restore the newest readable snapshot,
+        replay every WAL record after it, then attach a fresh WAL
+        segment for new writes.  Torn tail frames are discarded (and
+        counted); a torn frame in a *non-final* segment is also
+        tolerated -- later segments still replay, because the writer
+        only starts a new segment after abandoning a broken one.
+        """
+        started = time.perf_counter()
+        report: Dict[str, Any] = {"tenants": {}, "records": 0,
+                                  "elements": 0, "torn_frames": 0,
+                                  "replay_errors": 0}
+        try:
+            names = sorted(os.listdir(self.tenants_dir))
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            directory = self.tenant_dir(name)
+            if not os.path.isdir(directory):
+                continue
+            tenant_report = self._recover_tenant(name, directory, registry)
+            report["tenants"][name] = tenant_report
+            report["records"] += tenant_report["records"]
+            report["elements"] += tenant_report["elements"]
+            report["torn_frames"] += tenant_report["torn_frames"]
+            report["replay_errors"] += tenant_report["replay_errors"]
+        report["seconds"] = time.perf_counter() - started
+        self.last_recovery = report
+        if OBS.enabled:
+            OBS.recovery_replayed_records.inc(report["records"])
+            OBS.recovery_replayed_elements.inc(report["elements"])
+            OBS.recovery_torn_frames.inc(report["torn_frames"])
+            OBS.recovery_tenants.inc(len(report["tenants"]))
+            OBS.recovery_seconds.observe(report["seconds"])
+        return report
+
+    def _recover_tenant(self, name: str, directory: str,
+                        registry) -> Dict[str, Any]:
+        from repro.server.registry import TenantSketch
+        meta = read_meta(directory)
+        tenant = TenantSketch(
+            meta["name"], meta["kind"], dict(meta["config"]),
+            max_batch=registry.max_batch, max_delay=registry.max_delay,
+            batching=registry.batching,
+            max_backlog=getattr(registry, "max_backlog", None))
+        snapshot_seq = 0
+        snapshot_loaded = None
+        for seq, path in reversed(list_snapshots(directory)):
+            try:
+                restore_tenant_snapshot(tenant, path)
+            except (SnapshotMismatch, ValueError, OSError, KeyError,
+                    BadZipFile):
+                # An unreadable snapshot (torn rename never happens, but
+                # a mismatched config can) falls back to the previous
+                # one; the WAL tail since it is still on disk.
+                continue
+            snapshot_seq = seq
+            snapshot_loaded = path
+            break
+        records = elements = torn = replay_errors = 0
+        for seq, path in list_segments(directory):
+            if seq <= snapshot_seq:
+                continue
+            segment_records, segment_torn = scan_segment(path)
+            torn += segment_torn
+            for record in segment_records:
+                try:
+                    tenant.replay(record)
+                except (ValueError, KeyError):
+                    # A record the sketch refuses (e.g. a remove logged
+                    # against state that no longer supports it) must not
+                    # abort recovery of everything after it.
+                    replay_errors += 1
+                    continue
+                records += 1
+                elements += record.elements
+        registry.adopt(tenant)
+        self.attach(tenant, write_meta_file=False)
+        return {"kind": tenant.kind, "snapshot": snapshot_loaded,
+                "snapshot_segment": snapshot_seq, "records": records,
+                "elements": elements, "torn_frames": torn,
+                "replay_errors": replay_errors}

@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the durability layer (chaos harness).
+
+A :class:`FaultPlan` is a small bag of counters the WAL writer consults
+at well-defined points of its append path.  Each knob models one of the
+storage failures a long-running sketch service actually meets:
+
+- ``fsync_delay`` -- every fsync takes this many extra seconds (a
+  saturated or failing disk; surfaces as loop lag and triggers the
+  backpressure controller).
+- ``fail_fsync_after`` -- after N successful fsyncs every further fsync
+  raises ``EIO`` (dying disk; acked writes stop being durable, requests
+  start failing with 503 while the process stays up).
+- ``fail_write_after`` -- after N frame writes every further write
+  raises ``ENOSPC`` (disk full).
+- ``crash_after_records`` -- the process calls ``os._exit(137)``
+  immediately after the Nth WAL record is durably appended, *before*
+  the batch is applied or acked.  This is the deterministic stand-in
+  for ``kill -9`` mid-flush: recovery must surface exactly the logged
+  prefix (all acked batches plus at most the one in-flight record).
+
+Plans are plain JSON so a benchmark can inject them into a server
+subprocess through the ``REPRO_FAULT_PLAN`` environment variable::
+
+    REPRO_FAULT_PLAN='{"crash_after_records": 20}' tcm serve --data-dir d
+
+:func:`tear_tail` / :func:`append_garbage` mutate WAL segment files on
+disk between runs -- the torn/corrupt-tail injections the recovery tests
+and ``benchmarks/bench_chaos.py`` use.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from typing import Dict, Optional
+
+_EXIT_KILLED = 137  # what a SIGKILLed process reports (128 + 9)
+
+#: Environment variable the server checks for an injected plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class FaultInjected(OSError):
+    """An injected storage failure (subclasses OSError so the server's
+    durability error handling treats it exactly like the real thing)."""
+
+
+class FaultPlan:
+    """Counters + thresholds driving injected storage faults.
+
+    All thresholds are "after N successes": ``fail_fsync_after=3`` lets
+    three fsyncs through and fails every one from the fourth on.
+    ``None`` disables a knob.  The plan is deliberately deterministic --
+    no randomness -- so a chaos run that fails is replayable.
+    """
+
+    def __init__(self, *, fsync_delay: float = 0.0,
+                 fail_fsync_after: Optional[int] = None,
+                 fail_write_after: Optional[int] = None,
+                 crash_after_records: Optional[int] = None):
+        if fsync_delay < 0:
+            raise ValueError(f"fsync_delay must be >= 0, got {fsync_delay}")
+        for name, value in (("fail_fsync_after", fail_fsync_after),
+                            ("fail_write_after", fail_write_after),
+                            ("crash_after_records", crash_after_records)):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        self.fsync_delay = fsync_delay
+        self.fail_fsync_after = fail_fsync_after
+        self.fail_write_after = fail_write_after
+        self.crash_after_records = crash_after_records
+        self.fsyncs = 0
+        self.writes = 0
+        self.records = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from its JSON object form (unknown keys rejected)."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad fault plan JSON: {exc}")
+        if not isinstance(raw, dict):
+            raise ValueError("fault plan must be a JSON object")
+        allowed = {"fsync_delay", "fail_fsync_after", "fail_write_after",
+                   "crash_after_records"}
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan keys: {sorted(unknown)} "
+                f"(expected a subset of {sorted(allowed)})")
+        return cls(**raw)
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) \
+            -> Optional["FaultPlan"]:
+        """The plan injected via ``REPRO_FAULT_PLAN``, or ``None``."""
+        text = (env if env is not None else os.environ).get(FAULT_PLAN_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    def describe(self) -> Dict[str, object]:
+        return {"fsync_delay": self.fsync_delay,
+                "fail_fsync_after": self.fail_fsync_after,
+                "fail_write_after": self.fail_write_after,
+                "crash_after_records": self.crash_after_records}
+
+    # -- injection points (called by WalWriter) ----------------------------
+
+    def on_write(self, nbytes: int) -> None:
+        """Before a frame's bytes hit the file (disk-full injection)."""
+        if (self.fail_write_after is not None
+                and self.writes >= self.fail_write_after):
+            raise FaultInjected(
+                errno.ENOSPC, "injected: no space left on device")
+        self.writes += 1
+
+    def on_fsync(self) -> None:
+        """Before each fsync (slow-disk and dying-disk injection)."""
+        if self.fsync_delay > 0:
+            time.sleep(self.fsync_delay)
+        if (self.fail_fsync_after is not None
+                and self.fsyncs >= self.fail_fsync_after):
+            raise FaultInjected(errno.EIO, "injected: fsync I/O error")
+        self.fsyncs += 1
+
+    def on_record(self) -> None:
+        """After a record is durably appended, before it is applied.
+
+        The crash point: the record is on disk (per the fsync policy)
+        but the sketch was never mutated and the request never acked --
+        the tightest window ``kill -9`` can hit.
+        """
+        self.records += 1
+        if (self.crash_after_records is not None
+                and self.records >= self.crash_after_records):
+            os._exit(_EXIT_KILLED)
+
+
+# -- on-disk tail corruption (used between server runs) --------------------
+
+def tear_tail(path: str, drop_bytes: int) -> int:
+    """Truncate ``drop_bytes`` off the end of a WAL segment.
+
+    Models a frame that was only partially flushed when the process
+    died.  Returns the new file size.
+    """
+    if drop_bytes < 0:
+        raise ValueError(f"drop_bytes must be >= 0, got {drop_bytes}")
+    size = os.path.getsize(path)
+    new_size = max(0, size - drop_bytes)
+    with open(path, "rb+") as fh:
+        fh.truncate(new_size)
+    return new_size
+
+
+def append_garbage(path: str, nbytes: int = 64, seed: int = 0) -> int:
+    """Append ``nbytes`` of deterministic garbage to a WAL segment.
+
+    Models the torn tail left by a crash *mid-append*: a frame header or
+    payload that never completed.  Recovery must discard it and keep
+    every complete frame before it.  Returns the new file size.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    garbage = bytes((seed + 31 * i) % 251 for i in range(nbytes))
+    with open(path, "ab") as fh:
+        fh.write(garbage)
+    return os.path.getsize(path)

@@ -19,12 +19,25 @@ Endpoints (docs/SERVER.md, docs/API.md):
 - ``POST /sketches/{name}/query`` -- ``{kind, pairs|nodes}``; coalesced
   per query family.
 - ``POST /sketches/{name}/advance`` -- ``{timestamp}`` (kind="window").
+
+With ``data_dir`` set the server is **durable**: tenant mutations are
+write-ahead-logged before they are acked, snapshots truncate the log in
+the background, and startup replays snapshot+tail back to the pre-crash
+state (see :mod:`repro.server.durability`).
+
+Under overload the server **degrades instead of melting**: a loop-lag
+probe drives an admission controller that sheds expensive query classes
+first, then ingest, with ``429 Too Many Requests`` + ``Retry-After``;
+a connection cap turns accept storms into fast 503s; a bounded staging
+buffer backstops the coalescer (:class:`~repro.server.coalescer.
+BacklogExceeded` also maps to 429).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -36,6 +49,7 @@ from repro.server.coalescer import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY,
     QUERY_KINDS,
+    BacklogExceeded,
 )
 from repro.server.registry import SketchRegistry
 
@@ -43,7 +57,13 @@ _MAX_BODY = 64 * 1024 * 1024
 _STATUS_TEXT = {200: "OK", 201: "Created", 204: "No Content",
                 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 409: "Conflict",
-                413: "Payload Too Large", 500: "Internal Server Error"}
+                413: "Payload Too Large", 429: "Too Many Requests",
+                500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Query kinds the admission controller sheds first under load: they
+#: build whole-graph indexes (closure bitsets) rather than probing a few
+#: cells, so one of them can cost thousands of edge lookups.
+EXPENSIVE_QUERY_KINDS = frozenset({"reach"})
 
 
 class _HTTPError(Exception):
@@ -51,6 +71,95 @@ class _HTTPError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class _ShedError(_HTTPError):
+    """Load shed: 429 with a Retry-After hint (not a client mistake)."""
+
+    def __init__(self, reason: str, retry_after: float,
+                 message: Optional[str] = None):
+        super().__init__(429, message or
+                         f"overloaded ({reason}); retry after "
+                         f"{retry_after:.3f}s")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class BackpressureController:
+    """Loop-lag sensing + tiered admission control.
+
+    The single-threaded server's honest overload signal is how late the
+    event loop runs its callbacks: staged batches cannot pile up (the
+    size trigger flushes synchronously), but a loop that is saturated
+    with flush work and socket churn services everything late.  A
+    periodic probe measures that lateness and keeps an EWMA; admission
+    is then tiered by how much work a request class costs to serve:
+
+    - ``lag >= 0.5 * lag_limit`` -- shed expensive query classes
+      (:data:`EXPENSIVE_QUERY_KINDS`): they amplify load the most.
+    - ``lag >= lag_limit`` -- shed ingest too: stop taking on new
+      state-changing work.
+    - ``lag >= 2 * lag_limit`` -- shed cheap queries as well; only
+      health/metrics/admin traffic is still served.
+
+    Shed responses carry ``Retry-After`` derived from the current lag,
+    so well-behaved clients space out exactly as much as the server
+    needs them to.
+    """
+
+    def __init__(self, *, lag_limit: float = 0.25,
+                 probe_interval: float = 0.05):
+        if lag_limit <= 0:
+            raise ValueError(f"lag_limit must be positive, got {lag_limit}")
+        self.lag_limit = lag_limit
+        self.probe_interval = probe_interval
+        self.lag = 0.0
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._probe())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _probe(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(self.probe_interval)
+            sample = max(0.0, loop.time() - before - self.probe_interval)
+            # Fast-attack, slow-decay EWMA: overload shows up within a
+            # couple of probes, recovery is declared a bit lazily so the
+            # shed decision does not flap.
+            alpha = 0.5 if sample > self.lag else 0.25
+            self.lag += alpha * (sample - self.lag)
+            if OBS.enabled:
+                OBS.server_loop_lag.set(self.lag)
+
+    def retry_after(self) -> float:
+        return round(max(2 * self.lag, 0.05), 3)
+
+    def shed_reason(self, cost: str) -> Optional[str]:
+        """``None`` to admit, else the shed reason for this cost class."""
+        lag = self.lag
+        if cost == "expensive_query":
+            if lag >= 0.5 * self.lag_limit:
+                return "query_class"
+        elif cost == "ingest":
+            if lag >= self.lag_limit:
+                return "lag"
+        elif cost == "cheap_query":
+            if lag >= 2 * self.lag_limit:
+                return "lag"
+        return None
 
 
 def _parse_labels(body: Dict, field: str) -> np.ndarray:
@@ -86,31 +195,85 @@ class SketchServer:
                  host: str = "127.0.0.1", port: int = 8765,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_delay: float = DEFAULT_MAX_DELAY,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_body: int = _MAX_BODY,
+                 max_backlog: Optional[int] = None,
+                 max_connections: int = 512,
+                 lag_limit: float = 0.25,
+                 data_dir: Optional[str] = None,
+                 fsync: str = "interval",
+                 fsync_interval: float = 0.05,
+                 rotate_bytes: int = 64 * 1024 * 1024,
+                 snapshot_interval: Optional[float] = 30.0,
+                 faults=None):
+        if max_backlog is None:
+            # Default bound: several full batches of headroom -- never
+            # hit while flushes are healthy, sheds when they are not.
+            max_backlog = 8 * max_batch
         self.registry = registry if registry is not None else SketchRegistry(
-            max_batch=max_batch, max_delay=max_delay, batching=batching)
+            max_batch=max_batch, max_delay=max_delay, batching=batching,
+            max_backlog=max_backlog)
         self.host = host
         self.port = port
         self.batching = self.registry.batching
+        self.max_body = max_body
+        self.max_connections = max_connections
+        self.backpressure = BackpressureController(lag_limit=lag_limit)
+        self.snapshot_interval = snapshot_interval
+        self.durability = None
+        self.recovery_report: Optional[Dict[str, Any]] = None
+        if data_dir is not None:
+            from repro.server.durability import DurabilityManager
+            from repro.server.faults import FaultPlan
+            if faults is None:
+                faults = FaultPlan.from_env()
+            self.durability = DurabilityManager(
+                data_dir, fsync=fsync, fsync_interval=fsync_interval,
+                rotate_bytes=rotate_bytes, faults=faults)
+            self.registry.durability = self.durability
         self._server: Optional[asyncio.AbstractServer] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        self._connections = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> int:
-        """Bind and listen; returns the actual port (for ``port=0``)."""
+        """Recover (if durable), bind and listen; returns the port."""
+        if self.durability is not None and self.recovery_report is None:
+            self.recovery_report = self.durability.recover(self.registry)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self.backpressure.start()
+        if self.durability is not None and self.snapshot_interval:
+            self._snapshot_task = asyncio.get_running_loop().create_task(
+                self._snapshot_loop())
         return self.port
 
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        await self._server.serve_forever()
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            try:
+                self.durability.snapshot_all(self.registry)
+            except OSError:
+                # A sick disk must not kill the loop; the next interval
+                # retries and the WAL keeps the data recoverable.
+                pass
 
     async def stop(self) -> None:
-        """Drain every coalescer, then close the listening socket."""
+        """Drain every coalescer, sync the WALs, close the socket."""
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        await self.backpressure.stop()
         self.registry.drain_all()
+        if self.durability is not None:
+            self.durability.sync_all(self.registry)
+            self.durability.close_all(self.registry)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -120,11 +283,34 @@ class SketchServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if self._connections >= self.max_connections:
+            # Accept storm: answer cheaply and get off the loop.  A 503
+            # with Retry-After beats letting the kernel queue grow and
+            # every accepted request time out.
+            if OBS.enabled:
+                OBS.shed_requests.labels("connections").inc()
+            retry = self.backpressure.retry_after()
+            self._write_response(
+                writer, 503,
+                {"error": "connection limit reached", "retry_after": retry},
+                keep_alive=False,
+                headers={"Retry-After": str(max(1, math.ceil(retry)))})
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+            return
+        self._connections += 1
         if OBS.enabled:
             OBS.server_open_connections.inc()
         try:
             while True:
-                request_line = await reader.readline()
+                try:
+                    request_line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized request line: not salvageable, close.
+                    break
                 if not request_line or request_line in (b"\r\n", b"\n"):
                     break
                 started = time.perf_counter()
@@ -134,23 +320,58 @@ class SketchServer:
                 except ValueError:
                     break
                 headers: Dict[str, str] = {}
+                malformed: Optional[str] = None
                 while True:
-                    line = await reader.readline()
+                    try:
+                        line = await reader.readline()
+                    except (ValueError, asyncio.LimitOverrunError):
+                        malformed = "oversized header line"
+                        line = b""
                     if line in (b"\r\n", b"\n", b""):
                         break
                     name, _, value = line.decode("latin-1").partition(":")
                     headers[name.strip().lower()] = value.strip()
-                length = int(headers.get("content-length", "0") or "0")
-                if length > _MAX_BODY:
+                if malformed is not None:
                     self._write_response(
-                        writer, 413, {"error": "body too large"})
+                        writer, 400, {"error": malformed}, keep_alive=False)
+                    await writer.drain()
+                    break
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                    if length < 0:
+                        raise ValueError
+                except ValueError:
+                    self._write_response(
+                        writer, 400,
+                        {"error": "bad Content-Length header"},
+                        keep_alive=False)
+                    await writer.drain()
+                    break
+                if length > self.max_body:
+                    # The oversized body is never read, so the stream
+                    # cannot be resynced -- close after answering.
+                    self._write_response(
+                        writer, 413,
+                        {"error": f"body too large ({length} > "
+                                  f"{self.max_body} bytes)"},
+                        keep_alive=False)
                     await writer.drain()
                     break
                 raw = await reader.readexactly(length) if length else b""
                 endpoint = self._endpoint_family(method, path)
+                extra_headers: Optional[Dict[str, str]] = None
                 try:
                     status, payload, content_type = \
                         await self._dispatch(method, path, raw)
+                except _ShedError as exc:
+                    status = exc.status
+                    payload = {"error": exc.message,
+                               "retry_after": exc.retry_after}
+                    content_type = "application/json"
+                    extra_headers = {"Retry-After": str(
+                        max(1, math.ceil(exc.retry_after)))}
+                    if OBS.enabled:
+                        OBS.shed_requests.labels(exc.reason).inc()
                 except _HTTPError as exc:
                     status, payload = exc.status, {"error": exc.message}
                     content_type = "application/json"
@@ -162,6 +383,12 @@ class SketchServer:
                     content_type = "application/json"
                 except asyncio.CancelledError:
                     raise
+                except OSError as exc:
+                    # Durability layer failure (disk full, dying fsync):
+                    # the request is not acked, the server stays up.
+                    status = 503
+                    payload = {"error": f"storage error: {exc}"}
+                    content_type = "application/json"
                 except Exception as exc:  # noqa: BLE001 -- the 500 boundary
                     status = 500
                     payload = {"error": f"{type(exc).__name__}: {exc}"}
@@ -170,7 +397,8 @@ class SketchServer:
                               and headers.get("connection", "").lower()
                               != "close")
                 self._write_response(writer, status, payload, content_type,
-                                     keep_alive=keep_alive)
+                                     keep_alive=keep_alive,
+                                     headers=extra_headers)
                 await writer.drain()
                 if OBS.enabled:
                     OBS.server_requests.labels(endpoint, str(status)).inc()
@@ -182,6 +410,7 @@ class SketchServer:
                 BrokenPipeError):
             pass
         finally:
+            self._connections -= 1
             if OBS.enabled:
                 OBS.server_open_connections.dec()
             writer.close()
@@ -210,7 +439,8 @@ class SketchServer:
     def _write_response(writer: asyncio.StreamWriter, status: int,
                         payload: Any,
                         content_type: str = "application/json", *,
-                        keep_alive: bool = True) -> None:
+                        keep_alive: bool = True,
+                        headers: Optional[Dict[str, str]] = None) -> None:
         if isinstance(payload, bytes):
             body = payload
         elif isinstance(payload, str):
@@ -218,9 +448,14 @@ class SketchServer:
         else:
             body = json.dumps(payload).encode("utf-8")
         reason = _STATUS_TEXT.get(status, "Unknown")
+        extra = ""
+        if headers:
+            extra = "".join(f"{name}: {value}\r\n"
+                            for name, value in headers.items())
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"
                 f"\r\n\r\n")
         writer.write(head.encode("latin-1") + body)
@@ -234,7 +469,10 @@ class SketchServer:
         if path == "/healthz" and method == "GET":
             return 200, {"status": "ok",
                          "batching": self.batching,
-                         "sketches": len(self.registry)}, "application/json"
+                         "sketches": len(self.registry),
+                         "durable": self.durability is not None,
+                         "loop_lag": round(self.backpressure.lag, 6)}, \
+                "application/json"
         if path == "/metrics" and method == "GET":
             from repro.obs.export import render_prometheus
             return 200, render_prometheus(REGISTRY), \
@@ -264,6 +502,8 @@ class SketchServer:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
             raise _HTTPError(400, f"bad JSON body: {exc}")
+        except UnicodeDecodeError as exc:
+            raise _HTTPError(400, f"body is not valid UTF-8: {exc}")
         if not isinstance(body, dict):
             raise _HTTPError(400, "body must be a JSON object")
         return body
@@ -284,9 +524,22 @@ class SketchServer:
             return 200, {"deleted": name}, "application/json"
         raise _HTTPError(405, f"unsupported method {method} for a sketch")
 
+    def _admit(self, cost: str) -> None:
+        reason = self.backpressure.shed_reason(cost)
+        if reason is not None:
+            raise _ShedError(reason, self.backpressure.retry_after())
+
     async def _sketch_action(self, name: str, action: str,
                              raw: bytes) -> Tuple[int, Any, str]:
         tenant = self.registry.get(name)
+        # Admit before decoding: parsing a large JSON batch costs loop
+        # time we cannot afford exactly when we are shedding.  Queries
+        # are re-checked at the stricter expensive tier once the kind
+        # is known.
+        if action == "ingest":
+            self._admit("ingest")
+        elif action == "query":
+            self._admit("cheap_query")
         body = self._json_body(raw)
         if action == "ingest":
             sources = _parse_labels(body, "sources")
@@ -302,8 +555,12 @@ class SketchServer:
                 default_ts = watermark if np.isfinite(watermark) else 0.0
                 timestamps = _parse_floats(body, "timestamps", n,
                                            default_ts)
-            ingested = await tenant.ingest.add(sources, targets, weights,
-                                               timestamps)
+            try:
+                future = tenant.ingest.add(sources, targets, weights,
+                                           timestamps)
+            except BacklogExceeded:
+                raise _ShedError("backlog", self.backpressure.retry_after())
+            ingested = await future
             return 200, {"ingested": ingested,
                          "batched": tenant.ingest.batching}, \
                 "application/json"
@@ -323,6 +580,8 @@ class SketchServer:
                 raise _HTTPError(
                     400, f"query 'kind' must be one of "
                          f"{sorted(QUERY_KINDS)}, got {kind!r}")
+            if kind in EXPENSIVE_QUERY_KINDS:
+                self._admit("expensive_query")
             shape = QUERY_KINDS[kind]
             if shape == "pairs":
                 pairs = body.get("pairs")

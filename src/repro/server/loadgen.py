@@ -1,30 +1,50 @@
-"""Closed-loop load generator for the sketch service (``tcm loadgen``).
+"""Resilient load generator for the sketch service (``tcm loadgen``).
 
 Drives N persistent keep-alive connections against a running
-:class:`~repro.server.http.SketchServer`, each sending its share of
-pre-generated JSON requests back-to-back (closed loop: a connection's
-next request leaves when its previous response arrives).  Concurrency
-across connections is what exercises the server's coalescers -- with one
-connection every micro-batch holds one request; with 16, batches fill.
+:class:`~repro.server.http.SketchServer`.  Two pacing modes:
+
+- **Closed loop** (default): each connection sends its share of
+  pre-generated requests back-to-back -- a connection's next request
+  leaves when its previous response arrives.  Concurrency across
+  connections is what exercises the server's coalescers.
+- **Open loop** (``rate``): requests are released on a fixed arrival
+  schedule regardless of completions, which is how real overload looks
+  -- the offered load does not politely slow down because the server
+  did.  Latency is measured from the *scheduled* arrival, so queueing
+  delay counts.  The chaos bench uses this to push 5x the sustainable
+  throughput and verify the server sheds instead of melting.
+
+The driver is built to survive a misbehaving server (that is its job in
+the chaos harness): connection resets, refused connections, timeouts and
+429/503 shed responses are counted per class in the summary -- with
+bounded retries and exponential backoff + jitter -- instead of crashing
+the run.  ``Retry-After`` hints from the server are honored.
 
 All request bodies are generated and JSON-encoded **before** the clock
-starts, so measured time is wire + server work only.  Latency is
-recorded per request; the summary reports client-side p50/p99 (exact,
-``np.percentile``) and, when asked, the server's own
-``/stats`` view (histogram-bucket quantiles via
-:func:`repro.obs.runtime.latency_quantiles`).
+starts, so measured time is wire + server work only.  The summary
+reports client-side p50/p99 (exact, ``np.percentile``) over completed
+requests, the same quantiles over *accepted* (HTTP 200) requests, and,
+when asked, the server's own ``/stats`` view.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import random
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.instruments import OBS
+
 _DEFAULT_SKETCH = {"kind": "tcm", "d": 4, "width": 256, "seed": 7}
+
+#: Error classes reported in ``summary["errors_by_class"]``.
+ERROR_CLASSES = ("connection", "timeout", "http_429", "http_503",
+                 "http_4xx", "http_5xx")
 
 
 async def _request(reader: asyncio.StreamReader,
@@ -77,6 +97,130 @@ def _make_requests(n_requests: int, elements: int, n_nodes: int,
     return out
 
 
+def _retry_after_hint(payload: bytes) -> Optional[float]:
+    try:
+        hint = json.loads(payload).get("retry_after")
+    except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+        return None
+    if isinstance(hint, (int, float)) and 0 <= hint <= 60:
+        return float(hint)
+    return None
+
+
+class _Driver:
+    """Shared state for one loadgen run (single event-loop thread)."""
+
+    def __init__(self, host: str, port: int, *, request_timeout: float,
+                 max_retries: int, backoff_base: float, backoff_cap: float,
+                 seed: int):
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.rng = random.Random(seed)
+        self.errors_by_class: Dict[str, int] = {c: 0 for c in ERROR_CLASSES}
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.errors = 0          # requests that ultimately failed
+        self.ingested = 0
+        self.latencies_ms: List[float] = []
+        self.accepted_ms: List[float] = []
+
+    async def _backoff(self, attempt: int,
+                       hint: Optional[float] = None) -> None:
+        if hint is not None:
+            delay = hint * (0.75 + 0.5 * self.rng.random())
+        else:
+            delay = (min(self.backoff_cap,
+                         self.backoff_base * (2 ** attempt))
+                     * (0.5 + self.rng.random()))
+        self.backoff_seconds += delay
+        if OBS.enabled:
+            OBS.retry_backoff_seconds.inc(delay)
+        await asyncio.sleep(delay)
+
+    def _note_retry(self, reason: str) -> None:
+        self.retries += 1
+        if OBS.enabled:
+            OBS.retry_attempts.labels(reason).inc()
+
+    async def send(self, conn: Dict[str, Any], kind: str, path: str,
+                   body: bytes) -> Optional[int]:
+        """One request with reconnect + bounded retries.
+
+        Returns the final HTTP status, or ``None`` if every attempt
+        failed at the transport level.  Never raises for server-side
+        or network trouble -- that is the whole point of this driver.
+        """
+        attempt = 0
+        while True:
+            try:
+                if conn.get("writer") is None:
+                    conn["reader"], conn["writer"] = await asyncio.wait_for(
+                        asyncio.open_connection(self.host, self.port),
+                        self.request_timeout)
+                status, payload = await asyncio.wait_for(
+                    _request(conn["reader"], conn["writer"], "POST", path,
+                             body, host=self.host),
+                    self.request_timeout)
+            except asyncio.TimeoutError:
+                await self._drop(conn)
+                if attempt >= self.max_retries:
+                    self.errors_by_class["timeout"] += 1
+                    self.errors += 1
+                    return None
+                self._note_retry("timeout")
+                await self._backoff(attempt)
+                attempt += 1
+                continue
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError):
+                await self._drop(conn)
+                if attempt >= self.max_retries:
+                    self.errors_by_class["connection"] += 1
+                    self.errors += 1
+                    return None
+                self._note_retry("connection")
+                await self._backoff(attempt)
+                attempt += 1
+                continue
+            if status in (429, 503):
+                key = f"http_{status}"
+                self.errors_by_class[key] += 1
+                if status == 503:
+                    # The connection-cap 503 closes the connection.
+                    await self._drop(conn)
+                if attempt >= self.max_retries:
+                    self.errors += 1
+                    return status
+                self._note_retry("http_429" if status == 429
+                                 else "http_503")
+                await self._backoff(attempt, _retry_after_hint(payload))
+                attempt += 1
+                continue
+            if status != 200:
+                bucket = "http_4xx" if status < 500 else "http_5xx"
+                self.errors_by_class[bucket] += 1
+                self.errors += 1
+                return status
+            if kind == "ingest":
+                self.ingested += json.loads(payload)["ingested"]
+            return status
+
+    @staticmethod
+    async def _drop(conn: Dict[str, Any]) -> None:
+        writer = conn.get("writer")
+        conn["reader"] = conn["writer"] = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
 async def run_loadgen(host: str, port: int, *,
                       sketch: str = "loadgen",
                       connections: int = 16,
@@ -88,14 +232,32 @@ async def run_loadgen(host: str, port: int, *,
                       create: bool = True,
                       sketch_config: Optional[Dict[str, Any]] = None,
                       fetch_server_stats: bool = True,
-                      cleanup: bool = False) -> Dict[str, Any]:
-    """Drive the mix and return the throughput/latency summary."""
+                      cleanup: bool = False,
+                      rate: Optional[float] = None,
+                      request_timeout: float = 30.0,
+                      max_retries: int = 3,
+                      backoff_base: float = 0.05,
+                      backoff_cap: float = 2.0) -> Dict[str, Any]:
+    """Drive the mix and return the throughput/latency summary.
+
+    ``rate`` switches to open-loop pacing: requests are released at
+    ``rate`` per second across the connection pool and latency counts
+    from each request's *scheduled* departure.  ``max_retries=0``
+    disables retrying (each request gets exactly one attempt).
+    """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
+    if rate is not None and rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     workload = _make_requests(requests, elements, n_nodes, query_ratio,
                               sketch, seed)
+    driver = _Driver(host, port, request_timeout=request_timeout,
+                     max_retries=max_retries, backoff_base=backoff_base,
+                     backoff_cap=backoff_cap, seed=seed)
 
     admin_reader, admin_writer = await asyncio.open_connection(host, port)
     try:
@@ -109,57 +271,96 @@ async def run_loadgen(host: str, port: int, *,
                     f"creating sketch {sketch!r} failed: "
                     f"{status} {payload.decode(errors='replace')}")
 
-        latencies_ms: List[float] = []
-        errors = 0
-        ingested = 0
+        loop = asyncio.get_running_loop()
 
-        async def worker(worker_requests) -> None:
-            nonlocal errors, ingested
-            reader, writer = await asyncio.open_connection(host, port)
+        async def closed_worker(shard) -> None:
+            conn: Dict[str, Any] = {"reader": None, "writer": None}
             try:
-                for kind, path, body in worker_requests:
+                for kind, path, body in shard:
                     started = time.perf_counter()
-                    status, payload = await _request(
-                        reader, writer, "POST", path, body, host=host)
-                    latencies_ms.append(
-                        (time.perf_counter() - started) * 1e3)
-                    if status != 200:
-                        errors += 1
-                    elif kind == "ingest":
-                        ingested += json.loads(payload)["ingested"]
+                    status = await driver.send(conn, kind, path, body)
+                    latency = (time.perf_counter() - started) * 1e3
+                    driver.latencies_ms.append(latency)
+                    if status == 200:
+                        driver.accepted_ms.append(latency)
             finally:
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionResetError, BrokenPipeError):
-                    pass
+                await driver._drop(conn)
 
-        shards = [workload[i::connections] for i in range(connections)]
+        async def open_worker(counter, t0: float) -> None:
+            conn: Dict[str, Any] = {"reader": None, "writer": None}
+            try:
+                for i in counter:
+                    if i >= requests:
+                        return
+                    kind, path, body = workload[i]
+                    scheduled = t0 + i / rate
+                    delay = scheduled - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    sent = loop.time()
+                    status = await driver.send(conn, kind, path, body)
+                    done = loop.time()
+                    # End-to-end latency counts from the *scheduled*
+                    # arrival (open-loop honesty: schedule slip is real
+                    # waiting).  Accepted latency counts from the actual
+                    # send -- the server's service time for the requests
+                    # it admitted, which is what the overload gate is
+                    # about.
+                    driver.latencies_ms.append((done - scheduled) * 1e3)
+                    if status == 200:
+                        driver.accepted_ms.append((done - sent) * 1e3)
+            finally:
+                await driver._drop(conn)
+
         started = time.perf_counter()
-        await asyncio.gather(*(worker(shard) for shard in shards if shard))
+        if rate is None:
+            shards = [workload[i::connections] for i in range(connections)]
+            await asyncio.gather(
+                *(closed_worker(shard) for shard in shards if shard))
+        else:
+            counter = iter(itertools.count())
+            t0 = loop.time()
+            await asyncio.gather(
+                *(open_worker(counter, t0) for _ in range(connections)))
         elapsed = time.perf_counter() - started
 
-        lat = np.asarray(latencies_ms)
+        def quantiles(values: List[float]) -> Dict[str, float]:
+            if not values:
+                return {"p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+            arr = np.asarray(values)
+            return {"p50": round(float(np.percentile(arr, 50)), 3),
+                    "p99": round(float(np.percentile(arr, 99)), 3),
+                    "mean": round(float(arr.mean()), 3),
+                    "max": round(float(arr.max()), 3)}
+
+        accepted = len(driver.accepted_ms)
         summary: Dict[str, Any] = {
             "connections": connections,
             "requests": requests,
             "elements_per_request": elements,
             "query_ratio": query_ratio,
+            "mode": "open" if rate is not None else "closed",
             "seconds": round(elapsed, 4),
             "req_per_s": round(requests / elapsed, 1),
-            "elements_per_s": round(ingested / elapsed, 1),
-            "ingested_elements": int(ingested),
-            "errors": int(errors),
-            "latency_ms": {
-                "p50": round(float(np.percentile(lat, 50)), 3),
-                "p99": round(float(np.percentile(lat, 99)), 3),
-                "mean": round(float(lat.mean()), 3),
-                "max": round(float(lat.max()), 3),
-            },
+            "elements_per_s": round(driver.ingested / elapsed, 1),
+            "ingested_elements": int(driver.ingested),
+            "errors": int(driver.errors),
+            "errors_by_class": {k: v for k, v
+                                in driver.errors_by_class.items() if v},
+            "retries": int(driver.retries),
+            "backoff_seconds": round(driver.backoff_seconds, 3),
+            "accepted_requests": accepted,
+            "latency_ms": quantiles(driver.latencies_ms),
+            "accepted_latency_ms": quantiles(driver.accepted_ms),
         }
+        if rate is not None:
+            summary["offered_rate"] = rate
         if fetch_server_stats:
-            status, payload = await _request(
-                admin_reader, admin_writer, "GET", "/stats", host=host)
+            try:
+                status, payload = await _request(
+                    admin_reader, admin_writer, "GET", "/stats", host=host)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                status, payload = 0, b""
             if status == 200:
                 stats = json.loads(payload)
                 summary["server_latency"] = {
@@ -174,5 +375,5 @@ async def run_loadgen(host: str, port: int, *,
         admin_writer.close()
         try:
             await admin_writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass

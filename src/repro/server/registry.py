@@ -64,13 +64,18 @@ class TenantSketch:
     def __init__(self, name: str, kind: str, config: Dict[str, Any], *,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_delay: float = DEFAULT_MAX_DELAY,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_backlog: Optional[int] = None):
         if kind not in ("tcm", "window"):
             raise ValueError(
                 f"unknown sketch kind {kind!r} (expected 'tcm' or 'window')")
         self.name = name
         self.kind = kind
         self.config = _parse_config(kind, config)
+        #: Optional write-ahead log (attached by a DurabilityManager).
+        #: When set, every applied batch is logged *before* it mutates
+        #: the sketch, so an acked request is always recoverable.
+        self.wal = None
         if kind == "window":
             from repro.streams.rotating import RotatingWindowTCM
             self.sketch = RotatingWindowTCM(**self.config)
@@ -85,7 +90,7 @@ class TenantSketch:
             apply_batch, apply_scalar=apply_scalar,
             max_batch=max_batch, max_delay=max_delay,
             with_timestamps=(kind == "window"), batching=batching,
-            kind="ingest")
+            max_backlog=max_backlog, kind="ingest")
         self.queries = QueryCoalescer(
             self._run_queries, max_batch=max_batch, max_delay=max_delay,
             batching=batching, before_flush=self.ingest.flush,
@@ -93,23 +98,63 @@ class TenantSketch:
 
     # -- ingest applications (batch rides the kernels, scalar does not) ----
 
-    def _apply_tcm_batch(self, src, dst, weights, _ts) -> None:
+    def _apply_tcm_batch(self, src, dst, weights, _ts, *,
+                         _log: bool = True) -> None:
+        if _log and self.wal is not None:
+            self.wal.append_ingest(src, dst, weights)
         self.sketch.ingest_keys(src, dst, weights)
 
-    def _apply_tcm_scalar(self, src, dst, weights, _ts) -> None:
+    def _apply_tcm_scalar(self, src, dst, weights, _ts, *,
+                          _log: bool = True) -> None:
+        if _log and self.wal is not None:
+            self.wal.append_ingest(src, dst, weights, scalar=True)
         update = self.sketch.update
         for s, t, w in zip(src.tolist(), dst.tolist(), weights.tolist()):
             update(s, t, w)
 
-    def _apply_window_batch(self, src, dst, weights, ts) -> None:
+    def _apply_window_batch(self, src, dst, weights, ts, *,
+                            _log: bool = True) -> None:
+        if _log and self.wal is not None:
+            self.wal.append_ingest(src, dst, weights, ts)
         self.sketch.observe_columns(src, dst, weights, ts)
 
-    def _apply_window_scalar(self, src, dst, weights, ts) -> None:
+    def _apply_window_scalar(self, src, dst, weights, ts, *,
+                             _log: bool = True) -> None:
+        if _log and self.wal is not None:
+            self.wal.append_ingest(src, dst, weights, ts, scalar=True)
         observe = self.sketch.observe
         for s, t, w, when in zip(src.tolist(), dst.tolist(),
                                  weights.tolist(), ts.tolist()):
             # Same late policy as observe_columns: clamp, don't reject.
             observe(s, t, w, max(when, self.sketch.watermark))
+
+    def replay(self, record) -> None:
+        """Re-apply one decoded WAL record (recovery path, no logging).
+
+        Replays through the *same* apply function that produced the
+        record -- the scalar/batch mode is carried in the record's flags
+        -- so the recovered matrices are bit-identical to the pre-crash
+        ones (the scalar and batch window paths clamp late timestamps
+        at different granularities, so the mode matters).
+        """
+        from repro.server.durability import FLAG_SCALAR
+        if record.op == "ingest":
+            scalar = bool(record.flags & FLAG_SCALAR)
+            if self.kind == "window":
+                apply = (self._apply_window_scalar if scalar
+                         else self._apply_window_batch)
+            else:
+                apply = (self._apply_tcm_scalar if scalar
+                         else self._apply_tcm_batch)
+            apply(record.sources, record.targets, record.weights,
+                  record.timestamps, _log=False)
+        elif record.op == "remove":
+            self.sketch.remove_many(record.sources, record.targets,
+                                    record.weights)
+        elif record.op == "advance":
+            self.sketch.advance_to(record.timestamp)
+        else:  # pragma: no cover -- the decoder only emits the three ops
+            raise ValueError(f"unknown WAL op {record.op!r}")
 
     # -- the batched query runner ------------------------------------------
 
@@ -138,6 +183,28 @@ class TenantSketch:
                 "window sketches expire by rotation; deletions are only "
                 "supported on kind='tcm'")
         self.ingest.flush("barrier")
+        if self.wal is not None:
+            # Validate before logging: a remove the sketch would reject
+            # (non-invertible aggregation, bad lengths) must not leave a
+            # poison record in the log.
+            from repro.core.tcm import TCM
+            if not self.sketch.aggregation.invertible:
+                raise ValueError(
+                    f"{self.sketch.aggregation.value} aggregation does "
+                    "not support deletion")
+            source_keys = TCM._deletion_keys(sources)
+            target_keys = TCM._deletion_keys(targets)
+            n = len(source_keys)
+            if len(target_keys) != n:
+                raise ValueError(
+                    f"got {n} sources but {len(target_keys)} targets")
+            wts = (np.ones(n) if weights is None
+                   else np.asarray(weights, dtype=np.float64))
+            if len(wts) != n:
+                raise ValueError(
+                    f"got {n} sources but {len(wts)} weights")
+            self.wal.append_remove(source_keys, target_keys, wts)
+            return self.sketch.remove_many(source_keys, target_keys, wts)
         return self.sketch.remove_many(sources, targets, weights)
 
     def advance(self, timestamp: float) -> Dict[str, float]:
@@ -145,6 +212,12 @@ class TenantSketch:
         if self.kind != "window":
             raise ValueError("advance is only supported on kind='window'")
         self.ingest.flush("barrier")
+        if self.wal is not None:
+            if timestamp < self.sketch.watermark:
+                raise ValueError(
+                    f"cannot advance backwards: watermark is "
+                    f"{self.sketch.watermark}, got {timestamp}")
+            self.wal.append_advance(timestamp)
         self.sketch.advance_to(timestamp)
         return {"watermark": self.sketch.watermark}
 
@@ -177,10 +250,15 @@ class SketchRegistry:
 
     def __init__(self, *, max_batch: int = DEFAULT_MAX_BATCH,
                  max_delay: float = DEFAULT_MAX_DELAY,
-                 batching: bool = True):
+                 batching: bool = True,
+                 max_backlog: Optional[int] = None):
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.batching = batching
+        self.max_backlog = max_backlog
+        #: Optional DurabilityManager; when set, created tenants get a
+        #: WAL and deleted tenants have their on-disk state removed.
+        self.durability = None
         self._tenants: Dict[str, TenantSketch] = {}
 
     def __len__(self) -> int:
@@ -194,18 +272,32 @@ class SketchRegistry:
 
     def create(self, name: str, kind: str = "tcm",
                **config: Any) -> TenantSketch:
-        if not name or "/" in name:
+        # Names double as data-dir entries once durability is on, so
+        # path-walking names are invalid everywhere for consistency.
+        if (not name or "/" in name or "\\" in name or "\x00" in name
+                or name in (".", "..")):
             raise ValueError(f"invalid sketch name {name!r}")
         if name in self._tenants:
             raise ValueError(f"sketch {name!r} already exists")
         tenant = TenantSketch(name, kind, config,
                               max_batch=self.max_batch,
                               max_delay=self.max_delay,
-                              batching=self.batching)
+                              batching=self.batching,
+                              max_backlog=self.max_backlog)
+        if self.durability is not None:
+            self.durability.attach(tenant)
         self._tenants[name] = tenant
         if OBS.enabled:
             OBS.server_active_sketches.set(len(self._tenants))
         return tenant
+
+    def adopt(self, tenant: TenantSketch) -> None:
+        """Insert an already-built tenant (the recovery path)."""
+        if tenant.name in self._tenants:
+            raise ValueError(f"sketch {tenant.name!r} already exists")
+        self._tenants[tenant.name] = tenant
+        if OBS.enabled:
+            OBS.server_active_sketches.set(len(self._tenants))
 
     def get(self, name: str) -> TenantSketch:
         try:
@@ -216,6 +308,9 @@ class SketchRegistry:
     def delete(self, name: str) -> None:
         tenant = self.get(name)
         tenant.drain()
+        if self.durability is not None:
+            self.durability.detach(name, tenant.wal, delete=True)
+            tenant.wal = None
         del self._tenants[name]
         if OBS.enabled:
             OBS.server_active_sketches.set(len(self._tenants))

@@ -1,0 +1,473 @@
+"""Tests for the durability layer (repro.server.durability).
+
+Four layers: the WAL frame format round-trips exactly (including
+torn-tail truncation at *every* byte offset of the final frame --
+recovery never raises, and always yields exactly the pre-tail prefix);
+snapshots restore dense, sparse and window tenants bit-identically;
+the DurabilityManager rebuilds a registry from snapshot + WAL tail
+in process; and a real server subprocess killed with SIGKILL after
+acked ingest comes back answering queries identically to an uncrashed
+reference (``--fsync always`` is the contract being tested).
+"""
+
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.tcm import TCM
+from repro.server.durability import (
+    SEGMENT_MAGIC,
+    DurabilityManager,
+    SnapshotMismatch,
+    WalWriter,
+    list_segments,
+    list_snapshots,
+    restore_tenant_snapshot,
+    scan_segment,
+    segment_path,
+    write_tenant_snapshot,
+)
+from repro.server.faults import append_garbage
+from repro.server.registry import SketchRegistry, TenantSketch
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def keys(values):
+    return np.asarray(values, dtype=np.uint64)
+
+
+def weights(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+def matrices(sketch_owner):
+    """Every underlying matrix of a TCM or RotatingWindowTCM, stacked."""
+    tcm = sketch_owner
+    if hasattr(tcm, "_ring"):  # rotating window: compare every sub-sketch
+        return [np.asarray(s.matrix)
+                for sub in tcm._ring for s in sub.sketches]
+    return [np.asarray(s.matrix) for s in tcm.sketches]
+
+
+def assert_same_state(a, b):
+    for left, right in zip(matrices(a), matrices(b)):
+        np.testing.assert_array_equal(left, right)
+
+
+class TestWalRoundTrip:
+    def test_records_round_trip_exactly(self, tmp_path):
+        wal = WalWriter(str(tmp_path), fsync="off")
+        wal.append_ingest(keys([1, 2, 3]), keys([4, 5, 6]),
+                          weights([1.0, 2.5, 3.0]))
+        wal.append_ingest(keys([7]), keys([8]), weights([0.5]),
+                          weights([10.0]), scalar=True)
+        wal.append_remove(keys([1]), keys([4]), weights([1.0]))
+        wal.append_advance(99.5)
+        wal.close()
+
+        records, torn = scan_segment(wal.path)
+        assert torn == 0
+        assert [r.op for r in records] == ["ingest", "ingest", "remove",
+                                           "advance"]
+        np.testing.assert_array_equal(records[0].sources, keys([1, 2, 3]))
+        np.testing.assert_array_equal(records[0].weights,
+                                      weights([1.0, 2.5, 3.0]))
+        assert records[0].timestamps is None
+        assert records[1].flags & 0x02  # FLAG_SCALAR
+        np.testing.assert_array_equal(records[1].timestamps,
+                                      weights([10.0]))
+        assert records[2].op == "remove"
+        assert records[3].timestamp == 99.5
+        assert records[3].elements == 0
+
+    def test_rotation_splits_segments(self, tmp_path):
+        wal = WalWriter(str(tmp_path), fsync="off", rotate_bytes=4096)
+        for i in range(40):
+            wal.append_ingest(keys(range(50)), keys(range(50)),
+                              weights([float(i)] * 50))
+        wal.close()
+        segments = list_segments(str(tmp_path))
+        assert len(segments) > 1
+        total = 0
+        for _, path in segments:
+            records, torn = scan_segment(path)
+            assert torn == 0
+            total += len(records)
+        assert total == 40
+
+    def test_fsync_policies_accept_and_reject(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            WalWriter(str(tmp_path), fsync="sometimes")
+        for policy in ("always", "interval", "off"):
+            wal = WalWriter(str(tmp_path / policy), fsync=policy)
+            wal.append_advance(1.0)
+            wal.close()
+            records, torn = scan_segment(wal.path)
+            assert torn == 0 and len(records) == 1
+
+    def test_empty_and_garbage_segments(self, tmp_path):
+        empty = tmp_path / "wal-00000001.log"
+        empty.write_bytes(b"")
+        assert scan_segment(str(empty)) == ([], 0)
+        bad_magic = tmp_path / "wal-00000002.log"
+        bad_magic.write_bytes(b"NOTAWAL!\x00\x00")
+        assert scan_segment(str(bad_magic)) == ([], 1)
+
+
+class TestTornTail:
+    """Truncation at every byte offset of the last frame is survivable."""
+
+    def _build(self, tmp_path, n_records=4):
+        wal = WalWriter(str(tmp_path), fsync="off")
+        boundaries = [len(SEGMENT_MAGIC)]
+        for i in range(n_records):
+            wal.append_ingest(keys([i, i + 1]), keys([i + 2, i + 3]),
+                              weights([1.0, float(i)]))
+            boundaries.append(wal.bytes_written + len(SEGMENT_MAGIC))
+        wal.close()
+        return wal.path, boundaries
+
+    def test_every_truncation_offset_of_last_frame(self, tmp_path):
+        path, boundaries = self._build(tmp_path)
+        blob = open(path, "rb").read()
+        assert len(blob) == boundaries[-1]
+        last_start = boundaries[-2]
+        full, torn = scan_segment(path)
+        assert torn == 0 and len(full) == 4
+        for offset in range(last_start, len(blob)):
+            torn_file = tmp_path / "torn.log"
+            torn_file.write_bytes(blob[:offset])
+            records, torn = scan_segment(str(torn_file))
+            # Never raises; always exactly the pre-tail prefix.
+            assert len(records) == 3
+            assert torn == (0 if offset == last_start else 1)
+            for got, want in zip(records, full[:3]):
+                np.testing.assert_array_equal(got.sources, want.sources)
+                np.testing.assert_array_equal(got.weights, want.weights)
+
+    def test_garbage_tail_is_discarded(self, tmp_path):
+        path, _ = self._build(tmp_path)
+        append_garbage(path, nbytes=48, seed=3)
+        records, torn = scan_segment(path)
+        assert torn == 1 and len(records) == 4
+
+    def test_corrupted_payload_byte_fails_crc(self, tmp_path):
+        path, boundaries = self._build(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[boundaries[-2] + 20] ^= 0xFF  # flip a byte inside the frame
+        open(path, "wb").write(bytes(blob))
+        records, torn = scan_segment(path)
+        assert torn == 1 and len(records) == 3
+
+
+def make_tenant(kind="tcm", **overrides):
+    config = {"d": 3, "width": 32, "seed": 11}
+    if kind == "window":
+        config.update(horizon=100.0, buckets=4)
+    config.update(overrides)
+    return TenantSketch("t", kind, config)
+
+
+class TestSnapshots:
+    def test_dense_round_trip_bit_identical(self, tmp_path):
+        tenant = make_tenant()
+        tenant._apply_tcm_batch(keys([1, 2, 9]), keys([3, 4, 9]),
+                                weights([2.0, 3.5, 1.0]), None)
+        write_tenant_snapshot(tenant, str(tmp_path), 1)
+        fresh = make_tenant()
+        restore_tenant_snapshot(fresh, str(tmp_path / "snapshot-00000001.npz"))
+        assert_same_state(tenant.sketch, fresh.sketch)
+        assert (fresh.sketch.edge_weights([(1, 3), (2, 4)]).tolist()
+                == tenant.sketch.edge_weights([(1, 3), (2, 4)]).tolist())
+
+    def test_sparse_round_trip(self, tmp_path):
+        tenant = make_tenant(sparse=True)
+        tenant._apply_tcm_batch(keys([5, 6]), keys([7, 8]),
+                                weights([4.0, 1.0]), None)
+        write_tenant_snapshot(tenant, str(tmp_path), 1)
+        fresh = make_tenant(sparse=True)
+        restore_tenant_snapshot(fresh, str(tmp_path / "snapshot-00000001.npz"))
+        assert_same_state(tenant.sketch, fresh.sketch)
+
+    def test_window_round_trip_with_watermark_and_ring(self, tmp_path):
+        tenant = make_tenant("window")
+        tenant._apply_window_batch(keys([1, 2]), keys([3, 4]),
+                                   weights([1.0, 2.0]),
+                                   weights([10.0, 20.0]))
+        tenant.sketch.advance_to(60.0)
+        tenant._apply_window_batch(keys([5]), keys([6]), weights([7.0]),
+                                   weights([61.0]))
+        write_tenant_snapshot(tenant, str(tmp_path), 2)
+        fresh = make_tenant("window")
+        restore_tenant_snapshot(fresh, str(tmp_path / "snapshot-00000002.npz"))
+        assert fresh.sketch.watermark == tenant.sketch.watermark
+        assert_same_state(tenant.sketch, fresh.sketch)
+        probe = [(1, 3), (5, 6)]
+        assert (fresh.sketch.merged.edge_weights(probe).tolist()
+                == tenant.sketch.merged.edge_weights(probe).tolist())
+
+    def test_mismatched_config_is_rejected(self, tmp_path):
+        tenant = make_tenant()
+        write_tenant_snapshot(tenant, str(tmp_path), 1)
+        other = make_tenant(seed=99)
+        with pytest.raises(SnapshotMismatch):
+            restore_tenant_snapshot(
+                other, str(tmp_path / "snapshot-00000001.npz"))
+        wrong_kind = make_tenant("window")
+        with pytest.raises(SnapshotMismatch):
+            restore_tenant_snapshot(
+                wrong_kind, str(tmp_path / "snapshot-00000001.npz"))
+
+
+def apply_workload(tenant, rng, batches=6, elements=40):
+    for _ in range(batches):
+        src = keys(rng.integers(0, 500, elements))
+        dst = keys(rng.integers(0, 500, elements))
+        wts = weights(rng.integers(1, 5, elements))
+        tenant._apply_tcm_batch(src, dst, wts, None)
+
+
+class TestManagerRecovery:
+    def test_in_process_crash_recover_bit_identity(self, tmp_path):
+        registry = SketchRegistry()
+        manager = DurabilityManager(str(tmp_path), fsync="off")
+        registry.durability = manager
+        tenant = registry.create("alpha", "tcm", d=3, width=32, seed=7)
+        rng = np.random.default_rng(3)
+        apply_workload(tenant, rng, batches=4)
+        manager.snapshot_tenant(tenant)
+        apply_workload(tenant, rng, batches=3)  # WAL tail past the snapshot
+        tenant.remove(keys([1]), keys([2]), weights([0.0]))
+        reference_matrices = [m.copy() for m in matrices(tenant.sketch)]
+        # "Crash": drop the registry without closing anything gracefully
+        # beyond what the OS would keep (fsync=off still has the bytes in
+        # the file because WalWriter flushes the user-space buffer).
+        del registry, tenant
+
+        recovered_registry = SketchRegistry()
+        recovery_manager = DurabilityManager(str(tmp_path), fsync="off")
+        report = recovery_manager.recover(recovered_registry)
+        assert list(report["tenants"]) == ["alpha"]
+        assert report["replay_errors"] == 0
+        recovered = recovered_registry.get("alpha")
+        for got, want in zip(matrices(recovered.sketch),
+                             reference_matrices):
+            np.testing.assert_array_equal(got, want)
+        recovery_manager.close_all(recovered_registry)
+
+    def test_window_tenant_recovers_through_advances(self, tmp_path):
+        registry = SketchRegistry()
+        manager = DurabilityManager(str(tmp_path), fsync="off")
+        registry.durability = manager
+        tenant = registry.create("ring", "window", horizon=100.0,
+                                 buckets=4, d=2, width=32, seed=5)
+        tenant._apply_window_batch(keys([1, 2]), keys([3, 4]),
+                                   weights([1.0, 2.0]),
+                                   weights([10.0, 12.0]))
+        tenant.advance(55.0)
+        tenant._apply_window_batch(keys([8]), keys([9]), weights([3.0]),
+                                   weights([56.0]))
+        reference = [m.copy() for m in matrices(tenant.sketch)]
+        watermark = tenant.sketch.watermark
+        del registry, tenant
+
+        recovered_registry = SketchRegistry()
+        DurabilityManager(str(tmp_path), fsync="off").recover(
+            recovered_registry)
+        recovered = recovered_registry.get("ring")
+        assert recovered.sketch.watermark == watermark
+        for got, want in zip(matrices(recovered.sketch), reference):
+            np.testing.assert_array_equal(got, want)
+
+    def test_torn_tail_recovers_pre_tail_state(self, tmp_path):
+        registry = SketchRegistry()
+        manager = DurabilityManager(str(tmp_path), fsync="off")
+        registry.durability = manager
+        tenant = registry.create("alpha", "tcm", d=2, width=32, seed=2)
+        rng = np.random.default_rng(9)
+        apply_workload(tenant, rng, batches=3, elements=10)
+        pre_tail = [m.copy() for m in matrices(tenant.sketch)]
+        tenant._apply_tcm_batch(keys([1]), keys([2]), weights([9.0]), None)
+        tenant.wal.close()
+        # Tear the final record's frame in half.
+        directory = manager.tenant_dir("alpha")
+        seq, path = list_segments(directory)[-1]
+        from repro.server.faults import tear_tail
+        tear_tail(path, drop_bytes=10)
+        del registry, tenant
+
+        recovered_registry = SketchRegistry()
+        report = DurabilityManager(str(tmp_path), fsync="off").recover(
+            recovered_registry)
+        assert report["torn_frames"] == 1
+        assert report["replay_errors"] == 0
+        recovered = recovered_registry.get("alpha")
+        for got, want in zip(matrices(recovered.sketch), pre_tail):
+            np.testing.assert_array_equal(got, want)
+
+    def test_snapshot_truncation_bounds_data_dir(self, tmp_path):
+        registry = SketchRegistry()
+        manager = DurabilityManager(str(tmp_path), fsync="off",
+                                    rotate_bytes=4096)
+        registry.durability = manager
+        tenant = registry.create("alpha", "tcm", d=2, width=32, seed=1)
+        rng = np.random.default_rng(5)
+        for round_number in range(5):
+            apply_workload(tenant, rng, batches=8, elements=64)
+            report = manager.snapshot_tenant(tenant)
+            assert report is not None
+            directory = manager.tenant_dir("alpha")
+            segments = list_segments(directory)
+            snapshots = list_snapshots(directory)
+            # Everything the snapshot covers is pruned: one live WAL
+            # segment, one snapshot, regardless of how much was written.
+            assert len(segments) == 1
+            assert len(snapshots) == 1
+            assert segments[0][0] > snapshots[0][0]
+        # A snapshot with no new records is skipped entirely.
+        assert manager.snapshot_tenant(tenant) is None
+
+    def test_recovered_tenant_keeps_logging(self, tmp_path):
+        registry = SketchRegistry()
+        manager = DurabilityManager(str(tmp_path), fsync="off")
+        registry.durability = manager
+        tenant = registry.create("alpha", "tcm", d=2, width=32, seed=4)
+        tenant._apply_tcm_batch(keys([1]), keys([2]), weights([1.0]), None)
+        del registry, tenant
+
+        second_registry = SketchRegistry()
+        second_manager = DurabilityManager(str(tmp_path), fsync="off")
+        second_manager.recover(second_registry)
+        survivor = second_registry.get("alpha")
+        assert survivor.wal is not None
+        survivor._apply_tcm_batch(keys([3]), keys([4]), weights([2.0]),
+                                  None)
+        reference = [m.copy() for m in matrices(survivor.sketch)]
+        del second_registry, survivor
+
+        third_registry = SketchRegistry()
+        DurabilityManager(str(tmp_path), fsync="off").recover(
+            third_registry)
+        final = third_registry.get("alpha")
+        for got, want in zip(matrices(final.sketch), reference):
+            np.testing.assert_array_equal(got, want)
+
+
+# -- the subprocess crash/recovery contract ---------------------------------
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _start_server(data_dir, port, *extra, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", str(port), "--no-obs", "--data-dir", str(data_dir),
+         *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited early ({proc.returncode}): "
+                f"{proc.stdout.read()}")
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+            conn.request("GET", "/healthz")
+            if conn.getresponse().status == 200:
+                conn.close()
+                return proc
+        except OSError:
+            time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server did not come up in 30s")
+
+
+def _call(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    payload = None if body is None else json.dumps(body)
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, (json.loads(data) if data else None)
+
+
+@pytest.mark.slow
+class TestCrashRecoverySubprocess:
+    def test_sigkill_after_acked_ingest_recovers_identically(self, tmp_path):
+        port = _free_port()
+        config = {"kind": "tcm", "d": 3, "width": 64, "seed": 17}
+        rng = np.random.default_rng(23)
+        batches = [(rng.integers(0, 300, 50).tolist(),
+                    rng.integers(0, 300, 50).tolist(),
+                    rng.integers(1, 6, 50).astype(float).tolist())
+                   for _ in range(8)]
+        probes = [[int(a), int(b)] for a, b in
+                  zip(rng.integers(0, 300, 64), rng.integers(0, 300, 64))]
+
+        proc = _start_server(tmp_path, port, "--fsync", "always")
+        try:
+            status, _ = _call(port, "PUT", "/sketches/crashy", config)
+            assert status == 201
+            for sources, targets, wts in batches:
+                status, body = _call(port, "POST",
+                                     "/sketches/crashy/ingest",
+                                     {"sources": sources,
+                                      "targets": targets,
+                                      "weights": wts})
+                assert status == 200 and body["ingested"] == 50
+        finally:
+            # Every batch above was ACKED; --fsync always promises all
+            # of them survive an abrupt kill.
+            proc.kill()
+            proc.wait(timeout=10)
+
+        port = _free_port()
+        proc = _start_server(tmp_path, port, "--fsync", "always")
+        try:
+            status, body = _call(port, "POST", "/sketches/crashy/query",
+                                 {"kind": "edge", "pairs": probes})
+            assert status == 200
+            reference = TCM(d=3, width=64, seed=17)
+            for sources, targets, wts in batches:
+                reference.ingest_columns(sources, targets, wts)
+            expected = reference.edge_weights(
+                [(a, b) for a, b in probes])
+            assert body["values"] == expected.tolist()
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+
+    def test_sigint_drains_and_exits_zero(self, tmp_path):
+        port = _free_port()
+        proc = _start_server(tmp_path, port)
+        try:
+            status, _ = _call(port, "PUT", "/sketches/a",
+                              {"kind": "tcm", "d": 2, "width": 32,
+                               "seed": 1})
+            assert status == 201
+            status, _ = _call(port, "POST", "/sketches/a/ingest",
+                              {"sources": [1], "targets": [2]})
+            assert status == 200
+        finally:
+            proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=15) == 0
+        output = proc.stdout.read()
+        assert "shut down cleanly" in output

@@ -1,0 +1,381 @@
+"""Tests for fault injection (repro.server.faults) and degradation.
+
+The FaultPlan knobs must be deterministic and composable with the WAL
+writer (a failed write/fsync rolls the segment back to a clean prefix),
+and the server must degrade -- 503 on storage errors, 429 + Retry-After
+on backlog/lag shedding -- instead of crashing or corrupting state.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.server import SketchServer
+from repro.server.durability import WalWriter, scan_segment
+from repro.server.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjected,
+    FaultPlan,
+    append_garbage,
+    tear_tail,
+)
+from repro.server.http import BackpressureController
+from repro.server.loadgen import _Driver, _request
+
+
+def keys(values):
+    return np.asarray(values, dtype=np.uint64)
+
+
+def weights(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fsync_delay"):
+            FaultPlan(fsync_delay=-1.0)
+        with pytest.raises(ValueError, match="crash_after_records"):
+            FaultPlan(crash_after_records=-2)
+
+    def test_from_json_rejects_unknown_keys(self):
+        plan = FaultPlan.from_json('{"fail_write_after": 3}')
+        assert plan.fail_write_after == 3
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_json('{"explode": true}')
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json('[1, 2]')
+        with pytest.raises(ValueError, match="bad fault plan JSON"):
+            FaultPlan.from_json('{nope')
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        plan = FaultPlan.from_env(
+            {FAULT_PLAN_ENV: '{"fail_fsync_after": 1}'})
+        assert plan.fail_fsync_after == 1
+        assert plan.describe()["fail_fsync_after"] == 1
+
+    def test_write_faults_fire_after_threshold(self):
+        plan = FaultPlan(fail_write_after=2)
+        plan.on_write(10)
+        plan.on_write(10)
+        with pytest.raises(FaultInjected):
+            plan.on_write(10)
+        assert plan.writes == 2
+
+    def test_fsync_faults_fire_after_threshold(self):
+        plan = FaultPlan(fail_fsync_after=1)
+        plan.on_fsync()
+        with pytest.raises(FaultInjected):
+            plan.on_fsync()
+
+
+class TestTailCorruptors:
+    def test_tear_tail_and_append_garbage(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(b"x" * 100)
+        assert tear_tail(str(path), 30) == 70
+        assert path.stat().st_size == 70
+        assert tear_tail(str(path), 1000) == 0
+        assert append_garbage(str(path), nbytes=16, seed=1) == 16
+        # Deterministic: same seed, same bytes.
+        first = path.read_bytes()
+        path.write_bytes(b"")
+        append_garbage(str(path), nbytes=16, seed=1)
+        assert path.read_bytes() == first
+        with pytest.raises(ValueError):
+            tear_tail(str(path), -1)
+        with pytest.raises(ValueError):
+            append_garbage(str(path), nbytes=-1)
+
+
+class TestWalUnderFaults:
+    def test_failed_write_rolls_back_to_clean_prefix(self, tmp_path):
+        plan = FaultPlan(fail_write_after=2)
+        wal = WalWriter(str(tmp_path), fsync="off", faults=plan)
+        wal.append_advance(1.0)
+        wal.append_advance(2.0)
+        with pytest.raises(OSError):
+            wal.append_advance(3.0)
+        assert wal.records == 2
+        wal.close()
+        records, torn = scan_segment(wal.path)
+        assert torn == 0  # rollback truncated the failed frame away
+        assert [r.timestamp for r in records] == [1.0, 2.0]
+
+    def test_failed_fsync_rolls_back_the_record(self, tmp_path):
+        plan = FaultPlan(fail_fsync_after=1)
+        wal = WalWriter(str(tmp_path), fsync="always", faults=plan)
+        wal.append_advance(1.0)
+        with pytest.raises(OSError):
+            wal.append_advance(2.0)
+        records, torn = scan_segment(wal.path)
+        assert torn == 0
+        assert [r.timestamp for r in records] == [1.0]
+
+    def test_crash_counter_advances(self, tmp_path):
+        # crash_after_records=None must never exit; the counter still
+        # tracks durable records for the chaos bench's reporting.
+        plan = FaultPlan()
+        wal = WalWriter(str(tmp_path), fsync="off", faults=plan)
+        wal.append_advance(1.0)
+        wal.append_advance(2.0)
+        assert plan.records == 2
+
+
+class TestBackpressure:
+    def test_tiered_shedding(self):
+        controller = BackpressureController(lag_limit=0.2)
+        controller.lag = 0.0
+        assert controller.shed_reason("ingest") is None
+        assert controller.shed_reason("expensive_query") is None
+        assert controller.shed_reason("cheap_query") is None
+        controller.lag = 0.11  # >= 0.5 * limit: expensive queries first
+        assert controller.shed_reason("expensive_query") == "query_class"
+        assert controller.shed_reason("ingest") is None
+        controller.lag = 0.21  # >= limit: ingest too
+        assert controller.shed_reason("ingest") == "lag"
+        assert controller.shed_reason("cheap_query") is None
+        controller.lag = 0.41  # >= 2 * limit: everything expensive
+        assert controller.shed_reason("cheap_query") == "lag"
+        assert controller.retry_after() >= 2 * 0.41
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            BackpressureController(lag_limit=0.0)
+
+
+async def _call(client, method, path, body=None):
+    reader, writer = client
+    raw = b"" if body is None else json.dumps(body).encode()
+    status, payload = await _request(reader, writer, method, path, raw)
+    return status, (json.loads(payload) if payload else None)
+
+
+class TestServerDegradation:
+    def test_storage_error_is_503_and_server_survives(self, tmp_path):
+        async def scenario():
+            plan = FaultPlan(fail_write_after=1)
+            server = SketchServer(port=0, max_delay=0.002,
+                                  data_dir=str(tmp_path), faults=plan,
+                                  snapshot_interval=None, batching=False)
+            port = await server.start()
+            client = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                status, _ = await _call(
+                    client, "PUT", "/sketches/a",
+                    {"kind": "tcm", "d": 2, "width": 32, "seed": 1})
+                assert status == 201
+                status, _ = await _call(
+                    client, "POST", "/sketches/a/ingest",
+                    {"sources": [1], "targets": [2]})
+                assert status == 200
+                # The disk is now "full": ingest fails with 503, is NOT
+                # acked, and the process keeps serving.
+                status, body = await _call(
+                    client, "POST", "/sketches/a/ingest",
+                    {"sources": [3], "targets": [4]})
+                assert status == 503
+                assert "storage error" in body["error"]
+                status, body = await _call(client, "GET", "/healthz")
+                assert status == 200
+                # The failed batch never mutated the sketch.
+                status, body = await _call(
+                    client, "POST", "/sketches/a/query",
+                    {"kind": "edge", "pairs": [[3, 4]]})
+                assert status == 200 and body["values"] == [0.0]
+            finally:
+                client[1].close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_backlog_exceeded_sheds_429_then_retry_succeeds(self):
+        async def scenario():
+            server = SketchServer(port=0, max_batch=1 << 20,
+                                  max_delay=60.0, max_backlog=10)
+            port = await server.start()
+            client = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                status, _ = await _call(
+                    client, "PUT", "/sketches/a",
+                    {"kind": "tcm", "d": 2, "width": 32, "seed": 1})
+                assert status == 201
+                tenant = server.registry.get("a")
+                # Fill the staging buffer directly (the deadline is far
+                # away, so it stays full until flushed).
+                staged = tenant.ingest.add(
+                    np.arange(8, dtype=np.uint64),
+                    np.arange(8, dtype=np.uint64),
+                    np.ones(8))
+                status, body = await _call(
+                    client, "POST", "/sketches/a/ingest",
+                    {"sources": [1, 2, 3], "targets": [4, 5, 6]})
+                assert status == 429
+                assert body["retry_after"] > 0
+                # Drain, then the retry is admitted (its own batch stays
+                # staged behind the far-away deadline, so flush it too).
+                tenant.ingest.flush("barrier")
+                assert await staged == 8
+                retry = asyncio.ensure_future(_call(
+                    client, "POST", "/sketches/a/ingest",
+                    {"sources": [1, 2, 3], "targets": [4, 5, 6]}))
+                await asyncio.sleep(0.05)
+                tenant.ingest.flush("barrier")
+                status, body = await asyncio.wait_for(retry, timeout=5.0)
+                assert status == 200 and body["ingested"] == 3
+            finally:
+                client[1].close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_lag_shed_includes_retry_after(self):
+        async def scenario():
+            server = SketchServer(port=0, max_delay=0.002, lag_limit=0.1)
+            port = await server.start()
+            server.backpressure.lag = 1.0  # force full shed
+            client = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                await _call(client, "PUT", "/sketches/a",
+                            {"kind": "tcm", "d": 2, "width": 32,
+                             "seed": 1})
+                status, body = await _call(
+                    client, "POST", "/sketches/a/ingest",
+                    {"sources": [1], "targets": [2]})
+                # The probe task may have decayed the forced lag a bit
+                # by now, but it is far above every threshold.
+                assert status == 429 and body["retry_after"] > 0
+                status, body = await _call(
+                    client, "POST", "/sketches/a/query",
+                    {"kind": "reach", "pairs": [[1, 2]]})
+                assert status == 429
+                # healthz is never shed.
+                status, body = await _call(client, "GET", "/healthz")
+                assert status == 200 and body["loop_lag"] > 0.2
+            finally:
+                client[1].close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLoadgenResilience:
+    def test_driver_counts_connection_errors_without_crashing(self):
+        async def scenario():
+            # A server that accepts and immediately slams the door.
+            async def slam(reader, writer):
+                writer.close()
+
+            listener = await asyncio.start_server(slam, "127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            driver = _Driver("127.0.0.1", port, request_timeout=2.0,
+                             max_retries=1, backoff_base=0.01,
+                             backoff_cap=0.02, seed=1)
+            conn = {"reader": None, "writer": None}
+            status = await driver.send(conn, "ingest", "/x", b"{}")
+            listener.close()
+            await listener.wait_closed()
+            return driver, status
+
+        driver, status = asyncio.run(scenario())
+        assert status is None
+        assert driver.errors == 1
+        assert driver.errors_by_class["connection"] == 1
+        assert driver.retries == 1
+
+    def test_driver_refused_connection_is_an_error_class(self):
+        async def scenario():
+            with_port = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0)
+            port = with_port.sockets[0].getsockname()[1]
+            with_port.close()
+            await with_port.wait_closed()
+            driver = _Driver("127.0.0.1", port, request_timeout=2.0,
+                             max_retries=0, backoff_base=0.01,
+                             backoff_cap=0.02, seed=1)
+            status = await driver.send({"reader": None, "writer": None},
+                                       "ingest", "/x", b"{}")
+            return driver, status
+
+        driver, status = asyncio.run(scenario())
+        assert status is None
+        assert driver.errors_by_class["connection"] == 1
+        assert driver.retries == 0
+
+    def test_driver_retries_429_with_retry_after_hint(self):
+        async def scenario():
+            hits = []
+
+            async def flaky(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    length = 0
+                    while True:
+                        header = await reader.readline()
+                        if header in (b"\r\n", b"\n", b""):
+                            break
+                        name, _, value = header.partition(b":")
+                        if name.strip().lower() == b"content-length":
+                            length = int(value.strip())
+                    if length:
+                        await reader.readexactly(length)
+                    hits.append(1)
+                    if len(hits) == 1:
+                        body = json.dumps(
+                            {"error": "overloaded",
+                             "retry_after": 0.01}).encode()
+                        status_line = b"HTTP/1.1 429 Too Many Requests\r\n"
+                    else:
+                        body = json.dumps({"ingested": 3}).encode()
+                        status_line = b"HTTP/1.1 200 OK\r\n"
+                    writer.write(
+                        status_line
+                        + b"Content-Type: application/json\r\n"
+                        + b"Content-Length: %d\r\n\r\n" % len(body)
+                        + body)
+                    await writer.drain()
+
+            listener = await asyncio.start_server(flaky, "127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            driver = _Driver("127.0.0.1", port, request_timeout=2.0,
+                             max_retries=2, backoff_base=0.01,
+                             backoff_cap=0.02, seed=1)
+            conn = {"reader": None, "writer": None}
+            status = await driver.send(conn, "ingest", "/x", b"{}")
+            await driver._drop(conn)
+            listener.close()
+            await listener.wait_closed()
+            return driver, status, len(hits)
+
+        driver, status, hits = asyncio.run(scenario())
+        assert status == 200 and hits == 2
+        assert driver.errors == 0
+        assert driver.ingested == 3
+        assert driver.errors_by_class["http_429"] == 1
+        assert driver.retries == 1
+        assert driver.backoff_seconds > 0
+
+    def test_open_loop_mode_against_real_server(self):
+        from repro.server.loadgen import run_loadgen
+
+        async def scenario():
+            server = SketchServer(port=0, max_delay=0.002)
+            port = await server.start()
+            try:
+                return await run_loadgen(
+                    "127.0.0.1", port, connections=4, requests=32,
+                    elements=16, rate=400.0, cleanup=True)
+            finally:
+                await server.stop()
+
+        summary = asyncio.run(scenario())
+        assert summary["mode"] == "open"
+        assert summary["offered_rate"] == 400.0
+        assert summary["errors"] == 0
+        assert summary["accepted_requests"] == 32
+        assert summary["accepted_latency_ms"]["p99"] >= 0

@@ -458,6 +458,112 @@ class TestServerHTTP:
         run_async(_with_server(scenario, batching=False))
 
 
+class TestProtocolHardening:
+    """Malformed or abusive requests get 4xx, never a 500 or a crash."""
+
+    @staticmethod
+    async def _raw(port, blob):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(blob)
+            await writer.drain()
+            status_line = await reader.readline()
+            body = await reader.read(4096)
+            return int(status_line.split()[1]), body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def test_oversized_body_gets_413(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 1})
+            big = {"sources": list(range(500)),
+                   "targets": list(range(500))}
+            status, body = await client.call(
+                "POST", "/sketches/a/ingest", big)
+            assert status == 413 and "too large" in body["error"]
+            # The connection is closed (the body was never read), but
+            # the server survives: a fresh connection still works.
+            fresh = await _Client.open(port)
+            try:
+                status, body = await fresh.call("GET", "/healthz")
+                assert status == 200
+            finally:
+                await fresh.close()
+
+        run_async(_with_server(scenario, max_body=1024))
+
+    def test_bad_content_length_gets_400(self):
+        async def scenario(client, server, port):
+            status, _ = await self._raw(
+                port,
+                b"POST /sketches/a/ingest HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: banana\r\n\r\n")
+            assert status == 400
+            status, _ = await self._raw(
+                port,
+                b"POST /sketches/a/ingest HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: -5\r\n\r\n")
+            assert status == 400
+
+        run_async(_with_server(scenario))
+
+    def test_invalid_utf8_body_gets_400_not_500(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 1})
+            payload = b'\xff\xfe\x80{"no'
+            status, body = await self._raw(
+                port,
+                b"POST /sketches/a/ingest HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Type: application/json\r\n"
+                b"Content-Length: %d\r\n\r\n%b" % (len(payload), payload))
+            assert status == 400
+
+        run_async(_with_server(scenario))
+
+    def test_truncated_json_gets_400(self):
+        async def scenario(client, server, port):
+            await client.call("PUT", "/sketches/a",
+                              {"d": 2, "width": 32, "seed": 1})
+            payload = b'{"sources": [1, 2'
+            status, body = await self._raw(
+                port,
+                b"POST /sketches/a/ingest HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: %d\r\n\r\n%b"
+                % (len(payload), payload))
+            assert status == 400
+
+        run_async(_with_server(scenario))
+
+    def test_connection_cap_sheds_503(self):
+        async def scenario(client, server, port):
+            # The fixture client is connection #1; the cap is 1.
+            status, body = await client.call("GET", "/healthz")
+            assert status == 200
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port)
+            try:
+                status_line = await reader.readline()
+                assert b"503" in status_line
+                raw = await reader.read(4096)
+                assert b"Retry-After" in raw
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            status, body = await client.call("GET", "/healthz")
+            assert status == 200
+
+        run_async(_with_server(scenario, max_connections=1))
+
+
 class TestMultiTenantConcurrency:
     """Interleaved batched traffic == serial replay, per tenant, exactly."""
 
