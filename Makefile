@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: help install test test-fast bench bench-small bench-ingest \
 	bench-query bench-window bench-soak bench-server smoke-server \
-	bench-chaos smoke-chaos \
+	bench-chaos smoke-chaos bench-wire smoke-wire \
 	examples report obs-demo obs-overhead profile-ingest clean
 
 help:
@@ -25,6 +25,8 @@ help:
 	@echo "smoke-server quick service boot/throughput/shutdown check (CI)"
 	@echo "bench-chaos  re-measure WAL overhead, crash recovery, overload shedding"
 	@echo "smoke-chaos  quick crash-recovery/fault-injection check (CI)"
+	@echo "bench-wire   re-measure binary wire vs JSON, group commit, 2-worker scale-out"
+	@echo "smoke-wire   quick binary-protocol/group-commit sanity check (CI)"
 	@echo "profile-ingest  cProfile + per-stage (hashing/scatter) ingest breakdown"
 	@echo "clean        remove caches and build artifacts"
 
@@ -81,6 +83,12 @@ bench-chaos:
 
 smoke-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py --smoke
+
+bench-wire:
+	$(PYTHON) benchmarks/bench_wire.py --out BENCH_wire.json
+
+smoke-wire:
+	$(PYTHON) benchmarks/bench_wire.py --smoke
 
 profile-ingest:
 	$(PYTHON) benchmarks/profile_ingest.py

@@ -131,6 +131,11 @@ def _check_chaos(record: Dict, filename: str) -> None:
     validate_record(record, filename)
 
 
+def _check_wire(record: Dict, filename: str) -> None:
+    from benchmarks.bench_wire import validate_record
+    validate_record(record, filename)
+
+
 #: filename -> validator.  A BENCH_*.json with no entry here is an error:
 #: new standing records must register their schema check to be committed.
 VALIDATORS: Dict[str, Callable[[Dict, str], None]] = {
@@ -141,6 +146,7 @@ VALIDATORS: Dict[str, Callable[[Dict, str], None]] = {
     "BENCH_soak.json": _check_soak,
     "BENCH_server.json": _check_server,
     "BENCH_chaos.json": _check_chaos,
+    "BENCH_wire.json": _check_wire,
 }
 
 

@@ -319,6 +319,10 @@ def _cmd_serve(args) -> int:
     if args.lag_limit_ms <= 0:
         raise SystemExit(f"--lag-limit-ms must be positive, "
                          f"got {args.lag_limit_ms}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        return _cmd_serve_sharded(args)
     if not args.no_obs:
         instruments.enable()
     server = SketchServer(host=args.host, port=args.port,
@@ -378,6 +382,88 @@ def _cmd_serve(args) -> int:
 
     asyncio.run(_run())
     return 0
+
+
+def _cmd_serve_sharded(args) -> int:
+    """``tcm serve --workers N``: the multi-process sharded service.
+
+    Forks N complete servers (own event loop, coalescers, per-worker
+    WAL directory) that share the listening port via ``SO_REUSEPORT``
+    and own disjoint tenant sets by hash affinity -- see
+    ``repro.server.sharding`` and docs/SERVER.md.  The parent only
+    orchestrates (port map, signal relay, reaping); a clean SIGTERM
+    drains every worker before the parent exits 0.
+    """
+    import os
+
+    from repro.server.sharding import run_sharded
+
+    def _worker(shard, channel, shared_port) -> int:
+        import asyncio
+        import signal
+
+        from repro.obs import instruments
+        from repro.server import SketchServer
+
+        if not args.no_obs:
+            instruments.enable()
+        data_dir = (os.path.join(args.data_dir, f"worker-{shard.index}")
+                    if args.data_dir is not None else None)
+        server = SketchServer(host=args.host, port=shared_port,
+                              max_batch=args.max_batch,
+                              max_delay=args.max_delay_ms / 1000.0,
+                              batching=not args.no_batching,
+                              max_body=int(args.max_body_mb * (1 << 20)),
+                              max_backlog=args.max_backlog,
+                              max_connections=args.max_connections,
+                              lag_limit=args.lag_limit_ms / 1000.0,
+                              data_dir=data_dir,
+                              fsync=args.fsync,
+                              fsync_interval=args.fsync_interval_ms / 1000.0,
+                              rotate_bytes=int(args.rotate_mb * (1 << 20)),
+                              snapshot_interval=args.snapshot_interval,
+                              shard=shard)
+
+        async def _run() -> None:
+            await server.start(reuse_port=True, direct_port=0)
+            shard.ports[:] = channel.report(server.direct_port)
+            if instruments.OBS.enabled:
+                instruments.OBS.server_worker_index.set(shard.index)
+                instruments.OBS.server_cluster_workers.set(shard.count)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+            await stop.wait()
+            await server.stop()
+            print(f"tcm serve: worker {shard.index} shut down cleanly",
+                  flush=True)
+
+        asyncio.run(_run())
+        return 0
+
+    def _banner(shared_port, reports) -> None:
+        print(f"tcm serve: listening on http://{args.host}:{shared_port} "
+              f"(batching {'on' if not args.no_batching else 'off'}, "
+              f"max_batch={args.max_batch}, "
+              f"max_delay={args.max_delay_ms:g}ms)", flush=True)
+        ports = ", ".join(
+            f"{i}:pid={r['pid']}:port={r['direct_port']}"
+            for i, r in enumerate(reports))
+        print(f"tcm serve: {args.workers} workers ({ports})", flush=True)
+        if args.data_dir is not None:
+            print(f"tcm serve: durable in {args.data_dir} "
+                  f"(fsync={args.fsync}, one WAL dir per worker)",
+                  flush=True)
+
+    code = run_sharded(args.workers, args.host, args.port, _worker,
+                       banner=_banner)
+    if code == 0:
+        print("tcm serve: shut down cleanly", flush=True)
+    return code
 
 
 def _cmd_recover(args) -> int:
@@ -443,11 +529,13 @@ def _cmd_loadgen(args) -> int:
         query_ratio=args.query_ratio, seed=args.seed,
         sketch_config=sketch_config, cleanup=args.cleanup,
         rate=args.rate, request_timeout=args.timeout,
-        max_retries=args.retries))
+        max_retries=args.retries, wire_mode=args.wire,
+        encode=args.encode))
     lat = summary["latency_ms"]
     print(f"loadgen: {summary['requests']} requests over "
           f"{summary['connections']} connections in "
-          f"{summary['seconds']:.2f}s ({summary['mode']} loop)")
+          f"{summary['seconds']:.2f}s ({summary['mode']} loop, "
+          f"{summary['wire']} wire)")
     print(f"  {summary['req_per_s']:,.0f} req/s, "
           f"{summary['elements_per_s']:,.0f} elements/s "
           f"({summary['ingested_elements']} ingested, "
@@ -458,6 +546,10 @@ def _cmd_loadgen(args) -> int:
         parts = ", ".join(f"{k}={v}" for k, v
                           in sorted(summary["errors_by_class"].items()))
         print(f"  errors by class: {parts}")
+    sheds = summary["sheds"]
+    if sheds["http_429"] or sheds["http_503"]:
+        print(f"  sheds: 429={sheds['http_429']} 503={sheds['http_503']} "
+              f"retry_after_honored={sheds['retry_after_honored']}")
     if args.out is not None:
         with open(args.out, "w") as fh:
             _json.dump(summary, fh, indent=2)
@@ -832,6 +924,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--lag-limit-ms", type=float, default=250.0,
                        help="event-loop lag threshold for shedding "
                             "ingest with 429 (default 250ms)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="fork this many sharded worker processes "
+                            "sharing the port via SO_REUSEPORT, with "
+                            "tenants assigned by hash affinity "
+                            "(default 1: single process)")
     serve.set_defaults(handler=_cmd_serve)
 
     recover = commands.add_parser(
@@ -874,6 +971,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--retries", type=int, default=3,
                          help="max retries per request for transient "
                               "failures and 429/503 sheds (default 3)")
+    loadgen.add_argument("--wire", choices=("json", "binary"),
+                         default="json",
+                         help="request encoding: JSON bodies or the "
+                              "binary columnar wire protocol "
+                              "(docs/SERVER.md; default json)")
+    loadgen.add_argument("--encode", choices=("eager", "lazy"),
+                         default="eager",
+                         help="serialize request bodies before the clock "
+                              "starts (eager) or inside the timed loop "
+                              "(lazy, the honest end-to-end client cost; "
+                              "default eager)")
     loadgen.add_argument("--cleanup", action="store_true",
                          help="delete the tenant when done")
     loadgen.add_argument("--out", default=None,

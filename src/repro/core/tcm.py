@@ -34,6 +34,7 @@ from repro.core.graph_sketch import GraphSketch
 from repro.core.queries import SubgraphQuery, is_wildcard
 from repro.core.query_engine import QueryEngine
 from repro.hashing.family import HashFamily
+from repro.hashing.family import hash_many_bulk as _hash_bulk
 from repro.hashing.labels import Label, label_keys
 from repro.obs.instruments import OBS
 
@@ -629,21 +630,21 @@ class TCM:
         else:
             unique_sources = unique_targets = None
             source_inverse = target_inverse = None
-        for sketch in self._sketches:
-            if source_inverse is not None:
-                rows = sketch._row_hash.hash_many(unique_sources)[
-                    source_inverse]
-            else:
-                rows = sketch._row_hash.hash_many(
-                    unique_sources if unique_sources is not None
-                    else source_keys)
-            if target_inverse is not None:
-                cols = sketch._col_hash.hash_many(unique_targets)[
-                    target_inverse]
-            else:
-                cols = sketch._col_hash.hash_many(
-                    unique_targets if unique_targets is not None
-                    else target_keys)
+        # One broadcast pass hashes every sketch's row (resp. column)
+        # function together -- bit-identical to per-sketch hash_many,
+        # but numpy dispatch overhead is paid once per side, not per
+        # sketch (see hash_many_bulk).
+        all_rows = _hash_bulk(
+            [s._row_hash for s in self._sketches],
+            unique_sources if unique_sources is not None else source_keys)
+        all_cols = _hash_bulk(
+            [s._col_hash for s in self._sketches],
+            unique_targets if unique_targets is not None else target_keys)
+        for i, sketch in enumerate(self._sketches):
+            rows = (all_rows[i][source_inverse]
+                    if source_inverse is not None else all_rows[i])
+            cols = (all_cols[i][target_inverse]
+                    if target_inverse is not None else all_cols[i])
             sketch._epoch += 1
             sketch._scatter(rows, cols, values, insert=insert)
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from functools import lru_cache
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,13 +103,129 @@ class PairwiseHash:
         """Vectorized bucketing of an array of non-negative integer keys.
 
         Equivalent to ``np.array([self.hash_int(k) for k in keys])`` but
-        runs entirely in uint64 numpy arithmetic.
+        runs entirely in uint64 numpy arithmetic.  Uses *lazy* Mersenne
+        reduction: intermediates are kept merely ``< 2^63`` (congruent
+        mod p, not canonical) so the whole ``(a*k + b) mod p`` needs one
+        canonicalizing pass at the end instead of one per partial
+        product -- about half the vector ops of the naive chain, and no
+        intermediate ``np.where``.  Bucket-for-bucket identical to the
+        scalar :meth:`hash_int`.
         """
         keys = np.asarray(keys, dtype=np.uint64)
-        k = _mod_mersenne(keys)
-        prod = _mulmod_mersenne(self.a >> 31, self.a & ((1 << 31) - 1), k)
-        total = _mod_mersenne(prod + np.uint64(self.b))
-        return (total % np.uint64(self.width)).astype(np.int64)
+        # Nearly-reduce the key: k < 2^61 + 8, congruent to keys mod p.
+        k = (keys & _P) + (keys >> np.uint64(61))
+        k_hi = k >> _LIMB_BITS            # < 2^30 + 1
+        k_lo = k & _LIMB_MASK             # < 2^31
+        a_hi = np.uint64(self.a >> 31)    # < 2^30
+        a_lo = np.uint64(self.a & ((1 << 31) - 1))
+        # a*k = a_hi*k_hi*2^62 + (a_hi*k_lo + a_lo*k_hi)*2^31 + a_lo*k_lo
+        # 2^61 === 1 (mod p), so *2^62 === *2: top < 2^61, no reduction.
+        top = (a_hi * k_hi) << np.uint64(1)
+        # mid*2^31 = m_hi*2^61 + m_lo*2^31 === m_hi + m_lo*2^31 with
+        # mid = m_hi*2^30 + m_lo; the fold stays < 2^61 + 2^32.
+        mid = a_hi * k_lo + a_lo * k_hi   # < 2^62, fits
+        mid = (mid >> np.uint64(30)) + \
+            ((mid & np.uint64((1 << 30) - 1)) << _LIMB_BITS)
+        # bot < 2^62: one lazy fold brings it under 2^61 + 2.
+        bot = a_lo * k_lo
+        bot = (bot & _P) + (bot >> np.uint64(61))
+        # top + mid + bot + b < 2^63: safe to sum, then canonicalize.
+        total = top + mid + bot + np.uint64(self.b)
+        total = (total & _P) + (total >> np.uint64(61))  # < 2^61 + 4
+        np.subtract(total, _P, out=total, where=total >= _P)
+        width = self.width
+        if width & (width - 1) == 0:
+            # Power-of-two width: mod == mask, and uint64 masking is an
+            # order of magnitude cheaper than numpy's scalar-division mod.
+            total &= np.uint64(width - 1)
+            # Buckets are < width < 2^63, so the int64 reinterpretation
+            # is value-preserving and skips an astype copy.
+            return total.view(np.int64)
+        return (total % np.uint64(width)).view(np.int64)
+
+
+@lru_cache(maxsize=128)
+def _bulk_coefficients(funcs: Tuple["PairwiseHash", ...]):
+    """Stacked ``(d, 1)`` coefficient columns for :func:`hash_many_bulk`.
+
+    Cached per function tuple (``PairwiseHash`` is frozen/hashable): a
+    sketch hashes every batch through the same ensemble, so the setup
+    cost of the list comprehensions and array constructors is paid once
+    per sketch instead of once per batch.
+    """
+    d = len(funcs)
+    a = np.array([f.a for f in funcs], dtype=np.uint64).reshape(d, 1)
+    b = np.array([f.b for f in funcs], dtype=np.uint64).reshape(d, 1)
+    widths = np.array([f.width for f in funcs],
+                      dtype=np.uint64).reshape(d, 1)
+    a_hi = a >> _LIMB_BITS
+    a_lo = a & _LIMB_MASK
+    mask = None
+    if bool(np.all(widths & (widths - np.uint64(1)) == 0)):
+        mask = widths - np.uint64(1)
+    return a_hi, a_lo, b, widths, mask
+
+
+_ONE = np.uint64(1)
+_THIRTY = np.uint64(30)
+_SIXTY_ONE = np.uint64(61)
+_M30 = np.uint64((1 << 30) - 1)
+
+
+def hash_many_bulk(funcs: Sequence["PairwiseHash"],
+                   keys: "np.ndarray") -> "np.ndarray":
+    """Bucket one key column through several hash functions at once.
+
+    Returns an ``(len(funcs), len(keys))`` int64 array where row ``i``
+    equals ``funcs[i].hash_many(keys)`` exactly.  Stacking the
+    ``(a, b, width)`` coefficients as ``(d, 1)`` columns and
+    broadcasting against the ``(n,)`` keys runs the whole ensemble in
+    one pass instead of ``d`` separate passes -- numpy dispatch
+    overhead is paid once, which is most of the cost at sketch-sized
+    batches.  The partial products accumulate in-place into three
+    ``(d, n)`` scratch buffers (the naive chain allocates ~16), and
+    all-power-of-two ensembles take a mask instead of the slow uint64
+    ``%``.  Same lazy Mersenne reduction as
+    :meth:`PairwiseHash.hash_many`; the arithmetic is elementwise
+    identical, so the buckets are bit-identical.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if not funcs:
+        raise ValueError("hash_many_bulk needs at least one function")
+    a_hi, a_lo, b, widths, mask = _bulk_coefficients(tuple(funcs))
+    k = (keys & _P) + (keys >> _SIXTY_ONE)
+    k_hi = k >> _LIMB_BITS
+    k_lo = k & _LIMB_MASK
+    # acc <- top = (a_hi*k_hi) * 2   (2^62 === 2 mod p, stays < 2^61)
+    acc = a_hi * k_hi
+    acc <<= _ONE
+    # mid = a_hi*k_lo + a_lo*k_hi, folded by *2^31 === (>>30) + (&m30)<<31
+    mid = a_hi * k_lo
+    scratch = a_lo * k_hi
+    mid += scratch
+    np.right_shift(mid, _THIRTY, out=scratch)
+    mid &= _M30
+    mid <<= _LIMB_BITS
+    mid += scratch
+    acc += mid
+    # bot = a_lo*k_lo < 2^62: one lazy fold brings it under 2^61 + 2
+    np.multiply(a_lo, k_lo, out=mid)
+    np.right_shift(mid, _SIXTY_ONE, out=scratch)
+    mid &= _P
+    mid += scratch
+    acc += mid
+    acc += b
+    # canonicalize: acc < 2^63, two folds + one conditional subtract
+    np.right_shift(acc, _SIXTY_ONE, out=scratch)
+    acc &= _P
+    acc += scratch
+    np.subtract(acc, _P, out=acc, where=acc >= _P)
+    if mask is not None:
+        acc &= mask
+        # Buckets are < width < 2^63, so the int64 reinterpretation is
+        # value-preserving and skips an astype copy.
+        return acc.view(np.int64)
+    return (acc % widths).view(np.int64)
 
 
 class HashFamily:

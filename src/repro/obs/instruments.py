@@ -269,6 +269,27 @@ class Instruments:
             "server_open_connections",
             "Client connections currently open against the service")
 
+        # -- binary wire protocol (repro.server.wire) ----------------------
+        self.server_wire_requests = registry.counter(
+            "server_wire_requests_total",
+            "Binary columnar requests decoded, labeled by wire op",
+            labelnames=("op",))
+        self.server_wire_bytes = registry.counter(
+            "server_wire_bytes_total",
+            "Request-body bytes received as binary columnar frames")
+
+        # -- multi-process sharding (repro.server.sharding) ----------------
+        self.server_misdirected_requests = registry.counter(
+            "server_misdirected_requests_total",
+            "Tenant requests answered 421 because another worker owns "
+            "the tenant (shard-oblivious client)")
+        self.server_worker_index = registry.gauge(
+            "server_worker_index",
+            "This process's worker index in a sharded deployment")
+        self.server_cluster_workers = registry.gauge(
+            "server_cluster_workers",
+            "Worker processes in the sharded deployment (0 = unsharded)")
+
         # -- durability (repro.server.durability) --------------------------
         self.wal_records = registry.counter(
             "wal_records_total",
@@ -298,6 +319,23 @@ class Instruments:
         self.wal_segments_pruned = registry.counter(
             "wal_segments_pruned_total",
             "WAL segments deleted because a snapshot covers them")
+        self.wal_group_commits = registry.counter(
+            "wal_group_commits_total",
+            "Group-commit barriers executed by the WAL pipeline")
+        self.wal_group_commit_records = registry.histogram(
+            "wal_group_commit_records",
+            "Records committed per group-commit barrier (across all "
+            "tenants staged since the previous barrier)",
+            buckets=log_buckets(1.0, 1e5))
+        self.wal_group_commit_seconds = registry.histogram(
+            "wal_group_commit_seconds",
+            "Wall time per group-commit barrier (write + fsync, off the "
+            "event loop)",
+            buckets=log_buckets(1e-6, 10.0))
+        self.wal_tmp_files_pruned = registry.counter(
+            "wal_tmp_files_pruned_total",
+            "Orphan temp files (died mid-snapshot/meta write) pruned "
+            "from tenant dirs at attach/recovery time")
         self.recovery_replayed_records = registry.counter(
             "recovery_replayed_records_total",
             "WAL records replayed during startup recovery")

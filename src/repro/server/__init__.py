@@ -23,6 +23,11 @@ all of them (flush on size or deadline; docs/SERVER.md).
   logging, snapshots and crash recovery (``tcm serve --data-dir``).
 - :class:`~repro.server.faults.FaultPlan` -- deterministic storage-fault
   injection for the chaos harness (``benchmarks/bench_chaos.py``).
+- :mod:`repro.server.wire` -- the length-prefixed binary columnar wire
+  protocol (``Content-Type: application/x-tcm-columnar``).
+- :mod:`repro.server.sharding` -- multi-process scale-out
+  (``tcm serve --workers N``): tenant hash affinity, SO_REUSEPORT
+  workers, cluster metrics aggregation.
 """
 
 from repro.server.coalescer import (
@@ -30,22 +35,30 @@ from repro.server.coalescer import (
     IngestCoalescer,
     QueryCoalescer,
 )
-from repro.server.durability import DurabilityManager, WalWriter
+from repro.server.durability import (
+    DurabilityManager,
+    GroupCommitPipeline,
+    WalWriter,
+)
 from repro.server.faults import FaultPlan
 from repro.server.http import BackpressureController, SketchServer
 from repro.server.loadgen import run_loadgen
 from repro.server.registry import SketchRegistry, TenantSketch
+from repro.server.sharding import ShardInfo, shard_of
 
 __all__ = [
     "BacklogExceeded",
     "BackpressureController",
     "DurabilityManager",
     "FaultPlan",
+    "GroupCommitPipeline",
     "IngestCoalescer",
     "QueryCoalescer",
+    "ShardInfo",
     "SketchRegistry",
     "TenantSketch",
     "SketchServer",
     "WalWriter",
     "run_loadgen",
+    "shard_of",
 ]

@@ -79,6 +79,11 @@ class IngestCoalescer:
         well before this bound -- it is the safety valve for the case
         where flushes themselves are slow or failing (sick disk under a
         WAL) and the honest answer is to shed.
+    :param ack_barrier: optional; called once per successful flush.  When
+        it returns an :class:`asyncio.Future`, the flushed requests' acks
+        are deferred until that future resolves (the WAL group-commit
+        barrier: applied state is visible immediately, the 200 waits for
+        durability).  ``None`` return means ack now.
     """
 
     def __init__(self, apply_batch: Callable, *,
@@ -88,6 +93,7 @@ class IngestCoalescer:
                  with_timestamps: bool = False,
                  batching: bool = True,
                  max_backlog: Optional[int] = None,
+                 ack_barrier: Optional[Callable[[], Any]] = None,
                  kind: str = "ingest"):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -103,6 +109,7 @@ class IngestCoalescer:
         self.with_timestamps = with_timestamps
         self.batching = batching
         self.max_backlog = max_backlog
+        self.ack_barrier = ack_barrier
         self.kind = kind
         self._cap = max_batch
         self._src = np.empty(self._cap, dtype=np.uint64)
@@ -139,25 +146,35 @@ class IngestCoalescer:
         self._cap = cap
 
     def add(self, source_keys: np.ndarray, target_keys: np.ndarray,
-            weights: np.ndarray,
-            timestamps: Optional[np.ndarray] = None) -> asyncio.Future:
+            weights: Optional[np.ndarray] = None,
+            timestamps=None) -> asyncio.Future:
         """Stage one request's columns; returns a future of its count.
 
         The future resolves when the batch containing this request is
         flushed (or immediately in unbatched mode), or raises whatever
-        the batch application raised.
+        the batch application raised.  ``weights=None`` means unit
+        weights; ``timestamps`` may be a column or a scalar applied to
+        the whole request (both fill the staging buffer without
+        materializing an intermediate array -- the binary wire path
+        relies on this).
         """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         k = len(source_keys)
         if not self.batching:
             apply = self.apply_scalar or self.apply_batch
+            if weights is None:
+                weights = np.ones(k)
+            if self.with_timestamps and not isinstance(
+                    timestamps, np.ndarray):
+                timestamps = np.full(
+                    k, 0.0 if timestamps is None else float(timestamps))
             try:
                 apply(source_keys, target_keys, weights, timestamps)
             except Exception as exc:
                 future.set_exception(exc)
             else:
-                future.set_result(k)
+                self._ack([(future, k)])
             return future
         if k == 0:
             future.set_result(0)
@@ -170,11 +187,12 @@ class IngestCoalescer:
             self._grow(n + k)
         self._src[n:n + k] = source_keys
         self._dst[n:n + k] = target_keys
-        self._wts[n:n + k] = weights
+        self._wts[n:n + k] = 1.0 if weights is None else weights
         if self._ts is not None:
             if timestamps is None:
                 raise ValueError(
-                    "this coalescer stages timestamps; pass a column")
+                    "this coalescer stages timestamps; pass a column "
+                    "or scalar")
             self._ts[n:n + k] = timestamps
         self._n = n + k
         self._futures.append((future, k))
@@ -229,10 +247,36 @@ class IngestCoalescer:
                 if len(futures) > 1:
                     OBS.server_coalesced_requests.labels(self.kind).inc(
                         len(futures))
-        for future, count in futures:
-            if not future.done():
-                future.set_result(count)
+        self._ack(futures)
         return n
+
+    def _ack(self, futures: List[Tuple[asyncio.Future, int]]) -> None:
+        """Resolve request futures now, or after the durability barrier.
+
+        The applied state is already visible (read-your-writes holds
+        either way); what the barrier defers is only the *ack*, so a
+        200 always means the batch reached the WAL's durability level.
+        """
+        barrier = (self.ack_barrier() if self.ack_barrier is not None
+                   else None)
+        if barrier is None:
+            for future, count in futures:
+                if not future.done():
+                    future.set_result(count)
+            return
+
+        def _resolve(done: asyncio.Future) -> None:
+            exc = (ConnectionAbortedError("group commit cancelled")
+                   if done.cancelled() else done.exception())
+            for future, count in futures:
+                if future.done():
+                    continue
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(count)
+
+        barrier.add_done_callback(_resolve)
 
 
 #: Query families and whether their payload items are pairs or nodes.

@@ -50,6 +50,7 @@ once for acked work).
 
 from __future__ import annotations
 
+import asyncio
 import io
 import json
 import os
@@ -57,7 +58,7 @@ import shutil
 import struct
 import time
 import zlib
-from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple)
 from zipfile import BadZipFile
 
 import numpy as np
@@ -77,7 +78,17 @@ _FRAME_HEADER = struct.Struct("<BBHII")
 OP_INGEST = 1
 OP_REMOVE = 2
 OP_ADVANCE = 3
+#: Group-commit container: the payload is a sequence of sub-records
+#: (each a :data:`_SUB_HEADER` + payload) covered by ONE crc32 in the
+#: outer frame header -- one checksum pass and one write per barrier
+#: instead of one per record.
+OP_BATCH = 4
 _OP_NAMES = {OP_INGEST: "ingest", OP_REMOVE: "remove", OP_ADVANCE: "advance"}
+
+#: Sub-record header inside an OP_BATCH frame: op (u8), flags (u8),
+#: reserved (u16), payload length (u32).  No per-record CRC -- the
+#: outer frame's checksum covers the whole batch.
+_SUB_HEADER = struct.Struct("<BBHI")
 
 #: Record flags.
 FLAG_TIMESTAMPS = 0x01  # payload carries a float64 timestamp column
@@ -168,6 +179,31 @@ def _decode_record(op: int, flags: int, payload: bytes) -> WalRecord:
     return WalRecord(name, flags, src, dst, wts, ts, None)
 
 
+def _decode_batch(payload: bytes) -> List[WalRecord]:
+    """Expand an ``OP_BATCH`` frame into its sub-records, in order.
+
+    The outer frame's CRC already covered ``payload``, so a structural
+    error here means the frame was *written* malformed -- raise and let
+    the scanner count it as torn rather than replay a partial group.
+    """
+    records: List[WalRecord] = []
+    pos = 0
+    size = len(payload)
+    while pos < size:
+        if pos + _SUB_HEADER.size > size:
+            raise ValueError("truncated batch sub-header")
+        op, flags, _, length = _SUB_HEADER.unpack_from(payload, pos)
+        if op not in _OP_NAMES or length > _MAX_PAYLOAD:
+            raise ValueError(f"bad batch sub-record op {op}")
+        start = pos + _SUB_HEADER.size
+        end = start + length
+        if end > size:
+            raise ValueError("truncated batch sub-record")
+        records.append(_decode_record(op, flags, payload[start:end]))
+        pos = end
+    return records
+
+
 # -- segment naming --------------------------------------------------------
 
 def segment_path(directory: str, seq: int) -> str:
@@ -206,6 +242,33 @@ def list_segments(directory: str) -> List[Tuple[int, str]]:
 def list_snapshots(directory: str) -> List[Tuple[int, str]]:
     """``(seq, path)`` for every snapshot, ascending."""
     return _listed(directory, "snapshot-", ".npz")
+
+
+def _prune_tmp_files(directory: str) -> int:
+    """Delete orphan temp files left behind by a crash mid-write.
+
+    Snapshots and ``meta.json`` both go tmp -> fsync -> rename, so a
+    surviving ``.snapshot-*.tmp.npz`` / ``.meta.json.tmp`` means the
+    rename never happened.  Such files are never restored from
+    (:func:`list_snapshots` ignores dotfiles) but would accumulate
+    forever; prune them at attach/boot time.
+    """
+    pruned = 0
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return 0
+    for name in names:
+        if not name.startswith("."):
+            continue
+        if not (name.endswith(".tmp") or ".tmp." in name):
+            continue
+        try:
+            os.remove(os.path.join(directory, name))
+            pruned += 1
+        except OSError:
+            pass
+    return pruned
 
 
 def _fsync_dir(directory: str) -> None:
@@ -259,6 +322,10 @@ class WalWriter:
         self.records = 0
         self.bytes_written = 0
         self.records_in_segment = 0
+        #: Set by :meth:`DurabilityManager.attach`.  While the pipeline
+        #: is active, appends are *staged* with it instead of written
+        #: inline; the commit task writes them as one group frame.
+        self.group: Optional["GroupCommitPipeline"] = None
         self._seq = start_segment
         self._fh: Optional[io.BufferedWriter] = None
         self._last_sync = time.monotonic()
@@ -352,6 +419,13 @@ class WalWriter:
         self._append(OP_ADVANCE, 0, struct.pack("<d", timestamp))
 
     def _append(self, op: int, flags: int, payload: bytes) -> None:
+        group = self.group
+        if group is not None and group.active:
+            # Group-commit fast path: stage with the pipeline and return
+            # immediately.  The caller observes durability through
+            # the tenant's barrier future, not through this call.
+            group.stage(self, op, flags, payload)
+            return
         if self._fh is None:
             self._open_segment()
         if self._fh.tell() >= self.rotate_bytes:
@@ -418,6 +492,239 @@ class WalWriter:
             self._fh = None
             self._seq += 1
 
+    # -- group commit ------------------------------------------------------
+
+    def _commit_group(self, items: List[Tuple[int, int, bytes]]) \
+            -> Dict[str, Any]:
+        """Write staged records as ONE frame and apply the fsync policy.
+
+        Runs on the pipeline's commit thread, which owns this writer
+        exclusively for the duration (staging keeps filling the *next*
+        group on the loop thread meanwhile -- that is the pipelining).
+        A single record is written as a plain frame (bit-identical to
+        the non-pipelined path); two or more become an ``OP_BATCH``
+        frame checksummed once over the whole payload.  No labelled
+        metrics are touched here -- the registry is not thread-safe, so
+        the pipeline increments them back on the loop thread from the
+        stats this returns.
+        """
+        if self._fh is None:
+            self._open_segment()
+        if self._fh.tell() >= self.rotate_bytes:
+            self.rotate()
+        if len(items) == 1:
+            op, flags, payload = items[0]
+            frame = _FRAME_HEADER.pack(op, flags, 0, len(payload),
+                                       zlib.crc32(payload)) + payload
+        else:
+            body = b"".join(
+                _SUB_HEADER.pack(op, flags, 0, len(payload)) + payload
+                for op, flags, payload in items)
+            frame = _FRAME_HEADER.pack(OP_BATCH, 0, 0, len(body),
+                                       zlib.crc32(body)) + body
+        offset = self._fh.tell()
+        try:
+            if self.faults is not None:
+                self.faults.on_write(len(frame))
+            self._fh.write(frame)
+            self._fh.flush()
+            self._needs_sync = True
+            if self.fsync_policy == "always":
+                self._do_fsync()
+            elif (self.fsync_policy == "interval"
+                  and time.monotonic() - self._last_sync
+                  >= self.fsync_interval):
+                self._do_fsync()
+        except Exception:
+            self._rollback_to(offset)
+            raise
+        self.records += len(items)
+        self.records_in_segment += len(items)
+        self.bytes_written += len(frame)
+        by_op: Dict[str, int] = {}
+        for op, _, _ in items:
+            name = _OP_NAMES[op]
+            by_op[name] = by_op.get(name, 0) + 1
+        if self.faults is not None:
+            # Deterministic kill-mid-flush: every record in the group is
+            # durable before any waiter is acked.
+            for _ in items:
+                self.faults.on_record()
+        return {"records": len(items), "bytes": len(frame), "by_op": by_op}
+
+
+# -- group-commit pipelining ------------------------------------------------
+
+class GroupCommitPipeline:
+    """Double-buffered, cross-tenant WAL group commit.
+
+    Appends from the loop thread are *staged* into an open group per
+    :class:`WalWriter` (:meth:`stage`); a single commit task drains all
+    open groups at once and writes each as one frame -- one write and at
+    most one fsync per WAL per cycle, regardless of how many coalesced
+    batches landed since the last barrier.  The write+fsync runs in the
+    default executor, so while group *N* is being made durable the loop
+    thread keeps applying and staging group *N+1* -- apply/ack overlap
+    with the next buffer's write instead of serialising behind fsync.
+
+    Ordering and ack semantics:
+
+    - Records stage in append order per WAL, and groups commit in the
+      order they were opened, so the on-disk record order equals apply
+      order -- recovery replays exactly what the live path did.
+    - Every waiter acks through the group's barrier future, which
+      resolves only after the frame is written (and fsynced under
+      ``--fsync always``).  A commit failure rejects every waiter in
+      that group with the original error; other WALs in the same cycle
+      are isolated and still ack.
+    - :meth:`run_exclusive` is the safe point for snapshots: it commits
+      every staged group synchronously, then runs the callback with no
+      commit in flight, so "applied state" and "durable state" coincide
+      exactly while the callback runs.
+    """
+
+    def __init__(self) -> None:
+        self.active = False
+        self.cycles = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._wake: Optional[asyncio.Event] = None
+        #: wal -> (staged records, shared barrier future)
+        self._open: Dict[WalWriter, Tuple[List[Tuple[int, int, bytes]],
+                                          "asyncio.Future[int]"]] = {}
+        self._exclusive: List[Tuple[Callable[[], Any],
+                                    "asyncio.Future[Any]"]] = []
+
+    # -- lifecycle (loop thread) -------------------------------------------
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self.active = True
+        self._task = self._loop.create_task(self._run())
+
+    async def stop(self) -> None:
+        """Commit everything still staged, then stop the commit task."""
+        if self._task is None:
+            return
+        self.active = False
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    # -- staging (loop thread) ---------------------------------------------
+
+    def stage(self, wal: WalWriter, op: int, flags: int,
+              payload: bytes) -> "asyncio.Future[int]":
+        """Add one record to ``wal``'s open group; returns its barrier."""
+        entry = self._open.get(wal)
+        if entry is None:
+            future: "asyncio.Future[int]" = self._loop.create_future()
+            # The barrier is shared by many waiters; if every one of
+            # them detaches (client gone mid-request) the commit error
+            # must not surface as "exception never retrieved" noise.
+            future.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception())
+            entry = ([], future)
+            self._open[wal] = entry
+        entry[0].append((op, flags, payload))
+        self._wake.set()
+        return entry[1]
+
+    def barrier(self, wal: WalWriter) -> Optional["asyncio.Future[int]"]:
+        """The open group's barrier future, or ``None`` if nothing is
+        staged for ``wal`` (everything already committed)."""
+        entry = self._open.get(wal)
+        return None if entry is None else entry[1]
+
+    async def run_exclusive(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` at a commit safe point (no group in flight).
+
+        Used by snapshots: a record that is applied but not yet written
+        would otherwise replay on top of a snapshot that already
+        contains it.  Committing every open group first (synchronously,
+        on the loop thread) makes the WAL an exact superset of applied
+        state for the duration of ``fn``.
+        """
+        if not self.active:
+            return fn()
+        future: "asyncio.Future[Any]" = self._loop.create_future()
+        self._exclusive.append((fn, future))
+        self._wake.set()
+        return await future
+
+    # -- the commit task ---------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            if not (self._open or self._exclusive):
+                if not self.active:
+                    return
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            while self._exclusive:
+                fn, future = self._exclusive.pop(0)
+                self._drain_open_sync()
+                if future.cancelled():
+                    continue
+                try:
+                    future.set_result(fn())
+                except Exception as exc:
+                    future.set_exception(exc)
+            if not self._open:
+                continue
+            groups = list(self._open.items())
+            self._open = {}
+            started = time.perf_counter()
+            results = await self._loop.run_in_executor(
+                None, self._commit_entries, groups)
+            self._settle(groups, results, time.perf_counter() - started)
+
+    def _drain_open_sync(self) -> None:
+        """Commit every staged group inline (loop thread safe point)."""
+        while self._open:
+            groups = list(self._open.items())
+            self._open = {}
+            started = time.perf_counter()
+            results = self._commit_entries(groups)
+            self._settle(groups, results, time.perf_counter() - started)
+
+    @staticmethod
+    def _commit_entries(groups) -> List[Tuple[Optional[Dict[str, Any]],
+                                              Optional[BaseException]]]:
+        """Write each WAL's group; failures are isolated per WAL."""
+        results = []
+        for wal, (items, _future) in groups:
+            try:
+                results.append((wal._commit_group(items), None))
+            except Exception as exc:
+                results.append((None, exc))
+        return results
+
+    def _settle(self, groups, results, elapsed: float) -> None:
+        """Resolve barriers and bump metrics (loop thread)."""
+        self.cycles += 1
+        for (wal, (items, future)), (stats, exc) in zip(groups, results):
+            if exc is not None:
+                if OBS.enabled:
+                    OBS.wal_append_errors.inc()
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            if OBS.enabled:
+                for name, count in stats["by_op"].items():
+                    OBS.wal_records.labels(name).inc(count)
+                OBS.wal_bytes.inc(stats["bytes"])
+                OBS.wal_group_commits.inc()
+                OBS.wal_group_commit_records.observe(stats["records"])
+            if not future.done():
+                future.set_result(stats["records"])
+        if OBS.enabled:
+            OBS.wal_group_commit_seconds.observe(elapsed)
+
 
 # -- the scanner -----------------------------------------------------------
 
@@ -441,7 +748,8 @@ def scan_segment(path: str) -> Tuple[List[WalRecord], int]:
         if pos + _FRAME_HEADER.size > size:
             return records, 1
         op, flags, _, length, crc = _FRAME_HEADER.unpack_from(blob, pos)
-        if op not in _OP_NAMES or length > _MAX_PAYLOAD:
+        if ((op not in _OP_NAMES and op != OP_BATCH)
+                or length > _MAX_PAYLOAD):
             return records, 1
         start = pos + _FRAME_HEADER.size
         end = start + length
@@ -451,7 +759,10 @@ def scan_segment(path: str) -> Tuple[List[WalRecord], int]:
         if zlib.crc32(payload) != crc:
             return records, 1
         try:
-            records.append(_decode_record(op, flags, payload))
+            if op == OP_BATCH:
+                records.extend(_decode_batch(payload))
+            else:
+                records.append(_decode_record(op, flags, payload))
         except ValueError:
             return records, 1
         pos = end
@@ -655,6 +966,9 @@ class DurabilityManager:
         self.rotate_bytes = rotate_bytes
         self.faults = faults
         self.last_recovery: Optional[Dict[str, Any]] = None
+        #: Shared across every tenant WAL; inert until
+        #: :meth:`start_pipeline` flips it on (needs a running loop).
+        self.pipeline = GroupCommitPipeline()
         os.makedirs(self.tenants_dir, exist_ok=True)
         # records-at-last-snapshot per tenant, to skip no-op snapshots.
         self._snapshot_marks: Dict[str, int] = {}
@@ -668,6 +982,9 @@ class DurabilityManager:
         """Give a tenant a WAL (new segment after any existing tail)."""
         directory = self.tenant_dir(tenant.name)
         os.makedirs(directory, exist_ok=True)
+        pruned = _prune_tmp_files(directory)
+        if pruned and OBS.enabled:
+            OBS.wal_tmp_files_pruned.inc(pruned)
         if write_meta_file:
             write_meta(directory, tenant.name, tenant.kind, tenant.config)
         segments = list_segments(directory)
@@ -679,6 +996,31 @@ class DurabilityManager:
             fsync_interval=self.fsync_interval,
             rotate_bytes=self.rotate_bytes,
             start_segment=last + 1, faults=self.faults)
+        tenant.wal.group = self.pipeline
+
+    # -- group-commit lifecycle -------------------------------------------
+
+    def start_pipeline(self) -> None:
+        """Turn on group-commit pipelining (requires a running loop)."""
+        self.pipeline.start()
+
+    async def stop_pipeline(self) -> None:
+        """Commit every staged group and stop the commit task."""
+        await self.pipeline.stop()
+
+    async def snapshot_all_async(self, registry) -> List[Dict[str, Any]]:
+        """Snapshot every tenant at a group-commit safe point.
+
+        With the pipeline active, records can be *applied* before they
+        are *written*; snapshotting mid-flight would bake such a record
+        into the snapshot and then replay it again from a post-rotation
+        segment.  ``run_exclusive`` commits everything staged first and
+        blocks commits while the (synchronous) snapshot runs.
+        """
+        if self.pipeline.active:
+            return await self.pipeline.run_exclusive(
+                lambda: self.snapshot_all(registry))
+        return self.snapshot_all(registry)
 
     def detach(self, name: str, wal: Optional[WalWriter], *,
                delete: bool = False) -> None:
@@ -771,7 +1113,8 @@ class DurabilityManager:
         started = time.perf_counter()
         report: Dict[str, Any] = {"tenants": {}, "records": 0,
                                   "elements": 0, "torn_frames": 0,
-                                  "replay_errors": 0}
+                                  "replay_errors": 0,
+                                  "tmp_files_pruned": 0}
         try:
             names = sorted(os.listdir(self.tenants_dir))
         except FileNotFoundError:
@@ -786,6 +1129,7 @@ class DurabilityManager:
             report["elements"] += tenant_report["elements"]
             report["torn_frames"] += tenant_report["torn_frames"]
             report["replay_errors"] += tenant_report["replay_errors"]
+            report["tmp_files_pruned"] += tenant_report["tmp_files_pruned"]
         report["seconds"] = time.perf_counter() - started
         self.last_recovery = report
         if OBS.enabled:
@@ -799,6 +1143,9 @@ class DurabilityManager:
     def _recover_tenant(self, name: str, directory: str,
                         registry) -> Dict[str, Any]:
         from repro.server.registry import TenantSketch
+        tmp_pruned = _prune_tmp_files(directory)
+        if tmp_pruned and OBS.enabled:
+            OBS.wal_tmp_files_pruned.inc(tmp_pruned)
         meta = read_meta(directory)
         tenant = TenantSketch(
             meta["name"], meta["kind"], dict(meta["config"]),
@@ -841,4 +1188,5 @@ class DurabilityManager:
         return {"kind": tenant.kind, "snapshot": snapshot_loaded,
                 "snapshot_segment": snapshot_seq, "records": records,
                 "elements": elements, "torn_frames": torn,
-                "replay_errors": replay_errors}
+                "replay_errors": replay_errors,
+                "tmp_files_pruned": tmp_pruned}

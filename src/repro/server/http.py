@@ -39,12 +39,14 @@ import asyncio
 import json
 import math
 import time
+from email.utils import formatdate
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.hashing.labels import label_key, label_keys
 from repro.obs.instruments import OBS, REGISTRY
+from repro.server import wire
 from repro.server.coalescer import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY,
@@ -57,8 +59,24 @@ _MAX_BODY = 64 * 1024 * 1024
 _STATUS_TEXT = {200: "OK", 201: "Created", 204: "No Content",
                 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 409: "Conflict",
-                413: "Payload Too Large", 429: "Too Many Requests",
+                413: "Payload Too Large",
+                421: "Misdirected Request", 429: "Too Many Requests",
                 500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: ``Date`` header cache: (whole second, formatted header value).  The
+#: hot response path re-formats the RFC 5322 date only once per second
+#: instead of per request (visible in server profiles at high req/s).
+_DATE_CACHE: Tuple[int, str] = (-1, "")
+
+
+def _date_header() -> str:
+    global _DATE_CACHE
+    now = int(time.time())
+    cached = _DATE_CACHE
+    if cached[0] != now:
+        cached = (now, formatdate(now, usegmt=True))
+        _DATE_CACHE = cached
+    return cached[1]
 
 #: Query kinds the admission controller sheds first under load: they
 #: build whole-graph indexes (closure bitsets) rather than probing a few
@@ -205,7 +223,8 @@ class SketchServer:
                  fsync_interval: float = 0.05,
                  rotate_bytes: int = 64 * 1024 * 1024,
                  snapshot_interval: Optional[float] = 30.0,
-                 faults=None):
+                 faults=None,
+                 shard=None):
         if max_backlog is None:
             # Default bound: several full batches of headroom -- never
             # hit while flushes are healthy, sheds when they are not.
@@ -231,20 +250,48 @@ class SketchServer:
                 data_dir, fsync=fsync, fsync_interval=fsync_interval,
                 rotate_bytes=rotate_bytes, faults=faults)
             self.registry.durability = self.durability
+        #: Optional :class:`repro.server.sharding.ShardInfo`.  When set,
+        #: this server is one worker of a sharded deployment: tenant
+        #: routes it does not own answer 421 with the owner's address,
+        #: and ``/cluster`` reports the topology.
+        self.shard = shard
         self._server: Optional[asyncio.AbstractServer] = None
+        self._direct_server: Optional[asyncio.AbstractServer] = None
+        self.direct_port: Optional[int] = None
         self._snapshot_task: Optional[asyncio.Task] = None
         self._connections = 0
 
     # -- lifecycle ---------------------------------------------------------
 
-    async def start(self) -> int:
-        """Recover (if durable), bind and listen; returns the port."""
+    async def start(self, *, reuse_port: bool = False,
+                    direct_port: Optional[int] = None) -> int:
+        """Recover (if durable), bind and listen; returns the port.
+
+        ``reuse_port`` binds with ``SO_REUSEPORT`` so sibling worker
+        processes can share the port (the kernel load-balances accepted
+        connections).  ``direct_port`` additionally binds a second,
+        worker-private listener on that port (0 for ephemeral) -- the
+        address shard-aware clients use to reach this worker directly.
+        """
         if self.durability is not None and self.recovery_report is None:
             self.recovery_report = self.durability.recover(self.registry)
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port,
+            reuse_port=reuse_port or None)
         self.port = self._server.sockets[0].getsockname()[1]
+        if direct_port is not None:
+            self._direct_server = await asyncio.start_server(
+                self._handle_connection, self.host, direct_port)
+            self.direct_port = \
+                self._direct_server.sockets[0].getsockname()[1]
         self.backpressure.start()
+        if self.durability is not None and self.batching:
+            # Group-commit pipelining rides the coalescer's deferred
+            # acks.  In --no-batching mode every request needs its WAL
+            # write result synchronously (fail-fast: a rejected append
+            # must surface *before* the sketch mutates), so the plain
+            # inline append path stays in force there.
+            self.durability.start_pipeline()
         if self.durability is not None and self.snapshot_interval:
             self._snapshot_task = asyncio.get_running_loop().create_task(
                 self._snapshot_loop())
@@ -254,7 +301,7 @@ class SketchServer:
         while True:
             await asyncio.sleep(self.snapshot_interval)
             try:
-                self.durability.snapshot_all(self.registry)
+                await self.durability.snapshot_all_async(self.registry)
             except OSError:
                 # A sick disk must not kill the loop; the next interval
                 # retries and the WAL keeps the data recoverable.
@@ -272,12 +319,18 @@ class SketchServer:
         await self.backpressure.stop()
         self.registry.drain_all()
         if self.durability is not None:
+            # Commit every staged group (resolving the drained futures)
+            # before the final sync -- the pipeline owns the WAL files
+            # while it runs.
+            await self.durability.stop_pipeline()
             self.durability.sync_all(self.registry)
             self.durability.close_all(self.registry)
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        for server in (self._server, self._direct_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = None
+        self._direct_server = None
 
     # -- connection loop ---------------------------------------------------
 
@@ -362,7 +415,7 @@ class SketchServer:
                 extra_headers: Optional[Dict[str, str]] = None
                 try:
                     status, payload, content_type = \
-                        await self._dispatch(method, path, raw)
+                        await self._dispatch(method, path, raw, headers)
                 except _ShedError as exc:
                     status = exc.status
                     payload = {"error": exc.message,
@@ -453,6 +506,7 @@ class SketchServer:
             extra = "".join(f"{name}: {value}\r\n"
                             for name, value in headers.items())
         head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Date: {_date_header()}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"{extra}"
@@ -462,17 +516,21 @@ class SketchServer:
 
     # -- routing -----------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str,
-                        raw: bytes) -> Tuple[int, Any, str]:
+    async def _dispatch(self, method: str, path: str, raw: bytes,
+                        headers: Optional[Dict[str, str]] = None) \
+            -> Tuple[int, Any, str]:
+        headers = headers or {}
         path = path.split("?")[0]
         parts = [p for p in path.split("/") if p]
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok",
-                         "batching": self.batching,
-                         "sketches": len(self.registry),
-                         "durable": self.durability is not None,
-                         "loop_lag": round(self.backpressure.lag, 6)}, \
-                "application/json"
+            payload = {"status": "ok",
+                       "batching": self.batching,
+                       "sketches": len(self.registry),
+                       "durable": self.durability is not None,
+                       "loop_lag": round(self.backpressure.lag, 6)}
+            if self.shard is not None:
+                payload["worker"] = self.shard.index
+            return 200, payload, "application/json"
         if path == "/metrics" and method == "GET":
             from repro.obs.export import render_prometheus
             return 200, render_prometheus(REGISTRY), \
@@ -482,6 +540,8 @@ class SketchServer:
             return 200, {"latency": latency_quantiles(REGISTRY),
                          "sketches": self.registry.infos()}, \
                 "application/json"
+        if parts and parts[0] == "cluster" and self.shard is not None:
+            return await self._cluster_route(method, parts)
         if parts and parts[0] == "sketches":
             if len(parts) == 1:
                 if method != "GET":
@@ -489,11 +549,43 @@ class SketchServer:
                 return 200, {"sketches": self.registry.names()}, \
                     "application/json"
             name = parts[1]
+            if self.shard is not None and len(parts) in (2, 3):
+                owner = self.shard.owner(name)
+                if owner != self.shard.index:
+                    if OBS.enabled:
+                        OBS.server_misdirected_requests.inc()
+                    return 421, {
+                        "error": f"tenant {name!r} is owned by worker "
+                                 f"{owner}; redirect to its direct port",
+                        "worker": owner,
+                        "port": self.shard.ports[owner],
+                        "workers": self.shard.count,
+                    }, "application/json"
             if len(parts) == 2:
                 return await self._sketch_resource(method, name, raw)
             if len(parts) == 3 and method == "POST":
-                return await self._sketch_action(name, parts[2], raw)
+                return await self._sketch_action(name, parts[2], raw,
+                                                 headers)
         raise _HTTPError(404, f"no route for {method} {path}")
+
+    async def _cluster_route(self, method: str,
+                             parts) -> Tuple[int, Any, str]:
+        if len(parts) == 1 and method == "GET":
+            return 200, {
+                "workers": self.shard.count,
+                "worker": self.shard.index,
+                "host": self.shard.host,
+                "shared_port": self.shard.shared_port,
+                "ports": list(self.shard.ports),
+                "sketches": self.registry.names(),
+            }, "application/json"
+        if len(parts) == 2 and parts[1] == "metrics" and method == "GET":
+            from repro.server.sharding import aggregate_metrics
+            text = await aggregate_metrics(
+                self.shard.host, self.shard.ports, local=self.shard.index,
+                local_registry=REGISTRY)
+            return 200, text, "text/plain; version=0.0.4"
+        raise _HTTPError(404, f"no cluster route for {method}")
 
     def _json_body(self, raw: bytes) -> Dict:
         if not raw:
@@ -529,8 +621,16 @@ class SketchServer:
         if reason is not None:
             raise _ShedError(reason, self.backpressure.retry_after())
 
-    async def _sketch_action(self, name: str, action: str,
-                             raw: bytes) -> Tuple[int, Any, str]:
+    @staticmethod
+    async def _durable(tenant) -> None:
+        """Await the tenant's group-commit barrier (no-op when plain)."""
+        barrier = tenant.durable_barrier()
+        if barrier is not None:
+            await barrier
+
+    async def _sketch_action(self, name: str, action: str, raw: bytes,
+                             headers: Dict[str, str]) \
+            -> Tuple[int, Any, str]:
         tenant = self.registry.get(name)
         # Admit before decoding: parsing a large JSON batch costs loop
         # time we cannot afford exactly when we are shedding.  Queries
@@ -540,6 +640,11 @@ class SketchServer:
             self._admit("ingest")
         elif action == "query":
             self._admit("cheap_query")
+        content_type = headers.get("content-type", "")
+        if content_type.partition(";")[0].strip().lower() == \
+                wire.CONTENT_TYPE:
+            return await self._sketch_action_wire(tenant, action, raw,
+                                                  headers)
         body = self._json_body(raw)
         if action == "ingest":
             sources = _parse_labels(body, "sources")
@@ -573,6 +678,7 @@ class SketchServer:
                     400, f"got {n} sources but {len(targets)} targets")
             weights = _parse_floats(body, "weights", n, 1.0)
             removed = tenant.remove(sources, targets, weights)
+            await self._durable(tenant)
             return 200, {"removed": int(removed)}, "application/json"
         if action == "query":
             kind = body.get("kind")
@@ -614,6 +720,89 @@ class SketchServer:
             timestamp = body.get("timestamp")
             if not isinstance(timestamp, (int, float)):
                 raise _HTTPError(400, "advance needs a numeric 'timestamp'")
-            return 200, tenant.advance(float(timestamp)), "application/json"
+            result = tenant.advance(float(timestamp))
+            await self._durable(tenant)
+            return 200, result, "application/json"
         raise _HTTPError(404, f"unknown action {action!r} (expected "
                               f"ingest, remove, query or advance)")
+
+    #: HTTP action -> the wire op a binary frame must carry for it.
+    _WIRE_OPS = {"ingest": wire.OP_INGEST, "remove": wire.OP_REMOVE,
+                 "query": wire.OP_QUERY, "advance": wire.OP_ADVANCE}
+
+    async def _sketch_action_wire(self, tenant, action: str, raw: bytes,
+                                  headers: Dict[str, str]) \
+            -> Tuple[int, Any, str]:
+        """Serve one binary columnar request (already admitted).
+
+        The frame's id/weight columns are ``np.frombuffer`` views into
+        the request body; ingest hands them straight to the coalescer's
+        staging copy -- no JSON parse, no Python-object churn.
+        """
+        try:
+            frame = wire.decode_frame(raw)
+        except wire.WireError as exc:
+            raise _HTTPError(400, str(exc))
+        if OBS.enabled:
+            OBS.server_wire_requests.labels(
+                wire.OP_NAMES[frame.op]).inc()
+            OBS.server_wire_bytes.inc(len(raw))
+        expected = self._WIRE_OPS.get(action)
+        if expected is None:
+            raise _HTTPError(
+                404, f"unknown action {action!r} (expected ingest, "
+                     f"remove, query or advance)")
+        if frame.op != expected:
+            raise _HTTPError(
+                400, f"frame op {wire.OP_NAMES[frame.op]!r} does not "
+                     f"match action {action!r}")
+        if frame.tenant and frame.tenant != tenant.name:
+            raise _HTTPError(
+                400, f"frame tenant {frame.tenant!r} does not match "
+                     f"path tenant {tenant.name!r}")
+        if action == "ingest":
+            timestamps: Any = None
+            if tenant.kind == "window":
+                timestamps = frame.timestamps
+                if timestamps is None:
+                    watermark = tenant.sketch.watermark
+                    timestamps = (watermark if np.isfinite(watermark)
+                                  else 0.0)
+            try:
+                future = tenant.ingest.add(frame.sources, frame.targets,
+                                           frame.weights, timestamps)
+            except BacklogExceeded:
+                raise _ShedError("backlog", self.backpressure.retry_after())
+            ingested = await future
+            return 200, {"ingested": ingested,
+                         "batched": tenant.ingest.batching}, \
+                "application/json"
+        if action == "query":
+            kind = frame.kind
+            if kind in EXPENSIVE_QUERY_KINDS:
+                self._admit("expensive_query")
+            if frame.targets is not None:
+                payload = list(zip(frame.sources.tolist(),
+                                   frame.targets.tolist()))
+            elif frame.sources is not None:
+                payload = frame.sources.tolist()
+            else:
+                payload = []
+            values = await tenant.queries.add(kind, payload)
+            if wire.CONTENT_TYPE in headers.get("accept", ""):
+                return 200, wire.encode_values(
+                    np.asarray(values, dtype=np.float64)), \
+                    wire.CONTENT_TYPE
+            if kind == "reach":
+                values = [bool(v) for v in values]
+            return 200, {"kind": kind, "values": values}, \
+                "application/json"
+        if action == "remove":
+            removed = tenant.remove(frame.sources, frame.targets,
+                                    frame.weights)
+            await self._durable(tenant)
+            return 200, {"removed": int(removed)}, "application/json"
+        # advance
+        result = tenant.advance(float(frame.timestamp))
+        await self._durable(tenant)
+        return 200, result, "application/json"

@@ -20,8 +20,12 @@ the chaos harness): connection resets, refused connections, timeouts and
 bounded retries and exponential backoff + jitter -- instead of crashing
 the run.  ``Retry-After`` hints from the server are honored.
 
-All request bodies are generated and JSON-encoded **before** the clock
-starts, so measured time is wire + server work only.  The summary
+All request *data* is generated before the clock starts.  By default
+bodies are also pre-serialized (measured time is wire + server work
+only); ``encode="lazy"`` defers serialization to send time so the
+per-request encode cost -- which a real client always pays -- lands
+inside the timed loop (used by ``bench_wire`` to compare wire formats
+end to end).  The summary
 reports client-side p50/p99 (exact, ``np.percentile``) over completed
 requests, the same quantiles over *accepted* (HTTP 200) requests, and,
 when asked, the server's own ``/stats`` view.
@@ -34,11 +38,13 @@ import itertools
 import json
 import random
 import time
+from functools import partial
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.obs.instruments import OBS
+from repro.server import wire as _wire
 
 _DEFAULT_SKETCH = {"kind": "tcm", "d": 4, "width": 256, "seed": 7}
 
@@ -46,14 +52,19 @@ _DEFAULT_SKETCH = {"kind": "tcm", "d": 4, "width": 256, "seed": 7}
 ERROR_CLASSES = ("connection", "timeout", "http_429", "http_503",
                  "http_4xx", "http_5xx")
 
+#: Request encodings ``run_loadgen(wire_mode=...)`` understands.
+WIRE_MODES = ("json", "binary")
+
 
 async def _request(reader: asyncio.StreamReader,
                    writer: asyncio.StreamWriter, method: str, path: str,
-                   body: bytes = b"", host: str = "localhost") -> Tuple[int, bytes]:
+                   body: bytes = b"", host: str = "localhost",
+                   content_type: str = "application/json") \
+        -> Tuple[int, bytes]:
     """One HTTP/1.1 request over an already-open keep-alive connection."""
     head = (f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n\r\n")
     writer.write(head.encode("latin-1") + body)
     await writer.drain()
@@ -74,26 +85,66 @@ async def _request(reader: asyncio.StreamReader,
 
 
 def _make_requests(n_requests: int, elements: int, n_nodes: int,
-                   query_ratio: float, sketch: str,
-                   seed: int) -> List[Tuple[str, str, bytes]]:
-    """Pre-encode the request mix: (kind, path, body) per request."""
+                   query_ratio: float, sketch: str, seed: int,
+                   wire_mode: str = "json", encode: str = "eager") \
+        -> List[Tuple[str, str, Any, str]]:
+    """Generate the request mix: (kind, path, body, content_type).
+
+    ``wire_mode="binary"`` encodes the *same* integer columns (same rng,
+    same seed) as length-prefixed columnar frames instead of JSON, so a
+    binary run ingests bit-identical data to its JSON twin -- the only
+    thing that changes is the wire format.
+
+    ``encode="eager"`` (default) serializes every body before the clock
+    starts, so measured time is wire + server work only.  ``"lazy"``
+    defers serialization to send time (the body slot holds a zero-arg
+    callable): the client pays the real per-request encode cost inside
+    the timed loop, which is how a production client behaves and what
+    the end-to-end wire-format comparison in ``bench_wire`` measures.
+    The *data* is still pre-generated either way -- same columns, same
+    requests, regardless of mode.
+    """
+    if wire_mode not in WIRE_MODES:
+        raise ValueError(
+            f"wire_mode must be one of {WIRE_MODES}, got {wire_mode!r}")
+    if encode not in ("eager", "lazy"):
+        raise ValueError(
+            f"encode must be 'eager' or 'lazy', got {encode!r}")
     rng = np.random.default_rng(seed)
     ingest_path = f"/sketches/{sketch}/ingest"
     query_path = f"/sketches/{sketch}/query"
-    out: List[Tuple[str, str, bytes]] = []
+    binary = wire_mode == "binary"
+    ctype = _wire.CONTENT_TYPE if binary else "application/json"
+
+    def query_body(pairs):
+        if binary:
+            return _wire.encode_query(sketch, "edge",
+                                      pairs[:, 0].astype(np.uint64),
+                                      pairs[:, 1].astype(np.uint64))
+        return json.dumps({"kind": "edge",
+                           "pairs": pairs.tolist()}).encode()
+
+    def ingest_body(src, dst):
+        if binary:
+            return _wire.encode_ingest(sketch, src.astype(np.uint64),
+                                       dst.astype(np.uint64))
+        return json.dumps({"sources": src.tolist(),
+                           "targets": dst.tolist()}).encode()
+
+    out: List[Tuple[str, str, Any, str]] = []
     for _ in range(n_requests):
         if rng.random() < query_ratio:
             pairs = rng.integers(0, n_nodes,
                                  size=(max(1, elements // 8), 2))
-            body = json.dumps({"kind": "edge",
-                               "pairs": pairs.tolist()}).encode()
-            out.append(("query", query_path, body))
+            body = (partial(query_body, pairs) if encode == "lazy"
+                    else query_body(pairs))
+            out.append(("query", query_path, body, ctype))
         else:
             src = rng.integers(0, n_nodes, size=elements)
             dst = rng.integers(0, n_nodes, size=elements)
-            body = json.dumps({"sources": src.tolist(),
-                               "targets": dst.tolist()}).encode()
-            out.append(("ingest", ingest_path, body))
+            body = (partial(ingest_body, src, dst) if encode == "lazy"
+                    else ingest_body(src, dst))
+            out.append(("ingest", ingest_path, body, ctype))
     return out
 
 
@@ -122,6 +173,7 @@ class _Driver:
         self.rng = random.Random(seed)
         self.errors_by_class: Dict[str, int] = {c: 0 for c in ERROR_CLASSES}
         self.retries = 0
+        self.retry_after_honored = 0
         self.backoff_seconds = 0.0
         self.errors = 0          # requests that ultimately failed
         self.ingested = 0
@@ -131,6 +183,7 @@ class _Driver:
     async def _backoff(self, attempt: int,
                        hint: Optional[float] = None) -> None:
         if hint is not None:
+            self.retry_after_honored += 1
             delay = hint * (0.75 + 0.5 * self.rng.random())
         else:
             delay = (min(self.backoff_cap,
@@ -147,13 +200,20 @@ class _Driver:
             OBS.retry_attempts.labels(reason).inc()
 
     async def send(self, conn: Dict[str, Any], kind: str, path: str,
-                   body: bytes) -> Optional[int]:
+                   body,
+                   content_type: str = "application/json") -> Optional[int]:
         """One request with reconnect + bounded retries.
+
+        ``body`` is the raw bytes, or (lazy-encode mode) a zero-arg
+        callable serialized here -- inside the timed loop, once, with
+        retries reusing the encoded bytes.
 
         Returns the final HTTP status, or ``None`` if every attempt
         failed at the transport level.  Never raises for server-side
         or network trouble -- that is the whole point of this driver.
         """
+        if callable(body):
+            body = body()
         attempt = 0
         while True:
             try:
@@ -163,7 +223,8 @@ class _Driver:
                         self.request_timeout)
                 status, payload = await asyncio.wait_for(
                     _request(conn["reader"], conn["writer"], "POST", path,
-                             body, host=self.host),
+                             body, host=self.host,
+                             content_type=content_type),
                     self.request_timeout)
             except asyncio.TimeoutError:
                 await self._drop(conn)
@@ -237,13 +298,22 @@ async def run_loadgen(host: str, port: int, *,
                       request_timeout: float = 30.0,
                       max_retries: int = 3,
                       backoff_base: float = 0.05,
-                      backoff_cap: float = 2.0) -> Dict[str, Any]:
+                      backoff_cap: float = 2.0,
+                      wire_mode: str = "json",
+                      encode: str = "eager") -> Dict[str, Any]:
     """Drive the mix and return the throughput/latency summary.
 
     ``rate`` switches to open-loop pacing: requests are released at
     ``rate`` per second across the connection pool and latency counts
     from each request's *scheduled* departure.  ``max_retries=0``
     disables retrying (each request gets exactly one attempt).
+    ``wire_mode="binary"`` sends the columnar wire protocol instead of
+    JSON (same generated data, same seed).
+
+    Against a sharded server (``tcm serve --workers N``) the driver is
+    cluster-aware: it probes ``GET /cluster``, computes the tenant's
+    owner by hash affinity, and pins every connection to the owner's
+    direct port -- no request ever pays the 421 redirect.
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
@@ -254,12 +324,34 @@ async def run_loadgen(host: str, port: int, *,
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     workload = _make_requests(requests, elements, n_nodes, query_ratio,
-                              sketch, seed)
+                              sketch, seed, wire_mode, encode)
     driver = _Driver(host, port, request_timeout=request_timeout,
                      max_retries=max_retries, backoff_base=backoff_base,
                      backoff_cap=backoff_cap, seed=seed)
 
-    admin_reader, admin_writer = await asyncio.open_connection(host, port)
+    # Cluster awareness: one probe against whatever worker accepts the
+    # connection; 404 means a single-process server and costs nothing.
+    cluster: Optional[Dict[str, Any]] = None
+    probe_reader, probe_writer = await asyncio.open_connection(host, port)
+    try:
+        status, payload = await _request(probe_reader, probe_writer, "GET",
+                                         "/cluster", host=host)
+        if status == 200:
+            cluster = json.loads(payload)
+    finally:
+        probe_writer.close()
+        try:
+            await probe_writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    owner: Optional[int] = None
+    if cluster is not None:
+        from repro.server.sharding import shard_of
+        owner = shard_of(sketch, int(cluster["workers"]))
+        driver.port = int(cluster["ports"][owner])
+
+    admin_reader, admin_writer = await asyncio.open_connection(
+        host, driver.port)
     try:
         if create:
             config = dict(_DEFAULT_SKETCH, **(sketch_config or {}))
@@ -276,9 +368,10 @@ async def run_loadgen(host: str, port: int, *,
         async def closed_worker(shard) -> None:
             conn: Dict[str, Any] = {"reader": None, "writer": None}
             try:
-                for kind, path, body in shard:
+                for kind, path, body, ctype in shard:
                     started = time.perf_counter()
-                    status = await driver.send(conn, kind, path, body)
+                    status = await driver.send(conn, kind, path, body,
+                                               ctype)
                     latency = (time.perf_counter() - started) * 1e3
                     driver.latencies_ms.append(latency)
                     if status == 200:
@@ -292,13 +385,14 @@ async def run_loadgen(host: str, port: int, *,
                 for i in counter:
                     if i >= requests:
                         return
-                    kind, path, body = workload[i]
+                    kind, path, body, ctype = workload[i]
                     scheduled = t0 + i / rate
                     delay = scheduled - loop.time()
                     if delay > 0:
                         await asyncio.sleep(delay)
                     sent = loop.time()
-                    status = await driver.send(conn, kind, path, body)
+                    status = await driver.send(conn, kind, path, body,
+                                               ctype)
                     done = loop.time()
                     # End-to-end latency counts from the *scheduled*
                     # arrival (open-loop honesty: schedule slip is real
@@ -340,6 +434,8 @@ async def run_loadgen(host: str, port: int, *,
             "elements_per_request": elements,
             "query_ratio": query_ratio,
             "mode": "open" if rate is not None else "closed",
+            "wire": wire_mode,
+            "encode": encode,
             "seconds": round(elapsed, 4),
             "req_per_s": round(requests / elapsed, 1),
             "elements_per_s": round(driver.ingested / elapsed, 1),
@@ -352,9 +448,20 @@ async def run_loadgen(host: str, port: int, *,
             "accepted_requests": accepted,
             "latency_ms": quantiles(driver.latencies_ms),
             "accepted_latency_ms": quantiles(driver.accepted_ms),
+            # Machine-readable shed accounting: every 429/503 response
+            # received (including ones later retried to success), and
+            # how many carried a Retry-After hint the driver honored.
+            "sheds": {
+                "http_429": int(driver.errors_by_class["http_429"]),
+                "http_503": int(driver.errors_by_class["http_503"]),
+                "retry_after_honored": int(driver.retry_after_honored),
+            },
         }
         if rate is not None:
             summary["offered_rate"] = rate
+        if owner is not None:
+            summary["worker"] = owner
+            summary["workers"] = int(cluster["workers"])
         if fetch_server_stats:
             try:
                 status, payload = await _request(

@@ -90,7 +90,8 @@ class TenantSketch:
             apply_batch, apply_scalar=apply_scalar,
             max_batch=max_batch, max_delay=max_delay,
             with_timestamps=(kind == "window"), batching=batching,
-            max_backlog=max_backlog, kind="ingest")
+            max_backlog=max_backlog, kind="ingest",
+            ack_barrier=self.durable_barrier)
         self.queries = QueryCoalescer(
             self._run_queries, max_batch=max_batch, max_delay=max_delay,
             batching=batching, before_flush=self.ingest.flush,
@@ -127,6 +128,21 @@ class TenantSketch:
                                  weights.tolist(), ts.tolist()):
             # Same late policy as observe_columns: clamp, don't reject.
             observe(s, t, w, max(when, self.sketch.watermark))
+
+    def durable_barrier(self):
+        """The WAL group-commit barrier covering everything logged so far.
+
+        Returns the open group's future when the pipeline is staging for
+        this tenant's WAL, else ``None`` (no WAL, pipeline off, or
+        nothing staged -- in all of which cases appends were written
+        inline and durability is already settled).  Acks chained on the
+        barrier resolve only after the group's frame is written (and
+        fsynced under ``--fsync always``).
+        """
+        wal = self.wal
+        if wal is None or wal.group is None or not wal.group.active:
+            return None
+        return wal.group.barrier(wal)
 
     def replay(self, record) -> None:
         """Re-apply one decoded WAL record (recovery path, no logging).

@@ -1,0 +1,304 @@
+"""Multi-process sharded serving: ``tcm serve --workers N``.
+
+One Python process is one event loop is (at best) one core, so the
+service scales out by *forking*: ``N`` worker processes, each a complete
+:class:`~repro.server.http.SketchServer` with its own loop, coalescers,
+and per-worker WAL directory (``<data_dir>/worker-<i>/``).  There is no
+shared mutable state between workers -- the unit of ownership is the
+**tenant**, assigned by deterministic hash affinity:
+
+    ``shard_of(name, N) == label_key(name) % N``
+
+Every worker binds the shared port with ``SO_REUSEPORT`` (the kernel
+load-balances accepted connections) *plus* a private direct port.  A
+request for a tenant the accepting worker does not own is answered with
+``421 Misdirected Request`` carrying the owner's direct port, so
+shard-aware clients (``tcm loadgen``) pin each tenant's traffic to its
+owner and pay the redirect at most once.  Because affinity is a pure
+function of the name, any client can also precompute the owner and skip
+the 421 entirely.
+
+The parent process only orchestrates: it resolves the shared port, forks
+the workers, collects their direct ports over pipes, broadcasts the port
+map, relays SIGINT/SIGTERM, and reaps.  It serves no traffic -- a worker
+crash cannot take the parent's listener down with it.
+
+``GET /cluster`` on any worker reports the topology; ``GET
+/cluster/metrics`` aggregates every worker's ``/metrics`` into one
+exposition with a ``worker`` label injected on each sample.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.hashing.labels import label_key
+
+__all__ = ["ShardInfo", "shard_of", "aggregate_metrics", "run_sharded"]
+
+
+def shard_of(name: str, workers: int) -> int:
+    """The worker index owning tenant ``name`` (pure, stable hash)."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return label_key(name) % workers
+
+
+class ShardInfo:
+    """This worker's view of the cluster topology.
+
+    ``ports`` (direct, worker-private ports) is filled in once the
+    parent has collected every worker's report; it is mutated in place
+    so the server object handed the instance at construction time sees
+    the final map.
+    """
+
+    def __init__(self, index: int, count: int, host: str,
+                 shared_port: int, ports: Optional[List[int]] = None):
+        if not 0 <= index < count:
+            raise ValueError(f"worker index {index} out of range 0..{count - 1}")
+        self.index = index
+        self.count = count
+        self.host = host
+        self.shared_port = shared_port
+        self.ports: List[int] = list(ports) if ports else [0] * count
+
+    def owner(self, name: str) -> int:
+        return shard_of(name, self.count)
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        return (f"ShardInfo(index={self.index}, count={self.count}, "
+                f"host={self.host!r}, shared_port={self.shared_port}, "
+                f"ports={self.ports})")
+
+
+# -- /cluster/metrics aggregation -------------------------------------------
+
+def _inject_worker_label(text: str, index: int) -> str:
+    """Add ``worker="<i>"`` to every sample line of a Prometheus page."""
+    out = []
+    label = f'worker="{index}"'
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_part, _, rest = line.partition(" ")
+        if "{" in name_part:
+            head, _, tail = name_part.partition("{")
+            out.append(f"{head}{{{label},{tail} {rest}")
+        else:
+            out.append(f"{name_part}{{{label}}} {rest}")
+    return "\n".join(out)
+
+
+async def _fetch_metrics(host: str, port: int,
+                         timeout: float = 5.0) -> str:
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        writer.write((f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n"
+                      "Connection: close\r\n\r\n").encode())
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:  # pragma: no cover
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b" ", 2)
+    if len(status) < 2 or status[1] != b"200":
+        raise OSError(f"worker at {host}:{port} answered "
+                      f"{status[1:2]!r} for /metrics")
+    return body.decode("utf-8", "replace")
+
+
+async def aggregate_metrics(host: str, ports: List[int], *, local: int,
+                            local_registry=None) -> str:
+    """Concatenate every worker's ``/metrics`` with a ``worker`` label.
+
+    The local worker renders its own registry directly (no self-request
+    over the socket it is currently serving); peers are fetched over
+    their direct ports concurrently.  A dead peer contributes a comment
+    line instead of failing the whole page -- partial visibility beats
+    none during a rolling restart.
+    """
+    from repro.obs.export import render_prometheus
+
+    async def one(index: int, port: int) -> str:
+        if index == local and local_registry is not None:
+            return _inject_worker_label(
+                render_prometheus(local_registry), index)
+        try:
+            return _inject_worker_label(
+                await _fetch_metrics(host, port), index)
+        except (OSError, asyncio.TimeoutError) as exc:
+            return f"# worker {index} at {host}:{port} unreachable: {exc}"
+
+    pages = await asyncio.gather(
+        *(one(i, port) for i, port in enumerate(ports)))
+    return "\n".join(page.rstrip("\n") for page in pages) + "\n"
+
+
+# -- the fork orchestrator ---------------------------------------------------
+
+class ShardChannel:
+    """The child side of the parent<->worker bootstrap pipes."""
+
+    def __init__(self, up_fd: int, down_fd: int):
+        self._up = up_fd      # child -> parent: readiness report
+        self._down = down_fd  # parent -> child: the final port map
+
+    def report(self, direct_port: int) -> List[int]:
+        """Send this worker's direct port; block for the full map.
+
+        Runs once at startup before the worker begins serving, so the
+        brief blocking read (the parent answers as soon as every sibling
+        has reported) is acceptable inside the loop.
+        """
+        os.write(self._up, (json.dumps(
+            {"direct_port": int(direct_port), "pid": os.getpid()})
+            + "\n").encode())
+        return json.loads(_read_line(self._down))
+
+    def close(self) -> None:
+        for fd in (self._up, self._down):
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover
+                pass
+
+
+def _read_line(fd: int) -> str:
+    chunks = []
+    while True:
+        byte = os.read(fd, 1)
+        if not byte or byte == b"\n":
+            return b"".join(chunks).decode()
+        chunks.append(byte)
+
+
+def _reserve_port(host: str, port: int) -> tuple:
+    """Bind (not listen) a ``SO_REUSEPORT`` socket to pin the port.
+
+    With ``--port 0`` the parent must pick ONE concrete port for every
+    worker to share; holding a bound, non-listening reuseport socket
+    reserves the number without participating in accept load-balancing.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover -- non-Linux
+        sock.close()
+        raise SystemExit("--workers needs SO_REUSEPORT (Linux/BSD only)")
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    return sock, sock.getsockname()[1]
+
+
+def run_sharded(workers: int, host: str, port: int,
+                worker_fn: Callable[[ShardInfo, ShardChannel, int], int],
+                *, banner: Optional[Callable[[int, List[Dict[str, Any]]],
+                                             None]] = None) -> int:
+    """Fork ``workers`` processes and run ``worker_fn`` in each.
+
+    ``worker_fn(shard, channel, shared_port)`` runs in the child and
+    must (1) start its server with ``reuse_port=True`` and a direct
+    port, (2) call ``channel.report(direct_port)`` and install the
+    returned map into ``shard.ports``, then (3) serve until SIGTERM and
+    return an exit code.  The parent relays SIGINT/SIGTERM to every
+    child and exits 0 only if all children exited cleanly.
+
+    ``banner(shared_port, reports)`` runs in the parent once all workers
+    are up (for the CLI's "listening on" lines).
+    """
+    if workers < 2:
+        raise ValueError(f"run_sharded needs >= 2 workers, got {workers}")
+    reservation, shared_port = _reserve_port(host, port)
+    pids: List[int] = []
+    parent_up: List[int] = []    # read ends of child->parent pipes
+    parent_down: List[int] = []  # write ends of parent->child pipes
+    for index in range(workers):
+        up_r, up_w = os.pipe()
+        down_r, down_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # -- child ------------------------------------------------------
+            code = 1
+            try:
+                os.close(up_r)
+                os.close(down_w)
+                reservation.close()
+                for fd in parent_up + parent_down:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                shard = ShardInfo(index, workers, host, shared_port)
+                channel = ShardChannel(up_w, down_r)
+                code = worker_fn(shard, channel, shared_port)
+            except BaseException:  # noqa: BLE001 -- nothing may escape a fork
+                import traceback
+                traceback.print_exc()
+                code = 1
+            finally:
+                # os._exit: never run the parent's atexit/stdio teardown
+                # twice from a forked child.
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(code)
+        os.close(up_w)
+        os.close(down_r)
+        pids.append(pid)
+        parent_up.append(up_r)
+        parent_down.append(down_w)
+
+    # Collect readiness reports (in worker order -- each child writes
+    # exactly one line) and broadcast the assembled port map.
+    reports: List[Dict[str, Any]] = []
+    for fd in parent_up:
+        reports.append(json.loads(_read_line(fd)))
+    ports = [int(report["direct_port"]) for report in reports]
+    blob = (json.dumps(ports) + "\n").encode()
+    for fd in parent_down:
+        os.write(fd, blob)
+    if banner is not None:
+        banner(shared_port, reports)
+
+    # Relay termination signals; waitpid restarts on EINTR, so the
+    # handler only needs to kick the children.
+    def _relay(signum, _frame):
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    previous = {sig: signal.signal(sig, _relay)
+                for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        failures = 0
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            code = (os.waitstatus_to_exitcode(status)
+                    if hasattr(os, "waitstatus_to_exitcode")
+                    else os.WEXITSTATUS(status))
+            if code != 0:
+                failures += 1
+                print(f"tcm serve: worker pid {pid} exited with "
+                      f"{code}", file=sys.stderr, flush=True)
+        return 1 if failures else 0
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        for fd in parent_up + parent_down:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        reservation.close()

@@ -1,0 +1,337 @@
+"""The binary columnar wire protocol (``Content-Type: application/x-tcm-columnar``).
+
+JSON is the service's lingua franca, but it is also where most ingest
+cycles go: every element is decimal-encoded by the client, parsed into
+Python objects by the server, then re-packed into the columnar staging
+buffers the kernels actually consume.  This module removes that round
+trip.  A binary request body *is* the columns: a fixed little-endian
+header followed by raw ``uint64`` key / ``float64`` weight arrays, which
+the server turns into numpy views with :func:`numpy.frombuffer` --
+zero-copy -- and hands straight to the coalescer.
+
+Frame layout (all little-endian)::
+
+    offset  size  field
+    0       4     magic           b"TCMW"
+    4       1     version         1
+    5       1     op              1=ingest 2=remove 3=query 4=advance
+                                  5=values (response)
+    6       1     flags           0x01 weights column present
+                                  0x02 timestamps column present
+                                  0x04 ids are uint32 (else uint64)
+    7       1     kind            query-kind code (op=3), else 0
+    8       4     count           elements (pairs/nodes for queries)
+    12      2     tenant_len      bytes of tenant name (UTF-8)
+    14      2     reserved        0
+    16      pad(tenant_len)       tenant name, zero-padded to a multiple
+                                  of 8 so the columns stay 8-byte aligned
+
+followed by the columns, in order and with no gaps:
+
+- **ingest / remove**: ``src ids``, ``dst ids`` (``uint64``, or
+  ``uint32`` with flag ``0x04``), then ``float64 weights`` if flag
+  ``0x01``, then ``float64 timestamps`` if flag ``0x02`` (window
+  tenants).  Weights default to 1.0 server-side when omitted.
+- **query**: for pair-shaped kinds (``edge``, ``reach``) two id columns
+  (src, dst); for node-shaped kinds (``outflow``, ``inflow``, ``flow``)
+  one id column; for ``total`` no columns (``count`` is 0).
+- **advance**: one ``float64`` (the watermark), ``count`` = 1.
+- **values** (response): one ``float64`` column of ``count`` answers.
+
+Ids are the same 64-bit label keys the JSON path produces: integer
+labels pass through :func:`repro.hashing.labels.label_key` unchanged
+(masked to 64 bits), so a binary client that hashes its own string
+labels with FNV-1a -- or simply uses integer ids -- is bit-compatible
+with JSON clients talking to the same tenant.
+
+Version negotiation: the only accepted version is
+:data:`WIRE_VERSION`; a mismatch decodes to :class:`WireError`, which
+the server answers with ``400`` naming the version it speaks, so a
+newer client can fall back to JSON (which is never versioned away).
+
+Responses are JSON by default even for binary requests (acks are tiny);
+a client that sends ``Accept: application/x-tcm-columnar`` gets query
+answers back as an op=5 frame instead (``reach`` booleans become
+0.0/1.0).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+#: The negotiated content type for request and response bodies.
+CONTENT_TYPE = "application/x-tcm-columnar"
+
+WIRE_MAGIC = b"TCMW"
+WIRE_VERSION = 1
+
+OP_INGEST = 1
+OP_REMOVE = 2
+OP_QUERY = 3
+OP_ADVANCE = 4
+OP_VALUES = 5
+
+OP_NAMES = {OP_INGEST: "ingest", OP_REMOVE: "remove", OP_QUERY: "query",
+            OP_ADVANCE: "advance", OP_VALUES: "values"}
+
+FLAG_WEIGHTS = 0x01
+FLAG_TIMESTAMPS = 0x02
+FLAG_U32_IDS = 0x04
+_KNOWN_FLAGS = FLAG_WEIGHTS | FLAG_TIMESTAMPS | FLAG_U32_IDS
+
+#: Query kinds on the wire; codes are stable protocol constants.
+QUERY_CODES = {"edge": 1, "reach": 2, "outflow": 3, "inflow": 4,
+               "flow": 5, "total": 6}
+QUERY_KINDS_BY_CODE = {code: kind for kind, code in QUERY_CODES.items()}
+#: Payload shape per kind code: 2 id columns, 1, or 0.
+_ID_COLUMNS = {1: 2, 2: 2, 3: 1, 4: 1, 5: 1, 6: 0}
+
+#: magic, version, op, flags, kind, count, tenant_len, reserved.
+_HEADER = struct.Struct("<4sBBBBIHH")
+HEADER_SIZE = _HEADER.size  # 16
+
+#: Refuse to decode frames claiming more elements than this (a corrupt
+#: count must not make the server allocate gigabytes).
+MAX_COUNT = 1 << 28
+
+
+class WireError(ValueError):
+    """A frame the decoder refuses (bad magic/version/shape/length)."""
+
+
+class WireFrame(NamedTuple):
+    """One decoded request frame.
+
+    ``sources``/``targets`` are ``uint64`` views into the request body
+    (or copies when the frame used ``uint32`` ids); ``weights`` and
+    ``timestamps`` are ``float64`` views or ``None`` when the column is
+    absent.  For ``advance`` only ``timestamp`` is set; for node-shaped
+    queries only ``sources`` is set; for ``total`` both are ``None``.
+    """
+
+    op: int
+    tenant: str
+    kind: Optional[str]          # query kind (op=OP_QUERY), else None
+    count: int
+    sources: Optional[np.ndarray]
+    targets: Optional[np.ndarray]
+    weights: Optional[np.ndarray]
+    timestamps: Optional[np.ndarray]
+    timestamp: Optional[float]   # advance watermark
+
+
+def _pad(n: int) -> int:
+    return -n % 8
+
+
+def _encode_header(op: int, flags: int, kind_code: int, count: int,
+                   tenant: str) -> bytes:
+    name = tenant.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise WireError(f"tenant name too long ({len(name)} bytes)")
+    head = _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, op, flags, kind_code,
+                        count, len(name), 0)
+    return head + name + b"\x00" * _pad(len(name))
+
+
+def _id_bytes(ids: np.ndarray, u32: bool) -> bytes:
+    dtype = np.uint32 if u32 else np.uint64
+    return np.ascontiguousarray(ids, dtype=dtype).tobytes()
+
+
+def encode_ingest(tenant: str, sources: np.ndarray, targets: np.ndarray,
+                  weights: Optional[np.ndarray] = None,
+                  timestamps: Optional[np.ndarray] = None, *,
+                  u32_ids: bool = False) -> bytes:
+    """Encode one ingest request body."""
+    n = len(sources)
+    if len(targets) != n:
+        raise WireError(f"got {n} sources but {len(targets)} targets")
+    flags = 0
+    parts = []
+    if u32_ids:
+        flags |= FLAG_U32_IDS
+    parts.append(_id_bytes(sources, u32_ids))
+    parts.append(_id_bytes(targets, u32_ids))
+    if weights is not None:
+        if len(weights) != n:
+            raise WireError(f"got {n} sources but {len(weights)} weights")
+        flags |= FLAG_WEIGHTS
+        parts.append(np.ascontiguousarray(
+            weights, dtype=np.float64).tobytes())
+    if timestamps is not None:
+        if len(timestamps) != n:
+            raise WireError(
+                f"got {n} sources but {len(timestamps)} timestamps")
+        flags |= FLAG_TIMESTAMPS
+        parts.append(np.ascontiguousarray(
+            timestamps, dtype=np.float64).tobytes())
+    return _encode_header(OP_INGEST, flags, 0, n, tenant) + b"".join(parts)
+
+
+def encode_remove(tenant: str, sources: np.ndarray, targets: np.ndarray,
+                  weights: Optional[np.ndarray] = None, *,
+                  u32_ids: bool = False) -> bytes:
+    """Encode one remove (deletion) request body."""
+    body = encode_ingest(tenant, sources, targets, weights,
+                         u32_ids=u32_ids)
+    # Same columns, different op byte.
+    return body[:5] + bytes([OP_REMOVE]) + body[6:]
+
+
+def encode_query(tenant: str, kind: str,
+                 sources: Optional[np.ndarray] = None,
+                 targets: Optional[np.ndarray] = None, *,
+                 u32_ids: bool = False) -> bytes:
+    """Encode one query request body.
+
+    Pair-shaped kinds take ``sources`` and ``targets``; node-shaped
+    kinds take ``sources`` only; ``total`` takes neither.
+    """
+    code = QUERY_CODES.get(kind)
+    if code is None:
+        raise WireError(f"unknown query kind {kind!r} "
+                        f"(expected one of {sorted(QUERY_CODES)})")
+    columns = _ID_COLUMNS[code]
+    flags = FLAG_U32_IDS if u32_ids else 0
+    parts = []
+    if columns >= 1:
+        if sources is None:
+            raise WireError(f"{kind} queries need an id column")
+        parts.append(_id_bytes(sources, u32_ids))
+        n = len(sources)
+    else:
+        n = 0
+    if columns == 2:
+        if targets is None or len(targets) != n:
+            raise WireError(f"{kind} queries need matching src/dst columns")
+        parts.append(_id_bytes(targets, u32_ids))
+    elif targets is not None:
+        raise WireError(f"{kind} queries take no target column")
+    return _encode_header(OP_QUERY, flags, code, n, tenant) + b"".join(parts)
+
+
+def encode_advance(tenant: str, timestamp: float) -> bytes:
+    """Encode one watermark-advance request body."""
+    return (_encode_header(OP_ADVANCE, 0, 0, 1, tenant)
+            + struct.pack("<d", float(timestamp)))
+
+
+def encode_values(values) -> bytes:
+    """Encode a query answer as an op=5 response frame."""
+    column = np.asarray(values, dtype=np.float64)
+    return (_encode_header(OP_VALUES, 0, 0, len(column), "")
+            + np.ascontiguousarray(column).tobytes())
+
+
+def decode_values(body: bytes) -> np.ndarray:
+    """Decode an op=5 response frame back into a float64 array."""
+    frame = decode_frame(body)
+    if frame.op != OP_VALUES:
+        raise WireError(f"expected a values frame, got op={frame.op}")
+    return frame.weights
+
+
+def _column(body: bytes, offset: int, dtype, count: int) -> np.ndarray:
+    return np.frombuffer(body, dtype=dtype, count=count, offset=offset)
+
+
+def decode_frame(body: bytes) -> WireFrame:
+    """Decode one request frame; raises :class:`WireError` on refusal.
+
+    Id and float columns are zero-copy ``np.frombuffer`` views into
+    ``body`` (read-only, which is all the coalescer's staging copy
+    needs); ``uint32`` ids are widened to ``uint64`` with one copy.
+    """
+    if len(body) < HEADER_SIZE:
+        raise WireError(f"frame too short ({len(body)} bytes)")
+    magic, version, op, flags, kind_code, count, tenant_len, _reserved = \
+        _HEADER.unpack_from(body)
+    if magic != WIRE_MAGIC:
+        raise WireError("bad magic (not a TCMW columnar frame)")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (this server speaks "
+            f"version {WIRE_VERSION}; fall back to application/json)")
+    if op not in OP_NAMES:
+        raise WireError(f"unknown op {op}")
+    if flags & ~_KNOWN_FLAGS:
+        raise WireError(f"unknown flags 0x{flags & ~_KNOWN_FLAGS:02x}")
+    if count > MAX_COUNT:
+        raise WireError(f"count {count} exceeds limit {MAX_COUNT}")
+    offset = HEADER_SIZE + tenant_len + _pad(tenant_len)
+    if len(body) < offset:
+        raise WireError("frame truncated inside the tenant name")
+    try:
+        tenant = body[HEADER_SIZE:HEADER_SIZE + tenant_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"tenant name is not valid UTF-8: {exc}")
+
+    u32 = bool(flags & FLAG_U32_IDS)
+    id_dtype = np.uint32 if u32 else np.uint64
+    id_size = 4 if u32 else 8
+
+    def ids(off: int) -> np.ndarray:
+        column = _column(body, off, id_dtype, count)
+        return column.astype(np.uint64) if u32 else column
+
+    if op == OP_ADVANCE:
+        if len(body) != offset + 8:
+            raise WireError("advance frames carry exactly one float64")
+        (timestamp,) = struct.unpack_from("<d", body, offset)
+        return WireFrame(op, tenant, None, 1, None, None, None, None,
+                         timestamp)
+
+    if op == OP_VALUES:
+        expected = offset + 8 * count
+        if len(body) != expected:
+            raise WireError(
+                f"values frame is {len(body)} bytes, expected {expected}")
+        return WireFrame(op, tenant, None, count, None, None,
+                         _column(body, offset, np.float64, count), None,
+                         None)
+
+    if op == OP_QUERY:
+        kind = QUERY_KINDS_BY_CODE.get(kind_code)
+        if kind is None:
+            raise WireError(f"unknown query kind code {kind_code}")
+        columns = _ID_COLUMNS[kind_code]
+        expected = offset + columns * id_size * count
+        if len(body) != expected:
+            raise WireError(
+                f"query frame is {len(body)} bytes, expected {expected}")
+        sources = targets = None
+        if columns >= 1:
+            sources = ids(offset)
+        if columns == 2:
+            targets = ids(offset + id_size * count)
+        return WireFrame(op, tenant, kind, count, sources, targets, None,
+                         None, None)
+
+    # OP_INGEST / OP_REMOVE: src, dst, [weights], [timestamps].
+    if op == OP_REMOVE and flags & FLAG_TIMESTAMPS:
+        raise WireError("remove frames cannot carry timestamps")
+    expected = offset + 2 * id_size * count
+    if flags & FLAG_WEIGHTS:
+        expected += 8 * count
+    if flags & FLAG_TIMESTAMPS:
+        expected += 8 * count
+    if len(body) != expected:
+        raise WireError(
+            f"{OP_NAMES[op]} frame is {len(body)} bytes, "
+            f"expected {expected}")
+    sources = ids(offset)
+    offset += id_size * count
+    targets = ids(offset)
+    offset += id_size * count
+    weights = timestamps = None
+    if flags & FLAG_WEIGHTS:
+        weights = _column(body, offset, np.float64, count)
+        offset += 8 * count
+    if flags & FLAG_TIMESTAMPS:
+        timestamps = _column(body, offset, np.float64, count)
+    return WireFrame(op, tenant, None, count, sources, targets, weights,
+                     timestamps, None)

@@ -1,0 +1,297 @@
+"""Tests for multi-process sharded serving (repro.server.sharding).
+
+Unit coverage for the pure pieces (hash affinity, topology objects,
+metrics label injection), in-process coverage for the HTTP surface (two
+``SketchServer`` instances wearing manual ``ShardInfo`` hats exercise
+421 routing, ``/cluster`` and ``/cluster/metrics`` without forking), and
+one subprocess test that boots ``tcm serve --workers 2`` for real:
+binary-wire ingest on tenants owned by each worker, cross-worker 421,
+and a clean SIGTERM drain.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.server import SketchServer, wire
+from repro.server.sharding import ShardInfo, _inject_worker_label, shard_of
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        names = [f"tenant-{i}" for i in range(200)]
+        for workers in (1, 2, 3, 8):
+            owners = [shard_of(name, workers) for name in names]
+            assert owners == [shard_of(name, workers) for name in names]
+            assert all(0 <= o < workers for o in owners)
+
+    def test_spreads_tenants(self):
+        owners = {shard_of(f"tenant-{i}", 4) for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_worker_owns_everything(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+
+class TestShardInfo:
+    def test_owner_and_ports(self):
+        shard = ShardInfo(1, 3, "127.0.0.1", 8080)
+        assert shard.ports == [0, 0, 0]
+        shard.ports[:] = [9001, 9002, 9003]
+        name = "some-tenant"
+        assert shard.owner(name) == shard_of(name, 3)
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            ShardInfo(3, 3, "127.0.0.1", 8080)
+        with pytest.raises(ValueError):
+            ShardInfo(-1, 2, "127.0.0.1", 8080)
+
+
+class TestInjectWorkerLabel:
+    def test_bare_and_labeled_samples(self):
+        page = ("# HELP x a counter\n"
+                "# TYPE x counter\n"
+                "x 5\n"
+                'y{tenant="a"} 2.5\n'
+                "\n")
+        out = _inject_worker_label(page, 3)
+        lines = out.splitlines()
+        assert lines[0].startswith("# HELP")
+        assert 'x{worker="3"} 5' in lines
+        assert 'y{worker="3",tenant="a"} 2.5' in lines
+
+
+def _pick_tenants(workers):
+    """One tenant name owned by each of ``workers`` shards."""
+    chosen = {}
+    i = 0
+    while len(chosen) < workers:
+        name = f"tenant-{i}"
+        owner = shard_of(name, workers)
+        chosen.setdefault(owner, name)
+        i += 1
+    return [chosen[w] for w in range(workers)]
+
+
+async def _two_worker_cluster(scenario):
+    """Two in-process servers wearing a 2-worker topology."""
+    shards = [ShardInfo(i, 2, "127.0.0.1", 0) for i in range(2)]
+    servers = [SketchServer(port=0, max_delay=0.002, shard=shards[i])
+               for i in range(2)]
+    try:
+        ports = [await server.start() for server in servers]
+        for shard in shards:
+            shard.shared_port = ports[0]
+            shard.ports[:] = ports
+        await scenario(servers, ports)
+    finally:
+        for server in servers:
+            await server.stop()
+
+
+async def _json_call(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        raw = b"" if body is None else json.dumps(body).encode()
+        writer.write((f"{method} {path} HTTP/1.1\r\nHost: x\r\n"
+                      "Content-Type: application/json\r\n"
+                      f"Content-Length: {len(raw)}\r\n"
+                      "Connection: close\r\n\r\n").encode() + raw)
+        await writer.drain()
+        blob = await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+    head, _, payload = blob.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    headers = head.decode().lower()
+    if "content-type: text/plain" in headers:
+        return status, payload.decode()
+    return status, (json.loads(payload) if payload else None)
+
+
+class TestInProcessCluster:
+    def test_owned_tenant_served_wrong_worker_421(self):
+        async def scenario(servers, ports):
+            t0, t1 = _pick_tenants(2)
+            config = {"kind": "tcm", "d": 2, "width": 64}
+            # Owner accepts.
+            status, _ = await _json_call(ports[0], "PUT",
+                                         f"/sketches/{t0}", config)
+            assert status == 201
+            # Non-owner refuses with the owner's coordinates.
+            status, body = await _json_call(ports[1], "PUT",
+                                            f"/sketches/{t0}", config)
+            assert status == 421
+            assert body["worker"] == 0
+            assert body["port"] == ports[0]
+            assert body["workers"] == 2
+            # Actions on a misplaced tenant 421 too.
+            status, body = await _json_call(
+                ports[0], "POST", f"/sketches/{t1}/ingest",
+                {"sources": [1], "targets": [2]})
+            assert status == 421 and body["worker"] == 1
+
+        run_async(_two_worker_cluster(scenario))
+
+    def test_admin_routes_are_not_sharded(self):
+        async def scenario(servers, ports):
+            for port in ports:
+                status, _ = await _json_call(port, "GET", "/healthz")
+                assert status == 200
+                status, body = await _json_call(port, "GET", "/sketches")
+                assert status == 200
+
+        run_async(_two_worker_cluster(scenario))
+
+    def test_cluster_topology(self):
+        async def scenario(servers, ports):
+            for index, port in enumerate(ports):
+                status, body = await _json_call(port, "GET", "/cluster")
+                assert status == 200
+                assert body["workers"] == 2
+                assert body["worker"] == index
+                assert body["ports"] == ports
+
+        run_async(_two_worker_cluster(scenario))
+
+    def test_cluster_metrics_aggregates_both_workers(self):
+        async def scenario(servers, ports):
+            status, text = await _json_call(ports[0], "GET",
+                                            "/cluster/metrics")
+            assert status == 200
+            assert 'worker="0"' in text
+            assert 'worker="1"' in text
+
+        run_async(_two_worker_cluster(scenario))
+
+    def test_dead_peer_degrades_to_comment(self):
+        async def scenario(servers, ports):
+            await servers[1].stop()
+            status, text = await _json_call(ports[0], "GET",
+                                            "/cluster/metrics")
+            assert status == 200
+            assert 'worker="0"' in text
+            assert "# worker 1" in text and "unreachable" in text
+
+        run_async(_two_worker_cluster(scenario))
+
+
+# -- the real thing: fork two workers ----------------------------------------
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _call(port, method, path, body=None, content_type="application/json",
+          raw=False):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    if isinstance(body, (bytes, bytearray)):
+        payload = bytes(body)
+    else:
+        payload = None if body is None else json.dumps(body)
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": content_type})
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    if raw:
+        return response.status, data
+    return response.status, (json.loads(data) if data else None)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not hasattr(socket, "SO_REUSEPORT"),
+                    reason="sharded serve needs SO_REUSEPORT")
+class TestShardedServe:
+    def test_two_worker_lifecycle(self, tmp_path):
+        port = _free_port()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--host",
+             "127.0.0.1", "--port", str(port), "--workers", "2",
+             "--no-obs", "--data-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        try:
+            deadline = time.monotonic() + 30.0
+            cluster = None
+            while time.monotonic() < deadline and cluster is None:
+                if proc.poll() is not None:
+                    raise RuntimeError(
+                        f"server exited early ({proc.returncode}): "
+                        f"{proc.stdout.read()}")
+                try:
+                    status, cluster = _call(port, "GET", "/cluster")
+                except OSError:
+                    time.sleep(0.05)
+            assert cluster is not None, "cluster did not come up in 30s"
+            assert cluster["workers"] == 2
+            ports = cluster["ports"]
+            assert len(ports) == 2 and all(p > 0 for p in ports)
+
+            # One tenant per worker, created and fed over binary wire
+            # through each owner's direct port.
+            tenants = _pick_tenants(2)
+            for owner, tenant in enumerate(tenants):
+                status, _ = _call(ports[owner], "PUT",
+                                  f"/sketches/{tenant}",
+                                  {"kind": "tcm", "d": 2, "width": 64,
+                                   "seed": 7})
+                assert status == 201
+                frame = wire.encode_ingest(
+                    tenant,
+                    np.arange(20, dtype=np.uint64),
+                    np.arange(20, 40, dtype=np.uint64),
+                    np.full(20, 2.0))
+                status, body = _call(ports[owner], "POST",
+                                     f"/sketches/{tenant}/ingest",
+                                     body=frame,
+                                     content_type=wire.CONTENT_TYPE)
+                assert status == 200 and body["ingested"] == 20
+                status, body = _call(ports[owner], "POST",
+                                     f"/sketches/{tenant}/query",
+                                     {"kind": "edge", "pairs": [[0, 20]]})
+                assert status == 200 and body["values"] == [2.0]
+
+            # Cross-worker request bounces with the owner's port.
+            status, body = _call(ports[1 - shard_of(tenants[0], 2)],
+                                 "GET", f"/sketches/{tenants[0]}")
+            assert status == 421
+            assert body["port"] == ports[shard_of(tenants[0], 2)]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=20)
+        output = proc.stdout.read()
+        assert code == 0, output
+        assert "worker 0 shut down cleanly" in output
+        assert "worker 1 shut down cleanly" in output
+        assert "tcm serve: shut down cleanly" in output
